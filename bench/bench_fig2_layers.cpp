@@ -1,0 +1,172 @@
+// Experiment F2 — paper Fig. 2: the three levels of abstraction on one
+// positioning process (Positioning Layer / Process Channel Layer /
+// Process Structure Layer).
+//
+// Report phase: builds the particle-filter configuration of the figure
+// (GPS chain and WiFi chain merging into a particle filter feeding the
+// application) and prints all three views of the same running process.
+//
+// Benchmark phase: the cost of the translucency machinery — deriving the
+// channel view from the structure, and rendering each view.
+
+#include "perpos/core/channel.hpp"
+#include "perpos/core/components.hpp"
+#include "perpos/core/graph_dump.hpp"
+#include "perpos/core/positioning.hpp"
+#include "perpos/fusion/particle_filter.hpp"
+#include "perpos/locmodel/fixtures.hpp"
+#include "perpos/sensors/gps_sensor.hpp"
+#include "perpos/sensors/pipeline_components.hpp"
+#include "perpos/sensors/wifi_scanner.hpp"
+#include "perpos/wifi/components.hpp"
+#include "perpos/wifi/fingerprint.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace perpos;
+
+namespace {
+
+/// Builds the Fig. 2 configuration into `graph`; returns the filter id.
+core::ComponentId build_fig2(core::ProcessingGraph& graph,
+                             sim::Scheduler& scheduler, sim::Random& random,
+                             const locmodel::Building& building,
+                             const wifi::SignalModel& signal_model,
+                             const wifi::FingerprintDatabase& db,
+                             const sensors::Trajectory& walk) {
+  auto gps = std::make_shared<sensors::GpsSensor>(
+      scheduler, random, walk, building.frame(), sensors::GpsSensorConfig{},
+      &building);
+  auto pf = std::make_shared<fusion::ParticleFilterComponent>(
+      fusion::ParticleFilterConfig{}, random, building.frame(), &building);
+  const auto gid = graph.add(gps);
+  const auto pid = graph.add(std::make_shared<sensors::NmeaParser>());
+  const auto iid = graph.add(std::make_shared<sensors::NmeaInterpreter>());
+  const auto wid = graph.add(std::make_shared<sensors::WifiScanner>(
+      scheduler, random, walk, signal_model));
+  const auto xid = graph.add(std::make_shared<wifi::WifiPositioner>(db));
+  const auto tid = graph.add(std::make_shared<wifi::LocalToGeoConverter>(building));
+  const auto fid = graph.add(pf);
+  graph.connect(gid, pid);
+  graph.connect(pid, iid);
+  graph.connect(iid, fid);
+  graph.connect(wid, xid);
+  graph.connect(xid, tid);
+  graph.connect(tid, fid);
+  return fid;
+}
+
+void print_report() {
+  std::printf("=== F2: Fig. 2 — three abstraction levels of one process "
+              "===\n\n");
+  sim::Scheduler scheduler;
+  sim::Random random(42);
+  const locmodel::Building building = locmodel::make_office_building();
+  const wifi::SignalModel signal_model(wifi::office_access_points(),
+                                       wifi::SignalModelConfig{}, &building);
+  const wifi::FingerprintDatabase db =
+      wifi::FingerprintDatabase::survey(signal_model, building, 2.0);
+  const sensors::Trajectory walk = sensors::office_walk();
+
+  core::ProcessingGraph graph(&scheduler.clock());
+  core::ChannelManager channels(graph);
+  core::PositioningService positioning(graph, channels);
+  const auto fid = build_fig2(graph, scheduler, random, building,
+                              signal_model, db, walk);
+  positioning.advertise(fid, {"Fusion", 3.0, core::Criteria::Power::kMedium});
+  positioning.request_provider(core::Criteria{});
+
+  graph.component_as<sensors::GpsSensor>(graph.sources()[0])->start();
+  for (core::ComponentId id : graph.sources()) {
+    if (auto* s = graph.component_as<sensors::WifiScanner>(id)) s->start();
+  }
+  scheduler.run_until(sim::SimTime::from_seconds(30.0));
+
+  std::printf("--- Positioning Layer ---\n%s\n",
+              core::dump_positioning(positioning).c_str());
+  std::printf("--- Process Channel Layer ---\n%s\n",
+              core::dump_channels(channels).c_str());
+  std::printf("--- Process Structure Layer ---\n%s\n",
+              core::dump_structure(graph).c_str());
+}
+
+struct Fig2Rig {
+  Fig2Rig()
+      : building(locmodel::make_office_building()),
+        signal_model(wifi::office_access_points(), wifi::SignalModelConfig{},
+                     &building),
+        db(wifi::FingerprintDatabase::survey(signal_model, building, 4.0)),
+        walk(sensors::office_walk()),
+        graph(&scheduler.clock()) {
+    filter_id = build_fig2(graph, scheduler, random, building, signal_model,
+                           db, walk);
+    sink_id = graph.add(std::make_shared<core::ApplicationSink>());
+    graph.connect(filter_id, sink_id);
+  }
+  sim::Scheduler scheduler;
+  sim::Random random{42};
+  locmodel::Building building;
+  wifi::SignalModel signal_model;
+  wifi::FingerprintDatabase db;
+  sensors::Trajectory walk;
+  core::ProcessingGraph graph;
+  core::ComponentId filter_id{}, sink_id{};
+};
+
+/// Cost of deriving the PCL view from the PSL graph (a fresh manager, so
+/// every call derives from scratch plus adapter binding).
+void BM_ChannelViewDerivation(benchmark::State& state) {
+  Fig2Rig rig;
+  for (auto _ : state) {
+    core::ChannelManager channels(rig.graph);
+    benchmark::DoNotOptimize(channels.channels().size());
+  }
+}
+BENCHMARK(BM_ChannelViewDerivation);
+
+/// Incremental re-derivation after one structural mutation.
+void BM_ChannelViewRefreshAfterMutation(benchmark::State& state) {
+  Fig2Rig rig;
+  core::ChannelManager channels(rig.graph);
+  auto extra = std::make_shared<core::ApplicationSink>();
+  const auto extra_id = rig.graph.add(extra);
+  bool connected = false;
+  for (auto _ : state) {
+    if (connected) {
+      rig.graph.disconnect(rig.filter_id, extra_id);
+    } else {
+      rig.graph.connect(rig.filter_id, extra_id);
+    }
+    connected = !connected;
+    benchmark::DoNotOptimize(channels.channels().size());
+  }
+}
+BENCHMARK(BM_ChannelViewRefreshAfterMutation);
+
+void BM_DumpStructure(benchmark::State& state) {
+  Fig2Rig rig;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::dump_structure(rig.graph).size());
+  }
+}
+BENCHMARK(BM_DumpStructure);
+
+void BM_DumpChannels(benchmark::State& state) {
+  Fig2Rig rig;
+  core::ChannelManager channels(rig.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::dump_channels(channels).size());
+  }
+}
+BENCHMARK(BM_DumpChannels);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

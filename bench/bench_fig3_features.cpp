@@ -1,0 +1,194 @@
+// Experiment F3 — paper Fig. 3: the two extension-feature kinds.
+//
+// Quantifies what the paper's adaptation mechanisms cost:
+//  * Component Features: consume/produce interception overhead as a
+//    function of attached-feature count, the cost of adding data, and
+//    state-feature dispatch.
+//  * Channel Features: apply(dataTree) cost as a function of channel
+//    length (the data tree grows with the pipeline).
+//
+// The report phase prints a small table comparing delivery cost with 0, 1,
+// 4 and 8 passthrough features so the overhead trend is visible without
+// parsing benchmark output.
+
+#include "perpos/core/channel.hpp"
+#include "perpos/core/components.hpp"
+#include "perpos/core/graph.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+using namespace perpos;
+
+namespace {
+
+struct Value {
+  int n = 0;
+};
+
+class PassthroughFeature final : public core::ComponentFeature {
+ public:
+  explicit PassthroughFeature(std::string name) : name_(std::move(name)) {}
+  std::string_view name() const override { return name_; }
+  bool consume(core::Sample&) override { return true; }
+  bool produce(core::Sample&) override { return true; }
+
+ private:
+  std::string name_;
+};
+
+class AdderFeature final : public core::ComponentFeature {
+ public:
+  std::string_view name() const override { return "Adder"; }
+  bool produce(core::Sample& s) override {
+    if (!s.feature_origin.empty()) return true;
+    context().emit(core::Payload::make(Value{s.payload.as<Value>().n + 1}));
+    return true;
+  }
+  std::vector<const core::TypeInfo*> added_types() const override {
+    return {core::type_of<Value>()};
+  }
+};
+
+class NullChannelFeature final : public core::ChannelFeature {
+ public:
+  std::string_view name() const override { return "Null"; }
+  void apply(const core::DataTree& tree) override {
+    total_nodes_ += tree.size();
+  }
+  std::size_t total_nodes_ = 0;
+};
+
+struct Rig {
+  explicit Rig(int passthrough_features = 0, int chain_length = 0) {
+    source = std::make_shared<core::SourceComponent>(
+        "Src", std::vector<core::DataSpec>{core::provide<Value>()});
+    sink = std::make_shared<core::ApplicationSink>();
+    const auto a = graph.add(source);
+    core::ComponentId prev = a;
+    for (int i = 0; i < chain_length; ++i) {
+      const auto mid = graph.add(std::make_shared<core::LambdaComponent>(
+          "Relay", std::vector<core::InputRequirement>{core::require<Value>()},
+          std::vector<core::DataSpec>{core::provide<Value>()},
+          [](const core::Sample& s, const core::ComponentContext& ctx) {
+            ctx.emit(s.payload);
+          }));
+      graph.connect(prev, mid);
+      prev = mid;
+    }
+    last = prev;
+    const auto z = graph.add(sink);
+    graph.connect(prev, z);
+    for (int i = 0; i < passthrough_features; ++i) {
+      graph.attach_feature(a, std::make_shared<PassthroughFeature>(
+                                  "pass" + std::to_string(i)));
+    }
+  }
+
+  core::ProcessingGraph graph;
+  std::shared_ptr<core::SourceComponent> source;
+  std::shared_ptr<core::ApplicationSink> sink;
+  core::ComponentId last{};
+};
+
+void print_report() {
+  std::printf("=== F3: Fig. 3 — feature mechanism overhead ===\n\n");
+  std::printf("%-32s %14s %10s\n", "configuration", "ns/delivery",
+              "overhead");
+  double baseline = 0.0;
+  for (int features : {0, 1, 4, 8}) {
+    Rig rig(features);
+    constexpr int kIters = 200000;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIters; ++i) rig.source->push(Value{i});
+    const auto stop = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(stop - start).count() /
+        kIters;
+    if (features == 0) baseline = ns;
+    char label[64];
+    std::snprintf(label, sizeof(label), "%d passthrough feature(s)",
+                  features);
+    std::printf("%-32s %14.1f %9.2fx\n", label, ns, ns / baseline);
+  }
+  std::printf("\n");
+}
+
+void BM_DeliveryWithFeatures(benchmark::State& state) {
+  Rig rig(static_cast<int>(state.range(0)));
+  int i = 0;
+  for (auto _ : state) {
+    rig.source->push(Value{i++});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DeliveryWithFeatures)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Adding data: one feature emitting one extra sample per delivery, with a
+/// consumer declaring it.
+void BM_AddedDataPropagation(benchmark::State& state) {
+  core::ProcessingGraph graph;
+  auto source = std::make_shared<core::SourceComponent>(
+      "Src", std::vector<core::DataSpec>{core::provide<Value>()});
+  const auto a = graph.add(source);
+  graph.attach_feature(a, std::make_shared<AdderFeature>());
+  const auto z = graph.add(std::make_shared<core::LambdaComponent>(
+      "App",
+      std::vector<core::InputRequirement>{core::require<Value>(),
+                                          core::require<Value>("Adder")},
+      std::vector<core::DataSpec>{}, nullptr));
+  graph.connect(a, z);
+  int i = 0;
+  for (auto _ : state) {
+    source->push(Value{i++});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AddedDataPropagation);
+
+/// State-feature dispatch: get_feature<F>() lookup cost with N features.
+void BM_StateFeatureLookup(benchmark::State& state) {
+  Rig rig(static_cast<int>(state.range(0)));
+  const auto src_id = rig.graph.components().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rig.graph.get_feature<PassthroughFeature>(src_id));
+  }
+}
+BENCHMARK(BM_StateFeatureLookup)->Arg(1)->Arg(8);
+
+/// Channel Feature apply() cost as the channel (and its data tree) grows.
+void BM_ChannelFeatureApply(benchmark::State& state) {
+  Rig rig(0, static_cast<int>(state.range(0)));
+  core::ChannelManager channels(rig.graph);
+  auto feature = std::make_shared<NullChannelFeature>();
+  channels.attach_feature(*channels.channels().front(), feature);
+  int i = 0;
+  for (auto _ : state) {
+    rig.source->push(Value{i++});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChannelFeatureApply)->Arg(0)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+/// The same pipeline without the channel feature, for comparison.
+void BM_PipelineNoChannelFeature(benchmark::State& state) {
+  Rig rig(0, static_cast<int>(state.range(0)));
+  int i = 0;
+  for (auto _ : state) {
+    rig.source->push(Value{i++});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PipelineNoChannelFeature)->Arg(0)->Arg(8)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Experiment F4 — paper Fig. 4: the logical-time data tree of the GPS
+// Channel.
+//
+// Report phase: drives the GPS channel with exactly the figure's scenario
+// — several raw strings per NMEA sentence, and a first sentence without a
+// valid position so two sentences back one WGS84 output — and prints the
+// resulting (data, logical time, time range) table.
+//
+// Benchmark phase: data-tree construction and query cost versus tree size.
+
+#include "perpos/core/channel.hpp"
+#include "perpos/core/components.hpp"
+#include "perpos/nmea/generate.hpp"
+#include "perpos/sensors/pipeline_components.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace perpos;
+
+namespace {
+
+std::string gga_string(bool fix, int sats, double hdop) {
+  nmea::GgaSentence gga;
+  gga.time = {10, 30, 0.0};
+  gga.quality = fix ? nmea::FixQuality::kGps : nmea::FixQuality::kInvalid;
+  gga.satellites_in_use = sats;
+  gga.hdop = hdop;
+  if (fix) {
+    gga.latitude_deg = 56.1697;
+    gga.longitude_deg = 10.1994;
+  }
+  return nmea::generate_gga(gga) + "\r\n";
+}
+
+void push_split(core::SourceComponent& source, const std::string& sentence,
+                int fragments) {
+  const std::size_t chunk =
+      (sentence.size() + fragments - 1) / static_cast<std::size_t>(fragments);
+  for (std::size_t off = 0; off < sentence.size(); off += chunk) {
+    source.push(core::RawFragment{sentence.substr(off, chunk)});
+  }
+}
+
+void print_report() {
+  std::printf("=== F4: Fig. 4 — data tree of the GPS channel ===\n\n");
+  core::ProcessingGraph graph;
+  core::ChannelManager channels(graph);
+  auto source = std::make_shared<core::SourceComponent>(
+      "GPS",
+      std::vector<core::DataSpec>{core::provide<core::RawFragment>()});
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = graph.add(source);
+  const auto p = graph.add(std::make_shared<sensors::NmeaParser>());
+  const auto i = graph.add(std::make_shared<sensors::NmeaInterpreter>());
+  const auto z = graph.add(sink);
+  graph.connect(a, p);
+  graph.connect(p, i);
+  graph.connect(i, z);
+
+  // The figure's scenario: sentence 1 (no fix) arrives as 2 strings,
+  // sentence 2 (valid fix) as 3 strings; the Interpreter only produces a
+  // WGS84 position for the second.
+  push_split(*source, gga_string(false, 2, 12.0), 2);
+  push_split(*source, gga_string(true, 8, 1.2), 3);
+
+  core::Channel* channel = channels.channel_from_source(a);
+  const core::DataTree tree = channel->data_tree(*sink->last());
+  std::printf("%s\n", tree.to_string(&graph).c_str());
+  std::printf("tree: %zu nodes over %zu layers\n\n", tree.size(),
+              tree.depth());
+}
+
+struct TreeRig {
+  explicit TreeRig(int strings_per_sentence)
+      : strings_per_sentence_(strings_per_sentence) {
+    source = std::make_shared<core::SourceComponent>(
+        "GPS",
+        std::vector<core::DataSpec>{core::provide<core::RawFragment>()});
+    sink = std::make_shared<core::ApplicationSink>();
+    a = graph.add(source);
+    const auto p = graph.add(std::make_shared<sensors::NmeaParser>());
+    const auto i = graph.add(std::make_shared<sensors::NmeaInterpreter>());
+    const auto z = graph.add(sink);
+    graph.connect(a, p);
+    graph.connect(p, i);
+    graph.connect(i, z);
+    channels = std::make_unique<core::ChannelManager>(graph);
+  }
+
+  void push_epoch() {
+    push_split(*source, gga_string(true, 8, 1.0), strings_per_sentence_);
+  }
+
+  int strings_per_sentence_;
+  core::ProcessingGraph graph;
+  std::unique_ptr<core::ChannelManager> channels;
+  std::shared_ptr<core::SourceComponent> source;
+  std::shared_ptr<core::ApplicationSink> sink;
+  core::ComponentId a{};
+};
+
+/// Constructing the data tree for the latest channel output.
+void BM_DataTreeBuild(benchmark::State& state) {
+  TreeRig rig(static_cast<int>(state.range(0)));
+  rig.push_epoch();
+  core::Channel* channel = rig.channels->channel_from_source(rig.a);
+  const core::Sample output = *rig.sink->last();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(channel->data_tree(output).size());
+  }
+}
+BENCHMARK(BM_DataTreeBuild)->Arg(1)->Arg(4)->Arg(16);
+
+/// Typed query over the tree (the Fig. 5 getData call).
+void BM_DataTreeCollect(benchmark::State& state) {
+  TreeRig rig(static_cast<int>(state.range(0)));
+  rig.push_epoch();
+  core::Channel* channel = rig.channels->channel_from_source(rig.a);
+  const core::DataTree tree = channel->data_tree(*rig.sink->last());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.collect<nmea::Sentence>().size());
+  }
+}
+BENCHMARK(BM_DataTreeCollect)->Arg(1)->Arg(16);
+
+/// End-to-end epoch cost including provenance bookkeeping, vs fragment
+/// count (the price of the logical-time machinery under load).
+void BM_EpochWithProvenance(benchmark::State& state) {
+  TreeRig rig(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    rig.push_epoch();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EpochWithProvenance)->Arg(1)->Arg(4)->Arg(16);
+
+/// Rendering the Fig. 4 table.
+void BM_DataTreeToString(benchmark::State& state) {
+  TreeRig rig(4);
+  rig.push_epoch();
+  core::Channel* channel = rig.channels->channel_from_source(rig.a);
+  const core::DataTree tree = channel->data_tree(*rig.sink->last());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.to_string(&rig.graph).size());
+  }
+}
+BENCHMARK(BM_DataTreeToString);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

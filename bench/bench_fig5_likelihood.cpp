@@ -1,0 +1,155 @@
+// Experiment F5 — paper Fig. 5: the three code artifacts providing the
+// particle filter with an HDOP-based likelihood estimate.
+//
+// Report phase: runs the artifacts end to end —
+//   (3) the HDOP Component Feature adds parser data,
+//   (2) the Likelihood Channel Feature collects HDOP values from the data
+//       tree in apply(),
+//   (1) the Particle Filter retrieves the feature scoped to the received
+//       position and queries getLikelihood per particle —
+// and cross-checks the feature's likelihood against a direct computation
+// from the same HDOP values (they must agree exactly).
+//
+// Benchmark phase: per-position apply() cost and per-particle query cost.
+
+#include "perpos/core/channel.hpp"
+#include "perpos/core/components.hpp"
+#include "perpos/fusion/features.hpp"
+#include "perpos/fusion/particle_filter.hpp"
+#include "perpos/nmea/generate.hpp"
+#include "perpos/sensors/pipeline_components.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+using namespace perpos;
+
+namespace {
+
+struct Rig {
+  Rig() : frame(geo::GeoPoint{56.1697, 10.1994, 50.0}) {
+    source = std::make_shared<core::SourceComponent>(
+        "GPS",
+        std::vector<core::DataSpec>{core::provide<core::RawFragment>()});
+    sink = std::make_shared<core::ApplicationSink>();
+    a = graph.add(source);
+    p = graph.add(std::make_shared<sensors::NmeaParser>());
+    i = graph.add(std::make_shared<sensors::NmeaInterpreter>());
+    z = graph.add(sink);
+    graph.connect(a, p);
+    graph.connect(p, i);
+    graph.connect(i, z);
+    graph.attach_feature(p, std::make_shared<fusion::HdopFeature>());
+    channels = std::make_unique<core::ChannelManager>(graph);
+    feature = std::make_shared<fusion::HdopLikelihoodFeature>(frame);
+    channels->attach_feature(*channels->channel_from_source(a), feature);
+  }
+
+  void push_epoch(double hdop) {
+    nmea::GgaSentence gga;
+    gga.quality = nmea::FixQuality::kGps;
+    gga.satellites_in_use = 8;
+    gga.hdop = hdop;
+    gga.latitude_deg = 56.1697;
+    gga.longitude_deg = 10.1994;
+    source->push(core::RawFragment{nmea::generate_gga(gga) + "\r\n"});
+  }
+
+  geo::LocalFrame frame;
+  core::ProcessingGraph graph;
+  std::unique_ptr<core::ChannelManager> channels;
+  std::shared_ptr<core::SourceComponent> source;
+  std::shared_ptr<core::ApplicationSink> sink;
+  std::shared_ptr<fusion::HdopLikelihoodFeature> feature;
+  core::ComponentId a{}, p{}, i{}, z{};
+};
+
+void print_report() {
+  std::printf("=== F5: Fig. 5 — HDOP likelihood through the feature stack "
+              "===\n\n");
+  Rig rig;
+  rig.push_epoch(2.5);
+
+  // Artifact 1: time-scoped retrieval from the delivering channel.
+  core::Channel* channel = rig.channels->channel_from_source(rig.a);
+  auto* likelihood =
+      channel->get_feature<fusion::HdopLikelihoodFeature>(*rig.sink->last());
+  std::printf("feature retrieval for current position: %s\n",
+              likelihood != nullptr ? "ok" : "FAILED");
+
+  // Cross-check against a direct computation.
+  fusion::Particle particle;
+  particle.position = {rig.feature->last_measured()->x + 10.0,
+                       rig.feature->last_measured()->y};
+  const double via_feature = rig.feature->get_likelihood(particle);
+  const double sigma = rig.feature->current_sigma_m();
+  const double direct = std::exp(-100.0 / (2.0 * sigma * sigma));
+  std::printf("likelihood at 10 m offset: feature=%.6f direct=%.6f "
+              "(|diff|=%.2e)\n",
+              via_feature, direct, std::fabs(via_feature - direct));
+  std::printf("collected HDOP values: %zu (sigma=%.2f m)\n\n",
+              rig.feature->hdop_list().size(), sigma);
+
+  // Staleness: a second epoch invalidates the first position's scope.
+  const core::Sample first = *rig.sink->last();
+  rig.push_epoch(1.0);
+  std::printf("stale-position retrieval returns null: %s\n\n",
+              channel->get_feature<fusion::HdopLikelihoodFeature>(first) ==
+                      nullptr
+                  ? "ok"
+                  : "FAILED");
+}
+
+/// Full epoch cost including the Likelihood feature's apply().
+void BM_EpochWithLikelihoodFeature(benchmark::State& state) {
+  Rig rig;
+  for (auto _ : state) {
+    rig.push_epoch(1.5);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EpochWithLikelihoodFeature);
+
+/// Per-particle likelihood query (the inner loop of Fig. 5 artifact 1).
+void BM_GetLikelihoodPerParticle(benchmark::State& state) {
+  Rig rig;
+  rig.push_epoch(1.5);
+  fusion::Particle particle;
+  particle.position = {5.0, 5.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.feature->get_likelihood(particle));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GetLikelihoodPerParticle);
+
+/// A complete measurement update over N particles through the feature.
+void BM_WeightAllParticles(benchmark::State& state) {
+  Rig rig;
+  rig.push_epoch(1.5);
+  sim::Random random(42);
+  fusion::ParticleFilterConfig config;
+  config.particle_count = static_cast<std::size_t>(state.range(0));
+  fusion::ParticleFilter pf(config, random);
+  pf.init_gaussian({0.0, 0.0}, 5.0);
+  const auto* feature = rig.feature.get();
+  for (auto _ : state) {
+    pf.weight_with([feature](const fusion::Particle& p) {
+      return feature->get_likelihood(p);
+    });
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * state.range(0)));
+}
+BENCHMARK(BM_WeightAllParticles)->Arg(100)->Arg(500)->Arg(2000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,250 @@
+// Experiment F7 — paper Fig. 7 / Sec. 3.3: EnTracked on the distributed
+// processing graph.
+//
+// The graph spans two simulated hosts exactly as in the figure —
+//   mobile: GPS -> SensorWrapper(+PowerStrategy)
+//   server: Parser -> Interpreter -> application
+// with the wrapper->parser edge remoted over a cost-accounted radio link
+// and the server-side EnTracked Channel Feature commanding device sleeps
+// through remote calls.
+//
+// The report sweeps strategies (always-on, periodic duty cycle, EnTracked
+// at several thresholds) over three movement patterns (stationary, walk,
+// bicycle) and prints energy, duty cycle, radio messages and tracking
+// error — EnTracked's shape: large energy savings, error bounded by the
+// threshold, and adaptivity that periodic duty cycling lacks.
+
+#include "perpos/core/channel.hpp"
+#include "perpos/core/components.hpp"
+#include "perpos/energy/entracked.hpp"
+#include "perpos/energy/motion_gate.hpp"
+#include "perpos/energy/power_model.hpp"
+#include "perpos/fusion/metrics.hpp"
+#include "perpos/geo/distance.hpp"
+#include "perpos/runtime/distribution.hpp"
+#include "perpos/sensors/gps_sensor.hpp"
+#include "perpos/sensors/motion_sensor.hpp"
+#include "perpos/sensors/pipeline_components.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace perpos;
+
+namespace {
+
+enum class Strategy { kAlwaysOn, kPeriodic, kEnTracked, kEnTrackedMotion };
+
+struct RunResult {
+  energy::EnergyReport report;
+  fusion::ErrorStats error;
+  /// Worst gap between consecutive reported positions (the quantity the
+  /// threshold bounds).
+  double max_report_gap_m = 0.0;
+};
+
+RunResult run(Strategy strategy, double threshold_m,
+              const sensors::Trajectory& walk, double duration_s,
+              std::uint64_t seed) {
+  sim::Scheduler scheduler;
+  sim::Random random(seed);
+  sim::Network network(scheduler, random);
+  const geo::LocalFrame frame(geo::GeoPoint{56.1697, 10.1994, 50.0});
+  core::ProcessingGraph graph(&scheduler.clock());
+  core::ChannelManager channels(graph);
+  runtime::DistributedDeployment deployment(graph, network);
+  const sim::HostId mobile = deployment.add_host("mobile");
+  const sim::HostId server = deployment.add_host("server");
+  network.set_link(mobile, server, {sim::SimTime::from_millis(40), 0.0, {}});
+  network.set_link(server, mobile, {sim::SimTime::from_millis(40), 0.0, {}});
+
+  sensors::GpsSensorConfig config;
+  config.emit_gsa = false;
+  config.fragments_per_sentence = 1;  // One radio message per report.
+  auto gps = std::make_shared<sensors::GpsSensor>(scheduler, random, walk,
+                                                  frame, config);
+  auto wrapper = std::make_shared<energy::SensorWrapper>();
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto gid = graph.add(gps);
+  const auto wid = graph.add(wrapper);
+  const auto pid = graph.add(std::make_shared<sensors::NmeaParser>());
+  const auto iid = graph.add(std::make_shared<sensors::NmeaInterpreter>());
+  const auto zid = graph.add(sink);
+  graph.connect(gid, wid);
+  graph.connect(wid, pid);
+  graph.connect(pid, iid);
+  graph.connect(iid, zid);
+  deployment.assign(gid, mobile);
+  deployment.assign(wid, mobile);
+  deployment.assign(pid, server);
+  deployment.assign(iid, server);
+  deployment.assign(zid, server);
+  deployment.deploy();
+
+  auto power_strategy =
+      std::make_shared<energy::PowerStrategyFeature>(*gps, scheduler);
+  graph.attach_feature(wid, power_strategy);
+
+  std::shared_ptr<sensors::MotionSensor> motion;
+  if (strategy == Strategy::kEnTrackedMotion) {
+    // The accelerometer-assisted variant: a cheap motion detector parks
+    // the receiver during stillness; EnTracked duty-cycles while moving.
+    motion = std::make_shared<sensors::MotionSensor>(scheduler, random, walk);
+    auto gate = std::make_shared<energy::MotionGateComponent>(*power_strategy);
+    const auto mid = graph.add(motion);
+    const auto gate_id = graph.add(gate);
+    graph.connect(mid, gate_id);
+    deployment.assign(mid, mobile);
+    deployment.assign(gate_id, mobile);
+    motion->start();
+  }
+  if (strategy == Strategy::kEnTracked ||
+      strategy == Strategy::kEnTrackedMotion) {
+    energy::EnTrackedConfig cfg;
+    cfg.threshold_m = threshold_m;
+    auto controller = std::make_shared<energy::EnTrackedFeature>(
+        cfg, frame, [&deployment, server, mobile, power_strategy](double s) {
+          deployment.remote_call(server, mobile, [power_strategy, s] {
+            power_strategy->request_sleep(s);
+          });
+        });
+    channels.attach_feature(*channels.channel_containing(iid), controller);
+  } else if (strategy == Strategy::kPeriodic) {
+    // Fixed duty cycle: sleep threshold_m seconds out of every
+    // threshold_m+5 (a non-adaptive comparator). The self-rescheduling
+    // closure owns itself through a shared_ptr so it outlives this scope.
+    auto cycle = std::make_shared<std::function<void()>>();
+    *cycle = [&scheduler, power_strategy, threshold_m, cycle] {
+      power_strategy->request_sleep(threshold_m);
+      scheduler.schedule_after(sim::SimTime::from_seconds(threshold_m + 5.0),
+                               *cycle);
+    };
+    scheduler.schedule_after(sim::SimTime::from_seconds(5.0), *cycle);
+  }
+
+  std::vector<double> errors;
+  std::optional<geo::GeoPoint> last_reported;
+  double max_gap = 0.0;
+  sink->set_callback([&](const core::Sample& s) {
+    const auto& fix = s.payload.as<core::PositionFix>();
+    errors.push_back(geo::haversine_m(
+        fix.position, frame.to_geodetic(walk.position_at(fix.timestamp))));
+    if (last_reported) {
+      max_gap =
+          std::max(max_gap, geo::haversine_m(fix.position, *last_reported));
+    }
+    last_reported = fix.position;
+  });
+
+  gps->start();
+  scheduler.run_until(sim::SimTime::from_seconds(duration_s));
+
+  RunResult result;
+  const sim::SimTime accel_time =
+      strategy == Strategy::kEnTrackedMotion
+          ? sim::SimTime::from_seconds(duration_s)  // Always-on, cheap.
+          : sim::SimTime::zero();
+  result.report = energy::account(
+      energy::DevicePowerModel{}, sim::SimTime::from_seconds(duration_s),
+      gps->active_time(), deployment.data_messages(mobile, server),
+      deployment.control_messages(server, mobile), accel_time);
+  result.error = fusion::compute_stats(errors);
+  result.max_report_gap_m = max_gap;
+  return result;
+}
+
+void sweep(const char* pattern_name, const sensors::Trajectory& walk,
+           double duration_s) {
+  std::printf("--- movement pattern: %s ---\n", pattern_name);
+  std::printf("%s %9s\n", energy::energy_header().c_str(), "max_gap");
+  const auto row = [&](const char* label, const RunResult& r) {
+    std::printf("%s %8.1fm\n",
+                energy::format_energy_row(label, r.report, r.error.mean,
+                                          r.error.p95)
+                    .c_str(),
+                r.max_report_gap_m);
+  };
+  row("always-on", run(Strategy::kAlwaysOn, 0.0, walk, duration_s, 42));
+  row("periodic (20s)", run(Strategy::kPeriodic, 20.0, walk, duration_s, 42));
+  row("EnTracked T=10m",
+      run(Strategy::kEnTracked, 10.0, walk, duration_s, 42));
+  row("EnTracked T=25m",
+      run(Strategy::kEnTracked, 25.0, walk, duration_s, 42));
+  row("EnTracked T=50m",
+      run(Strategy::kEnTracked, 50.0, walk, duration_s, 42));
+  row("EnTracked T=100m",
+      run(Strategy::kEnTracked, 100.0, walk, duration_s, 42));
+  row("EnTracked+motion T=25m",
+      run(Strategy::kEnTrackedMotion, 25.0, walk, duration_s, 42));
+  std::printf("\n");
+}
+
+void print_report() {
+  std::printf("=== F7: Fig. 7 — EnTracked on the distributed graph ===\n\n");
+  const double kDuration = 600.0;
+  sweep("stationary", sensors::stationary({0, 0}, kDuration), kDuration);
+  sweep("pedestrian (1.4 m/s)",
+        sensors::TrajectoryBuilder({0, 0})
+            .walk_to({840, 0}, 1.4)
+            .build(),
+        kDuration);
+  sweep("bicycle (5 m/s)",
+        sensors::TrajectoryBuilder({0, 0})
+            .walk_to({3000, 0}, 5.0)
+            .build(),
+        kDuration);
+}
+
+/// Marginal middleware cost of the distributed deployment machinery.
+void BM_RemotedEdgeDelivery(benchmark::State& state) {
+  sim::Scheduler scheduler;
+  sim::Random random(42);
+  sim::Network network(scheduler, random);
+  core::ProcessingGraph graph(&scheduler.clock());
+  runtime::DistributedDeployment deployment(graph, network);
+  const auto mobile = deployment.add_host("mobile");
+  const auto server = deployment.add_host("server");
+  network.set_link(mobile, server, {sim::SimTime::zero(), 0.0, {}});
+  auto source = std::make_shared<core::SourceComponent>(
+      "GPS",
+      std::vector<core::DataSpec>{core::provide<core::RawFragment>()});
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = graph.add(source);
+  const auto z = graph.add(sink);
+  graph.connect(a, z);
+  deployment.assign(a, mobile);
+  deployment.assign(z, server);
+  deployment.deploy();
+  for (auto _ : state) {
+    source->push(core::RawFragment{"$GPGGA,103000.00,5610.18,N,01011.96,E,"
+                                   "1,08,1.1,47.3,M,,M,,*00\r\n"});
+    scheduler.run_all();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RemotedEdgeDelivery);
+
+void BM_LocalEdgeDelivery(benchmark::State& state) {
+  core::ProcessingGraph graph;
+  auto source = std::make_shared<core::SourceComponent>(
+      "GPS",
+      std::vector<core::DataSpec>{core::provide<core::RawFragment>()});
+  auto sink = std::make_shared<core::ApplicationSink>();
+  graph.connect(graph.add(source), graph.add(sink));
+  for (auto _ : state) {
+    source->push(core::RawFragment{"$GPGGA,103000.00,5610.18,N,01011.96,E,"
+                                   "1,08,1.1,47.3,M,,M,,*00\r\n"});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LocalEdgeDelivery);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

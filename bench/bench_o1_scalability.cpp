@@ -1,0 +1,184 @@
+// Experiment O1 — the paper's future-work question (Sec. 6): how do
+// "traditional software qualities ... reliability, scalability and
+// performance" fare under the model-based approach to translucency?
+//
+// Scalability of the reified graph:
+//  * delivery throughput vs pipeline depth,
+//  * delivery throughput vs fan-out width,
+//  * channel-view derivation vs graph size,
+//  * graph assembly (add+connect) cost vs component count,
+//  * provenance bookkeeping cost vs inputs-per-output.
+
+#include "perpos/core/channel.hpp"
+#include "perpos/core/components.hpp"
+#include "perpos/core/graph.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+using namespace perpos;
+
+namespace {
+
+struct Value {
+  int n = 0;
+};
+
+std::shared_ptr<core::LambdaComponent> make_relay() {
+  return std::make_shared<core::LambdaComponent>(
+      "Relay", std::vector<core::InputRequirement>{core::require<Value>()},
+      std::vector<core::DataSpec>{core::provide<Value>()},
+      [](const core::Sample& s, const core::ComponentContext& ctx) {
+        ctx.emit(s.payload);
+      });
+}
+
+/// A pipeline of `depth` relays.
+struct ChainRig {
+  explicit ChainRig(int depth) {
+    source = std::make_shared<core::SourceComponent>(
+        "Src", std::vector<core::DataSpec>{core::provide<Value>()});
+    core::ComponentId prev = graph.add(source);
+    for (int i = 0; i < depth; ++i) {
+      const auto mid = graph.add(make_relay());
+      graph.connect(prev, mid);
+      prev = mid;
+    }
+    sink = std::make_shared<core::ApplicationSink>();
+    graph.connect(prev, graph.add(sink));
+  }
+  core::ProcessingGraph graph;
+  std::shared_ptr<core::SourceComponent> source;
+  std::shared_ptr<core::ApplicationSink> sink;
+};
+
+/// One source fanning out to `width` sinks.
+struct FanRig {
+  explicit FanRig(int width) {
+    source = std::make_shared<core::SourceComponent>(
+        "Src", std::vector<core::DataSpec>{core::provide<Value>()});
+    const auto a = graph.add(source);
+    for (int i = 0; i < width; ++i) {
+      graph.connect(a, graph.add(std::make_shared<core::ApplicationSink>()));
+    }
+  }
+  core::ProcessingGraph graph;
+  std::shared_ptr<core::SourceComponent> source;
+};
+
+void print_report() {
+  std::printf("=== O1: scalability of the reified processing graph ===\n\n");
+  std::printf("%-22s %16s\n", "pipeline depth", "deliveries/sec");
+  for (int depth : {1, 8, 32, 128}) {
+    ChainRig rig(depth);
+    constexpr int kIters = 20000;
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIters; ++i) rig.source->push(Value{i});
+    const auto stop = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(stop - start).count();
+    std::printf("%-22d %16.0f\n", depth,
+                static_cast<double>(kIters) * (depth + 1) / secs);
+  }
+  std::printf("\n(each hop stamps logical time and provenance — the price "
+              "of translucency)\n\n");
+}
+
+void BM_PipelineDepth(benchmark::State& state) {
+  ChainRig rig(static_cast<int>(state.range(0)));
+  int i = 0;
+  for (auto _ : state) {
+    rig.source->push(Value{i++});
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * (state.range(0) + 1)));
+}
+BENCHMARK(BM_PipelineDepth)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FanOutWidth(benchmark::State& state) {
+  FanRig rig(static_cast<int>(state.range(0)));
+  int i = 0;
+  for (auto _ : state) {
+    rig.source->push(Value{i++});
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * state.range(0)));
+}
+BENCHMARK(BM_FanOutWidth)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ChannelDerivationVsGraphSize(benchmark::State& state) {
+  // `n` parallel 3-stage pipelines into one app: 4n+1 components, n chans.
+  const int n = static_cast<int>(state.range(0));
+  core::ProcessingGraph graph;
+  auto app = std::make_shared<core::ApplicationSink>();
+  const auto z = graph.add(app);
+  for (int k = 0; k < n; ++k) {
+    auto src = std::make_shared<core::SourceComponent>(
+        "Src", std::vector<core::DataSpec>{core::provide<Value>()});
+    core::ComponentId prev = graph.add(src);
+    for (int d = 0; d < 3; ++d) {
+      const auto mid = graph.add(make_relay());
+      graph.connect(prev, mid);
+      prev = mid;
+    }
+    graph.connect(prev, z);
+  }
+  for (auto _ : state) {
+    core::ChannelManager channels(graph);
+    benchmark::DoNotOptimize(channels.channels().size());
+  }
+}
+BENCHMARK(BM_ChannelDerivationVsGraphSize)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_GraphAssembly(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::ProcessingGraph graph;
+    auto src = std::make_shared<core::SourceComponent>(
+        "Src", std::vector<core::DataSpec>{core::provide<Value>()});
+    core::ComponentId prev = graph.add(src);
+    for (int i = 0; i < n; ++i) {
+      const auto mid = graph.add(make_relay());
+      graph.connect(prev, mid);
+      prev = mid;
+    }
+    benchmark::DoNotOptimize(graph.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * state.range(0)));
+}
+BENCHMARK(BM_GraphAssembly)->Arg(8)->Arg(64)->Arg(256);
+
+/// Provenance bookkeeping under aggregation: one output per `k` inputs.
+void BM_ProvenanceAggregation(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  core::ProcessingGraph graph;
+  auto source = std::make_shared<core::SourceComponent>(
+      "Src", std::vector<core::DataSpec>{core::provide<Value>()});
+  const auto a = graph.add(source);
+  int count = 0;
+  const auto agg = graph.add(std::make_shared<core::LambdaComponent>(
+      "Agg", std::vector<core::InputRequirement>{core::require<Value>()},
+      std::vector<core::DataSpec>{core::provide<Value>()},
+      [&count, k](const core::Sample& s, const core::ComponentContext& ctx) {
+        if (++count % k == 0) ctx.emit(s.payload);
+      }));
+  graph.connect(a, agg);
+  graph.connect(agg, graph.add(std::make_shared<core::ApplicationSink>()));
+  int i = 0;
+  for (auto _ : state) {
+    source->push(Value{i++});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProvenanceAggregation)->Arg(1)->Arg(10)->Arg(100);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

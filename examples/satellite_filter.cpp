@@ -1,0 +1,92 @@
+// Example E1 (paper Sec. 3.1): detecting unreliable readings by adding a
+// Component Feature and inserting a filter Processing Component — all at
+// runtime, against a live pipeline, with no middleware changes.
+//
+// Phase 1 runs the raw pipeline through an outage (the receiver keeps
+// reporting positions with too few satellites); phase 2 attaches the
+// NumberOfSatellites feature to the Parser, splices the SatelliteFilter
+// after it, and repeats the outage.
+//
+// Run: ./satellite_filter
+
+#include "perpos/core/components.hpp"
+#include "perpos/core/graph.hpp"
+#include "perpos/fusion/features.hpp"
+#include "perpos/fusion/metrics.hpp"
+#include "perpos/fusion/satellite_filter.hpp"
+#include "perpos/geo/distance.hpp"
+#include "perpos/sensors/gps_sensor.hpp"
+#include "perpos/sensors/pipeline_components.hpp"
+
+#include <cstdio>
+
+using namespace perpos;
+
+int main() {
+  sim::Scheduler scheduler;
+  sim::Random random(42);
+  const geo::LocalFrame frame(geo::GeoPoint{56.1697, 10.1994, 50.0});
+  const sensors::Trajectory walk = sensors::TrajectoryBuilder({0, 0})
+                                       .walk_to({400, 0}, 1.4)
+                                       .build();
+
+  core::ProcessingGraph graph(&scheduler.clock());
+  sensors::GpsSensorConfig config;
+  config.emit_gsa = false;
+  config.model.degraded_fix_loss_prob = 0.0;  // Keep reporting in outages!
+  auto gps = std::make_shared<sensors::GpsSensor>(scheduler, random, walk,
+                                                  frame, config);
+  auto parser = std::make_shared<sensors::NmeaParser>();
+  auto interpreter = std::make_shared<sensors::NmeaInterpreter>();
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto gid = graph.add(gps);
+  const auto pid = graph.add(parser);
+  const auto iid = graph.add(interpreter);
+  const auto zid = graph.add(sink);
+  graph.connect(gid, pid);
+  graph.connect(pid, iid);
+  graph.connect(iid, zid);
+
+  std::vector<double> errors;
+  sink->set_callback([&](const core::Sample& s) {
+    const auto& fix = s.payload.as<core::PositionFix>();
+    errors.push_back(geo::haversine_m(
+        fix.position, frame.to_geodetic(walk.position_at(fix.timestamp))));
+  });
+
+  // Phase 1: 60 s good sky, then a 60 s outage — no filtering.
+  gps->add_outage(sim::SimTime::from_seconds(60.0),
+                  sim::SimTime::from_seconds(120.0));
+  gps->start();
+  scheduler.run_until(sim::SimTime::from_seconds(120.0));
+  const fusion::ErrorStats unfiltered = fusion::compute_stats(errors);
+  errors.clear();
+
+  // Phase 2: the application hardens the pipeline AT RUNTIME.
+  graph.attach_feature(pid,
+                       std::make_shared<fusion::NumberOfSatellitesFeature>());
+  auto filter = std::make_shared<fusion::SatelliteFilter>(5);
+  const auto fid = graph.add(filter);
+  graph.insert_between(fid, pid, iid);
+  std::printf("inserted SatelliteFilter(min=5) after the Parser at t=%.0fs\n",
+              scheduler.now().seconds());
+
+  gps->add_outage(sim::SimTime::from_seconds(180.0),
+                  sim::SimTime::from_seconds(240.0));
+  scheduler.run_until(sim::SimTime::from_seconds(240.0));
+  const fusion::ErrorStats filtered = fusion::compute_stats(errors);
+
+  std::printf("\n%s\n", fusion::stats_header().c_str());
+  std::printf("%s\n",
+              fusion::format_stats_row("unfiltered (with outage)",
+                                       unfiltered)
+                  .c_str());
+  std::printf("%s\n",
+              fusion::format_stats_row("satellite-filtered", filtered)
+                  .c_str());
+  std::printf("\nfilter forwarded %llu sentences, dropped %llu unreliable "
+              "ones\n",
+              static_cast<unsigned long long>(filter->forwarded()),
+              static_cast<unsigned long long>(filter->dropped()));
+  return 0;
+}

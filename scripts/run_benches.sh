@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Runs every benchmark binary (report phase + micro-benchmarks) and tees
+# the combined output — the harness behind bench_output.txt.
+set -u
+out="${1:-bench_output.txt}"
+: > "$out"
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "##### $(basename "$b")" | tee -a "$out"
+  "$b" 2>&1 | tee -a "$out"
+  echo | tee -a "$out"
+done

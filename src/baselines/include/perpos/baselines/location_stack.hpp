@@ -1,0 +1,126 @@
+#pragma once
+
+#include "perpos/geo/coordinates.hpp"
+#include "perpos/sim/clock.hpp"
+
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file location_stack.hpp
+/// A miniature Location Stack (Hightower et al. 2002) — the layered
+/// comparator middleware of the paper's Sec. 3 discussion. Three fixed
+/// layers: Sensors produce measurements in a *common representation*,
+/// the Measurements layer normalizes them, and a fixed Fusion layer merges
+/// them. There is no access to the process between the layers and all
+/// cross-layer information must be part of the common measurement format.
+///
+/// Two formats are provided to make the paper's point measurable:
+///  * StackMeasurement — the original format. Satellite counts and HDOP do
+///    not fit; example E1/E2 cannot be built on top of it at all.
+///  * ExtendedStackMeasurement — the format after the source-level change
+///    the paper describes ("adding the satellite information to the
+///    position format used by the middleware"): every measurement of every
+///    technology now carries GPS-specific fields, whether meaningful or
+///    not. The C1 benchmark measures the carry-everywhere overhead.
+
+namespace perpos::baselines {
+
+/// The fixed common measurement format (version 1).
+struct StackMeasurement {
+  geo::GeoPoint position;
+  double accuracy_m = 0.0;
+  sim::SimTime timestamp;
+  std::string technology;
+};
+
+/// The format after the middleware-source modification (version 2): GPS
+/// details ride along on every measurement, for every technology.
+struct ExtendedStackMeasurement {
+  geo::GeoPoint position;
+  double accuracy_m = 0.0;
+  sim::SimTime timestamp;
+  std::string technology;
+  // --- fields added for one application's needs ---
+  int satellites = -1;   ///< -1 for technologies without satellites.
+  double hdop = -1.0;    ///< -1 for technologies without HDOP.
+};
+
+/// The fixed fusion policy: inverse-variance weighted average of the
+/// freshest measurement per technology within a time window.
+struct StackFusionConfig {
+  sim::SimTime window = sim::SimTime::from_seconds(5.0);
+};
+
+/// The layered middleware over format V. V must provide position,
+/// accuracy_m, timestamp, technology.
+template <typename V>
+class LocationStackT {
+ public:
+  using Listener = std::function<void(const V&)>;
+
+  explicit LocationStackT(StackFusionConfig config = {}) : config_(config) {}
+
+  /// Sensor layer entry point: a sensor pushes a measurement.
+  void push_measurement(V measurement) {
+    // Measurements layer: normalize (here: drop absurd accuracies).
+    if (measurement.accuracy_m < 0.0) return;
+    recent_.push_back(measurement);
+    prune(measurement.timestamp);
+    fused_ = fuse();
+    for (const Listener& l : listeners_) l(*fused_);
+  }
+
+  /// Application API: the fused position. Nothing else is visible.
+  std::optional<V> get_position() const { return fused_; }
+
+  void subscribe(Listener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  std::size_t window_size() const noexcept { return recent_.size(); }
+
+ private:
+  void prune(sim::SimTime now) {
+    while (!recent_.empty() &&
+           (now - recent_.front().timestamp) > config_.window) {
+      recent_.pop_front();
+    }
+  }
+
+  std::optional<V> fuse() const {
+    if (recent_.empty()) return std::nullopt;
+    double wsum = 0.0, lat = 0.0, lon = 0.0, alt = 0.0;
+    for (const V& m : recent_) {
+      const double sigma = m.accuracy_m > 0.1 ? m.accuracy_m : 0.1;
+      const double w = 1.0 / (sigma * sigma);
+      wsum += w;
+      lat += w * m.position.latitude_deg;
+      lon += w * m.position.longitude_deg;
+      alt += w * m.position.altitude_m;
+    }
+    V out = recent_.back();
+    out.position = geo::GeoPoint{lat / wsum, lon / wsum, alt / wsum};
+    out.accuracy_m = 1.0 / std::sqrt(wsum);
+    return out;
+  }
+
+  StackFusionConfig config_;
+  std::deque<V> recent_;
+  std::optional<V> fused_;
+  std::vector<Listener> listeners_;
+};
+
+using LocationStack = LocationStackT<StackMeasurement>;
+using ExtendedLocationStack = LocationStackT<ExtendedStackMeasurement>;
+
+/// Approximate wire/in-memory size of one measurement — used by the C1
+/// benchmark to quantify the carry-everywhere overhead of the extended
+/// format.
+std::size_t measurement_bytes(const StackMeasurement& m);
+std::size_t measurement_bytes(const ExtendedStackMeasurement& m);
+
+}  // namespace perpos::baselines

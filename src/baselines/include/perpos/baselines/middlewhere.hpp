@@ -1,0 +1,107 @@
+#pragma once
+
+#include "perpos/geo/coordinates.hpp"
+#include "perpos/geo/distance.hpp"
+#include "perpos/sim/clock.hpp"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file middlewhere.hpp
+/// A miniature MiddleWhere (Ranganathan et al. 2004) — the third comparator
+/// of the paper's Sec. 3/5 discussion. MiddleWhere keeps a *world model*:
+/// a spatial database holding the current position of every located object
+/// plus a hierarchy of regions; applications query the model through
+/// location operators (containment, colocation, nearest) or subscribe to
+/// location events. Position info carries confidence and freshness — but,
+/// as the paper points out, the world model is the only interface: there
+/// is no access to the process that produced a position, technology
+/// details (satellites, HDOP) are not representable without changing the
+/// middleware's position schema, and "this scenario [sensor control] does
+/// not apply to their domain".
+
+namespace perpos::baselines {
+
+/// A region of the world model's spatial hierarchy (2D polygon-free model:
+/// circles keep the comparator minimal while supporting the operators).
+struct MwRegion {
+  std::string name;
+  std::string parent;  ///< Empty for roots.
+  geo::GeoPoint center;
+  double radius_m = 0.0;
+
+  bool contains(const geo::GeoPoint& p) const {
+    return geo::haversine_m(center, p) <= radius_m;
+  }
+};
+
+/// The position record the world model stores per object — the fixed
+/// schema every technology must map into.
+struct MwPositionInfo {
+  geo::GeoPoint position;
+  double confidence = 1.0;       ///< 0..1 from the adapter.
+  double resolution_m = 10.0;    ///< Technology granularity.
+  sim::SimTime timestamp;
+};
+
+/// Location events delivered to subscribers.
+struct MwEvent {
+  std::string object_id;
+  std::string region;  ///< Region entered/left.
+  bool entered = true;
+  sim::SimTime timestamp;
+};
+
+class MiddleWhere {
+ public:
+  using EventListener = std::function<void(const MwEvent&)>;
+
+  /// Define a region; parent must exist or be empty.
+  void add_region(MwRegion region);
+  const MwRegion* region(const std::string& name) const;
+  std::vector<std::string> region_names() const;
+
+  /// Adapter entry point: a positioning technology reports an object's
+  /// position into the world model (overwriting the previous record).
+  /// Containment events fire for every region whose membership changed.
+  void update(const std::string& object_id, MwPositionInfo info);
+
+  /// The stored record, or nullopt for unknown objects. Note: the caller
+  /// learns confidence and resolution, but nothing about *how* the
+  /// position was produced.
+  std::optional<MwPositionInfo> locate(const std::string& object_id) const;
+
+  // --- Location operators ---------------------------------------------------
+
+  /// Is the object's stored position inside the region?
+  bool contained_in(const std::string& object_id,
+                    const std::string& region_name) const;
+
+  /// All regions (transitively including ancestors) containing the object.
+  std::vector<std::string> regions_of(const std::string& object_id) const;
+
+  /// Are two objects within `radius_m` of each other (by stored positions)?
+  bool colocated(const std::string& a, const std::string& b,
+                 double radius_m) const;
+
+  /// Objects sorted by distance to `from`, nearest first, at most k.
+  std::vector<std::pair<std::string, double>> nearest(
+      const std::string& from, std::size_t k) const;
+
+  void subscribe(EventListener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  std::size_t object_count() const noexcept { return objects_.size(); }
+
+ private:
+  std::map<std::string, MwRegion> regions_;
+  std::map<std::string, MwPositionInfo> objects_;
+  std::map<std::string, std::vector<std::string>> memberships_;
+  std::vector<EventListener> listeners_;
+};
+
+}  // namespace perpos::baselines

@@ -1,0 +1,145 @@
+#pragma once
+
+#include "perpos/geo/coordinates.hpp"
+#include "perpos/sim/clock.hpp"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file posim.hpp
+/// A miniature PoSIM (Bellavista et al. 2008) — the translucent comparator
+/// middleware of the paper's Sec. 3 discussion. PoSIM mediates access to
+/// heterogeneous positioning systems through Sensor Wrappers that expose
+/// *info* keys (readable values, e.g. "HDOP", "satellites") and *control*
+/// keys (settable knobs, e.g. "power"), plus declarative policies
+/// (condition over infos -> control actions) evaluated on each new datum.
+///
+/// The deliberate limitation reproduced here (paper Sec. 3.2): "when
+/// questioned it will always return the latest HDOP value, which may
+/// correspond to a new position" — info queries are latest-value only;
+/// there is no association between a delivered position and the low-level
+/// values that produced it, and no access to the processing between the
+/// wrapper and the application.
+
+namespace perpos::baselines {
+
+/// A position as PoSIM delivers it.
+struct PosimPosition {
+  geo::GeoPoint position;
+  double accuracy_m = 0.0;
+  sim::SimTime timestamp;
+  std::uint64_t epoch = 0;  ///< Internal production counter (test hook).
+};
+
+/// Base class for sensor wrappers.
+class PosimSensorWrapper {
+ public:
+  explicit PosimSensorWrapper(std::string technology)
+      : technology_(std::move(technology)) {}
+  virtual ~PosimSensorWrapper() = default;
+
+  const std::string& technology() const noexcept { return technology_; }
+
+  /// Latest value of an info key, or nullopt when unsupported.
+  std::optional<double> get_info(const std::string& key) const {
+    const auto it = infos_.find(key);
+    if (it == infos_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::vector<std::string> info_keys() const {
+    std::vector<std::string> out;
+    for (const auto& [k, v] : infos_) out.push_back(k);
+    return out;
+  }
+
+  /// Set a control key; returns false when unsupported.
+  virtual bool set_control(const std::string& key, const std::string& value) {
+    controls_[key] = value;
+    return true;
+  }
+  std::optional<std::string> get_control(const std::string& key) const {
+    const auto it = controls_.find(key);
+    if (it == controls_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ protected:
+  /// Wrapper implementations publish the latest info values here.
+  void publish_info(const std::string& key, double value) {
+    infos_[key] = value;
+  }
+
+ private:
+  std::string technology_;
+  std::map<std::string, double> infos_;
+  std::map<std::string, std::string> controls_;
+};
+
+/// A declarative policy: when `condition` holds over the wrapper's infos,
+/// apply `action` to its controls.
+struct PosimPolicy {
+  std::string name;
+  std::function<bool(const PosimSensorWrapper&)> condition;
+  std::function<void(PosimSensorWrapper&)> action;
+};
+
+/// The PoSIM core: wrappers + policies + position delivery.
+class Posim {
+ public:
+  using Listener = std::function<void(const PosimPosition&)>;
+
+  /// Register a wrapper; PoSIM shares ownership.
+  void add_wrapper(std::shared_ptr<PosimSensorWrapper> wrapper) {
+    wrappers_.push_back(std::move(wrapper));
+  }
+  const std::vector<std::shared_ptr<PosimSensorWrapper>>& wrappers() const {
+    return wrappers_;
+  }
+  PosimSensorWrapper* wrapper(const std::string& technology) const {
+    for (const auto& w : wrappers_) {
+      if (w->technology() == technology) return w.get();
+    }
+    return nullptr;
+  }
+
+  void add_policy(PosimPolicy policy) {
+    policies_.push_back(std::move(policy));
+  }
+
+  /// Wrapper implementations deliver positions through this; policies are
+  /// evaluated, then listeners run.
+  void deliver(PosimSensorWrapper& from, PosimPosition position) {
+    position.epoch = ++epoch_;
+    last_ = position;
+    for (const PosimPolicy& p : policies_) {
+      if (p.condition && p.condition(from) && p.action) p.action(from);
+    }
+    for (const Listener& l : listeners_) l(position);
+  }
+
+  std::optional<PosimPosition> get_position() const { return last_; }
+  void subscribe(Listener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  /// Cross-wrapper info query — always the *latest* value (the seam the
+  /// C1 benchmark measures).
+  std::optional<double> get_info(const std::string& technology,
+                                 const std::string& key) const {
+    const PosimSensorWrapper* w = wrapper(technology);
+    return w != nullptr ? w->get_info(key) : std::nullopt;
+  }
+
+ private:
+  std::vector<std::shared_ptr<PosimSensorWrapper>> wrappers_;
+  std::vector<PosimPolicy> policies_;
+  std::vector<Listener> listeners_;
+  std::optional<PosimPosition> last_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace perpos::baselines

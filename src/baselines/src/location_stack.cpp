@@ -1,0 +1,16 @@
+#include "perpos/baselines/location_stack.hpp"
+
+namespace perpos::baselines {
+
+std::size_t measurement_bytes(const StackMeasurement& m) {
+  // Geodetic position (3 doubles) + accuracy + timestamp + technology tag.
+  return 3 * sizeof(double) + sizeof(double) + sizeof(std::int64_t) +
+         m.technology.size();
+}
+
+std::size_t measurement_bytes(const ExtendedStackMeasurement& m) {
+  return 3 * sizeof(double) + sizeof(double) + sizeof(std::int64_t) +
+         m.technology.size() + sizeof(int) + sizeof(double);
+}
+
+}  // namespace perpos::baselines

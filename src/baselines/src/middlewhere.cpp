@@ -1,0 +1,115 @@
+#include "perpos/baselines/middlewhere.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace perpos::baselines {
+
+void MiddleWhere::add_region(MwRegion region) {
+  if (!region.parent.empty() && !regions_.contains(region.parent)) {
+    throw std::invalid_argument("unknown parent region '" + region.parent +
+                                "'");
+  }
+  const std::string name = region.name;
+  if (!regions_.emplace(name, std::move(region)).second) {
+    throw std::invalid_argument("region '" + name + "' already defined");
+  }
+}
+
+const MwRegion* MiddleWhere::region(const std::string& name) const {
+  const auto it = regions_.find(name);
+  return it == regions_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> MiddleWhere::region_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, r] : regions_) out.push_back(name);
+  return out;
+}
+
+void MiddleWhere::update(const std::string& object_id, MwPositionInfo info) {
+  objects_[object_id] = info;
+
+  // Recompute direct memberships and fire edge-triggered events.
+  std::vector<std::string> now;
+  for (const auto& [name, region] : regions_) {
+    if (region.contains(info.position)) now.push_back(name);
+  }
+  std::vector<std::string>& before = memberships_[object_id];
+
+  for (const std::string& name : now) {
+    if (std::find(before.begin(), before.end(), name) == before.end()) {
+      for (const EventListener& l : listeners_) {
+        l(MwEvent{object_id, name, true, info.timestamp});
+      }
+    }
+  }
+  for (const std::string& name : before) {
+    if (std::find(now.begin(), now.end(), name) == now.end()) {
+      for (const EventListener& l : listeners_) {
+        l(MwEvent{object_id, name, false, info.timestamp});
+      }
+    }
+  }
+  before = std::move(now);
+}
+
+std::optional<MwPositionInfo> MiddleWhere::locate(
+    const std::string& object_id) const {
+  const auto it = objects_.find(object_id);
+  if (it == objects_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool MiddleWhere::contained_in(const std::string& object_id,
+                               const std::string& region_name) const {
+  const auto obj = objects_.find(object_id);
+  const auto reg = regions_.find(region_name);
+  if (obj == objects_.end() || reg == regions_.end()) return false;
+  return reg->second.contains(obj->second.position);
+}
+
+std::vector<std::string> MiddleWhere::regions_of(
+    const std::string& object_id) const {
+  std::vector<std::string> out;
+  const auto it = memberships_.find(object_id);
+  if (it == memberships_.end()) return out;
+  out = it->second;
+  // Add ancestors of direct memberships.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const MwRegion* r = region(out[i]);
+    if (r != nullptr && !r->parent.empty() &&
+        std::find(out.begin(), out.end(), r->parent) == out.end()) {
+      out.push_back(r->parent);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool MiddleWhere::colocated(const std::string& a, const std::string& b,
+                            double radius_m) const {
+  const auto pa = objects_.find(a);
+  const auto pb = objects_.find(b);
+  if (pa == objects_.end() || pb == objects_.end()) return false;
+  return geo::haversine_m(pa->second.position, pb->second.position) <=
+         radius_m;
+}
+
+std::vector<std::pair<std::string, double>> MiddleWhere::nearest(
+    const std::string& from, std::size_t k) const {
+  std::vector<std::pair<std::string, double>> out;
+  const auto it = objects_.find(from);
+  if (it == objects_.end()) return out;
+  for (const auto& [id, info] : objects_) {
+    if (id == from) continue;
+    out.emplace_back(id,
+                     geo::haversine_m(it->second.position, info.position));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& x, const auto& y) { return x.second < y.second; });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace perpos::baselines

@@ -1,0 +1,5 @@
+#include "perpos/baselines/posim.hpp"
+
+// Header-only; anchors the library target.
+
+namespace perpos::baselines {}  // namespace perpos::baselines

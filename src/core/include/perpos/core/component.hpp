@@ -1,0 +1,143 @@
+#pragma once
+
+#include "perpos/core/operations.hpp"
+#include "perpos/core/payload.hpp"
+#include "perpos/core/sample.hpp"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file component.hpp
+/// Processing Components — the nodes of the reified positioning process
+/// (paper Sec. 2.1). A component has N input ports and one output port,
+/// declares input requirements and output capabilities so that port
+/// connections are checked to be realizable, and emits data through the
+/// context the graph provides on attachment.
+
+namespace perpos::core {
+
+class ProcessingGraph;
+
+/// One kind of data available at an output port. `feature_tag` is empty for
+/// data produced by the component implementation itself and carries the
+/// feature name for data added by an attached Component Feature.
+struct DataSpec {
+  const TypeInfo* type = nullptr;
+  std::string feature_tag;
+
+  friend bool operator==(const DataSpec&, const DataSpec&) = default;
+};
+
+/// One requirement of an input port.
+///
+/// A requirement accepts a sample when the types match and the sample's
+/// feature origin equals `feature_tag` — feature-added data is therefore
+/// only delivered to components that explicitly declare they accept input
+/// from that feature, as the paper specifies. A null `type` is a wildcard
+/// accepting any type with the given origin ("" origin = any component
+/// data); wildcard requirements are what application sinks use.
+struct InputRequirement {
+  const TypeInfo* type = nullptr;
+  std::string feature_tag;
+  bool optional = false;
+  bool any_type = false;  ///< Wildcard: accept every type (sinks).
+
+  /// Does this requirement accept a sample with the given spec?
+  bool accepts(const TypeInfo* sample_type,
+               std::string_view origin) const noexcept {
+    if (origin != feature_tag) return false;
+    return any_type || type == sample_type;
+  }
+
+  friend bool operator==(const InputRequirement&, const InputRequirement&) =
+      default;
+};
+
+/// Convenience factories.
+InputRequirement require(const TypeInfo* type, std::string feature_tag = "",
+                         bool optional = false);
+InputRequirement require_any();
+
+template <typename T>
+InputRequirement require(std::string feature_tag = "", bool optional = false) {
+  return require(type_of<T>(), std::move(feature_tag), optional);
+}
+
+template <typename T>
+DataSpec provide(std::string feature_tag = "") {
+  return DataSpec{type_of<T>(), std::move(feature_tag)};
+}
+
+/// Runtime services the graph hands to an attached component.
+class ComponentContext {
+ public:
+  ComponentContext() = default;
+  ComponentContext(ProcessingGraph* graph, ComponentId id)
+      : graph_(graph), id_(id) {}
+
+  bool attached() const noexcept { return graph_ != nullptr; }
+  ComponentId id() const noexcept { return id_; }
+  ProcessingGraph* graph() const noexcept { return graph_; }
+
+  /// Emit `payload` from this component's output port. The graph stamps
+  /// logical time and provenance and delivers to accepting consumers
+  /// synchronously.
+  void emit(Payload payload) const;
+
+  /// Current simulation time as seen by the graph.
+  sim::SimTime now() const noexcept;
+
+ private:
+  ProcessingGraph* graph_ = nullptr;
+  ComponentId id_ = kInvalidComponent;
+};
+
+/// Base class for nodes of the processing graph.
+///
+/// Implementations receive inputs through on_input() and emit through
+/// context().emit(). A component with no input requirements is a source
+/// (a sensor or emulator); sources typically emit from a method of their
+/// own (driven by the simulation scheduler) rather than from on_input().
+class ProcessingComponent {
+ public:
+  virtual ~ProcessingComponent() = default;
+
+  /// Component kind, e.g. "GpsSensor", "Parser", "Interpreter". Used in
+  /// graph dumps and channel naming; need not be unique.
+  virtual std::string_view kind() const = 0;
+
+  /// Input-port requirements. Evaluated when connections are made and when
+  /// the dependency resolver assembles graphs.
+  virtual std::vector<InputRequirement> input_requirements() const = 0;
+
+  /// Output-port capabilities of the implementation itself (capabilities
+  /// added by features are tracked by the graph, not declared here).
+  virtual std::vector<DataSpec> output_capabilities() const = 0;
+
+  /// Called by the graph for every accepted incoming sample, after the
+  /// consume hooks of attached features ran.
+  virtual void on_input(const Sample& sample) = 0;
+
+  /// Components that conceptually merge data sources (fusion components)
+  /// return true so the Channel layer treats them as channel end-points
+  /// even while only one input is connected. Sources, sinks and nodes with
+  /// >= 2 connected inputs are end-points automatically.
+  virtual bool is_channel_endpoint() const { return false; }
+
+  /// The context is valid between attachment to and removal from a graph.
+  const ComponentContext& context() const noexcept { return context_; }
+
+  /// Designed method reflection (paper: "access to all methods available
+  /// on the implementing classes"): components register the operations
+  /// they expose; PSL tooling lists and invokes them by name.
+  OperationTable& operations() noexcept { return operations_; }
+  const OperationTable& operations() const noexcept { return operations_; }
+
+ private:
+  friend class ProcessingGraph;
+  ComponentContext context_;
+  OperationTable operations_;
+};
+
+}  // namespace perpos::core

@@ -1,0 +1,85 @@
+#pragma once
+
+#include "perpos/core/sample.hpp"
+
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+/// \file data_tree.hpp
+/// The Channel data tree (paper Sec. 2.2, Fig. 4).
+///
+/// For each data element a Channel produces, all intermediate data elements
+/// that logically contributed to it are grouped into a hierarchical
+/// structure: the root is the channel output, its children are the samples
+/// the last component consumed to produce it, and so on down to the raw
+/// sensor data. Each node carries the sample's logical time and the logical
+/// time range of the inputs used to generate it — the (data, time, range)
+/// tuples of Fig. 4.
+///
+/// Channel Features receive a DataTree in their apply() callback and must
+/// cope with not knowing the number of layers or the number of data chunks
+/// of each kind (components may have been inserted into the channel).
+
+namespace perpos::core {
+
+class ProcessingGraph;
+
+struct DataTreeNode {
+  Sample sample;
+  std::vector<DataTreeNode> children;
+};
+
+class DataTree {
+ public:
+  DataTree() = default;
+
+  /// Build the tree rooted at `output` by following provenance links.
+  /// Only samples produced by components in `members` are included (the
+  /// channel's components); traversal stops at the channel boundary.
+  /// An empty member set means "include everything".
+  static DataTree build(const Sample& output,
+                        const std::unordered_set<ComponentId>& members = {});
+
+  bool empty() const noexcept { return !has_root_; }
+  const DataTreeNode& root() const { return root_; }
+
+  /// Number of nodes in the tree.
+  std::size_t size() const noexcept;
+
+  /// Number of layers (1 for a bare root).
+  std::size_t depth() const noexcept;
+
+  /// Visit every node, parents before children.
+  void for_each(const std::function<void(const DataTreeNode&)>& fn) const;
+
+  /// All nodes whose payload is of the given type, in pre-order. This is
+  /// the `dataTree.getData(NMEASentence.class)` query of Fig. 5; pair the
+  /// node's `sample.producer` with ProcessingGraph::get_feature to reach
+  /// component features of the producing component.
+  std::vector<const DataTreeNode*> find(const TypeInfo* type) const;
+
+  /// Typed variant: the payload values of type T with their producers.
+  template <typename T>
+  std::vector<std::pair<ComponentId, const T*>> collect() const {
+    std::vector<std::pair<ComponentId, const T*>> out;
+    for (const DataTreeNode* n : find(type_of<T>())) {
+      out.emplace_back(n->sample.producer, n->sample.payload.get<T>());
+    }
+    return out;
+  }
+
+  /// Render as the layered tuple table of Fig. 4:
+  ///   L2 Interpreter  WGS84_1, 1, 1-2
+  ///   L1 Parser       NMEA_1, 1, 1-2 | NMEA_2, 2, 3-5
+  ///   L0 GPS          String_1, 1, N/A | ...
+  /// `graph` supplies component kinds; pass nullptr to print ids.
+  std::string to_string(const ProcessingGraph* graph = nullptr) const;
+
+ private:
+  DataTreeNode root_;
+  bool has_root_ = false;
+};
+
+}  // namespace perpos::core

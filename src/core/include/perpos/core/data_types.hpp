@@ -1,0 +1,56 @@
+#pragma once
+
+#include "perpos/core/type_info.hpp"
+#include "perpos/geo/coordinates.hpp"
+#include "perpos/sim/clock.hpp"
+
+#include <string>
+
+/// \file data_types.hpp
+/// The technology-independent data types the Positioning Layer exposes,
+/// plus the raw-data type emitted by sensors. Substrate-specific types
+/// (NMEA sentences, WiFi scans) are defined by their own modules; any type
+/// can flow through the graph.
+
+namespace perpos::core {
+
+/// A fragment of raw sensor output (e.g. bytes from a GPS serial link).
+/// Paper Fig. 1: "Raw Data (Strings)".
+struct RawFragment {
+  std::string bytes;
+
+  friend bool operator==(const RawFragment&, const RawFragment&) = default;
+};
+
+/// A technology-independent position fix — what the Interpreter produces
+/// and the Positioning Layer delivers ("Positions (WGS84)").
+struct PositionFix {
+  geo::GeoPoint position;
+  double horizontal_accuracy_m = 0.0;  ///< Estimated 1-sigma accuracy.
+  sim::SimTime timestamp;
+  std::string technology;  ///< "GPS", "WiFi", "ParticleFilter", ...
+
+  friend bool operator==(const PositionFix&, const PositionFix&) = default;
+};
+
+/// A symbolic room-level position — what the location-model Resolver
+/// produces ("Positions (RoomID)").
+struct RoomFix {
+  std::string building;
+  std::string room;       ///< Room identifier, empty when outside any room.
+  int floor = 0;
+  geo::LocalPoint local;  ///< Building-local coordinates of the estimate.
+  double confidence = 0.0;
+  sim::SimTime timestamp;
+
+  friend bool operator==(const RoomFix&, const RoomFix&) = default;
+};
+
+std::string to_string(const PositionFix& fix);
+std::string to_string(const RoomFix& fix);
+
+}  // namespace perpos::core
+
+PERPOS_TYPE_NAME(perpos::core::RawFragment, "RawFragment");
+PERPOS_TYPE_NAME(perpos::core::PositionFix, "PositionFix");
+PERPOS_TYPE_NAME(perpos::core::RoomFix, "RoomFix");

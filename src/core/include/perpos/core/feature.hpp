@@ -1,0 +1,92 @@
+#pragma once
+
+#include "perpos/core/component.hpp"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file feature.hpp
+/// Component Features (paper Sec. 2.1, Fig. 3a) — small code modules that
+/// hook into a Processing Component and augment it in three ways:
+///
+///  1. *Changing produced data*: the graph calls consume() on every feature
+///     of the receiving component before the sample reaches the component,
+///     and produce() on every feature of the producing component before the
+///     sample leaves it. Hooks may alter the sample (but not its data type)
+///     or veto it entirely.
+///  2. *Adding data*: a feature may call context().emit(payload); the
+///     payload propagates through the tree as if produced by the host
+///     component, tagged with the feature's name. It is only delivered to
+///     consumers that explicitly declare they accept input from the feature.
+///  3. *Changing component state*: a feature object is discoverable through
+///     the host component via ProcessingGraph::get_feature<T>(), so the
+///     component appears to implement the interface the feature provides.
+
+namespace perpos::core {
+
+class ProcessingGraph;
+
+/// Runtime services the graph hands to an attached Component Feature.
+class FeatureContext {
+ public:
+  FeatureContext() = default;
+  FeatureContext(ProcessingGraph* graph, ComponentId host,
+                 std::string feature_name)
+      : graph_(graph), host_(host), feature_name_(std::move(feature_name)) {}
+
+  bool attached() const noexcept { return graph_ != nullptr; }
+  ComponentId host() const noexcept { return host_; }
+  ProcessingGraph* graph() const noexcept { return graph_; }
+
+  /// Emit `payload` from the host component's output port, tagged as
+  /// originating from this feature ("Adding Data" augmentation).
+  void emit(Payload payload) const;
+
+ private:
+  ProcessingGraph* graph_ = nullptr;
+  ComponentId host_ = kInvalidComponent;
+  std::string feature_name_;
+};
+
+/// Base class for Component Features.
+class ComponentFeature {
+ public:
+  virtual ~ComponentFeature() = default;
+
+  /// Unique name among features attached to the same component. The name is
+  /// also the feature tag on data this feature adds.
+  virtual std::string_view name() const = 0;
+
+  /// Called for every sample flowing INTO the host component, before the
+  /// component sees it. May modify the sample in place; returning false
+  /// drops it. The data type must not change.
+  virtual bool consume(Sample& sample) {
+    (void)sample;
+    return true;
+  }
+
+  /// Called for every sample flowing OUT of the host component, before it
+  /// is delivered to consumers. May modify; returning false drops it. The
+  /// data type must not change.
+  virtual bool produce(Sample& sample) {
+    (void)sample;
+    return true;
+  }
+
+  /// Extra data kinds this feature adds to the host's output port
+  /// (tagged with this feature's name by the graph).
+  virtual std::vector<const TypeInfo*> added_types() const { return {}; }
+
+  /// Names of Component Features (on the same host) this feature depends
+  /// on; attachment fails if they are not present.
+  virtual std::vector<std::string> required_features() const { return {}; }
+
+  const FeatureContext& context() const noexcept { return context_; }
+
+ private:
+  friend class ProcessingGraph;
+  FeatureContext context_;
+};
+
+}  // namespace perpos::core

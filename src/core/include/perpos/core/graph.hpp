@@ -1,0 +1,174 @@
+#pragma once
+
+#include "perpos/core/component.hpp"
+#include "perpos/core/feature.hpp"
+#include "perpos/sim/clock.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file graph.hpp
+/// The Process Structure Layer (paper Sec. 2.1): the positioning process
+/// reified as a directed acyclic graph of Processing Components with a
+/// causal connection — manipulating the graph immediately changes the
+/// running positioning system.
+///
+/// Delivery is synchronous and deterministic: when a component emits, the
+/// sample is (after produce hooks) pushed to every connected consumer whose
+/// input requirements accept it, running that consumer's consume hooks and
+/// then its on_input(), recursively. The graph stamps per-producer logical
+/// time and provenance links onto every sample, which is what makes the
+/// Channel data trees of the PCL (Fig. 4) reconstructible.
+
+namespace perpos::core {
+
+/// Read-only snapshot of one node, used by inspection APIs and dumps.
+struct ComponentInfo {
+  ComponentId id = kInvalidComponent;
+  std::string kind;
+  std::vector<ComponentId> producers;  ///< Upstream neighbours.
+  std::vector<ComponentId> consumers;  ///< Downstream neighbours.
+  std::vector<std::string> feature_names;
+  std::vector<DataSpec> capabilities;  ///< Declared + feature-added.
+  std::uint64_t emitted = 0;           ///< Samples emitted so far.
+};
+
+class ProcessingGraph {
+ public:
+  /// `clock` provides sample timestamps; pass the simulation clock. When
+  /// null, timestamps are all zero.
+  explicit ProcessingGraph(const sim::Clock* clock = nullptr);
+  ~ProcessingGraph();
+
+  ProcessingGraph(const ProcessingGraph&) = delete;
+  ProcessingGraph& operator=(const ProcessingGraph&) = delete;
+
+  // --- Structure manipulation (paper: insert, delete, connect) -----------
+
+  /// Add a component; the graph shares ownership. Returns its id.
+  ComponentId add(std::shared_ptr<ProcessingComponent> component);
+
+  /// Remove a component, disconnecting all its edges.
+  /// Throws std::invalid_argument for unknown ids.
+  void remove(ComponentId id);
+
+  /// Connect producer's output port to an input port of consumer.
+  /// Throws std::invalid_argument when the connection is not realizable:
+  /// unknown ids, self-loop, duplicate edge, no capability of the producer
+  /// satisfies any requirement of the consumer, or the edge would create a
+  /// cycle.
+  void connect(ComponentId producer, ComponentId consumer);
+
+  /// Remove the edge producer->consumer (throws if absent).
+  void disconnect(ComponentId producer, ComponentId consumer);
+
+  /// Splice `node` into the existing edge producer->consumer:
+  /// producer->node->consumer. Throws if the edge does not exist or either
+  /// new edge is not realizable.
+  void insert_between(ComponentId node, ComponentId producer,
+                      ComponentId consumer);
+
+  // --- Features -----------------------------------------------------------
+
+  /// Attach a Component Feature to `host`. Throws when a feature with the
+  /// same name is already attached or a required feature is missing.
+  void attach_feature(ComponentId host,
+                      std::shared_ptr<ComponentFeature> feature);
+
+  /// Detach by name; throws when not attached.
+  void detach_feature(ComponentId host, std::string_view name);
+
+  /// The feature of dynamic type F attached to `host`, or nullptr. This is
+  /// the "component appears to implement the feature's functionality"
+  /// mechanism: callers obtain the feature interface through the component.
+  template <typename F>
+  F* get_feature(ComponentId host) const {
+    for (const auto& f : features_of(host)) {
+      if (auto* typed = dynamic_cast<F*>(f.get())) return typed;
+    }
+    return nullptr;
+  }
+
+  /// Feature looked up by name, or nullptr.
+  ComponentFeature* get_feature(ComponentId host, std::string_view name) const;
+
+  /// All features attached to `host`.
+  const std::vector<std::shared_ptr<ComponentFeature>>& features_of(
+      ComponentId host) const;
+
+  // --- Inspection ----------------------------------------------------------
+
+  /// Ids of all live components, in insertion order.
+  std::vector<ComponentId> components() const;
+
+  /// Snapshot of one component. Throws for unknown ids.
+  ComponentInfo info(ComponentId id) const;
+
+  /// The component object (for direct method access, which the PSL API
+  /// explicitly supports). Throws for unknown ids.
+  ProcessingComponent& component(ComponentId id) const;
+
+  /// Typed access to the component implementation; nullptr on type
+  /// mismatch.
+  template <typename C>
+  C* component_as(ComponentId id) const {
+    return dynamic_cast<C*>(&component(id));
+  }
+
+  /// Components with no connected inputs (the leaves / sensors).
+  std::vector<ComponentId> sources() const;
+  /// Components with no connected outputs (the roots / applications).
+  std::vector<ComponentId> sinks() const;
+  /// Output capabilities: declared by the implementation plus feature-added.
+  std::vector<DataSpec> capabilities(ComponentId id) const;
+
+  bool has(ComponentId id) const noexcept;
+  std::size_t size() const noexcept { return live_count_; }
+
+  /// Monotone counter bumped by every structural mutation (add / remove /
+  /// connect / disconnect). The Channel layer uses it to re-derive its view
+  /// lazily, keeping the causal connection.
+  std::uint64_t revision() const noexcept { return revision_; }
+
+  /// Samples delivered (accepted by a consumer) since construction.
+  std::uint64_t deliveries() const noexcept { return deliveries_; }
+
+  /// Register a callback invoked after every structural mutation; the
+  /// Channel layer uses this to keep its derived view causally connected.
+  /// Returns a token for remove_mutation_listener.
+  std::size_t add_mutation_listener(std::function<void()> listener);
+  void remove_mutation_listener(std::size_t token);
+
+  const sim::Clock* clock() const noexcept { return clock_; }
+
+  // --- Used by ComponentContext / FeatureContext --------------------------
+
+  /// Emit from a component (feature_origin empty) or from a feature.
+  void emit_from(ComponentId producer, Payload payload,
+                 std::string feature_origin);
+
+ private:
+  struct Entry;
+
+  Entry& entry(ComponentId id);
+  const Entry& entry(ComponentId id) const;
+  bool would_cycle(ComponentId producer, ComponentId consumer) const;
+  void deliver(const Sample& sample, ComponentId consumer);
+  void check_not_dispatching(const char* op) const;
+  void notify_mutation();
+
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::vector<std::pair<std::size_t, std::function<void()>>> listeners_;
+  std::size_t next_listener_token_ = 1;
+  const sim::Clock* clock_;
+  std::uint64_t revision_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::size_t live_count_ = 0;
+  int dispatch_depth_ = 0;
+};
+
+}  // namespace perpos::core

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "perpos/core/channel.hpp"
+#include "perpos/core/graph.hpp"
+#include "perpos/core/positioning.hpp"
+
+#include <string>
+
+/// \file graph_dump.hpp
+/// Textual renderings of the three PerPos views of one positioning process
+/// (paper Fig. 2): the Process Structure Layer tree, the Process Channel
+/// Layer channel view and the Positioning Layer provider view. Used by the
+/// infrastructure-visualization example (the motivating application [2] of
+/// the paper) and by the Fig. 2 benchmark.
+
+namespace perpos::core {
+
+/// PSL: every component with its edges, features (channel adapters are
+/// hidden) and output capabilities, rendered as a tree from the
+/// applications (roots) down to the sensors (leaves).
+std::string dump_structure(const ProcessingGraph& graph);
+
+/// PCL: each channel as "source ==[ c1 > c2 > ... ]==> sink" with its
+/// attached Channel Features.
+std::string dump_channels(ChannelManager& channels);
+
+/// Positioning Layer: each provider with its advertisement, last position
+/// and the Channel Features visible through it.
+std::string dump_positioning(const PositioningService& service);
+
+/// Graphviz dot rendering of the PSL graph.
+std::string to_dot(const ProcessingGraph& graph);
+
+}  // namespace perpos::core

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file operations.hpp
+/// Designed method reflection for Processing Components.
+///
+/// Paper Sec. 2.1: "The PSL API supports inspection of the reified
+/// processing graph including access to all methods available on the
+/// implementing classes." The Java original leans on language reflection;
+/// here each component (or feature) opts methods in by registering them in
+/// its OperationTable — a *designed* reification, consistent with the
+/// paper's argument that exposing a curated surface beats a generally open
+/// middleware (Sec. 4).
+///
+/// Operations are string -> string so tooling (the infrastructure
+/// visualizer, remote consoles) can drive any component uniformly.
+
+namespace perpos::core {
+
+struct OperationInfo {
+  std::string name;
+  std::string description;
+};
+
+class OperationTable {
+ public:
+  /// An operation takes one string argument (possibly empty) and returns a
+  /// result string.
+  using Operation = std::function<std::string(const std::string&)>;
+
+  /// Register an operation; replaces an existing one of the same name.
+  void add(std::string name, std::string description, Operation operation) {
+    entries_[std::move(name)] =
+        Entry{std::move(description), std::move(operation)};
+  }
+
+  bool has(const std::string& name) const { return entries_.contains(name); }
+
+  /// Invoke by name; nullopt for unknown operations.
+  std::optional<std::string> invoke(const std::string& name,
+                                    const std::string& argument = "") const {
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second.operation(argument);
+  }
+
+  /// All registered operations (sorted by name).
+  std::vector<OperationInfo> list() const {
+    std::vector<OperationInfo> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) {
+      out.push_back(OperationInfo{name, entry.description});
+    }
+    return out;
+  }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string description;
+    Operation operation;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace perpos::core

@@ -1,0 +1,65 @@
+#pragma once
+
+#include "perpos/core/type_info.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+/// \file payload.hpp
+/// Type-erased immutable data values flowing through the processing graph.
+///
+/// Edges of the PerPos graph carry arbitrary data — raw strings, NMEA
+/// sentences, WGS84 positions, room ids, HDOP values (paper Fig. 1). A
+/// Payload is a cheap-to-copy, immutable, runtime-typed box; the TypeInfo
+/// tag is what port capability/requirement matching operates on.
+
+namespace perpos::core {
+
+class Payload {
+ public:
+  /// Empty payload (type() == nullptr).
+  Payload() = default;
+
+  /// Box a value. The value is copied (or moved) into shared storage.
+  template <typename T>
+  static Payload make(T value) {
+    using Decayed = std::decay_t<T>;
+    Payload p;
+    p.type_ = type_of<Decayed>();
+    p.value_ = std::make_shared<const Decayed>(std::move(value));
+    return p;
+  }
+
+  /// The interned type descriptor, or nullptr for an empty payload.
+  const TypeInfo* type() const noexcept { return type_; }
+
+  bool empty() const noexcept { return type_ == nullptr; }
+
+  /// True if the boxed value is exactly a T.
+  template <typename T>
+  bool is() const noexcept {
+    return type_ == type_of<std::decay_t<T>>();
+  }
+
+  /// Checked access: nullptr when the payload holds a different type.
+  template <typename T>
+  const T* get() const noexcept {
+    if (!is<T>()) return nullptr;
+    return static_cast<const T*>(value_.get());
+  }
+
+  /// Checked access; throws std::bad_cast on type mismatch.
+  template <typename T>
+  const T& as() const {
+    const T* p = get<T>();
+    if (p == nullptr) throw std::bad_cast();
+    return *p;
+  }
+
+ private:
+  const TypeInfo* type_ = nullptr;
+  std::shared_ptr<const void> value_;
+};
+
+}  // namespace perpos::core

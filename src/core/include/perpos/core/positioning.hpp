@@ -1,0 +1,221 @@
+#pragma once
+
+#include "perpos/core/channel.hpp"
+#include "perpos/core/components.hpp"
+#include "perpos/core/data_types.hpp"
+#include "perpos/core/graph.hpp"
+#include "perpos/geo/distance.hpp"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file positioning.hpp
+/// The Positioning Layer (paper Sec. 2.3) — the traditional high-level
+/// positioning API on top of the reified process. Structured after the
+/// J2ME Location API (JSR-179): applications request a location provider
+/// matching a set of criteria and obtain position data through it, with
+/// both push and pull semantics, plus tracked targets and location-related
+/// notifications (proximity, k-nearest).
+///
+/// What distinguishes PerPos at this level is that middleware adaptations
+/// remain accessible: all Channel Features are visible through the
+/// provider, and the logical-timing machinery couples the high-level
+/// position to the low-level details that produced it (feature(fix)).
+
+namespace perpos::core {
+
+/// JSR-179-style provider selection criteria.
+struct Criteria {
+  /// Required data type delivered to the application; defaults to
+  /// PositionFix. RoomFix providers are requested with
+  /// Criteria::for_type<RoomFix>().
+  const TypeInfo* required_type = type_of<PositionFix>();
+
+  /// Technology label ("GPS", "WiFi", ...); empty accepts any.
+  std::string technology;
+
+  /// Maximum acceptable typical horizontal error in metres; unset accepts
+  /// any. Matched against advertised accuracy, not per-fix accuracy.
+  std::optional<double> horizontal_accuracy_m;
+
+  enum class Power { kAny, kLow, kMedium, kHigh };
+  /// Maximum acceptable power consumption class.
+  Power max_power = Power::kAny;
+
+  template <typename T>
+  static Criteria for_type() {
+    Criteria c;
+    c.required_type = type_of<T>();
+    return c;
+  }
+};
+
+/// What a position-producing component advertises to provider selection.
+struct ProviderAdvertisement {
+  std::string technology;
+  double typical_accuracy_m = 10.0;
+  Criteria::Power power = Criteria::Power::kMedium;
+};
+
+using SubscriptionId = std::uint64_t;
+
+class PositioningService;
+
+/// A handle through which an application receives position-based data in a
+/// technology-transparent way. Owns an ApplicationSink node in the graph.
+class LocationProvider {
+ public:
+  using FixListener = std::function<void(const PositionFix&, const Sample&)>;
+  using SampleListener = std::function<void(const Sample&)>;
+  using ProximityListener = std::function<void(bool inside, const PositionFix&)>;
+
+  /// Pull: the most recent PositionFix delivered, if any.
+  std::optional<PositionFix> last_position() const;
+
+  /// Pull: the most recent sample of any type.
+  std::optional<Sample> last_sample() const;
+
+  /// Push: called for every PositionFix delivered.
+  SubscriptionId add_listener(FixListener listener);
+
+  /// Push: called for every sample of any type (RoomFix apps use this).
+  SubscriptionId add_sample_listener(SampleListener listener);
+
+  /// Proximity notification: fires with inside=true when a fix first falls
+  /// within `radius_m` of `center`, and inside=false when it first leaves.
+  SubscriptionId add_proximity_listener(geo::GeoPoint center, double radius_m,
+                                        ProximityListener listener);
+
+  void remove_listener(SubscriptionId id);
+
+  /// Channels delivering into this provider (PCL access from the top
+  /// layer). All their Channel Features are reachable from here — the
+  /// paper's "ability to access middleware adaptations in the high-level
+  /// interaction".
+  std::vector<Channel*> channels() const;
+
+  /// The Channel Feature of type F on any channel into this provider.
+  template <typename F>
+  F* feature() const {
+    for (Channel* c : channels()) {
+      if (F* f = c->get_feature<F>()) return f;
+    }
+    return nullptr;
+  }
+
+  /// Time-scoped variant: the feature state must correspond to exactly the
+  /// channel output `sample` (Fig. 5's getFeature(position, Likelihood)).
+  template <typename F>
+  F* feature(const Sample& sample) const {
+    for (Channel* c : channels()) {
+      if (F* f = c->get_feature<F>(sample)) return f;
+    }
+    return nullptr;
+  }
+
+  /// The graph node backing this provider.
+  ComponentId sink_id() const noexcept { return sink_id_; }
+  const ProviderAdvertisement& advertisement() const noexcept { return ad_; }
+
+ private:
+  friend class PositioningService;
+  LocationProvider(PositioningService* service, ComponentId sink_id,
+                   ApplicationSink* sink, ProviderAdvertisement ad)
+      : service_(service), sink_id_(sink_id), sink_(sink), ad_(std::move(ad)) {}
+
+  void on_sample(const Sample& sample);
+
+  struct Proximity {
+    geo::GeoPoint center;
+    double radius_m;
+    ProximityListener listener;
+    bool inside = false;
+  };
+
+  PositioningService* service_;
+  ComponentId sink_id_;
+  ApplicationSink* sink_;
+  ProviderAdvertisement ad_;
+  SubscriptionId next_subscription_ = 1;
+  std::map<SubscriptionId, FixListener> fix_listeners_;
+  std::map<SubscriptionId, SampleListener> sample_listeners_;
+  std::map<SubscriptionId, Proximity> proximity_listeners_;
+  std::optional<PositionFix> last_fix_;
+};
+
+/// A tracked entity which may have several position providers attached
+/// (paper Sec. 2.3: "definition of tracked targets, which may have several
+/// sensors attached to them").
+class Target {
+ public:
+  explicit Target(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void attach_provider(LocationProvider& provider) {
+    providers_.push_back(&provider);
+  }
+  const std::vector<LocationProvider*>& providers() const noexcept {
+    return providers_;
+  }
+
+  /// Newest fix across all attached providers.
+  std::optional<PositionFix> last_position() const;
+
+ private:
+  std::string name_;
+  std::vector<LocationProvider*> providers_;
+};
+
+/// The Positioning Layer facade: provider selection, targets and
+/// location-related queries over one processing graph.
+class PositioningService {
+ public:
+  PositioningService(ProcessingGraph& graph, ChannelManager& channels);
+  ~PositioningService();
+
+  PositioningService(const PositioningService&) = delete;
+  PositioningService& operator=(const PositioningService&) = delete;
+
+  /// Advertise a component as a selectable position source. Assembly code
+  /// (or the runtime resolver) registers advertisements; request_provider
+  /// matches criteria against them. Components producing the required type
+  /// but lacking an advertisement are matched with default advertisement
+  /// values.
+  void advertise(ComponentId producer, ProviderAdvertisement ad);
+
+  /// Request a provider matching `criteria`; connects a new application
+  /// sink to the best matching producer (lowest advertised accuracy among
+  /// matches). Throws std::runtime_error when nothing matches.
+  LocationProvider& request_provider(const Criteria& criteria);
+
+  /// All providers created so far.
+  const std::vector<std::unique_ptr<LocationProvider>>& providers() const {
+    return providers_;
+  }
+
+  /// Create a tracked target.
+  Target& create_target(std::string name);
+
+  /// Targets sorted by distance to `point`, nearest first, at most k.
+  /// Targets without any fix are excluded.
+  std::vector<std::pair<Target*, double>> k_nearest(const geo::GeoPoint& point,
+                                                    std::size_t k);
+
+  ProcessingGraph& graph() noexcept { return graph_; }
+  ChannelManager& channels() noexcept { return channels_; }
+
+ private:
+  friend class LocationProvider;
+
+  ProcessingGraph& graph_;
+  ChannelManager& channels_;
+  std::map<ComponentId, ProviderAdvertisement> advertisements_;
+  std::vector<std::unique_ptr<LocationProvider>> providers_;
+  std::vector<std::unique_ptr<Target>> targets_;
+};
+
+}  // namespace perpos::core

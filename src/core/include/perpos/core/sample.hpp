@@ -1,0 +1,67 @@
+#pragma once
+
+#include "perpos/core/payload.hpp"
+#include "perpos/sim/clock.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+/// \file sample.hpp
+/// A Sample is one data element travelling along a graph edge, together
+/// with the metadata PerPos needs for its translucency features:
+///
+///  * `sequence` — the per-producer logical time (paper Sec. 2.2: "it is
+///    possible for the Channel to assign a logical time unit to every layer
+///    of the processing tree").
+///  * `inputs` — provenance: the samples consumed to produce this one.
+///    Following these links reconstructs the Channel data tree of Fig. 4,
+///    including the "time range of the data used to generate the element".
+///  * `feature_origin` — non-empty when the sample was added by a
+///    Component Feature rather than by the component implementation itself;
+///    such samples only propagate to consumers that explicitly declare they
+///    accept input from that feature (paper Sec. 2.1, "Adding Data").
+
+namespace perpos::core {
+
+using ComponentId = std::uint32_t;
+constexpr ComponentId kInvalidComponent = 0xffffffffu;
+
+struct Sample {
+  Payload payload;
+  sim::SimTime timestamp;                 ///< Simulation time of production.
+  ComponentId producer = kInvalidComponent;
+  std::uint64_t sequence = 0;             ///< 1-based logical time at producer.
+  std::string feature_origin;             ///< Empty unless feature-added.
+
+  /// The input samples this sample was derived from (empty for sources).
+  /// Shared so that provenance chains are cheap to copy with the sample.
+  std::shared_ptr<const std::vector<Sample>> inputs;
+
+  /// Lowest input sequence number contributing to this sample, or 0 when
+  /// there are no inputs.
+  std::uint64_t input_seq_min() const noexcept;
+  /// Highest input sequence number contributing, or 0 when no inputs.
+  std::uint64_t input_seq_max() const noexcept;
+};
+
+inline std::uint64_t Sample::input_seq_min() const noexcept {
+  if (!inputs || inputs->empty()) return 0;
+  std::uint64_t lo = inputs->front().sequence;
+  for (const Sample& s : *inputs) {
+    if (s.sequence < lo) lo = s.sequence;
+  }
+  return lo;
+}
+
+inline std::uint64_t Sample::input_seq_max() const noexcept {
+  if (!inputs || inputs->empty()) return 0;
+  std::uint64_t hi = inputs->front().sequence;
+  for (const Sample& s : *inputs) {
+    if (s.sequence > hi) hi = s.sequence;
+  }
+  return hi;
+}
+
+}  // namespace perpos::core

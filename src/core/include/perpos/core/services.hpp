@@ -1,0 +1,138 @@
+#pragma once
+
+#include "perpos/core/positioning.hpp"
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file services.hpp
+/// Positioning Layer services — "a selection of services that can be
+/// leveraged for the development of location-aware applications" (paper
+/// Sec. 2.3, citing the PerPos platform paper [14]). Two representative
+/// services built purely on the public provider API:
+///
+///  * TrackLogService — per-provider position history with track queries
+///    (segment extraction, travelled distance, average speed).
+///  * GeofenceService — named circular zones with hysteresis and
+///    enter/exit/dwell events.
+///
+/// Both are deliberately implemented as *clients* of the Positioning
+/// Layer: they need nothing the high-level API does not already expose,
+/// demonstrating that the seamless surface is sufficient for seamless
+/// services (while the seamful examples E1–E3 need the lower layers).
+
+namespace perpos::core {
+
+/// A recorded track point.
+struct TrackPoint {
+  geo::GeoPoint position;
+  double accuracy_m = 0.0;
+  sim::SimTime timestamp;
+  std::string technology;
+};
+
+/// Ring-buffer history of one provider's fixes with track queries.
+class TrackLogService {
+ public:
+  /// Subscribes to `provider`; keeps at most `capacity` points.
+  TrackLogService(LocationProvider& provider, std::size_t capacity = 10000);
+  ~TrackLogService();
+
+  TrackLogService(const TrackLogService&) = delete;
+  TrackLogService& operator=(const TrackLogService&) = delete;
+
+  std::size_t size() const noexcept { return points_.size(); }
+  bool empty() const noexcept { return points_.empty(); }
+  const std::deque<TrackPoint>& points() const noexcept { return points_; }
+
+  /// Points with timestamp in [from, to] (inclusive).
+  std::vector<TrackPoint> between(sim::SimTime from, sim::SimTime to) const;
+
+  /// Sum of great-circle distances between consecutive points in the
+  /// window; 0 for fewer than two points.
+  double distance_m(sim::SimTime from, sim::SimTime to) const;
+
+  /// distance / elapsed over the window; 0 when undefined.
+  double average_speed_mps(sim::SimTime from, sim::SimTime to) const;
+
+  /// The recorded point closest in time to `t`, if any.
+  std::optional<TrackPoint> nearest_in_time(sim::SimTime t) const;
+
+  /// Total distance over the whole log.
+  double total_distance_m() const;
+
+ private:
+  LocationProvider& provider_;
+  SubscriptionId subscription_;
+  std::size_t capacity_;
+  std::deque<TrackPoint> points_;
+};
+
+/// A circular geofence zone. `exit_radius_m` > `radius_m` gives hysteresis
+/// so jittery fixes near the boundary do not generate event storms.
+struct GeofenceZone {
+  std::string name;
+  geo::GeoPoint center;
+  double radius_m = 50.0;
+  double exit_radius_m = 60.0;
+};
+
+/// Zone transition event.
+struct GeofenceEvent {
+  std::string zone;
+  bool entered = true;
+  sim::SimTime timestamp;
+  /// For exits: how long the target dwelled inside.
+  sim::SimTime dwell = sim::SimTime::zero();
+};
+
+class GeofenceService {
+ public:
+  using Listener = std::function<void(const GeofenceEvent&)>;
+
+  /// Subscribes to `provider`.
+  explicit GeofenceService(LocationProvider& provider);
+  ~GeofenceService();
+
+  GeofenceService(const GeofenceService&) = delete;
+  GeofenceService& operator=(const GeofenceService&) = delete;
+
+  /// Define a zone. Throws on duplicate names or exit < entry radius.
+  void add_zone(GeofenceZone zone);
+  void remove_zone(const std::string& name);
+  std::vector<std::string> zone_names() const;
+
+  void subscribe(Listener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  /// Is the target currently inside the zone (per the last fix)?
+  bool inside(const std::string& zone_name) const;
+
+  /// Zones the target is currently inside.
+  std::vector<std::string> current_zones() const;
+
+  /// Accumulated dwell time per zone (completed visits only).
+  sim::SimTime total_dwell(const std::string& zone_name) const;
+
+ private:
+  struct ZoneState {
+    GeofenceZone zone;
+    bool inside = false;
+    sim::SimTime entered_at = sim::SimTime::zero();
+    sim::SimTime total_dwell = sim::SimTime::zero();
+  };
+
+  void on_fix(const PositionFix& fix);
+
+  LocationProvider& provider_;
+  SubscriptionId subscription_;
+  std::map<std::string, ZoneState> zones_;
+  std::vector<Listener> listeners_;
+};
+
+}  // namespace perpos::core

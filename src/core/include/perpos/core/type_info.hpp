@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <typeindex>
+
+/// \file type_info.hpp
+/// Interned runtime type descriptors.
+///
+/// The PerPos reflection machinery needs to talk about data types at
+/// runtime: output-port capabilities and input-port requirements are
+/// declared in terms of the kinds of data a component produces/accepts
+/// (paper Sec. 2.1), and the data-tree query API selects elements by type
+/// (`dataTree.getData(NMEASentence.class)` in Fig. 5). In Java this is the
+/// Class object; here a TypeInfo descriptor is interned once per C++ type.
+///
+/// TypeInfo pointers are stable for the process lifetime, so identity
+/// comparison is pointer comparison.
+
+namespace perpos::core {
+
+class TypeInfo {
+ public:
+  /// Globally unique, dense id (useful as map key / for bitsets).
+  std::uint32_t id() const noexcept { return id_; }
+
+  /// Human-readable type name. Defaults to the (demangled where available)
+  /// C++ type name; override by specializing TypeNameTrait.
+  std::string_view name() const noexcept { return name_; }
+
+  TypeInfo(const TypeInfo&) = delete;
+  TypeInfo& operator=(const TypeInfo&) = delete;
+
+ private:
+  friend class TypeRegistry;
+  TypeInfo(std::uint32_t id, std::string name)
+      : id_(id), name_(std::move(name)) {}
+
+  std::uint32_t id_;
+  std::string name_;
+};
+
+/// Specialize to give a type a stable, readable name:
+///   template <> struct TypeNameTrait<MyType> {
+///     static constexpr const char* kName = "MyType";
+///   };
+/// The PERPOS_TYPE_NAME macro below does this for you.
+template <typename T>
+struct TypeNameTrait {
+  static constexpr const char* kName = nullptr;  // nullptr => demangle.
+};
+
+#define PERPOS_TYPE_NAME(Type, Name)                 \
+  template <>                                        \
+  struct perpos::core::TypeNameTrait<Type> {         \
+    static constexpr const char* kName = Name;       \
+  }
+
+/// Internal: interns (type_index, name) -> TypeInfo. Exposed for tests.
+class TypeRegistry {
+ public:
+  static TypeRegistry& instance();
+
+  /// Returns the interned descriptor, creating it on first use.
+  const TypeInfo* intern(std::type_index idx, const char* explicit_name,
+                         const char* mangled_fallback);
+
+  /// Number of distinct types seen so far.
+  std::size_t size() const;
+
+ private:
+  TypeRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// The interned descriptor for T. Thread-safe; O(1) after first call.
+template <typename T>
+const TypeInfo* type_of() {
+  static const TypeInfo* info = TypeRegistry::instance().intern(
+      std::type_index(typeid(T)), TypeNameTrait<T>::kName, typeid(T).name());
+  return info;
+}
+
+}  // namespace perpos::core

@@ -1,0 +1,15 @@
+#pragma once
+
+/// \file version.hpp
+/// Library version. Follows semantic versioning; the major version tracks
+/// breaking changes to the public processing-graph / feature APIs.
+
+namespace perpos {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace perpos

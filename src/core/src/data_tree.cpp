@@ -1,0 +1,134 @@
+#include "perpos/core/data_tree.hpp"
+
+#include "perpos/core/graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace perpos::core {
+
+namespace {
+
+void build_children(DataTreeNode& node,
+                    const std::unordered_set<ComponentId>& members) {
+  if (!node.sample.inputs) return;
+  for (const Sample& input : *node.sample.inputs) {
+    if (!members.empty() && !members.contains(input.producer)) continue;
+    DataTreeNode child;
+    child.sample = input;
+    build_children(child, members);
+    node.children.push_back(std::move(child));
+  }
+}
+
+std::size_t count_nodes(const DataTreeNode& n) {
+  std::size_t total = 1;
+  for (const DataTreeNode& c : n.children) total += count_nodes(c);
+  return total;
+}
+
+std::size_t node_depth(const DataTreeNode& n) {
+  std::size_t deepest = 0;
+  for (const DataTreeNode& c : n.children) {
+    deepest = std::max(deepest, node_depth(c));
+  }
+  return deepest + 1;
+}
+
+void visit(const DataTreeNode& n,
+           const std::function<void(const DataTreeNode&)>& fn) {
+  fn(n);
+  for (const DataTreeNode& c : n.children) visit(c, fn);
+}
+
+}  // namespace
+
+DataTree DataTree::build(const Sample& output,
+                         const std::unordered_set<ComponentId>& members) {
+  DataTree tree;
+  tree.root_.sample = output;
+  build_children(tree.root_, members);
+  tree.has_root_ = true;
+  return tree;
+}
+
+std::size_t DataTree::size() const noexcept {
+  return has_root_ ? count_nodes(root_) : 0;
+}
+
+std::size_t DataTree::depth() const noexcept {
+  return has_root_ ? node_depth(root_) : 0;
+}
+
+void DataTree::for_each(
+    const std::function<void(const DataTreeNode&)>& fn) const {
+  if (has_root_) visit(root_, fn);
+}
+
+std::vector<const DataTreeNode*> DataTree::find(const TypeInfo* type) const {
+  std::vector<const DataTreeNode*> out;
+  for_each([&](const DataTreeNode& n) {
+    if (n.sample.payload.type() == type) out.push_back(&n);
+  });
+  return out;
+}
+
+std::string DataTree::to_string(const ProcessingGraph* graph) const {
+  if (!has_root_) return "(empty data tree)";
+
+  // Group nodes by layer: distance from the deepest leaves, so sensors are
+  // L0 as in Fig. 4. Compute each node's height first.
+  struct Row {
+    ComponentId producer;
+    std::string text;
+  };
+  std::map<std::size_t, std::vector<Row>> layers;  // height -> rows
+
+  const std::function<std::size_t(const DataTreeNode&)> place =
+      [&](const DataTreeNode& n) -> std::size_t {
+    std::size_t height = 0;
+    for (const DataTreeNode& c : n.children) {
+      height = std::max(height, place(c) + 1);
+    }
+    std::ostringstream tuple;
+    tuple << n.sample.payload.type()->name() << ", " << n.sample.sequence
+          << ", ";
+    if (n.sample.input_seq_min() == 0) {
+      tuple << "N/A";
+    } else if (n.sample.input_seq_min() == n.sample.input_seq_max()) {
+      tuple << n.sample.input_seq_min();
+    } else {
+      tuple << n.sample.input_seq_min() << "-" << n.sample.input_seq_max();
+    }
+    layers[height].push_back(Row{n.sample.producer, tuple.str()});
+    return height;
+  };
+  place(root_);
+
+  std::ostringstream out;
+  for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+    out << "L" << it->first << " ";
+    std::string producer_label;
+    if (!it->second.empty()) {
+      const ComponentId pid = it->second.front().producer;
+      if (graph != nullptr && graph->has(pid)) {
+        producer_label = std::string(graph->component(pid).kind());
+      } else {
+        producer_label = "component#" + std::to_string(pid);
+      }
+    }
+    out << producer_label << ": ";
+    // Children are visited in consumption order, so rows are oldest-first
+    // already — matching Fig. 4's left-to-right time axis.
+    const std::vector<Row>& rows = it->second;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (i != 0) out << " | ";
+      out << rows[i].text;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace perpos::core

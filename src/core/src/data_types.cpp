@@ -1,0 +1,24 @@
+#include "perpos/core/data_types.hpp"
+
+#include <cstdio>
+
+namespace perpos::core {
+
+std::string to_string(const PositionFix& fix) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s @%.3fs acc=%.1fm [%s]",
+                geo::to_string(fix.position).c_str(), fix.timestamp.seconds(),
+                fix.horizontal_accuracy_m, fix.technology.c_str());
+  return buf;
+}
+
+std::string to_string(const RoomFix& fix) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s/%s floor=%d %s conf=%.2f",
+                fix.building.c_str(),
+                fix.room.empty() ? "<outside>" : fix.room.c_str(), fix.floor,
+                geo::to_string(fix.local).c_str(), fix.confidence);
+  return buf;
+}
+
+}  // namespace perpos::core

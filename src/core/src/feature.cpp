@@ -1,0 +1,12 @@
+#include "perpos/core/feature.hpp"
+
+#include "perpos/core/graph.hpp"
+
+namespace perpos::core {
+
+void FeatureContext::emit(Payload payload) const {
+  if (graph_ == nullptr) return;
+  graph_->emit_from(host_, std::move(payload), feature_name_);
+}
+
+}  // namespace perpos::core

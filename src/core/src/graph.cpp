@@ -1,0 +1,391 @@
+#include "perpos/core/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace perpos::core {
+
+struct ProcessingGraph::Entry {
+  std::shared_ptr<ProcessingComponent> component;
+  std::vector<ComponentId> consumers;
+  std::vector<ComponentId> producers;
+  std::vector<std::shared_ptr<ComponentFeature>> features;
+  std::uint64_t sequence = 0;  ///< Logical time of the output port.
+  std::uint64_t emitted = 0;
+
+  /// Inputs accepted since the last emission; becomes the provenance of the
+  /// next emitted sample (Fig. 4 time ranges).
+  std::vector<Sample> pending_inputs;
+  /// The input currently being processed by on_input (recursion-safe via
+  /// save/restore in deliver()); used as fallback provenance when a second
+  /// emission happens after pending_inputs was consumed.
+  const Sample* current_input = nullptr;
+
+  bool live = false;
+};
+
+namespace {
+
+void erase_id(std::vector<ComponentId>& v, ComponentId id) {
+  v.erase(std::remove(v.begin(), v.end(), id), v.end());
+}
+
+}  // namespace
+
+std::size_t ProcessingGraph::add_mutation_listener(
+    std::function<void()> listener) {
+  const std::size_t token = next_listener_token_++;
+  listeners_.emplace_back(token, std::move(listener));
+  return token;
+}
+
+void ProcessingGraph::remove_mutation_listener(std::size_t token) {
+  listeners_.erase(
+      std::remove_if(listeners_.begin(), listeners_.end(),
+                     [&](const auto& p) { return p.first == token; }),
+      listeners_.end());
+}
+
+void ProcessingGraph::notify_mutation() {
+  // Iterate over a copy: a listener may (un)register listeners.
+  const auto snapshot = listeners_;
+  for (const auto& [token, fn] : snapshot) fn();
+}
+
+ProcessingGraph::ProcessingGraph(const sim::Clock* clock) : clock_(clock) {}
+ProcessingGraph::~ProcessingGraph() = default;
+
+ProcessingGraph::Entry& ProcessingGraph::entry(ComponentId id) {
+  if (!has(id)) throw std::invalid_argument("unknown component id");
+  return *entries_[id];
+}
+
+const ProcessingGraph::Entry& ProcessingGraph::entry(ComponentId id) const {
+  if (!has(id)) throw std::invalid_argument("unknown component id");
+  return *entries_[id];
+}
+
+bool ProcessingGraph::has(ComponentId id) const noexcept {
+  return id < entries_.size() && entries_[id] != nullptr &&
+         entries_[id]->live;
+}
+
+void ProcessingGraph::check_not_dispatching(const char* op) const {
+  if (dispatch_depth_ > 0) {
+    throw std::logic_error(std::string("ProcessingGraph::") + op +
+                           ": structural mutation during dispatch");
+  }
+}
+
+ComponentId ProcessingGraph::add(
+    std::shared_ptr<ProcessingComponent> component) {
+  check_not_dispatching("add");
+  if (!component) throw std::invalid_argument("null component");
+  if (component->context().attached()) {
+    throw std::invalid_argument("component already attached to a graph");
+  }
+  const auto id = static_cast<ComponentId>(entries_.size());
+  auto e = std::make_unique<Entry>();
+  e->component = std::move(component);
+  e->live = true;
+  e->component->context_ = ComponentContext(this, id);
+  entries_.push_back(std::move(e));
+  ++live_count_;
+  ++revision_;
+  notify_mutation();
+  return id;
+}
+
+void ProcessingGraph::remove(ComponentId id) {
+  check_not_dispatching("remove");
+  Entry& e = entry(id);
+  for (ComponentId c : e.consumers) erase_id(entries_[c]->producers, id);
+  for (ComponentId p : e.producers) erase_id(entries_[p]->consumers, id);
+  e.component->context_ = ComponentContext();
+  for (auto& f : e.features) f->context_ = FeatureContext();
+  e.live = false;
+  e.component.reset();
+  e.features.clear();
+  --live_count_;
+  ++revision_;
+  notify_mutation();
+}
+
+bool ProcessingGraph::would_cycle(ComponentId producer,
+                                  ComponentId consumer) const {
+  // Adding producer->consumer creates a cycle iff producer is reachable
+  // from consumer.
+  std::vector<ComponentId> stack{consumer};
+  std::vector<bool> seen(entries_.size(), false);
+  while (!stack.empty()) {
+    const ComponentId n = stack.back();
+    stack.pop_back();
+    if (n == producer) return true;
+    if (seen[n]) continue;
+    seen[n] = true;
+    for (ComponentId next : entries_[n]->consumers) stack.push_back(next);
+  }
+  return false;
+}
+
+void ProcessingGraph::connect(ComponentId producer, ComponentId consumer) {
+  check_not_dispatching("connect");
+  Entry& p = entry(producer);
+  Entry& c = entry(consumer);
+  if (producer == consumer) {
+    throw std::invalid_argument("connect: self-loop");
+  }
+  if (std::find(p.consumers.begin(), p.consumers.end(), consumer) !=
+      p.consumers.end()) {
+    throw std::invalid_argument("connect: edge already exists");
+  }
+  // Realizability: at least one capability of the producer must satisfy a
+  // requirement of the consumer (paper Sec. 2.1).
+  const auto caps = capabilities(producer);
+  const auto reqs = c.component->input_requirements();
+  const bool realizable =
+      std::any_of(caps.begin(), caps.end(), [&](const DataSpec& cap) {
+        return std::any_of(reqs.begin(), reqs.end(),
+                           [&](const InputRequirement& r) {
+                             return r.accepts(cap.type, cap.feature_tag);
+                           });
+      });
+  if (!realizable) {
+    throw std::invalid_argument(
+        "connect: no capability of '" + std::string(p.component->kind()) +
+        "' satisfies a requirement of '" + std::string(c.component->kind()) +
+        "'");
+  }
+  if (would_cycle(producer, consumer)) {
+    throw std::invalid_argument("connect: edge would create a cycle");
+  }
+  p.consumers.push_back(consumer);
+  c.producers.push_back(producer);
+  ++revision_;
+  notify_mutation();
+}
+
+void ProcessingGraph::disconnect(ComponentId producer, ComponentId consumer) {
+  check_not_dispatching("disconnect");
+  Entry& p = entry(producer);
+  Entry& c = entry(consumer);
+  const auto it = std::find(p.consumers.begin(), p.consumers.end(), consumer);
+  if (it == p.consumers.end()) {
+    throw std::invalid_argument("disconnect: edge does not exist");
+  }
+  p.consumers.erase(it);
+  erase_id(c.producers, producer);
+  ++revision_;
+  notify_mutation();
+}
+
+void ProcessingGraph::insert_between(ComponentId node, ComponentId producer,
+                                     ComponentId consumer) {
+  check_not_dispatching("insert_between");
+  // Validate the edge exists before mutating anything.
+  const Entry& p = entry(producer);
+  if (std::find(p.consumers.begin(), p.consumers.end(), consumer) ==
+      p.consumers.end()) {
+    throw std::invalid_argument("insert_between: edge does not exist");
+  }
+  disconnect(producer, consumer);
+  try {
+    connect(producer, node);
+    connect(node, consumer);
+  } catch (...) {
+    // Restore the original edge on failure so the graph is unchanged.
+    if (std::find(entry(producer).consumers.begin(),
+                  entry(producer).consumers.end(),
+                  node) != entry(producer).consumers.end()) {
+      disconnect(producer, node);
+    }
+    connect(producer, consumer);
+    throw;
+  }
+}
+
+void ProcessingGraph::attach_feature(
+    ComponentId host, std::shared_ptr<ComponentFeature> feature) {
+  Entry& e = entry(host);
+  if (!feature) throw std::invalid_argument("null feature");
+  const std::string name(feature->name());
+  if (get_feature(host, name) != nullptr) {
+    throw std::invalid_argument("feature '" + name + "' already attached");
+  }
+  for (const std::string& dep : feature->required_features()) {
+    if (get_feature(host, dep) == nullptr) {
+      throw std::invalid_argument("feature '" + name +
+                                  "' requires missing feature '" + dep + "'");
+    }
+  }
+  feature->context_ = FeatureContext(this, host, name);
+  e.features.push_back(std::move(feature));
+}
+
+void ProcessingGraph::detach_feature(ComponentId host, std::string_view name) {
+  Entry& e = entry(host);
+  const auto it = std::find_if(
+      e.features.begin(), e.features.end(),
+      [&](const std::shared_ptr<ComponentFeature>& f) {
+        return f->name() == name;
+      });
+  if (it == e.features.end()) {
+    throw std::invalid_argument("feature '" + std::string(name) +
+                                "' not attached");
+  }
+  (*it)->context_ = FeatureContext();
+  e.features.erase(it);
+}
+
+ComponentFeature* ProcessingGraph::get_feature(ComponentId host,
+                                               std::string_view name) const {
+  for (const auto& f : features_of(host)) {
+    if (f->name() == name) return f.get();
+  }
+  return nullptr;
+}
+
+const std::vector<std::shared_ptr<ComponentFeature>>&
+ProcessingGraph::features_of(ComponentId host) const {
+  return entry(host).features;
+}
+
+std::vector<ComponentId> ProcessingGraph::components() const {
+  std::vector<ComponentId> out;
+  out.reserve(live_count_);
+  for (ComponentId id = 0; id < entries_.size(); ++id) {
+    if (has(id)) out.push_back(id);
+  }
+  return out;
+}
+
+ComponentInfo ProcessingGraph::info(ComponentId id) const {
+  const Entry& e = entry(id);
+  ComponentInfo out;
+  out.id = id;
+  out.kind = std::string(e.component->kind());
+  out.producers = e.producers;
+  out.consumers = e.consumers;
+  for (const auto& f : e.features) out.feature_names.emplace_back(f->name());
+  out.capabilities = capabilities(id);
+  out.emitted = e.emitted;
+  return out;
+}
+
+ProcessingComponent& ProcessingGraph::component(ComponentId id) const {
+  return *entry(id).component;
+}
+
+std::vector<ComponentId> ProcessingGraph::sources() const {
+  std::vector<ComponentId> out;
+  for (ComponentId id : components()) {
+    if (entry(id).producers.empty()) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<ComponentId> ProcessingGraph::sinks() const {
+  std::vector<ComponentId> out;
+  for (ComponentId id : components()) {
+    if (entry(id).consumers.empty()) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<DataSpec> ProcessingGraph::capabilities(ComponentId id) const {
+  const Entry& e = entry(id);
+  std::vector<DataSpec> out = e.component->output_capabilities();
+  for (const auto& f : e.features) {
+    for (const TypeInfo* t : f->added_types()) {
+      out.push_back(DataSpec{t, std::string(f->name())});
+    }
+  }
+  return out;
+}
+
+void ProcessingGraph::emit_from(ComponentId producer, Payload payload,
+                                std::string feature_origin) {
+  Entry& e = entry(producer);
+
+  Sample sample;
+  sample.payload = std::move(payload);
+  sample.timestamp = clock_ != nullptr ? clock_->now() : sim::SimTime::zero();
+  sample.producer = producer;
+  sample.sequence = ++e.sequence;
+  sample.feature_origin = std::move(feature_origin);
+
+  // Provenance: everything consumed since the previous emission; when that
+  // was already claimed by an earlier emission in the same on_input call,
+  // fall back to the input being processed right now.
+  if (!e.pending_inputs.empty()) {
+    sample.inputs = std::make_shared<const std::vector<Sample>>(
+        std::move(e.pending_inputs));
+    e.pending_inputs.clear();
+  } else if (e.current_input != nullptr) {
+    sample.inputs = std::make_shared<const std::vector<Sample>>(
+        std::vector<Sample>{*e.current_input});
+  }
+
+  // Produce hooks of the producing component's features. A hook may modify
+  // the sample but not its data type; returning false drops the emission.
+  const TypeInfo* original_type = sample.payload.type();
+  for (const auto& f : e.features) {
+    if (!f->produce(sample)) return;
+    if (sample.payload.type() != original_type) {
+      throw std::logic_error("feature '" + std::string(f->name()) +
+                             "' changed the data type in produce()");
+    }
+  }
+  ++e.emitted;
+
+  // Deliver to each connected consumer that accepts the sample's spec.
+  // Iterate over a copy of ids: consumers_ is stable during dispatch
+  // (mutation is rejected) but this keeps the loop robust.
+  const std::vector<ComponentId> consumers = e.consumers;
+  for (ComponentId cid : consumers) {
+    deliver(sample, cid);
+  }
+}
+
+void ProcessingGraph::deliver(const Sample& sample, ComponentId consumer) {
+  Entry& c = entry(consumer);
+  const auto reqs = c.component->input_requirements();
+  const bool accepted = std::any_of(
+      reqs.begin(), reqs.end(), [&](const InputRequirement& r) {
+        return r.accepts(sample.payload.type(), sample.feature_origin);
+      });
+  if (!accepted) return;
+
+  // Consume hooks of the receiving component's features.
+  Sample local = sample;
+  const TypeInfo* original_type = local.payload.type();
+  for (const auto& f : c.features) {
+    if (!f->consume(local)) return;
+    if (local.payload.type() != original_type) {
+      throw std::logic_error("feature '" + std::string(f->name()) +
+                             "' changed the data type in consume()");
+    }
+  }
+
+  ++deliveries_;
+  // Record provenance only for components that can emit; pure sinks
+  // (applications) would otherwise accumulate pending inputs forever.
+  if (!c.component->output_capabilities().empty()) {
+    c.pending_inputs.push_back(local);
+  }
+
+  const Sample* saved = c.current_input;
+  c.current_input = &local;
+  ++dispatch_depth_;
+  try {
+    c.component->on_input(local);
+  } catch (...) {
+    --dispatch_depth_;
+    c.current_input = saved;
+    throw;
+  }
+  --dispatch_depth_;
+  c.current_input = saved;
+}
+
+}  // namespace perpos::core

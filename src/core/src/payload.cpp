@@ -1,0 +1,5 @@
+#include "perpos/core/payload.hpp"
+
+// Payload is header-only; this translation unit anchors the library target.
+
+namespace perpos::core {}  // namespace perpos::core

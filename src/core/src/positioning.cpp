@@ -1,0 +1,172 @@
+#include "perpos/core/positioning.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace perpos::core {
+
+// --- LocationProvider --------------------------------------------------------
+
+std::optional<PositionFix> LocationProvider::last_position() const {
+  return last_fix_;
+}
+
+std::optional<Sample> LocationProvider::last_sample() const {
+  return sink_->last();
+}
+
+SubscriptionId LocationProvider::add_listener(FixListener listener) {
+  const SubscriptionId id = next_subscription_++;
+  fix_listeners_.emplace(id, std::move(listener));
+  return id;
+}
+
+SubscriptionId LocationProvider::add_sample_listener(SampleListener listener) {
+  const SubscriptionId id = next_subscription_++;
+  sample_listeners_.emplace(id, std::move(listener));
+  return id;
+}
+
+SubscriptionId LocationProvider::add_proximity_listener(
+    geo::GeoPoint center, double radius_m, ProximityListener listener) {
+  const SubscriptionId id = next_subscription_++;
+  proximity_listeners_.emplace(
+      id, Proximity{center, radius_m, std::move(listener), false});
+  return id;
+}
+
+void LocationProvider::remove_listener(SubscriptionId id) {
+  fix_listeners_.erase(id);
+  sample_listeners_.erase(id);
+  proximity_listeners_.erase(id);
+}
+
+std::vector<Channel*> LocationProvider::channels() const {
+  return service_->channels_.channels_into(sink_id_);
+}
+
+void LocationProvider::on_sample(const Sample& sample) {
+  for (const auto& [id, listener] : sample_listeners_) listener(sample);
+
+  const PositionFix* fix = sample.payload.get<PositionFix>();
+  if (fix == nullptr) return;
+  last_fix_ = *fix;
+  for (const auto& [id, listener] : fix_listeners_) listener(*fix, sample);
+  for (auto& [id, prox] : proximity_listeners_) {
+    const bool inside =
+        geo::haversine_m(fix->position, prox.center) <= prox.radius_m;
+    if (inside != prox.inside) {
+      prox.inside = inside;
+      prox.listener(inside, *fix);
+    }
+  }
+}
+
+// --- Target -------------------------------------------------------------------
+
+std::optional<PositionFix> Target::last_position() const {
+  std::optional<PositionFix> best;
+  for (const LocationProvider* p : providers_) {
+    const auto fix = p->last_position();
+    if (!fix) continue;
+    if (!best || fix->timestamp > best->timestamp) best = fix;
+  }
+  return best;
+}
+
+// --- PositioningService --------------------------------------------------------
+
+PositioningService::PositioningService(ProcessingGraph& graph,
+                                       ChannelManager& channels)
+    : graph_(graph), channels_(channels) {}
+
+PositioningService::~PositioningService() = default;
+
+void PositioningService::advertise(ComponentId producer,
+                                   ProviderAdvertisement ad) {
+  if (!graph_.has(producer)) {
+    throw std::invalid_argument("advertise: unknown component");
+  }
+  advertisements_[producer] = std::move(ad);
+}
+
+LocationProvider& PositioningService::request_provider(
+    const Criteria& criteria) {
+  // Candidates: components whose own output capabilities include the
+  // required type (feature-added data needs explicit consumer declarations
+  // and is not provider material).
+  ComponentId best = kInvalidComponent;
+  double best_accuracy = std::numeric_limits<double>::infinity();
+  ProviderAdvertisement best_ad;
+
+  for (ComponentId id : graph_.components()) {
+    const auto caps = graph_.component(id).output_capabilities();
+    const bool produces =
+        std::any_of(caps.begin(), caps.end(), [&](const DataSpec& c) {
+          return c.type == criteria.required_type && c.feature_tag.empty();
+        });
+    if (!produces) continue;
+
+    ProviderAdvertisement ad;
+    if (const auto it = advertisements_.find(id); it != advertisements_.end()) {
+      ad = it->second;
+    } else {
+      ad.technology = std::string(graph_.component(id).kind());
+    }
+    if (!criteria.technology.empty() && ad.technology != criteria.technology) {
+      continue;
+    }
+    if (criteria.horizontal_accuracy_m &&
+        ad.typical_accuracy_m > *criteria.horizontal_accuracy_m) {
+      continue;
+    }
+    if (criteria.max_power != Criteria::Power::kAny &&
+        static_cast<int>(ad.power) > static_cast<int>(criteria.max_power)) {
+      continue;
+    }
+    if (ad.typical_accuracy_m < best_accuracy) {
+      best = id;
+      best_accuracy = ad.typical_accuracy_m;
+      best_ad = ad;
+    }
+  }
+
+  if (best == kInvalidComponent) {
+    throw std::runtime_error(
+        "request_provider: no component matches the criteria");
+  }
+
+  auto sink = std::make_shared<ApplicationSink>("LocationProvider");
+  ApplicationSink* sink_ptr = sink.get();
+  const ComponentId sink_id = graph_.add(std::move(sink));
+  graph_.connect(best, sink_id);
+
+  auto provider = std::unique_ptr<LocationProvider>(
+      new LocationProvider(this, sink_id, sink_ptr, std::move(best_ad)));
+  LocationProvider* raw = provider.get();
+  sink_ptr->set_callback([raw](const Sample& s) { raw->on_sample(s); });
+  providers_.push_back(std::move(provider));
+  return *raw;
+}
+
+Target& PositioningService::create_target(std::string name) {
+  targets_.push_back(std::make_unique<Target>(std::move(name)));
+  return *targets_.back();
+}
+
+std::vector<std::pair<Target*, double>> PositioningService::k_nearest(
+    const geo::GeoPoint& point, std::size_t k) {
+  std::vector<std::pair<Target*, double>> out;
+  for (const auto& t : targets_) {
+    const auto fix = t->last_position();
+    if (!fix) continue;
+    out.emplace_back(t.get(), geo::haversine_m(point, fix->position));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace perpos::core

@@ -1,0 +1,152 @@
+#include "perpos/core/services.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace perpos::core {
+
+// --- TrackLogService -----------------------------------------------------------
+
+TrackLogService::TrackLogService(LocationProvider& provider,
+                                 std::size_t capacity)
+    : provider_(provider), capacity_(std::max<std::size_t>(capacity, 1)) {
+  subscription_ = provider_.add_listener(
+      [this](const PositionFix& fix, const Sample&) {
+        points_.push_back(TrackPoint{fix.position, fix.horizontal_accuracy_m,
+                                     fix.timestamp, fix.technology});
+        if (points_.size() > capacity_) points_.pop_front();
+      });
+}
+
+TrackLogService::~TrackLogService() {
+  provider_.remove_listener(subscription_);
+}
+
+std::vector<TrackPoint> TrackLogService::between(sim::SimTime from,
+                                                 sim::SimTime to) const {
+  std::vector<TrackPoint> out;
+  for (const TrackPoint& p : points_) {
+    if (p.timestamp >= from && p.timestamp <= to) out.push_back(p);
+  }
+  return out;
+}
+
+double TrackLogService::distance_m(sim::SimTime from, sim::SimTime to) const {
+  const auto window = between(from, to);
+  double total = 0.0;
+  for (std::size_t i = 1; i < window.size(); ++i) {
+    total += geo::haversine_m(window[i - 1].position, window[i].position);
+  }
+  return total;
+}
+
+double TrackLogService::average_speed_mps(sim::SimTime from,
+                                          sim::SimTime to) const {
+  const auto window = between(from, to);
+  if (window.size() < 2) return 0.0;
+  const double elapsed =
+      (window.back().timestamp - window.front().timestamp).seconds();
+  if (elapsed <= 0.0) return 0.0;
+  return distance_m(from, to) / elapsed;
+}
+
+std::optional<TrackPoint> TrackLogService::nearest_in_time(
+    sim::SimTime t) const {
+  std::optional<TrackPoint> best;
+  std::int64_t best_gap = 0;
+  for (const TrackPoint& p : points_) {
+    const std::int64_t gap = std::llabs((p.timestamp - t).ns);
+    if (!best || gap < best_gap) {
+      best = p;
+      best_gap = gap;
+    }
+  }
+  return best;
+}
+
+double TrackLogService::total_distance_m() const {
+  double total = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    total += geo::haversine_m(points_[i - 1].position, points_[i].position);
+  }
+  return total;
+}
+
+// --- GeofenceService -----------------------------------------------------------
+
+GeofenceService::GeofenceService(LocationProvider& provider)
+    : provider_(provider) {
+  subscription_ = provider_.add_listener(
+      [this](const PositionFix& fix, const Sample&) { on_fix(fix); });
+}
+
+GeofenceService::~GeofenceService() {
+  provider_.remove_listener(subscription_);
+}
+
+void GeofenceService::add_zone(GeofenceZone zone) {
+  if (zone.exit_radius_m < zone.radius_m) {
+    throw std::invalid_argument("zone '" + zone.name +
+                                "': exit radius below entry radius");
+  }
+  const std::string name = zone.name;
+  ZoneState state;
+  state.zone = std::move(zone);
+  if (!zones_.emplace(name, std::move(state)).second) {
+    throw std::invalid_argument("zone '" + name + "' already defined");
+  }
+}
+
+void GeofenceService::remove_zone(const std::string& name) {
+  if (zones_.erase(name) == 0) {
+    throw std::invalid_argument("zone '" + name + "' not defined");
+  }
+}
+
+std::vector<std::string> GeofenceService::zone_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, state] : zones_) out.push_back(name);
+  return out;
+}
+
+bool GeofenceService::inside(const std::string& zone_name) const {
+  const auto it = zones_.find(zone_name);
+  return it != zones_.end() && it->second.inside;
+}
+
+std::vector<std::string> GeofenceService::current_zones() const {
+  std::vector<std::string> out;
+  for (const auto& [name, state] : zones_) {
+    if (state.inside) out.push_back(name);
+  }
+  return out;
+}
+
+sim::SimTime GeofenceService::total_dwell(const std::string& zone_name) const {
+  const auto it = zones_.find(zone_name);
+  return it == zones_.end() ? sim::SimTime::zero()
+                            : it->second.total_dwell;
+}
+
+void GeofenceService::on_fix(const PositionFix& fix) {
+  for (auto& [name, state] : zones_) {
+    const double d = geo::haversine_m(fix.position, state.zone.center);
+    if (!state.inside && d <= state.zone.radius_m) {
+      state.inside = true;
+      state.entered_at = fix.timestamp;
+      for (const Listener& l : listeners_) {
+        l(GeofenceEvent{name, true, fix.timestamp, sim::SimTime::zero()});
+      }
+    } else if (state.inside && d > state.zone.exit_radius_m) {
+      state.inside = false;
+      const sim::SimTime dwell = fix.timestamp - state.entered_at;
+      state.total_dwell = state.total_dwell + dwell;
+      for (const Listener& l : listeners_) {
+        l(GeofenceEvent{name, false, fix.timestamp, dwell});
+      }
+    }
+  }
+}
+
+}  // namespace perpos::core

@@ -1,0 +1,72 @@
+#include "perpos/core/type_info.hpp"
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#if defined(__GNUG__)
+#include <cxxabi.h>
+#include <cstdlib>
+#endif
+
+namespace perpos::core {
+
+namespace {
+
+std::string demangle(const char* mangled) {
+#if defined(__GNUG__)
+  int status = 0;
+  char* out = abi::__cxa_demangle(mangled, nullptr, nullptr, &status);
+  if (status == 0 && out != nullptr) {
+    std::string result(out);
+    std::free(out);
+    return result;
+  }
+#endif
+  return mangled;
+}
+
+}  // namespace
+
+struct TypeRegistry::Impl {
+  std::mutex mutex;
+  std::unordered_map<std::type_index, const TypeInfo*> by_index;
+  std::deque<std::unique_ptr<TypeInfo>> storage;  // stable addresses
+};
+
+TypeRegistry& TypeRegistry::instance() {
+  static TypeRegistry registry;
+  return registry;
+}
+
+TypeRegistry::Impl& TypeRegistry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+const TypeInfo* TypeRegistry::intern(std::type_index idx,
+                                     const char* explicit_name,
+                                     const char* mangled_fallback) {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  const auto it = i.by_index.find(idx);
+  if (it != i.by_index.end()) return it->second;
+
+  std::string name =
+      explicit_name != nullptr ? explicit_name : demangle(mangled_fallback);
+  const auto id = static_cast<std::uint32_t>(i.storage.size());
+  i.storage.push_back(
+      std::unique_ptr<TypeInfo>(new TypeInfo(id, std::move(name))));
+  const TypeInfo* info = i.storage.back().get();
+  i.by_index.emplace(idx, info);
+  return info;
+}
+
+std::size_t TypeRegistry::size() const {
+  Impl& i = impl();
+  std::lock_guard lock(i.mutex);
+  return i.storage.size();
+}
+
+}  // namespace perpos::core

@@ -1,0 +1,136 @@
+#pragma once
+
+#include "perpos/core/channel.hpp"
+#include "perpos/core/component.hpp"
+#include "perpos/core/data_types.hpp"
+#include "perpos/core/feature.hpp"
+#include "perpos/geo/local_frame.hpp"
+#include "perpos/sensors/gps_sensor.hpp"
+#include "perpos/sim/scheduler.hpp"
+
+#include <functional>
+#include <optional>
+
+/// \file entracked.hpp
+/// Reimplementation of the EnTracked power-efficient tracking scheme
+/// (Kjærgaard et al., MobiSys 2009) using the PerPos graph abstractions —
+/// the paper's example E3 (Sec. 3.3, Fig. 7):
+///
+///  * SensorWrapper — the device-side pass-through Processing Component
+///    that hosts the Power Strategy feature.
+///  * PowerStrategyFeature — a Component Feature providing methods for
+///    controlling the operation mode of the client-side updating scheme
+///    (here: duty-cycling the GPS receiver through timed sleeps).
+///  * EnTrackedFeature — a Channel Feature that continuously monitors the
+///    output of the Interpreter component and calls the appropriate
+///    methods on the Power Strategy feature, based on threshold levels for
+///    the maximum distance between two consecutive position updates.
+///
+/// The server-side feature talks to the device-side strategy through a
+/// command sink, which the distributed deployment can route over the
+/// simulated network (counting control messages and paying latency).
+
+namespace perpos::energy {
+
+/// Device-side pass-through component: raw GPS data flows through it
+/// unchanged; its role is to be the attachment point for the Power
+/// Strategy on the mobile device (paper Fig. 7: "Sensor Wrapper").
+class SensorWrapper final : public core::ProcessingComponent {
+ public:
+  std::string_view kind() const override { return "SensorWrapper"; }
+  std::vector<core::InputRequirement> input_requirements() const override {
+    return {core::require<core::RawFragment>()};
+  }
+  std::vector<core::DataSpec> output_capabilities() const override {
+    return {core::provide<core::RawFragment>()};
+  }
+  void on_input(const core::Sample& sample) override {
+    context().emit(sample.payload);
+  }
+};
+
+/// Component Feature controlling the GPS duty cycle on the device.
+class PowerStrategyFeature final : public core::ComponentFeature {
+ public:
+  static constexpr const char* kName = "PowerStrategy";
+
+  /// `sensor` is the receiver under control; `scheduler` provides wakeup
+  /// timing. Both must outlive the feature.
+  PowerStrategyFeature(sensors::GpsSensor& sensor, sim::Scheduler& scheduler)
+      : sensor_(sensor), scheduler_(scheduler) {}
+
+  std::string_view name() const override { return kName; }
+
+  /// Switch the receiver off for `seconds`, then wake it again. A new
+  /// request supersedes a pending one. Requests below the minimum sleep
+  /// are ignored (not worth the warmup cost).
+  void request_sleep(double seconds);
+
+  /// Force the receiver on (continuous mode).
+  void continuous();
+
+  /// Minimum sleep worth taking (defaults to the warmup time).
+  void set_min_sleep_s(double s) noexcept { min_sleep_s_ = s; }
+
+  std::uint64_t sleeps_commanded() const noexcept { return sleeps_; }
+  bool sleeping() const noexcept { return !sensor_.active(); }
+
+ private:
+  sensors::GpsSensor& sensor_;
+  sim::Scheduler& scheduler_;
+  sim::Scheduler::EventId wake_event_ = 0;
+  double min_sleep_s_ = 5.0;
+  std::uint64_t sleeps_ = 0;
+};
+
+struct EnTrackedConfig {
+  /// Maximum tolerated distance between consecutive reported positions —
+  /// the application's error budget (EnTracked's "threshold").
+  double threshold_m = 25.0;
+  /// Speed assumed when the target's speed is unknown or zero.
+  double default_speed_mps = 1.5;
+  /// Upper bound on plausible pedestrian speed.
+  double max_speed_mps = 3.0;
+  /// GPS warmup subtracted from each computed sleep.
+  double warmup_s = 5.0;
+  /// Movement below this speed counts as stationary.
+  double stationary_speed_mps = 0.15;
+  /// Sleep used while the target is detected stationary.
+  double stationary_poll_s = 30.0;
+  /// Commands below this are not worth sending: the device ignores sleeps
+  /// shorter than its warmup, and each command costs radio energy.
+  double min_command_sleep_s = 5.0;
+};
+
+/// Server-side controller as a Channel Feature: monitors interpreted
+/// positions, estimates speed, and commands sleeps sized so the target
+/// cannot exceed the error threshold while the receiver is off.
+class EnTrackedFeature final : public core::ChannelFeature {
+ public:
+  /// Commands are delivered through `command_sink(seconds)`; pass a sink
+  /// that forwards to PowerStrategyFeature::request_sleep — directly for a
+  /// single-host graph or via the simulated network for the distributed
+  /// deployment.
+  EnTrackedFeature(EnTrackedConfig config, const geo::LocalFrame& frame,
+                   std::function<void(double)> command_sink)
+      : config_(config), frame_(frame), command_sink_(std::move(command_sink)) {}
+
+  std::string_view name() const override { return "EnTracked"; }
+
+  void apply(const core::DataTree& tree) override;
+
+  double estimated_speed_mps() const noexcept { return speed_estimate_; }
+  std::uint64_t commands_sent() const noexcept { return commands_; }
+  const EnTrackedConfig& config() const noexcept { return config_; }
+
+ private:
+  EnTrackedConfig config_;
+  const geo::LocalFrame& frame_;
+  std::function<void(double)> command_sink_;
+  std::optional<core::PositionFix> last_fix_;
+  std::optional<geo::LocalPoint> last_local_;
+  double speed_estimate_ = 0.0;
+  std::uint64_t commands_ = 0;
+};
+
+}  // namespace perpos::energy

@@ -1,0 +1,73 @@
+#pragma once
+
+#include "perpos/core/component.hpp"
+#include "perpos/energy/entracked.hpp"
+#include "perpos/sensors/motion_sensor.hpp"
+
+/// \file motion_gate.hpp
+/// The accelerometer-assisted EnTracked variant: a device-side component
+/// consuming MotionSample verdicts and gating the GPS receiver through the
+/// Power Strategy. While the target is still, the receiver stays off
+/// entirely (the accelerometer costs two orders of magnitude less); the
+/// first motion verdict wakes it. While moving, duty cycling is left to
+/// the server-side EnTracked feature.
+
+namespace perpos::energy {
+
+struct MotionGateConfig {
+  /// Consecutive still samples before the receiver is parked.
+  int still_samples_to_park = 5;
+  /// Sleep issued while parked (renewed as long as stillness persists; a
+  /// motion verdict wakes the receiver immediately).
+  double park_sleep_s = 120.0;
+};
+
+class MotionGateComponent final : public core::ProcessingComponent {
+ public:
+  /// `strategy` must outlive the component.
+  MotionGateComponent(PowerStrategyFeature& strategy,
+                      MotionGateConfig config = {})
+      : strategy_(strategy), config_(config) {}
+
+  std::string_view kind() const override { return "MotionGate"; }
+  std::vector<core::InputRequirement> input_requirements() const override {
+    return {core::require<sensors::MotionSample>()};
+  }
+  std::vector<core::DataSpec> output_capabilities() const override {
+    return {};
+  }
+
+  void on_input(const core::Sample& sample) override {
+    const auto* motion = sample.payload.get<sensors::MotionSample>();
+    if (motion == nullptr) return;
+
+    if (motion->moving) {
+      still_streak_ = 0;
+      if (parked_) {
+        parked_ = false;
+        ++wakes_;
+        strategy_.continuous();  // Motion: receiver on immediately.
+      }
+      return;
+    }
+    if (++still_streak_ >= config_.still_samples_to_park) {
+      if (!parked_) ++parks_;
+      parked_ = true;
+      strategy_.request_sleep(config_.park_sleep_s);
+    }
+  }
+
+  bool parked() const noexcept { return parked_; }
+  std::uint64_t parks() const noexcept { return parks_; }
+  std::uint64_t wakes() const noexcept { return wakes_; }
+
+ private:
+  PowerStrategyFeature& strategy_;
+  MotionGateConfig config_;
+  int still_streak_ = 0;
+  bool parked_ = false;
+  std::uint64_t parks_ = 0;
+  std::uint64_t wakes_ = 0;
+};
+
+}  // namespace perpos::energy

@@ -1,0 +1,64 @@
+#include "perpos/energy/entracked.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace perpos::energy {
+
+void PowerStrategyFeature::request_sleep(double seconds) {
+  if (seconds < min_sleep_s_) return;
+  if (wake_event_ != 0) scheduler_.cancel(wake_event_);
+  sensor_.set_active(false);
+  ++sleeps_;
+  wake_event_ = scheduler_.schedule_after(
+      sim::SimTime::from_seconds(seconds), [this] {
+        wake_event_ = 0;
+        sensor_.set_active(true);
+      });
+}
+
+void PowerStrategyFeature::continuous() {
+  if (wake_event_ != 0) {
+    scheduler_.cancel(wake_event_);
+    wake_event_ = 0;
+  }
+  sensor_.set_active(true);
+}
+
+void EnTrackedFeature::apply(const core::DataTree& tree) {
+  const auto* fix = tree.root().sample.payload.get<core::PositionFix>();
+  if (fix == nullptr) return;
+  const geo::LocalPoint local = frame_.to_local(fix->position);
+
+  if (last_fix_ && last_local_) {
+    const double dt = (fix->timestamp - last_fix_->timestamp).seconds();
+    if (dt > 0.0) {
+      const double dist =
+          std::hypot(local.x - last_local_->x, local.y - last_local_->y);
+      const double inst_speed = dist / dt;
+      // EWMA speed estimate, clamped to plausible pedestrian speeds.
+      speed_estimate_ = std::min(config_.max_speed_mps,
+                                 0.6 * speed_estimate_ + 0.4 * inst_speed);
+    }
+  }
+  last_fix_ = *fix;
+  last_local_ = local;
+
+  // Sleep sizing: while the receiver is off for t seconds, the target can
+  // move at most v_assumed * t; keep that within the threshold, minus the
+  // warmup during which no fixes arrive either.
+  double sleep_s;
+  if (speed_estimate_ <= config_.stationary_speed_mps) {
+    sleep_s = config_.stationary_poll_s;
+  } else {
+    const double v =
+        std::max(speed_estimate_ * 1.25, config_.default_speed_mps);
+    sleep_s = config_.threshold_m / v - config_.warmup_s;
+  }
+  if (sleep_s >= config_.min_command_sleep_s && command_sink_) {
+    ++commands_;
+    command_sink_(sleep_s);
+  }
+}
+
+}  // namespace perpos::energy

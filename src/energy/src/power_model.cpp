@@ -1,0 +1,46 @@
+#include "perpos/energy/power_model.hpp"
+
+#include <cstdio>
+
+namespace perpos::energy {
+
+EnergyReport account(const DevicePowerModel& model, sim::SimTime duration,
+                     sim::SimTime gps_active, std::uint64_t messages_tx,
+                     std::uint64_t messages_rx, sim::SimTime accel_active) {
+  EnergyReport r;
+  r.duration_s = duration.seconds();
+  r.gps_j = gps_active.seconds() * model.gps_on_w;
+  r.accel_j = accel_active.seconds() * model.accel_on_w;
+  r.radio_j = static_cast<double>(messages_tx) * model.radio_tx_j +
+              static_cast<double>(messages_rx) * model.radio_rx_j;
+  r.idle_j = r.duration_s * model.idle_w;
+  r.gps_duty_cycle =
+      r.duration_s > 0.0 ? gps_active.seconds() / r.duration_s : 0.0;
+  r.messages_tx = messages_tx;
+  r.messages_rx = messages_rx;
+  return r;
+}
+
+std::string format_energy_row(const std::string& label,
+                              const EnergyReport& report, double error_mean_m,
+                              double error_p95_m) {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "%-26s %9.1f %8.1f %7.1f%% %6llu %6llu %9.1f %8.2f %8.2f",
+                label.c_str(), report.total_j(), report.average_mw(),
+                report.gps_duty_cycle * 100.0,
+                static_cast<unsigned long long>(report.messages_tx),
+                static_cast<unsigned long long>(report.messages_rx),
+                report.gps_j, error_mean_m, error_p95_m);
+  return buf;
+}
+
+std::string energy_header() {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf), "%-26s %9s %8s %8s %6s %6s %9s %8s %8s",
+                "strategy", "total_J", "avg_mW", "gps_dc", "tx", "rx",
+                "gps_J", "err_m", "err_p95");
+  return buf;
+}
+
+}  // namespace perpos::energy

@@ -1,0 +1,125 @@
+#pragma once
+
+#include "perpos/core/channel.hpp"
+#include "perpos/core/feature.hpp"
+#include "perpos/fusion/particle_filter.hpp"
+#include "perpos/nmea/types.hpp"
+
+#include <optional>
+#include <vector>
+
+/// \file features.hpp
+/// The concrete features of the paper's evaluation examples:
+///
+///  * HdopFeature — Component Feature for the Parser. Extracts the HDOP
+///    value from each NMEA sentence and adds it to the Parser's output
+///    (Fig. 5 artifact 3: `parser.produce(nmeaSentence.HDOP)`), and exposes
+///    it as component state.
+///  * NumberOfSatellitesFeature — Component Feature for the Parser used by
+///    example E1: exposes the satellite count and adds it as data so a
+///    downstream filter component can act on it.
+///  * HdopLikelihoodFeature — the Likelihood Channel Feature of example E2
+///    (Fig. 5 artifact 2): collects HDOP values from the channel's data
+///    tree in apply() and answers getLikelihood(particle) queries from the
+///    particle filter.
+
+namespace perpos::fusion {
+
+/// Data element added by HdopFeature to the Parser output.
+struct HdopValue {
+  double hdop = 99.9;
+
+  friend bool operator==(const HdopValue&, const HdopValue&) = default;
+};
+
+/// Data element added by NumberOfSatellitesFeature to the Parser output.
+struct SatelliteCount {
+  int satellites = 0;
+
+  friend bool operator==(const SatelliteCount&, const SatelliteCount&) =
+      default;
+};
+
+/// Component Feature exposing (and adding) the HDOP of parsed sentences.
+class HdopFeature final : public core::ComponentFeature {
+ public:
+  static constexpr const char* kName = "HDOP";
+
+  std::string_view name() const override { return kName; }
+
+  bool produce(core::Sample& sample) override;
+
+  std::vector<const core::TypeInfo*> added_types() const override {
+    return {core::type_of<HdopValue>()};
+  }
+
+  /// State access (the third augmentation kind): latest HDOP seen.
+  std::optional<double> hdop() const noexcept { return last_hdop_; }
+
+ private:
+  std::optional<double> last_hdop_;
+};
+
+/// Component Feature exposing (and adding) the number of satellites used.
+class NumberOfSatellitesFeature final : public core::ComponentFeature {
+ public:
+  static constexpr const char* kName = "NumberOfSatellites";
+
+  std::string_view name() const override { return kName; }
+
+  bool produce(core::Sample& sample) override;
+
+  std::vector<const core::TypeInfo*> added_types() const override {
+    return {core::type_of<SatelliteCount>()};
+  }
+
+  std::optional<int> satellites() const noexcept { return last_count_; }
+
+ private:
+  std::optional<int> last_count_;
+};
+
+/// The Likelihood Channel Feature (E2): probability that the channel's
+/// current sensed position represents the true position, evaluated per
+/// particle from the HDOP values of the raw readings behind it.
+class HdopLikelihoodFeature final : public core::ChannelFeature,
+                                    public Likelihood {
+ public:
+  /// `frame` maps the channel's WGS84 output into particle coordinates;
+  /// `uere_m` converts HDOP into a position sigma.
+  explicit HdopLikelihoodFeature(const geo::LocalFrame& frame,
+                                 double uere_m = 4.0)
+      : frame_(frame), uere_m_(uere_m) {}
+
+  std::string_view name() const override { return "Likelihood"; }
+
+  std::vector<std::string> required_component_features() const override {
+    return {HdopFeature::kName};
+  }
+
+  /// Collect HDOP values from the data tree: for every NMEA sentence in
+  /// the tree, reach the HDOP Component Feature of the producing component
+  /// (Fig. 5 artifact 2). The feature copes with unknown tree shape — any
+  /// number of sentences may back one output.
+  void apply(const core::DataTree& tree) override;
+
+  /// Per-particle likelihood for the most recent channel output.
+  double get_likelihood(const Particle& particle) const override;
+
+  const std::vector<double>& hdop_list() const noexcept { return hdops_; }
+  std::optional<geo::LocalPoint> last_measured() const noexcept {
+    return measured_;
+  }
+  double current_sigma_m() const noexcept;
+
+ private:
+  const geo::LocalFrame& frame_;
+  double uere_m_;
+  std::vector<double> hdops_;
+  std::optional<geo::LocalPoint> measured_;
+};
+
+}  // namespace perpos::fusion
+
+PERPOS_TYPE_NAME(perpos::fusion::HdopValue, "HDOP");
+PERPOS_TYPE_NAME(perpos::fusion::SatelliteCount, "SatelliteCount");

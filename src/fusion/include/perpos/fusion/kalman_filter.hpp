@@ -1,0 +1,89 @@
+#pragma once
+
+#include "perpos/core/component.hpp"
+#include "perpos/core/data_types.hpp"
+#include "perpos/geo/local_frame.hpp"
+
+#include <optional>
+
+/// \file kalman_filter.hpp
+/// A constant-velocity Kalman filter as an alternative probabilistic
+/// tracking mechanism. The paper's architecture claim is that *new kinds
+/// of positioning mechanisms* plug in without changing the middleware —
+/// the Kalman filter is the second such mechanism (after the particle
+/// filter) and the comparator for the fusion ablation benchmark: cheap and
+/// smooth, but unable to exploit wall constraints or non-Gaussian
+/// likelihoods.
+
+namespace perpos::fusion {
+
+struct KalmanConfig {
+  /// Process noise: white acceleration spectral density (m^2/s^3).
+  double acceleration_psd = 0.5;
+  /// Floor on the measurement standard deviation.
+  double min_sigma_m = 1.0;
+};
+
+/// 2D constant-velocity Kalman filter core (state: x, y, vx, vy).
+class KalmanFilter {
+ public:
+  using Config = KalmanConfig;
+
+  explicit KalmanFilter(Config config = Config()) : config_(config) {}
+
+  bool initialized() const noexcept { return initialized_; }
+
+  /// Initialize at a first measurement.
+  void init(const geo::LocalPoint& position, double sigma_m);
+
+  /// Time update over dt seconds (constant-velocity model).
+  void predict(double dt_s);
+
+  /// Measurement update with an isotropic position measurement.
+  void update(const geo::LocalPoint& measured, double sigma_m);
+
+  geo::LocalPoint position() const noexcept { return {x_[0], x_[1]}; }
+  double speed() const noexcept;
+  /// 1-sigma horizontal position uncertainty (sqrt of mean of variances).
+  double position_sigma() const noexcept;
+
+ private:
+  Config config_;
+  bool initialized_ = false;
+  // State vector and covariance. The x/vx and y/vy pairs are decoupled
+  // under this model, so P is two independent 2x2 blocks, stored as
+  // [p_pp, p_pv, p_vv] per axis.
+  double x_[4] = {0, 0, 0, 0};  // x, y, vx, vy
+  double pxx_[3] = {0, 0, 0};
+  double pyy_[3] = {0, 0, 0};
+};
+
+/// The middleware component: PositionFix in, smoothed PositionFix out.
+/// Exactly the same port signature as the particle filter, so the two are
+/// interchangeable in any processing graph.
+class KalmanFilterComponent final : public core::ProcessingComponent {
+ public:
+  KalmanFilterComponent(KalmanFilter::Config config,
+                        const geo::LocalFrame& frame)
+      : filter_(config), frame_(frame) {}
+
+  std::string_view kind() const override { return "KalmanFilter"; }
+  std::vector<core::InputRequirement> input_requirements() const override {
+    return {core::require<core::PositionFix>()};
+  }
+  std::vector<core::DataSpec> output_capabilities() const override {
+    return {core::provide<core::PositionFix>()};
+  }
+  bool is_channel_endpoint() const override { return true; }
+
+  void on_input(const core::Sample& sample) override;
+
+  const KalmanFilter& filter() const noexcept { return filter_; }
+
+ private:
+  KalmanFilter filter_;
+  const geo::LocalFrame& frame_;
+  std::optional<sim::SimTime> last_update_;
+};
+
+}  // namespace perpos::fusion

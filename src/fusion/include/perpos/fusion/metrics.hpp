@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// \file metrics.hpp
+/// Error statistics used by the evaluation harness (Fig. 6 / Fig. 7
+/// reproductions): given a series of per-sample position errors, compute
+/// the summary rows the benchmark tables print.
+
+namespace perpos::fusion {
+
+struct ErrorStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double rmse = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Compute summary statistics of an error series (metres). An empty input
+/// yields all-zero stats.
+ErrorStats compute_stats(std::vector<double> errors);
+
+/// One formatted table row: "label  n  mean  rmse  median  p95  max".
+std::string format_stats_row(const std::string& label, const ErrorStats& s);
+
+/// The matching header row.
+std::string stats_header();
+
+}  // namespace perpos::fusion

@@ -1,0 +1,160 @@
+#pragma once
+
+#include "perpos/core/channel.hpp"
+#include "perpos/core/component.hpp"
+#include "perpos/core/data_types.hpp"
+#include "perpos/geo/local_frame.hpp"
+#include "perpos/locmodel/building.hpp"
+#include "perpos/sim/random.hpp"
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+/// \file particle_filter.hpp
+/// Sampling-importance-resampling particle filter for probabilistic
+/// position tracking (paper Sec. 3.2, following Hightower & Borriello's
+/// case study [1]). Plugged into PerPos as a new kind of positioning
+/// mechanism — a merging Processing Component that consumes PositionFix
+/// values from any number of channels (GPS, WiFi) and produces refined
+/// PositionFix values, without changing the middleware's high-level API.
+
+namespace perpos::fusion {
+
+using geo::LocalPoint;
+
+struct Particle {
+  LocalPoint position;
+  double vx = 0.0;  ///< Velocity estimate, m/s.
+  double vy = 0.0;
+  double weight = 1.0;
+};
+
+struct ParticleFilterConfig {
+  std::size_t particle_count = 500;
+  /// Process noise: per-sqrt-second position diffusion.
+  double position_diffusion_m = 0.8;
+  /// Process noise on velocity.
+  double velocity_diffusion_mps = 0.4;
+  /// Maximum plausible speed; particles are clamped.
+  double max_speed_mps = 3.0;
+  /// Resample when effective sample size falls below this fraction.
+  double ess_threshold = 0.5;
+  /// Floor on measurement sigma to avoid degeneracy.
+  double min_sigma_m = 1.0;
+  /// Weight multiplier for particles whose movement crosses a wall.
+  /// Soft rather than hard: measurements are noisy and the cloud must be
+  /// able to funnel through doorways without starving.
+  double constraint_weight = 0.5;
+};
+
+/// The filter core: pure algorithm, testable without any middleware.
+class ParticleFilter {
+ public:
+  ParticleFilter(ParticleFilterConfig config, sim::Random& random);
+
+  /// Initialize particles uniformly in `box` (e.g. the building footprint)
+  /// or as a Gaussian cloud around a first fix.
+  void init_uniform(const geo::LocalBox& box);
+  void init_gaussian(const LocalPoint& center, double sigma_m);
+
+  bool initialized() const noexcept { return !particles_.empty(); }
+
+  /// Motion update over `dt` seconds. When `building` is non-null,
+  /// particles whose step crosses a wall get their weight multiplied by
+  /// `constraint_weight` (the location-model movement restriction).
+  void predict(double dt_s, const locmodel::Building* building = nullptr);
+
+  /// Measurement update with a Gaussian likelihood around `measured`.
+  void weight_gaussian(const LocalPoint& measured, double sigma_m);
+
+  /// Measurement update with an arbitrary per-particle likelihood
+  /// (the Channel-Feature-provided likelihood of example E2).
+  void weight_with(const std::function<double(const Particle&)>& likelihood);
+
+  /// Systematic resampling when ESS drops below the configured fraction.
+  /// Returns true if resampling happened.
+  bool maybe_resample();
+
+  /// Weighted mean position.
+  LocalPoint estimate() const;
+  /// RMS spread of particles around the estimate (reported accuracy).
+  double spread() const;
+  /// Effective sample size of the current weights.
+  double effective_sample_size() const;
+
+  const std::vector<Particle>& particles() const noexcept {
+    return particles_;
+  }
+  std::uint64_t resample_count() const noexcept { return resamples_; }
+
+ private:
+  void normalize();
+
+  ParticleFilterConfig config_;
+  sim::Random* random_;
+  std::vector<Particle> particles_;
+  std::uint64_t resamples_ = 0;
+};
+
+/// The middleware component wrapping the filter. Consumes PositionFix from
+/// its input channels; on each fix it
+///  1. predicts particles forward by the elapsed time,
+///  2. asks the delivering channel for a Likelihood Channel Feature scoped
+///     to this exact fix (Fig. 5 artifact 1) and uses it when present,
+///     falling back to a Gaussian around the fix otherwise,
+///  3. resamples if needed and emits the refined PositionFix.
+class ParticleFilterComponent final : public core::ProcessingComponent {
+ public:
+  /// `frame` maps PositionFix (WGS84) into filter-local coordinates;
+  /// `building` (optional) enables the wall constraint.
+  ParticleFilterComponent(ParticleFilterConfig config, sim::Random& random,
+                          const geo::LocalFrame& frame,
+                          const locmodel::Building* building = nullptr);
+
+  std::string_view kind() const override { return "ParticleFilter"; }
+  std::vector<core::InputRequirement> input_requirements() const override {
+    return {core::require<core::PositionFix>()};
+  }
+  std::vector<core::DataSpec> output_capabilities() const override {
+    return {core::provide<core::PositionFix>()};
+  }
+  void on_input(const core::Sample& sample) override;
+
+  /// The particle filter is a sensor-fusion component: always a channel
+  /// end-point, even with a single connected sensor.
+  bool is_channel_endpoint() const override { return true; }
+
+  /// Enables Channel-Feature likelihood lookup (E2). Without a manager the
+  /// component always uses the Gaussian fallback.
+  void set_channel_manager(core::ChannelManager* manager) {
+    channels_ = manager;
+  }
+
+  const ParticleFilter& filter() const noexcept { return filter_; }
+  std::uint64_t feature_likelihood_updates() const noexcept {
+    return feature_updates_;
+  }
+  std::uint64_t gaussian_updates() const noexcept { return gaussian_updates_; }
+
+ private:
+  ParticleFilter filter_;
+  const geo::LocalFrame& frame_;
+  const locmodel::Building* building_;
+  core::ChannelManager* channels_ = nullptr;
+  std::optional<sim::SimTime> last_update_;
+  std::uint64_t feature_updates_ = 0;
+  std::uint64_t gaussian_updates_ = 0;
+};
+
+/// The custom likelihood interface of example E2 (Fig. 5): Channel
+/// Features implementing it provide per-particle likelihoods for the most
+/// recent channel output. Defined here so the filter does not depend on
+/// the concrete HDOP-based implementation.
+class Likelihood {
+ public:
+  virtual ~Likelihood() = default;
+  virtual double get_likelihood(const Particle& particle) const = 0;
+};
+
+}  // namespace perpos::fusion

@@ -1,0 +1,70 @@
+#pragma once
+
+#include "perpos/core/component.hpp"
+#include "perpos/fusion/features.hpp"
+#include "perpos/nmea/types.hpp"
+
+/// \file satellite_filter.hpp
+/// Example E1 (paper Sec. 3.1): detecting unreliable GPS readings.
+///
+/// GPS receivers keep producing measurements after losing sight of the
+/// satellites; filtering by the number of satellites used increases
+/// reliability. The filter is a new Processing Component inserted into the
+/// processing tree after the Parser. It declares a dependency on data
+/// added by the NumberOfSatellites Component Feature — the feature-added
+/// SatelliteCount samples arrive just before the sentence they describe —
+/// and forwards only sentences based on a satisfactory number.
+
+namespace perpos::fusion {
+
+class SatelliteFilter final : public core::ProcessingComponent {
+ public:
+  explicit SatelliteFilter(int min_satellites = 4)
+      : min_satellites_(min_satellites) {}
+
+  std::string_view kind() const override { return "SatelliteFilter"; }
+
+  std::vector<core::InputRequirement> input_requirements() const override {
+    // The sentence stream itself plus the feature-added satellite counts:
+    // feature-added data is only delivered to components that explicitly
+    // declare they accept input from the feature (paper Sec. 2.1).
+    return {core::require<perpos::nmea::Sentence>(),
+            core::require<SatelliteCount>(NumberOfSatellitesFeature::kName)};
+  }
+  std::vector<core::DataSpec> output_capabilities() const override {
+    return {core::provide<perpos::nmea::Sentence>()};
+  }
+
+  void on_input(const core::Sample& sample) override {
+    if (const auto* count = sample.payload.get<SatelliteCount>()) {
+      current_count_ = count->satellites;
+      return;
+    }
+    const auto* sentence = sample.payload.get<perpos::nmea::Sentence>();
+    if (sentence == nullptr) return;
+    // Non-GGA sentences carry no fix; pass them through untouched.
+    if (!sentence->gga) {
+      context().emit(sample.payload);
+      return;
+    }
+    if (current_count_ >= min_satellites_) {
+      ++forwarded_;
+      context().emit(sample.payload);
+    } else {
+      ++dropped_;
+    }
+  }
+
+  int min_satellites() const noexcept { return min_satellites_; }
+  void set_min_satellites(int n) noexcept { min_satellites_ = n; }
+  std::uint64_t forwarded() const noexcept { return forwarded_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  int min_satellites_;
+  int current_count_ = 0;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace perpos::fusion

@@ -1,0 +1,180 @@
+#pragma once
+
+#include "perpos/core/component.hpp"
+#include "perpos/core/data_types.hpp"
+#include "perpos/geo/local_frame.hpp"
+
+#include <array>
+#include <deque>
+#include <string>
+#include <vector>
+
+/// \file transport_mode.hpp
+/// Transportation-mode inference as a PerPos processing pipeline.
+///
+/// The paper's introduction motivates translucency with exactly this use
+/// case: "structure the reasoning process when determining transportation
+/// mode of a target by segmentation, feature extraction, decision tree
+/// classification and hidden-markov model post processing" (Zheng et al.
+/// [4]). Each of those four stages is one Processing Component here, so
+/// the whole reasoning process is inspectable and adaptable through the
+/// PSL/PCL like any positioning process:
+///
+///   PositionFix --> Segmentation --> TrackSegment
+///               --> FeatureExtraction --> SegmentFeatures
+///               --> DecisionTreeClassifier --> ModeEstimate
+///               --> HmmSmoother --> ModeEstimate (smoothed)
+
+namespace perpos::fusion {
+
+enum class TransportMode : int {
+  kStill = 0,
+  kWalk = 1,
+  kBike = 2,
+  kVehicle = 3,
+};
+constexpr int kTransportModeCount = 4;
+
+const char* to_string(TransportMode mode) noexcept;
+
+/// A contiguous run of position fixes (in building/track-local metres).
+struct TrackSegment {
+  std::vector<geo::LocalPoint> points;
+  std::vector<sim::SimTime> times;
+
+  friend bool operator==(const TrackSegment&, const TrackSegment&) = default;
+};
+
+/// Statistics extracted from one segment.
+struct SegmentFeatures {
+  double mean_speed_mps = 0.0;
+  double max_speed_mps = 0.0;
+  double speed_stddev = 0.0;
+  double mean_abs_acceleration = 0.0;
+  /// Mean absolute heading change between consecutive steps (degrees).
+  double heading_change_deg = 0.0;
+  double duration_s = 0.0;
+  sim::SimTime end_time;
+
+  friend bool operator==(const SegmentFeatures&, const SegmentFeatures&) =
+      default;
+};
+
+/// A (possibly smoothed) mode estimate.
+struct ModeEstimate {
+  TransportMode mode = TransportMode::kStill;
+  double confidence = 0.0;
+  sim::SimTime timestamp;
+
+  friend bool operator==(const ModeEstimate&, const ModeEstimate&) = default;
+};
+
+/// Stage 1 — segmentation: buffers PositionFix values and emits a
+/// TrackSegment every `segment_size` fixes (sliding by `stride`). A time
+/// gap larger than `gap_limit` flushes and restarts the buffer.
+struct SegmentationConfig {
+  std::size_t segment_size = 10;
+  std::size_t stride = 5;
+  sim::SimTime gap_limit = sim::SimTime::from_seconds(10.0);
+};
+
+class SegmentationComponent final : public core::ProcessingComponent {
+ public:
+  using Config = SegmentationConfig;
+
+  explicit SegmentationComponent(const geo::LocalFrame& frame,
+                                 Config config = Config())
+      : frame_(frame), config_(config) {}
+
+  std::string_view kind() const override { return "Segmentation"; }
+  std::vector<core::InputRequirement> input_requirements() const override {
+    return {core::require<core::PositionFix>()};
+  }
+  std::vector<core::DataSpec> output_capabilities() const override {
+    return {core::provide<TrackSegment>()};
+  }
+  void on_input(const core::Sample& sample) override;
+
+  std::uint64_t gaps() const noexcept { return gaps_; }
+
+ private:
+  const geo::LocalFrame& frame_;
+  Config config_;
+  std::deque<geo::LocalPoint> points_;
+  std::deque<sim::SimTime> times_;
+  std::uint64_t gaps_ = 0;
+};
+
+/// Stage 2 — feature extraction: TrackSegment -> SegmentFeatures.
+class FeatureExtractionComponent final : public core::ProcessingComponent {
+ public:
+  std::string_view kind() const override { return "FeatureExtraction"; }
+  std::vector<core::InputRequirement> input_requirements() const override {
+    return {core::require<TrackSegment>()};
+  }
+  std::vector<core::DataSpec> output_capabilities() const override {
+    return {core::provide<SegmentFeatures>()};
+  }
+  void on_input(const core::Sample& sample) override;
+
+  /// Pure function, exposed for tests.
+  static SegmentFeatures extract(const TrackSegment& segment);
+};
+
+/// Stage 3 — decision tree: SegmentFeatures -> ModeEstimate. A small
+/// hand-built tree over speed/acceleration/heading statistics (thresholds
+/// in the spirit of Zheng et al.).
+class DecisionTreeClassifier final : public core::ProcessingComponent {
+ public:
+  std::string_view kind() const override { return "DecisionTree"; }
+  std::vector<core::InputRequirement> input_requirements() const override {
+    return {core::require<SegmentFeatures>()};
+  }
+  std::vector<core::DataSpec> output_capabilities() const override {
+    return {core::provide<ModeEstimate>()};
+  }
+  void on_input(const core::Sample& sample) override;
+
+  /// Pure classification, exposed for tests.
+  static ModeEstimate classify(const SegmentFeatures& features);
+};
+
+/// Stage 4 — HMM post-processing: forward-algorithm smoothing of the mode
+/// sequence with a sticky transition matrix; emits the MAP mode per step.
+struct HmmSmootherConfig {
+  /// Probability of staying in the same mode per step.
+  double self_transition = 0.9;
+  /// Probability mass the classifier's confidence assigns to its mode;
+  /// the remainder spreads over the other modes.
+  double emission_floor = 0.05;
+};
+
+class HmmSmoother final : public core::ProcessingComponent {
+ public:
+  using Config = HmmSmootherConfig;
+
+  explicit HmmSmoother(Config config = Config());
+
+  std::string_view kind() const override { return "HmmSmoother"; }
+  std::vector<core::InputRequirement> input_requirements() const override {
+    return {core::require<ModeEstimate>()};
+  }
+  std::vector<core::DataSpec> output_capabilities() const override {
+    return {core::provide<ModeEstimate>()};
+  }
+  void on_input(const core::Sample& sample) override;
+
+  const std::array<double, kTransportModeCount>& belief() const noexcept {
+    return belief_;
+  }
+
+ private:
+  Config config_;
+  std::array<double, kTransportModeCount> belief_;
+};
+
+}  // namespace perpos::fusion
+
+PERPOS_TYPE_NAME(perpos::fusion::TrackSegment, "TrackSegment");
+PERPOS_TYPE_NAME(perpos::fusion::SegmentFeatures, "SegmentFeatures");
+PERPOS_TYPE_NAME(perpos::fusion::ModeEstimate, "ModeEstimate");

@@ -1,0 +1,77 @@
+#include "perpos/fusion/features.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace perpos::fusion {
+
+bool HdopFeature::produce(core::Sample& sample) {
+  // Only react to the component's own sentence output, not to data added
+  // by features (including this one — guards against recursion).
+  if (!sample.feature_origin.empty()) return true;
+  const auto* sentence = sample.payload.get<perpos::nmea::Sentence>();
+  if (sentence == nullptr) return true;
+
+  std::optional<double> hdop;
+  if (sentence->gga) hdop = sentence->gga->hdop;
+  if (sentence->gsa) hdop = sentence->gsa->hdop;
+  if (!hdop) return true;
+
+  last_hdop_ = hdop;
+  // Fig. 5 artifact 3: parser.produce(nmeaSentence.HDOP) — the value is
+  // propagated as if produced by the Parser, tagged with this feature.
+  context().emit(core::Payload::make(HdopValue{*hdop}));
+  return true;
+}
+
+bool NumberOfSatellitesFeature::produce(core::Sample& sample) {
+  if (!sample.feature_origin.empty()) return true;
+  const auto* sentence = sample.payload.get<perpos::nmea::Sentence>();
+  if (sentence == nullptr || !sentence->gga) return true;
+
+  last_count_ = sentence->gga->satellites_in_use;
+  context().emit(core::Payload::make(SatelliteCount{*last_count_}));
+  return true;
+}
+
+void HdopLikelihoodFeature::apply(const core::DataTree& tree) {
+  hdops_.clear();
+  measured_.reset();
+
+  // The root is the channel output; when it is a PositionFix we know the
+  // measured position the likelihood is centred on.
+  if (const auto* fix = tree.root().sample.payload.get<core::PositionFix>()) {
+    measured_ = frame_.to_local(fix->position);
+  }
+
+  // for (component, nmeaSentence) : dataTree.getData(NMEASentence.class):
+  //   hdop = component.getFeature(HDOP.class).getHDOP()
+  for (const auto& [producer, sentence] :
+       tree.collect<perpos::nmea::Sentence>()) {
+    (void)sentence;
+    if (graph() == nullptr || !graph()->has(producer)) continue;
+    const auto* hdop_feature = graph()->get_feature<HdopFeature>(producer);
+    if (hdop_feature == nullptr || !hdop_feature->hdop()) continue;
+    hdops_.push_back(*hdop_feature->hdop());
+  }
+  // Components inserted into the channel may filter sentences; if none
+  // carried HDOP we simply keep an empty list (callers fall back).
+}
+
+double HdopLikelihoodFeature::current_sigma_m() const noexcept {
+  if (hdops_.empty()) return 10.0 * uere_m_;
+  const double mean =
+      std::accumulate(hdops_.begin(), hdops_.end(), 0.0) /
+      static_cast<double>(hdops_.size());
+  return std::max(1.0, mean * uere_m_);
+}
+
+double HdopLikelihoodFeature::get_likelihood(const Particle& particle) const {
+  if (!measured_) return 1.0;  // No spatial information: uninformative.
+  const double sigma = current_sigma_m();
+  const double dx = particle.position.x - measured_->x;
+  const double dy = particle.position.y - measured_->y;
+  return std::exp(-(dx * dx + dy * dy) / (2.0 * sigma * sigma));
+}
+
+}  // namespace perpos::fusion

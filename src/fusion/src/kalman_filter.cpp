@@ -1,0 +1,103 @@
+#include "perpos/fusion/kalman_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace perpos::fusion {
+
+void KalmanFilter::init(const geo::LocalPoint& position, double sigma_m) {
+  const double s = std::max(sigma_m, config_.min_sigma_m);
+  x_[0] = position.x;
+  x_[1] = position.y;
+  x_[2] = x_[3] = 0.0;
+  pxx_[0] = pyy_[0] = s * s;
+  pxx_[1] = pyy_[1] = 0.0;
+  pxx_[2] = pyy_[2] = 4.0;  // Generous initial velocity uncertainty.
+  initialized_ = true;
+}
+
+namespace {
+
+/// One-axis constant-velocity predict: p' = F p F^T + Q.
+void predict_axis(double& pos, double& vel, double p[3], double dt,
+                  double q_psd) {
+  pos += vel * dt;
+  const double dt2 = dt * dt;
+  const double dt3 = dt2 * dt;
+  const double p_pp = p[0] + 2.0 * dt * p[1] + dt2 * p[2] + q_psd * dt3 / 3.0;
+  const double p_pv = p[1] + dt * p[2] + q_psd * dt2 / 2.0;
+  const double p_vv = p[2] + q_psd * dt;
+  p[0] = p_pp;
+  p[1] = p_pv;
+  p[2] = p_vv;
+}
+
+/// One-axis position-measurement update.
+void update_axis(double& pos, double& vel, double p[3], double measured,
+                 double r) {
+  const double s = p[0] + r;             // Innovation variance.
+  const double k_p = p[0] / s;           // Kalman gains.
+  const double k_v = p[1] / s;
+  const double innovation = measured - pos;
+  pos += k_p * innovation;
+  vel += k_v * innovation;
+  const double p_pp = (1.0 - k_p) * p[0];
+  const double p_pv = (1.0 - k_p) * p[1];
+  const double p_vv = p[2] - k_v * p[1];
+  p[0] = p_pp;
+  p[1] = p_pv;
+  p[2] = p_vv;
+}
+
+}  // namespace
+
+void KalmanFilter::predict(double dt_s) {
+  if (!initialized_ || dt_s <= 0.0) return;
+  predict_axis(x_[0], x_[2], pxx_, dt_s, config_.acceleration_psd);
+  predict_axis(x_[1], x_[3], pyy_, dt_s, config_.acceleration_psd);
+}
+
+void KalmanFilter::update(const geo::LocalPoint& measured, double sigma_m) {
+  if (!initialized_) {
+    init(measured, sigma_m);
+    return;
+  }
+  const double s = std::max(sigma_m, config_.min_sigma_m);
+  const double r = s * s;
+  update_axis(x_[0], x_[2], pxx_, measured.x, r);
+  update_axis(x_[1], x_[3], pyy_, measured.y, r);
+}
+
+double KalmanFilter::speed() const noexcept {
+  return std::hypot(x_[2], x_[3]);
+}
+
+double KalmanFilter::position_sigma() const noexcept {
+  return std::sqrt(std::max(0.0, (pxx_[0] + pyy_[0]) / 2.0));
+}
+
+void KalmanFilterComponent::on_input(const core::Sample& sample) {
+  const auto* fix = sample.payload.get<core::PositionFix>();
+  if (fix == nullptr) return;
+  const geo::LocalPoint measured = frame_.to_local(fix->position);
+
+  if (!filter_.initialized()) {
+    filter_.init(measured, fix->horizontal_accuracy_m);
+    last_update_ = fix->timestamp;
+    return;
+  }
+  const double dt =
+      last_update_ ? (fix->timestamp - *last_update_).seconds() : 1.0;
+  last_update_ = fix->timestamp;
+  filter_.predict(std::max(dt, 0.0));
+  filter_.update(measured, fix->horizontal_accuracy_m);
+
+  core::PositionFix smoothed;
+  smoothed.position = frame_.to_geodetic(filter_.position());
+  smoothed.horizontal_accuracy_m = filter_.position_sigma();
+  smoothed.timestamp = fix->timestamp;
+  smoothed.technology = "KalmanFilter";
+  context().emit(core::Payload::make(std::move(smoothed)));
+}
+
+}  // namespace perpos::fusion

@@ -1,0 +1,43 @@
+#include "perpos/fusion/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace perpos::fusion {
+
+ErrorStats compute_stats(std::vector<double> errors) {
+  ErrorStats s;
+  if (errors.empty()) return s;
+  std::sort(errors.begin(), errors.end());
+  s.count = errors.size();
+  double sum = 0.0, sum_sq = 0.0;
+  for (double e : errors) {
+    sum += e;
+    sum_sq += e * e;
+  }
+  const double n = static_cast<double>(errors.size());
+  s.mean = sum / n;
+  s.rmse = std::sqrt(sum_sq / n);
+  s.median = errors[errors.size() / 2];
+  s.p95 = errors[static_cast<std::size_t>(0.95 * (n - 1))];
+  s.max = errors.back();
+  return s;
+}
+
+std::string format_stats_row(const std::string& label, const ErrorStats& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%-28s %6zu %8.2f %8.2f %8.2f %8.2f %8.2f", label.c_str(),
+                s.count, s.mean, s.rmse, s.median, s.p95, s.max);
+  return buf;
+}
+
+std::string stats_header() {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-28s %6s %8s %8s %8s %8s %8s", "series",
+                "n", "mean", "rmse", "median", "p95", "max");
+  return buf;
+}
+
+}  // namespace perpos::fusion

@@ -1,0 +1,227 @@
+#include "perpos/fusion/particle_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace perpos::fusion {
+
+ParticleFilter::ParticleFilter(ParticleFilterConfig config,
+                               sim::Random& random)
+    : config_(config), random_(&random) {}
+
+void ParticleFilter::init_uniform(const geo::LocalBox& box) {
+  particles_.assign(config_.particle_count, Particle{});
+  for (Particle& p : particles_) {
+    p.position = {random_->uniform(box.min_x, box.max_x),
+                  random_->uniform(box.min_y, box.max_y)};
+    p.vx = random_->normal(0.0, 0.5);
+    p.vy = random_->normal(0.0, 0.5);
+    p.weight = 1.0 / static_cast<double>(config_.particle_count);
+  }
+}
+
+void ParticleFilter::init_gaussian(const LocalPoint& center, double sigma_m) {
+  particles_.assign(config_.particle_count, Particle{});
+  for (Particle& p : particles_) {
+    p.position = {random_->normal(center.x, sigma_m),
+                  random_->normal(center.y, sigma_m)};
+    p.vx = random_->normal(0.0, 0.5);
+    p.vy = random_->normal(0.0, 0.5);
+    p.weight = 1.0 / static_cast<double>(config_.particle_count);
+  }
+}
+
+void ParticleFilter::predict(double dt_s, const locmodel::Building* building) {
+  if (dt_s <= 0.0) return;
+  const double sqrt_dt = std::sqrt(dt_s);
+  for (Particle& p : particles_) {
+    const LocalPoint before = p.position;
+    p.vx += random_->normal(0.0, config_.velocity_diffusion_mps * sqrt_dt);
+    p.vy += random_->normal(0.0, config_.velocity_diffusion_mps * sqrt_dt);
+    const double speed = std::hypot(p.vx, p.vy);
+    if (speed > config_.max_speed_mps) {
+      const double scale = config_.max_speed_mps / speed;
+      p.vx *= scale;
+      p.vy *= scale;
+    }
+
+    // Physical constraint from the location model: movement must not pass
+    // through walls (paper Sec. 1: "location models to impose restrictions
+    // on possible movements in the environment"). A crossing draw is
+    // retried with fresh diffusion so particles can slide along walls and
+    // funnel through doorways; a particle that cannot move at all keeps
+    // its position, loses its velocity and is down-weighted.
+    bool moved = building == nullptr;
+    for (int attempt = 0; attempt < 3 && !moved; ++attempt) {
+      LocalPoint candidate{
+          before.x + p.vx * dt_s +
+              random_->normal(0.0, config_.position_diffusion_m * sqrt_dt),
+          before.y + p.vy * dt_s +
+              random_->normal(0.0, config_.position_diffusion_m * sqrt_dt)};
+      if (!building->crosses_wall(before, candidate)) {
+        p.position = candidate;
+        moved = true;
+      }
+    }
+    if (building == nullptr) {
+      p.position.x = before.x + p.vx * dt_s +
+                     random_->normal(0.0, config_.position_diffusion_m * sqrt_dt);
+      p.position.y = before.y + p.vy * dt_s +
+                     random_->normal(0.0, config_.position_diffusion_m * sqrt_dt);
+    } else if (!moved) {
+      p.weight *= config_.constraint_weight;
+      p.position = before;
+      p.vx = p.vy = 0.0;
+    }
+  }
+  normalize();
+}
+
+void ParticleFilter::weight_gaussian(const LocalPoint& measured,
+                                     double sigma_m) {
+  const double sigma = std::max(sigma_m, config_.min_sigma_m);
+  const double inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
+  for (Particle& p : particles_) {
+    const double dx = p.position.x - measured.x;
+    const double dy = p.position.y - measured.y;
+    p.weight *= std::exp(-(dx * dx + dy * dy) * inv_two_sigma_sq) + 1e-12;
+  }
+  normalize();
+}
+
+void ParticleFilter::weight_with(
+    const std::function<double(const Particle&)>& likelihood) {
+  for (Particle& p : particles_) {
+    p.weight *= std::max(0.0, likelihood(p)) + 1e-12;
+  }
+  normalize();
+}
+
+void ParticleFilter::normalize() {
+  double total = 0.0;
+  for (const Particle& p : particles_) total += p.weight;
+  if (total <= 0.0) {
+    // Total weight collapse: reset to uniform to stay alive.
+    const double w = 1.0 / static_cast<double>(particles_.size());
+    for (Particle& p : particles_) p.weight = w;
+    return;
+  }
+  for (Particle& p : particles_) p.weight /= total;
+}
+
+double ParticleFilter::effective_sample_size() const {
+  double sum_sq = 0.0;
+  for (const Particle& p : particles_) sum_sq += p.weight * p.weight;
+  return sum_sq > 0.0 ? 1.0 / sum_sq : 0.0;
+}
+
+bool ParticleFilter::maybe_resample() {
+  const double ess = effective_sample_size();
+  if (ess >= config_.ess_threshold * static_cast<double>(particles_.size())) {
+    return false;
+  }
+  // Systematic resampling: one uniform offset, N evenly spaced pointers.
+  const std::size_t n = particles_.size();
+  std::vector<Particle> next;
+  next.reserve(n);
+  const double step = 1.0 / static_cast<double>(n);
+  double pointer = random_->uniform(0.0, step);
+  double cumulative = particles_[0].weight;
+  std::size_t index = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    while (pointer > cumulative && index + 1 < n) {
+      ++index;
+      cumulative += particles_[index].weight;
+    }
+    Particle p = particles_[index];
+    p.weight = step;
+    next.push_back(p);
+    pointer += step;
+  }
+  particles_ = std::move(next);
+  ++resamples_;
+  return true;
+}
+
+LocalPoint ParticleFilter::estimate() const {
+  double x = 0.0, y = 0.0;
+  for (const Particle& p : particles_) {
+    x += p.weight * p.position.x;
+    y += p.weight * p.position.y;
+  }
+  return {x, y};
+}
+
+double ParticleFilter::spread() const {
+  const LocalPoint mean = estimate();
+  double var = 0.0;
+  for (const Particle& p : particles_) {
+    const double dx = p.position.x - mean.x;
+    const double dy = p.position.y - mean.y;
+    var += p.weight * (dx * dx + dy * dy);
+  }
+  return std::sqrt(var);
+}
+
+// --- ParticleFilterComponent --------------------------------------------------
+
+ParticleFilterComponent::ParticleFilterComponent(
+    ParticleFilterConfig config, sim::Random& random,
+    const geo::LocalFrame& frame, const locmodel::Building* building)
+    : filter_(config, random), frame_(frame), building_(building) {}
+
+void ParticleFilterComponent::on_input(const core::Sample& sample) {
+  const auto* fix = sample.payload.get<core::PositionFix>();
+  if (fix == nullptr) return;
+  const LocalPoint measured = frame_.to_local(fix->position);
+
+  if (!filter_.initialized()) {
+    filter_.init_gaussian(measured,
+                          std::max(fix->horizontal_accuracy_m, 5.0));
+    last_update_ = fix->timestamp;
+    return;
+  }
+
+  const double dt = last_update_ ? (fix->timestamp - *last_update_).seconds()
+                                 : 1.0;
+  last_update_ = fix->timestamp;
+  filter_.predict(std::max(dt, 0.0), building_);
+
+  // Fig. 5 artifact 1: fetch the Likelihood feature from the delivering
+  // channel, scoped to this exact position, and apply it per particle.
+  const Likelihood* likelihood = nullptr;
+  if (channels_ != nullptr) {
+    for (core::Channel* channel :
+         channels_->channels_into(context().id())) {
+      if (channel->last() != sample.producer) continue;
+      for (const auto& f : channel->features()) {
+        if (!channel->is_current(sample)) break;
+        if (const auto* typed = dynamic_cast<const Likelihood*>(f.get())) {
+          likelihood = typed;
+          break;
+        }
+      }
+      break;
+    }
+  }
+
+  if (likelihood != nullptr) {
+    ++feature_updates_;
+    filter_.weight_with([likelihood](const Particle& p) {
+      return likelihood->get_likelihood(p);
+    });
+  } else {
+    ++gaussian_updates_;
+    filter_.weight_gaussian(measured, fix->horizontal_accuracy_m);
+  }
+  filter_.maybe_resample();
+
+  core::PositionFix refined;
+  refined.position = frame_.to_geodetic(filter_.estimate());
+  refined.horizontal_accuracy_m = filter_.spread();
+  refined.timestamp = fix->timestamp;
+  refined.technology = "ParticleFilter";
+  context().emit(core::Payload::make(std::move(refined)));
+}
+
+}  // namespace perpos::fusion

@@ -1,0 +1,5 @@
+#include "perpos/fusion/satellite_filter.hpp"
+
+// Header-only component; anchors the library.
+
+namespace perpos::fusion {}  // namespace perpos::fusion

@@ -1,0 +1,205 @@
+#include "perpos/fusion/transport_mode.hpp"
+
+#include "perpos/geo/angles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace perpos::fusion {
+
+const char* to_string(TransportMode mode) noexcept {
+  switch (mode) {
+    case TransportMode::kStill: return "still";
+    case TransportMode::kWalk: return "walk";
+    case TransportMode::kBike: return "bike";
+    case TransportMode::kVehicle: return "vehicle";
+  }
+  return "?";
+}
+
+// --- Segmentation --------------------------------------------------------------
+
+void SegmentationComponent::on_input(const core::Sample& sample) {
+  const auto* fix = sample.payload.get<core::PositionFix>();
+  if (fix == nullptr) return;
+
+  if (!times_.empty() &&
+      (fix->timestamp - times_.back()) > config_.gap_limit) {
+    ++gaps_;
+    points_.clear();
+    times_.clear();
+  }
+  points_.push_back(frame_.to_local(fix->position));
+  times_.push_back(fix->timestamp);
+
+  if (points_.size() < config_.segment_size) return;
+
+  TrackSegment segment;
+  segment.points.assign(points_.begin(), points_.end());
+  segment.times.assign(times_.begin(), times_.end());
+  context().emit(core::Payload::make(std::move(segment)));
+
+  const std::size_t drop = std::min(config_.stride, points_.size());
+  points_.erase(points_.begin(), points_.begin() + drop);
+  times_.erase(times_.begin(), times_.begin() + drop);
+}
+
+// --- Feature extraction ----------------------------------------------------------
+
+SegmentFeatures FeatureExtractionComponent::extract(
+    const TrackSegment& segment) {
+  SegmentFeatures f;
+  const std::size_t n = segment.points.size();
+  if (n < 2) return f;
+
+  std::vector<double> speeds;
+  std::vector<double> headings;
+  speeds.reserve(n - 1);
+  for (std::size_t i = 1; i < n; ++i) {
+    const double dt =
+        (segment.times[i] - segment.times[i - 1]).seconds();
+    if (dt <= 0.0) continue;
+    const double dx = segment.points[i].x - segment.points[i - 1].x;
+    const double dy = segment.points[i].y - segment.points[i - 1].y;
+    const double dist = std::hypot(dx, dy);
+    speeds.push_back(dist / dt);
+    if (dist > 0.2) {
+      headings.push_back(geo::rad2deg(std::atan2(dy, dx)));
+    }
+  }
+  if (speeds.empty()) return f;
+
+  double sum = 0.0, sum_sq = 0.0;
+  for (double s : speeds) {
+    sum += s;
+    sum_sq += s * s;
+    f.max_speed_mps = std::max(f.max_speed_mps, s);
+  }
+  const double count = static_cast<double>(speeds.size());
+  f.mean_speed_mps = sum / count;
+  f.speed_stddev =
+      std::sqrt(std::max(0.0, sum_sq / count - f.mean_speed_mps *
+                                                  f.mean_speed_mps));
+
+  double accel_sum = 0.0;
+  std::size_t accel_n = 0;
+  for (std::size_t i = 1; i < speeds.size(); ++i) {
+    accel_sum += std::fabs(speeds[i] - speeds[i - 1]);
+    ++accel_n;
+  }
+  f.mean_abs_acceleration = accel_n > 0 ? accel_sum / accel_n : 0.0;
+
+  double heading_sum = 0.0;
+  std::size_t heading_n = 0;
+  for (std::size_t i = 1; i < headings.size(); ++i) {
+    heading_sum += geo::angular_difference_deg(headings[i], headings[i - 1]);
+    ++heading_n;
+  }
+  f.heading_change_deg = heading_n > 0 ? heading_sum / heading_n : 0.0;
+
+  f.duration_s = (segment.times.back() - segment.times.front()).seconds();
+  f.end_time = segment.times.back();
+  return f;
+}
+
+void FeatureExtractionComponent::on_input(const core::Sample& sample) {
+  const auto* segment = sample.payload.get<TrackSegment>();
+  if (segment == nullptr) return;
+  context().emit(core::Payload::make(extract(*segment)));
+}
+
+// --- Decision tree ---------------------------------------------------------------
+
+ModeEstimate DecisionTreeClassifier::classify(const SegmentFeatures& f) {
+  ModeEstimate out;
+  out.timestamp = f.end_time;
+
+  // Hand-built thresholds over the classic speed bands. Confidence is the
+  // margin to the nearest decision boundary, squashed into (0.5, 0.95).
+  const auto confidence_from_margin = [](double margin) {
+    return 0.5 + 0.45 * std::min(1.0, std::fabs(margin));
+  };
+
+  // The still threshold must absorb GPS jitter: metre-level noise at 1 Hz
+  // alone produces ~0.5 m/s of apparent speed on a stationary target.
+  if (f.mean_speed_mps < 0.6) {
+    out.mode = TransportMode::kStill;
+    out.confidence = confidence_from_margin((0.6 - f.mean_speed_mps) / 0.6);
+  } else if (f.mean_speed_mps < 2.2) {
+    out.mode = TransportMode::kWalk;
+    // High heading variation and low speed also point at walking.
+    out.confidence = confidence_from_margin(
+        std::min(f.mean_speed_mps - 0.6, 2.2 - f.mean_speed_mps) / 0.8);
+  } else if (f.mean_speed_mps < 7.0) {
+    // Bike vs slow vehicle: bikes show steadier speed and more heading
+    // change than vehicles in the same band.
+    if (f.mean_abs_acceleration > 1.6 && f.heading_change_deg < 12.0) {
+      out.mode = TransportMode::kVehicle;
+      out.confidence = 0.55;
+    } else {
+      out.mode = TransportMode::kBike;
+      out.confidence = confidence_from_margin(
+          std::min(f.mean_speed_mps - 2.2, 7.0 - f.mean_speed_mps) / 2.4);
+    }
+  } else {
+    out.mode = TransportMode::kVehicle;
+    out.confidence = confidence_from_margin((f.mean_speed_mps - 7.0) / 7.0);
+  }
+  return out;
+}
+
+void DecisionTreeClassifier::on_input(const core::Sample& sample) {
+  const auto* features = sample.payload.get<SegmentFeatures>();
+  if (features == nullptr) return;
+  context().emit(core::Payload::make(classify(*features)));
+}
+
+// --- HMM smoother ----------------------------------------------------------------
+
+HmmSmoother::HmmSmoother(Config config) : config_(config) {
+  belief_.fill(1.0 / kTransportModeCount);
+}
+
+void HmmSmoother::on_input(const core::Sample& sample) {
+  const auto* estimate = sample.payload.get<ModeEstimate>();
+  if (estimate == nullptr) return;
+
+  // Transition step: sticky diagonal.
+  const double stay = config_.self_transition;
+  const double move = (1.0 - stay) / (kTransportModeCount - 1);
+  std::array<double, kTransportModeCount> predicted{};
+  for (int to = 0; to < kTransportModeCount; ++to) {
+    for (int from = 0; from < kTransportModeCount; ++from) {
+      predicted[to] += belief_[from] * (from == to ? stay : move);
+    }
+  }
+
+  // Emission step: the classifier's confidence as emission likelihood.
+  const double hit =
+      std::max(estimate->confidence, config_.emission_floor);
+  const double miss = (1.0 - hit) / (kTransportModeCount - 1);
+  double total = 0.0;
+  for (int m = 0; m < kTransportModeCount; ++m) {
+    const double e = m == static_cast<int>(estimate->mode) ? hit : miss;
+    belief_[m] = predicted[m] * e;
+    total += belief_[m];
+  }
+  if (total > 0.0) {
+    for (double& b : belief_) b /= total;
+  } else {
+    belief_.fill(1.0 / kTransportModeCount);
+  }
+
+  // Emit the MAP mode.
+  int best = 0;
+  for (int m = 1; m < kTransportModeCount; ++m) {
+    if (belief_[m] > belief_[best]) best = m;
+  }
+  ModeEstimate smoothed;
+  smoothed.mode = static_cast<TransportMode>(best);
+  smoothed.confidence = belief_[best];
+  smoothed.timestamp = estimate->timestamp;
+  context().emit(core::Payload::make(smoothed));
+}
+
+}  // namespace perpos::fusion

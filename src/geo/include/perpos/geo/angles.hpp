@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+/// \file angles.hpp
+/// Angle conversion and normalization helpers used throughout the geodesy
+/// substrate. All public geodetic interfaces take degrees; all internal
+/// trigonometry is done in radians.
+
+namespace perpos::geo {
+
+/// Convert degrees to radians.
+constexpr double deg2rad(double deg) noexcept {
+  return deg * std::numbers::pi / 180.0;
+}
+
+/// Convert radians to degrees.
+constexpr double rad2deg(double rad) noexcept {
+  return rad * 180.0 / std::numbers::pi;
+}
+
+/// Normalize an angle in degrees to the half-open interval [0, 360).
+double normalize_deg_0_360(double deg) noexcept;
+
+/// Normalize an angle in degrees to the half-open interval [-180, 180).
+double normalize_deg_pm180(double deg) noexcept;
+
+/// Normalize an angle in radians to [-pi, pi).
+double normalize_rad_pm_pi(double rad) noexcept;
+
+/// Smallest absolute angular difference between two bearings, in degrees,
+/// in the range [0, 180].
+double angular_difference_deg(double a, double b) noexcept;
+
+}  // namespace perpos::geo

@@ -1,0 +1,52 @@
+#pragma once
+
+#include "perpos/geo/coordinates.hpp"
+
+#include <vector>
+
+/// \file bounding_box.hpp
+/// Axis-aligned bounding boxes in building-local coordinates, used by the
+/// location model (room extents) and by proximity queries.
+
+namespace perpos::geo {
+
+/// Axis-aligned rectangle in building-local metres.
+struct LocalBox {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  /// True if the box has non-negative extent in both axes.
+  bool valid() const noexcept { return max_x >= min_x && max_y >= min_y; }
+
+  double width() const noexcept { return max_x - min_x; }
+  double height() const noexcept { return max_y - min_y; }
+  double area() const noexcept { return width() * height(); }
+  LocalPoint center() const noexcept {
+    return {(min_x + max_x) / 2.0, (min_y + max_y) / 2.0};
+  }
+
+  /// Closed containment test.
+  bool contains(const LocalPoint& p) const noexcept;
+
+  /// True if the boxes share any point (closed boxes).
+  bool intersects(const LocalBox& other) const noexcept;
+
+  /// The smallest box containing both.
+  LocalBox united(const LocalBox& other) const noexcept;
+
+  /// Grow the box by `margin` metres on every side.
+  LocalBox inflated(double margin) const noexcept;
+
+  /// Euclidean distance from `p` to the box (0 when inside).
+  double distance_to(const LocalPoint& p) const noexcept;
+
+  friend bool operator==(const LocalBox&, const LocalBox&) = default;
+};
+
+/// The tightest box enclosing all points; an invalid (inverted) box if the
+/// input is empty.
+LocalBox bounding_box(const std::vector<LocalPoint>& points) noexcept;
+
+}  // namespace perpos::geo

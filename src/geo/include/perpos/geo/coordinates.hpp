@@ -1,0 +1,91 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+/// \file coordinates.hpp
+/// Core coordinate types for the PerPos geodesy substrate.
+///
+/// Three coordinate systems appear in the PerPos positioning processes
+/// (paper Fig. 1): raw sensor data in device-local form, WGS84 geodetic
+/// positions produced by the GPS interpreter, and building-local coordinate
+/// systems used by the indoor WiFi positioning system. This header defines
+/// value types for all of them plus the Earth-centred Earth-fixed (ECEF)
+/// intermediate used for conversion.
+
+namespace perpos::geo {
+
+/// WGS84 ellipsoid constants.
+struct Wgs84 {
+  static constexpr double kSemiMajorAxisM = 6378137.0;          ///< a
+  static constexpr double kFlattening = 1.0 / 298.257223563;    ///< f
+  static constexpr double kSemiMinorAxisM =
+      kSemiMajorAxisM * (1.0 - kFlattening);                    ///< b
+  /// First eccentricity squared, e^2 = f(2-f).
+  static constexpr double kEccSq = kFlattening * (2.0 - kFlattening);
+  /// Mean Earth radius used by spherical approximations (haversine).
+  static constexpr double kMeanRadiusM = 6371008.8;
+};
+
+/// A geodetic position on the WGS84 ellipsoid.
+///
+/// Latitude and longitude are in decimal degrees; altitude is metres above
+/// the ellipsoid. This is the "technology independent format" the paper's
+/// Positioning Layer delivers.
+struct GeoPoint {
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+  double altitude_m = 0.0;
+
+  friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+/// Earth-centred Earth-fixed Cartesian coordinates in metres.
+struct EcefPoint {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend bool operator==(const EcefPoint&, const EcefPoint&) = default;
+};
+
+/// East-North-Up Cartesian coordinates (metres) relative to a LocalFrame
+/// origin. Indoor positioning and the particle filter operate in this frame.
+struct EnuPoint {
+  double east = 0.0;
+  double north = 0.0;
+  double up = 0.0;
+
+  friend bool operator==(const EnuPoint&, const EnuPoint&) = default;
+};
+
+/// A 2D point in a building-local metric coordinate system (metres).
+/// The `up` component of an EnuPoint is dropped; floors are modelled
+/// explicitly by the location model substrate.
+struct LocalPoint {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const LocalPoint&, const LocalPoint&) = default;
+};
+
+/// Convert a geodetic WGS84 position to ECEF.
+EcefPoint geodetic_to_ecef(const GeoPoint& p) noexcept;
+
+/// Convert an ECEF position to geodetic WGS84 (Bowring's iterative method,
+/// converges to sub-millimetre in a handful of iterations).
+GeoPoint ecef_to_geodetic(const EcefPoint& p) noexcept;
+
+/// True if latitude is within [-90, 90] and longitude within [-180, 180].
+bool is_valid(const GeoPoint& p) noexcept;
+
+/// Render as "lat,lon[,alt]" with 7 decimal digits (~1 cm resolution).
+std::string to_string(const GeoPoint& p);
+std::string to_string(const EnuPoint& p);
+std::string to_string(const LocalPoint& p);
+
+std::ostream& operator<<(std::ostream& os, const GeoPoint& p);
+std::ostream& operator<<(std::ostream& os, const EnuPoint& p);
+std::ostream& operator<<(std::ostream& os, const LocalPoint& p);
+
+}  // namespace perpos::geo

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "perpos/geo/coordinates.hpp"
+
+/// \file distance.hpp
+/// Great-circle and planar distance computations.
+
+namespace perpos::geo {
+
+/// Great-circle distance between two geodetic points (haversine formula on
+/// the WGS84 mean sphere). Accurate to ~0.5% which is far below positioning
+/// error for the distances the middleware handles.
+double haversine_m(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Fast equirectangular-projection distance approximation; adequate for
+/// distances under a few kilometres (EnTracked threshold checks).
+double equirectangular_m(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Initial bearing from `a` to `b` in degrees clockwise from true north,
+/// in [0, 360).
+double initial_bearing_deg(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// The point reached from `start` travelling `distance_m` metres along the
+/// great circle with the given initial bearing. Altitude is preserved.
+GeoPoint destination_point(const GeoPoint& start, double bearing_deg,
+                           double distance_m) noexcept;
+
+/// Euclidean distance between two building-local points.
+double distance_m(const LocalPoint& a, const LocalPoint& b) noexcept;
+
+/// Euclidean distance between two ENU points (3D).
+double distance_m(const EnuPoint& a, const EnuPoint& b) noexcept;
+
+}  // namespace perpos::geo

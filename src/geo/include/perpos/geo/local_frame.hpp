@@ -1,0 +1,44 @@
+#pragma once
+
+#include "perpos/geo/coordinates.hpp"
+
+/// \file local_frame.hpp
+/// A local tangent-plane (East-North-Up) frame anchored at a geodetic
+/// origin. PerPos uses one frame per building: the WiFi positioning system
+/// and the particle filter work in building-local metres while the
+/// Positioning Layer exposes WGS84; the frame is the bridge between them
+/// (paper Fig. 1: "Raw data (local coordinate system)" vs "Positions
+/// (WGS84)").
+
+namespace perpos::geo {
+
+class LocalFrame {
+ public:
+  /// Constructs a frame whose ENU origin is `origin`. The frame is valid
+  /// for points within a few kilometres of the origin.
+  explicit LocalFrame(const GeoPoint& origin) noexcept;
+
+  const GeoPoint& origin() const noexcept { return origin_; }
+
+  /// Geodetic -> ENU (exact, via ECEF rotation).
+  EnuPoint to_enu(const GeoPoint& p) const noexcept;
+
+  /// ENU -> geodetic (exact, via ECEF rotation).
+  GeoPoint to_geodetic(const EnuPoint& p) const noexcept;
+
+  /// Geodetic -> building-local 2D (drops the up component).
+  LocalPoint to_local(const GeoPoint& p) const noexcept;
+
+  /// Building-local 2D -> geodetic at origin altitude.
+  GeoPoint to_geodetic(const LocalPoint& p) const noexcept;
+
+ private:
+  GeoPoint origin_;
+  EcefPoint origin_ecef_;
+  // Rows of the ECEF->ENU rotation matrix.
+  double r_east_[3];
+  double r_north_[3];
+  double r_up_[3];
+};
+
+}  // namespace perpos::geo

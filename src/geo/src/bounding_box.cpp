@@ -1,0 +1,50 @@
+#include "perpos/geo/bounding_box.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace perpos::geo {
+
+bool LocalBox::contains(const LocalPoint& p) const noexcept {
+  return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+}
+
+bool LocalBox::intersects(const LocalBox& other) const noexcept {
+  return min_x <= other.max_x && other.min_x <= max_x &&
+         min_y <= other.max_y && other.min_y <= max_y;
+}
+
+LocalBox LocalBox::united(const LocalBox& other) const noexcept {
+  LocalBox out;
+  out.min_x = std::min(min_x, other.min_x);
+  out.min_y = std::min(min_y, other.min_y);
+  out.max_x = std::max(max_x, other.max_x);
+  out.max_y = std::max(max_y, other.max_y);
+  return out;
+}
+
+LocalBox LocalBox::inflated(double margin) const noexcept {
+  return {min_x - margin, min_y - margin, max_x + margin, max_y + margin};
+}
+
+double LocalBox::distance_to(const LocalPoint& p) const noexcept {
+  const double dx = std::max({min_x - p.x, 0.0, p.x - max_x});
+  const double dy = std::max({min_y - p.y, 0.0, p.y - max_y});
+  return std::hypot(dx, dy);
+}
+
+LocalBox bounding_box(const std::vector<LocalPoint>& points) noexcept {
+  LocalBox out;
+  out.min_x = out.min_y = std::numeric_limits<double>::infinity();
+  out.max_x = out.max_y = -std::numeric_limits<double>::infinity();
+  for (const LocalPoint& p : points) {
+    out.min_x = std::min(out.min_x, p.x);
+    out.min_y = std::min(out.min_y, p.y);
+    out.max_x = std::max(out.max_x, p.x);
+    out.max_y = std::max(out.max_y, p.y);
+  }
+  return out;
+}
+
+}  // namespace perpos::geo

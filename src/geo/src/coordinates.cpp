@@ -1,0 +1,105 @@
+#include "perpos/geo/coordinates.hpp"
+
+#include "perpos/geo/angles.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace perpos::geo {
+
+double normalize_deg_0_360(double deg) noexcept {
+  double r = std::fmod(deg, 360.0);
+  if (r < 0.0) r += 360.0;
+  return r;
+}
+
+double normalize_deg_pm180(double deg) noexcept {
+  double r = normalize_deg_0_360(deg + 180.0);
+  return r - 180.0;
+}
+
+double normalize_rad_pm_pi(double rad) noexcept {
+  return deg2rad(normalize_deg_pm180(rad2deg(rad)));
+}
+
+double angular_difference_deg(double a, double b) noexcept {
+  double d = std::fabs(normalize_deg_pm180(a - b));
+  return d;
+}
+
+EcefPoint geodetic_to_ecef(const GeoPoint& p) noexcept {
+  const double lat = deg2rad(p.latitude_deg);
+  const double lon = deg2rad(p.longitude_deg);
+  const double sin_lat = std::sin(lat);
+  const double cos_lat = std::cos(lat);
+  // Prime vertical radius of curvature.
+  const double n =
+      Wgs84::kSemiMajorAxisM / std::sqrt(1.0 - Wgs84::kEccSq * sin_lat * sin_lat);
+  EcefPoint out;
+  out.x = (n + p.altitude_m) * cos_lat * std::cos(lon);
+  out.y = (n + p.altitude_m) * cos_lat * std::sin(lon);
+  out.z = (n * (1.0 - Wgs84::kEccSq) + p.altitude_m) * sin_lat;
+  return out;
+}
+
+GeoPoint ecef_to_geodetic(const EcefPoint& p) noexcept {
+  const double a = Wgs84::kSemiMajorAxisM;
+  const double e2 = Wgs84::kEccSq;
+  const double rho = std::hypot(p.x, p.y);
+
+  GeoPoint out;
+  out.longitude_deg = rad2deg(std::atan2(p.y, p.x));
+
+  // Iterate latitude; starts from the spherical estimate and converges
+  // quadratically — five iterations give sub-millimetre accuracy anywhere.
+  double lat = std::atan2(p.z, rho * (1.0 - e2));
+  double alt = 0.0;
+  for (int i = 0; i < 7; ++i) {
+    const double sin_lat = std::sin(lat);
+    const double n = a / std::sqrt(1.0 - e2 * sin_lat * sin_lat);
+    alt = rho / std::cos(lat) - n;
+    lat = std::atan2(p.z, rho * (1.0 - e2 * n / (n + alt)));
+  }
+  out.latitude_deg = rad2deg(lat);
+  out.altitude_m = alt;
+  return out;
+}
+
+bool is_valid(const GeoPoint& p) noexcept {
+  return std::isfinite(p.latitude_deg) && std::isfinite(p.longitude_deg) &&
+         std::isfinite(p.altitude_m) && p.latitude_deg >= -90.0 &&
+         p.latitude_deg <= 90.0 && p.longitude_deg >= -180.0 &&
+         p.longitude_deg <= 180.0;
+}
+
+std::string to_string(const GeoPoint& p) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%.7f,%.7f,%.2f", p.latitude_deg,
+                p.longitude_deg, p.altitude_m);
+  return buf;
+}
+
+std::string to_string(const EnuPoint& p) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "E%.3f,N%.3f,U%.3f", p.east, p.north, p.up);
+  return buf;
+}
+
+std::string to_string(const LocalPoint& p) {
+  char buf[60];
+  std::snprintf(buf, sizeof(buf), "(%.3f,%.3f)", p.x, p.y);
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, const GeoPoint& p) {
+  return os << to_string(p);
+}
+std::ostream& operator<<(std::ostream& os, const EnuPoint& p) {
+  return os << to_string(p);
+}
+std::ostream& operator<<(std::ostream& os, const LocalPoint& p) {
+  return os << to_string(p);
+}
+
+}  // namespace perpos::geo

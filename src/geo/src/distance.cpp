@@ -1,0 +1,71 @@
+#include "perpos/geo/distance.hpp"
+
+#include "perpos/geo/angles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace perpos::geo {
+
+double haversine_m(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double lat1 = deg2rad(a.latitude_deg);
+  const double lat2 = deg2rad(b.latitude_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.longitude_deg - a.longitude_deg);
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  const double c = 2.0 * std::asin(std::min(1.0, std::sqrt(h)));
+  return Wgs84::kMeanRadiusM * c;
+}
+
+double equirectangular_m(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double mean_lat = deg2rad((a.latitude_deg + b.latitude_deg) / 2.0);
+  const double dx =
+      deg2rad(b.longitude_deg - a.longitude_deg) * std::cos(mean_lat);
+  const double dy = deg2rad(b.latitude_deg - a.latitude_deg);
+  return Wgs84::kMeanRadiusM * std::hypot(dx, dy);
+}
+
+double initial_bearing_deg(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double lat1 = deg2rad(a.latitude_deg);
+  const double lat2 = deg2rad(b.latitude_deg);
+  const double dlon = deg2rad(b.longitude_deg - a.longitude_deg);
+  const double y = std::sin(dlon) * std::cos(lat2);
+  const double x = std::cos(lat1) * std::sin(lat2) -
+                   std::sin(lat1) * std::cos(lat2) * std::cos(dlon);
+  return normalize_deg_0_360(rad2deg(std::atan2(y, x)));
+}
+
+GeoPoint destination_point(const GeoPoint& start, double bearing_deg,
+                           double distance_m) noexcept {
+  const double delta = distance_m / Wgs84::kMeanRadiusM;
+  const double theta = deg2rad(bearing_deg);
+  const double lat1 = deg2rad(start.latitude_deg);
+  const double lon1 = deg2rad(start.longitude_deg);
+
+  const double lat2 = std::asin(std::sin(lat1) * std::cos(delta) +
+                                std::cos(lat1) * std::sin(delta) *
+                                    std::cos(theta));
+  const double lon2 =
+      lon1 + std::atan2(std::sin(theta) * std::sin(delta) * std::cos(lat1),
+                        std::cos(delta) - std::sin(lat1) * std::sin(lat2));
+  GeoPoint out;
+  out.latitude_deg = rad2deg(lat2);
+  out.longitude_deg = normalize_deg_pm180(rad2deg(lon2));
+  out.altitude_m = start.altitude_m;
+  return out;
+}
+
+double distance_m(const LocalPoint& a, const LocalPoint& b) noexcept {
+  return std::hypot(b.x - a.x, b.y - a.y);
+}
+
+double distance_m(const EnuPoint& a, const EnuPoint& b) noexcept {
+  const double dx = b.east - a.east;
+  const double dy = b.north - a.north;
+  const double dz = b.up - a.up;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+}  // namespace perpos::geo

@@ -1,0 +1,59 @@
+#include "perpos/geo/local_frame.hpp"
+
+#include "perpos/geo/angles.hpp"
+
+#include <cmath>
+
+namespace perpos::geo {
+
+LocalFrame::LocalFrame(const GeoPoint& origin) noexcept
+    : origin_(origin), origin_ecef_(geodetic_to_ecef(origin)) {
+  const double lat = deg2rad(origin.latitude_deg);
+  const double lon = deg2rad(origin.longitude_deg);
+  const double sl = std::sin(lat), cl = std::cos(lat);
+  const double so = std::sin(lon), co = std::cos(lon);
+  r_east_[0] = -so;
+  r_east_[1] = co;
+  r_east_[2] = 0.0;
+  r_north_[0] = -sl * co;
+  r_north_[1] = -sl * so;
+  r_north_[2] = cl;
+  r_up_[0] = cl * co;
+  r_up_[1] = cl * so;
+  r_up_[2] = sl;
+}
+
+EnuPoint LocalFrame::to_enu(const GeoPoint& p) const noexcept {
+  const EcefPoint e = geodetic_to_ecef(p);
+  const double dx = e.x - origin_ecef_.x;
+  const double dy = e.y - origin_ecef_.y;
+  const double dz = e.z - origin_ecef_.z;
+  EnuPoint out;
+  out.east = r_east_[0] * dx + r_east_[1] * dy + r_east_[2] * dz;
+  out.north = r_north_[0] * dx + r_north_[1] * dy + r_north_[2] * dz;
+  out.up = r_up_[0] * dx + r_up_[1] * dy + r_up_[2] * dz;
+  return out;
+}
+
+GeoPoint LocalFrame::to_geodetic(const EnuPoint& p) const noexcept {
+  // Transpose of the ENU rotation applied to the local vector.
+  EcefPoint e;
+  e.x = origin_ecef_.x + r_east_[0] * p.east + r_north_[0] * p.north +
+        r_up_[0] * p.up;
+  e.y = origin_ecef_.y + r_east_[1] * p.east + r_north_[1] * p.north +
+        r_up_[1] * p.up;
+  e.z = origin_ecef_.z + r_east_[2] * p.east + r_north_[2] * p.north +
+        r_up_[2] * p.up;
+  return ecef_to_geodetic(e);
+}
+
+LocalPoint LocalFrame::to_local(const GeoPoint& p) const noexcept {
+  const EnuPoint e = to_enu(p);
+  return {e.east, e.north};
+}
+
+GeoPoint LocalFrame::to_geodetic(const LocalPoint& p) const noexcept {
+  return to_geodetic(EnuPoint{p.x, p.y, 0.0});
+}
+
+}  // namespace perpos::geo

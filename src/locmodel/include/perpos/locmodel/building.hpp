@@ -1,0 +1,123 @@
+#pragma once
+
+#include "perpos/geo/bounding_box.hpp"
+#include "perpos/geo/local_frame.hpp"
+#include "perpos/locmodel/geometry.hpp"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file building.hpp
+/// The building location model: rooms (polygons), walls (segments) and the
+/// queries the middleware needs — which room a point is in (the Room Number
+/// Application of Fig. 1), whether a movement crosses a wall (the particle
+/// filter's movement constraint), and room adjacency.
+
+namespace perpos::locmodel {
+
+/// A wall: a physical obstacle that blocks movement (and, in the WiFi
+/// signal model, attenuates signals).
+struct Wall {
+  Segment segment;
+  double attenuation_db = 5.0;  ///< Extra path loss when signals cross.
+
+  friend bool operator==(const Wall&, const Wall&) = default;
+};
+
+/// A room on a floor, described by a simple polygon in building-local
+/// coordinates.
+struct Room {
+  std::string id;
+  int floor = 0;
+  Polygon outline;
+
+  bool contains(const LocalPoint& p) const noexcept {
+    return point_in_polygon(p, outline);
+  }
+  LocalPoint centroid() const noexcept { return polygon_centroid(outline); }
+  double area() const noexcept { return std::abs(polygon_area(outline)); }
+};
+
+/// A building: geodetic anchor (for WGS84 <-> local conversion), rooms and
+/// walls. Construct via BuildingBuilder.
+class Building {
+ public:
+  const std::string& name() const noexcept { return name_; }
+  const geo::LocalFrame& frame() const noexcept { return frame_; }
+  const std::vector<Room>& rooms() const noexcept { return rooms_; }
+  const std::vector<Wall>& walls() const noexcept { return walls_; }
+
+  /// The room containing `p` on `floor`, or nullptr (e.g. outdoors or in a
+  /// corridor modelled as a room of its own).
+  const Room* room_at(const LocalPoint& p, int floor = 0) const noexcept;
+
+  /// Room looked up by id, or nullptr.
+  const Room* room(const std::string& id) const noexcept;
+
+  /// The room whose centroid is nearest to `p` on `floor`; nullptr when the
+  /// floor has no rooms.
+  const Room* nearest_room(const LocalPoint& p, int floor = 0) const noexcept;
+
+  /// Does the straight movement from `a` to `b` cross any wall? This is the
+  /// physical-constraint query the particle filter uses to kill particles.
+  bool crosses_wall(const LocalPoint& a, const LocalPoint& b) const noexcept;
+
+  /// Total wall attenuation along the straight line a->b (WiFi model).
+  double wall_attenuation_db(const LocalPoint& a,
+                             const LocalPoint& b) const noexcept;
+
+  /// True when `p` lies within the building's outer bounding box.
+  bool inside_footprint(const LocalPoint& p) const noexcept {
+    return footprint_.contains(p);
+  }
+  const geo::LocalBox& footprint() const noexcept { return footprint_; }
+
+  /// Rooms sharing a doorway or open boundary with `id` (declared in the
+  /// builder, not derived from geometry).
+  std::vector<std::string> adjacent_rooms(const std::string& id) const;
+
+ private:
+  friend class BuildingBuilder;
+  std::string name_;
+  geo::LocalFrame frame_{geo::GeoPoint{}};
+  std::vector<Room> rooms_;
+  std::vector<Wall> walls_;
+  std::multimap<std::string, std::string> adjacency_;
+  geo::LocalBox footprint_{};
+};
+
+/// Fluent builder for Building models.
+class BuildingBuilder {
+ public:
+  BuildingBuilder(std::string name, geo::GeoPoint origin);
+
+  /// Add a rectangular room [x0,x1]x[y0,y1].
+  BuildingBuilder& rect_room(std::string id, double x0, double y0, double x1,
+                             double y1, int floor = 0);
+
+  /// Add a room with an arbitrary outline.
+  BuildingBuilder& room(std::string id, Polygon outline, int floor = 0);
+
+  /// Add a wall segment.
+  BuildingBuilder& wall(double x0, double y0, double x1, double y1,
+                        double attenuation_db = 5.0);
+
+  /// Add the four walls of a rectangle, leaving a gap (door) of width
+  /// `door_width` centred on the side given by `door_side`
+  /// ('N','S','E','W'); 0 door width closes the room completely.
+  BuildingBuilder& rect_walls(double x0, double y0, double x1, double y1,
+                              char door_side = 'S', double door_width = 1.0,
+                              double attenuation_db = 5.0);
+
+  /// Declare two rooms adjacent (symmetric).
+  BuildingBuilder& adjacent(const std::string& a, const std::string& b);
+
+  Building build();
+
+ private:
+  Building building_;
+};
+
+}  // namespace perpos::locmodel

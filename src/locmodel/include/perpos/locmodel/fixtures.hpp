@@ -1,0 +1,35 @@
+#pragma once
+
+#include "perpos/locmodel/building.hpp"
+
+/// \file fixtures.hpp
+/// Canonical building models used across tests, examples and benchmarks —
+/// the reproduction's stand-in for the real office building of the paper's
+/// Fig. 6 trace.
+
+namespace perpos::locmodel {
+
+/// A 40 m x 20 m single-floor office wing: a central east-west corridor
+/// (3 m wide) flanked by four offices on each side, a lobby at the west
+/// end and a lab at the east end. Doors open from every office to the
+/// corridor. Anchored at Aarhus University (56.1697 N, 10.1994 E).
+///
+/// Layout (building-local metres, y grows north):
+///
+///   y=20 +--------+--------+--------+--------+-------+
+///        | O-N1   | O-N2   | O-N3   | O-N4   |       |
+///   y=11.5 +------+--------+--------+--------+  LAB  |
+///        |      CORRIDOR (y 8.5..11.5)       |       |
+///   y=8.5 +-------+--------+--------+--------+       |
+///        | O-S1   | O-S2   | O-S3   | O-S4   |       |
+///   y=0  +--------+--------+--------+--------+-------+
+///        x=0     (offices 8m wide)          x=32   x=40
+///
+/// The lobby occupies x 0..4 inside the corridor band.
+Building make_office_building();
+
+/// A minimal two-room model (A | B with a shared wall and one door) for
+/// focused unit tests.
+Building make_two_room_building();
+
+}  // namespace perpos::locmodel

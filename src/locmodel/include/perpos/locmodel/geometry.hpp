@@ -1,0 +1,54 @@
+#pragma once
+
+#include "perpos/geo/coordinates.hpp"
+
+#include <optional>
+#include <vector>
+
+/// \file geometry.hpp
+/// 2D computational geometry for the building location model: point-in-
+/// polygon containment (room membership), segment intersection (wall
+/// crossing — the constraint the particle filter imposes on movement) and
+/// point-to-segment distance.
+
+namespace perpos::locmodel {
+
+using geo::LocalPoint;
+
+/// A line segment in building-local coordinates (a wall, or a movement
+/// step being tested against walls).
+struct Segment {
+  LocalPoint a;
+  LocalPoint b;
+
+  double length() const noexcept;
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+/// A simple polygon given by its vertices in order (closed implicitly).
+using Polygon = std::vector<LocalPoint>;
+
+/// Even-odd point-in-polygon test. Points exactly on an edge count as
+/// inside (rooms tile a floor; boundary points resolve to some room
+/// deterministically by query order).
+bool point_in_polygon(const LocalPoint& p, const Polygon& polygon) noexcept;
+
+/// Proper + touching segment intersection test.
+bool segments_intersect(const Segment& s, const Segment& t) noexcept;
+
+/// The intersection point of two segments if they intersect in a single
+/// point (collinear overlap returns nullopt).
+std::optional<LocalPoint> segment_intersection(const Segment& s,
+                                               const Segment& t) noexcept;
+
+/// Euclidean distance from `p` to segment `s`.
+double distance_to_segment(const LocalPoint& p, const Segment& s) noexcept;
+
+/// Signed area of a polygon (positive for counter-clockwise orientation).
+double polygon_area(const Polygon& polygon) noexcept;
+
+/// Centroid of a simple polygon (vertex average fallback for degenerate
+/// polygons with near-zero area).
+LocalPoint polygon_centroid(const Polygon& polygon) noexcept;
+
+}  // namespace perpos::locmodel

@@ -1,0 +1,60 @@
+#pragma once
+
+#include "perpos/core/component.hpp"
+#include "perpos/core/data_types.hpp"
+#include "perpos/locmodel/building.hpp"
+
+/// \file resolver.hpp
+/// The Resolver processing component of Fig. 1: translates positions into
+/// room numbers using the building location model. It accepts either
+/// technology-independent PositionFix values (converted through the
+/// building frame) or raw building-local points produced by the WiFi
+/// positioning system.
+
+namespace perpos::locmodel {
+
+/// A building-local position estimate (what indoor positioning produces
+/// before room resolution).
+struct LocalPosition {
+  LocalPoint point;
+  int floor = 0;
+  double accuracy_m = 0.0;
+  perpos::sim::SimTime timestamp;
+
+  friend bool operator==(const LocalPosition&, const LocalPosition&) = default;
+};
+
+/// PositionFix/LocalPosition -> RoomFix.
+class RoomResolver final : public core::ProcessingComponent {
+ public:
+  /// The resolver keeps a reference to `building`; the model must outlive
+  /// the component.
+  explicit RoomResolver(const Building& building) : building_(building) {}
+
+  std::string_view kind() const override { return "Resolver"; }
+
+  std::vector<core::InputRequirement> input_requirements() const override {
+    return {core::require<core::PositionFix>("", /*optional=*/true),
+            core::require<LocalPosition>("", /*optional=*/true)};
+  }
+
+  std::vector<core::DataSpec> output_capabilities() const override {
+    return {core::provide<core::RoomFix>()};
+  }
+
+  void on_input(const core::Sample& sample) override;
+
+  /// Resolutions that found no room (useful as a seam indicator).
+  std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  void resolve(const LocalPoint& p, int floor, double accuracy_m,
+               perpos::sim::SimTime timestamp);
+
+  const Building& building_;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace perpos::locmodel
+
+PERPOS_TYPE_NAME(perpos::locmodel::LocalPosition, "LocalPosition");

@@ -1,0 +1,141 @@
+#include "perpos/locmodel/building.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace perpos::locmodel {
+
+const Room* Building::room_at(const LocalPoint& p, int floor) const noexcept {
+  for (const Room& r : rooms_) {
+    if (r.floor == floor && r.contains(p)) return &r;
+  }
+  return nullptr;
+}
+
+const Room* Building::room(const std::string& id) const noexcept {
+  for (const Room& r : rooms_) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+const Room* Building::nearest_room(const LocalPoint& p,
+                                   int floor) const noexcept {
+  const Room* best = nullptr;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (const Room& r : rooms_) {
+    if (r.floor != floor) continue;
+    const LocalPoint c = r.centroid();
+    const double d = std::hypot(p.x - c.x, p.y - c.y);
+    if (d < best_dist) {
+      best = &r;
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+bool Building::crosses_wall(const LocalPoint& a,
+                            const LocalPoint& b) const noexcept {
+  const Segment move{a, b};
+  return std::any_of(walls_.begin(), walls_.end(), [&](const Wall& w) {
+    return segments_intersect(move, w.segment);
+  });
+}
+
+double Building::wall_attenuation_db(const LocalPoint& a,
+                                     const LocalPoint& b) const noexcept {
+  const Segment line{a, b};
+  double total = 0.0;
+  for (const Wall& w : walls_) {
+    if (segments_intersect(line, w.segment)) total += w.attenuation_db;
+  }
+  return total;
+}
+
+std::vector<std::string> Building::adjacent_rooms(const std::string& id) const {
+  std::vector<std::string> out;
+  const auto [lo, hi] = adjacency_.equal_range(id);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  return out;
+}
+
+BuildingBuilder::BuildingBuilder(std::string name, geo::GeoPoint origin) {
+  building_.name_ = std::move(name);
+  building_.frame_ = geo::LocalFrame(origin);
+}
+
+BuildingBuilder& BuildingBuilder::rect_room(std::string id, double x0,
+                                            double y0, double x1, double y1,
+                                            int floor) {
+  return room(std::move(id),
+              Polygon{{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}}, floor);
+}
+
+BuildingBuilder& BuildingBuilder::room(std::string id, Polygon outline,
+                                       int floor) {
+  Room r;
+  r.id = std::move(id);
+  r.floor = floor;
+  r.outline = std::move(outline);
+  building_.rooms_.push_back(std::move(r));
+  return *this;
+}
+
+BuildingBuilder& BuildingBuilder::wall(double x0, double y0, double x1,
+                                       double y1, double attenuation_db) {
+  building_.walls_.push_back(
+      Wall{Segment{{x0, y0}, {x1, y1}}, attenuation_db});
+  return *this;
+}
+
+BuildingBuilder& BuildingBuilder::rect_walls(double x0, double y0, double x1,
+                                             double y1, char door_side,
+                                             double door_width,
+                                             double attenuation_db) {
+  const auto add_side = [&](double ax, double ay, double bx, double by,
+                            bool has_door) {
+    if (!has_door || door_width <= 0.0) {
+      wall(ax, ay, bx, by, attenuation_db);
+      return;
+    }
+    // Split the side around a centred door gap.
+    const double mx = (ax + bx) / 2.0;
+    const double my = (ay + by) / 2.0;
+    const double len = std::hypot(bx - ax, by - ay);
+    if (len <= door_width) return;  // The whole side is a doorway.
+    const double ux = (bx - ax) / len;
+    const double uy = (by - ay) / len;
+    const double h = door_width / 2.0;
+    wall(ax, ay, mx - ux * h, my - uy * h, attenuation_db);
+    wall(mx + ux * h, my + uy * h, bx, by, attenuation_db);
+  };
+  add_side(x0, y0, x1, y0, door_side == 'S');
+  add_side(x1, y0, x1, y1, door_side == 'E');
+  add_side(x1, y1, x0, y1, door_side == 'N');
+  add_side(x0, y1, x0, y0, door_side == 'W');
+  return *this;
+}
+
+BuildingBuilder& BuildingBuilder::adjacent(const std::string& a,
+                                           const std::string& b) {
+  building_.adjacency_.emplace(a, b);
+  building_.adjacency_.emplace(b, a);
+  return *this;
+}
+
+Building BuildingBuilder::build() {
+  std::vector<LocalPoint> points;
+  for (const Room& r : building_.rooms_) {
+    points.insert(points.end(), r.outline.begin(), r.outline.end());
+  }
+  for (const Wall& w : building_.walls_) {
+    points.push_back(w.segment.a);
+    points.push_back(w.segment.b);
+  }
+  if (!points.empty()) building_.footprint_ = geo::bounding_box(points);
+  return std::move(building_);
+}
+
+}  // namespace perpos::locmodel

@@ -1,0 +1,80 @@
+#include "perpos/locmodel/fixtures.hpp"
+
+namespace perpos::locmodel {
+
+Building make_office_building() {
+  BuildingBuilder b("ABUILD",
+                    geo::GeoPoint{56.1697, 10.1994, 50.0});
+
+  // Offices: south row y in [0, 8.5], north row y in [11.5, 20].
+  // Four per row, 8 m wide, x in [0, 32].
+  for (int i = 0; i < 4; ++i) {
+    const double x0 = 8.0 * i;
+    const double x1 = x0 + 8.0;
+    b.rect_room("O-S" + std::to_string(i + 1), x0, 0.0, x1, 8.5);
+    b.rect_room("O-N" + std::to_string(i + 1), x0, 11.5, x1, 20.0);
+  }
+  // Corridor between the rows, east of the lobby.
+  b.rect_room("CORR", 4.0, 8.5, 32.0, 11.5);
+  // Lobby at the west end of the corridor band.
+  b.rect_room("LOBBY", 0.0, 8.5, 4.0, 11.5);
+  // Lab across the full height at the east end.
+  b.rect_room("LAB", 32.0, 0.0, 40.0, 20.0);
+
+  // Exterior walls (heavy attenuation).
+  b.wall(0, 0, 40, 0, 12.0);
+  b.wall(40, 0, 40, 20, 12.0);
+  b.wall(40, 20, 0, 20, 12.0);
+  b.wall(0, 20, 0, 0, 12.0);
+
+  // Office/corridor walls with 1.2 m doors centred on each office.
+  for (int i = 0; i < 4; ++i) {
+    const double x0 = 8.0 * i;
+    const double x1 = x0 + 8.0;
+    const double mid = (x0 + x1) / 2.0;
+    const double h = 0.6;  // Half door width.
+    // South row top wall (y = 8.5) with door gap.
+    b.wall(x0, 8.5, mid - h, 8.5);
+    b.wall(mid + h, 8.5, x1, 8.5);
+    // North row bottom wall (y = 11.5) with door gap.
+    b.wall(x0, 11.5, mid - h, 11.5);
+    b.wall(mid + h, 11.5, x1, 11.5);
+    // Partition walls between neighbouring offices.
+    if (i > 0) {
+      b.wall(x0, 0.0, x0, 8.5);
+      b.wall(x0, 11.5, x0, 20.0);
+    }
+  }
+  // Wall between offices and the lab, with a door from the corridor.
+  b.wall(32.0, 0.0, 32.0, 9.2);
+  b.wall(32.0, 10.8, 32.0, 20.0);
+  // Lobby/corridor boundary is open (no wall).
+
+  // Adjacency (doors).
+  for (int i = 1; i <= 4; ++i) {
+    b.adjacent("O-S" + std::to_string(i), "CORR");
+    b.adjacent("O-N" + std::to_string(i), "CORR");
+  }
+  b.adjacent("LOBBY", "CORR");
+  b.adjacent("CORR", "LAB");
+
+  return b.build();
+}
+
+Building make_two_room_building() {
+  BuildingBuilder b("TWOROOM", geo::GeoPoint{56.17, 10.20, 0.0});
+  b.rect_room("A", 0.0, 0.0, 5.0, 5.0);
+  b.rect_room("B", 5.0, 0.0, 10.0, 5.0);
+  // Outer walls.
+  b.wall(0, 0, 10, 0);
+  b.wall(10, 0, 10, 5);
+  b.wall(10, 5, 0, 5);
+  b.wall(0, 5, 0, 0);
+  // Shared wall with a 1 m door centred at y = 2.5.
+  b.wall(5, 0, 5, 2.0);
+  b.wall(5, 3.0, 5, 5);
+  b.adjacent("A", "B");
+  return b.build();
+}
+
+}  // namespace perpos::locmodel

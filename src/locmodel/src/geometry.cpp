@@ -1,0 +1,133 @@
+#include "perpos/locmodel/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace perpos::locmodel {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// Cross product of (b-a) x (c-a).
+double cross(const LocalPoint& a, const LocalPoint& b,
+             const LocalPoint& c) noexcept {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+bool on_segment(const LocalPoint& p, const Segment& s) noexcept {
+  if (std::fabs(cross(s.a, s.b, p)) > kEps * (1.0 + s.length())) return false;
+  return p.x >= std::min(s.a.x, s.b.x) - kEps &&
+         p.x <= std::max(s.a.x, s.b.x) + kEps &&
+         p.y >= std::min(s.a.y, s.b.y) - kEps &&
+         p.y <= std::max(s.a.y, s.b.y) + kEps;
+}
+
+}  // namespace
+
+double Segment::length() const noexcept {
+  return std::hypot(b.x - a.x, b.y - a.y);
+}
+
+bool point_in_polygon(const LocalPoint& p, const Polygon& polygon) noexcept {
+  const std::size_t n = polygon.size();
+  if (n < 3) return false;
+
+  // Boundary counts as inside.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Segment edge{polygon[i], polygon[(i + 1) % n]};
+    if (on_segment(p, edge)) return true;
+  }
+
+  // Even-odd ray casting along +x.
+  bool inside = false;
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const LocalPoint& a = polygon[i];
+    const LocalPoint& b = polygon[j];
+    const bool straddles = (a.y > p.y) != (b.y > p.y);
+    if (straddles) {
+      const double x_at = (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x;
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool segments_intersect(const Segment& s, const Segment& t) noexcept {
+  const double d1 = cross(t.a, t.b, s.a);
+  const double d2 = cross(t.a, t.b, s.b);
+  const double d3 = cross(s.a, s.b, t.a);
+  const double d4 = cross(s.a, s.b, t.b);
+
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  // Touching / collinear cases.
+  if (std::fabs(d1) <= kEps && on_segment(s.a, t)) return true;
+  if (std::fabs(d2) <= kEps && on_segment(s.b, t)) return true;
+  if (std::fabs(d3) <= kEps && on_segment(t.a, s)) return true;
+  if (std::fabs(d4) <= kEps && on_segment(t.b, s)) return true;
+  return false;
+}
+
+std::optional<LocalPoint> segment_intersection(const Segment& s,
+                                               const Segment& t) noexcept {
+  const double rx = s.b.x - s.a.x;
+  const double ry = s.b.y - s.a.y;
+  const double qx = t.b.x - t.a.x;
+  const double qy = t.b.y - t.a.y;
+  const double denom = rx * qy - ry * qx;
+  if (std::fabs(denom) < kEps) return std::nullopt;  // Parallel/collinear.
+  const double u = ((t.a.x - s.a.x) * qy - (t.a.y - s.a.y) * qx) / denom;
+  const double v = ((t.a.x - s.a.x) * ry - (t.a.y - s.a.y) * rx) / denom;
+  if (u < -kEps || u > 1.0 + kEps || v < -kEps || v > 1.0 + kEps) {
+    return std::nullopt;
+  }
+  return LocalPoint{s.a.x + u * rx, s.a.y + u * ry};
+}
+
+double distance_to_segment(const LocalPoint& p, const Segment& s) noexcept {
+  const double dx = s.b.x - s.a.x;
+  const double dy = s.b.y - s.a.y;
+  const double len_sq = dx * dx + dy * dy;
+  if (len_sq < kEps) return std::hypot(p.x - s.a.x, p.y - s.a.y);
+  double t = ((p.x - s.a.x) * dx + (p.y - s.a.y) * dy) / len_sq;
+  t = std::clamp(t, 0.0, 1.0);
+  return std::hypot(p.x - (s.a.x + t * dx), p.y - (s.a.y + t * dy));
+}
+
+double polygon_area(const Polygon& polygon) noexcept {
+  const std::size_t n = polygon.size();
+  if (n < 3) return 0.0;
+  double twice_area = 0.0;
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    twice_area += polygon[j].x * polygon[i].y - polygon[i].x * polygon[j].y;
+  }
+  return twice_area / 2.0;
+}
+
+LocalPoint polygon_centroid(const Polygon& polygon) noexcept {
+  const std::size_t n = polygon.size();
+  if (n == 0) return {};
+  const double area = polygon_area(polygon);
+  if (std::fabs(area) < kEps) {
+    LocalPoint avg{};
+    for (const LocalPoint& p : polygon) {
+      avg.x += p.x;
+      avg.y += p.y;
+    }
+    avg.x /= static_cast<double>(n);
+    avg.y /= static_cast<double>(n);
+    return avg;
+  }
+  double cx = 0.0, cy = 0.0;
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const double w = polygon[j].x * polygon[i].y - polygon[i].x * polygon[j].y;
+    cx += (polygon[j].x + polygon[i].x) * w;
+    cy += (polygon[j].y + polygon[i].y) * w;
+  }
+  return {cx / (6.0 * area), cy / (6.0 * area)};
+}
+
+}  // namespace perpos::locmodel

@@ -1,0 +1,42 @@
+#include "perpos/locmodel/resolver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace perpos::locmodel {
+
+void RoomResolver::on_input(const core::Sample& sample) {
+  if (const auto* fix = sample.payload.get<core::PositionFix>()) {
+    const LocalPoint local = building_.frame().to_local(fix->position);
+    resolve(local, 0, fix->horizontal_accuracy_m, fix->timestamp);
+  } else if (const auto* local = sample.payload.get<LocalPosition>()) {
+    resolve(local->point, local->floor, local->accuracy_m, local->timestamp);
+  }
+}
+
+void RoomResolver::resolve(const LocalPoint& p, int floor, double accuracy_m,
+                           perpos::sim::SimTime timestamp) {
+  core::RoomFix fix;
+  fix.building = building_.name();
+  fix.floor = floor;
+  fix.local = p;
+  fix.timestamp = timestamp;
+
+  if (const Room* room = building_.room_at(p, floor)) {
+    fix.room = room->id;
+    // Confidence: how much of the accuracy circle plausibly falls in this
+    // room — approximated by comparing the accuracy radius to the room
+    // "radius" derived from its area.
+    const double room_radius = std::sqrt(room->area() / 3.141592653589793);
+    fix.confidence = accuracy_m <= 0.0
+                         ? 1.0
+                         : std::min(1.0, room_radius / accuracy_m);
+  } else {
+    ++misses_;
+    fix.room.clear();
+    fix.confidence = 0.0;
+  }
+  context().emit(core::Payload::make(std::move(fix)));
+}
+
+}  // namespace perpos::locmodel

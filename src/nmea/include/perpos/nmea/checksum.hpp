@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+/// \file checksum.hpp
+/// NMEA 0183 framing: `$<body>*<hh>` where <hh> is the XOR of all body
+/// bytes in uppercase hex.
+
+namespace perpos::nmea {
+
+/// XOR checksum over `body` (the characters between '$' and '*').
+unsigned char checksum(std::string_view body) noexcept;
+
+/// Render `body` as a framed sentence `$body*HH` (no CRLF).
+std::string frame(std::string_view body);
+
+/// Validate framing and checksum; on success returns the body between '$'
+/// and '*'. Tolerates a trailing CR, LF or CRLF. Returns empty optional on
+/// malformed input.
+bool unframe(std::string_view sentence, std::string& body_out) noexcept;
+
+}  // namespace perpos::nmea

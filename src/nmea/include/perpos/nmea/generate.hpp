@@ -1,0 +1,33 @@
+#pragma once
+
+#include "perpos/nmea/types.hpp"
+
+#include <string>
+
+/// \file generate.hpp
+/// NMEA 0183 sentence generation — used by the simulated GPS sensor to emit
+/// the same byte stream a real receiver would (the middleware must only ever
+/// see strings, exactly as in the paper's setup).
+
+namespace perpos::nmea {
+
+/// Render a GGA sentence, framed with checksum (no CRLF).
+std::string generate_gga(const GgaSentence& s, std::string_view talker = "GP");
+
+/// Render an RMC sentence.
+std::string generate_rmc(const RmcSentence& s, std::string_view talker = "GP");
+
+/// Render a GSA sentence.
+std::string generate_gsa(const GsaSentence& s, std::string_view talker = "GP");
+
+/// Render one GSV message.
+std::string generate_gsv(const GsvSentence& s, std::string_view talker = "GP");
+
+/// Format signed decimal degrees as NMEA "ddmm.mmmm,N/S".
+std::string format_latitude(double latitude_deg);
+/// Format signed decimal degrees as NMEA "dddmm.mmmm,E/W".
+std::string format_longitude(double longitude_deg);
+/// Format "hhmmss.ss".
+std::string format_utc_time(const UtcTime& t);
+
+}  // namespace perpos::nmea

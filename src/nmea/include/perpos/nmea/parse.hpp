@@ -1,0 +1,38 @@
+#pragma once
+
+#include "perpos/nmea/types.hpp"
+
+#include <optional>
+#include <string_view>
+
+/// \file parse.hpp
+/// Whole-sentence NMEA parsing. See stream_parser.hpp for the incremental
+/// parser used by the Parser processing component (which receives raw
+/// string fragments from the GPS sensor, paper Fig. 4).
+
+namespace perpos::nmea {
+
+/// Parse one complete framed sentence (`$...*HH`, optional CRLF).
+/// Returns nullopt when framing, checksum or field syntax is invalid.
+/// Well-formed sentences of unknown type parse to SentenceType::kUnknown
+/// with only `raw` and `talker` populated.
+std::optional<Sentence> parse_sentence(std::string_view text);
+
+/// Field-level parsers, exposed for tests and custom components.
+std::optional<GgaSentence> parse_gga_fields(std::string_view body);
+std::optional<RmcSentence> parse_rmc_fields(std::string_view body);
+std::optional<GsaSentence> parse_gsa_fields(std::string_view body);
+std::optional<GsvSentence> parse_gsv_fields(std::string_view body);
+
+/// Parse NMEA "ddmm.mmmm" latitude / "dddmm.mmmm" longitude plus hemisphere
+/// indicator into signed decimal degrees. Returns nullopt on syntax errors
+/// or out-of-range values.
+std::optional<double> parse_latitude(std::string_view field,
+                                     std::string_view hemisphere);
+std::optional<double> parse_longitude(std::string_view field,
+                                      std::string_view hemisphere);
+
+/// Parse "hhmmss.sss".
+std::optional<UtcTime> parse_utc_time(std::string_view field);
+
+}  // namespace perpos::nmea

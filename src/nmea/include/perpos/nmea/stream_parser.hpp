@@ -1,0 +1,45 @@
+#pragma once
+
+#include "perpos/nmea/types.hpp"
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file stream_parser.hpp
+/// Incremental NMEA parser. Real GPS receivers deliver arbitrary string
+/// fragments over a serial link; several fragments may be needed to complete
+/// one sentence (this is the "several strings from the GPS sensor is needed
+/// to produce one NMEA sentence" behaviour of the paper's Fig. 4 data tree).
+/// The Parser processing component wraps this class.
+
+namespace perpos::nmea {
+
+class StreamParser {
+ public:
+  /// Append a fragment of received bytes; returns every sentence completed
+  /// by this fragment (possibly none, possibly several). Malformed
+  /// sentences (bad checksum / framing) are counted and dropped.
+  std::vector<Sentence> feed(std::string_view fragment);
+
+  /// Total sentences successfully parsed.
+  std::size_t parsed_count() const noexcept { return parsed_; }
+
+  /// Total sentences discarded due to framing or checksum errors.
+  std::size_t error_count() const noexcept { return errors_; }
+
+  /// Bytes discarded while hunting for a '$' start-of-sentence.
+  std::size_t discarded_bytes() const noexcept { return discarded_; }
+
+  /// Drop any partially accumulated sentence.
+  void reset();
+
+ private:
+  std::string buffer_;
+  std::size_t parsed_ = 0;
+  std::size_t errors_ = 0;
+  std::size_t discarded_ = 0;
+};
+
+}  // namespace perpos::nmea

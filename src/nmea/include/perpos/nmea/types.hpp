@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file types.hpp
+/// Value types for the NMEA 0183 sentences the PerPos GPS pipeline handles.
+///
+/// The paper's GPS channel (Fig. 1/Fig. 4) is: GPS sensor emits raw strings,
+/// the Parser component assembles and decodes NMEA sentences, and the
+/// Interpreter produces WGS84 positions from sentences that contain a valid
+/// fix. The Component Features of examples E1/E2 (NumberOfSatellites, HDOP)
+/// read fields carried by these types.
+
+namespace perpos::nmea {
+
+/// GGA fix quality indicator (field 6 of GGA).
+enum class FixQuality : std::uint8_t {
+  kInvalid = 0,
+  kGps = 1,
+  kDgps = 2,
+  kPps = 3,
+  kRtk = 4,
+  kFloatRtk = 5,
+  kEstimated = 6,
+  kManual = 7,
+  kSimulation = 8,
+};
+
+/// Returns true for qualities that represent a usable position fix.
+constexpr bool is_fix(FixQuality q) noexcept {
+  return q != FixQuality::kInvalid;
+}
+
+/// UTC time of day as carried in NMEA sentences (hhmmss.sss).
+struct UtcTime {
+  int hours = 0;
+  int minutes = 0;
+  double seconds = 0.0;
+
+  friend bool operator==(const UtcTime&, const UtcTime&) = default;
+
+  /// Seconds since midnight UTC.
+  double seconds_of_day() const noexcept {
+    return hours * 3600.0 + minutes * 60.0 + seconds;
+  }
+};
+
+/// GGA — Global positioning system fix data. The workhorse sentence: it is
+/// the source of both the position and the seam information (satellite
+/// count, HDOP) that examples E1/E2 extract.
+struct GgaSentence {
+  UtcTime time;
+  double latitude_deg = 0.0;   ///< Signed decimal degrees (N positive).
+  double longitude_deg = 0.0;  ///< Signed decimal degrees (E positive).
+  FixQuality quality = FixQuality::kInvalid;
+  int satellites_in_use = 0;
+  double hdop = 99.9;          ///< Horizontal dilution of precision.
+  double altitude_m = 0.0;     ///< Antenna altitude above mean sea level.
+  double geoid_separation_m = 0.0;
+
+  friend bool operator==(const GgaSentence&, const GgaSentence&) = default;
+};
+
+/// RMC — Recommended minimum navigation information.
+struct RmcSentence {
+  UtcTime time;
+  bool valid = false;          ///< Status field: A=valid, V=void.
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+  double speed_knots = 0.0;
+  double course_deg = 0.0;     ///< Track made good, degrees true.
+  int date_ddmmyy = 0;         ///< Raw date field.
+
+  friend bool operator==(const RmcSentence&, const RmcSentence&) = default;
+};
+
+/// GSA — DOP and active satellites.
+struct GsaSentence {
+  enum class Mode : std::uint8_t { kNoFix = 1, k2d = 2, k3d = 3 };
+  bool automatic = true;              ///< M/A selection field.
+  Mode mode = Mode::kNoFix;
+  std::vector<int> satellite_prns;    ///< Up to 12 PRNs in use.
+  double pdop = 99.9;
+  double hdop = 99.9;
+  double vdop = 99.9;
+
+  friend bool operator==(const GsaSentence&, const GsaSentence&) = default;
+};
+
+/// One satellite entry of a GSV sentence.
+struct SatelliteInView {
+  int prn = 0;
+  int elevation_deg = 0;
+  int azimuth_deg = 0;
+  int snr_db = 0;  ///< 0 when not tracked.
+
+  friend bool operator==(const SatelliteInView&, const SatelliteInView&) =
+      default;
+};
+
+/// GSV — Satellites in view (one message of a sequence).
+struct GsvSentence {
+  int total_messages = 1;
+  int message_number = 1;
+  int satellites_in_view = 0;
+  std::vector<SatelliteInView> satellites;  ///< Up to 4 per message.
+
+  friend bool operator==(const GsvSentence&, const GsvSentence&) = default;
+};
+
+/// Discriminator for the sentence types the parser understands.
+enum class SentenceType : std::uint8_t {
+  kUnknown,
+  kGga,
+  kRmc,
+  kGsa,
+  kGsv,
+};
+
+/// A parsed sentence: exactly one of the optionals is engaged, matching
+/// `type`. Unknown-but-well-formed sentences keep their raw body so custom
+/// components can handle vendor sentences.
+struct Sentence {
+  SentenceType type = SentenceType::kUnknown;
+  std::string talker = "GP";
+  std::optional<GgaSentence> gga;
+  std::optional<RmcSentence> rmc;
+  std::optional<GsaSentence> gsa;
+  std::optional<GsvSentence> gsv;
+  std::string raw;  ///< The full sentence as received, without CRLF.
+};
+
+/// Human-readable sentence-type name ("GGA", "RMC", ...).
+const char* to_string(SentenceType t) noexcept;
+
+}  // namespace perpos::nmea

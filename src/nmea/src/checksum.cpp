@@ -1,0 +1,53 @@
+#include "perpos/nmea/checksum.hpp"
+
+#include <cstdio>
+
+namespace perpos::nmea {
+
+unsigned char checksum(std::string_view body) noexcept {
+  unsigned char sum = 0;
+  for (char c : body) sum ^= static_cast<unsigned char>(c);
+  return sum;
+}
+
+std::string frame(std::string_view body) {
+  char tail[4];
+  std::snprintf(tail, sizeof(tail), "*%02X", checksum(body));
+  std::string out;
+  out.reserve(body.size() + 4);
+  out.push_back('$');
+  out.append(body);
+  out.append(tail);
+  return out;
+}
+
+namespace {
+
+int hex_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+}  // namespace
+
+bool unframe(std::string_view sentence, std::string& body_out) noexcept {
+  // Strip trailing CR/LF in any combination.
+  while (!sentence.empty() &&
+         (sentence.back() == '\r' || sentence.back() == '\n')) {
+    sentence.remove_suffix(1);
+  }
+  if (sentence.size() < 5 || sentence.front() != '$') return false;
+  // Expect "*HH" suffix.
+  if (sentence[sentence.size() - 3] != '*') return false;
+  const int hi = hex_value(sentence[sentence.size() - 2]);
+  const int lo = hex_value(sentence[sentence.size() - 1]);
+  if (hi < 0 || lo < 0) return false;
+  const auto body = sentence.substr(1, sentence.size() - 4);
+  if (checksum(body) != static_cast<unsigned char>(hi * 16 + lo)) return false;
+  body_out.assign(body);
+  return true;
+}
+
+}  // namespace perpos::nmea

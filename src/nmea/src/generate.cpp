@@ -1,0 +1,122 @@
+#include "perpos/nmea/generate.hpp"
+
+#include "perpos/nmea/checksum.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace perpos::nmea {
+
+namespace {
+
+std::string format_dm(double value_deg, int deg_digits, char pos_hemi,
+                      char neg_hemi) {
+  const char hemi = value_deg >= 0.0 ? pos_hemi : neg_hemi;
+  const double abs_deg = std::fabs(value_deg);
+  int whole_deg = static_cast<int>(abs_deg);
+  double minutes = (abs_deg - whole_deg) * 60.0;
+  // Guard against 60.0000 minute rounding at print precision.
+  if (minutes >= 59.99995) {
+    minutes = 0.0;
+    whole_deg += 1;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%0*d%07.4f,%c", deg_digits, whole_deg,
+                minutes, hemi);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_latitude(double latitude_deg) {
+  return format_dm(latitude_deg, 2, 'N', 'S');
+}
+
+std::string format_longitude(double longitude_deg) {
+  return format_dm(longitude_deg, 3, 'E', 'W');
+}
+
+std::string format_utc_time(const UtcTime& t) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%02d%02d%05.2f", t.hours, t.minutes,
+                t.seconds);
+  return buf;
+}
+
+std::string generate_gga(const GgaSentence& s, std::string_view talker) {
+  char buf[192];
+  if (is_fix(s.quality)) {
+    std::snprintf(buf, sizeof(buf), "%.*sGGA,%s,%s,%s,%d,%02d,%.1f,%.1f,M,%.1f,M,,",
+                  static_cast<int>(talker.size()), talker.data(),
+                  format_utc_time(s.time).c_str(),
+                  format_latitude(s.latitude_deg).c_str(),
+                  format_longitude(s.longitude_deg).c_str(),
+                  static_cast<int>(s.quality), s.satellites_in_use, s.hdop,
+                  s.altitude_m, s.geoid_separation_m);
+  } else {
+    // No fix: position fields are empty, as real receivers emit.
+    std::snprintf(buf, sizeof(buf), "%.*sGGA,%s,,,,,0,%02d,%.1f,,M,,M,,",
+                  static_cast<int>(talker.size()), talker.data(),
+                  format_utc_time(s.time).c_str(), s.satellites_in_use,
+                  s.hdop);
+  }
+  return frame(buf);
+}
+
+std::string generate_rmc(const RmcSentence& s, std::string_view talker) {
+  char buf[192];
+  if (s.valid) {
+    std::snprintf(buf, sizeof(buf), "%.*sRMC,%s,A,%s,%s,%.1f,%.1f,%06d,,",
+                  static_cast<int>(talker.size()), talker.data(),
+                  format_utc_time(s.time).c_str(),
+                  format_latitude(s.latitude_deg).c_str(),
+                  format_longitude(s.longitude_deg).c_str(), s.speed_knots,
+                  s.course_deg, s.date_ddmmyy);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*sRMC,%s,V,,,,,%.1f,%.1f,%06d,,",
+                  static_cast<int>(talker.size()), talker.data(),
+                  format_utc_time(s.time).c_str(), s.speed_knots, s.course_deg,
+                  s.date_ddmmyy);
+  }
+  return frame(buf);
+}
+
+std::string generate_gsa(const GsaSentence& s, std::string_view talker) {
+  std::string body;
+  body.reserve(96);
+  body.append(talker).append("GSA,");
+  body.push_back(s.automatic ? 'A' : 'M');
+  body.push_back(',');
+  body.push_back(static_cast<char>('0' + static_cast<int>(s.mode)));
+  for (int i = 0; i < 12; ++i) {
+    body.push_back(',');
+    if (i < static_cast<int>(s.satellite_prns.size())) {
+      char prn[8];
+      std::snprintf(prn, sizeof(prn), "%02d", s.satellite_prns[i]);
+      body.append(prn);
+    }
+  }
+  char dops[40];
+  std::snprintf(dops, sizeof(dops), ",%.1f,%.1f,%.1f", s.pdop, s.hdop, s.vdop);
+  body.append(dops);
+  return frame(body);
+}
+
+std::string generate_gsv(const GsvSentence& s, std::string_view talker) {
+  std::string body;
+  body.reserve(96);
+  char head[40];
+  std::snprintf(head, sizeof(head), "%.*sGSV,%d,%d,%02d",
+                static_cast<int>(talker.size()), talker.data(),
+                s.total_messages, s.message_number, s.satellites_in_view);
+  body.append(head);
+  for (const SatelliteInView& sat : s.satellites) {
+    char entry[48];
+    std::snprintf(entry, sizeof(entry), ",%02d,%02d,%03d,%02d", sat.prn,
+                  sat.elevation_deg, sat.azimuth_deg, sat.snr_db);
+    body.append(entry);
+  }
+  return frame(body);
+}
+
+}  // namespace perpos::nmea

@@ -1,0 +1,241 @@
+#include "perpos/nmea/parse.hpp"
+
+#include "perpos/nmea/checksum.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+namespace perpos::nmea {
+
+namespace {
+
+/// Split a sentence body on commas. Empty fields are preserved.
+std::vector<std::string_view> split_fields(std::string_view body) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = body.find(',', start);
+    if (comma == std::string_view::npos) {
+      out.push_back(body.substr(start));
+      return out;
+    }
+    out.push_back(body.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+std::optional<int> to_int(std::string_view f) {
+  if (f.empty()) return std::nullopt;
+  int v = 0;
+  const auto [ptr, ec] = std::from_chars(f.data(), f.data() + f.size(), v);
+  if (ec != std::errc{} || ptr != f.data() + f.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<double> to_double(std::string_view f) {
+  if (f.empty()) return std::nullopt;
+  // std::from_chars for double is not universally available for all libc++;
+  // strtod on a bounded copy is fine here (fields are short).
+  char buf[64];
+  if (f.size() >= sizeof(buf)) return std::nullopt;
+  f.copy(buf, f.size());
+  buf[f.size()] = '\0';
+  char* end = nullptr;
+  const double v = std::strtod(buf, &end);
+  if (end != buf + f.size()) return std::nullopt;
+  return v;
+}
+
+/// Shared "ddmm.mmmm" parser; `deg_digits` is 2 for latitude, 3 for
+/// longitude.
+std::optional<double> parse_dm(std::string_view field, int deg_digits,
+                               std::string_view hemisphere, char pos_hemi,
+                               char neg_hemi, double max_abs) {
+  if (field.size() < static_cast<std::size_t>(deg_digits) + 2) {
+    return std::nullopt;
+  }
+  const auto deg_part = field.substr(0, deg_digits);
+  const auto min_part = field.substr(deg_digits);
+  const auto deg = to_int(deg_part);
+  const auto min = to_double(min_part);
+  if (!deg || !min || *min < 0.0 || *min >= 60.0) return std::nullopt;
+  double value = *deg + *min / 60.0;
+  if (hemisphere.size() != 1) return std::nullopt;
+  const char h = hemisphere[0];
+  if (h == neg_hemi) {
+    value = -value;
+  } else if (h != pos_hemi) {
+    return std::nullopt;
+  }
+  if (std::fabs(value) > max_abs) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<double> parse_latitude(std::string_view field,
+                                     std::string_view hemisphere) {
+  return parse_dm(field, 2, hemisphere, 'N', 'S', 90.0);
+}
+
+std::optional<double> parse_longitude(std::string_view field,
+                                      std::string_view hemisphere) {
+  return parse_dm(field, 3, hemisphere, 'E', 'W', 180.0);
+}
+
+std::optional<UtcTime> parse_utc_time(std::string_view field) {
+  if (field.size() < 6) return std::nullopt;
+  const auto hh = to_int(field.substr(0, 2));
+  const auto mm = to_int(field.substr(2, 2));
+  const auto ss = to_double(field.substr(4));
+  if (!hh || !mm || !ss) return std::nullopt;
+  if (*hh < 0 || *hh > 23 || *mm < 0 || *mm > 59 || *ss < 0.0 || *ss >= 60.0) {
+    return std::nullopt;
+  }
+  return UtcTime{*hh, *mm, *ss};
+}
+
+std::optional<GgaSentence> parse_gga_fields(std::string_view body) {
+  const auto f = split_fields(body);
+  // GPGGA,time,lat,N,lon,E,quality,numsat,hdop,alt,M,geoid,M[,age,station]
+  if (f.size() < 13) return std::nullopt;
+  GgaSentence out;
+  if (const auto t = parse_utc_time(f[1])) out.time = *t;
+  const auto quality = to_int(f[6]);
+  if (!quality || *quality < 0 || *quality > 8) return std::nullopt;
+  out.quality = static_cast<FixQuality>(*quality);
+  if (is_fix(out.quality)) {
+    const auto lat = parse_latitude(f[2], f[3]);
+    const auto lon = parse_longitude(f[4], f[5]);
+    if (!lat || !lon) return std::nullopt;
+    out.latitude_deg = *lat;
+    out.longitude_deg = *lon;
+  }
+  if (const auto n = to_int(f[7])) out.satellites_in_use = *n;
+  if (const auto h = to_double(f[8])) out.hdop = *h;
+  if (const auto a = to_double(f[9])) out.altitude_m = *a;
+  if (const auto g = to_double(f[11])) out.geoid_separation_m = *g;
+  return out;
+}
+
+std::optional<RmcSentence> parse_rmc_fields(std::string_view body) {
+  const auto f = split_fields(body);
+  // GPRMC,time,status,lat,N,lon,E,speed,course,date,magvar,E[,mode]
+  if (f.size() < 10) return std::nullopt;
+  RmcSentence out;
+  if (const auto t = parse_utc_time(f[1])) out.time = *t;
+  if (f[2] == "A") {
+    out.valid = true;
+  } else if (f[2] == "V") {
+    out.valid = false;
+  } else {
+    return std::nullopt;
+  }
+  if (out.valid) {
+    const auto lat = parse_latitude(f[3], f[4]);
+    const auto lon = parse_longitude(f[5], f[6]);
+    if (!lat || !lon) return std::nullopt;
+    out.latitude_deg = *lat;
+    out.longitude_deg = *lon;
+  }
+  if (const auto s = to_double(f[7])) out.speed_knots = *s;
+  if (const auto c = to_double(f[8])) out.course_deg = *c;
+  if (const auto d = to_int(f[9])) out.date_ddmmyy = *d;
+  return out;
+}
+
+std::optional<GsaSentence> parse_gsa_fields(std::string_view body) {
+  const auto f = split_fields(body);
+  // GPGSA,A,3,prn*12,pdop,hdop,vdop
+  if (f.size() < 18) return std::nullopt;
+  GsaSentence out;
+  if (f[1] == "A") {
+    out.automatic = true;
+  } else if (f[1] == "M") {
+    out.automatic = false;
+  } else {
+    return std::nullopt;
+  }
+  const auto mode = to_int(f[2]);
+  if (!mode || *mode < 1 || *mode > 3) return std::nullopt;
+  out.mode = static_cast<GsaSentence::Mode>(*mode);
+  for (int i = 3; i < 15; ++i) {
+    if (const auto prn = to_int(f[i])) out.satellite_prns.push_back(*prn);
+  }
+  if (const auto p = to_double(f[15])) out.pdop = *p;
+  if (const auto h = to_double(f[16])) out.hdop = *h;
+  if (const auto v = to_double(f[17])) out.vdop = *v;
+  return out;
+}
+
+std::optional<GsvSentence> parse_gsv_fields(std::string_view body) {
+  const auto f = split_fields(body);
+  // GPGSV,total,msg,inview,(prn,elev,az,snr)*1..4
+  if (f.size() < 4) return std::nullopt;
+  GsvSentence out;
+  const auto total = to_int(f[1]);
+  const auto msg = to_int(f[2]);
+  const auto inview = to_int(f[3]);
+  if (!total || !msg || !inview || *total < 1 || *msg < 1 || *msg > *total) {
+    return std::nullopt;
+  }
+  out.total_messages = *total;
+  out.message_number = *msg;
+  out.satellites_in_view = *inview;
+  for (std::size_t i = 4; i + 3 < f.size(); i += 4) {
+    SatelliteInView sat;
+    if (const auto prn = to_int(f[i])) sat.prn = *prn;
+    if (const auto el = to_int(f[i + 1])) sat.elevation_deg = *el;
+    if (const auto az = to_int(f[i + 2])) sat.azimuth_deg = *az;
+    if (const auto snr = to_int(f[i + 3])) sat.snr_db = *snr;
+    if (sat.prn > 0) out.satellites.push_back(sat);
+  }
+  return out;
+}
+
+const char* to_string(SentenceType t) noexcept {
+  switch (t) {
+    case SentenceType::kGga: return "GGA";
+    case SentenceType::kRmc: return "RMC";
+    case SentenceType::kGsa: return "GSA";
+    case SentenceType::kGsv: return "GSV";
+    case SentenceType::kUnknown: return "UNKNOWN";
+  }
+  return "UNKNOWN";
+}
+
+std::optional<Sentence> parse_sentence(std::string_view text) {
+  std::string body;
+  if (!unframe(text, body)) return std::nullopt;
+  if (body.size() < 5) return std::nullopt;
+
+  Sentence out;
+  out.raw.assign(text.substr(0, text.find_first_of("\r\n")));
+  out.talker = body.substr(0, 2);
+  const std::string_view kind = std::string_view(body).substr(2, 3);
+
+  if (kind == "GGA") {
+    out.gga = parse_gga_fields(body);
+    if (!out.gga) return std::nullopt;
+    out.type = SentenceType::kGga;
+  } else if (kind == "RMC") {
+    out.rmc = parse_rmc_fields(body);
+    if (!out.rmc) return std::nullopt;
+    out.type = SentenceType::kRmc;
+  } else if (kind == "GSA") {
+    out.gsa = parse_gsa_fields(body);
+    if (!out.gsa) return std::nullopt;
+    out.type = SentenceType::kGsa;
+  } else if (kind == "GSV") {
+    out.gsv = parse_gsv_fields(body);
+    if (!out.gsv) return std::nullopt;
+    out.type = SentenceType::kGsv;
+  } else {
+    out.type = SentenceType::kUnknown;
+  }
+  return out;
+}
+
+}  // namespace perpos::nmea

@@ -1,0 +1,49 @@
+#include "perpos/nmea/stream_parser.hpp"
+
+#include "perpos/nmea/parse.hpp"
+
+namespace perpos::nmea {
+
+std::vector<Sentence> StreamParser::feed(std::string_view fragment) {
+  buffer_.append(fragment);
+  std::vector<Sentence> out;
+
+  while (true) {
+    // Hunt for the start of a sentence, discarding line noise.
+    const std::size_t dollar = buffer_.find('$');
+    if (dollar == std::string::npos) {
+      discarded_ += buffer_.size();
+      buffer_.clear();
+      return out;
+    }
+    discarded_ += dollar;
+    buffer_.erase(0, dollar);
+
+    // A sentence is complete once we have "*HH" after the body. A '$'
+    // appearing before the '*' means the previous sentence was truncated.
+    const std::size_t star = buffer_.find('*');
+    const std::size_t next_dollar = buffer_.find('$', 1);
+    if (next_dollar != std::string::npos &&
+        (star == std::string::npos || next_dollar < star)) {
+      // Truncated sentence: drop it and continue with the next one.
+      ++errors_;
+      buffer_.erase(0, next_dollar);
+      continue;
+    }
+    if (star == std::string::npos || buffer_.size() < star + 3) {
+      return out;  // Need more bytes.
+    }
+    const std::string_view candidate(buffer_.data(), star + 3);
+    if (auto parsed = parse_sentence(candidate)) {
+      out.push_back(std::move(*parsed));
+      ++parsed_;
+    } else {
+      ++errors_;
+    }
+    buffer_.erase(0, star + 3);
+  }
+}
+
+void StreamParser::reset() { buffer_.clear(); }
+
+}  // namespace perpos::nmea

@@ -1,0 +1,77 @@
+#pragma once
+
+#include "perpos/core/graph.hpp"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+/// \file assembler.hpp
+/// Dependency-resolving graph assembly (paper Sec. 2.1: connections are
+/// established "through dynamic resolution of dependencies between
+/// components. ... As custom components are added to the PerPos middleware
+/// the dependencies are resolved and when satisfied the components are
+/// added to the processing graph appropriately").
+///
+/// Components are contributed as descriptors (name + factory); resolve()
+/// instantiates them, then connects every input requirement to the first
+/// component whose output capabilities satisfy it, and reports what could
+/// not be satisfied.
+
+namespace perpos::runtime {
+
+struct ComponentDescriptor {
+  std::string name;
+  std::function<std::shared_ptr<core::ProcessingComponent>()> factory;
+};
+
+struct AssemblyEdge {
+  std::string producer;
+  std::string consumer;
+  core::ComponentId producer_id = core::kInvalidComponent;
+  core::ComponentId consumer_id = core::kInvalidComponent;
+};
+
+struct AssemblyReport {
+  /// Descriptor name -> instantiated component id.
+  std::vector<std::pair<std::string, core::ComponentId>> instantiated;
+  std::vector<AssemblyEdge> edges;
+  /// (component, description) for every unsatisfied mandatory requirement.
+  std::vector<std::pair<std::string, std::string>> unsatisfied;
+
+  bool ok() const noexcept { return unsatisfied.empty(); }
+  core::ComponentId id_of(const std::string& name) const;
+};
+
+class GraphAssembler {
+ public:
+  explicit GraphAssembler(core::ProcessingGraph& graph) : graph_(graph) {}
+
+  /// Contribute a descriptor. Names must be unique.
+  void add(ComponentDescriptor descriptor);
+
+  /// Convenience: contribute an already-created component.
+  void add(std::string name, std::shared_ptr<core::ProcessingComponent> c);
+
+  /// Instantiate everything contributed since the last resolve and wire
+  /// requirements. Previously resolved components participate as providers
+  /// for new consumers (and vice versa), so the graph can be extended
+  /// incrementally without touching existing code — the paper's first
+  /// requirement.
+  AssemblyReport resolve();
+
+  core::ProcessingGraph& graph() noexcept { return graph_; }
+
+ private:
+  struct Contributed {
+    std::string name;
+    std::function<std::shared_ptr<core::ProcessingComponent>()> factory;
+    core::ComponentId id = core::kInvalidComponent;  // Set when instantiated.
+  };
+
+  core::ProcessingGraph& graph_;
+  std::vector<Contributed> contributions_;
+};
+
+}  // namespace perpos::runtime

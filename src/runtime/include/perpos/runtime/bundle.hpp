@@ -1,0 +1,110 @@
+#pragma once
+
+#include "perpos/runtime/registry.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+/// \file bundle.hpp
+/// Bundle lifecycle on top of the service registry — the module layer of
+/// the mini service platform. Bundles package related components (a sensor
+/// driver, the fusion subsystem, a building model) and are started/stopped
+/// as units, registering services while active.
+
+namespace perpos::runtime {
+
+enum class BundleState { kInstalled, kActive, kStopped };
+
+class BundleContext;
+
+/// Base class for deployable modules.
+class Bundle {
+ public:
+  explicit Bundle(std::string name) : name_(std::move(name)) {}
+  virtual ~Bundle() = default;
+
+  const std::string& name() const noexcept { return name_; }
+  BundleState state() const noexcept { return state_; }
+
+  /// Register services, create components. Called once per activation.
+  virtual void start(BundleContext& context) = 0;
+  /// Release resources. Services registered via the context are
+  /// unregistered automatically after stop() returns.
+  virtual void stop(BundleContext& context) { (void)context; }
+
+ private:
+  friend class Framework;
+  std::string name_;
+  BundleState state_ = BundleState::kInstalled;
+};
+
+/// Per-bundle view of the framework; tracks registrations for automatic
+/// cleanup on stop.
+class BundleContext {
+ public:
+  BundleContext(ServiceRegistry& registry, std::string bundle_name)
+      : registry_(registry), bundle_name_(std::move(bundle_name)) {}
+
+  template <typename T>
+  ServiceId register_service(std::string interface_name,
+                             std::shared_ptr<T> service,
+                             Properties properties = {}) {
+    properties.emplace("bundle", bundle_name_);
+    const ServiceId id = registry_.register_service(
+        std::move(interface_name), std::move(service), std::move(properties));
+    registered_.push_back(id);
+    return id;
+  }
+
+  template <typename T>
+  std::shared_ptr<T> get_service(const std::string& interface_name,
+                                 const Properties& filter = {}) const {
+    return registry_.get<T>(interface_name, filter);
+  }
+
+  ServiceRegistry& registry() noexcept { return registry_; }
+  const std::string& bundle_name() const noexcept { return bundle_name_; }
+
+ private:
+  friend class Framework;
+  ServiceRegistry& registry_;
+  std::string bundle_name_;
+  std::vector<ServiceId> registered_;
+};
+
+/// Owns bundles and the shared registry; starts in install order, stops in
+/// reverse.
+class Framework {
+ public:
+  ServiceRegistry& registry() noexcept { return registry_; }
+
+  /// Install a bundle (not started yet). Returns its index.
+  std::size_t install(std::unique_ptr<Bundle> bundle);
+
+  /// Start one bundle by name; throws for unknown names, no-op if active.
+  void start(const std::string& name);
+  /// Stop one bundle by name; unregisters its services.
+  void stop(const std::string& name);
+
+  void start_all();
+  void stop_all();
+
+  Bundle* find(const std::string& name);
+  std::size_t size() const noexcept { return bundles_.size(); }
+
+ private:
+  struct Installed {
+    std::unique_ptr<Bundle> bundle;
+    std::unique_ptr<BundleContext> context;
+  };
+  Installed* find_installed(const std::string& name);
+  void start_installed(Installed& entry);
+  void stop_installed(Installed& entry);
+
+  ServiceRegistry registry_;
+  std::vector<Installed> bundles_;
+};
+
+}  // namespace perpos::runtime

@@ -1,0 +1,73 @@
+#pragma once
+
+#include "perpos/runtime/assembler.hpp"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+/// \file config.hpp
+/// Declarative, text-based graph configuration.
+///
+/// Paper Sec. 2.1: port connections "are established either by direct
+/// calls to the graph manipulation API, based on explicitly defined system
+/// level configurations or through dynamic resolution of dependencies".
+/// This module is the second path: a line-oriented config declares named
+/// component instances and explicit edges; a trailing `resolve` directive
+/// optionally lets the dependency resolver wire anything left open.
+///
+/// Syntax (one statement per line, '#' starts a comment):
+///   component <name> <kind> [arg...]
+///   connect <producer-name> <consumer-name>
+///   resolve
+
+namespace perpos::runtime {
+
+/// Maps component kind names to factories. Factories receive the extra
+/// tokens of the `component` line.
+class ComponentFactoryRegistry {
+ public:
+  using Factory = std::function<std::shared_ptr<core::ProcessingComponent>(
+      const std::vector<std::string>& args)>;
+
+  /// Register a factory; throws on duplicate kinds.
+  void register_kind(std::string kind, Factory factory);
+
+  bool has(const std::string& kind) const {
+    return factories_.contains(kind);
+  }
+
+  /// Instantiate; throws std::invalid_argument for unknown kinds.
+  std::shared_ptr<core::ProcessingComponent> create(
+      const std::string& kind, const std::vector<std::string>& args) const;
+
+  std::vector<std::string> kinds() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+struct ConfigResult {
+  /// Instantiated names and ids, explicit edges, resolver edges.
+  AssemblyReport report;
+  /// One entry per rejected line: "line N: message". Empty = success.
+  std::vector<std::string> errors;
+
+  bool ok() const noexcept { return errors.empty() && report.ok(); }
+};
+
+/// Parse `text` and build the configuration into `graph`. Errors are
+/// collected per line (the rest of the config still applies); connection
+/// failures (unknown names, incompatible ports) are reported, not thrown.
+ConfigResult assemble_from_config(const std::string& text,
+                                  const ComponentFactoryRegistry& registry,
+                                  core::ProcessingGraph& graph);
+
+/// Render the current graph structure as a config (the inverse of
+/// assemble_from_config, for snapshotting a live system). Component names
+/// are "<kind>_<id>"; kinds are the components' kind() strings, so the
+/// output re-assembles only against a registry that maps those kinds.
+std::string export_config(const core::ProcessingGraph& graph);
+
+}  // namespace perpos::runtime

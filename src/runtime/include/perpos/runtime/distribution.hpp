@@ -1,0 +1,131 @@
+#pragma once
+
+#include "perpos/core/component.hpp"
+#include "perpos/core/graph.hpp"
+#include "perpos/runtime/payload_codec.hpp"
+#include "perpos/sim/network.hpp"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+/// \file distribution.hpp
+/// Transparent distribution of the processing graph over simulated hosts —
+/// the stand-in for D-OSGi remoting (paper Sec. 3.3: "the processing graph
+/// can span several hosts with little added configuration overhead").
+///
+/// Components are assigned to hosts; deploy() splices an egress/ingress
+/// pair into every edge that crosses a host boundary, so data pays the
+/// link's latency and is counted in the link's message/byte statistics —
+/// the radio cost EnTracked minimizes. remote_call() provides the control
+/// path (server-side Channel Feature commanding the device-side Power
+/// Strategy) with the same accounting.
+
+namespace perpos::runtime {
+
+/// Device-side end of a remoted edge: consumes locally, transmits.
+class RemoteEgress final : public core::ProcessingComponent {
+ public:
+  RemoteEgress(sim::Network& network, sim::HostId from, sim::HostId to,
+               std::string pair_tag)
+      : network_(network), from_(from), to_(to), tag_(std::move(pair_tag)) {}
+
+  std::string_view kind() const override { return "RemoteEgress"; }
+  std::vector<core::InputRequirement> input_requirements() const override {
+    return {core::require_any()};
+  }
+  std::vector<core::DataSpec> output_capabilities() const override {
+    return {};
+  }
+  void on_input(const core::Sample& sample) override {
+    if (!is_encodable(sample.payload)) return;
+    network_.send(from_, to_, tag_ + " " + encode_payload(sample.payload));
+    ++sent_;
+  }
+
+  std::uint64_t sent() const noexcept { return sent_; }
+
+ private:
+  sim::Network& network_;
+  sim::HostId from_;
+  sim::HostId to_;
+  std::string tag_;
+  std::uint64_t sent_ = 0;
+};
+
+/// Server-side end: emits what the network delivers, advertising the
+/// original producer's capabilities so downstream requirements still
+/// resolve.
+class RemoteIngress final : public core::ProcessingComponent {
+ public:
+  explicit RemoteIngress(std::vector<core::DataSpec> capabilities)
+      : capabilities_(std::move(capabilities)) {}
+
+  std::string_view kind() const override { return "RemoteIngress"; }
+  std::vector<core::InputRequirement> input_requirements() const override {
+    return {};
+  }
+  std::vector<core::DataSpec> output_capabilities() const override {
+    return capabilities_;
+  }
+  void on_input(const core::Sample&) override {}
+
+  void deliver(const std::string& wire) {
+    if (auto payload = decode_payload(wire)) {
+      ++received_;
+      context().emit(std::move(*payload));
+    }
+  }
+
+  std::uint64_t received() const noexcept { return received_; }
+
+ private:
+  std::vector<core::DataSpec> capabilities_;
+  std::uint64_t received_ = 0;
+};
+
+class DistributedDeployment {
+ public:
+  /// The deployment creates its own hosts in `network` (named as given).
+  DistributedDeployment(core::ProcessingGraph& graph, sim::Network& network);
+
+  /// Create a deployment host; returns its network id.
+  sim::HostId add_host(std::string name);
+
+  /// Pin a component to a host. Unassigned components are local to
+  /// whatever they connect to (edges to/from them are never remoted).
+  void assign(core::ComponentId component, sim::HostId host);
+
+  /// Splice egress/ingress pairs into every edge whose endpoints are
+  /// assigned to different hosts. Call after the graph is assembled;
+  /// idempotent for already-remoted edges.
+  void deploy();
+
+  /// Run `fn` on `to` after the link latency, counting one control
+  /// message from `from` (the D-OSGi remote method call stand-in).
+  void remote_call(sim::HostId from, sim::HostId to,
+                   std::function<void()> fn);
+
+  /// Data messages sent from `from` to `to` (egress traffic).
+  std::uint64_t data_messages(sim::HostId from, sim::HostId to) const;
+  /// Control messages issued via remote_call from `from` to `to`.
+  std::uint64_t control_messages(sim::HostId from, sim::HostId to) const;
+
+  sim::Network& network() noexcept { return network_; }
+
+ private:
+  core::ProcessingGraph& graph_;
+  sim::Network& network_;
+  std::map<core::ComponentId, sim::HostId> assignment_;
+  // Routing: pair tag -> ingress component. The shared host handler
+  // dispatches on the tag prefix.
+  std::map<std::string, RemoteIngress*> ingresses_;
+  std::map<std::uint64_t, std::uint64_t> control_counts_;
+  std::vector<sim::HostId> hosts_;
+  std::uint64_t next_pair_ = 1;
+
+  void host_handler(sim::HostId from, const std::string& payload);
+};
+
+}  // namespace perpos::runtime

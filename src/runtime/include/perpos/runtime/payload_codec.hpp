@@ -1,0 +1,26 @@
+#pragma once
+
+#include "perpos/core/payload.hpp"
+
+#include <optional>
+#include <string>
+
+/// \file payload_codec.hpp
+/// Wire encoding for payloads crossing simulated host boundaries. Supports
+/// the data types that travel between hosts in the paper's deployments:
+/// raw sensor fragments, WiFi scans, position fixes and room fixes. The
+/// encoded size feeds the per-message byte accounting of the network.
+
+namespace perpos::runtime {
+
+/// Encode a payload as "<TYPE> <body>". Throws std::invalid_argument for
+/// unsupported payload types (they cannot cross host boundaries).
+std::string encode_payload(const core::Payload& payload);
+
+/// Decode; returns nullopt for malformed input.
+std::optional<core::Payload> decode_payload(const std::string& wire);
+
+/// True if the payload's type can cross host boundaries.
+bool is_encodable(const core::Payload& payload);
+
+}  // namespace perpos::runtime

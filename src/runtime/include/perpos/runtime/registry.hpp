@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+/// \file registry.hpp
+/// A minimal dynamic service registry — the C++ stand-in for the OSGi
+/// service layer the Java PerPos is built on (paper Sec. 3: "realized ...
+/// on top of the OSGi service platform ... the dynamic composition
+/// mechanisms of OSGi is used for connecting the components").
+///
+/// Services are registered under an interface name with string properties;
+/// lookups filter on properties; listeners observe (un)registrations so
+/// components can react to services appearing dynamically.
+
+namespace perpos::runtime {
+
+using Properties = std::map<std::string, std::string>;
+using ServiceId = std::uint64_t;
+
+struct ServiceRef {
+  ServiceId id = 0;
+  std::string interface_name;
+  Properties properties;
+  std::shared_ptr<void> service;
+};
+
+enum class ServiceEvent { kRegistered, kUnregistering };
+
+class ServiceRegistry {
+ public:
+  using Listener =
+      std::function<void(ServiceEvent, const ServiceRef&)>;
+
+  /// Register `service` under `interface_name`. Returns the service id.
+  template <typename T>
+  ServiceId register_service(std::string interface_name,
+                             std::shared_ptr<T> service,
+                             Properties properties = {}) {
+    return register_erased(std::move(interface_name),
+                           std::static_pointer_cast<void>(service),
+                           std::move(properties));
+  }
+
+  /// Unregister; returns false for unknown ids.
+  bool unregister(ServiceId id);
+
+  /// All services registered under `interface_name` whose properties
+  /// contain every (key, value) pair of `filter`.
+  std::vector<ServiceRef> find(const std::string& interface_name,
+                               const Properties& filter = {}) const;
+
+  /// First matching service, cast to T; nullptr when none match.
+  template <typename T>
+  std::shared_ptr<T> get(const std::string& interface_name,
+                         const Properties& filter = {}) const {
+    const auto refs = find(interface_name, filter);
+    if (refs.empty()) return nullptr;
+    return std::static_pointer_cast<T>(refs.front().service);
+  }
+
+  /// Observe registrations/unregistrations. Returns a token.
+  std::size_t add_listener(Listener listener);
+  void remove_listener(std::size_t token);
+
+  std::size_t size() const noexcept { return services_.size(); }
+
+ private:
+  ServiceId register_erased(std::string interface_name,
+                            std::shared_ptr<void> service,
+                            Properties properties);
+
+  std::map<ServiceId, ServiceRef> services_;
+  std::vector<std::pair<std::size_t, Listener>> listeners_;
+  ServiceId next_id_ = 1;
+  std::size_t next_listener_ = 1;
+};
+
+}  // namespace perpos::runtime

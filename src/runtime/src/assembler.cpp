@@ -1,0 +1,105 @@
+#include "perpos/runtime/assembler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace perpos::runtime {
+
+core::ComponentId AssemblyReport::id_of(const std::string& name) const {
+  for (const auto& [n, id] : instantiated) {
+    if (n == name) return id;
+  }
+  return core::kInvalidComponent;
+}
+
+void GraphAssembler::add(ComponentDescriptor descriptor) {
+  if (!descriptor.factory) {
+    throw std::invalid_argument("descriptor '" + descriptor.name +
+                                "' has no factory");
+  }
+  for (const Contributed& c : contributions_) {
+    if (c.name == descriptor.name) {
+      throw std::invalid_argument("duplicate descriptor name '" +
+                                  descriptor.name + "'");
+    }
+  }
+  contributions_.push_back(
+      Contributed{std::move(descriptor.name), std::move(descriptor.factory)});
+}
+
+void GraphAssembler::add(std::string name,
+                         std::shared_ptr<core::ProcessingComponent> c) {
+  add(ComponentDescriptor{std::move(name),
+                          [c]() mutable { return std::move(c); }});
+}
+
+AssemblyReport GraphAssembler::resolve() {
+  AssemblyReport report;
+
+  // Instantiate anything not yet in the graph.
+  for (Contributed& c : contributions_) {
+    if (c.id != core::kInvalidComponent) continue;
+    auto component = c.factory();
+    if (!component) {
+      throw std::runtime_error("factory for '" + c.name +
+                               "' returned nullptr");
+    }
+    c.id = graph_.add(std::move(component));
+  }
+  for (const Contributed& c : contributions_) {
+    report.instantiated.emplace_back(c.name, c.id);
+  }
+
+  // Wire requirements: every contributed component's requirements are
+  // (re)checked; new edges connect to the first satisfying provider in
+  // contribution order.
+  for (const Contributed& consumer : contributions_) {
+    const auto requirements =
+        graph_.component(consumer.id).input_requirements();
+    for (const core::InputRequirement& req : requirements) {
+      // Already satisfied by an existing edge?
+      const auto info = graph_.info(consumer.id);
+      const bool satisfied = std::any_of(
+          info.producers.begin(), info.producers.end(),
+          [&](core::ComponentId pid) {
+            const auto caps = graph_.capabilities(pid);
+            return std::any_of(caps.begin(), caps.end(),
+                               [&](const core::DataSpec& cap) {
+                                 return req.accepts(cap.type,
+                                                    cap.feature_tag);
+                               });
+          });
+      if (satisfied) continue;
+
+      bool connected = false;
+      for (const Contributed& provider : contributions_) {
+        if (provider.id == consumer.id) continue;
+        const auto caps = graph_.capabilities(provider.id);
+        const bool provides = std::any_of(
+            caps.begin(), caps.end(), [&](const core::DataSpec& cap) {
+              return req.accepts(cap.type, cap.feature_tag);
+            });
+        if (!provides) continue;
+        try {
+          graph_.connect(provider.id, consumer.id);
+        } catch (const std::invalid_argument&) {
+          continue;  // Cycle or duplicate edge: try the next provider.
+        }
+        report.edges.push_back(AssemblyEdge{provider.name, consumer.name,
+                                            provider.id, consumer.id});
+        connected = true;
+        break;
+      }
+      if (!connected && !req.optional) {
+        std::string description = req.any_type
+                                      ? std::string("<any>")
+                                      : std::string(req.type->name());
+        if (!req.feature_tag.empty()) description += "@" + req.feature_tag;
+        report.unsatisfied.emplace_back(consumer.name, description);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace perpos::runtime

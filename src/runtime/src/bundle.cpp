@@ -1,0 +1,62 @@
+#include "perpos/runtime/bundle.hpp"
+
+namespace perpos::runtime {
+
+std::size_t Framework::install(std::unique_ptr<Bundle> bundle) {
+  Installed entry;
+  entry.context =
+      std::make_unique<BundleContext>(registry_, bundle->name());
+  entry.bundle = std::move(bundle);
+  bundles_.push_back(std::move(entry));
+  return bundles_.size() - 1;
+}
+
+Framework::Installed* Framework::find_installed(const std::string& name) {
+  for (Installed& entry : bundles_) {
+    if (entry.bundle->name() == name) return &entry;
+  }
+  return nullptr;
+}
+
+Bundle* Framework::find(const std::string& name) {
+  Installed* entry = find_installed(name);
+  return entry != nullptr ? entry->bundle.get() : nullptr;
+}
+
+void Framework::start_installed(Installed& entry) {
+  if (entry.bundle->state_ == BundleState::kActive) return;
+  entry.bundle->start(*entry.context);
+  entry.bundle->state_ = BundleState::kActive;
+}
+
+void Framework::stop_installed(Installed& entry) {
+  if (entry.bundle->state_ != BundleState::kActive) return;
+  entry.bundle->stop(*entry.context);
+  for (ServiceId id : entry.context->registered_) registry_.unregister(id);
+  entry.context->registered_.clear();
+  entry.bundle->state_ = BundleState::kStopped;
+}
+
+void Framework::start(const std::string& name) {
+  Installed* entry = find_installed(name);
+  if (entry == nullptr) throw std::invalid_argument("unknown bundle " + name);
+  start_installed(*entry);
+}
+
+void Framework::stop(const std::string& name) {
+  Installed* entry = find_installed(name);
+  if (entry == nullptr) throw std::invalid_argument("unknown bundle " + name);
+  stop_installed(*entry);
+}
+
+void Framework::start_all() {
+  for (Installed& entry : bundles_) start_installed(entry);
+}
+
+void Framework::stop_all() {
+  for (auto it = bundles_.rbegin(); it != bundles_.rend(); ++it) {
+    stop_installed(*it);
+  }
+}
+
+}  // namespace perpos::runtime

@@ -1,0 +1,199 @@
+#include "perpos/runtime/config.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace perpos::runtime {
+
+void ComponentFactoryRegistry::register_kind(std::string kind,
+                                             Factory factory) {
+  if (!factory) throw std::invalid_argument("null factory for " + kind);
+  const auto [it, inserted] =
+      factories_.emplace(std::move(kind), std::move(factory));
+  if (!inserted) {
+    throw std::invalid_argument("kind '" + it->first +
+                                "' already registered");
+  }
+}
+
+std::shared_ptr<core::ProcessingComponent> ComponentFactoryRegistry::create(
+    const std::string& kind, const std::vector<std::string>& args) const {
+  const auto it = factories_.find(kind);
+  if (it == factories_.end()) {
+    throw std::invalid_argument("unknown component kind '" + kind + "'");
+  }
+  return it->second(args);
+}
+
+std::vector<std::string> ComponentFactoryRegistry::kinds() const {
+  std::vector<std::string> out;
+  for (const auto& [kind, factory] : factories_) out.push_back(kind);
+  return out;
+}
+
+ConfigResult assemble_from_config(const std::string& text,
+                                  const ComponentFactoryRegistry& registry,
+                                  core::ProcessingGraph& graph) {
+  ConfigResult result;
+  std::map<std::string, core::ComponentId> names;
+  bool want_resolve = false;
+
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  const auto fail = [&](const std::string& message) {
+    result.errors.push_back("line " + std::to_string(line_no) + ": " +
+                            message);
+  };
+
+  // Pass 1: instantiate components and record directives.
+  struct Edge {
+    std::size_t line;
+    std::string producer;
+    std::string consumer;
+  };
+  std::vector<Edge> edges;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string verb;
+    if (!(ls >> verb)) continue;  // Blank line.
+
+    if (verb == "component") {
+      std::string name, kind;
+      if (!(ls >> name >> kind)) {
+        fail("component needs <name> <kind>");
+        continue;
+      }
+      if (names.contains(name)) {
+        fail("duplicate component name '" + name + "'");
+        continue;
+      }
+      std::vector<std::string> args;
+      std::string arg;
+      while (ls >> arg) args.push_back(std::move(arg));
+      try {
+        auto component = registry.create(kind, args);
+        if (!component) {
+          fail("factory for '" + kind + "' returned null");
+          continue;
+        }
+        const core::ComponentId id = graph.add(std::move(component));
+        names.emplace(name, id);
+        result.report.instantiated.emplace_back(name, id);
+      } catch (const std::exception& e) {
+        fail(e.what());
+      }
+    } else if (verb == "connect") {
+      std::string producer, consumer;
+      if (!(ls >> producer >> consumer)) {
+        fail("connect needs <producer> <consumer>");
+        continue;
+      }
+      edges.push_back(Edge{line_no, producer, consumer});
+    } else if (verb == "resolve") {
+      want_resolve = true;
+    } else {
+      fail("unknown directive '" + verb + "'");
+    }
+  }
+
+  // Pass 2: explicit edges.
+  for (const Edge& edge : edges) {
+    line_no = edge.line;
+    const auto p = names.find(edge.producer);
+    const auto c = names.find(edge.consumer);
+    if (p == names.end()) {
+      fail("unknown component '" + edge.producer + "'");
+      continue;
+    }
+    if (c == names.end()) {
+      fail("unknown component '" + edge.consumer + "'");
+      continue;
+    }
+    try {
+      graph.connect(p->second, c->second);
+      result.report.edges.push_back(
+          AssemblyEdge{edge.producer, edge.consumer, p->second, c->second});
+    } catch (const std::exception& e) {
+      fail(e.what());
+    }
+  }
+
+  // Pass 3: optional dependency resolution for anything left open. The
+  // components are already in the graph, so the assembler's satisfaction
+  // logic is run inline over the named instances.
+  if (want_resolve) {
+    for (const auto& [consumer_name, consumer_id] : names) {
+      const auto requirements =
+          graph.component(consumer_id).input_requirements();
+      for (const core::InputRequirement& req : requirements) {
+        const auto info = graph.info(consumer_id);
+        const bool satisfied = [&] {
+          for (core::ComponentId pid : info.producers) {
+            for (const core::DataSpec& cap : graph.capabilities(pid)) {
+              if (req.accepts(cap.type, cap.feature_tag)) return true;
+            }
+          }
+          return false;
+        }();
+        if (satisfied) continue;
+        bool connected = false;
+        for (const auto& [provider_name, provider_id] : names) {
+          if (provider_id == consumer_id) continue;
+          const auto caps = graph.capabilities(provider_id);
+          bool provides = false;
+          for (const core::DataSpec& cap : caps) {
+            if (req.accepts(cap.type, cap.feature_tag)) {
+              provides = true;
+              break;
+            }
+          }
+          if (!provides) continue;
+          try {
+            graph.connect(provider_id, consumer_id);
+          } catch (const std::invalid_argument&) {
+            continue;
+          }
+          result.report.edges.push_back(AssemblyEdge{
+              provider_name, consumer_name, provider_id, consumer_id});
+          connected = true;
+          break;
+        }
+        if (!connected && !req.optional) {
+          std::string description =
+              req.any_type ? std::string("<any>")
+                           : std::string(req.type->name());
+          if (!req.feature_tag.empty()) description += "@" + req.feature_tag;
+          result.report.unsatisfied.emplace_back(consumer_name, description);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::string export_config(const core::ProcessingGraph& graph) {
+  std::ostringstream out;
+  out << "# snapshot of a live PerPos processing graph\n";
+  const auto ids = graph.components();
+  const auto name_of = [&](core::ComponentId id) {
+    return std::string(graph.component(id).kind()) + "_" +
+           std::to_string(id);
+  };
+  for (core::ComponentId id : ids) {
+    out << "component " << name_of(id) << " "
+        << graph.component(id).kind() << "\n";
+  }
+  for (core::ComponentId id : ids) {
+    for (core::ComponentId consumer : graph.info(id).consumers) {
+      out << "connect " << name_of(id) << " " << name_of(consumer) << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace perpos::runtime

@@ -1,0 +1,113 @@
+#include "perpos/runtime/distribution.hpp"
+
+#include <stdexcept>
+
+namespace perpos::runtime {
+
+DistributedDeployment::DistributedDeployment(core::ProcessingGraph& graph,
+                                             sim::Network& network)
+    : graph_(graph), network_(network) {}
+
+sim::HostId DistributedDeployment::add_host(std::string name) {
+  const sim::HostId id = network_.add_host(
+      std::move(name), [this](sim::HostId from, const std::string& payload) {
+        host_handler(from, payload);
+      });
+  hosts_.push_back(id);
+  return id;
+}
+
+void DistributedDeployment::assign(core::ComponentId component,
+                                   sim::HostId host) {
+  if (!graph_.has(component)) {
+    throw std::invalid_argument("assign: unknown component");
+  }
+  assignment_[component] = host;
+}
+
+void DistributedDeployment::deploy() {
+  // Collect crossing edges first; mutating while iterating is unsafe.
+  struct Crossing {
+    core::ComponentId producer;
+    core::ComponentId consumer;
+    sim::HostId from;
+    sim::HostId to;
+  };
+  std::vector<Crossing> crossings;
+  for (core::ComponentId id : graph_.components()) {
+    const auto it = assignment_.find(id);
+    if (it == assignment_.end()) continue;
+    for (core::ComponentId consumer : graph_.info(id).consumers) {
+      const auto jt = assignment_.find(consumer);
+      if (jt == assignment_.end() || jt->second == it->second) continue;
+      crossings.push_back(Crossing{id, consumer, it->second, jt->second});
+    }
+  }
+
+  for (const Crossing& c : crossings) {
+    const std::string tag = "#" + std::to_string(next_pair_++);
+    auto egress =
+        std::make_shared<RemoteEgress>(network_, c.from, c.to, tag);
+    auto ingress =
+        std::make_shared<RemoteIngress>(graph_.capabilities(c.producer));
+    RemoteIngress* ingress_ptr = ingress.get();
+
+    const core::ComponentId egress_id = graph_.add(std::move(egress));
+    const core::ComponentId ingress_id = graph_.add(std::move(ingress));
+    graph_.disconnect(c.producer, c.consumer);
+    graph_.connect(c.producer, egress_id);
+    graph_.connect(ingress_id, c.consumer);
+
+    assignment_[egress_id] = c.from;
+    assignment_[ingress_id] = c.to;
+    ingresses_[tag] = ingress_ptr;
+  }
+}
+
+void DistributedDeployment::host_handler(sim::HostId from,
+                                         const std::string& payload) {
+  (void)from;
+  const std::size_t space = payload.find(' ');
+  if (space == std::string::npos) return;
+  const std::string tag = payload.substr(0, space);
+  if (tag == "#CTL") {
+    return;  // Control messages carry no payload to route.
+  }
+  const auto it = ingresses_.find(tag);
+  if (it == ingresses_.end()) return;
+  it->second->deliver(payload.substr(space + 1));
+}
+
+void DistributedDeployment::remote_call(sim::HostId from, sim::HostId to,
+                                        std::function<void()> fn) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(from) << 32) | to;
+  ++control_counts_[key];
+  // The marker message pays the link's byte/message accounting (and may be
+  // lost on lossy links — accounted, never routed). The control action
+  // itself runs synchronously: sub-second link latency is negligible
+  // against EnTracked's multi-second duty cycles, and synchronous execution
+  // keeps runs deterministic.
+  network_.send(from, to, "#CTL remote-call");
+  fn();
+}
+
+std::uint64_t DistributedDeployment::data_messages(sim::HostId from,
+                                                   sim::HostId to) const {
+  std::uint64_t control = 0;
+  const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+  if (const auto it = control_counts_.find(key); it != control_counts_.end()) {
+    control = it->second;
+  }
+  const std::uint64_t total = network_.stats(from, to).messages_sent;
+  return total >= control ? total - control : 0;
+}
+
+std::uint64_t DistributedDeployment::control_messages(sim::HostId from,
+                                                      sim::HostId to) const {
+  const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+  const auto it = control_counts_.find(key);
+  return it == control_counts_.end() ? 0 : it->second;
+}
+
+}  // namespace perpos::runtime

@@ -1,0 +1,146 @@
+#include "perpos/runtime/payload_codec.hpp"
+
+#include "perpos/core/data_types.hpp"
+#include "perpos/wifi/scan.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace perpos::runtime {
+
+namespace {
+
+std::string escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string unescape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 >= text.size()) {
+      out.push_back(text[i]);
+      continue;
+    }
+    ++i;
+    switch (text[i]) {
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      default: out.push_back(text[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool is_encodable(const core::Payload& payload) {
+  return payload.is<core::RawFragment>() || payload.is<wifi::RssiScan>() ||
+         payload.is<core::PositionFix>() || payload.is<core::RoomFix>();
+}
+
+std::string encode_payload(const core::Payload& payload) {
+  char buf[256];
+  if (const auto* raw = payload.get<core::RawFragment>()) {
+    return "RAW " + escape(raw->bytes);
+  }
+  if (const auto* scan = payload.get<wifi::RssiScan>()) {
+    std::string out = "RSSI " + std::to_string(scan->timestamp.ns);
+    for (const wifi::RssiReading& r : scan->readings) {
+      std::snprintf(buf, sizeof(buf), " %s:%.2f", r.ap_id.c_str(),
+                    r.rssi_dbm);
+      out += buf;
+    }
+    return out;
+  }
+  if (const auto* fix = payload.get<core::PositionFix>()) {
+    std::snprintf(buf, sizeof(buf), "FIX %.9f %.9f %.3f %.3f %lld %s",
+                  fix->position.latitude_deg, fix->position.longitude_deg,
+                  fix->position.altitude_m, fix->horizontal_accuracy_m,
+                  static_cast<long long>(fix->timestamp.ns),
+                  fix->technology.c_str());
+    return buf;
+  }
+  if (const auto* room = payload.get<core::RoomFix>()) {
+    std::snprintf(buf, sizeof(buf), "ROOM %s %s %d %.3f %.3f %.3f %lld",
+                  room->building.c_str(),
+                  room->room.empty() ? "-" : room->room.c_str(), room->floor,
+                  room->local.x, room->local.y, room->confidence,
+                  static_cast<long long>(room->timestamp.ns));
+    return buf;
+  }
+  throw std::invalid_argument(
+      "encode_payload: unsupported type " +
+      std::string(payload.type() != nullptr ? payload.type()->name()
+                                            : "<empty>"));
+}
+
+std::optional<core::Payload> decode_payload(const std::string& wire) {
+  const std::size_t space = wire.find(' ');
+  if (space == std::string::npos) return std::nullopt;
+  const std::string kind = wire.substr(0, space);
+  const std::string body = wire.substr(space + 1);
+
+  if (kind == "RAW") {
+    return core::Payload::make(core::RawFragment{unescape(body)});
+  }
+  if (kind == "RSSI") {
+    std::istringstream in(body);
+    long long ns = 0;
+    if (!(in >> ns)) return std::nullopt;
+    wifi::RssiScan scan;
+    scan.timestamp = sim::SimTime{ns};
+    std::string item;
+    while (in >> item) {
+      const std::size_t colon = item.rfind(':');
+      if (colon == std::string::npos) return std::nullopt;
+      wifi::RssiReading r;
+      r.ap_id = item.substr(0, colon);
+      try {
+        r.rssi_dbm = std::stod(item.substr(colon + 1));
+      } catch (...) {
+        return std::nullopt;
+      }
+      scan.readings.push_back(std::move(r));
+    }
+    return core::Payload::make(std::move(scan));
+  }
+  if (kind == "FIX") {
+    std::istringstream in(body);
+    core::PositionFix fix;
+    long long ns = 0;
+    if (!(in >> fix.position.latitude_deg >> fix.position.longitude_deg >>
+          fix.position.altitude_m >> fix.horizontal_accuracy_m >> ns)) {
+      return std::nullopt;
+    }
+    fix.timestamp = sim::SimTime{ns};
+    in >> fix.technology;
+    return core::Payload::make(std::move(fix));
+  }
+  if (kind == "ROOM") {
+    std::istringstream in(body);
+    core::RoomFix room;
+    long long ns = 0;
+    if (!(in >> room.building >> room.room >> room.floor >> room.local.x >>
+          room.local.y >> room.confidence >> ns)) {
+      return std::nullopt;
+    }
+    if (room.room == "-") room.room.clear();
+    room.timestamp = sim::SimTime{ns};
+    return core::Payload::make(std::move(room));
+  }
+  return std::nullopt;
+}
+
+}  // namespace perpos::runtime

@@ -1,0 +1,63 @@
+#include "perpos/runtime/registry.hpp"
+
+#include <algorithm>
+
+namespace perpos::runtime {
+
+ServiceId ServiceRegistry::register_erased(std::string interface_name,
+                                           std::shared_ptr<void> service,
+                                           Properties properties) {
+  const ServiceId id = next_id_++;
+  ServiceRef ref;
+  ref.id = id;
+  ref.interface_name = std::move(interface_name);
+  ref.properties = std::move(properties);
+  ref.service = std::move(service);
+  const auto [it, inserted] = services_.emplace(id, std::move(ref));
+  const auto snapshot = listeners_;
+  for (const auto& [token, listener] : snapshot) {
+    listener(ServiceEvent::kRegistered, it->second);
+  }
+  return id;
+}
+
+bool ServiceRegistry::unregister(ServiceId id) {
+  const auto it = services_.find(id);
+  if (it == services_.end()) return false;
+  const auto snapshot = listeners_;
+  for (const auto& [token, listener] : snapshot) {
+    listener(ServiceEvent::kUnregistering, it->second);
+  }
+  services_.erase(it);
+  return true;
+}
+
+std::vector<ServiceRef> ServiceRegistry::find(
+    const std::string& interface_name, const Properties& filter) const {
+  std::vector<ServiceRef> out;
+  for (const auto& [id, ref] : services_) {
+    if (ref.interface_name != interface_name) continue;
+    const bool matches = std::all_of(
+        filter.begin(), filter.end(), [&](const auto& kv) {
+          const auto it = ref.properties.find(kv.first);
+          return it != ref.properties.end() && it->second == kv.second;
+        });
+    if (matches) out.push_back(ref);
+  }
+  return out;
+}
+
+std::size_t ServiceRegistry::add_listener(Listener listener) {
+  const std::size_t token = next_listener_++;
+  listeners_.emplace_back(token, std::move(listener));
+  return token;
+}
+
+void ServiceRegistry::remove_listener(std::size_t token) {
+  listeners_.erase(
+      std::remove_if(listeners_.begin(), listeners_.end(),
+                     [&](const auto& p) { return p.first == token; }),
+      listeners_.end());
+}
+
+}  // namespace perpos::runtime

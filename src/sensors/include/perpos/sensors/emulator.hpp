@@ -1,0 +1,118 @@
+#pragma once
+
+#include "perpos/core/component.hpp"
+#include "perpos/core/data_types.hpp"
+#include "perpos/core/feature.hpp"
+#include "perpos/sim/scheduler.hpp"
+#include "perpos/wifi/scan.hpp"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file emulator.hpp
+/// Trace recording and replay.
+///
+/// The paper validates the particle filter by feeding "previously recorded
+/// sensor data ... into our PerPos middleware implementation ... using an
+/// emulator component that reads sensor data from a file and presents
+/// itself as a sensor. The emulator was plugged into the processing graph,
+/// taking the place of the sensors." This module provides both halves:
+///
+///  * TraceRecorderFeature — a Component Feature that, attached to a
+///    sensor, records every produced sample to a trace (middleware-native
+///    recording: no sensor changes needed).
+///  * EmulatorSource — a source component that replays a trace with the
+///    original timing, advertising the original sensor's capabilities.
+
+namespace perpos::sensors {
+
+/// One recorded sample: time + payload (RawFragment or RssiScan).
+struct TraceEntry {
+  sim::SimTime time;
+  core::Payload payload;
+};
+
+/// An in-memory or on-disk sequence of recorded samples.
+class Trace {
+ public:
+  void add(sim::SimTime time, core::Payload payload) {
+    entries_.push_back(TraceEntry{time, std::move(payload)});
+  }
+  const std::vector<TraceEntry>& entries() const noexcept { return entries_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+  /// Serialize to a line-oriented text format:
+  ///   <ns> RAW <escaped bytes>      (RawFragment)
+  ///   <ns> RSSI ap:dbm;ap:dbm;...   (RssiScan)
+  /// Unknown payload types are skipped (returned count = lines written).
+  std::size_t save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+
+  /// Parse the text format; throws std::runtime_error on malformed lines.
+  static Trace load(std::istream& in);
+  static Trace load_file(const std::string& path);
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+/// Component Feature that records every sample the host component produces
+/// (the feature's produce hook observes the output port).
+class TraceRecorderFeature final : public core::ComponentFeature {
+ public:
+  std::string_view name() const override { return "TraceRecorder"; }
+
+  bool produce(core::Sample& sample) override {
+    if (sample.feature_origin.empty()) {
+      trace_.add(sample.timestamp, sample.payload);
+    }
+    return true;
+  }
+
+  const Trace& trace() const noexcept { return trace_; }
+  Trace take_trace() { return std::move(trace_); }
+
+ private:
+  Trace trace_;
+};
+
+/// A source component replaying a Trace with its original timing. It
+/// presents itself as a sensor: `kind` and output capabilities are
+/// configurable so it can take the exact place of the recorded sensor in
+/// the processing graph.
+class EmulatorSource final : public core::ProcessingComponent {
+ public:
+  EmulatorSource(sim::Scheduler& scheduler, Trace trace,
+                 std::string kind = "GPS",
+                 std::vector<core::DataSpec> capabilities = {
+                     core::provide<core::RawFragment>()})
+      : scheduler_(scheduler),
+        trace_(std::move(trace)),
+        kind_(std::move(kind)),
+        capabilities_(std::move(capabilities)) {}
+
+  std::string_view kind() const override { return kind_; }
+  std::vector<core::InputRequirement> input_requirements() const override {
+    return {};
+  }
+  std::vector<core::DataSpec> output_capabilities() const override {
+    return capabilities_;
+  }
+  void on_input(const core::Sample&) override {}
+
+  /// Schedule every trace entry relative to the current simulation time.
+  void start();
+
+  std::size_t replayed() const noexcept { return replayed_; }
+
+ private:
+  sim::Scheduler& scheduler_;
+  Trace trace_;
+  std::string kind_;
+  std::vector<core::DataSpec> capabilities_;
+  std::size_t replayed_ = 0;
+};
+
+}  // namespace perpos::sensors

@@ -1,0 +1,151 @@
+#pragma once
+
+#include "perpos/core/component.hpp"
+#include "perpos/core/data_types.hpp"
+#include "perpos/core/feature.hpp"
+#include "perpos/sim/random.hpp"
+
+#include <string>
+#include <vector>
+
+/// \file failure_injection.hpp
+/// Failure injection — exercising the seams of Sec. 4 ("positioning
+/// technologies do not provide pervasive coverage ... positions delivered
+/// can be erroneous due to signal noise, delays, or faulty system
+/// calibration").
+///
+/// Two forms, matching the two extension mechanisms:
+///  * FailureInjectionFeature — a Component Feature using the "changing
+///    produced data" augmentation: drops or garbles RawFragment samples in
+///    the produce hook of the component it is attached to.
+///  * FlakyLinkComponent — a Processing Component modelling a lossy serial
+///    link: drop, garble, duplicate and reorder, spliceable into any edge
+///    with insert_between().
+///
+/// Property tests use both to show graceful degradation: the NMEA checksum
+/// layer rejects garbled sentences and the pipeline never crashes or emits
+/// corrupt positions.
+
+namespace perpos::sensors {
+
+struct FailureInjectionConfig {
+  double drop_probability = 0.0;
+  double garble_probability = 0.0;     ///< Flip one byte of the fragment.
+  double duplicate_probability = 0.0;  ///< FlakyLinkComponent only.
+  double reorder_probability = 0.0;    ///< FlakyLinkComponent only: hold one.
+};
+
+/// Flip one byte of `bytes` in place (the classic serial-noise model).
+inline void garble_one_byte(std::string& bytes, sim::Random& random) {
+  if (bytes.empty()) return;
+  const auto index = static_cast<std::size_t>(
+      random.uniform_int(0, static_cast<int>(bytes.size()) - 1));
+  bytes[index] = static_cast<char>(bytes[index] ^ 0x20);
+}
+
+/// Component Feature: drop/garble on the way OUT of the host component.
+class FailureInjectionFeature final : public core::ComponentFeature {
+ public:
+  FailureInjectionFeature(FailureInjectionConfig config, sim::Random& random)
+      : config_(config), random_(&random) {}
+
+  std::string_view name() const override { return "FailureInjection"; }
+
+  bool produce(core::Sample& sample) override {
+    if (!sample.feature_origin.empty()) return true;
+    const auto* fragment = sample.payload.get<core::RawFragment>();
+    if (fragment == nullptr) return true;
+
+    if (random_->chance(config_.drop_probability)) {
+      ++dropped_;
+      return false;
+    }
+    if (random_->chance(config_.garble_probability)) {
+      core::RawFragment garbled = *fragment;
+      garble_one_byte(garbled.bytes, *random_);
+      sample.payload = core::Payload::make(std::move(garbled));
+      ++garbled_;
+    }
+    return true;
+  }
+
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  std::uint64_t garbled() const noexcept { return garbled_; }
+
+ private:
+  FailureInjectionConfig config_;
+  sim::Random* random_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t garbled_ = 0;
+};
+
+/// A lossy pass-through link for RawFragment data. Duplication and
+/// reordering need a node of their own (features cannot emit untagged
+/// data — by design), so this is a Processing Component.
+class FlakyLinkComponent final : public core::ProcessingComponent {
+ public:
+  FlakyLinkComponent(FailureInjectionConfig config, sim::Random& random)
+      : config_(config), random_(&random) {}
+
+  std::string_view kind() const override { return "FlakyLink"; }
+  std::vector<core::InputRequirement> input_requirements() const override {
+    return {core::require<core::RawFragment>()};
+  }
+  std::vector<core::DataSpec> output_capabilities() const override {
+    return {core::provide<core::RawFragment>()};
+  }
+
+  void on_input(const core::Sample& sample) override {
+    const auto* fragment = sample.payload.get<core::RawFragment>();
+    if (fragment == nullptr) return;
+
+    if (random_->chance(config_.drop_probability)) {
+      ++dropped_;
+      emit_held();
+      return;
+    }
+    core::RawFragment out = *fragment;
+    if (random_->chance(config_.garble_probability)) {
+      garble_one_byte(out.bytes, *random_);
+      ++garbled_;
+    }
+    if (!held_.empty()) {
+      // A held fragment goes out after the current one: reordered.
+      context().emit(core::Payload::make(out));
+      emit_held();
+    } else if (random_->chance(config_.reorder_probability)) {
+      held_ = out.bytes;
+      ++reordered_;
+    } else {
+      context().emit(core::Payload::make(out));
+      if (random_->chance(config_.duplicate_probability)) {
+        ++duplicated_;
+        context().emit(core::Payload::make(core::RawFragment{out.bytes}));
+      }
+    }
+  }
+
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  std::uint64_t garbled() const noexcept { return garbled_; }
+  std::uint64_t duplicated() const noexcept { return duplicated_; }
+  std::uint64_t reordered() const noexcept { return reordered_; }
+
+ private:
+  void emit_held() {
+    if (held_.empty()) return;
+    core::RawFragment held;
+    held.bytes = std::move(held_);
+    held_.clear();
+    context().emit(core::Payload::make(std::move(held)));
+  }
+
+  FailureInjectionConfig config_;
+  sim::Random* random_;
+  std::string held_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t garbled_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t reordered_ = 0;
+};
+
+}  // namespace perpos::sensors

@@ -1,0 +1,76 @@
+#pragma once
+
+#include "perpos/geo/local_frame.hpp"
+#include "perpos/locmodel/building.hpp"
+#include "perpos/sim/clock.hpp"
+#include "perpos/sim/random.hpp"
+
+#include <optional>
+#include <vector>
+
+/// \file gps_model.hpp
+/// GPS receiver error model. Produces per-epoch measurement state — the
+/// measured position, satellite count, HDOP and fix quality — from the
+/// ground-truth position.
+///
+/// The model reproduces the seams the paper's examples exploit:
+///  * positions wander (first-order Gauss-Markov bias + white noise),
+///  * satellite visibility and HDOP fluctuate,
+///  * indoors (or during scripted outages) the satellite count collapses
+///    and errors blow up, *but the receiver keeps producing measurements* —
+///    the behaviour that motivates the NumberOfSatellites filter (E1), and
+///  * HDOP correlates with actual error — what makes the HDOP-based
+///    likelihood of the particle filter (E2) informative.
+
+namespace perpos::sensors {
+
+struct GpsEpoch {
+  sim::SimTime time;
+  geo::GeoPoint truth;
+  geo::GeoPoint measured;
+  int satellites = 0;
+  double hdop = 1.0;
+  bool has_fix = true;
+  double error_m = 0.0;  ///< Horizontal error of `measured` vs `truth`.
+};
+
+struct GpsModelConfig {
+  double bias_sigma_m = 3.0;        ///< Stationary std-dev of the bias walk.
+  double bias_tau_s = 60.0;         ///< Bias correlation time.
+  double noise_sigma_m = 1.5;       ///< Per-epoch white noise (good sky).
+  int satellites_open_sky = 9;      ///< Typical count with open sky.
+  int satellites_degraded = 3;      ///< Typical count indoors/canyon.
+  double hdop_open_sky = 1.0;
+  double hdop_degraded = 8.0;
+  /// Error multiplier applied per unit of HDOP above 1 (couples HDOP to
+  /// actual error so HDOP-based likelihoods carry information).
+  double error_per_hdop_m = 2.0;
+  /// Probability of losing the fix entirely per degraded epoch.
+  double degraded_fix_loss_prob = 0.35;
+};
+
+class GpsModel {
+ public:
+  GpsModel(GpsModelConfig config, sim::Random& random)
+      : config_(config), random_(&random) {}
+
+  /// Compute the measurement for an epoch. `degraded` marks indoor /
+  /// urban-canyon conditions. The model is stateful (bias random walk);
+  /// call with monotone times.
+  GpsEpoch step(sim::SimTime time, const geo::GeoPoint& truth, bool degraded);
+
+  /// Reset the bias state (e.g. after a long receiver-off interval, the
+  /// bias decorrelates).
+  void reset_bias() { bias_east_ = bias_north_ = 0.0; }
+
+  const GpsModelConfig& config() const noexcept { return config_; }
+
+ private:
+  GpsModelConfig config_;
+  sim::Random* random_;
+  double bias_east_ = 0.0;
+  double bias_north_ = 0.0;
+  std::optional<sim::SimTime> last_time_;
+};
+
+}  // namespace perpos::sensors

@@ -1,0 +1,113 @@
+#pragma once
+
+#include "perpos/core/component.hpp"
+#include "perpos/core/data_types.hpp"
+#include "perpos/locmodel/building.hpp"
+#include "perpos/sensors/gps_model.hpp"
+#include "perpos/sensors/trajectory.hpp"
+#include "perpos/sim/scheduler.hpp"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+/// \file gps_sensor.hpp
+/// The simulated GPS receiver — a source Processing Component that emits
+/// raw NMEA byte fragments, exactly what the middleware would receive from
+/// a real receiver over a serial link (paper Fig. 1: "GPS sensor ->
+/// Raw Data (Strings)").
+///
+/// Sentences are deliberately split into several fragments per sentence so
+/// the Parser exhibits the many-strings-to-one-sentence behaviour of the
+/// Fig. 4 data tree. The sensor supports on/off control (the EnTracked
+/// PowerStrategy drives it) and accounts its active time for energy
+/// evaluation.
+
+namespace perpos::sensors {
+
+struct GpsSensorConfig {
+  sim::SimTime epoch_interval = sim::SimTime::from_seconds(1.0);
+  /// How many raw fragments each NMEA sentence is split into (>= 1).
+  int fragments_per_sentence = 2;
+  bool emit_gsa = true;   ///< Also emit GSA (DOP/satellites) each epoch.
+  bool emit_rmc = false;  ///< Also emit RMC (speed/course) each epoch.
+  GpsModelConfig model;
+};
+
+class GpsSensor final : public core::ProcessingComponent {
+ public:
+  /// `trajectory` gives ground truth in `frame`-local coordinates;
+  /// `indoor` (optional) marks the region where reception degrades.
+  /// All references must outlive the sensor.
+  GpsSensor(sim::Scheduler& scheduler, sim::Random& random,
+            const Trajectory& trajectory, const geo::LocalFrame& frame,
+            GpsSensorConfig config = {},
+            const locmodel::Building* indoor = nullptr);
+
+  std::string_view kind() const override { return "GPS"; }
+  std::vector<core::InputRequirement> input_requirements() const override {
+    return {};
+  }
+  std::vector<core::DataSpec> output_capabilities() const override {
+    return {core::provide<core::RawFragment>()};
+  }
+  void on_input(const core::Sample&) override {}
+
+  /// Begin emitting epochs (the first after one epoch interval).
+  void start();
+  /// Stop emitting permanently (cancels the scheduled tick).
+  void stop();
+
+  /// Receiver power control: while inactive the receiver is off — no
+  /// measurements are produced and no power is drawn. Reactivation
+  /// decorrelates the error bias (cold-ish start).
+  void set_active(bool active);
+  bool active() const noexcept { return active_; }
+
+  /// Accumulated receiver-on time (energy accounting).
+  sim::SimTime active_time() const;
+
+  /// Add a scripted outage window [from, to] during which reception is
+  /// degraded regardless of position.
+  void add_outage(sim::SimTime from, sim::SimTime to);
+
+  /// Ground truth at a time (for error evaluation).
+  geo::GeoPoint truth_at(sim::SimTime t) const;
+
+  std::uint64_t epochs() const noexcept { return epochs_; }
+  const std::optional<GpsEpoch>& last_epoch() const noexcept {
+    return last_epoch_;
+  }
+
+  /// When enabled, every produced epoch is retained for later analysis.
+  void set_record_epochs(bool record) { record_epochs_ = record; }
+  const std::vector<GpsEpoch>& recorded_epochs() const noexcept {
+    return recorded_epochs_;
+  }
+
+ private:
+  void tick();
+  void emit_sentence_fragments(const std::string& sentence);
+  bool is_degraded(sim::SimTime t, const LocalPoint& local) const;
+
+  sim::Scheduler& scheduler_;
+  GpsModel model_;
+  const Trajectory& trajectory_;
+  const geo::LocalFrame& frame_;
+  GpsSensorConfig config_;
+  const locmodel::Building* indoor_;
+
+  bool started_ = false;
+  bool active_ = true;
+  sim::Scheduler::EventId tick_event_ = 0;
+  sim::SimTime active_accum_ = sim::SimTime::zero();
+  sim::SimTime active_since_ = sim::SimTime::zero();
+  std::vector<std::pair<sim::SimTime, sim::SimTime>> outages_;
+
+  std::uint64_t epochs_ = 0;
+  std::optional<GpsEpoch> last_epoch_;
+  bool record_epochs_ = false;
+  std::vector<GpsEpoch> recorded_epochs_;
+};
+
+}  // namespace perpos::sensors

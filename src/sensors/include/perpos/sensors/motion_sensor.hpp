@@ -1,0 +1,96 @@
+#pragma once
+
+#include "perpos/core/component.hpp"
+#include "perpos/sensors/trajectory.hpp"
+#include "perpos/sim/random.hpp"
+#include "perpos/sim/scheduler.hpp"
+
+/// \file motion_sensor.hpp
+/// A simulated accelerometer-based motion detector — the second sensor of
+/// the EnTracked design (Kjærgaard et al. 2009): a cheap always-on sensor
+/// whose binary moving/still verdict gates the expensive GPS receiver.
+/// The detector samples the ground-truth trajectory's speed and adds
+/// configurable false positives (vibration while still) and false
+/// negatives (smooth motion missed).
+
+namespace perpos::sensors {
+
+/// One motion-detector verdict.
+struct MotionSample {
+  bool moving = false;
+  double magnitude = 0.0;  ///< Activity level (pseudo-acceleration energy).
+  sim::SimTime timestamp;
+
+  friend bool operator==(const MotionSample&, const MotionSample&) = default;
+};
+
+struct MotionSensorConfig {
+  sim::SimTime sample_interval = sim::SimTime::from_seconds(1.0);
+  double moving_speed_threshold_mps = 0.3;
+  double false_positive_prob = 0.02;  ///< Still reported as moving.
+  double false_negative_prob = 0.02;  ///< Motion reported as still.
+};
+
+class MotionSensor final : public core::ProcessingComponent {
+ public:
+  MotionSensor(sim::Scheduler& scheduler, sim::Random& random,
+               const Trajectory& trajectory, MotionSensorConfig config = {})
+      : scheduler_(scheduler),
+        random_(random),
+        trajectory_(trajectory),
+        config_(config) {}
+
+  std::string_view kind() const override { return "MotionSensor"; }
+  std::vector<core::InputRequirement> input_requirements() const override {
+    return {};
+  }
+  std::vector<core::DataSpec> output_capabilities() const override {
+    return {core::provide<MotionSample>()};
+  }
+  void on_input(const core::Sample&) override {}
+
+  void start() {
+    if (started_) return;
+    started_ = true;
+    tick_event_ =
+        scheduler_.schedule_after(config_.sample_interval, [this] { tick(); });
+  }
+  void stop() {
+    if (!started_) return;
+    started_ = false;
+    if (tick_event_ != 0) scheduler_.cancel(tick_event_);
+    tick_event_ = 0;
+  }
+
+  std::uint64_t samples() const noexcept { return samples_; }
+
+ private:
+  void tick() {
+    if (!started_) return;
+    tick_event_ =
+        scheduler_.schedule_after(config_.sample_interval, [this] { tick(); });
+    const double speed = trajectory_.speed_at(scheduler_.now());
+    bool moving = speed > config_.moving_speed_threshold_mps;
+    if (moving && random_.chance(config_.false_negative_prob)) moving = false;
+    if (!moving && random_.chance(config_.false_positive_prob)) moving = true;
+
+    MotionSample sample;
+    sample.moving = moving;
+    sample.magnitude = moving ? speed + random_.normal(0.0, 0.2) : 0.05;
+    sample.timestamp = scheduler_.now();
+    ++samples_;
+    context().emit(core::Payload::make(sample));
+  }
+
+  sim::Scheduler& scheduler_;
+  sim::Random& random_;
+  const Trajectory& trajectory_;
+  MotionSensorConfig config_;
+  bool started_ = false;
+  sim::Scheduler::EventId tick_event_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace perpos::sensors
+
+PERPOS_TYPE_NAME(perpos::sensors::MotionSample, "MotionSample");

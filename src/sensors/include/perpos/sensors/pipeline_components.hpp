@@ -1,0 +1,89 @@
+#pragma once
+
+#include "perpos/core/component.hpp"
+#include "perpos/core/data_types.hpp"
+#include "perpos/nmea/stream_parser.hpp"
+
+/// \file pipeline_components.hpp
+/// The middleware-provided GPS pipeline components of Fig. 1:
+///
+///   GPS sensor --RawFragment--> Parser --Sentence--> Interpreter
+///       --PositionFix--> (application / resolver / fusion)
+///
+/// The Parser assembles raw byte fragments into NMEA sentences (several
+/// fragments per sentence); the Interpreter only produces a position when
+/// a sentence contains a valid fix — together they create exactly the
+/// layered data tree of Fig. 4.
+
+namespace perpos::sensors {
+
+/// RawFragment -> nmea::Sentence.
+class NmeaParser final : public core::ProcessingComponent {
+ public:
+  std::string_view kind() const override { return "Parser"; }
+
+  std::vector<core::InputRequirement> input_requirements() const override {
+    return {core::require<core::RawFragment>()};
+  }
+  std::vector<core::DataSpec> output_capabilities() const override {
+    return {core::provide<perpos::nmea::Sentence>()};
+  }
+
+  void on_input(const core::Sample& sample) override {
+    const auto* fragment = sample.payload.get<core::RawFragment>();
+    if (fragment == nullptr) return;
+    for (perpos::nmea::Sentence& sentence : parser_.feed(fragment->bytes)) {
+      context().emit(core::Payload::make(std::move(sentence)));
+    }
+  }
+
+  std::size_t parse_errors() const noexcept { return parser_.error_count(); }
+
+ private:
+  perpos::nmea::StreamParser parser_;
+};
+
+/// nmea::Sentence -> core::PositionFix (GGA with a valid fix only).
+class NmeaInterpreter final : public core::ProcessingComponent {
+ public:
+  /// `uere_m` converts HDOP to an accuracy estimate:
+  /// accuracy = hdop * uere (user-equivalent range error).
+  explicit NmeaInterpreter(double uere_m = 4.0) : uere_m_(uere_m) {}
+
+  std::string_view kind() const override { return "Interpreter"; }
+
+  std::vector<core::InputRequirement> input_requirements() const override {
+    return {core::require<perpos::nmea::Sentence>()};
+  }
+  std::vector<core::DataSpec> output_capabilities() const override {
+    return {core::provide<core::PositionFix>()};
+  }
+
+  void on_input(const core::Sample& sample) override {
+    const auto* sentence = sample.payload.get<perpos::nmea::Sentence>();
+    if (sentence == nullptr || !sentence->gga) return;
+    const perpos::nmea::GgaSentence& gga = *sentence->gga;
+    if (!perpos::nmea::is_fix(gga.quality)) {
+      ++skipped_;  // No valid position in this sentence (Fig. 4's NMEA_1).
+      return;
+    }
+    core::PositionFix fix;
+    fix.position = geo::GeoPoint{gga.latitude_deg, gga.longitude_deg,
+                                 gga.altitude_m};
+    fix.horizontal_accuracy_m = gga.hdop * uere_m_;
+    fix.timestamp = sample.timestamp;
+    fix.technology = "GPS";
+    context().emit(core::Payload::make(std::move(fix)));
+  }
+
+  /// Sentences without a usable fix (a seam indicator).
+  std::uint64_t skipped() const noexcept { return skipped_; }
+
+ private:
+  double uere_m_;
+  std::uint64_t skipped_ = 0;
+};
+
+}  // namespace perpos::sensors
+
+PERPOS_TYPE_NAME(perpos::nmea::Sentence, "NMEA");

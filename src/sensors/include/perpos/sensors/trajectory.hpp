@@ -1,0 +1,98 @@
+#pragma once
+
+#include "perpos/geo/local_frame.hpp"
+#include "perpos/sim/clock.hpp"
+
+#include <vector>
+
+/// \file trajectory.hpp
+/// Ground-truth movement of a tracked target: piecewise-linear waypoint
+/// paths with per-leg speed and pauses, in building-local coordinates.
+/// Every simulated sensor samples the same trajectory, which is also the
+/// reference for error evaluation (Fig. 6) and the EnTracked movement
+/// patterns (Fig. 7).
+
+namespace perpos::sensors {
+
+using geo::LocalPoint;
+
+/// One leg of a trajectory: walk to `to` at `speed_mps`, then pause.
+struct Leg {
+  LocalPoint to;
+  double speed_mps = 1.2;  ///< Typical indoor walking speed.
+  double pause_s = 0.0;
+};
+
+class Trajectory {
+ public:
+  Trajectory(LocalPoint start, std::vector<Leg> legs);
+
+  /// Position at simulation time `t` (clamped to the end point).
+  LocalPoint position_at(sim::SimTime t) const noexcept;
+
+  /// Instantaneous speed at `t` (0 during pauses and after the end).
+  double speed_at(sim::SimTime t) const noexcept;
+
+  /// Total duration from start to the end of the last pause.
+  sim::SimTime duration() const noexcept { return duration_; }
+
+  /// Total path length in metres.
+  double length_m() const noexcept { return length_m_; }
+
+  const LocalPoint& start() const noexcept { return start_; }
+  LocalPoint end() const noexcept;
+
+  /// Evenly time-sampled ground-truth points (inclusive of both ends).
+  std::vector<LocalPoint> sample(sim::SimTime step) const;
+
+ private:
+  struct Phase {
+    sim::SimTime begin;
+    sim::SimTime end;
+    LocalPoint from;
+    LocalPoint to;      // == from during pauses
+    double speed_mps;   // 0 during pauses
+  };
+  LocalPoint start_;
+  std::vector<Phase> phases_;
+  sim::SimTime duration_;
+  double length_m_ = 0.0;
+};
+
+/// Builder with a fluent interface.
+class TrajectoryBuilder {
+ public:
+  explicit TrajectoryBuilder(LocalPoint start) : start_(start) {}
+
+  TrajectoryBuilder& walk_to(LocalPoint to, double speed_mps = 1.2) {
+    legs_.push_back(Leg{to, speed_mps, 0.0});
+    return *this;
+  }
+  TrajectoryBuilder& pause(double seconds) {
+    if (legs_.empty()) {
+      legs_.push_back(Leg{start_, 1.2, seconds});
+    } else {
+      legs_.back().pause_s += seconds;
+    }
+    return *this;
+  }
+  Trajectory build() { return Trajectory(start_, std::move(legs_)); }
+
+ private:
+  LocalPoint start_;
+  std::vector<Leg> legs_;
+};
+
+/// The canonical indoor walk through the office building fixture: lobby ->
+/// corridor -> office O-S2 (pause) -> corridor -> lab (pause) -> corridor ->
+/// office O-N3. Roughly 90 m, ~2.5 minutes. Used by the Fig. 6 experiment.
+Trajectory office_walk();
+
+/// An outdoor straight-and-turns walk used by EnTracked scenarios
+/// (constant speed, no pauses), starting outside the building footprint.
+Trajectory outdoor_walk(double speed_mps = 1.4);
+
+/// A stationary "trajectory" (EnTracked's best case).
+Trajectory stationary(LocalPoint where, double duration_s);
+
+}  // namespace perpos::sensors

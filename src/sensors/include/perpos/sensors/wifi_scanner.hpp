@@ -1,0 +1,69 @@
+#pragma once
+
+#include "perpos/core/component.hpp"
+#include "perpos/sensors/trajectory.hpp"
+#include "perpos/sim/scheduler.hpp"
+#include "perpos/wifi/signal_model.hpp"
+
+/// \file wifi_scanner.hpp
+/// The simulated WiFi sensor — a source component emitting RssiScan values
+/// sampled from the radio model along the ground-truth trajectory (paper
+/// Fig. 1's "WiFi sensor").
+
+namespace perpos::sensors {
+
+class WifiScanner final : public core::ProcessingComponent {
+ public:
+  WifiScanner(sim::Scheduler& scheduler, sim::Random& random,
+              const Trajectory& trajectory, const wifi::SignalModel& model,
+              sim::SimTime scan_interval = sim::SimTime::from_seconds(2.0))
+      : scheduler_(scheduler),
+        random_(random),
+        trajectory_(trajectory),
+        model_(model),
+        scan_interval_(scan_interval) {}
+
+  std::string_view kind() const override { return "WiFi"; }
+  std::vector<core::InputRequirement> input_requirements() const override {
+    return {};
+  }
+  std::vector<core::DataSpec> output_capabilities() const override {
+    return {core::provide<wifi::RssiScan>()};
+  }
+  void on_input(const core::Sample&) override {}
+
+  void start() {
+    if (started_) return;
+    started_ = true;
+    tick_event_ = scheduler_.schedule_after(scan_interval_, [this] { tick(); });
+  }
+  void stop() {
+    if (!started_) return;
+    started_ = false;
+    if (tick_event_ != 0) scheduler_.cancel(tick_event_);
+    tick_event_ = 0;
+  }
+
+  std::uint64_t scans() const noexcept { return scans_; }
+
+ private:
+  void tick() {
+    if (!started_) return;
+    tick_event_ = scheduler_.schedule_after(scan_interval_, [this] { tick(); });
+    const LocalPoint at = trajectory_.position_at(scheduler_.now());
+    wifi::RssiScan scan = model_.scan_at(at, random_, scheduler_.now());
+    ++scans_;
+    context().emit(core::Payload::make(std::move(scan)));
+  }
+
+  sim::Scheduler& scheduler_;
+  sim::Random& random_;
+  const Trajectory& trajectory_;
+  const wifi::SignalModel& model_;
+  sim::SimTime scan_interval_;
+  bool started_ = false;
+  sim::Scheduler::EventId tick_event_ = 0;
+  std::uint64_t scans_ = 0;
+};
+
+}  // namespace perpos::sensors

@@ -1,0 +1,140 @@
+#include "perpos/sensors/emulator.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace perpos::sensors {
+
+namespace {
+
+std::string escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string unescape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 >= text.size()) {
+      out.push_back(text[i]);
+      continue;
+    }
+    ++i;
+    switch (text[i]) {
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case '\\': out.push_back('\\'); break;
+      default: out.push_back(text[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t Trace::save(std::ostream& out) const {
+  std::size_t written = 0;
+  for (const TraceEntry& e : entries_) {
+    if (const auto* raw = e.payload.get<core::RawFragment>()) {
+      out << e.time.ns << " RAW " << escape(raw->bytes) << "\n";
+      ++written;
+    } else if (const auto* scan = e.payload.get<wifi::RssiScan>()) {
+      out << e.time.ns << " RSSI ";
+      for (std::size_t i = 0; i < scan->readings.size(); ++i) {
+        if (i != 0) out << ";";
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%s:%.2f",
+                      scan->readings[i].ap_id.c_str(),
+                      scan->readings[i].rssi_dbm);
+        out << buf;
+      }
+      out << "\n";
+      ++written;
+    }
+  }
+  return written;
+}
+
+void Trace::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Trace::save_file: cannot open " + path);
+  save(out);
+}
+
+Trace Trace::load(std::istream& in) {
+  Trace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::int64_t ns = 0;
+    std::string kind;
+    if (!(ls >> ns >> kind)) {
+      throw std::runtime_error("Trace::load: malformed line " +
+                               std::to_string(line_no));
+    }
+    std::string rest;
+    std::getline(ls, rest);
+    if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+
+    if (kind == "RAW") {
+      core::RawFragment fragment{unescape(rest)};
+      trace.add(sim::SimTime{ns}, core::Payload::make(std::move(fragment)));
+    } else if (kind == "RSSI") {
+      wifi::RssiScan scan;
+      scan.timestamp = sim::SimTime{ns};
+      std::istringstream rs(rest);
+      std::string item;
+      while (std::getline(rs, item, ';')) {
+        const std::size_t colon = item.rfind(':');
+        if (colon == std::string::npos) {
+          throw std::runtime_error("Trace::load: bad RSSI item, line " +
+                                   std::to_string(line_no));
+        }
+        wifi::RssiReading r;
+        r.ap_id = item.substr(0, colon);
+        r.rssi_dbm = std::stod(item.substr(colon + 1));
+        scan.readings.push_back(std::move(r));
+      }
+      trace.add(sim::SimTime{ns}, core::Payload::make(std::move(scan)));
+    } else {
+      throw std::runtime_error("Trace::load: unknown record kind '" + kind +
+                               "' on line " + std::to_string(line_no));
+    }
+  }
+  return trace;
+}
+
+Trace Trace::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Trace::load_file: cannot open " + path);
+  return load(in);
+}
+
+void EmulatorSource::start() {
+  const sim::SimTime base = scheduler_.now();
+  for (const TraceEntry& entry : trace_.entries()) {
+    scheduler_.schedule_at(base + entry.time, [this, &entry] {
+      ++replayed_;
+      context().emit(entry.payload);
+    });
+  }
+}
+
+}  // namespace perpos::sensors

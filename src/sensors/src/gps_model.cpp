@@ -1,0 +1,54 @@
+#include "perpos/sensors/gps_model.hpp"
+
+#include "perpos/geo/distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace perpos::sensors {
+
+GpsEpoch GpsModel::step(sim::SimTime time, const geo::GeoPoint& truth,
+                        bool degraded) {
+  // Advance the first-order Gauss-Markov bias.
+  double dt = 1.0;
+  if (last_time_) dt = std::max(0.0, (time - *last_time_).seconds());
+  last_time_ = time;
+  const double alpha = std::exp(-dt / config_.bias_tau_s);
+  const double drive =
+      config_.bias_sigma_m * std::sqrt(std::max(0.0, 1.0 - alpha * alpha));
+  bias_east_ = alpha * bias_east_ + random_->normal(0.0, drive);
+  bias_north_ = alpha * bias_north_ + random_->normal(0.0, drive);
+
+  GpsEpoch epoch;
+  epoch.time = time;
+  epoch.truth = truth;
+
+  // Satellite count and HDOP fluctuate around regime-dependent values.
+  const int sat_mean =
+      degraded ? config_.satellites_degraded : config_.satellites_open_sky;
+  epoch.satellites = std::max(0, sat_mean + random_->uniform_int(-1, 1));
+  const double hdop_mean =
+      degraded ? config_.hdop_degraded : config_.hdop_open_sky;
+  epoch.hdop = std::max(0.5, random_->normal(hdop_mean, hdop_mean * 0.15));
+
+  epoch.has_fix = epoch.satellites >= 3;
+  if (degraded && epoch.has_fix &&
+      random_->chance(config_.degraded_fix_loss_prob)) {
+    epoch.has_fix = false;
+  }
+
+  // Error scales with HDOP: white noise plus the slow bias.
+  const double hdop_excess = std::max(0.0, epoch.hdop - 1.0);
+  const double sigma =
+      config_.noise_sigma_m + hdop_excess * config_.error_per_hdop_m;
+  const double err_east = bias_east_ + random_->normal(0.0, sigma);
+  const double err_north = bias_north_ + random_->normal(0.0, sigma);
+
+  // Apply the horizontal error in a local frame at the truth point.
+  const geo::LocalFrame frame(truth);
+  epoch.measured = frame.to_geodetic(geo::EnuPoint{err_east, err_north, 0.0});
+  epoch.error_m = std::hypot(err_east, err_north);
+  return epoch;
+}
+
+}  // namespace perpos::sensors

@@ -1,0 +1,170 @@
+#include "perpos/sensors/gps_sensor.hpp"
+
+#include "perpos/nmea/generate.hpp"
+
+#include <cmath>
+
+namespace perpos::sensors {
+
+namespace {
+
+perpos::nmea::UtcTime utc_from_sim(sim::SimTime t) {
+  const double sod = std::fmod(t.seconds(), 86400.0);
+  perpos::nmea::UtcTime utc;
+  utc.hours = static_cast<int>(sod / 3600.0);
+  utc.minutes = static_cast<int>(std::fmod(sod, 3600.0) / 60.0);
+  utc.seconds = std::fmod(sod, 60.0);
+  return utc;
+}
+
+}  // namespace
+
+GpsSensor::GpsSensor(sim::Scheduler& scheduler, sim::Random& random,
+                     const Trajectory& trajectory,
+                     const geo::LocalFrame& frame, GpsSensorConfig config,
+                     const locmodel::Building* indoor)
+    : scheduler_(scheduler),
+      model_(config.model, random),
+      trajectory_(trajectory),
+      frame_(frame),
+      config_(config),
+      indoor_(indoor) {
+  if (config_.fragments_per_sentence < 1) config_.fragments_per_sentence = 1;
+
+  // Expose receiver control and status via the designed reflection surface
+  // so PSL tooling can drive the sensor without knowing its C++ type.
+  operations().add("active", "query ('') or set ('on'/'off') receiver power",
+                   [this](const std::string& arg) -> std::string {
+                     if (arg == "on") set_active(true);
+                     if (arg == "off") set_active(false);
+                     return active_ ? "on" : "off";
+                   });
+  operations().add("epochs", "number of measurement epochs produced",
+                   [this](const std::string&) {
+                     return std::to_string(epochs_);
+                   });
+  operations().add("active_time_s", "accumulated receiver-on seconds",
+                   [this](const std::string&) {
+                     return std::to_string(active_time().seconds());
+                   });
+}
+
+void GpsSensor::start() {
+  if (started_) return;
+  started_ = true;
+  active_since_ = scheduler_.now();
+  tick_event_ =
+      scheduler_.schedule_after(config_.epoch_interval, [this] { tick(); });
+}
+
+void GpsSensor::stop() {
+  if (!started_) return;
+  started_ = false;
+  if (tick_event_ != 0) scheduler_.cancel(tick_event_);
+  tick_event_ = 0;
+  if (active_) active_accum_ = active_accum_ + (scheduler_.now() - active_since_);
+}
+
+void GpsSensor::set_active(bool active) {
+  if (active == active_) return;
+  const sim::SimTime now = scheduler_.now();
+  if (active) {
+    active_since_ = now;
+    // Receiver restart: the slow error bias decorrelates while off.
+    model_.reset_bias();
+  } else if (started_) {
+    active_accum_ = active_accum_ + (now - active_since_);
+  }
+  active_ = active;
+}
+
+sim::SimTime GpsSensor::active_time() const {
+  sim::SimTime total = active_accum_;
+  if (started_ && active_) {
+    total = total + (scheduler_.now() - active_since_);
+  }
+  return total;
+}
+
+void GpsSensor::add_outage(sim::SimTime from, sim::SimTime to) {
+  outages_.emplace_back(from, to);
+}
+
+geo::GeoPoint GpsSensor::truth_at(sim::SimTime t) const {
+  return frame_.to_geodetic(trajectory_.position_at(t));
+}
+
+bool GpsSensor::is_degraded(sim::SimTime t, const LocalPoint& local) const {
+  for (const auto& [from, to] : outages_) {
+    if (t >= from && t <= to) return true;
+  }
+  return indoor_ != nullptr && indoor_->inside_footprint(local);
+}
+
+void GpsSensor::tick() {
+  if (!started_) return;
+  tick_event_ =
+      scheduler_.schedule_after(config_.epoch_interval, [this] { tick(); });
+  if (!active_) return;  // Receiver off: no epoch.
+
+  const sim::SimTime now = scheduler_.now();
+  const LocalPoint local = trajectory_.position_at(now);
+  const geo::GeoPoint truth = frame_.to_geodetic(local);
+  const GpsEpoch epoch = model_.step(now, truth, is_degraded(now, local));
+
+  ++epochs_;
+  last_epoch_ = epoch;
+  if (record_epochs_) recorded_epochs_.push_back(epoch);
+
+  // GGA: a real receiver keeps producing sentences without a fix — the
+  // seam that motivates satellite-count filtering (paper Sec. 3.1).
+  perpos::nmea::GgaSentence gga;
+  gga.time = utc_from_sim(now);
+  gga.quality = epoch.has_fix ? perpos::nmea::FixQuality::kGps
+                              : perpos::nmea::FixQuality::kInvalid;
+  gga.satellites_in_use = epoch.satellites;
+  gga.hdop = epoch.hdop;
+  if (epoch.has_fix) {
+    gga.latitude_deg = epoch.measured.latitude_deg;
+    gga.longitude_deg = epoch.measured.longitude_deg;
+    gga.altitude_m = epoch.measured.altitude_m;
+  }
+  emit_sentence_fragments(perpos::nmea::generate_gga(gga) + "\r\n");
+
+  if (config_.emit_gsa) {
+    perpos::nmea::GsaSentence gsa;
+    gsa.mode = epoch.has_fix ? perpos::nmea::GsaSentence::Mode::k3d
+                             : perpos::nmea::GsaSentence::Mode::kNoFix;
+    for (int i = 0; i < epoch.satellites; ++i) {
+      gsa.satellite_prns.push_back(2 + i * 3);
+    }
+    gsa.hdop = epoch.hdop;
+    gsa.pdop = epoch.hdop * 1.4;
+    gsa.vdop = epoch.hdop * 1.1;
+    emit_sentence_fragments(perpos::nmea::generate_gsa(gsa) + "\r\n");
+  }
+
+  if (config_.emit_rmc && epoch.has_fix) {
+    perpos::nmea::RmcSentence rmc;
+    rmc.time = gga.time;
+    rmc.valid = true;
+    rmc.latitude_deg = epoch.measured.latitude_deg;
+    rmc.longitude_deg = epoch.measured.longitude_deg;
+    rmc.speed_knots = trajectory_.speed_at(now) * 1.9438;
+    rmc.date_ddmmyy = 10710;  // Fixed date; irrelevant to positioning.
+    emit_sentence_fragments(perpos::nmea::generate_rmc(rmc) + "\r\n");
+  }
+}
+
+void GpsSensor::emit_sentence_fragments(const std::string& sentence) {
+  const int n = config_.fragments_per_sentence;
+  const std::size_t len = sentence.size();
+  const std::size_t chunk = (len + n - 1) / static_cast<std::size_t>(n);
+  for (std::size_t off = 0; off < len; off += chunk) {
+    core::RawFragment fragment;
+    fragment.bytes = sentence.substr(off, chunk);
+    context().emit(core::Payload::make(std::move(fragment)));
+  }
+}
+
+}  // namespace perpos::sensors

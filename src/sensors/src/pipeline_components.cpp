@@ -1,0 +1,5 @@
+#include "perpos/sensors/pipeline_components.hpp"
+
+// Components are header-only; this translation unit anchors the library.
+
+namespace perpos::sensors {}  // namespace perpos::sensors

@@ -1,0 +1,99 @@
+#include "perpos/sensors/trajectory.hpp"
+
+#include <cmath>
+
+namespace perpos::sensors {
+
+Trajectory::Trajectory(LocalPoint start, std::vector<Leg> legs)
+    : start_(start) {
+  sim::SimTime t = sim::SimTime::zero();
+  LocalPoint at = start;
+  for (const Leg& leg : legs) {
+    const double dist = std::hypot(leg.to.x - at.x, leg.to.y - at.y);
+    if (dist > 0.0 && leg.speed_mps > 0.0) {
+      const sim::SimTime end = t + sim::SimTime::from_seconds(dist /
+                                                              leg.speed_mps);
+      phases_.push_back(Phase{t, end, at, leg.to, leg.speed_mps});
+      t = end;
+      at = leg.to;
+      length_m_ += dist;
+    }
+    if (leg.pause_s > 0.0) {
+      const sim::SimTime end = t + sim::SimTime::from_seconds(leg.pause_s);
+      phases_.push_back(Phase{t, end, at, at, 0.0});
+      t = end;
+    }
+  }
+  duration_ = t;
+}
+
+LocalPoint Trajectory::position_at(sim::SimTime t) const noexcept {
+  if (phases_.empty()) return start_;
+  if (t.ns <= 0) return start_;
+  for (const Phase& p : phases_) {
+    if (t < p.begin || t > p.end) continue;
+    const double span = (p.end - p.begin).seconds();
+    if (span <= 0.0) return p.to;
+    const double f = (t - p.begin).seconds() / span;
+    return LocalPoint{p.from.x + f * (p.to.x - p.from.x),
+                      p.from.y + f * (p.to.y - p.from.y)};
+  }
+  return phases_.back().to;
+}
+
+double Trajectory::speed_at(sim::SimTime t) const noexcept {
+  for (const Phase& p : phases_) {
+    if (t >= p.begin && t < p.end) return p.speed_mps;
+  }
+  return 0.0;
+}
+
+LocalPoint Trajectory::end() const noexcept {
+  return phases_.empty() ? start_ : phases_.back().to;
+}
+
+std::vector<LocalPoint> Trajectory::sample(sim::SimTime step) const {
+  std::vector<LocalPoint> out;
+  for (sim::SimTime t = sim::SimTime::zero(); t <= duration_;
+       t = t + step) {
+    out.push_back(position_at(t));
+  }
+  return out;
+}
+
+Trajectory office_walk() {
+  // Coordinates match locmodel::make_office_building(): corridor band is
+  // y 8.5..11.5, offices below/above, lab east of x=32. The walk passes
+  // through doorways (office door centres at x = 4, 12, 20, 28).
+  return TrajectoryBuilder({2.0, 10.0})   // Lobby.
+      .walk_to({12.0, 10.0})              // Corridor, by O-S2's door.
+      .walk_to({12.0, 7.0})               // Through the O-S2 door.
+      .walk_to({12.0, 4.0})               // Inside O-S2.
+      .pause(10.0)
+      .walk_to({12.0, 10.0})              // Back to the corridor.
+      .walk_to({31.0, 10.0})              // East along the corridor.
+      .walk_to({36.0, 10.0})              // Through the lab door.
+      .pause(15.0)
+      .walk_to({30.0, 10.0})              // Back west.
+      .walk_to({20.0, 10.0})              // By O-N3's door.
+      .walk_to({20.0, 13.0})              // Through the O-N3 door.
+      .walk_to({20.0, 16.0})              // Inside O-N3.
+      .pause(5.0)
+      .build();
+}
+
+Trajectory outdoor_walk(double speed_mps) {
+  // A 600 m out-and-back walk well outside the office footprint.
+  return TrajectoryBuilder({-50.0, -50.0})
+      .walk_to({100.0, -50.0}, speed_mps)
+      .walk_to({100.0, 100.0}, speed_mps)
+      .walk_to({-50.0, 100.0}, speed_mps)
+      .walk_to({-50.0, -50.0}, speed_mps)
+      .build();
+}
+
+Trajectory stationary(LocalPoint where, double duration_s) {
+  return TrajectoryBuilder(where).pause(duration_s).build();
+}
+
+}  // namespace perpos::sensors

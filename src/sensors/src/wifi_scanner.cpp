@@ -1,0 +1,5 @@
+#include "perpos/sensors/wifi_scanner.hpp"
+
+// Header-only component; anchors the library.
+
+namespace perpos::sensors {}  // namespace perpos::sensors

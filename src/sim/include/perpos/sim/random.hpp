@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+/// \file random.hpp
+/// Seeded random source shared by all simulators. A thin wrapper around
+/// std::mt19937_64 with the distributions the sensor/error models need, so
+/// every stochastic element of the reproduction is controlled by one seed.
+
+namespace perpos::sim {
+
+class Random {
+ public:
+  explicit Random(std::uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    if (stddev <= 0.0) return mean;
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double probability) {
+    if (probability <= 0.0) return false;
+    if (probability >= 1.0) return true;
+    return std::bernoulli_distribution(probability)(engine_);
+  }
+
+  /// Exponentially distributed value with the given mean (>0).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace perpos::sim

@@ -1,0 +1,73 @@
+#pragma once
+
+#include "perpos/sim/clock.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+/// \file scheduler.hpp
+/// A deterministic discrete-event scheduler. Sensors schedule their own
+/// emission events, network links schedule deliveries, EnTracked schedules
+/// duty-cycle wakeups. Ties are broken by insertion order so runs are fully
+/// reproducible.
+
+namespace perpos::sim {
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  /// Schedule `action` to run at absolute simulation time `when`. Events
+  /// scheduled in the past run at the current time. Returns an id usable
+  /// with cancel().
+  EventId schedule_at(SimTime when, Action action);
+
+  /// Schedule `action` to run `delay` after the current simulation time.
+  EventId schedule_after(SimTime delay, Action action);
+
+  /// Cancel a pending event. Returns false if the event already ran or was
+  /// cancelled.
+  bool cancel(EventId id);
+
+  /// Run events until the queue is empty or `limit` is reached (events at
+  /// exactly `limit` still run). Returns the number of events executed.
+  std::size_t run_until(SimTime limit);
+
+  /// Run every pending event (including those scheduled by executed
+  /// events). Returns the number of events executed. Callers must ensure
+  /// the event chain terminates.
+  std::size_t run_all();
+
+  /// Execute at most one event; returns false when the queue is empty.
+  bool step();
+
+  const Clock& clock() const noexcept { return clock_; }
+  SimTime now() const noexcept { return clock_.now(); }
+  std::size_t pending() const noexcept { return queue_.size() - cancelled_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when.ns != b.when.ns) return a.when.ns > b.when.ns;
+      return a.id > b.id;  // FIFO among simultaneous events.
+    }
+  };
+
+  bool is_cancelled(EventId id) const;
+
+  SimClock clock_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<EventId> cancelled_ids_;
+  std::size_t cancelled_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace perpos::sim

@@ -1,0 +1,57 @@
+#include "perpos/sim/network.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace perpos::sim {
+
+HostId Network::add_host(std::string name, Handler handler) {
+  hosts_.push_back(Host{std::move(name), std::move(handler)});
+  return static_cast<HostId>(hosts_.size() - 1);
+}
+
+void Network::set_link(HostId a, HostId b, LinkConfig config) {
+  links_[key(a, b)].config = config;
+}
+
+void Network::send(HostId from, HostId to, std::string payload) {
+  if (from >= hosts_.size() || to >= hosts_.size()) {
+    throw std::out_of_range("Network::send: unknown host");
+  }
+  Link& link = links_[key(from, to)];  // Default link if not configured.
+  ++link.stats.messages_sent;
+  link.stats.bytes_sent += payload.size();
+
+  if (random_.chance(link.config.loss_probability)) {
+    ++link.stats.messages_dropped;
+    return;
+  }
+
+  SimTime latency = link.config.latency;
+  if (link.config.latency_jitter.ns > 0) {
+    latency = latency + SimTime{static_cast<std::int64_t>(random_.uniform(
+                            0.0, static_cast<double>(
+                                     link.config.latency_jitter.ns)))};
+  }
+  // Capture by value; the link stats pointer stays valid because links_ is
+  // never erased from.
+  LinkStats* stats = &link.stats;
+  Handler* handler = &hosts_[to].handler;
+  scheduler_.schedule_after(
+      latency, [stats, handler, from, payload = std::move(payload)]() {
+        ++stats->messages_delivered;
+        if (*handler) (*handler)(from, payload);
+      });
+}
+
+const LinkStats& Network::stats(HostId from, HostId to) const {
+  static const LinkStats kEmpty;
+  const auto it = links_.find(key(from, to));
+  return it == links_.end() ? kEmpty : it->second.stats;
+}
+
+const std::string& Network::host_name(HostId id) const {
+  return hosts_.at(id).name;
+}
+
+}  // namespace perpos::sim

@@ -1,0 +1,6 @@
+#include "perpos/sim/random.hpp"
+
+// Header-only distributions; this translation unit exists so the library has
+// a stable archive member and a place for future out-of-line additions.
+
+namespace perpos::sim {}  // namespace perpos::sim

@@ -1,0 +1,63 @@
+#include "perpos/sim/scheduler.hpp"
+
+#include <algorithm>
+
+namespace perpos::sim {
+
+Scheduler::EventId Scheduler::schedule_at(SimTime when, Action action) {
+  if (when < clock_.now()) when = clock_.now();
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, id, std::move(action)});
+  return id;
+}
+
+Scheduler::EventId Scheduler::schedule_after(SimTime delay, Action action) {
+  return schedule_at(clock_.now() + delay, std::move(action));
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  if (is_cancelled(id)) return false;
+  cancelled_ids_.push_back(id);
+  ++cancelled_;
+  return true;
+}
+
+bool Scheduler::is_cancelled(EventId id) const {
+  return std::find(cancelled_ids_.begin(), cancelled_ids_.end(), id) !=
+         cancelled_ids_.end();
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (is_cancelled(entry.id)) {
+      cancelled_ids_.erase(std::find(cancelled_ids_.begin(),
+                                     cancelled_ids_.end(), entry.id));
+      --cancelled_;
+      continue;
+    }
+    clock_.advance_to(entry.when);
+    entry.action();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run_until(SimTime limit) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= limit) {
+    if (step()) ++executed;
+  }
+  clock_.advance_to(limit);
+  return executed;
+}
+
+std::size_t Scheduler::run_all() {
+  std::size_t executed = 0;
+  while (step()) ++executed;
+  return executed;
+}
+
+}  // namespace perpos::sim

@@ -1,0 +1,81 @@
+#pragma once
+
+#include "perpos/core/component.hpp"
+#include "perpos/core/data_types.hpp"
+#include "perpos/wifi/fingerprint.hpp"
+
+/// \file components.hpp
+/// Processing components of the WiFi positioning pipeline (Fig. 1):
+/// RssiScan -> WifiPositioner -> LocalPosition [-> LocalToGeoConverter ->
+/// PositionFix]. The room Resolver lives in the locmodel module.
+
+namespace perpos::wifi {
+
+/// Estimates a building-local position from RSSI scans using a fingerprint
+/// database.
+class WifiPositioner final : public core::ProcessingComponent {
+ public:
+  /// Keeps a reference to `db`; the database must outlive the component.
+  explicit WifiPositioner(const FingerprintDatabase& db, KnnConfig config = {})
+      : db_(db), config_(config) {}
+
+  std::string_view kind() const override { return "WifiPositioner"; }
+
+  std::vector<core::InputRequirement> input_requirements() const override {
+    return {core::require<RssiScan>()};
+  }
+  std::vector<core::DataSpec> output_capabilities() const override {
+    return {core::provide<LocalPosition>()};
+  }
+
+  void on_input(const core::Sample& sample) override {
+    const auto* scan = sample.payload.get<RssiScan>();
+    if (scan == nullptr) return;
+    if (const auto estimate = db_.estimate(*scan, config_)) {
+      context().emit(core::Payload::make(*estimate));
+    } else {
+      ++failed_;
+    }
+  }
+
+  /// Scans that produced no estimate (empty scan — a coverage seam).
+  std::uint64_t failed() const noexcept { return failed_; }
+
+ private:
+  const FingerprintDatabase& db_;
+  KnnConfig config_;
+  std::uint64_t failed_ = 0;
+};
+
+/// Converts building-local estimates to technology-independent WGS84
+/// fixes, so WiFi positions can be fused with GPS positions.
+class LocalToGeoConverter final : public core::ProcessingComponent {
+ public:
+  explicit LocalToGeoConverter(const Building& building)
+      : building_(building) {}
+
+  std::string_view kind() const override { return "LocalToGeo"; }
+
+  std::vector<core::InputRequirement> input_requirements() const override {
+    return {core::require<LocalPosition>()};
+  }
+  std::vector<core::DataSpec> output_capabilities() const override {
+    return {core::provide<core::PositionFix>()};
+  }
+
+  void on_input(const core::Sample& sample) override {
+    const auto* local = sample.payload.get<LocalPosition>();
+    if (local == nullptr) return;
+    core::PositionFix fix;
+    fix.position = building_.frame().to_geodetic(local->point);
+    fix.horizontal_accuracy_m = local->accuracy_m;
+    fix.timestamp = local->timestamp;
+    fix.technology = "WiFi";
+    context().emit(core::Payload::make(std::move(fix)));
+  }
+
+ private:
+  const Building& building_;
+};
+
+}  // namespace perpos::wifi

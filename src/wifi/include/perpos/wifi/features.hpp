@@ -1,0 +1,68 @@
+#pragma once
+
+#include "perpos/core/channel.hpp"
+#include "perpos/wifi/scan.hpp"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file features.hpp
+/// Translucency features for the WiFi positioning channel — the WiFi-side
+/// counterpart of the GPS channel's HDOP machinery, showing the feature
+/// mechanisms generalize across technologies (paper Sec. 4: "to the extent
+/// that sensors and processing elements contain information that may be
+/// used to deduce for example, current coverage, accuracy, and signal
+/// noise, this information ... can be used to expose the seams").
+
+namespace perpos::wifi {
+
+/// A Channel Feature exposing coverage quality for the most recent
+/// position delivered by a WiFi channel: how many access points backed the
+/// estimate and how strong they were. Applications use it to detect
+/// coverage seams (too few APs => distrust the room fix).
+class ScanQualityFeature final : public core::ChannelFeature {
+ public:
+  std::string_view name() const override { return "ScanQuality"; }
+
+  void apply(const core::DataTree& tree) override {
+    ap_count_ = 0;
+    strongest_dbm_.reset();
+    mean_dbm_.reset();
+    // Any RssiScan in the data tree contributed to this output.
+    for (const auto& [producer, scan] : tree.collect<RssiScan>()) {
+      (void)producer;
+      ap_count_ += scan->readings.size();
+      double sum = 0.0;
+      for (const RssiReading& r : scan->readings) {
+        sum += r.rssi_dbm;
+        if (!strongest_dbm_ || r.rssi_dbm > *strongest_dbm_) {
+          strongest_dbm_ = r.rssi_dbm;
+        }
+      }
+      if (!scan->readings.empty()) {
+        mean_dbm_ = sum / static_cast<double>(scan->readings.size());
+      }
+    }
+  }
+
+  /// Access points heard in the scan(s) behind the current position.
+  std::size_t ap_count() const noexcept { return ap_count_; }
+  std::optional<double> strongest_dbm() const noexcept {
+    return strongest_dbm_;
+  }
+  std::optional<double> mean_dbm() const noexcept { return mean_dbm_; }
+
+  /// A simple coverage verdict: positions backed by fewer than `min_aps`
+  /// access points are suspect.
+  bool adequate_coverage(std::size_t min_aps = 3) const noexcept {
+    return ap_count_ >= min_aps;
+  }
+
+ private:
+  std::size_t ap_count_ = 0;
+  std::optional<double> strongest_dbm_;
+  std::optional<double> mean_dbm_;
+};
+
+}  // namespace perpos::wifi

@@ -1,0 +1,63 @@
+#pragma once
+
+#include "perpos/locmodel/resolver.hpp"
+#include "perpos/wifi/signal_model.hpp"
+
+#include <vector>
+
+/// \file fingerprint.hpp
+/// Fingerprint-based WiFi positioning: an offline database of reference
+/// RSSI vectors on a grid, and a weighted k-nearest-neighbour estimator in
+/// signal space. This is the reproduction of the "indoor WiFi positioning
+/// system" the paper's Room Number Application queries.
+
+namespace perpos::wifi {
+
+using locmodel::LocalPosition;
+
+/// One calibration point: where it was taken and the mean RSSI per AP.
+struct Fingerprint {
+  LocalPoint position;
+  std::vector<RssiReading> readings;
+};
+
+struct KnnConfig {
+  std::size_t k = 4;
+  /// RSSI assumed for an AP present in one vector but not the other —
+  /// treating "not heard" as a very weak signal.
+  double missing_rssi_dbm = -95.0;
+};
+
+class FingerprintDatabase {
+ public:
+  /// Survey the building on a regular grid with spacing `grid_m`, storing
+  /// the model's mean RSSI at each point inside the footprint. With
+  /// `surveys_per_point` > 0 and a random source, noisy surveys are
+  /// averaged instead (a more realistic offline phase).
+  static FingerprintDatabase survey(const SignalModel& model,
+                                    const Building& building, double grid_m,
+                                    int surveys_per_point = 0,
+                                    perpos::sim::Random* random = nullptr);
+
+  void add(Fingerprint fp) { fingerprints_.push_back(std::move(fp)); }
+  const std::vector<Fingerprint>& fingerprints() const noexcept {
+    return fingerprints_;
+  }
+  std::size_t size() const noexcept { return fingerprints_.size(); }
+
+  /// Weighted k-NN estimate in signal space. Returns nullopt for an empty
+  /// scan or an empty database. `accuracy_m` of the result is the spread
+  /// of the contributing neighbours.
+  std::optional<LocalPosition> estimate(const RssiScan& scan,
+                                        const KnnConfig& config = {}) const;
+
+  /// Euclidean distance between RSSI vectors with missing-AP substitution.
+  static double signal_distance(const RssiScan& scan,
+                                const std::vector<RssiReading>& reference,
+                                double missing_rssi_dbm);
+
+ private:
+  std::vector<Fingerprint> fingerprints_;
+};
+
+}  // namespace perpos::wifi

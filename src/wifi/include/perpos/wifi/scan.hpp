@@ -1,0 +1,42 @@
+#pragma once
+
+#include "perpos/core/type_info.hpp"
+#include "perpos/sim/clock.hpp"
+
+#include <string>
+#include <vector>
+
+/// \file scan.hpp
+/// WiFi signal-strength observations — the raw data of the indoor
+/// positioning pipeline (paper Fig. 1: "WiFi sensor -> Raw data (local
+/// coordinate system)").
+
+namespace perpos::wifi {
+
+/// One received-signal-strength reading from one access point.
+struct RssiReading {
+  std::string ap_id;    ///< BSSID-like identifier.
+  double rssi_dbm = -100.0;
+
+  friend bool operator==(const RssiReading&, const RssiReading&) = default;
+};
+
+/// A full scan: readings from every audible access point at one instant.
+struct RssiScan {
+  std::vector<RssiReading> readings;
+  perpos::sim::SimTime timestamp;
+
+  /// The reading for `ap_id`, or nullptr if the AP was not heard.
+  const RssiReading* find(const std::string& ap_id) const noexcept {
+    for (const RssiReading& r : readings) {
+      if (r.ap_id == ap_id) return &r;
+    }
+    return nullptr;
+  }
+
+  friend bool operator==(const RssiScan&, const RssiScan&) = default;
+};
+
+}  // namespace perpos::wifi
+
+PERPOS_TYPE_NAME(perpos::wifi::RssiScan, "RssiScan");

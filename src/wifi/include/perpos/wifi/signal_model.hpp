@@ -1,0 +1,82 @@
+#pragma once
+
+#include "perpos/locmodel/building.hpp"
+#include "perpos/sim/random.hpp"
+#include "perpos/wifi/scan.hpp"
+
+#include <string>
+#include <vector>
+
+/// \file signal_model.hpp
+/// Radio propagation model for the simulated WiFi infrastructure: log-
+/// distance path loss with log-normal shadowing, plus per-wall attenuation
+/// from the building model. This substitutes for the real WiFi positioning
+/// deployment the paper interfaces with — the positioning pipeline only
+/// ever sees RssiScan values, which this model produces with controllable
+/// imperfection.
+
+namespace perpos::wifi {
+
+using locmodel::Building;
+using locmodel::LocalPoint;
+
+/// A deployed access point in building-local coordinates.
+struct AccessPoint {
+  std::string id;
+  LocalPoint position;
+  double tx_power_dbm = -30.0;  ///< RSSI at the 1 m reference distance.
+
+  friend bool operator==(const AccessPoint&, const AccessPoint&) = default;
+};
+
+struct SignalModelConfig {
+  double path_loss_exponent = 3.0;   ///< Indoor typical 2.7-4.0.
+  double shadowing_sigma_db = 4.0;   ///< Log-normal shadowing std dev.
+  double sensitivity_dbm = -92.0;    ///< Below this the AP is not heard.
+  double detection_floor_prob = 0.95;  ///< P(hear AP) when above threshold.
+};
+
+/// Computes deterministic mean RSSI and draws noisy scans.
+class SignalModel {
+ public:
+  /// `building` supplies wall attenuation; may be nullptr for free space.
+  SignalModel(std::vector<AccessPoint> aps, SignalModelConfig config,
+              const Building* building = nullptr)
+      : aps_(std::move(aps)), config_(config), building_(building) {}
+
+  const std::vector<AccessPoint>& access_points() const noexcept {
+    return aps_;
+  }
+  const SignalModelConfig& config() const noexcept { return config_; }
+
+  /// Mean (noise-free) RSSI of `ap` at `p`, including wall attenuation.
+  double mean_rssi(const AccessPoint& ap, const LocalPoint& p) const noexcept;
+
+  /// A noisy scan at `p`: per-AP shadowing noise, sensitivity cutoff and
+  /// random detection failures.
+  RssiScan scan_at(const LocalPoint& p, perpos::sim::Random& random,
+                   perpos::sim::SimTime timestamp) const;
+
+  /// A noise-free scan (used to build fingerprint databases).
+  RssiScan ideal_scan_at(const LocalPoint& p,
+                         perpos::sim::SimTime timestamp) const;
+
+  /// Coverage seams: disable/enable an access point at runtime (an AP
+  /// failure or maintenance window). Disabled APs vanish from scans while
+  /// the fingerprint database still references them — the k-NN estimator
+  /// must degrade gracefully. Returns false for unknown ids.
+  bool set_enabled(const std::string& ap_id, bool enabled);
+  bool is_enabled(const std::string& ap_id) const;
+
+ private:
+  std::vector<AccessPoint> aps_;
+  SignalModelConfig config_;
+  const Building* building_;
+  std::vector<std::string> disabled_;
+};
+
+/// A standard 6-AP deployment for the office building fixture: APs in the
+/// lobby, corridor (x=12, x=24), lab, and one in each office row.
+std::vector<AccessPoint> office_access_points();
+
+}  // namespace perpos::wifi

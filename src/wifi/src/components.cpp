@@ -1,0 +1,5 @@
+#include "perpos/wifi/components.hpp"
+
+// Components are header-only; this translation unit anchors the library.
+
+namespace perpos::wifi {}  // namespace perpos::wifi

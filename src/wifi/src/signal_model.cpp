@@ -1,0 +1,75 @@
+#include "perpos/wifi/signal_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace perpos::wifi {
+
+double SignalModel::mean_rssi(const AccessPoint& ap,
+                              const LocalPoint& p) const noexcept {
+  const double d =
+      std::max(1.0, std::hypot(p.x - ap.position.x, p.y - ap.position.y));
+  double rssi =
+      ap.tx_power_dbm - 10.0 * config_.path_loss_exponent * std::log10(d);
+  if (building_ != nullptr) {
+    rssi -= building_->wall_attenuation_db(ap.position, p);
+  }
+  return rssi;
+}
+
+RssiScan SignalModel::scan_at(const LocalPoint& p, perpos::sim::Random& random,
+                              perpos::sim::SimTime timestamp) const {
+  RssiScan scan;
+  scan.timestamp = timestamp;
+  for (const AccessPoint& ap : aps_) {
+    if (!is_enabled(ap.id)) continue;
+    const double rssi =
+        mean_rssi(ap, p) + random.normal(0.0, config_.shadowing_sigma_db);
+    if (rssi < config_.sensitivity_dbm) continue;
+    if (!random.chance(config_.detection_floor_prob)) continue;
+    scan.readings.push_back(RssiReading{ap.id, rssi});
+  }
+  return scan;
+}
+
+RssiScan SignalModel::ideal_scan_at(const LocalPoint& p,
+                                    perpos::sim::SimTime timestamp) const {
+  RssiScan scan;
+  scan.timestamp = timestamp;
+  for (const AccessPoint& ap : aps_) {
+    if (!is_enabled(ap.id)) continue;
+    const double rssi = mean_rssi(ap, p);
+    if (rssi < config_.sensitivity_dbm) continue;
+    scan.readings.push_back(RssiReading{ap.id, rssi});
+  }
+  return scan;
+}
+
+bool SignalModel::set_enabled(const std::string& ap_id, bool enabled) {
+  const bool known = std::any_of(
+      aps_.begin(), aps_.end(),
+      [&](const AccessPoint& ap) { return ap.id == ap_id; });
+  if (!known) return false;
+  const auto it = std::find(disabled_.begin(), disabled_.end(), ap_id);
+  if (enabled && it != disabled_.end()) {
+    disabled_.erase(it);
+  } else if (!enabled && it == disabled_.end()) {
+    disabled_.push_back(ap_id);
+  }
+  return true;
+}
+
+bool SignalModel::is_enabled(const std::string& ap_id) const {
+  return std::find(disabled_.begin(), disabled_.end(), ap_id) ==
+         disabled_.end();
+}
+
+std::vector<AccessPoint> office_access_points() {
+  return {
+      {"AP-LOBBY", {2.0, 10.0}, -30.0},  {"AP-C12", {12.0, 10.0}, -30.0},
+      {"AP-C24", {24.0, 10.0}, -30.0},   {"AP-LAB", {36.0, 10.0}, -30.0},
+      {"AP-S", {16.0, 4.0}, -30.0},      {"AP-N", {16.0, 16.0}, -30.0},
+  };
+}
+
+}  // namespace perpos::wifi

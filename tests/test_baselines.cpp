@@ -1,0 +1,281 @@
+// Tests for the comparator middlewares: the mini Location Stack (fixed
+// layers, common measurement format) and mini PoSIM (sensor wrappers with
+// latest-value info keys and declarative policies).
+
+#include "perpos/baselines/location_stack.hpp"
+#include "perpos/baselines/middlewhere.hpp"
+#include "perpos/baselines/posim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bl = perpos::baselines;
+namespace geo = perpos::geo;
+namespace sim = perpos::sim;
+
+namespace {
+
+bl::StackMeasurement measure(double lat, double lon, double acc, double t,
+                             std::string tech = "GPS") {
+  bl::StackMeasurement m;
+  m.position = {lat, lon, 0.0};
+  m.accuracy_m = acc;
+  m.timestamp = sim::SimTime::from_seconds(t);
+  m.technology = std::move(tech);
+  return m;
+}
+
+}  // namespace
+
+TEST(LocationStack, SingleMeasurementPassesThrough) {
+  bl::LocationStack stack;
+  stack.push_measurement(measure(56.0, 10.0, 5.0, 1.0));
+  const auto pos = stack.get_position();
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_NEAR(pos->position.latitude_deg, 56.0, 1e-9);
+}
+
+TEST(LocationStack, FusionWeightsByAccuracy) {
+  bl::LocationStack stack;
+  stack.push_measurement(measure(56.0, 10.0, 1.0, 1.0, "GPS"));
+  stack.push_measurement(measure(56.1, 10.0, 100.0, 1.5, "WiFi"));
+  const auto pos = stack.get_position();
+  ASSERT_TRUE(pos.has_value());
+  // The accurate measurement dominates.
+  EXPECT_NEAR(pos->position.latitude_deg, 56.0, 0.001);
+  EXPECT_LT(pos->accuracy_m, 1.0);  // Fusion tightens the estimate.
+}
+
+TEST(LocationStack, WindowPrunesStaleMeasurements) {
+  bl::LocationStack stack({sim::SimTime::from_seconds(5.0)});
+  stack.push_measurement(measure(56.0, 10.0, 1.0, 0.0));
+  stack.push_measurement(measure(57.0, 11.0, 1.0, 60.0));
+  EXPECT_EQ(stack.window_size(), 1u);  // The old one is gone.
+  EXPECT_NEAR(stack.get_position()->position.latitude_deg, 57.0, 1e-9);
+}
+
+TEST(LocationStack, SubscribersNotified) {
+  bl::LocationStack stack;
+  int events = 0;
+  stack.subscribe([&](const bl::StackMeasurement&) { ++events; });
+  stack.push_measurement(measure(56.0, 10.0, 1.0, 1.0));
+  stack.push_measurement(measure(56.0, 10.0, 1.0, 2.0));
+  EXPECT_EQ(events, 2);
+}
+
+TEST(LocationStack, NegativeAccuracyDroppedByMeasurementLayer) {
+  bl::LocationStack stack;
+  stack.push_measurement(measure(56.0, 10.0, -1.0, 1.0));
+  EXPECT_FALSE(stack.get_position().has_value());
+}
+
+TEST(LocationStack, ExtendedFormatCarriesGpsFieldsEverywhere) {
+  bl::ExtendedLocationStack stack;
+  bl::ExtendedStackMeasurement wifi;
+  wifi.position = {56.0, 10.0, 0.0};
+  wifi.accuracy_m = 4.0;
+  wifi.timestamp = sim::SimTime::from_seconds(1.0);
+  wifi.technology = "WiFi";
+  // The point of the comparison: WiFi measurements must carry (meaningless)
+  // satellite fields once the format is extended for one GPS application.
+  EXPECT_EQ(wifi.satellites, -1);
+  stack.push_measurement(wifi);
+  ASSERT_TRUE(stack.get_position().has_value());
+
+  // And every measurement of every technology grew by the same bytes.
+  bl::StackMeasurement plain;
+  plain.technology = "WiFi";
+  bl::ExtendedStackMeasurement extended;
+  extended.technology = "WiFi";
+  EXPECT_GT(bl::measurement_bytes(extended), bl::measurement_bytes(plain));
+}
+
+// --- PoSIM -------------------------------------------------------------------
+
+namespace {
+
+class FakeGpsWrapper final : public bl::PosimSensorWrapper {
+ public:
+  FakeGpsWrapper() : PosimSensorWrapper("GPS") {}
+
+  /// Simulates one epoch: updates infos, then delivers the position.
+  void epoch(bl::Posim& posim, double lat, double lon, double hdop,
+             int satellites, double t) {
+    publish_info("HDOP", hdop);
+    publish_info("satellites", satellites);
+    bl::PosimPosition pos;
+    pos.position = {lat, lon, 0.0};
+    pos.accuracy_m = hdop * 4.0;
+    pos.timestamp = sim::SimTime::from_seconds(t);
+    posim.deliver(*this, pos);
+  }
+};
+
+}  // namespace
+
+TEST(Posim, InfoKeysExposeLatestValues) {
+  bl::Posim posim;
+  auto wrapper = std::make_shared<FakeGpsWrapper>();
+  posim.add_wrapper(wrapper);
+  wrapper->epoch(posim, 56.0, 10.0, 1.5, 8, 1.0);
+  EXPECT_DOUBLE_EQ(*posim.get_info("GPS", "HDOP"), 1.5);
+  EXPECT_DOUBLE_EQ(*posim.get_info("GPS", "satellites"), 8.0);
+  EXPECT_FALSE(posim.get_info("GPS", "nonexistent").has_value());
+  EXPECT_FALSE(posim.get_info("BLE", "HDOP").has_value());
+}
+
+TEST(Posim, InfoIsLatestValueOnly) {
+  // The seam the paper points out: by the time the application inspects
+  // HDOP for a delivered position, a newer epoch may have overwritten it.
+  bl::Posim posim;
+  auto wrapper = std::make_shared<FakeGpsWrapper>();
+  posim.add_wrapper(wrapper);
+
+  std::vector<bl::PosimPosition> queue;  // App processes asynchronously.
+  posim.subscribe([&](const bl::PosimPosition& p) { queue.push_back(p); });
+  wrapper->epoch(posim, 56.0, 10.0, 1.0, 9, 1.0);
+  wrapper->epoch(posim, 56.1, 10.1, 9.0, 3, 2.0);
+  // The app now processes position #1 — but the info is from epoch #2.
+  ASSERT_EQ(queue.size(), 2u);
+  EXPECT_DOUBLE_EQ(*posim.get_info("GPS", "HDOP"), 9.0);  // Stale mismatch.
+}
+
+TEST(Posim, PoliciesEvaluateOnDelivery) {
+  bl::Posim posim;
+  auto wrapper = std::make_shared<FakeGpsWrapper>();
+  posim.add_wrapper(wrapper);
+  posim.add_policy(bl::PosimPolicy{
+      "low-power-when-bad-hdop",
+      [](const bl::PosimSensorWrapper& w) {
+        const auto hdop = w.get_info("HDOP");
+        return hdop && *hdop > 5.0;
+      },
+      [](bl::PosimSensorWrapper& w) { w.set_control("power", "low"); }});
+
+  wrapper->epoch(posim, 56.0, 10.0, 1.0, 9, 1.0);
+  EXPECT_FALSE(wrapper->get_control("power").has_value());
+  wrapper->epoch(posim, 56.0, 10.0, 8.0, 3, 2.0);
+  ASSERT_TRUE(wrapper->get_control("power").has_value());
+  EXPECT_EQ(*wrapper->get_control("power"), "low");
+}
+
+TEST(Posim, PositionsCarryEpochCounter) {
+  bl::Posim posim;
+  auto wrapper = std::make_shared<FakeGpsWrapper>();
+  posim.add_wrapper(wrapper);
+  wrapper->epoch(posim, 56.0, 10.0, 1.0, 9, 1.0);
+  wrapper->epoch(posim, 56.0, 10.0, 1.0, 9, 2.0);
+  EXPECT_EQ(posim.get_position()->epoch, 2u);
+}
+
+TEST(Posim, WrapperLookupByTechnology) {
+  bl::Posim posim;
+  posim.add_wrapper(std::make_shared<FakeGpsWrapper>());
+  EXPECT_NE(posim.wrapper("GPS"), nullptr);
+  EXPECT_EQ(posim.wrapper("WiFi"), nullptr);
+  EXPECT_EQ(posim.wrappers().size(), 1u);
+}
+
+TEST(Posim, InfoKeysEnumerable) {
+  bl::Posim posim;
+  auto wrapper = std::make_shared<FakeGpsWrapper>();
+  posim.add_wrapper(wrapper);
+  wrapper->epoch(posim, 56.0, 10.0, 1.0, 9, 1.0);
+  const auto keys = wrapper->info_keys();
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+// --- mini MiddleWhere ----------------------------------------------------------
+
+namespace {
+
+const geo::GeoPoint kCampus{56.1697, 10.1994, 0.0};
+
+geo::GeoPoint offset_m(double east, double north) {
+  // Small-offset approximation adequate for test distances.
+  const double lat = kCampus.latitude_deg + north / 111320.0;
+  const double lon = kCampus.longitude_deg +
+                     east / (111320.0 * std::cos(56.1697 * 3.14159265 / 180.0));
+  return {lat, lon, 0.0};
+}
+
+bl::MiddleWhere make_world() {
+  bl::MiddleWhere mw;
+  mw.add_region({"campus", "", kCampus, 500.0});
+  mw.add_region({"building-A", "campus", offset_m(0, 0), 60.0});
+  mw.add_region({"lab", "building-A", offset_m(20, 0), 15.0});
+  return mw;
+}
+
+}  // namespace
+
+TEST(MiddleWhere, RegionsAndHierarchy) {
+  bl::MiddleWhere mw = make_world();
+  EXPECT_EQ(mw.region_names().size(), 3u);
+  EXPECT_NE(mw.region("lab"), nullptr);
+  EXPECT_EQ(mw.region("lab")->parent, "building-A");
+  EXPECT_THROW(mw.add_region({"x", "nonexistent", kCampus, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(mw.add_region({"lab", "", kCampus, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(MiddleWhere, LocateAndContainment) {
+  bl::MiddleWhere mw = make_world();
+  mw.update("alice", {offset_m(20, 2), 0.9, 5.0, sim::SimTime::zero()});
+  ASSERT_TRUE(mw.locate("alice").has_value());
+  EXPECT_FALSE(mw.locate("bob").has_value());
+  EXPECT_TRUE(mw.contained_in("alice", "lab"));
+  EXPECT_TRUE(mw.contained_in("alice", "campus"));
+  EXPECT_FALSE(mw.contained_in("alice", "nonexistent"));
+  const auto regions = mw.regions_of("alice");
+  EXPECT_EQ(regions.size(), 3u);  // lab + building-A + campus.
+}
+
+TEST(MiddleWhere, ContainmentEventsAreEdgeTriggered) {
+  bl::MiddleWhere mw = make_world();
+  std::vector<std::string> events;
+  mw.subscribe([&](const bl::MwEvent& e) {
+    events.push_back((e.entered ? "+" : "-") + e.region);
+  });
+  mw.update("alice", {offset_m(20, 0), 1.0, 5.0, {}});   // Enters all 3.
+  mw.update("alice", {offset_m(21, 0), 1.0, 5.0, {}});   // No change.
+  mw.update("alice", {offset_m(100, 0), 1.0, 5.0, {}});  // Leaves A + lab.
+  int enters = 0, leaves = 0;
+  for (const std::string& e : events) {
+    (e[0] == '+' ? enters : leaves)++;
+  }
+  EXPECT_EQ(enters, 3);
+  EXPECT_EQ(leaves, 2);
+}
+
+TEST(MiddleWhere, ColocationAndNearest) {
+  bl::MiddleWhere mw = make_world();
+  mw.update("alice", {offset_m(0, 0), 1.0, 5.0, {}});
+  mw.update("bob", {offset_m(8, 0), 1.0, 5.0, {}});
+  mw.update("carol", {offset_m(300, 0), 1.0, 5.0, {}});
+  EXPECT_TRUE(mw.colocated("alice", "bob", 10.0));
+  EXPECT_FALSE(mw.colocated("alice", "carol", 10.0));
+  EXPECT_FALSE(mw.colocated("alice", "nobody", 10.0));
+  const auto near = mw.nearest("alice", 2);
+  ASSERT_EQ(near.size(), 2u);
+  EXPECT_EQ(near[0].first, "bob");
+  EXPECT_NEAR(near[0].second, 8.0, 0.5);
+  EXPECT_EQ(near[1].first, "carol");
+}
+
+TEST(MiddleWhere, FixedSchemaHidesTechnologyDetail) {
+  // The paper's point: the world model's record is the only interface —
+  // satellite counts or HDOP simply have nowhere to live without changing
+  // the middleware's schema. The record exposes exactly these fields:
+  bl::MiddleWhere mw = make_world();
+  mw.update("alice", {offset_m(0, 0), 0.7, 12.0, sim::SimTime::zero()});
+  const auto info = *mw.locate("alice");
+  EXPECT_DOUBLE_EQ(info.confidence, 0.7);
+  EXPECT_DOUBLE_EQ(info.resolution_m, 12.0);
+  // (Nothing else is accessible — enforced by the type system.)
+  static_assert(sizeof(bl::MwPositionInfo) ==
+                sizeof(geo::GeoPoint) + 2 * sizeof(double) +
+                    sizeof(sim::SimTime));
+}

@@ -1,0 +1,228 @@
+// Tests for the declarative system-level configuration: parsing,
+// instantiation through the factory registry, explicit edges, the resolve
+// directive and per-line error reporting.
+
+#include "perpos/core/components.hpp"
+#include "perpos/runtime/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rt = perpos::runtime;
+namespace core = perpos::core;
+
+namespace {
+
+struct Num {
+  int value = 0;
+};
+
+rt::ComponentFactoryRegistry make_registry() {
+  rt::ComponentFactoryRegistry registry;
+  registry.register_kind(
+      "source", [](const std::vector<std::string>&) {
+        return std::make_shared<core::SourceComponent>(
+            "Source", std::vector<core::DataSpec>{core::provide<Num>()});
+      });
+  registry.register_kind(
+      "doubler", [](const std::vector<std::string>&) {
+        return std::make_shared<core::LambdaComponent>(
+            "Doubler",
+            std::vector<core::InputRequirement>{core::require<Num>()},
+            std::vector<core::DataSpec>{core::provide<Num>()},
+            [](const core::Sample& s, const core::ComponentContext& ctx) {
+              ctx.emit(core::Payload::make(Num{s.payload.as<Num>().value * 2}));
+            });
+      });
+  registry.register_kind(
+      "sink", [](const std::vector<std::string>& args) {
+        const std::string name = args.empty() ? "Sink" : args[0];
+        return std::make_shared<core::ApplicationSink>(
+            name, std::vector<core::InputRequirement>{core::require<Num>()});
+      });
+  return registry;
+}
+
+}  // namespace
+
+TEST(FactoryRegistry, RegisterCreateAndList) {
+  const auto registry = make_registry();
+  EXPECT_TRUE(registry.has("source"));
+  EXPECT_FALSE(registry.has("bogus"));
+  EXPECT_EQ(registry.kinds().size(), 3u);
+  EXPECT_NE(registry.create("sink", {}), nullptr);
+  EXPECT_THROW(registry.create("bogus", {}), std::invalid_argument);
+}
+
+TEST(FactoryRegistry, DuplicateKindRejected) {
+  rt::ComponentFactoryRegistry registry;
+  registry.register_kind("x", [](const auto&) {
+    return std::make_shared<core::ApplicationSink>();
+  });
+  EXPECT_THROW(registry.register_kind("x", [](const auto&) {
+    return std::make_shared<core::ApplicationSink>();
+  }),
+               std::invalid_argument);
+}
+
+TEST(Config, ExplicitPipeline) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto result = rt::assemble_from_config(R"(
+# The classic pipeline, wired explicitly.
+component src source
+component dbl doubler
+component app sink
+connect src dbl
+connect dbl app
+)",
+                                               registry, graph);
+  ASSERT_TRUE(result.ok()) << (result.errors.empty()
+                                   ? "unsatisfied requirements"
+                                   : result.errors[0]);
+  EXPECT_EQ(result.report.instantiated.size(), 3u);
+  EXPECT_EQ(result.report.edges.size(), 2u);
+
+  auto* source = graph.component_as<core::SourceComponent>(
+      result.report.id_of("src"));
+  auto* sink =
+      graph.component_as<core::ApplicationSink>(result.report.id_of("app"));
+  ASSERT_NE(source, nullptr);
+  ASSERT_NE(sink, nullptr);
+  source->push(Num{21});
+  EXPECT_EQ(sink->last()->payload.as<Num>().value, 42);
+}
+
+TEST(Config, ResolveDirectiveWiresOpenPorts) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto result = rt::assemble_from_config(R"(
+component src source
+component dbl doubler
+component app sink
+resolve
+)",
+                                               registry, graph);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.report.edges.size(), 2u);
+}
+
+TEST(Config, FactoryArgumentsPassed) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto result = rt::assemble_from_config(
+      "component app sink MyNamedApp\n", registry, graph);
+  ASSERT_TRUE(result.errors.empty());
+  EXPECT_EQ(std::string(
+                graph.component(result.report.id_of("app")).kind()),
+            "MyNamedApp");
+}
+
+TEST(Config, ErrorsAreCollectedPerLine) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto result = rt::assemble_from_config(R"(
+component src source
+component src source
+component x bogus-kind
+component incomplete
+connect src missing
+frobnicate
+connect src
+)",
+                                               registry, graph);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.errors.size(), 6u);
+  // Pass 1 (parse/instantiate) errors come first, in line order; the
+  // unknown-name connect error is reported by pass 2 at the end.
+  EXPECT_NE(result.errors[0].find("duplicate"), std::string::npos);
+  EXPECT_NE(result.errors[1].find("bogus-kind"), std::string::npos);
+  EXPECT_NE(result.errors[2].find("component needs"), std::string::npos);
+  EXPECT_NE(result.errors[3].find("frobnicate"), std::string::npos);
+  EXPECT_NE(result.errors[4].find("connect needs"), std::string::npos);
+  EXPECT_NE(result.errors[5].find("missing"), std::string::npos);
+  // The valid part still applied.
+  EXPECT_EQ(graph.size(), 1u);
+}
+
+TEST(Config, IncompatibleConnectReported) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto result = rt::assemble_from_config(R"(
+component a source
+component b source
+connect a b
+)",
+                                               registry, graph);
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_NE(result.errors[0].find("connect"), std::string::npos);
+}
+
+TEST(Config, CommentsAndBlanksIgnored) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto result = rt::assemble_from_config(
+      "\n   \n# just a comment\ncomponent s source # trailing comment\n",
+      registry, graph);
+  EXPECT_TRUE(result.errors.empty());
+  EXPECT_EQ(graph.size(), 1u);
+}
+
+TEST(Config, UnsatisfiedAfterResolveReported) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto result = rt::assemble_from_config(R"(
+component app sink
+resolve
+)",
+                                               registry, graph);
+  EXPECT_TRUE(result.errors.empty());
+  EXPECT_FALSE(result.report.ok());
+  ASSERT_EQ(result.report.unsatisfied.size(), 1u);
+  EXPECT_EQ(result.report.unsatisfied[0].first, "app");
+}
+
+TEST(Config, ExportRoundTrip) {
+  // Build a graph, export it, re-assemble from the export: the new graph
+  // must have the same structure (component kinds and edge kinds).
+  const auto registry = make_registry();
+  core::ProcessingGraph original;
+  const auto first = rt::assemble_from_config(R"(
+component src source
+component dbl doubler
+component app sink
+connect src dbl
+connect dbl app
+)",
+                                              registry, original);
+  ASSERT_TRUE(first.ok());
+
+  const std::string exported = rt::export_config(original);
+  EXPECT_NE(exported.find("component Source_0 Source"), std::string::npos);
+  EXPECT_NE(exported.find("connect Source_0 Doubler_1"), std::string::npos);
+
+  // Re-assembly needs a registry keyed by the kind() names.
+  rt::ComponentFactoryRegistry by_kind;
+  by_kind.register_kind("Source", [](const auto&) {
+    return std::make_shared<core::SourceComponent>(
+        "Source", std::vector<core::DataSpec>{core::provide<Num>()});
+  });
+  by_kind.register_kind("Doubler", [](const auto&) {
+    return std::make_shared<core::LambdaComponent>(
+        "Doubler", std::vector<core::InputRequirement>{core::require<Num>()},
+        std::vector<core::DataSpec>{core::provide<Num>()},
+        [](const core::Sample& s, const core::ComponentContext& ctx) {
+          ctx.emit(core::Payload::make(Num{s.payload.as<Num>().value * 2}));
+        });
+  });
+  by_kind.register_kind("Sink", [](const auto&) {
+    return std::make_shared<core::ApplicationSink>(
+        "Sink", std::vector<core::InputRequirement>{core::require<Num>()});
+  });
+
+  core::ProcessingGraph rebuilt;
+  const auto second = rt::assemble_from_config(exported, by_kind, rebuilt);
+  ASSERT_TRUE(second.errors.empty())
+      << (second.errors.empty() ? "" : second.errors[0]);
+  EXPECT_EQ(rebuilt.size(), original.size());
+  EXPECT_EQ(second.report.edges.size(), 2u);
+}

@@ -1,0 +1,479 @@
+// Tests for the Process Channel Layer: channel derivation over graph
+// topologies, the Fig. 4 data tree with logical time, Channel Features and
+// their survival across structural changes, and time-scoped feature access.
+
+#include "perpos/core/channel.hpp"
+#include "perpos/core/components.hpp"
+#include "perpos/core/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace core = perpos::core;
+using core::Payload;
+using core::Sample;
+
+namespace {
+
+struct Str {
+  std::string text;
+};
+struct Word {
+  std::string text;
+};
+struct Result {
+  std::string text;
+};
+
+std::shared_ptr<core::SourceComponent> make_source(std::string kind = "Src") {
+  return std::make_shared<core::SourceComponent>(
+      std::move(kind), std::vector<core::DataSpec>{core::provide<Str>()});
+}
+
+/// Pass-through Str -> Str, used to lengthen channels.
+std::shared_ptr<core::LambdaComponent> make_relay(std::string kind = "Relay") {
+  return std::make_shared<core::LambdaComponent>(
+      std::move(kind),
+      std::vector<core::InputRequirement>{core::require<Str>()},
+      std::vector<core::DataSpec>{core::provide<Str>()},
+      [](const Sample& s, const core::ComponentContext& ctx) {
+        ctx.emit(s.payload);
+      });
+}
+
+/// Counts apply() invocations and records the last tree's shape.
+class CountingFeature final : public core::ChannelFeature {
+ public:
+  std::string_view name() const override { return "Counting"; }
+  void apply(const core::DataTree& tree) override {
+    ++applies_;
+    last_size_ = tree.size();
+    last_depth_ = tree.depth();
+  }
+  int applies() const noexcept { return applies_; }
+  std::size_t last_size() const noexcept { return last_size_; }
+  std::size_t last_depth() const noexcept { return last_depth_; }
+
+ private:
+  int applies_ = 0;
+  std::size_t last_size_ = 0;
+  std::size_t last_depth_ = 0;
+};
+
+}  // namespace
+
+TEST(Channels, LinearPipelineIsOneChannel) {
+  core::ProcessingGraph g;
+  core::ChannelManager channels(g);
+  auto source = make_source("GPS");
+  const auto a = g.add(source);
+  const auto r1 = g.add(make_relay("Parser"));
+  const auto r2 = g.add(make_relay("Interpreter"));
+  const auto z = g.add(std::make_shared<core::ApplicationSink>());
+  g.connect(a, r1);
+  g.connect(r1, r2);
+  g.connect(r2, z);
+
+  const auto all = channels.channels();
+  ASSERT_EQ(all.size(), 1u);
+  const core::Channel* c = all[0];
+  EXPECT_EQ(c->source(), a);
+  EXPECT_EQ(c->sink(), z);
+  EXPECT_EQ(c->path(), (std::vector<core::ComponentId>{a, r1, r2}));
+  EXPECT_EQ(c->last(), r2);
+  EXPECT_EQ(c->name(), "GPS-channel");
+}
+
+TEST(Channels, MergeSplitsChannels) {
+  // GPS -> P -> M <- WiFi ; M -> App  (Fig. 2 shape).
+  core::ProcessingGraph g;
+  core::ChannelManager channels(g);
+  const auto gps = g.add(make_source("GPS"));
+  const auto wifi = g.add(make_source("WiFi"));
+  const auto p = g.add(make_relay("Parser"));
+  const auto merge = g.add(std::make_shared<core::LambdaComponent>(
+      "ParticleFilter",
+      std::vector<core::InputRequirement>{core::require<Str>()},
+      std::vector<core::DataSpec>{core::provide<Str>()},
+      [](const Sample& s, const core::ComponentContext& ctx) {
+        ctx.emit(s.payload);
+      }));
+  const auto app = g.add(std::make_shared<core::ApplicationSink>());
+  g.connect(gps, p);
+  g.connect(p, merge);
+  g.connect(wifi, merge);
+  g.connect(merge, app);
+
+  const auto all = channels.channels();
+  ASSERT_EQ(all.size(), 3u);
+  // Sorted by (source, sink): gps-chain, wifi-chain, then merge->app.
+  EXPECT_EQ(all[0]->source(), gps);
+  EXPECT_EQ(all[0]->sink(), merge);
+  EXPECT_EQ(all[0]->path(), (std::vector<core::ComponentId>{gps, p}));
+  EXPECT_EQ(all[1]->source(), wifi);
+  EXPECT_EQ(all[1]->sink(), merge);
+  EXPECT_EQ(all[2]->source(), merge);
+  EXPECT_EQ(all[2]->sink(), app);
+  EXPECT_EQ(all[2]->path(), (std::vector<core::ComponentId>{merge}));
+}
+
+TEST(Channels, FanOutSourceBecomesChannelPerSink) {
+  core::ProcessingGraph g;
+  core::ChannelManager channels(g);
+  const auto src = g.add(make_source());
+  const auto s1 = g.add(std::make_shared<core::ApplicationSink>("A"));
+  const auto s2 = g.add(std::make_shared<core::ApplicationSink>("B"));
+  g.connect(src, s1);
+  g.connect(src, s2);
+  const auto all = channels.channels();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0]->source(), src);
+  EXPECT_EQ(all[1]->source(), src);
+}
+
+TEST(Channels, LookupHelpers) {
+  core::ProcessingGraph g;
+  core::ChannelManager channels(g);
+  const auto src = g.add(make_source());
+  const auto mid = g.add(make_relay());
+  const auto z = g.add(std::make_shared<core::ApplicationSink>());
+  g.connect(src, mid);
+  g.connect(mid, z);
+  EXPECT_NE(channels.channel_from_source(src), nullptr);
+  EXPECT_EQ(channels.channel_from_source(mid), nullptr);
+  EXPECT_EQ(channels.channels_into(z).size(), 1u);
+  EXPECT_NE(channels.channel_containing(mid), nullptr);
+  EXPECT_EQ(channels.channel_containing(z), nullptr);  // Sink not in path.
+}
+
+TEST(Channels, DerivationFollowsMutation) {
+  core::ProcessingGraph g;
+  core::ChannelManager channels(g);
+  auto source = make_source();
+  const auto a = g.add(source);
+  const auto z = g.add(std::make_shared<core::ApplicationSink>());
+  g.connect(a, z);
+  ASSERT_EQ(channels.channels().size(), 1u);
+  EXPECT_EQ(channels.channels()[0]->path().size(), 1u);
+
+  // Insert a relay: same channel identity, longer path.
+  const auto r = g.add(make_relay());
+  g.insert_between(r, a, z);
+  const auto all = channels.channels();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0]->path(), (std::vector<core::ComponentId>{a, r}));
+}
+
+TEST(Channels, LastOutputAndIsCurrent) {
+  core::ProcessingGraph g;
+  core::ChannelManager channels(g);
+  auto source = make_source();
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = g.add(source);
+  const auto z = g.add(sink);
+  g.connect(a, z);
+  core::Channel* c = channels.channel_from_source(a);
+  ASSERT_NE(c, nullptr);
+  EXPECT_FALSE(c->last_output().has_value());
+
+  source->push(Str{"one"});
+  ASSERT_TRUE(c->last_output().has_value());
+  const Sample first = *sink->last();
+  EXPECT_TRUE(c->is_current(first));
+
+  source->push(Str{"two"});
+  EXPECT_FALSE(c->is_current(first));  // Stale now.
+  EXPECT_TRUE(c->is_current(*sink->last()));
+}
+
+TEST(Channels, FeatureApplyRunsPerDelivery) {
+  core::ProcessingGraph g;
+  core::ChannelManager channels(g);
+  auto source = make_source();
+  const auto a = g.add(source);
+  const auto z = g.add(std::make_shared<core::ApplicationSink>());
+  g.connect(a, z);
+  core::Channel* c = channels.channel_from_source(a);
+  auto feature = std::make_shared<CountingFeature>();
+  channels.attach_feature(*c, feature);
+
+  source->push(Str{"x"});
+  source->push(Str{"y"});
+  EXPECT_EQ(feature->applies(), 2);
+}
+
+TEST(Channels, FeatureAppliesBeforeSinkReceives) {
+  // The paper: a Channel Feature is semantically a Component Feature on the
+  // channel's last component — so its state is ready when the application
+  // callback runs.
+  core::ProcessingGraph g;
+  core::ChannelManager channels(g);
+  auto source = make_source();
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = g.add(source);
+  const auto z = g.add(sink);
+  g.connect(a, z);
+  core::Channel* c = channels.channel_from_source(a);
+  auto feature = std::make_shared<CountingFeature>();
+  channels.attach_feature(*c, feature);
+
+  int applies_seen_in_callback = -1;
+  sink->set_callback([&](const Sample&) {
+    applies_seen_in_callback = feature->applies();
+  });
+  source->push(Str{"x"});
+  EXPECT_EQ(applies_seen_in_callback, 1);
+}
+
+TEST(Channels, DataTreeMatchesFig4Scenario) {
+  // Reproduce Fig. 4 exactly: a source emits strings; a "Parser" needs
+  // several strings per Word; an "Interpreter" needs a valid Word and
+  // skips invalid ones. Feed 5 strings such that Word1 (strings 1-2) is
+  // invalid and Word2 (strings 3-5) yields the output.
+  core::ProcessingGraph g;
+  core::ChannelManager channels(g);
+  auto source = make_source("GPS");
+
+  // Parser: accumulate strings; emit a Word after every '|' marker.
+  std::string buffer;
+  auto parser = std::make_shared<core::LambdaComponent>(
+      "Parser", std::vector<core::InputRequirement>{core::require<Str>()},
+      std::vector<core::DataSpec>{core::provide<Word>()},
+      [&buffer](const Sample& s, const core::ComponentContext& ctx) {
+        const std::string& t = s.payload.as<Str>().text;
+        if (t == "|") {
+          ctx.emit(Payload::make(Word{buffer}));
+          buffer.clear();
+        } else {
+          buffer += t;
+        }
+      });
+
+  // Interpreter: only emits when the word is "valid".
+  auto interpreter = std::make_shared<core::LambdaComponent>(
+      "Interpreter",
+      std::vector<core::InputRequirement>{core::require<Word>()},
+      std::vector<core::DataSpec>{core::provide<Result>()},
+      [](const Sample& s, const core::ComponentContext& ctx) {
+        const std::string& t = s.payload.as<Word>().text;
+        if (t.rfind("ok", 0) == 0) ctx.emit(Payload::make(Result{t}));
+      });
+
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = g.add(source);
+  const auto p = g.add(parser);
+  const auto i = g.add(interpreter);
+  const auto z = g.add(sink);
+  g.connect(a, p);
+  g.connect(p, i);
+  g.connect(i, z);
+
+  // Strings 1,2 -> invalid Word1; strings 3,4,5 -> valid Word2.
+  source->push(Str{"bad"});   // seq 1
+  source->push(Str{"|"});     // seq 2 -> Word1 "bad" (inputs 1-2), dropped
+  source->push(Str{"ok"});    // seq 3
+  source->push(Str{"!"});     // seq 4
+  source->push(Str{"|"});     // seq 5 -> Word2 "ok!" (inputs 3-5) -> Result
+
+  ASSERT_TRUE(sink->last().has_value());
+  core::Channel* c = channels.channel_from_source(a);
+  const core::DataTree tree = c->data_tree(*sink->last());
+
+  // Root: Result, logical time 1 at the Interpreter, built from Words 1-2.
+  EXPECT_EQ(tree.root().sample.payload.type(), core::type_of<Result>());
+  EXPECT_EQ(tree.root().sample.sequence, 1u);
+  EXPECT_EQ(tree.root().sample.input_seq_min(), 1u);
+  EXPECT_EQ(tree.root().sample.input_seq_max(), 2u);
+
+  // Layer 1: two Words; Word1 from strings 1-2, Word2 from strings 3-5.
+  const auto words = tree.find(core::type_of<Word>());
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0]->sample.input_seq_min(), 1u);
+  EXPECT_EQ(words[0]->sample.input_seq_max(), 2u);
+  EXPECT_EQ(words[1]->sample.input_seq_min(), 3u);
+  EXPECT_EQ(words[1]->sample.input_seq_max(), 5u);
+
+  // Layer 0: all five strings, with no inputs of their own.
+  const auto strings = tree.find(core::type_of<Str>());
+  EXPECT_EQ(strings.size(), 5u);
+  for (const auto* node : strings) {
+    EXPECT_EQ(node->sample.input_seq_min(), 0u);
+  }
+  EXPECT_EQ(tree.depth(), 3u);
+  EXPECT_EQ(tree.size(), 8u);  // 1 result + 2 words + 5 strings.
+
+  // The rendering mentions every layer.
+  const std::string rendered = tree.to_string(&g);
+  EXPECT_NE(rendered.find("Interpreter"), std::string::npos);
+  EXPECT_NE(rendered.find("Parser"), std::string::npos);
+  EXPECT_NE(rendered.find("GPS"), std::string::npos);
+  EXPECT_NE(rendered.find("3-5"), std::string::npos);
+}
+
+TEST(Channels, DataTreeCollectTyped) {
+  core::ProcessingGraph g;
+  core::ChannelManager channels(g);
+  auto source = make_source();
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = g.add(source);
+  const auto z = g.add(sink);
+  g.connect(a, z);
+  source->push(Str{"hello"});
+  core::Channel* c = channels.channel_from_source(a);
+  const core::DataTree tree = c->data_tree(*sink->last());
+  const auto strs = tree.collect<Str>();
+  ASSERT_EQ(strs.size(), 1u);
+  EXPECT_EQ(strs[0].first, a);
+  EXPECT_EQ(strs[0].second->text, "hello");
+}
+
+TEST(Channels, TimeScopedFeatureAccess) {
+  core::ProcessingGraph g;
+  core::ChannelManager channels(g);
+  auto source = make_source();
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = g.add(source);
+  const auto z = g.add(sink);
+  g.connect(a, z);
+  core::Channel* c = channels.channel_from_source(a);
+  channels.attach_feature(*c, std::make_shared<CountingFeature>());
+
+  source->push(Str{"1"});
+  const Sample first = *sink->last();
+  EXPECT_NE(c->get_feature<CountingFeature>(first), nullptr);
+
+  source->push(Str{"2"});
+  // The feature state now corresponds to sample 2; scoped access with the
+  // stale sample must fail (this is what PoSIM cannot offer).
+  EXPECT_EQ(c->get_feature<CountingFeature>(first), nullptr);
+  EXPECT_NE(c->get_feature<CountingFeature>(*sink->last()), nullptr);
+  EXPECT_NE(c->get_feature<CountingFeature>(), nullptr);  // Unscoped: fine.
+}
+
+TEST(Channels, FeatureSurvivesComponentInsertion) {
+  core::ProcessingGraph g;
+  core::ChannelManager channels(g);
+  auto source = make_source();
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = g.add(source);
+  const auto z = g.add(sink);
+  g.connect(a, z);
+  auto feature = std::make_shared<CountingFeature>();
+  channels.attach_feature(*channels.channel_from_source(a), feature);
+
+  source->push(Str{"1"});
+  EXPECT_EQ(feature->applies(), 1);
+
+  // Insert a relay into the channel: the feature must re-bind to the new
+  // end-point and keep working — the causal connection requirement.
+  const auto r = g.add(make_relay());
+  g.insert_between(r, a, z);
+  source->push(Str{"2"});
+  EXPECT_EQ(feature->applies(), 2);
+  // And the data tree now has an extra layer.
+  core::Channel* c = channels.channel_from_source(a);
+  EXPECT_EQ(c->data_tree(*sink->last()).depth(), 2u);
+}
+
+TEST(Channels, FeatureRequirementValidated) {
+  class Needy final : public core::ChannelFeature {
+   public:
+    std::string_view name() const override { return "Needy"; }
+    void apply(const core::DataTree&) override {}
+    std::vector<std::string> required_component_features() const override {
+      return {"HDOP"};
+    }
+  };
+  core::ProcessingGraph g;
+  core::ChannelManager channels(g);
+  const auto a = g.add(make_source());
+  const auto z = g.add(std::make_shared<core::ApplicationSink>());
+  g.connect(a, z);
+  core::Channel* c = channels.channel_from_source(a);
+  EXPECT_THROW(channels.attach_feature(*c, std::make_shared<Needy>()),
+               std::invalid_argument);
+}
+
+TEST(Channels, DuplicateFeatureNameRejected) {
+  core::ProcessingGraph g;
+  core::ChannelManager channels(g);
+  const auto a = g.add(make_source());
+  const auto z = g.add(std::make_shared<core::ApplicationSink>());
+  g.connect(a, z);
+  core::Channel* c = channels.channel_from_source(a);
+  channels.attach_feature(*c, std::make_shared<CountingFeature>());
+  EXPECT_THROW(
+      channels.attach_feature(*c, std::make_shared<CountingFeature>()),
+      std::invalid_argument);
+}
+
+TEST(Channels, DetachFeatureStopsApplies) {
+  core::ProcessingGraph g;
+  core::ChannelManager channels(g);
+  auto source = make_source();
+  const auto a = g.add(source);
+  const auto z = g.add(std::make_shared<core::ApplicationSink>());
+  g.connect(a, z);
+  core::Channel* c = channels.channel_from_source(a);
+  auto feature = std::make_shared<CountingFeature>();
+  channels.attach_feature(*c, feature);
+  source->push(Str{"1"});
+  channels.detach_feature(*c, "Counting");
+  source->push(Str{"2"});
+  EXPECT_EQ(feature->applies(), 1);
+  EXPECT_THROW(channels.detach_feature(*c, "Counting"),
+               std::invalid_argument);
+}
+
+TEST(Channels, TreeScopedToChannelMembers) {
+  // The data tree of the PF->App channel must not reach back into the
+  // GPS chain (those samples belong to the GPS channel's trees).
+  core::ProcessingGraph g;
+  core::ChannelManager channels(g);
+  auto gps = make_source("GPS");
+  auto wifi = make_source("WiFi");
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto gid = g.add(gps);
+  const auto wid = g.add(wifi);
+  const auto merge = g.add(std::make_shared<core::LambdaComponent>(
+      "PF", std::vector<core::InputRequirement>{core::require<Str>()},
+      std::vector<core::DataSpec>{core::provide<Str>()},
+      [](const Sample& s, const core::ComponentContext& ctx) {
+        ctx.emit(s.payload);
+      }));
+  const auto z = g.add(sink);
+  g.connect(gid, merge);
+  g.connect(wid, merge);
+  g.connect(merge, z);
+
+  gps->push(Str{"g"});
+  ASSERT_TRUE(sink->last().has_value());
+  core::Channel* out_channel = channels.channel_from_source(merge);
+  ASSERT_NE(out_channel, nullptr);
+  const core::DataTree tree = out_channel->data_tree(*sink->last());
+  EXPECT_EQ(tree.depth(), 1u);  // Only the PF's own output.
+  EXPECT_EQ(tree.size(), 1u);
+
+  // While the GPS channel's tree contains the raw string.
+  core::Channel* gps_channel = channels.channel_from_source(gid);
+  ASSERT_NE(gps_channel, nullptr);
+  ASSERT_TRUE(gps_channel->last_output().has_value());
+  EXPECT_EQ(gps_channel->data_tree(*gps_channel->last_output()).size(), 1u);
+}
+
+TEST(Channels, EmptyGraphHasNoChannels) {
+  core::ProcessingGraph g;
+  core::ChannelManager channels(g);
+  EXPECT_TRUE(channels.channels().empty());
+}
+
+TEST(Channels, IsolatedComponentsProduceNoChannels) {
+  core::ProcessingGraph g;
+  core::ChannelManager channels(g);
+  g.add(make_source());
+  g.add(std::make_shared<core::ApplicationSink>());
+  EXPECT_TRUE(channels.channels().empty());
+}

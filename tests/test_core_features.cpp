@@ -1,0 +1,361 @@
+// Tests for Component Features: the three augmentation kinds of paper
+// Sec. 2.1 (changing produced data, adding data, changing component state)
+// plus hook ordering, vetoes and dependency validation.
+
+#include "perpos/core/components.hpp"
+#include "perpos/core/feature.hpp"
+#include "perpos/core/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace core = perpos::core;
+using core::Payload;
+using core::Sample;
+
+namespace {
+
+struct Reading {
+  int value = 0;
+};
+struct Extra {
+  int value = 0;
+};
+
+std::shared_ptr<core::SourceComponent> make_source() {
+  return std::make_shared<core::SourceComponent>(
+      "Sensor", std::vector<core::DataSpec>{core::provide<Reading>()});
+}
+
+std::shared_ptr<core::LambdaComponent> make_passthrough() {
+  return std::make_shared<core::LambdaComponent>(
+      "Pass", std::vector<core::InputRequirement>{core::require<Reading>()},
+      std::vector<core::DataSpec>{core::provide<Reading>()},
+      [](const Sample& s, const core::ComponentContext& ctx) {
+        ctx.emit(s.payload);
+      });
+}
+
+/// Adds `delta` to every Reading flowing OUT of the host.
+class AddOnProduce final : public core::ComponentFeature {
+ public:
+  AddOnProduce(std::string name, int delta)
+      : name_(std::move(name)), delta_(delta) {}
+  std::string_view name() const override { return name_; }
+  bool produce(Sample& s) override {
+    s.payload = Payload::make(Reading{s.payload.as<Reading>().value + delta_});
+    return true;
+  }
+
+ private:
+  std::string name_;
+  int delta_;
+};
+
+/// Multiplies every Reading flowing INTO the host.
+class ScaleOnConsume final : public core::ComponentFeature {
+ public:
+  explicit ScaleOnConsume(int factor) : factor_(factor) {}
+  std::string_view name() const override { return "ScaleOnConsume"; }
+  bool consume(Sample& s) override {
+    s.payload = Payload::make(Reading{s.payload.as<Reading>().value * factor_});
+    return true;
+  }
+
+ private:
+  int factor_;
+};
+
+/// Vetoes readings above a threshold on the way out.
+class VetoLarge final : public core::ComponentFeature {
+ public:
+  std::string_view name() const override { return "VetoLarge"; }
+  bool produce(Sample& s) override {
+    return s.payload.as<Reading>().value <= 100;
+  }
+};
+
+/// Adds an Extra data element for every produced Reading.
+class ExtraAdder final : public core::ComponentFeature {
+ public:
+  static constexpr const char* kName = "ExtraAdder";
+  std::string_view name() const override { return kName; }
+  bool produce(Sample& s) override {
+    if (!s.feature_origin.empty()) return true;  // Skip our own additions.
+    context().emit(Payload::make(Extra{s.payload.as<Reading>().value + 1000}));
+    return true;
+  }
+  std::vector<const core::TypeInfo*> added_types() const override {
+    return {core::type_of<Extra>()};
+  }
+};
+
+/// A state-exposing feature: the "component appears to implement the
+/// feature's functionality" augmentation.
+class ThresholdState final : public core::ComponentFeature {
+ public:
+  std::string_view name() const override { return "Threshold"; }
+  void set_threshold(int t) noexcept { threshold_ = t; }
+  int threshold() const noexcept { return threshold_; }
+
+ private:
+  int threshold_ = 50;
+};
+
+/// Illegally changes the payload type in produce().
+class TypeChanger final : public core::ComponentFeature {
+ public:
+  std::string_view name() const override { return "TypeChanger"; }
+  bool produce(Sample& s) override {
+    s.payload = Payload::make(Extra{1});
+    return true;
+  }
+};
+
+}  // namespace
+
+TEST(Features, ProduceHookAltersOutgoingData) {
+  core::ProcessingGraph g;
+  auto source = make_source();
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = g.add(source);
+  const auto z = g.add(sink);
+  g.connect(a, z);
+  g.attach_feature(a, std::make_shared<AddOnProduce>("Plus5", 5));
+  source->push(Reading{10});
+  EXPECT_EQ(sink->last()->payload.as<Reading>().value, 15);
+}
+
+TEST(Features, ConsumeHookAltersIncomingData) {
+  core::ProcessingGraph g;
+  auto source = make_source();
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = g.add(source);
+  const auto mid = g.add(make_passthrough());
+  const auto z = g.add(sink);
+  g.connect(a, mid);
+  g.connect(mid, z);
+  g.attach_feature(mid, std::make_shared<ScaleOnConsume>(3));
+  source->push(Reading{4});
+  EXPECT_EQ(sink->last()->payload.as<Reading>().value, 12);
+}
+
+TEST(Features, HooksComposeInAttachmentOrder) {
+  core::ProcessingGraph g;
+  auto source = make_source();
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = g.add(source);
+  const auto z = g.add(sink);
+  g.connect(a, z);
+  g.attach_feature(a, std::make_shared<AddOnProduce>("Plus1", 1));
+  g.attach_feature(a, std::make_shared<AddOnProduce>("Plus10", 10));
+  source->push(Reading{0});
+  EXPECT_EQ(sink->last()->payload.as<Reading>().value, 11);
+}
+
+TEST(Features, ProduceVetoDropsSample) {
+  core::ProcessingGraph g;
+  auto source = make_source();
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = g.add(source);
+  const auto z = g.add(sink);
+  g.connect(a, z);
+  g.attach_feature(a, std::make_shared<VetoLarge>());
+  source->push(Reading{99});
+  source->push(Reading{101});
+  source->push(Reading{7});
+  EXPECT_EQ(sink->received(), 2u);
+  // Vetoed emissions do not count as emitted either.
+  EXPECT_EQ(g.info(a).emitted, 2u);
+}
+
+TEST(Features, ConsumeVetoDropsBeforeComponentSeesIt) {
+  core::ProcessingGraph g;
+  auto source = make_source();
+  int seen = 0;
+  const auto a = g.add(source);
+  const auto mid = g.add(std::make_shared<core::LambdaComponent>(
+      "Counter",
+      std::vector<core::InputRequirement>{core::require<Reading>()},
+      std::vector<core::DataSpec>{core::provide<Reading>()},
+      [&](const Sample&, const core::ComponentContext&) { ++seen; }));
+  g.connect(a, mid);
+
+  class VetoAll final : public core::ComponentFeature {
+   public:
+    std::string_view name() const override { return "VetoAll"; }
+    bool consume(Sample&) override { return false; }
+  };
+  g.attach_feature(mid, std::make_shared<VetoAll>());
+  source->push(Reading{1});
+  EXPECT_EQ(seen, 0);
+}
+
+TEST(Features, AddedDataRequiresExplicitDeclaration) {
+  core::ProcessingGraph g;
+  auto source = make_source();
+  const auto a = g.add(source);
+  g.attach_feature(a, std::make_shared<ExtraAdder>());
+
+  // Consumer A declares it accepts the feature's data; consumer B doesn't.
+  auto accepting = std::make_shared<core::LambdaComponent>(
+      "Accepting",
+      std::vector<core::InputRequirement>{
+          core::require<Reading>(),
+          core::require<Extra>(ExtraAdder::kName)},
+      std::vector<core::DataSpec>{core::provide<Reading>()}, nullptr);
+  auto oblivious = std::make_shared<core::LambdaComponent>(
+      "Oblivious",
+      std::vector<core::InputRequirement>{core::require<Reading>()},
+      std::vector<core::DataSpec>{core::provide<Reading>()}, nullptr);
+
+  int extra_at_accepting = 0, readings_at_accepting = 0;
+  int extra_at_oblivious = 0, readings_at_oblivious = 0;
+  accepting = std::make_shared<core::LambdaComponent>(
+      "Accepting",
+      std::vector<core::InputRequirement>{
+          core::require<Reading>(),
+          core::require<Extra>(ExtraAdder::kName)},
+      std::vector<core::DataSpec>{core::provide<Reading>()},
+      [&](const Sample& s, const core::ComponentContext&) {
+        if (s.payload.is<Extra>()) ++extra_at_accepting;
+        if (s.payload.is<Reading>()) ++readings_at_accepting;
+      });
+  oblivious = std::make_shared<core::LambdaComponent>(
+      "Oblivious",
+      std::vector<core::InputRequirement>{core::require<Reading>()},
+      std::vector<core::DataSpec>{core::provide<Reading>()},
+      [&](const Sample& s, const core::ComponentContext&) {
+        if (s.payload.is<Extra>()) ++extra_at_oblivious;
+        if (s.payload.is<Reading>()) ++readings_at_oblivious;
+      });
+
+  const auto acc = g.add(accepting);
+  const auto obl = g.add(oblivious);
+  g.connect(a, acc);
+  g.connect(a, obl);
+
+  source->push(Reading{5});
+  EXPECT_EQ(readings_at_accepting, 1);
+  EXPECT_EQ(extra_at_accepting, 1);
+  EXPECT_EQ(readings_at_oblivious, 1);
+  EXPECT_EQ(extra_at_oblivious, 0);  // Never delivered without declaration.
+}
+
+TEST(Features, AddedDataCarriesFeatureOrigin) {
+  core::ProcessingGraph g;
+  auto source = make_source();
+  const auto a = g.add(source);
+  g.attach_feature(a, std::make_shared<ExtraAdder>());
+  std::vector<std::string> origins;
+  const auto z = g.add(std::make_shared<core::LambdaComponent>(
+      "App",
+      std::vector<core::InputRequirement>{
+          core::require<Reading>(), core::require<Extra>(ExtraAdder::kName)},
+      std::vector<core::DataSpec>{},
+      [&](const Sample& s, const core::ComponentContext&) {
+        origins.push_back(s.feature_origin);
+      }));
+  g.connect(a, z);
+  source->push(Reading{1});
+  ASSERT_EQ(origins.size(), 2u);
+  EXPECT_EQ(origins[0], ExtraAdder::kName);  // Added data arrives first.
+  EXPECT_EQ(origins[1], "");
+}
+
+TEST(Features, AddedCapabilityVisibleInGraph) {
+  core::ProcessingGraph g;
+  const auto a = g.add(make_source());
+  g.attach_feature(a, std::make_shared<ExtraAdder>());
+  const auto caps = g.capabilities(a);
+  ASSERT_EQ(caps.size(), 2u);
+  EXPECT_EQ(caps[1].type, core::type_of<Extra>());
+  EXPECT_EQ(caps[1].feature_tag, ExtraAdder::kName);
+}
+
+TEST(Features, StateFeatureAccessibleThroughComponent) {
+  core::ProcessingGraph g;
+  const auto a = g.add(make_source());
+  g.attach_feature(a, std::make_shared<ThresholdState>());
+  auto* state = g.get_feature<ThresholdState>(a);
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->threshold(), 50);
+  state->set_threshold(75);
+  EXPECT_EQ(g.get_feature<ThresholdState>(a)->threshold(), 75);
+}
+
+TEST(Features, LookupByName) {
+  core::ProcessingGraph g;
+  const auto a = g.add(make_source());
+  g.attach_feature(a, std::make_shared<ThresholdState>());
+  EXPECT_NE(g.get_feature(a, "Threshold"), nullptr);
+  EXPECT_EQ(g.get_feature(a, "Nonexistent"), nullptr);
+}
+
+TEST(Features, DuplicateNameRejected) {
+  core::ProcessingGraph g;
+  const auto a = g.add(make_source());
+  g.attach_feature(a, std::make_shared<ThresholdState>());
+  EXPECT_THROW(g.attach_feature(a, std::make_shared<ThresholdState>()),
+               std::invalid_argument);
+}
+
+TEST(Features, DetachRemovesBehaviour) {
+  core::ProcessingGraph g;
+  auto source = make_source();
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = g.add(source);
+  const auto z = g.add(sink);
+  g.connect(a, z);
+  g.attach_feature(a, std::make_shared<AddOnProduce>("Plus5", 5));
+  source->push(Reading{0});
+  EXPECT_EQ(sink->last()->payload.as<Reading>().value, 5);
+  g.detach_feature(a, "Plus5");
+  source->push(Reading{0});
+  EXPECT_EQ(sink->last()->payload.as<Reading>().value, 0);
+  EXPECT_THROW(g.detach_feature(a, "Plus5"), std::invalid_argument);
+}
+
+TEST(Features, DependencyValidation) {
+  class Dependent final : public core::ComponentFeature {
+   public:
+    std::string_view name() const override { return "Dependent"; }
+    std::vector<std::string> required_features() const override {
+      return {"Threshold"};
+    }
+  };
+  core::ProcessingGraph g;
+  const auto a = g.add(make_source());
+  EXPECT_THROW(g.attach_feature(a, std::make_shared<Dependent>()),
+               std::invalid_argument);
+  g.attach_feature(a, std::make_shared<ThresholdState>());
+  EXPECT_NO_THROW(g.attach_feature(a, std::make_shared<Dependent>()));
+}
+
+TEST(Features, TypeChangeInHookIsRejected) {
+  core::ProcessingGraph g;
+  auto source = make_source();
+  const auto a = g.add(source);
+  g.attach_feature(a, std::make_shared<TypeChanger>());
+  EXPECT_THROW(source->push(Reading{1}), std::logic_error);
+}
+
+TEST(Features, NullFeatureRejected) {
+  core::ProcessingGraph g;
+  const auto a = g.add(make_source());
+  EXPECT_THROW(g.attach_feature(a, nullptr), std::invalid_argument);
+}
+
+TEST(Features, FeatureNamesListedInInfo) {
+  core::ProcessingGraph g;
+  const auto a = g.add(make_source());
+  g.attach_feature(a, std::make_shared<ThresholdState>());
+  g.attach_feature(a, std::make_shared<ExtraAdder>());
+  const auto info = g.info(a);
+  ASSERT_EQ(info.feature_names.size(), 2u);
+  EXPECT_EQ(info.feature_names[0], "Threshold");
+  EXPECT_EQ(info.feature_names[1], "ExtraAdder");
+}

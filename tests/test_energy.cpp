@@ -1,0 +1,348 @@
+// Tests for the EnTracked reproduction: power accounting, the device-side
+// Power Strategy feature, the server-side EnTracked channel feature, and
+// the end-to-end energy/accuracy tradeoff.
+
+#include "perpos/core/channel.hpp"
+#include "perpos/core/components.hpp"
+#include "perpos/energy/entracked.hpp"
+#include "perpos/energy/power_model.hpp"
+#include "perpos/geo/distance.hpp"
+#include "perpos/sensors/gps_sensor.hpp"
+#include "perpos/sensors/pipeline_components.hpp"
+
+#include <gtest/gtest.h>
+
+namespace energy = perpos::energy;
+namespace core = perpos::core;
+namespace geo = perpos::geo;
+namespace sim = perpos::sim;
+namespace sensors = perpos::sensors;
+
+TEST(PowerModel, AccountingArithmetic) {
+  energy::DevicePowerModel model;
+  const auto report =
+      energy::account(model, sim::SimTime::from_seconds(100.0),
+                      sim::SimTime::from_seconds(40.0), 10, 5);
+  EXPECT_NEAR(report.gps_j, 40.0 * model.gps_on_w, 1e-9);
+  EXPECT_NEAR(report.radio_j, 10 * model.radio_tx_j + 5 * model.radio_rx_j,
+              1e-9);
+  EXPECT_NEAR(report.idle_j, 100.0 * model.idle_w, 1e-9);
+  EXPECT_NEAR(report.gps_duty_cycle, 0.4, 1e-9);
+  EXPECT_NEAR(report.total_j(),
+              report.gps_j + report.radio_j + report.idle_j, 1e-9);
+  EXPECT_GT(report.average_mw(), 0.0);
+  EXPECT_FALSE(energy::format_energy_row("x", report, 1.0, 2.0).empty());
+  EXPECT_FALSE(energy::energy_header().empty());
+}
+
+TEST(PowerModel, ZeroDurationSafe) {
+  const auto report = energy::account({}, sim::SimTime::zero(),
+                                      sim::SimTime::zero(), 0, 0);
+  EXPECT_DOUBLE_EQ(report.average_mw(), 0.0);
+  EXPECT_DOUBLE_EQ(report.gps_duty_cycle, 0.0);
+}
+
+class EnTrackedFixture : public ::testing::Test {
+ protected:
+  EnTrackedFixture()
+      : frame(geo::GeoPoint{56.1697, 10.1994, 50.0}),
+        trajectory(sensors::TrajectoryBuilder({0, 0})
+                       .walk_to({200, 0}, 1.4)
+                       .build()),
+        graph(&scheduler.clock()),
+        channels(graph) {}
+
+  // GPS -> SensorWrapper -> Parser -> Interpreter -> App.
+  void build(double threshold_m = 25.0) {
+    sensors::GpsSensorConfig config;
+    config.emit_gsa = false;
+    sensor = std::make_shared<sensors::GpsSensor>(scheduler, random,
+                                                  trajectory, frame, config);
+    wrapper = std::make_shared<energy::SensorWrapper>();
+    auto parser = std::make_shared<sensors::NmeaParser>();
+    auto interpreter = std::make_shared<sensors::NmeaInterpreter>();
+    sink = std::make_shared<core::ApplicationSink>();
+    sensor_id = graph.add(sensor);
+    wrapper_id = graph.add(wrapper);
+    parser_id = graph.add(parser);
+    interpreter_id = graph.add(interpreter);
+    sink_id = graph.add(sink);
+    graph.connect(sensor_id, wrapper_id);
+    graph.connect(wrapper_id, parser_id);
+    graph.connect(parser_id, interpreter_id);
+    graph.connect(interpreter_id, sink_id);
+
+    strategy = std::make_shared<energy::PowerStrategyFeature>(*sensor,
+                                                              scheduler);
+    graph.attach_feature(wrapper_id, strategy);
+
+    energy::EnTrackedConfig cfg;
+    cfg.threshold_m = threshold_m;
+    entracked = std::make_shared<energy::EnTrackedFeature>(
+        cfg, frame, [this](double s) { strategy->request_sleep(s); });
+    core::Channel* channel = channels.channel_from_source(sensor_id);
+    ASSERT_NE(channel, nullptr);
+    channels.attach_feature(*channel, entracked);
+  }
+
+  sim::Scheduler scheduler;
+  sim::Random random{42};
+  geo::LocalFrame frame;
+  sensors::Trajectory trajectory;
+  core::ProcessingGraph graph;
+  core::ChannelManager channels;
+  std::shared_ptr<sensors::GpsSensor> sensor;
+  std::shared_ptr<energy::SensorWrapper> wrapper;
+  std::shared_ptr<core::ApplicationSink> sink;
+  std::shared_ptr<energy::PowerStrategyFeature> strategy;
+  std::shared_ptr<energy::EnTrackedFeature> entracked;
+  core::ComponentId sensor_id{}, wrapper_id{}, parser_id{}, interpreter_id{},
+      sink_id{};
+};
+
+TEST_F(EnTrackedFixture, PowerStrategySleepAndWake) {
+  build();
+  sensor->start();
+  scheduler.run_until(sim::SimTime::from_seconds(2.0));
+  strategy->request_sleep(10.0);
+  EXPECT_TRUE(strategy->sleeping());
+  scheduler.run_until(sim::SimTime::from_seconds(5.0));
+  EXPECT_FALSE(sensor->active());
+  const auto epochs_before_wake = sensor->epochs();
+  // After the wake at t=12 the receiver measures again — the very first
+  // fix lets the EnTracked feature command the next sleep immediately, so
+  // observe the resumed epoch rather than a lasting active state.
+  scheduler.run_until(sim::SimTime::from_seconds(12.5));
+  EXPECT_GT(sensor->epochs(), epochs_before_wake);
+}
+
+TEST_F(EnTrackedFixture, TinySleepIgnored) {
+  build();
+  sensor->start();
+  strategy->request_sleep(1.0);  // Below min sleep (warmup not worth it).
+  EXPECT_FALSE(strategy->sleeping());
+  EXPECT_EQ(strategy->sleeps_commanded(), 0u);
+}
+
+TEST_F(EnTrackedFixture, ContinuousCancelsSleep) {
+  build();
+  sensor->start();
+  strategy->request_sleep(30.0);
+  EXPECT_TRUE(strategy->sleeping());
+  strategy->continuous();
+  EXPECT_FALSE(strategy->sleeping());
+  EXPECT_TRUE(sensor->active());
+}
+
+TEST_F(EnTrackedFixture, DutyCyclesReceiverWhileTracking) {
+  build(25.0);
+  sensor->start();
+  const sim::SimTime duration = sim::SimTime::from_seconds(140.0);
+  scheduler.run_until(duration);
+
+  EXPECT_GT(entracked->commands_sent(), 2u);
+  EXPECT_GT(strategy->sleeps_commanded(), 2u);
+  // The receiver must have been off a substantial fraction of the run.
+  const double duty = sensor->active_time().seconds() / duration.seconds();
+  EXPECT_LT(duty, 0.7);
+  EXPECT_GT(duty, 0.02);
+  // And positions still arrive.
+  EXPECT_GT(sink->received(), 4u);
+}
+
+TEST_F(EnTrackedFixture, SpeedEstimateApproximatesWalk) {
+  build(50.0);
+  sensor->start();
+  scheduler.run_until(sim::SimTime::from_seconds(60.0));
+  EXPECT_GT(entracked->estimated_speed_mps(), 0.4);
+  EXPECT_LT(entracked->estimated_speed_mps(), 3.0);
+}
+
+TEST_F(EnTrackedFixture, StationaryTargetSleepsLong) {
+  trajectory = sensors::stationary({0, 0}, 300.0);
+  build(25.0);
+  sensor->start();
+  scheduler.run_until(sim::SimTime::from_seconds(300.0));
+  const double duty = sensor->active_time().seconds() / 300.0;
+  EXPECT_LT(duty, 0.35);  // Mostly asleep when not moving.
+}
+
+namespace {
+
+/// Standalone EnTracked rig for threshold sweeps.
+struct EnTrackedRig {
+  explicit EnTrackedRig(double threshold_m)
+      : frame(geo::GeoPoint{56.1697, 10.1994, 50.0}),
+        trajectory(sensors::TrajectoryBuilder({0, 0})
+                       .walk_to({200, 0}, 1.4)
+                       .build()),
+        graph(&scheduler.clock()),
+        channels(graph) {
+    sensors::GpsSensorConfig config;
+    config.emit_gsa = false;
+    sensor = std::make_shared<sensors::GpsSensor>(scheduler, random,
+                                                  trajectory, frame, config);
+    auto wrapper = std::make_shared<energy::SensorWrapper>();
+    auto parser = std::make_shared<sensors::NmeaParser>();
+    auto interpreter = std::make_shared<sensors::NmeaInterpreter>();
+    auto sink = std::make_shared<core::ApplicationSink>();
+    const auto sid = graph.add(sensor);
+    const auto wid = graph.add(wrapper);
+    const auto pid = graph.add(parser);
+    const auto iid = graph.add(interpreter);
+    const auto zid = graph.add(sink);
+    graph.connect(sid, wid);
+    graph.connect(wid, pid);
+    graph.connect(pid, iid);
+    graph.connect(iid, zid);
+    strategy =
+        std::make_shared<energy::PowerStrategyFeature>(*sensor, scheduler);
+    graph.attach_feature(wid, strategy);
+    energy::EnTrackedConfig cfg;
+    cfg.threshold_m = threshold_m;
+    auto feature = std::make_shared<energy::EnTrackedFeature>(
+        cfg, frame, [this](double s) { strategy->request_sleep(s); });
+    channels.attach_feature(*channels.channel_from_source(sid), feature);
+  }
+
+  double run_active_seconds(double duration_s) {
+    sensor->start();
+    scheduler.run_until(sim::SimTime::from_seconds(duration_s));
+    return sensor->active_time().seconds();
+  }
+
+  sim::Scheduler scheduler;
+  sim::Random random{42};
+  geo::LocalFrame frame;
+  sensors::Trajectory trajectory;
+  core::ProcessingGraph graph;
+  core::ChannelManager channels;
+  std::shared_ptr<sensors::GpsSensor> sensor;
+  std::shared_ptr<energy::PowerStrategyFeature> strategy;
+};
+
+}  // namespace
+
+TEST(EnTrackedSweep, TighterThresholdCostsMoreEnergy) {
+  EnTrackedRig tight(10.0);
+  EnTrackedRig loose(60.0);
+  const double tight_active = tight.run_active_seconds(140.0);
+  const double loose_active = loose.run_active_seconds(140.0);
+  EXPECT_GT(tight_active, loose_active);
+}
+
+TEST_F(EnTrackedFixture, TrackingErrorBoundedByThreshold) {
+  build(30.0);
+  sensor->start();
+  std::vector<double> errors;
+  sink->set_callback([&](const core::Sample& s) {
+    const auto& fix = s.payload.as<core::PositionFix>();
+    errors.push_back(
+        geo::haversine_m(fix.position, sensor->truth_at(s.timestamp)));
+  });
+  scheduler.run_until(sim::SimTime::from_seconds(140.0));
+  ASSERT_GT(errors.size(), 3u);
+  // Reported positions stay reasonably accurate (they are fresh fixes).
+  double mean = 0.0;
+  for (double e : errors) mean += e;
+  mean /= static_cast<double>(errors.size());
+  EXPECT_LT(mean, 30.0);
+}
+
+// --- Motion-gated EnTracked (accelerometer-assisted variant) -------------------
+
+#include "perpos/energy/motion_gate.hpp"
+#include "perpos/sensors/motion_sensor.hpp"
+
+TEST(MotionSensor, DetectsMovementPhases) {
+  sim::Scheduler scheduler;
+  sim::Random random(42);
+  // 30 s still, 30 s walking, 30 s still.
+  const sensors::Trajectory traj = sensors::TrajectoryBuilder({0, 0})
+                                       .pause(30.0)
+                                       .walk_to({42, 0}, 1.4)
+                                       .pause(30.0)
+                                       .build();
+  core::ProcessingGraph graph(&scheduler.clock());
+  sensors::MotionSensorConfig config;
+  config.false_positive_prob = 0.0;
+  config.false_negative_prob = 0.0;
+  auto sensor = std::make_shared<sensors::MotionSensor>(scheduler, random,
+                                                        traj, config);
+  auto sink = std::make_shared<core::ApplicationSink>();
+  graph.connect(graph.add(sensor), graph.add(sink));
+
+  int moving = 0, still = 0;
+  sink->set_callback([&](const core::Sample& s) {
+    (s.payload.as<sensors::MotionSample>().moving ? moving : still)++;
+  });
+  sensor->start();
+  scheduler.run_until(traj.duration());
+  EXPECT_NEAR(moving, 30, 3);
+  EXPECT_NEAR(still, 60, 3);
+}
+
+TEST(MotionGate, ParksAndWakesReceiver) {
+  sim::Scheduler scheduler;
+  sim::Random random(42);
+  const sensors::Trajectory traj = sensors::TrajectoryBuilder({0, 0})
+                                       .pause(60.0)
+                                       .walk_to({84, 0}, 1.4)
+                                       .build();
+  const geo::LocalFrame frame(geo::GeoPoint{56.1697, 10.1994, 50.0});
+  core::ProcessingGraph graph(&scheduler.clock());
+  sensors::GpsSensorConfig gps_config;
+  gps_config.emit_gsa = false;
+  auto gps = std::make_shared<sensors::GpsSensor>(scheduler, random, traj,
+                                                  frame, gps_config);
+  auto strategy =
+      std::make_shared<energy::PowerStrategyFeature>(*gps, scheduler);
+  const auto gid = graph.add(gps);
+  graph.attach_feature(gid, strategy);
+
+  sensors::MotionSensorConfig m_config;
+  m_config.false_positive_prob = 0.0;
+  m_config.false_negative_prob = 0.0;
+  auto motion = std::make_shared<sensors::MotionSensor>(scheduler, random,
+                                                        traj, m_config);
+  energy::MotionGateConfig g_config;
+  g_config.still_samples_to_park = 3;
+  auto gate = std::make_shared<energy::MotionGateComponent>(*strategy,
+                                                            g_config);
+  auto* gate_ptr = gate.get();
+  graph.connect(graph.add(motion), graph.add(gate));
+
+  gps->start();
+  motion->start();
+
+  // During the still hour the receiver parks after 3 samples...
+  scheduler.run_until(sim::SimTime::from_seconds(30.0));
+  EXPECT_TRUE(gate_ptr->parked());
+  EXPECT_FALSE(gps->active());
+  EXPECT_EQ(gate_ptr->parks(), 1u);
+
+  // ...and wakes when walking starts at t=60.
+  scheduler.run_until(sim::SimTime::from_seconds(70.0));
+  EXPECT_FALSE(gate_ptr->parked());
+  EXPECT_TRUE(gps->active());
+  EXPECT_EQ(gate_ptr->wakes(), 1u);
+
+  // GPS active time ~= walk duration + initial pre-park seconds.
+  scheduler.run_until(traj.duration());
+  EXPECT_LT(gps->active_time().seconds(), 75.0);
+  EXPECT_GT(gps->active_time().seconds(), 55.0);
+}
+
+TEST(MotionGate, AccelerometerEnergyAccounted) {
+  const energy::DevicePowerModel model;
+  const auto with_accel = energy::account(
+      model, sim::SimTime::from_seconds(100.0), sim::SimTime::zero(), 0, 0,
+      sim::SimTime::from_seconds(100.0));
+  const auto without = energy::account(
+      model, sim::SimTime::from_seconds(100.0), sim::SimTime::zero(), 0, 0);
+  EXPECT_NEAR(with_accel.accel_j, 100.0 * model.accel_on_w, 1e-9);
+  EXPECT_DOUBLE_EQ(without.accel_j, 0.0);
+  EXPECT_GT(with_accel.total_j(), without.total_j());
+  // But two orders of magnitude cheaper than GPS for the same time.
+  EXPECT_LT(with_accel.accel_j * 10.0, 100.0 * model.gps_on_w);
+}

@@ -1,0 +1,143 @@
+// Seam/robustness tests: failure injection on the raw byte stream (drops,
+// garbling, duplication, reordering) must degrade the pipeline gracefully
+// — the checksum layer rejects corrupt sentences, nothing crashes and no
+// corrupt positions are emitted.
+
+#include "perpos/core/channel.hpp"
+#include "perpos/core/components.hpp"
+#include "perpos/geo/distance.hpp"
+#include "perpos/sensors/failure_injection.hpp"
+#include "perpos/sensors/gps_sensor.hpp"
+#include "perpos/sensors/pipeline_components.hpp"
+
+#include <gtest/gtest.h>
+
+namespace core = perpos::core;
+namespace geo = perpos::geo;
+namespace sim = perpos::sim;
+namespace sensors = perpos::sensors;
+
+namespace {
+
+struct PipelineRig {
+  PipelineRig()
+      : frame(geo::GeoPoint{56.1697, 10.1994, 50.0}),
+        trajectory(
+            sensors::TrajectoryBuilder({0, 0}).walk_to({80, 0}, 1.4).build()),
+        graph(&scheduler.clock()) {
+    sensors::GpsSensorConfig config;
+    config.emit_gsa = false;
+    sensor = std::make_shared<sensors::GpsSensor>(scheduler, random,
+                                                  trajectory, frame, config);
+    parser = std::make_shared<sensors::NmeaParser>();
+    sink = std::make_shared<core::ApplicationSink>();
+    sensor_id = graph.add(sensor);
+    parser_id = graph.add(parser);
+    interpreter_id = graph.add(std::make_shared<sensors::NmeaInterpreter>());
+    sink_id = graph.add(sink);
+    graph.connect(sensor_id, parser_id);
+    graph.connect(parser_id, interpreter_id);
+    graph.connect(interpreter_id, sink_id);
+  }
+
+  void run(double seconds) {
+    sensor->start();
+    scheduler.run_until(sim::SimTime::from_seconds(seconds));
+  }
+
+  sim::Scheduler scheduler;
+  sim::Random random{42};
+  geo::LocalFrame frame;
+  sensors::Trajectory trajectory;
+  core::ProcessingGraph graph;
+  std::shared_ptr<sensors::GpsSensor> sensor;
+  std::shared_ptr<sensors::NmeaParser> parser;
+  std::shared_ptr<core::ApplicationSink> sink;
+  core::ComponentId sensor_id{}, parser_id{}, interpreter_id{}, sink_id{};
+};
+
+}  // namespace
+
+TEST(FailureFeature, DropsReduceDeliveries) {
+  PipelineRig rig;
+  auto feature = std::make_shared<sensors::FailureInjectionFeature>(
+      sensors::FailureInjectionConfig{0.5, 0.0, 0.0, 0.0}, rig.random);
+  rig.graph.attach_feature(rig.sensor_id, feature);
+  rig.run(40.0);
+  EXPECT_GT(feature->dropped(), 10u);
+  // Dropped fragments truncate sentences; the parser discards the rest.
+  EXPECT_GT(rig.parser->parse_errors(), 0u);
+  EXPECT_LT(rig.sink->received(), rig.sensor->epochs());
+}
+
+TEST(FailureFeature, GarblingIsCaughtByChecksums) {
+  PipelineRig rig;
+  auto feature = std::make_shared<sensors::FailureInjectionFeature>(
+      sensors::FailureInjectionConfig{0.0, 0.3, 0.0, 0.0}, rig.random);
+  rig.graph.attach_feature(rig.sensor_id, feature);
+
+  // Every delivered fix must still be a plausible position: corrupt
+  // sentences never get through the checksum layer.
+  int implausible = 0;
+  rig.sink->set_callback([&](const core::Sample& s) {
+    const auto& fix = s.payload.as<core::PositionFix>();
+    const double err = geo::haversine_m(
+        fix.position, rig.sensor->truth_at(s.timestamp));
+    if (err > 500.0) ++implausible;
+  });
+  rig.run(60.0);
+  EXPECT_GT(feature->garbled(), 5u);
+  EXPECT_GT(rig.parser->parse_errors(), 0u);
+  EXPECT_EQ(implausible, 0);
+  EXPECT_GT(rig.sink->received(), 0u);  // Clean epochs still flow.
+}
+
+TEST(FlakyLink, SplicesIntoLivePipeline) {
+  PipelineRig rig;
+  auto link = std::make_shared<sensors::FlakyLinkComponent>(
+      sensors::FailureInjectionConfig{0.1, 0.1, 0.1, 0.1}, rig.random);
+  const auto link_id = rig.graph.add(link);
+  rig.graph.insert_between(link_id, rig.sensor_id, rig.parser_id);
+  rig.run(60.0);
+  EXPECT_GT(link->dropped(), 0u);
+  EXPECT_GT(link->garbled(), 0u);
+  EXPECT_GT(link->duplicated(), 0u);
+  EXPECT_GT(link->reordered(), 0u);
+  EXPECT_GT(rig.sink->received(), 5u);  // Still functional.
+}
+
+TEST(FlakyLink, CleanLinkIsTransparent) {
+  PipelineRig clean;
+  PipelineRig with_link;
+  auto link = std::make_shared<sensors::FlakyLinkComponent>(
+      sensors::FailureInjectionConfig{}, with_link.random);
+  const auto link_id = with_link.graph.add(link);
+  with_link.graph.insert_between(link_id, with_link.sensor_id,
+                                 with_link.parser_id);
+  clean.run(30.0);
+  with_link.run(30.0);
+  EXPECT_EQ(clean.sink->received(), with_link.sink->received());
+}
+
+TEST(FlakyLink, ReorderingToleratedByStreamParser) {
+  // Whole-sentence fragments reordered across sentence boundaries yield
+  // parse errors, never crashes or wrong positions.
+  PipelineRig rig;
+  auto link = std::make_shared<sensors::FlakyLinkComponent>(
+      sensors::FailureInjectionConfig{0.0, 0.0, 0.0, 0.5}, rig.random);
+  const auto link_id = rig.graph.add(link);
+  rig.graph.insert_between(link_id, rig.sensor_id, rig.parser_id);
+  EXPECT_NO_THROW(rig.run(60.0));
+  EXPECT_GT(link->reordered(), 5u);
+}
+
+TEST(FailureFeature, StatsStartAtZero) {
+  PipelineRig rig;
+  auto feature = std::make_shared<sensors::FailureInjectionFeature>(
+      sensors::FailureInjectionConfig{}, rig.random);
+  rig.graph.attach_feature(rig.sensor_id, feature);
+  rig.run(10.0);
+  EXPECT_EQ(feature->dropped(), 0u);
+  EXPECT_EQ(feature->garbled(), 0u);
+  EXPECT_EQ(rig.parser->parse_errors(), 0u);
+}

@@ -1,0 +1,432 @@
+// Tests for the fusion module: particle filter invariants and convergence,
+// the wall constraint, and the paper's example features E1 (satellite
+// filter) and E2 (HDOP likelihood channel feature).
+
+#include "perpos/core/channel.hpp"
+#include "perpos/core/components.hpp"
+#include "perpos/fusion/features.hpp"
+#include "perpos/fusion/metrics.hpp"
+#include "perpos/fusion/particle_filter.hpp"
+#include "perpos/fusion/satellite_filter.hpp"
+#include "perpos/locmodel/fixtures.hpp"
+#include "perpos/nmea/generate.hpp"
+#include "perpos/nmea/parse.hpp"
+#include "perpos/sensors/gps_sensor.hpp"
+#include "perpos/sensors/pipeline_components.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fusion = perpos::fusion;
+namespace core = perpos::core;
+namespace geo = perpos::geo;
+namespace sim = perpos::sim;
+namespace lm = perpos::locmodel;
+namespace nmea = perpos::nmea;
+using geo::LocalPoint;
+
+TEST(Metrics, StatsOfKnownSeries) {
+  const auto s = fusion::compute_stats({1.0, 2.0, 3.0, 4.0, 100.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 22.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_GT(s.rmse, s.mean);  // Outlier dominates RMSE.
+  EXPECT_FALSE(fusion::format_stats_row("x", s).empty());
+  EXPECT_FALSE(fusion::stats_header().empty());
+}
+
+TEST(Metrics, EmptySeries) {
+  const auto s = fusion::compute_stats({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+class FilterFixture : public ::testing::Test {
+ protected:
+  sim::Random random{42};
+  fusion::ParticleFilterConfig config;
+};
+
+TEST_F(FilterFixture, InitGaussianCentersParticles) {
+  fusion::ParticleFilter pf(config, random);
+  pf.init_gaussian({10.0, 20.0}, 2.0);
+  EXPECT_TRUE(pf.initialized());
+  EXPECT_EQ(pf.particles().size(), config.particle_count);
+  const LocalPoint est = pf.estimate();
+  EXPECT_NEAR(est.x, 10.0, 0.5);
+  EXPECT_NEAR(est.y, 20.0, 0.5);
+}
+
+TEST_F(FilterFixture, InitUniformSpansBox) {
+  fusion::ParticleFilter pf(config, random);
+  pf.init_uniform({0.0, 0.0, 40.0, 20.0});
+  for (const auto& p : pf.particles()) {
+    EXPECT_GE(p.position.x, 0.0);
+    EXPECT_LE(p.position.x, 40.0);
+    EXPECT_GE(p.position.y, 0.0);
+    EXPECT_LE(p.position.y, 20.0);
+  }
+  EXPECT_GT(pf.spread(), 5.0);
+}
+
+TEST_F(FilterFixture, WeightsStayNormalized) {
+  fusion::ParticleFilter pf(config, random);
+  pf.init_gaussian({0, 0}, 5.0);
+  pf.weight_gaussian({1.0, 1.0}, 3.0);
+  double total = 0.0;
+  for (const auto& p : pf.particles()) total += p.weight;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  pf.predict(1.0);
+  pf.weight_with([](const fusion::Particle&) { return 0.5; });
+  total = 0.0;
+  for (const auto& p : pf.particles()) total += p.weight;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(FilterFixture, EssFullAfterInitDropsAfterWeighting) {
+  fusion::ParticleFilter pf(config, random);
+  pf.init_uniform({0.0, 0.0, 40.0, 20.0});
+  const double ess0 = pf.effective_sample_size();
+  EXPECT_NEAR(ess0, static_cast<double>(config.particle_count), 1.0);
+  pf.weight_gaussian({1.0, 1.0}, 1.0);  // Sharp: most particles die.
+  EXPECT_LT(pf.effective_sample_size(), ess0 / 2.0);
+}
+
+TEST_F(FilterFixture, ResamplingRestoresEss) {
+  fusion::ParticleFilter pf(config, random);
+  pf.init_uniform({0.0, 0.0, 40.0, 20.0});
+  pf.weight_gaussian({10.0, 10.0}, 1.0);
+  const LocalPoint before = pf.estimate();
+  ASSERT_TRUE(pf.maybe_resample());
+  EXPECT_EQ(pf.resample_count(), 1u);
+  // Estimate approximately preserved, ESS restored to N.
+  const LocalPoint after = pf.estimate();
+  EXPECT_NEAR(after.x, before.x, 1.0);
+  EXPECT_NEAR(after.y, before.y, 1.0);
+  EXPECT_NEAR(pf.effective_sample_size(),
+              static_cast<double>(config.particle_count), 1.0);
+}
+
+TEST_F(FilterFixture, NoResampleWhenEssHigh) {
+  fusion::ParticleFilter pf(config, random);
+  pf.init_gaussian({0, 0}, 1.0);
+  EXPECT_FALSE(pf.maybe_resample());
+}
+
+TEST_F(FilterFixture, PredictDiffusesParticles) {
+  fusion::ParticleFilter pf(config, random);
+  pf.init_gaussian({0, 0}, 0.5);
+  const double spread0 = pf.spread();
+  pf.predict(5.0);
+  EXPECT_GT(pf.spread(), spread0);
+}
+
+TEST_F(FilterFixture, ConvergesOnRepeatedMeasurements) {
+  fusion::ParticleFilter pf(config, random);
+  pf.init_uniform({0.0, 0.0, 40.0, 20.0});
+  for (int i = 0; i < 20; ++i) {
+    pf.predict(1.0);
+    pf.weight_gaussian({25.0, 12.0}, 3.0);
+    pf.maybe_resample();
+  }
+  const LocalPoint est = pf.estimate();
+  EXPECT_NEAR(est.x, 25.0, 1.5);
+  EXPECT_NEAR(est.y, 12.0, 1.5);
+  EXPECT_LT(pf.spread(), 4.0);
+}
+
+TEST_F(FilterFixture, TracksMovingTarget) {
+  fusion::ParticleFilter pf(config, random);
+  pf.init_gaussian({0.0, 0.0}, 3.0);
+  LocalPoint truth{0.0, 0.0};
+  double final_err = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    truth.x += 1.2;  // 1.2 m/s walk.
+    pf.predict(1.0);
+    pf.weight_gaussian(truth, 4.0);
+    pf.maybe_resample();
+    const LocalPoint est = pf.estimate();
+    final_err = std::hypot(est.x - truth.x, est.y - truth.y);
+  }
+  EXPECT_LT(final_err, 4.0);
+}
+
+TEST_F(FilterFixture, WallConstraintBlocksTeleporting) {
+  const lm::Building building = lm::make_two_room_building();
+  fusion::ParticleFilterConfig c;
+  c.particle_count = 400;
+  c.position_diffusion_m = 2.0;  // Aggressive diffusion into walls.
+  fusion::ParticleFilter pf(c, random);
+  pf.init_gaussian({2.5, 2.5}, 0.8);  // Room A.
+  for (int i = 0; i < 10; ++i) {
+    pf.predict(1.0, &building);
+    pf.weight_gaussian({2.5, 2.5}, 2.0);
+    pf.maybe_resample();
+  }
+  // Nearly all mass must remain in room A: the wall blocks diffusion into
+  // room B except through the door.
+  int in_b = 0;
+  for (const auto& p : pf.particles()) {
+    if (p.position.x > 5.0) ++in_b;
+  }
+  EXPECT_LT(in_b, static_cast<int>(c.particle_count) / 10);
+}
+
+TEST_F(FilterFixture, TotalWeightCollapseRecovers) {
+  fusion::ParticleFilter pf(config, random);
+  pf.init_gaussian({0, 0}, 1.0);
+  pf.weight_with([](const fusion::Particle&) { return 0.0; });
+  double total = 0.0;
+  for (const auto& p : pf.particles()) total += p.weight;
+  EXPECT_NEAR(total, 1.0, 1e-9);  // Reset to uniform, not NaN.
+}
+
+// --- E1: satellite filter ------------------------------------------------------
+
+namespace {
+
+core::Payload make_gga_sentence(int satellites, double hdop,
+                                bool has_fix = true) {
+  nmea::GgaSentence gga;
+  gga.time = {12, 0, 0.0};
+  gga.quality = has_fix ? nmea::FixQuality::kGps : nmea::FixQuality::kInvalid;
+  gga.satellites_in_use = satellites;
+  gga.hdop = hdop;
+  if (has_fix) {
+    gga.latitude_deg = 56.1697;
+    gga.longitude_deg = 10.1994;
+  }
+  const auto parsed = nmea::parse_sentence(nmea::generate_gga(gga));
+  return core::Payload::make(*parsed);
+}
+
+}  // namespace
+
+TEST(SatelliteFilter, DropsLowSatelliteSentences) {
+  core::ProcessingGraph g;
+  auto source = std::make_shared<core::SourceComponent>(
+      "Parser",
+      std::vector<core::DataSpec>{core::provide<nmea::Sentence>()});
+  auto sink = std::make_shared<core::ApplicationSink>();
+  auto filter = std::make_shared<fusion::SatelliteFilter>(4);
+  const auto a = g.add(source);
+  g.attach_feature(a, std::make_shared<fusion::NumberOfSatellitesFeature>());
+  const auto f = g.add(filter);
+  const auto z = g.add(sink);
+  g.connect(a, f);
+  g.connect(f, z);
+
+  source->push_payload(make_gga_sentence(8, 1.0));
+  source->push_payload(make_gga_sentence(2, 9.0));  // Dropped.
+  source->push_payload(make_gga_sentence(5, 2.0));
+  EXPECT_EQ(filter->forwarded(), 2u);
+  EXPECT_EQ(filter->dropped(), 1u);
+  EXPECT_EQ(sink->received(), 2u);
+}
+
+TEST(SatelliteFilter, RequiresFeatureData) {
+  // Without the NumberOfSatellites feature attached upstream, the filter's
+  // count stays 0 and everything below the threshold is dropped.
+  core::ProcessingGraph g;
+  auto source = std::make_shared<core::SourceComponent>(
+      "Parser",
+      std::vector<core::DataSpec>{core::provide<nmea::Sentence>()});
+  auto filter = std::make_shared<fusion::SatelliteFilter>(4);
+  const auto a = g.add(source);
+  const auto f = g.add(filter);
+  g.connect(a, f);
+  source->push_payload(make_gga_sentence(8, 1.0));
+  EXPECT_EQ(filter->dropped(), 1u);  // Conservative without the feature.
+}
+
+TEST(SatelliteFilter, InsertIntoLivePipeline) {
+  // The E1 workflow end-to-end: attach the feature to the Parser, insert
+  // the filter between Parser and Interpreter, observe only reliable
+  // fixes downstream.
+  core::ProcessingGraph g;
+  auto source = std::make_shared<core::SourceComponent>(
+      "GPS", std::vector<core::DataSpec>{core::provide<core::RawFragment>()});
+  auto parser = std::make_shared<perpos::sensors::NmeaParser>();
+  auto interpreter = std::make_shared<perpos::sensors::NmeaInterpreter>();
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = g.add(source);
+  const auto p = g.add(parser);
+  const auto i = g.add(interpreter);
+  const auto z = g.add(sink);
+  g.connect(a, p);
+  g.connect(p, i);
+  g.connect(i, z);
+
+  const auto push_epoch = [&](int sats) {
+    nmea::GgaSentence gga;
+    gga.quality = nmea::FixQuality::kGps;
+    gga.satellites_in_use = sats;
+    gga.hdop = 1.0;
+    gga.latitude_deg = 56.0;
+    gga.longitude_deg = 10.0;
+    source->push(core::RawFragment{nmea::generate_gga(gga) + "\r\n"});
+  };
+
+  push_epoch(2);  // Unreliable but passes: no filter yet.
+  EXPECT_EQ(sink->received(), 1u);
+
+  g.attach_feature(p, std::make_shared<fusion::NumberOfSatellitesFeature>());
+  auto filter = std::make_shared<fusion::SatelliteFilter>(4);
+  const auto f = g.add(filter);
+  g.insert_between(f, p, i);
+
+  push_epoch(2);  // Now dropped.
+  EXPECT_EQ(sink->received(), 1u);
+  push_epoch(9);  // Reliable: forwarded.
+  EXPECT_EQ(sink->received(), 2u);
+}
+
+// --- E2: HDOP likelihood channel feature ---------------------------------------
+
+class LikelihoodFixture : public ::testing::Test {
+ protected:
+  LikelihoodFixture() : frame(geo::GeoPoint{56.1697, 10.1994, 50.0}) {
+    source = std::make_shared<core::SourceComponent>(
+        "GPS",
+        std::vector<core::DataSpec>{core::provide<core::RawFragment>()});
+    parser = std::make_shared<perpos::sensors::NmeaParser>();
+    interpreter = std::make_shared<perpos::sensors::NmeaInterpreter>();
+    sink = std::make_shared<core::ApplicationSink>();
+    a = graph.add(source);
+    p = graph.add(parser);
+    i = graph.add(interpreter);
+    z = graph.add(sink);
+    graph.connect(a, p);
+    graph.connect(p, i);
+    graph.connect(i, z);
+    graph.attach_feature(p, std::make_shared<fusion::HdopFeature>());
+  }
+
+  void push_epoch(double hdop, double lat = 56.1697, double lon = 10.1994) {
+    nmea::GgaSentence gga;
+    gga.quality = nmea::FixQuality::kGps;
+    gga.satellites_in_use = 8;
+    gga.hdop = hdop;
+    gga.latitude_deg = lat;
+    gga.longitude_deg = lon;
+    source->push(core::RawFragment{nmea::generate_gga(gga) + "\r\n"});
+  }
+
+  core::ProcessingGraph graph;
+  core::ChannelManager channels{graph};
+  geo::LocalFrame frame;
+  std::shared_ptr<core::SourceComponent> source;
+  std::shared_ptr<perpos::sensors::NmeaParser> parser;
+  std::shared_ptr<perpos::sensors::NmeaInterpreter> interpreter;
+  std::shared_ptr<core::ApplicationSink> sink;
+  core::ComponentId a{}, p{}, i{}, z{};
+};
+
+TEST_F(LikelihoodFixture, HdopFeatureExposesState) {
+  push_epoch(2.5);
+  auto* hdop = graph.get_feature<fusion::HdopFeature>(p);
+  ASSERT_NE(hdop, nullptr);
+  ASSERT_TRUE(hdop->hdop().has_value());
+  EXPECT_NEAR(*hdop->hdop(), 2.5, 0.06);
+}
+
+TEST_F(LikelihoodFixture, LikelihoodCollectsHdopFromDataTree) {
+  core::Channel* channel = channels.channel_from_source(a);
+  ASSERT_NE(channel, nullptr);
+  auto feature = std::make_shared<fusion::HdopLikelihoodFeature>(frame);
+  channels.attach_feature(*channel, feature);
+
+  push_epoch(3.0);
+  ASSERT_EQ(feature->hdop_list().size(), 1u);
+  EXPECT_NEAR(feature->hdop_list()[0], 3.0, 0.06);
+  ASSERT_TRUE(feature->last_measured().has_value());
+  EXPECT_NEAR(feature->current_sigma_m(), 3.0 * 4.0, 0.3);
+}
+
+TEST_F(LikelihoodFixture, RequiresHdopComponentFeature) {
+  graph.detach_feature(p, fusion::HdopFeature::kName);
+  core::Channel* channel = channels.channel_from_source(a);
+  EXPECT_THROW(
+      channels.attach_feature(
+          *channel, std::make_shared<fusion::HdopLikelihoodFeature>(frame)),
+      std::invalid_argument);
+}
+
+TEST_F(LikelihoodFixture, LikelihoodPeaksAtMeasuredPosition) {
+  core::Channel* channel = channels.channel_from_source(a);
+  auto feature = std::make_shared<fusion::HdopLikelihoodFeature>(frame);
+  channels.attach_feature(*channel, feature);
+  push_epoch(1.0);
+
+  fusion::Particle at_measurement;
+  at_measurement.position = *feature->last_measured();
+  fusion::Particle far_away;
+  far_away.position = {at_measurement.position.x + 100.0,
+                       at_measurement.position.y};
+  EXPECT_GT(feature->get_likelihood(at_measurement),
+            feature->get_likelihood(far_away) * 100.0);
+}
+
+TEST_F(LikelihoodFixture, HighHdopFlattensLikelihood) {
+  core::Channel* channel = channels.channel_from_source(a);
+  auto feature = std::make_shared<fusion::HdopLikelihoodFeature>(frame);
+  channels.attach_feature(*channel, feature);
+
+  push_epoch(1.0);
+  fusion::Particle off_by_20;
+  off_by_20.position = {feature->last_measured()->x + 20.0,
+                        feature->last_measured()->y};
+  const double sharp = feature->get_likelihood(off_by_20);
+
+  push_epoch(8.0);
+  off_by_20.position = {feature->last_measured()->x + 20.0,
+                        feature->last_measured()->y};
+  const double flat = feature->get_likelihood(off_by_20);
+  EXPECT_GT(flat, sharp);  // High HDOP = less trust = flatter likelihood.
+}
+
+TEST_F(LikelihoodFixture, ParticleFilterUsesChannelFeature) {
+  // Wire the PF as the channel sink and verify it consumes the Likelihood
+  // feature rather than the Gaussian fallback (Fig. 5 artifact 1).
+  sim::Random random(42);
+  auto pf = std::make_shared<fusion::ParticleFilterComponent>(
+      fusion::ParticleFilterConfig{}, random, frame);
+  auto pf_sink = std::make_shared<core::ApplicationSink>();
+  graph.disconnect(i, z);
+  const auto pf_id = graph.add(pf);
+  const auto s2 = graph.add(pf_sink);
+  graph.connect(i, pf_id);
+  graph.connect(pf_id, s2);
+  pf->set_channel_manager(&channels);
+
+  core::Channel* channel = channels.channel_from_source(a);
+  ASSERT_NE(channel, nullptr);
+  EXPECT_EQ(channel->sink(), pf_id);
+  channels.attach_feature(
+      *channel, std::make_shared<fusion::HdopLikelihoodFeature>(frame));
+
+  push_epoch(1.0);  // First fix initializes the filter.
+  for (int k = 0; k < 5; ++k) push_epoch(1.5);
+  EXPECT_EQ(pf->feature_likelihood_updates(), 5u);
+  EXPECT_EQ(pf->gaussian_updates(), 0u);
+  EXPECT_GT(pf_sink->received(), 0u);
+  EXPECT_EQ(pf_sink->last()->payload.as<core::PositionFix>().technology,
+            "ParticleFilter");
+}
+
+TEST_F(LikelihoodFixture, ParticleFilterFallsBackWithoutFeature) {
+  sim::Random random(42);
+  auto pf = std::make_shared<fusion::ParticleFilterComponent>(
+      fusion::ParticleFilterConfig{}, random, frame);
+  graph.disconnect(i, z);
+  const auto pf_id = graph.add(pf);
+  graph.connect(i, pf_id);
+  pf->set_channel_manager(&channels);
+
+  push_epoch(1.0);
+  for (int k = 0; k < 3; ++k) push_epoch(1.5);
+  EXPECT_EQ(pf->feature_likelihood_updates(), 0u);
+  EXPECT_EQ(pf->gaussian_updates(), 3u);
+}

@@ -1,0 +1,259 @@
+// Unit and property tests for the geodesy substrate.
+
+#include "perpos/geo/angles.hpp"
+#include "perpos/geo/bounding_box.hpp"
+#include "perpos/geo/coordinates.hpp"
+#include "perpos/geo/distance.hpp"
+#include "perpos/geo/local_frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace geo = perpos::geo;
+
+TEST(Angles, DegRadRoundTrip) {
+  for (double d : {-180.0, -90.0, 0.0, 45.0, 90.0, 180.0, 359.0}) {
+    EXPECT_NEAR(geo::rad2deg(geo::deg2rad(d)), d, 1e-12);
+  }
+}
+
+TEST(Angles, Normalize0To360) {
+  EXPECT_DOUBLE_EQ(geo::normalize_deg_0_360(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(geo::normalize_deg_0_360(360.0), 0.0);
+  EXPECT_DOUBLE_EQ(geo::normalize_deg_0_360(-90.0), 270.0);
+  EXPECT_DOUBLE_EQ(geo::normalize_deg_0_360(725.0), 5.0);
+}
+
+TEST(Angles, NormalizePm180) {
+  EXPECT_DOUBLE_EQ(geo::normalize_deg_pm180(190.0), -170.0);
+  EXPECT_DOUBLE_EQ(geo::normalize_deg_pm180(-190.0), 170.0);
+  EXPECT_DOUBLE_EQ(geo::normalize_deg_pm180(0.0), 0.0);
+}
+
+TEST(Angles, AngularDifference) {
+  EXPECT_DOUBLE_EQ(geo::angular_difference_deg(10.0, 350.0), 20.0);
+  EXPECT_DOUBLE_EQ(geo::angular_difference_deg(0.0, 180.0), 180.0);
+  EXPECT_DOUBLE_EQ(geo::angular_difference_deg(90.0, 90.0), 0.0);
+}
+
+TEST(Coordinates, ValidityChecks) {
+  EXPECT_TRUE(geo::is_valid(geo::GeoPoint{56.0, 10.0, 0.0}));
+  EXPECT_FALSE(geo::is_valid(geo::GeoPoint{91.0, 0.0, 0.0}));
+  EXPECT_FALSE(geo::is_valid(geo::GeoPoint{0.0, 181.0, 0.0}));
+  EXPECT_FALSE(geo::is_valid(geo::GeoPoint{NAN, 0.0, 0.0}));
+}
+
+TEST(Coordinates, EcefOfEquatorPrimeMeridian) {
+  const geo::EcefPoint e = geo::geodetic_to_ecef({0.0, 0.0, 0.0});
+  EXPECT_NEAR(e.x, geo::Wgs84::kSemiMajorAxisM, 1e-6);
+  EXPECT_NEAR(e.y, 0.0, 1e-6);
+  EXPECT_NEAR(e.z, 0.0, 1e-6);
+}
+
+TEST(Coordinates, EcefOfNorthPole) {
+  const geo::EcefPoint e = geo::geodetic_to_ecef({90.0, 0.0, 0.0});
+  EXPECT_NEAR(e.x, 0.0, 1e-6);
+  EXPECT_NEAR(e.z, geo::Wgs84::kSemiMinorAxisM, 1e-3);
+}
+
+// Property: geodetic -> ECEF -> geodetic is the identity over the globe.
+class GeodeticRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(GeodeticRoundTrip, EcefRoundTrip) {
+  const auto [lat, lon, alt] = GetParam();
+  const geo::GeoPoint p{lat, lon, alt};
+  const geo::GeoPoint back = geo::ecef_to_geodetic(geo::geodetic_to_ecef(p));
+  EXPECT_NEAR(back.latitude_deg, lat, 1e-9);
+  EXPECT_NEAR(back.longitude_deg, lon, 1e-9);
+  EXPECT_NEAR(back.altitude_m, alt, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Globe, GeodeticRoundTrip,
+    ::testing::Combine(::testing::Values(-89.0, -45.0, 0.0, 33.3, 56.1697,
+                                         89.0),
+                       ::testing::Values(-179.0, -90.0, 0.0, 10.1994, 120.0),
+                       ::testing::Values(-100.0, 0.0, 50.0, 8000.0)));
+
+TEST(Distance, HaversineKnownValue) {
+  // Aarhus (56.1629, 10.2039) to Copenhagen (55.6761, 12.5683): ~157 km.
+  const double d = geo::haversine_m({56.1629, 10.2039, 0.0},
+                                    {55.6761, 12.5683, 0.0});
+  EXPECT_NEAR(d, 157e3, 3e3);
+}
+
+TEST(Distance, HaversineZero) {
+  const geo::GeoPoint p{56.0, 10.0, 0.0};
+  EXPECT_DOUBLE_EQ(geo::haversine_m(p, p), 0.0);
+}
+
+TEST(Distance, HaversineSymmetric) {
+  const geo::GeoPoint a{56.0, 10.0, 0.0};
+  const geo::GeoPoint b{55.0, 11.0, 0.0};
+  EXPECT_DOUBLE_EQ(geo::haversine_m(a, b), geo::haversine_m(b, a));
+}
+
+TEST(Distance, EquirectangularAgreesWithHaversineAtShortRange) {
+  const geo::GeoPoint a{56.1697, 10.1994, 0.0};
+  for (double off : {0.0001, 0.001, 0.01}) {
+    const geo::GeoPoint b{a.latitude_deg + off, a.longitude_deg + off, 0.0};
+    const double h = geo::haversine_m(a, b);
+    const double e = geo::equirectangular_m(a, b);
+    EXPECT_NEAR(e, h, h * 0.001 + 0.01);
+  }
+}
+
+TEST(Distance, BearingCardinalDirections) {
+  const geo::GeoPoint origin{56.0, 10.0, 0.0};
+  EXPECT_NEAR(geo::initial_bearing_deg(origin, {57.0, 10.0, 0.0}), 0.0, 0.1);
+  EXPECT_NEAR(geo::initial_bearing_deg(origin, {55.0, 10.0, 0.0}), 180.0, 0.1);
+  EXPECT_NEAR(geo::initial_bearing_deg(origin, {56.0, 11.0, 0.0}), 90.0, 0.5);
+  EXPECT_NEAR(geo::initial_bearing_deg(origin, {56.0, 9.0, 0.0}), 270.0, 0.5);
+}
+
+// Property: destination_point inverts distance+bearing.
+class DestinationRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DestinationRoundTrip, DistanceAndBearingRecovered) {
+  const auto [bearing, distance] = GetParam();
+  const geo::GeoPoint start{56.1697, 10.1994, 50.0};
+  const geo::GeoPoint dest =
+      geo::destination_point(start, bearing, distance);
+  EXPECT_NEAR(geo::haversine_m(start, dest), distance, distance * 1e-6 + 0.01);
+  if (distance > 1.0) {
+    EXPECT_NEAR(geo::angular_difference_deg(
+                    geo::initial_bearing_deg(start, dest), bearing),
+                0.0, 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DestinationRoundTrip,
+    ::testing::Combine(::testing::Values(0.0, 45.0, 90.0, 133.0, 270.0,
+                                         359.0),
+                       ::testing::Values(0.5, 10.0, 1000.0, 50000.0)));
+
+TEST(Distance, LocalPointEuclidean) {
+  EXPECT_DOUBLE_EQ(geo::distance_m(geo::LocalPoint{0, 0},
+                                   geo::LocalPoint{3, 4}),
+                   5.0);
+}
+
+TEST(Distance, EnuPoint3d) {
+  EXPECT_DOUBLE_EQ(
+      geo::distance_m(geo::EnuPoint{0, 0, 0}, geo::EnuPoint{2, 3, 6}), 7.0);
+}
+
+TEST(LocalFrame, OriginMapsToZero) {
+  const geo::GeoPoint origin{56.1697, 10.1994, 50.0};
+  const geo::LocalFrame frame(origin);
+  const geo::EnuPoint e = frame.to_enu(origin);
+  EXPECT_NEAR(e.east, 0.0, 1e-9);
+  EXPECT_NEAR(e.north, 0.0, 1e-9);
+  EXPECT_NEAR(e.up, 0.0, 1e-9);
+}
+
+TEST(LocalFrame, NorthOffsetIncreasesNorthCoordinate) {
+  const geo::GeoPoint origin{56.0, 10.0, 0.0};
+  const geo::LocalFrame frame(origin);
+  const geo::GeoPoint north = geo::destination_point(origin, 0.0, 100.0);
+  const geo::EnuPoint e = frame.to_enu(north);
+  // destination_point is spherical, the frame is ellipsoidal: ~0.3% skew.
+  EXPECT_NEAR(e.north, 100.0, 0.5);
+  EXPECT_NEAR(e.east, 0.0, 0.5);
+}
+
+TEST(LocalFrame, EastOffsetIncreasesEastCoordinate) {
+  const geo::GeoPoint origin{56.0, 10.0, 0.0};
+  const geo::LocalFrame frame(origin);
+  const geo::GeoPoint east = geo::destination_point(origin, 90.0, 250.0);
+  const geo::EnuPoint e = frame.to_enu(east);
+  // Spherical vs ellipsoidal model skew grows with distance (~0.35%).
+  EXPECT_NEAR(e.east, 250.0, 1.5);
+  EXPECT_NEAR(std::fabs(e.north), 0.0, 1.5);
+}
+
+// Property: to_enu and to_geodetic are inverse within a few km of origin.
+class LocalFrameRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(LocalFrameRoundTrip, EnuRoundTrip) {
+  const auto [east, north] = GetParam();
+  const geo::LocalFrame frame({56.1697, 10.1994, 50.0});
+  const geo::EnuPoint in{east, north, 0.0};
+  const geo::EnuPoint out = frame.to_enu(frame.to_geodetic(in));
+  EXPECT_NEAR(out.east, east, 1e-6);
+  EXPECT_NEAR(out.north, north, 1e-6);
+  EXPECT_NEAR(out.up, 0.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Offsets, LocalFrameRoundTrip,
+    ::testing::Combine(::testing::Values(-2000.0, -30.0, 0.0, 12.5, 3000.0),
+                       ::testing::Values(-1500.0, 0.0, 7.25, 2500.0)));
+
+TEST(LocalFrame, LocalPointRoundTrip) {
+  const geo::LocalFrame frame({56.1697, 10.1994, 50.0});
+  const geo::LocalPoint p{123.4, -56.7};
+  const geo::LocalPoint back = frame.to_local(frame.to_geodetic(p));
+  EXPECT_NEAR(back.x, p.x, 1e-6);
+  EXPECT_NEAR(back.y, p.y, 1e-6);
+}
+
+TEST(LocalFrame, DistancePreserved) {
+  const geo::LocalFrame frame({56.0, 10.0, 0.0});
+  const geo::GeoPoint a = frame.to_geodetic(geo::LocalPoint{0.0, 0.0});
+  const geo::GeoPoint b = frame.to_geodetic(geo::LocalPoint{30.0, 40.0});
+  EXPECT_NEAR(geo::haversine_m(a, b), 50.0, 0.3);  // ~0.5% model skew.
+}
+
+TEST(BoundingBox, ContainsAndDistance) {
+  const geo::LocalBox box{0.0, 0.0, 10.0, 5.0};
+  EXPECT_TRUE(box.contains({5.0, 2.5}));
+  EXPECT_TRUE(box.contains({0.0, 0.0}));    // Boundary closed.
+  EXPECT_TRUE(box.contains({10.0, 5.0}));
+  EXPECT_FALSE(box.contains({10.01, 5.0}));
+  EXPECT_DOUBLE_EQ(box.distance_to({5.0, 2.5}), 0.0);
+  EXPECT_DOUBLE_EQ(box.distance_to({13.0, 9.0}), 5.0);  // 3-4-5.
+}
+
+TEST(BoundingBox, UnionAndIntersection) {
+  const geo::LocalBox a{0, 0, 2, 2};
+  const geo::LocalBox b{1, 1, 3, 3};
+  const geo::LocalBox c{5, 5, 6, 6};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  const geo::LocalBox u = a.united(c);
+  EXPECT_DOUBLE_EQ(u.min_x, 0.0);
+  EXPECT_DOUBLE_EQ(u.max_x, 6.0);
+}
+
+TEST(BoundingBox, InflatedGrowsEverySide) {
+  const geo::LocalBox box{1, 1, 2, 2};
+  const geo::LocalBox big = box.inflated(0.5);
+  EXPECT_DOUBLE_EQ(big.min_x, 0.5);
+  EXPECT_DOUBLE_EQ(big.max_y, 2.5);
+  EXPECT_TRUE(big.contains({0.6, 0.6}));
+}
+
+TEST(BoundingBox, FromPoints) {
+  const geo::LocalBox box =
+      geo::bounding_box({{1, 5}, {-2, 0}, {4, 3}});
+  EXPECT_DOUBLE_EQ(box.min_x, -2.0);
+  EXPECT_DOUBLE_EQ(box.max_x, 4.0);
+  EXPECT_DOUBLE_EQ(box.min_y, 0.0);
+  EXPECT_DOUBLE_EQ(box.max_y, 5.0);
+}
+
+TEST(BoundingBox, EmptyInputIsInvalid) {
+  EXPECT_FALSE(geo::bounding_box({}).valid());
+}
+
+TEST(Coordinates, ToStringFormats) {
+  EXPECT_EQ(geo::to_string(geo::GeoPoint{56.5, 10.25, 1.0}),
+            "56.5000000,10.2500000,1.00");
+  EXPECT_EQ(geo::to_string(geo::LocalPoint{1.5, -2.25}), "(1.500,-2.250)");
+}

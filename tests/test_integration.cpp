@@ -1,0 +1,420 @@
+// End-to-end integration tests reproducing the paper's scenarios:
+//  * the Room Number Application of Fig. 1 (GPS outdoors, WiFi indoors),
+//  * the three abstraction views of Fig. 2,
+//  * the full E2 particle-filter configuration driven by replayed traces,
+//  * the assembler-built pipeline (dynamic dependency resolution).
+
+#include "perpos/core/channel.hpp"
+#include "perpos/core/components.hpp"
+#include "perpos/core/graph_dump.hpp"
+#include "perpos/core/positioning.hpp"
+#include "perpos/fusion/features.hpp"
+#include "perpos/fusion/metrics.hpp"
+#include "perpos/fusion/particle_filter.hpp"
+#include "perpos/geo/distance.hpp"
+#include "perpos/locmodel/fixtures.hpp"
+#include "perpos/locmodel/resolver.hpp"
+#include "perpos/runtime/assembler.hpp"
+#include "perpos/runtime/bundle.hpp"
+#include "perpos/runtime/distribution.hpp"
+#include "perpos/sim/network.hpp"
+#include "perpos/sensors/emulator.hpp"
+#include "perpos/sensors/gps_sensor.hpp"
+#include "perpos/sensors/pipeline_components.hpp"
+#include "perpos/sensors/wifi_scanner.hpp"
+#include "perpos/wifi/components.hpp"
+#include "perpos/wifi/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace core = perpos::core;
+namespace geo = perpos::geo;
+namespace sim = perpos::sim;
+namespace lm = perpos::locmodel;
+namespace wifi = perpos::wifi;
+namespace sensors = perpos::sensors;
+namespace fusion = perpos::fusion;
+namespace rt = perpos::runtime;
+
+// The full Room Number Application environment: office building, WiFi
+// infrastructure, fingerprint DB, indoor walk.
+class RoomAppFixture : public ::testing::Test {
+ protected:
+  RoomAppFixture()
+      : building(lm::make_office_building()),
+        signal_model(wifi::office_access_points(), wifi::SignalModelConfig{},
+                     &building),
+        db(wifi::FingerprintDatabase::survey(signal_model, building, 2.0)),
+        trajectory(sensors::office_walk()),
+        graph(&scheduler.clock()),
+        channels(graph),
+        service(graph, channels) {}
+
+  lm::Building building;
+  wifi::SignalModel signal_model;
+  wifi::FingerprintDatabase db;
+  sensors::Trajectory trajectory;
+  sim::Scheduler scheduler;
+  sim::Random random{42};
+  core::ProcessingGraph graph;
+  core::ChannelManager channels;
+  core::PositioningService service;
+};
+
+TEST_F(RoomAppFixture, Fig1RoomNumberApplication) {
+  // WiFi pipeline: WiFi sensor -> WifiPositioner -> Resolver -> RoomFix.
+  auto scanner = std::make_shared<sensors::WifiScanner>(
+      scheduler, random, trajectory, signal_model);
+  auto positioner = std::make_shared<wifi::WifiPositioner>(db);
+  auto resolver = std::make_shared<lm::RoomResolver>(building);
+  const auto wid = graph.add(scanner);
+  const auto pid = graph.add(positioner);
+  const auto rid = graph.add(resolver);
+  graph.connect(wid, pid);
+  graph.connect(pid, rid);
+  service.advertise(rid, {"WiFi", 4.0, core::Criteria::Power::kLow});
+
+  // GPS pipeline: GPS sensor -> Parser -> Interpreter -> PositionFix.
+  auto gps = std::make_shared<sensors::GpsSensor>(
+      scheduler, random, trajectory, building.frame(),
+      sensors::GpsSensorConfig{}, &building);
+  auto parser = std::make_shared<sensors::NmeaParser>();
+  auto interpreter = std::make_shared<sensors::NmeaInterpreter>();
+  const auto gid = graph.add(gps);
+  const auto nid = graph.add(parser);
+  const auto iid = graph.add(interpreter);
+  graph.connect(gid, nid);
+  graph.connect(nid, iid);
+  service.advertise(iid, {"GPS", 8.0, core::Criteria::Power::kHigh});
+
+  // The application requests both providers through the Positioning API.
+  core::LocationProvider& room_provider =
+      service.request_provider(core::Criteria::for_type<core::RoomFix>());
+  core::Criteria gps_criteria;
+  gps_criteria.technology = "GPS";
+  core::LocationProvider& gps_provider =
+      service.request_provider(gps_criteria);
+
+  std::map<std::string, int> room_histogram;
+  room_provider.add_sample_listener([&](const core::Sample& s) {
+    if (const auto* r = s.payload.get<core::RoomFix>()) {
+      if (!r->room.empty()) ++room_histogram[r->room];
+    }
+  });
+
+  scanner->start();
+  gps->start();
+  scheduler.run_until(trajectory.duration());
+
+  // The walk dwells in O-S2, the LAB and O-N3 — room-level positioning
+  // must have seen all three.
+  EXPECT_GT(room_histogram["O-S2"], 0);
+  EXPECT_GT(room_histogram["LAB"], 0);
+  EXPECT_GT(room_histogram["O-N3"], 0);
+  // GPS indoors still produced some (degraded) fixes.
+  EXPECT_TRUE(gps_provider.last_position().has_value());
+  // Both views coexist on one middleware instance.
+  EXPECT_GE(channels.channels().size(), 2u);
+}
+
+TEST_F(RoomAppFixture, Fig2ThreeAbstractionLevels) {
+  // Build the Fig. 2 configuration: GPS chain and WiFi chain into a
+  // particle filter, which feeds the application.
+  auto gps = std::make_shared<sensors::GpsSensor>(
+      scheduler, random, trajectory, building.frame(),
+      sensors::GpsSensorConfig{}, &building);
+  auto parser = std::make_shared<sensors::NmeaParser>();
+  auto interpreter = std::make_shared<sensors::NmeaInterpreter>();
+  auto scanner = std::make_shared<sensors::WifiScanner>(
+      scheduler, random, trajectory, signal_model);
+  auto positioner = std::make_shared<wifi::WifiPositioner>(db);
+  auto togeo = std::make_shared<wifi::LocalToGeoConverter>(building);
+  auto pf = std::make_shared<fusion::ParticleFilterComponent>(
+      fusion::ParticleFilterConfig{}, random, building.frame(), &building);
+  auto sink = std::make_shared<core::ApplicationSink>();
+
+  const auto gid = graph.add(gps);
+  const auto nid = graph.add(parser);
+  const auto iid = graph.add(interpreter);
+  const auto wid = graph.add(scanner);
+  const auto pid = graph.add(positioner);
+  const auto tid = graph.add(togeo);
+  const auto fid = graph.add(pf);
+  const auto zid = graph.add(sink);
+  graph.connect(gid, nid);
+  graph.connect(nid, iid);
+  graph.connect(iid, fid);
+  graph.connect(wid, pid);
+  graph.connect(pid, tid);
+  graph.connect(tid, fid);
+  graph.connect(fid, zid);
+
+  // PSL: the full tree.
+  const std::string psl = core::dump_structure(graph);
+  for (const char* kind : {"GPS", "Parser", "Interpreter", "WiFi",
+                           "WifiPositioner", "LocalToGeo", "ParticleFilter",
+                           "Application"}) {
+    EXPECT_NE(psl.find(kind), std::string::npos) << kind;
+  }
+
+  // PCL: exactly three channels — GPS chain -> PF, WiFi chain -> PF,
+  // PF -> application (Fig. 2 middle).
+  const auto chans = channels.channels();
+  ASSERT_EQ(chans.size(), 3u);
+  int into_pf = 0, from_pf = 0;
+  for (const core::Channel* c : chans) {
+    if (c->sink() == fid) ++into_pf;
+    if (c->source() == fid) ++from_pf;
+  }
+  EXPECT_EQ(into_pf, 2);
+  EXPECT_EQ(from_pf, 1);
+
+  // PL: the application sees one provider view on top.
+  service.advertise(fid, {"Fusion", 3.0, core::Criteria::Power::kMedium});
+  // (The sink above stands for the application; the provider API would
+  // attach its own sink to the same producer.)
+  core::LocationProvider& provider =
+      service.request_provider(core::Criteria{});
+  EXPECT_EQ(provider.advertisement().technology, "Fusion");
+
+  gps->start();
+  scanner->start();
+  scheduler.run_until(sim::SimTime::from_seconds(30.0));
+  EXPECT_TRUE(provider.last_position().has_value());
+}
+
+TEST_F(RoomAppFixture, E2ParticleFilterImprovesDegradedGps) {
+  // Record an indoor GPS trace, then replay it through the emulator into
+  // two configurations: raw pipeline vs pipeline + particle filter with
+  // the HDOP likelihood feature and wall constraints — Fig. 6's claim is
+  // that the filter refines the trace.
+  sensors::GpsSensorConfig config;
+  config.emit_gsa = false;
+  config.model.degraded_fix_loss_prob = 0.1;  // Indoors but usable.
+  auto gps = std::make_shared<sensors::GpsSensor>(
+      scheduler, random, trajectory, building.frame(), config, &building);
+  auto recorder = std::make_shared<sensors::TraceRecorderFeature>();
+  const auto gid = graph.add(gps);
+  graph.attach_feature(gid, recorder);
+  gps->start();
+  scheduler.run_until(trajectory.duration());
+  gps->stop();
+  ASSERT_GT(recorder->trace().size(), 50u);
+
+  const auto run_config = [&](bool with_filter) {
+    sim::Scheduler sched;
+    sim::Random rng(7);
+    core::ProcessingGraph g(&sched.clock());
+    core::ChannelManager ch(g);
+    auto emulator = std::make_shared<sensors::EmulatorSource>(
+        sched, recorder->trace(), "GPS");
+    auto parser = std::make_shared<sensors::NmeaParser>();
+    auto interpreter = std::make_shared<sensors::NmeaInterpreter>();
+    auto sink = std::make_shared<core::ApplicationSink>();
+    const auto e = g.add(emulator);
+    const auto p = g.add(parser);
+    const auto i = g.add(interpreter);
+    g.connect(e, p);
+    g.connect(p, i);
+
+    std::shared_ptr<fusion::ParticleFilterComponent> pf;
+    if (with_filter) {
+      g.attach_feature(p, std::make_shared<fusion::HdopFeature>());
+      fusion::ParticleFilterConfig pfc;
+      pfc.particle_count = 400;
+      pf = std::make_shared<fusion::ParticleFilterComponent>(
+          pfc, rng, building.frame(), &building);
+      const auto f = g.add(pf);
+      const auto z = g.add(sink);
+      g.connect(i, f);
+      g.connect(f, z);
+      pf->set_channel_manager(&ch);
+      core::Channel* channel = ch.channel_from_source(e);
+      ch.attach_feature(*channel,
+                        std::make_shared<fusion::HdopLikelihoodFeature>(
+                            building.frame()));
+    } else {
+      const auto z = g.add(sink);
+      g.connect(i, z);
+    }
+
+    std::vector<double> errors;
+    sink->set_callback([&](const core::Sample& s) {
+      const auto& fix = s.payload.as<core::PositionFix>();
+      const geo::GeoPoint truth = building.frame().to_geodetic(
+          trajectory.position_at(fix.timestamp));
+      errors.push_back(geo::haversine_m(fix.position, truth));
+    });
+    emulator->start();
+    sched.run_all();
+    if (with_filter && pf) {
+      EXPECT_GT(pf->feature_likelihood_updates(), 0u);
+    }
+    return fusion::compute_stats(errors);
+  };
+
+  const fusion::ErrorStats raw = run_config(false);
+  const fusion::ErrorStats filtered = run_config(true);
+  ASSERT_GT(raw.count, 20u);
+  ASSERT_GT(filtered.count, 20u);
+  // The headline claim: probabilistic tracking with building constraints
+  // refines the degraded indoor trace.
+  EXPECT_LT(filtered.rmse, raw.rmse);
+  EXPECT_LT(filtered.p95, raw.p95);
+}
+
+TEST_F(RoomAppFixture, AssemblerBuildsRoomPipelineAutomatically) {
+  // The paper's dynamic dependency resolution: contribute the components,
+  // let the resolver wire RssiScan -> LocalPosition -> RoomFix -> app.
+  rt::GraphAssembler assembler(graph);
+  auto scanner = std::make_shared<sensors::WifiScanner>(
+      scheduler, random, trajectory, signal_model);
+  assembler.add("wifi-sensor", scanner);
+  assembler.add("positioner", std::make_shared<wifi::WifiPositioner>(db));
+  assembler.add("resolver", std::make_shared<lm::RoomResolver>(building));
+  auto sink = std::make_shared<core::ApplicationSink>(
+      "RoomApp",
+      std::vector<core::InputRequirement>{core::require<core::RoomFix>()});
+  assembler.add("app", sink);
+  const auto report = assembler.resolve();
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.edges.size(), 3u);
+
+  scanner->start();
+  scheduler.run_until(sim::SimTime::from_seconds(60.0));
+  ASSERT_TRUE(sink->last().has_value());
+  EXPECT_TRUE(sink->last()->payload.is<core::RoomFix>());
+}
+
+TEST_F(RoomAppFixture, DistributedWifiPipelineToleratesLoss) {
+  // The WiFi pipeline split across device and server over a lossy link:
+  // scans are dropped by the network, but every scan that arrives resolves
+  // to a sane room — loss degrades availability, never correctness.
+  sim::Network network(scheduler, random);
+  rt::DistributedDeployment deployment(graph, network);
+  const sim::HostId device = deployment.add_host("device");
+  const sim::HostId server = deployment.add_host("server");
+  network.set_link(device, server,
+                   {sim::SimTime::from_millis(25), /*loss=*/0.3, {}});
+
+  auto scanner = std::make_shared<sensors::WifiScanner>(
+      scheduler, random, trajectory, signal_model,
+      sim::SimTime::from_seconds(1.0));
+  auto positioner = std::make_shared<wifi::WifiPositioner>(db);
+  auto resolver = std::make_shared<lm::RoomResolver>(building);
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto sid = graph.add(scanner);
+  const auto pid = graph.add(positioner);
+  const auto rid = graph.add(resolver);
+  const auto zid = graph.add(sink);
+  graph.connect(sid, pid);
+  graph.connect(pid, rid);
+  graph.connect(rid, zid);
+  deployment.assign(sid, device);
+  deployment.assign(pid, server);
+  deployment.assign(rid, server);
+  deployment.assign(zid, server);
+  deployment.deploy();
+
+  int sane = 0, rooms = 0;
+  sink->set_callback([&](const core::Sample& s) {
+    const auto& fix = s.payload.as<core::RoomFix>();
+    ++rooms;
+    if (building.inside_footprint(fix.local)) ++sane;
+  });
+
+  scanner->start();
+  scheduler.run_until(trajectory.duration());
+  scanner->stop();      // Stop the self-rescheduling tick...
+  scheduler.run_all();  // ...then flush in-flight deliveries.
+
+  const auto& stats = network.stats(device, server);
+  EXPECT_GT(stats.messages_dropped, 5u);        // The link really is lossy.
+  EXPECT_GT(rooms, 10);                         // Most scans still arrive.
+  EXPECT_LT(static_cast<std::uint64_t>(rooms), scanner->scans());
+  EXPECT_EQ(sane, rooms);                       // Never a corrupt position.
+}
+
+namespace {
+
+/// A bundle contributing the GPS pipeline as services + graph components —
+/// the OSGi-style dynamic composition of the paper's implementation notes.
+class GpsPipelineBundle final : public rt::Bundle {
+ public:
+  GpsPipelineBundle(core::ProcessingGraph& graph, sim::Scheduler& scheduler,
+                    sim::Random& random, const sensors::Trajectory& walk,
+                    const geo::LocalFrame& frame)
+      : Bundle("gps-pipeline"),
+        graph_(graph),
+        scheduler_(scheduler),
+        random_(random),
+        walk_(walk),
+        frame_(frame) {}
+
+  void start(rt::BundleContext& ctx) override {
+    sensor_ = std::make_shared<sensors::GpsSensor>(scheduler_, random_,
+                                                   walk_, frame_);
+    auto parser = std::make_shared<sensors::NmeaParser>();
+    auto interpreter = std::make_shared<sensors::NmeaInterpreter>();
+    ids_.push_back(graph_.add(sensor_));
+    ids_.push_back(graph_.add(parser));
+    ids_.push_back(graph_.add(interpreter));
+    graph_.connect(ids_[0], ids_[1]);
+    graph_.connect(ids_[1], ids_[2]);
+    ctx.register_service("position-producer",
+                         std::make_shared<core::ComponentId>(ids_[2]),
+                         {{"technology", "GPS"}});
+    sensor_->start();
+  }
+
+  void stop(rt::BundleContext&) override {
+    sensor_->stop();
+    for (auto it = ids_.rbegin(); it != ids_.rend(); ++it) {
+      graph_.remove(*it);
+    }
+    ids_.clear();
+  }
+
+ private:
+  core::ProcessingGraph& graph_;
+  sim::Scheduler& scheduler_;
+  sim::Random& random_;
+  const sensors::Trajectory& walk_;
+  const geo::LocalFrame& frame_;
+  std::shared_ptr<sensors::GpsSensor> sensor_;
+  std::vector<core::ComponentId> ids_;
+};
+
+}  // namespace
+
+TEST_F(RoomAppFixture, BundleLifecycleDrivesGraphComposition) {
+  rt::Framework framework;
+  framework.install(std::make_unique<GpsPipelineBundle>(
+      graph, scheduler, random, trajectory, building.frame()));
+
+  // Start: the bundle contributes three components and a service.
+  framework.start("gps-pipeline");
+  EXPECT_EQ(graph.size(), 3u);
+  auto producer = framework.registry().get<core::ComponentId>(
+      "position-producer", {{"technology", "GPS"}});
+  ASSERT_NE(producer, nullptr);
+
+  // An application discovers the producer through the registry and
+  // attaches to it — dynamic composition without naming any type.
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto zid = graph.add(sink);
+  graph.connect(*producer, zid);
+  scheduler.run_until(sim::SimTime::from_seconds(10.0));
+  EXPECT_GT(sink->received(), 5u);
+
+  // Stop: the bundle's components leave the graph; the service vanishes.
+  framework.stop("gps-pipeline");
+  EXPECT_EQ(graph.size(), 1u);  // Only the application's sink remains.
+  EXPECT_EQ(framework.registry()
+                .find("position-producer")
+                .size(),
+            0u);
+  const auto received = sink->received();
+  scheduler.run_until(sim::SimTime::from_seconds(20.0));
+  EXPECT_EQ(sink->received(), received);  // Nothing flows any more.
+}

@@ -1,0 +1,137 @@
+// Tests for the Kalman filter: estimation quality on synthetic motion,
+// covariance behaviour, and interchangeability with the particle filter in
+// the processing graph.
+
+#include "perpos/core/components.hpp"
+#include "perpos/core/graph.hpp"
+#include "perpos/fusion/kalman_filter.hpp"
+#include "perpos/sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fusion = perpos::fusion;
+namespace core = perpos::core;
+namespace geo = perpos::geo;
+namespace sim = perpos::sim;
+
+TEST(Kalman, InitializesAtFirstMeasurement) {
+  fusion::KalmanFilter kf;
+  EXPECT_FALSE(kf.initialized());
+  kf.init({3.0, 4.0}, 2.0);
+  EXPECT_TRUE(kf.initialized());
+  EXPECT_DOUBLE_EQ(kf.position().x, 3.0);
+  EXPECT_DOUBLE_EQ(kf.position().y, 4.0);
+  EXPECT_NEAR(kf.position_sigma(), 2.0, 1e-9);
+}
+
+TEST(Kalman, UpdateWithoutInitInitializes) {
+  fusion::KalmanFilter kf;
+  kf.update({1.0, 1.0}, 3.0);
+  EXPECT_TRUE(kf.initialized());
+}
+
+TEST(Kalman, PredictGrowsUncertainty) {
+  fusion::KalmanFilter kf;
+  kf.init({0.0, 0.0}, 1.0);
+  const double s0 = kf.position_sigma();
+  kf.predict(5.0);
+  EXPECT_GT(kf.position_sigma(), s0);
+}
+
+TEST(Kalman, UpdateShrinksUncertainty) {
+  fusion::KalmanFilter kf;
+  kf.init({0.0, 0.0}, 5.0);
+  kf.predict(1.0);
+  const double before = kf.position_sigma();
+  kf.update({0.0, 0.0}, 2.0);
+  EXPECT_LT(kf.position_sigma(), before);
+}
+
+TEST(Kalman, ConvergesOnStationaryTarget) {
+  // A small acceleration PSD suits a (near-)stationary target.
+  fusion::KalmanFilter kf(fusion::KalmanConfig{0.05, 1.0});
+  sim::Random random(42);
+  kf.init({random.normal(10.0, 3.0), random.normal(20.0, 3.0)}, 3.0);
+  for (int i = 0; i < 50; ++i) {
+    kf.predict(1.0);
+    kf.update({random.normal(10.0, 3.0), random.normal(20.0, 3.0)}, 3.0);
+  }
+  // Steady-state deviation is ~1 m; allow a 2-sigma draw.
+  EXPECT_NEAR(kf.position().x, 10.0, 2.0);
+  EXPECT_NEAR(kf.position().y, 20.0, 2.0);
+  EXPECT_LT(kf.position_sigma(), 3.0);  // Better than one measurement.
+  EXPECT_LT(kf.speed(), 0.6);
+}
+
+TEST(Kalman, TracksConstantVelocity) {
+  fusion::KalmanFilter kf;
+  sim::Random random(7);
+  kf.init({0.0, 0.0}, 2.0);
+  double truth_x = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    truth_x += 1.5;  // 1.5 m/s east.
+    kf.predict(1.0);
+    kf.update({random.normal(truth_x, 2.0), random.normal(0.0, 2.0)}, 2.0);
+  }
+  EXPECT_NEAR(kf.position().x, truth_x, 2.5);
+  EXPECT_NEAR(kf.speed(), 1.5, 0.5);
+}
+
+TEST(Kalman, SmootherThanRawMeasurements) {
+  // The filter's estimates must jitter less than the raw measurements.
+  fusion::KalmanFilter kf;
+  sim::Random random(11);
+  kf.init({0.0, 0.0}, 4.0);
+  double raw_jitter = 0.0, filtered_jitter = 0.0;
+  geo::LocalPoint prev_raw{0.0, 0.0}, prev_filtered{0.0, 0.0};
+  for (int i = 1; i <= 100; ++i) {
+    const geo::LocalPoint raw{random.normal(i * 1.0, 4.0),
+                              random.normal(0.0, 4.0)};
+    kf.predict(1.0);
+    kf.update(raw, 4.0);
+    raw_jitter += std::hypot(raw.x - prev_raw.x - 1.0, raw.y - prev_raw.y);
+    const geo::LocalPoint est = kf.position();
+    filtered_jitter += std::hypot(est.x - prev_filtered.x - 1.0,
+                                  est.y - prev_filtered.y);
+    prev_raw = raw;
+    prev_filtered = est;
+  }
+  EXPECT_LT(filtered_jitter, raw_jitter * 0.6);
+}
+
+TEST(KalmanComponent, DropsIntoGraphLikeParticleFilter) {
+  const geo::LocalFrame frame(geo::GeoPoint{56.1697, 10.1994, 50.0});
+  core::ProcessingGraph graph;
+  auto source = std::make_shared<core::SourceComponent>(
+      "GPS",
+      std::vector<core::DataSpec>{core::provide<core::PositionFix>()});
+  auto kf = std::make_shared<fusion::KalmanFilterComponent>(
+      fusion::KalmanConfig{}, frame);
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = graph.add(source);
+  const auto k = graph.add(kf);
+  const auto z = graph.add(sink);
+  graph.connect(a, k);
+  graph.connect(k, z);
+  EXPECT_TRUE(kf->is_channel_endpoint());
+
+  sim::Random random(3);
+  for (int i = 0; i < 10; ++i) {
+    core::PositionFix fix;
+    fix.position = frame.to_geodetic(
+        geo::LocalPoint{random.normal(5.0, 2.0), random.normal(5.0, 2.0)});
+    fix.horizontal_accuracy_m = 2.0;
+    fix.timestamp = sim::SimTime::from_seconds(i);
+    fix.technology = "GPS";
+    source->push(fix);
+  }
+  // First fix initializes; the rest produce smoothed outputs.
+  EXPECT_EQ(sink->received(), 9u);
+  const auto& out = sink->last()->payload.as<core::PositionFix>();
+  EXPECT_EQ(out.technology, "KalmanFilter");
+  const geo::LocalPoint est = frame.to_local(out.position);
+  EXPECT_NEAR(est.x, 5.0, 2.5);
+  EXPECT_NEAR(est.y, 5.0, 2.5);
+}

@@ -1,0 +1,272 @@
+// Unit and property tests for the NMEA substrate: framing, field parsing,
+// generation round trips and incremental stream assembly.
+
+#include "perpos/nmea/checksum.hpp"
+#include "perpos/nmea/generate.hpp"
+#include "perpos/nmea/parse.hpp"
+#include "perpos/nmea/stream_parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nmea = perpos::nmea;
+
+TEST(Checksum, KnownValue) {
+  // Classic example: "GPGGA,..." checksums are XOR over the body.
+  EXPECT_EQ(nmea::checksum("GPGLL,5057.970,N,00146.110,E,142451,A"), 0x27);
+}
+
+TEST(Checksum, FrameProducesDollarAndHex) {
+  const std::string framed = nmea::frame("GPXXX,1");
+  EXPECT_EQ(framed.front(), '$');
+  EXPECT_EQ(framed[framed.size() - 3], '*');
+  std::string body;
+  EXPECT_TRUE(nmea::unframe(framed, body));
+  EXPECT_EQ(body, "GPXXX,1");
+}
+
+TEST(Checksum, UnframeToleratesCrlf) {
+  std::string body;
+  EXPECT_TRUE(nmea::unframe(nmea::frame("GPXXX,2") + "\r\n", body));
+  EXPECT_TRUE(nmea::unframe(nmea::frame("GPXXX,2") + "\n", body));
+  EXPECT_TRUE(nmea::unframe(nmea::frame("GPXXX,2") + "\r", body));
+}
+
+TEST(Checksum, UnframeRejectsCorruption) {
+  std::string framed = nmea::frame("GPGGA,123");
+  framed[3] = framed[3] == 'A' ? 'B' : 'A';  // Corrupt a body byte.
+  std::string body;
+  EXPECT_FALSE(nmea::unframe(framed, body));
+}
+
+TEST(Checksum, UnframeRejectsMalformedInputs) {
+  std::string body;
+  EXPECT_FALSE(nmea::unframe("", body));
+  EXPECT_FALSE(nmea::unframe("GPGGA*00", body));        // No '$'.
+  EXPECT_FALSE(nmea::unframe("$GP", body));             // Too short.
+  EXPECT_FALSE(nmea::unframe("$GPGGA,1*ZZ", body));     // Bad hex.
+  EXPECT_FALSE(nmea::unframe("$GPGGA,1", body));        // No checksum.
+}
+
+TEST(FieldParse, Latitude) {
+  EXPECT_NEAR(*nmea::parse_latitude("5610.1820", "N"), 56.16970, 1e-5);
+  EXPECT_NEAR(*nmea::parse_latitude("5610.1820", "S"), -56.16970, 1e-5);
+  EXPECT_FALSE(nmea::parse_latitude("5610.1820", "X").has_value());
+  EXPECT_FALSE(nmea::parse_latitude("9990.0000", "N").has_value());
+  EXPECT_FALSE(nmea::parse_latitude("", "N").has_value());
+  EXPECT_FALSE(nmea::parse_latitude("56xx.1820", "N").has_value());
+}
+
+TEST(FieldParse, Longitude) {
+  EXPECT_NEAR(*nmea::parse_longitude("01011.9640", "E"), 10.19940, 1e-5);
+  EXPECT_NEAR(*nmea::parse_longitude("01011.9640", "W"), -10.19940, 1e-5);
+  EXPECT_FALSE(nmea::parse_longitude("01011.9640", "N").has_value());
+  EXPECT_FALSE(nmea::parse_longitude("19990.0", "E").has_value());
+}
+
+TEST(FieldParse, UtcTime) {
+  const auto t = nmea::parse_utc_time("123456.78");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->hours, 12);
+  EXPECT_EQ(t->minutes, 34);
+  EXPECT_NEAR(t->seconds, 56.78, 1e-9);
+  EXPECT_NEAR(t->seconds_of_day(), 12 * 3600 + 34 * 60 + 56.78, 1e-9);
+  EXPECT_FALSE(nmea::parse_utc_time("246060").has_value());
+  EXPECT_FALSE(nmea::parse_utc_time("12").has_value());
+}
+
+// Property: generate -> parse is the identity for GGA across a sweep of
+// positions and fix states.
+class GgaRoundTrip : public ::testing::TestWithParam<
+                         std::tuple<double, double, int, double>> {};
+
+TEST_P(GgaRoundTrip, GenerateParse) {
+  const auto [lat, lon, sats, hdop] = GetParam();
+  nmea::GgaSentence gga;
+  gga.time = {7, 30, 15.5};
+  gga.latitude_deg = lat;
+  gga.longitude_deg = lon;
+  gga.quality = nmea::FixQuality::kGps;
+  gga.satellites_in_use = sats;
+  gga.hdop = hdop;
+  gga.altitude_m = 47.3;
+
+  const auto parsed = nmea::parse_sentence(nmea::generate_gga(gga));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->type, nmea::SentenceType::kGga);
+  ASSERT_TRUE(parsed->gga.has_value());
+  EXPECT_NEAR(parsed->gga->latitude_deg, lat, 2e-6);   // 0.0001 min approx.
+  EXPECT_NEAR(parsed->gga->longitude_deg, lon, 2e-6);
+  EXPECT_EQ(parsed->gga->satellites_in_use, sats);
+  EXPECT_NEAR(parsed->gga->hdop, hdop, 0.051);
+  EXPECT_NEAR(parsed->gga->altitude_m, 47.3, 0.051);
+  EXPECT_EQ(parsed->gga->quality, nmea::FixQuality::kGps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GgaRoundTrip,
+    ::testing::Combine(::testing::Values(-33.8688, 0.0001, 56.1697, 89.9),
+                       ::testing::Values(-122.4194, 0.0001, 10.1994, 179.9),
+                       ::testing::Values(3, 7, 12),
+                       ::testing::Values(0.8, 1.5, 9.9)));
+
+TEST(Gga, NoFixHasEmptyPosition) {
+  nmea::GgaSentence gga;
+  gga.quality = nmea::FixQuality::kInvalid;
+  gga.satellites_in_use = 2;
+  gga.hdop = 12.0;
+  const std::string text = nmea::generate_gga(gga);
+  const auto parsed = nmea::parse_sentence(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(nmea::is_fix(parsed->gga->quality));
+  EXPECT_EQ(parsed->gga->satellites_in_use, 2);
+  EXPECT_DOUBLE_EQ(parsed->gga->latitude_deg, 0.0);
+}
+
+TEST(Rmc, RoundTripValid) {
+  nmea::RmcSentence rmc;
+  rmc.time = {23, 59, 59.0};
+  rmc.valid = true;
+  rmc.latitude_deg = 56.1697;
+  rmc.longitude_deg = 10.1994;
+  rmc.speed_knots = 4.5;
+  rmc.course_deg = 270.0;
+  rmc.date_ddmmyy = 51126;
+  const auto parsed = nmea::parse_sentence(nmea::generate_rmc(rmc));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->type, nmea::SentenceType::kRmc);
+  EXPECT_TRUE(parsed->rmc->valid);
+  EXPECT_NEAR(parsed->rmc->latitude_deg, 56.1697, 2e-6);
+  EXPECT_NEAR(parsed->rmc->speed_knots, 4.5, 0.051);
+  EXPECT_EQ(parsed->rmc->date_ddmmyy, 51126);
+}
+
+TEST(Rmc, RoundTripVoid) {
+  nmea::RmcSentence rmc;
+  rmc.valid = false;
+  const auto parsed = nmea::parse_sentence(nmea::generate_rmc(rmc));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->rmc->valid);
+}
+
+TEST(Gsa, RoundTrip) {
+  nmea::GsaSentence gsa;
+  gsa.mode = nmea::GsaSentence::Mode::k3d;
+  gsa.satellite_prns = {2, 5, 9, 12, 25};
+  gsa.pdop = 2.1;
+  gsa.hdop = 1.3;
+  gsa.vdop = 1.7;
+  const auto parsed = nmea::parse_sentence(nmea::generate_gsa(gsa));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->type, nmea::SentenceType::kGsa);
+  EXPECT_EQ(parsed->gsa->satellite_prns, gsa.satellite_prns);
+  EXPECT_NEAR(parsed->gsa->hdop, 1.3, 0.051);
+  EXPECT_EQ(parsed->gsa->mode, nmea::GsaSentence::Mode::k3d);
+}
+
+TEST(Gsv, RoundTrip) {
+  nmea::GsvSentence gsv;
+  gsv.total_messages = 2;
+  gsv.message_number = 1;
+  gsv.satellites_in_view = 7;
+  gsv.satellites = {{2, 45, 120, 38}, {5, 12, 310, 22}};
+  const auto parsed = nmea::parse_sentence(nmea::generate_gsv(gsv));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->type, nmea::SentenceType::kGsv);
+  EXPECT_EQ(parsed->gsv->satellites, gsv.satellites);
+  EXPECT_EQ(parsed->gsv->satellites_in_view, 7);
+}
+
+TEST(Parse, UnknownSentenceTypeIsPreserved) {
+  const auto parsed = nmea::parse_sentence(nmea::frame("GPZDA,1,2,3"));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, nmea::SentenceType::kUnknown);
+  EXPECT_EQ(parsed->talker, "GP");
+}
+
+TEST(Parse, RejectsTruncatedGga) {
+  EXPECT_FALSE(nmea::parse_sentence(nmea::frame("GPGGA,123")).has_value());
+}
+
+TEST(Parse, SentenceTypeNames) {
+  EXPECT_STREQ(nmea::to_string(nmea::SentenceType::kGga), "GGA");
+  EXPECT_STREQ(nmea::to_string(nmea::SentenceType::kUnknown), "UNKNOWN");
+}
+
+// --- StreamParser ------------------------------------------------------------
+
+namespace {
+
+std::string sample_gga() {
+  nmea::GgaSentence gga;
+  gga.time = {10, 0, 0.0};
+  gga.latitude_deg = 56.1;
+  gga.longitude_deg = 10.2;
+  gga.quality = nmea::FixQuality::kGps;
+  gga.satellites_in_use = 8;
+  gga.hdop = 1.1;
+  return nmea::generate_gga(gga) + "\r\n";
+}
+
+}  // namespace
+
+TEST(StreamParser, WholeSentenceAtOnce) {
+  nmea::StreamParser parser;
+  const auto out = parser.feed(sample_gga());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, nmea::SentenceType::kGga);
+  EXPECT_EQ(parser.parsed_count(), 1u);
+  EXPECT_EQ(parser.error_count(), 0u);
+}
+
+// Property: any fragmentation of the byte stream yields the same sentences
+// — this is the many-strings-per-sentence behaviour of Fig. 4.
+class StreamFragmentation : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StreamFragmentation, FragmentSizeInvariance) {
+  const std::size_t chunk = GetParam();
+  const std::string stream = sample_gga() + sample_gga() + sample_gga();
+  nmea::StreamParser parser;
+  std::size_t total = 0;
+  for (std::size_t off = 0; off < stream.size(); off += chunk) {
+    total += parser.feed(stream.substr(off, chunk)).size();
+  }
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(parser.error_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, StreamFragmentation,
+                         ::testing::Values(1, 2, 3, 7, 16, 50, 1000));
+
+TEST(StreamParser, LineNoiseBetweenSentencesIsDiscarded) {
+  nmea::StreamParser parser;
+  auto out = parser.feed("garbage!!" + sample_gga() + "more-noise");
+  EXPECT_EQ(out.size(), 1u);
+  out = parser.feed(sample_gga());
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_GT(parser.discarded_bytes(), 0u);
+}
+
+TEST(StreamParser, TruncatedSentenceIsDroppedNotFatal) {
+  nmea::StreamParser parser;
+  // A sentence that never completes, followed by a good one.
+  const auto out = parser.feed("$GPGGA,123" + sample_gga());
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(parser.error_count(), 1u);
+}
+
+TEST(StreamParser, ChecksumErrorCounted) {
+  nmea::StreamParser parser;
+  std::string bad = sample_gga();
+  bad[10] = bad[10] == '0' ? '1' : '0';
+  const auto out = parser.feed(bad);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(parser.error_count(), 1u);
+}
+
+TEST(StreamParser, ResetDropsPartialSentence) {
+  nmea::StreamParser parser;
+  parser.feed("$GPGGA,12");
+  parser.reset();
+  const auto out = parser.feed("3456*00\r\n" + sample_gga());
+  EXPECT_EQ(out.size(), 1u);  // Only the complete good sentence.
+}

@@ -1,0 +1,76 @@
+// Tests for the designed method-reflection surface (OperationTable): the
+// PSL's "access to all methods available on the implementing classes".
+
+#include "perpos/core/components.hpp"
+#include "perpos/core/graph.hpp"
+#include "perpos/sensors/gps_sensor.hpp"
+#include "perpos/sensors/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace core = perpos::core;
+namespace geo = perpos::geo;
+namespace sim = perpos::sim;
+namespace sensors = perpos::sensors;
+
+TEST(Operations, RegisterInvokeList) {
+  core::OperationTable table;
+  EXPECT_EQ(table.size(), 0u);
+  int calls = 0;
+  table.add("ping", "answers pong", [&](const std::string& arg) {
+    ++calls;
+    return "pong:" + arg;
+  });
+  EXPECT_TRUE(table.has("ping"));
+  EXPECT_FALSE(table.has("pong"));
+  EXPECT_EQ(*table.invoke("ping", "x"), "pong:x");
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(table.invoke("nope").has_value());
+  const auto infos = table.list();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].name, "ping");
+  EXPECT_EQ(infos[0].description, "answers pong");
+}
+
+TEST(Operations, ReplaceExisting) {
+  core::OperationTable table;
+  table.add("op", "v1", [](const std::string&) { return "1"; });
+  table.add("op", "v2", [](const std::string&) { return "2"; });
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(*table.invoke("op"), "2");
+}
+
+TEST(Operations, ComponentsExposeTables) {
+  core::SourceComponent source(
+      "Src", std::vector<core::DataSpec>{core::provide<int>()});
+  EXPECT_EQ(source.operations().size(), 0u);  // Plain components: none.
+  source.operations().add("hello", "greets",
+                          [](const std::string&) { return "hi"; });
+  EXPECT_EQ(*source.operations().invoke("hello"), "hi");
+}
+
+TEST(Operations, GpsSensorControlThroughReflection) {
+  sim::Scheduler scheduler;
+  sim::Random random(42);
+  const geo::LocalFrame frame(geo::GeoPoint{56.1697, 10.1994, 50.0});
+  const sensors::Trajectory walk =
+      sensors::TrajectoryBuilder({0, 0}).walk_to({50, 0}, 1.4).build();
+  core::ProcessingGraph graph(&scheduler.clock());
+  auto sensor = std::make_shared<sensors::GpsSensor>(scheduler, random, walk,
+                                                     frame);
+  const auto id = graph.add(sensor);
+
+  // PSL tooling drives the sensor without knowing its type.
+  core::ProcessingComponent& component = graph.component(id);
+  EXPECT_GE(component.operations().size(), 3u);
+  EXPECT_EQ(*component.operations().invoke("active"), "on");
+  EXPECT_EQ(*component.operations().invoke("active", "off"), "off");
+  EXPECT_FALSE(sensor->active());
+  EXPECT_EQ(*component.operations().invoke("active", "on"), "on");
+  EXPECT_TRUE(sensor->active());
+
+  sensor->start();
+  scheduler.run_until(sim::SimTime::from_seconds(5.0));
+  EXPECT_EQ(*component.operations().invoke("epochs"), "5");
+  EXPECT_FALSE(component.operations().invoke("no_such_op").has_value());
+}

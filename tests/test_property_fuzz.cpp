@@ -1,0 +1,265 @@
+// Property and fuzz tests: randomized (but seeded, deterministic)
+// workloads checking structural invariants of the graph engine, parser
+// robustness against arbitrary bytes, and codec totality.
+
+#include "perpos/core/channel.hpp"
+#include "perpos/core/components.hpp"
+#include "perpos/core/data_types.hpp"
+#include "perpos/core/graph.hpp"
+#include "perpos/nmea/generate.hpp"
+#include "perpos/nmea/stream_parser.hpp"
+#include "perpos/runtime/payload_codec.hpp"
+#include "perpos/sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace core = perpos::core;
+namespace nmea = perpos::nmea;
+namespace sim = perpos::sim;
+
+namespace {
+
+struct Token {
+  int value = 0;
+};
+
+std::shared_ptr<core::ProcessingComponent> make_node(sim::Random& random) {
+  switch (random.uniform_int(0, 2)) {
+    case 0:
+      return std::make_shared<core::SourceComponent>(
+          "Src", std::vector<core::DataSpec>{core::provide<Token>()});
+    case 1:
+      return std::make_shared<core::LambdaComponent>(
+          "Relay",
+          std::vector<core::InputRequirement>{core::require<Token>()},
+          std::vector<core::DataSpec>{core::provide<Token>()},
+          [](const core::Sample& s, const core::ComponentContext& ctx) {
+            ctx.emit(s.payload);
+          });
+    default:
+      return std::make_shared<core::ApplicationSink>();
+  }
+}
+
+/// Structural invariants that must hold after any mutation sequence.
+void check_invariants(core::ProcessingGraph& graph,
+                      core::ChannelManager& channels) {
+  const auto ids = graph.components();
+  std::set<core::ComponentId> live(ids.begin(), ids.end());
+
+  for (core::ComponentId id : ids) {
+    const core::ComponentInfo info = graph.info(id);
+    // Edge symmetry: consumers' producer lists contain us and vice versa.
+    for (core::ComponentId c : info.consumers) {
+      ASSERT_TRUE(live.contains(c));
+      const auto back = graph.info(c).producers;
+      EXPECT_NE(std::find(back.begin(), back.end(), id), back.end());
+    }
+    for (core::ComponentId p : info.producers) {
+      ASSERT_TRUE(live.contains(p));
+      const auto fwd = graph.info(p).consumers;
+      EXPECT_NE(std::find(fwd.begin(), fwd.end(), id), fwd.end());
+    }
+  }
+
+  // Acyclicity: DFS from every node never returns to it.
+  for (core::ComponentId start : ids) {
+    std::vector<core::ComponentId> stack{start};
+    std::set<core::ComponentId> seen;
+    bool first = true;
+    while (!stack.empty()) {
+      const core::ComponentId n = stack.back();
+      stack.pop_back();
+      if (!first && n == start) FAIL() << "cycle through " << start;
+      if (!seen.insert(n).second) continue;
+      first = false;
+      for (core::ComponentId next : graph.info(n).consumers) {
+        stack.push_back(next);
+      }
+    }
+  }
+
+  // Channel view is derivable and consistent: every channel's path exists,
+  // interior nodes are 1-in/1-out, sink consumes last path node.
+  for (core::Channel* c : channels.channels()) {
+    ASSERT_FALSE(c->path().empty());
+    EXPECT_TRUE(live.contains(c->source()));
+    EXPECT_TRUE(live.contains(c->sink()));
+    const auto sink_producers = graph.info(c->sink()).producers;
+    EXPECT_NE(std::find(sink_producers.begin(), sink_producers.end(),
+                        c->last()),
+              sink_producers.end());
+    for (std::size_t i = 1; i + 1 < c->path().size(); ++i) {
+      const auto info = graph.info(c->path()[i]);
+      if (!graph.component(c->path()[i]).is_channel_endpoint()) {
+        EXPECT_EQ(info.producers.size(), 1u);
+        EXPECT_EQ(info.consumers.size(), 1u);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+class GraphFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphFuzz, RandomMutationsPreserveInvariants) {
+  sim::Random random(GetParam());
+  core::ProcessingGraph graph;
+  core::ChannelManager channels(graph);
+  std::vector<core::ComponentId> ids;
+  std::vector<std::shared_ptr<core::SourceComponent>> sources;
+
+  for (int step = 0; step < 300; ++step) {
+    const int op = random.uniform_int(0, 9);
+    if (op <= 2 || ids.empty()) {  // Add (30%).
+      auto node = make_node(random);
+      auto source = std::dynamic_pointer_cast<core::SourceComponent>(node);
+      ids.push_back(graph.add(node));
+      if (source) sources.push_back(source);
+    } else if (op <= 6) {  // Connect (40%).
+      const auto a = ids[static_cast<std::size_t>(
+          random.uniform_int(0, static_cast<int>(ids.size()) - 1))];
+      const auto b = ids[static_cast<std::size_t>(
+          random.uniform_int(0, static_cast<int>(ids.size()) - 1))];
+      if (graph.has(a) && graph.has(b)) {
+        try {
+          graph.connect(a, b);
+        } catch (const std::invalid_argument&) {
+          // Incompatible / duplicate / cycle — expected and fine.
+        }
+      }
+    } else if (op <= 7) {  // Disconnect (10%).
+      const auto a = ids[static_cast<std::size_t>(
+          random.uniform_int(0, static_cast<int>(ids.size()) - 1))];
+      if (graph.has(a)) {
+        const auto consumers = graph.info(a).consumers;
+        if (!consumers.empty()) {
+          graph.disconnect(a, consumers.front());
+        }
+      }
+    } else if (op <= 8) {  // Remove (10%).
+      const auto a = ids[static_cast<std::size_t>(
+          random.uniform_int(0, static_cast<int>(ids.size()) - 1))];
+      if (graph.has(a)) graph.remove(a);
+    } else {  // Pump data through a random live source (10%).
+      for (auto& s : sources) {
+        if (s->context().attached()) {
+          s->push(Token{step});
+          break;
+        }
+      }
+    }
+
+    if (step % 25 == 0) check_invariants(graph, channels);
+  }
+  check_invariants(graph, channels);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42, 99,
+                                           12345));
+
+class NmeaFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NmeaFuzz, RandomBytesNeverCrashAndNeverFalselyParse) {
+  sim::Random random(GetParam());
+  nmea::StreamParser parser;
+  for (int round = 0; round < 200; ++round) {
+    std::string junk;
+    const int len = random.uniform_int(0, 120);
+    for (int i = 0; i < len; ++i) {
+      junk.push_back(static_cast<char>(random.uniform_int(0, 255)));
+    }
+    for (const nmea::Sentence& s : parser.feed(junk)) {
+      // Anything that parses from random bytes must have had a valid
+      // checksum — astronomically unlikely but legal; verify integrity.
+      EXPECT_FALSE(s.raw.empty());
+    }
+  }
+}
+
+TEST_P(NmeaFuzz, MutatedValidSentencesNeverYieldWrongPositions) {
+  sim::Random random(GetParam());
+  nmea::GgaSentence gga;
+  gga.quality = nmea::FixQuality::kGps;
+  gga.satellites_in_use = 8;
+  gga.hdop = 1.0;
+  gga.latitude_deg = 56.1697;
+  gga.longitude_deg = 10.1994;
+  const std::string valid = nmea::generate_gga(gga) + "\r\n";
+
+  nmea::StreamParser parser;
+  int parsed = 0;
+  for (int round = 0; round < 500; ++round) {
+    std::string mutated = valid;
+    const int flips = random.uniform_int(1, 3);
+    for (int i = 0; i < flips; ++i) {
+      const auto idx = static_cast<std::size_t>(random.uniform_int(
+          0, static_cast<int>(mutated.size()) - 1));
+      mutated[idx] = static_cast<char>(random.uniform_int(32, 126));
+    }
+    for (const nmea::Sentence& s : parser.feed(mutated)) {
+      ++parsed;
+      // If it parsed, the checksum held, so either the mutation was a
+      // no-op or hit a "don't care" byte; position fields must be sane.
+      if (s.gga && nmea::is_fix(s.gga->quality)) {
+        EXPECT_GE(s.gga->latitude_deg, -90.0);
+        EXPECT_LE(s.gga->latitude_deg, 90.0);
+        EXPECT_GE(s.gga->longitude_deg, -180.0);
+        EXPECT_LE(s.gga->longitude_deg, 180.0);
+      }
+    }
+    parser.reset();
+  }
+  // The vast majority of mutations must be rejected by the checksum.
+  EXPECT_LT(parsed, 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NmeaFuzz, ::testing::Values(7, 21, 777));
+
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzz, RandomWireInputNeverCrashes) {
+  sim::Random random(GetParam());
+  for (int round = 0; round < 500; ++round) {
+    std::string wire;
+    const int len = random.uniform_int(0, 80);
+    for (int i = 0; i < len; ++i) {
+      wire.push_back(static_cast<char>(random.uniform_int(32, 126)));
+    }
+    // Must either decode to a valid payload or return nullopt — never
+    // throw, never crash.
+    EXPECT_NO_THROW({
+      const auto decoded = perpos::runtime::decode_payload(wire);
+      if (decoded) {
+        EXPECT_TRUE(perpos::runtime::is_encodable(*decoded));
+      }
+    });
+  }
+}
+
+TEST_P(CodecFuzz, EncodeDecodeIsStableUnderRandomFixes) {
+  sim::Random random(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    core::PositionFix fix;
+    fix.position = {random.uniform(-90.0, 90.0),
+                    random.uniform(-180.0, 180.0), random.uniform(-100, 9000)};
+    fix.horizontal_accuracy_m = random.uniform(0.0, 500.0);
+    fix.timestamp = sim::SimTime{random.uniform_int(0, 1 << 30)};
+    fix.technology = round % 2 == 0 ? "GPS" : "WiFi";
+    const auto wire =
+        perpos::runtime::encode_payload(core::Payload::make(fix));
+    const auto back = perpos::runtime::decode_payload(wire);
+    ASSERT_TRUE(back.has_value());
+    const auto& f = back->as<core::PositionFix>();
+    EXPECT_NEAR(f.position.latitude_deg, fix.position.latitude_deg, 1e-8);
+    EXPECT_NEAR(f.position.longitude_deg, fix.position.longitude_deg, 1e-8);
+    EXPECT_EQ(f.timestamp, fix.timestamp);
+    EXPECT_EQ(f.technology, fix.technology);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Values(5, 55, 555));

@@ -1,0 +1,395 @@
+// Tests for the mini service platform: registry, bundles, the dependency-
+// resolving graph assembler, the payload codec and distributed deployment.
+
+#include "perpos/core/components.hpp"
+#include "perpos/core/data_types.hpp"
+#include "perpos/runtime/assembler.hpp"
+#include "perpos/runtime/bundle.hpp"
+#include "perpos/runtime/distribution.hpp"
+#include "perpos/runtime/payload_codec.hpp"
+#include "perpos/runtime/registry.hpp"
+#include "perpos/wifi/scan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rt = perpos::runtime;
+namespace core = perpos::core;
+namespace sim = perpos::sim;
+
+namespace {
+
+struct Temperature {
+  double celsius = 0.0;
+};
+
+}  // namespace
+
+TEST(Registry, RegisterAndFind) {
+  rt::ServiceRegistry reg;
+  auto svc = std::make_shared<int>(7);
+  reg.register_service("counter", svc, {{"flavor", "vanilla"}});
+  EXPECT_EQ(reg.size(), 1u);
+  const auto refs = reg.find("counter");
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(*std::static_pointer_cast<int>(refs[0].service), 7);
+  EXPECT_TRUE(reg.find("unknown").empty());
+}
+
+TEST(Registry, PropertyFilter) {
+  rt::ServiceRegistry reg;
+  reg.register_service("pos", std::make_shared<int>(1), {{"tech", "GPS"}});
+  reg.register_service("pos", std::make_shared<int>(2), {{"tech", "WiFi"}});
+  const auto gps = reg.find("pos", {{"tech", "GPS"}});
+  ASSERT_EQ(gps.size(), 1u);
+  EXPECT_EQ(*std::static_pointer_cast<int>(gps[0].service), 1);
+  EXPECT_EQ(reg.find("pos").size(), 2u);
+  EXPECT_TRUE(reg.find("pos", {{"tech", "BLE"}}).empty());
+}
+
+TEST(Registry, TypedGet) {
+  rt::ServiceRegistry reg;
+  reg.register_service("t", std::make_shared<Temperature>(Temperature{21.5}));
+  auto t = reg.get<Temperature>("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_DOUBLE_EQ(t->celsius, 21.5);
+  EXPECT_EQ(reg.get<Temperature>("absent"), nullptr);
+}
+
+TEST(Registry, UnregisterRemoves) {
+  rt::ServiceRegistry reg;
+  const auto id = reg.register_service("x", std::make_shared<int>(1));
+  EXPECT_TRUE(reg.unregister(id));
+  EXPECT_FALSE(reg.unregister(id));
+  EXPECT_TRUE(reg.find("x").empty());
+}
+
+TEST(Registry, ListenersObserveLifecycle) {
+  rt::ServiceRegistry reg;
+  std::vector<std::string> events;
+  const auto token = reg.add_listener(
+      [&](rt::ServiceEvent e, const rt::ServiceRef& ref) {
+        events.push_back((e == rt::ServiceEvent::kRegistered ? "+" : "-") +
+                         ref.interface_name);
+      });
+  const auto id = reg.register_service("svc", std::make_shared<int>(0));
+  reg.unregister(id);
+  reg.remove_listener(token);
+  reg.register_service("svc", std::make_shared<int>(0));
+  EXPECT_EQ(events, (std::vector<std::string>{"+svc", "-svc"}));
+}
+
+namespace {
+
+class RecordingBundle final : public rt::Bundle {
+ public:
+  RecordingBundle(std::string name, std::vector<std::string>& log)
+      : Bundle(std::move(name)), log_(log) {}
+  void start(rt::BundleContext& ctx) override {
+    log_.push_back("start:" + name());
+    ctx.register_service("svc/" + name(), std::make_shared<int>(1));
+  }
+  void stop(rt::BundleContext&) override { log_.push_back("stop:" + name()); }
+
+ private:
+  std::vector<std::string>& log_;
+};
+
+}  // namespace
+
+TEST(Framework, StartStopOrder) {
+  rt::Framework fw;
+  std::vector<std::string> log;
+  fw.install(std::make_unique<RecordingBundle>("a", log));
+  fw.install(std::make_unique<RecordingBundle>("b", log));
+  fw.start_all();
+  EXPECT_EQ(fw.registry().size(), 2u);
+  fw.stop_all();
+  EXPECT_EQ(log, (std::vector<std::string>{"start:a", "start:b", "stop:b",
+                                           "stop:a"}));
+  // Services auto-unregistered on stop.
+  EXPECT_EQ(fw.registry().size(), 0u);
+}
+
+TEST(Framework, IndividualStartStopAndStates) {
+  rt::Framework fw;
+  std::vector<std::string> log;
+  fw.install(std::make_unique<RecordingBundle>("a", log));
+  EXPECT_EQ(fw.find("a")->state(), rt::BundleState::kInstalled);
+  fw.start("a");
+  EXPECT_EQ(fw.find("a")->state(), rt::BundleState::kActive);
+  fw.start("a");  // Idempotent.
+  fw.stop("a");
+  EXPECT_EQ(fw.find("a")->state(), rt::BundleState::kStopped);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_THROW(fw.start("zzz"), std::invalid_argument);
+}
+
+TEST(Framework, BundleServicesTaggedWithBundleName) {
+  rt::Framework fw;
+  std::vector<std::string> log;
+  fw.install(std::make_unique<RecordingBundle>("tagger", log));
+  fw.start_all();
+  const auto refs = fw.registry().find("svc/tagger");
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].properties.at("bundle"), "tagger");
+}
+
+// --- Assembler -----------------------------------------------------------------
+
+TEST(Assembler, ResolvesLinearPipeline) {
+  core::ProcessingGraph g;
+  rt::GraphAssembler assembler(g);
+  auto source = std::make_shared<core::SourceComponent>(
+      "Src", std::vector<core::DataSpec>{core::provide<Temperature>()});
+  assembler.add("source", source);
+  assembler.add("sink", std::make_shared<core::ApplicationSink>());
+  const auto report = assembler.resolve();
+  EXPECT_TRUE(report.ok());
+  ASSERT_EQ(report.edges.size(), 1u);
+  EXPECT_EQ(report.edges[0].producer, "source");
+  EXPECT_EQ(report.edges[0].consumer, "sink");
+  source->push(Temperature{20.0});
+  EXPECT_NE(report.id_of("sink"), core::kInvalidComponent);
+}
+
+TEST(Assembler, ReportsUnsatisfiedRequirements) {
+  core::ProcessingGraph g;
+  rt::GraphAssembler assembler(g);
+  assembler.add("lonely",
+                std::make_shared<core::LambdaComponent>(
+                    "Needy",
+                    std::vector<core::InputRequirement>{
+                        core::require<Temperature>()},
+                    std::vector<core::DataSpec>{}, nullptr));
+  const auto report = assembler.resolve();
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.unsatisfied.size(), 1u);
+  EXPECT_EQ(report.unsatisfied[0].first, "lonely");
+  EXPECT_NE(report.unsatisfied[0].second.find("Temperature"),
+            std::string::npos);
+}
+
+TEST(Assembler, OptionalRequirementsDontFail) {
+  core::ProcessingGraph g;
+  rt::GraphAssembler assembler(g);
+  assembler.add("optional-consumer",
+                std::make_shared<core::LambdaComponent>(
+                    "Opt",
+                    std::vector<core::InputRequirement>{core::require<
+                        Temperature>("", /*optional=*/true)},
+                    std::vector<core::DataSpec>{}, nullptr));
+  EXPECT_TRUE(assembler.resolve().ok());
+}
+
+TEST(Assembler, IncrementalExtension) {
+  // The paper's first requirement: add a new positioning mechanism without
+  // changing existing components — later contributions wire to earlier.
+  core::ProcessingGraph g;
+  rt::GraphAssembler assembler(g);
+  auto source = std::make_shared<core::SourceComponent>(
+      "Src", std::vector<core::DataSpec>{core::provide<Temperature>()});
+  assembler.add("source", source);
+  auto first = assembler.resolve();
+  EXPECT_TRUE(first.ok());
+
+  assembler.add("late-sink", std::make_shared<core::ApplicationSink>());
+  const auto second = assembler.resolve();
+  EXPECT_TRUE(second.ok());
+  ASSERT_EQ(second.edges.size(), 1u);
+  EXPECT_EQ(second.edges[0].consumer, "late-sink");
+}
+
+TEST(Assembler, DuplicateNamesRejected) {
+  core::ProcessingGraph g;
+  rt::GraphAssembler assembler(g);
+  assembler.add("x", std::make_shared<core::ApplicationSink>());
+  EXPECT_THROW(assembler.add("x", std::make_shared<core::ApplicationSink>()),
+               std::invalid_argument);
+}
+
+// --- Payload codec --------------------------------------------------------------
+
+TEST(Codec, RawFragmentRoundTrip) {
+  const auto p = core::Payload::make(core::RawFragment{"$GPGGA,1\r\n"});
+  ASSERT_TRUE(rt::is_encodable(p));
+  const auto back = rt::decode_payload(rt::encode_payload(p));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->as<core::RawFragment>().bytes, "$GPGGA,1\r\n");
+}
+
+TEST(Codec, PositionFixRoundTrip) {
+  core::PositionFix fix;
+  fix.position = {56.1697123, 10.1994456, 48.25};
+  fix.horizontal_accuracy_m = 3.5;
+  fix.timestamp = sim::SimTime::from_seconds(12.75);
+  fix.technology = "GPS";
+  const auto back =
+      rt::decode_payload(rt::encode_payload(core::Payload::make(fix)));
+  ASSERT_TRUE(back.has_value());
+  const auto& f = back->as<core::PositionFix>();
+  EXPECT_NEAR(f.position.latitude_deg, 56.1697123, 1e-8);
+  EXPECT_NEAR(f.horizontal_accuracy_m, 3.5, 1e-3);
+  EXPECT_EQ(f.timestamp, fix.timestamp);
+  EXPECT_EQ(f.technology, "GPS");
+}
+
+TEST(Codec, RssiScanRoundTrip) {
+  perpos::wifi::RssiScan scan;
+  scan.timestamp = sim::SimTime::from_millis(1500);
+  scan.readings = {{"AP-1", -42.5}, {"AP-2", -77.25}};
+  const auto back =
+      rt::decode_payload(rt::encode_payload(core::Payload::make(scan)));
+  ASSERT_TRUE(back.has_value());
+  const auto& s = back->as<perpos::wifi::RssiScan>();
+  ASSERT_EQ(s.readings.size(), 2u);
+  EXPECT_EQ(s.readings[1].ap_id, "AP-2");
+  EXPECT_NEAR(s.readings[1].rssi_dbm, -77.25, 0.01);
+}
+
+TEST(Codec, RoomFixRoundTrip) {
+  core::RoomFix room;
+  room.building = "ABUILD";
+  room.room = "O-S2";
+  room.floor = 0;
+  room.local = {12.0, 4.0};
+  room.confidence = 0.8;
+  const auto back =
+      rt::decode_payload(rt::encode_payload(core::Payload::make(room)));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->as<core::RoomFix>().room, "O-S2");
+
+  core::RoomFix outside;
+  outside.building = "B";
+  const auto back2 =
+      rt::decode_payload(rt::encode_payload(core::Payload::make(outside)));
+  ASSERT_TRUE(back2.has_value());
+  EXPECT_TRUE(back2->as<core::RoomFix>().room.empty());
+}
+
+TEST(Codec, UnsupportedTypeThrows) {
+  EXPECT_THROW(rt::encode_payload(core::Payload::make(Temperature{1.0})),
+               std::invalid_argument);
+  EXPECT_FALSE(rt::is_encodable(core::Payload::make(Temperature{1.0})));
+}
+
+TEST(Codec, MalformedWireRejected) {
+  EXPECT_FALSE(rt::decode_payload("").has_value());
+  EXPECT_FALSE(rt::decode_payload("NOPE").has_value());
+  EXPECT_FALSE(rt::decode_payload("BOGUS body").has_value());
+  EXPECT_FALSE(rt::decode_payload("FIX notanumber").has_value());
+  EXPECT_FALSE(rt::decode_payload("RSSI abc").has_value());
+}
+
+// --- Distribution ---------------------------------------------------------------
+
+class DistributionFixture : public ::testing::Test {
+ protected:
+  DistributionFixture()
+      : net(scheduler, random), graph(&scheduler.clock()),
+        deployment(graph, net) {
+    mobile = deployment.add_host("mobile");
+    server = deployment.add_host("server");
+    net.set_link(mobile, server,
+                 {sim::SimTime::from_millis(30), 0.0, {}});
+    net.set_link(server, mobile,
+                 {sim::SimTime::from_millis(30), 0.0, {}});
+  }
+
+  sim::Scheduler scheduler;
+  sim::Random random{42};
+  sim::Network net;
+  core::ProcessingGraph graph;
+  rt::DistributedDeployment deployment;
+  sim::HostId mobile{}, server{};
+};
+
+TEST_F(DistributionFixture, CrossHostEdgeIsRemoted) {
+  auto source = std::make_shared<core::SourceComponent>(
+      "GPS",
+      std::vector<core::DataSpec>{core::provide<core::RawFragment>()});
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = graph.add(source);
+  const auto z = graph.add(sink);
+  graph.connect(a, z);
+  deployment.assign(a, mobile);
+  deployment.assign(z, server);
+  deployment.deploy();
+
+  // The direct edge is replaced by egress/ingress.
+  EXPECT_EQ(graph.size(), 4u);
+  source->push(core::RawFragment{"hello"});
+  EXPECT_EQ(sink->received(), 0u);  // In flight.
+  scheduler.run_all();
+  ASSERT_EQ(sink->received(), 1u);
+  EXPECT_EQ(sink->last()->payload.as<core::RawFragment>().bytes, "hello");
+  EXPECT_DOUBLE_EQ(scheduler.now().millis(), 30.0);
+  EXPECT_EQ(deployment.data_messages(mobile, server), 1u);
+}
+
+TEST_F(DistributionFixture, SameHostEdgeStaysLocal) {
+  auto source = std::make_shared<core::SourceComponent>(
+      "GPS",
+      std::vector<core::DataSpec>{core::provide<core::RawFragment>()});
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = graph.add(source);
+  const auto z = graph.add(sink);
+  graph.connect(a, z);
+  deployment.assign(a, mobile);
+  deployment.assign(z, mobile);
+  deployment.deploy();
+  EXPECT_EQ(graph.size(), 2u);  // No egress/ingress added.
+  source->push(core::RawFragment{"x"});
+  EXPECT_EQ(sink->received(), 1u);  // Synchronous, no network.
+  EXPECT_EQ(deployment.data_messages(mobile, server), 0u);
+}
+
+TEST_F(DistributionFixture, UnassignedComponentsStayLocal) {
+  auto source = std::make_shared<core::SourceComponent>(
+      "GPS",
+      std::vector<core::DataSpec>{core::provide<core::RawFragment>()});
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = graph.add(source);
+  const auto z = graph.add(sink);
+  graph.connect(a, z);
+  deployment.assign(a, mobile);  // Sink unassigned.
+  deployment.deploy();
+  EXPECT_EQ(graph.size(), 2u);
+}
+
+TEST_F(DistributionFixture, RemoteCallCountsControlMessages) {
+  int called = 0;
+  deployment.remote_call(server, mobile, [&] { ++called; });
+  EXPECT_EQ(called, 1);
+  EXPECT_EQ(deployment.control_messages(server, mobile), 1u);
+  EXPECT_EQ(deployment.control_messages(mobile, server), 0u);
+  scheduler.run_all();
+  // Control marker counted on the link but not routed as data.
+  EXPECT_EQ(deployment.data_messages(server, mobile), 0u);
+}
+
+TEST_F(DistributionFixture, PipelineAcrossHostsKeepsOrder) {
+  auto source = std::make_shared<core::SourceComponent>(
+      "GPS",
+      std::vector<core::DataSpec>{core::provide<core::RawFragment>()});
+  auto sink = std::make_shared<core::ApplicationSink>();
+  std::vector<std::string> received;
+  sink->set_callback([&](const core::Sample& s) {
+    received.push_back(s.payload.as<core::RawFragment>().bytes);
+  });
+  const auto a = graph.add(source);
+  const auto z = graph.add(sink);
+  graph.connect(a, z);
+  deployment.assign(a, mobile);
+  deployment.assign(z, server);
+  deployment.deploy();
+  for (int i = 0; i < 5; ++i) {
+    source->push(core::RawFragment{std::to_string(i)});
+  }
+  scheduler.run_all();
+  EXPECT_EQ(received,
+            (std::vector<std::string>{"0", "1", "2", "3", "4"}));
+}
+
+TEST_F(DistributionFixture, AssignUnknownComponentThrows) {
+  EXPECT_THROW(deployment.assign(42, mobile), std::invalid_argument);
+}

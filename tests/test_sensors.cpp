@@ -1,0 +1,424 @@
+// Tests for the sensor substrate: trajectories, the GPS error model, the
+// simulated GPS sensor driving the full NMEA pipeline, the WiFi scanner
+// and trace record/replay (the paper's emulator component).
+
+#include "perpos/core/channel.hpp"
+#include "perpos/core/components.hpp"
+#include "perpos/geo/distance.hpp"
+#include "perpos/locmodel/fixtures.hpp"
+#include "perpos/sensors/emulator.hpp"
+#include "perpos/sensors/gps_model.hpp"
+#include "perpos/sensors/gps_sensor.hpp"
+#include "perpos/sensors/pipeline_components.hpp"
+#include "perpos/sensors/trajectory.hpp"
+#include "perpos/sensors/wifi_scanner.hpp"
+#include "perpos/wifi/signal_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace sensors = perpos::sensors;
+namespace core = perpos::core;
+namespace geo = perpos::geo;
+namespace sim = perpos::sim;
+namespace lm = perpos::locmodel;
+using geo::LocalPoint;
+
+TEST(Trajectory, PositionInterpolation) {
+  const sensors::Trajectory t =
+      sensors::TrajectoryBuilder({0, 0}).walk_to({10, 0}, 2.0).build();
+  EXPECT_EQ(t.position_at(sim::SimTime::zero()), (LocalPoint{0, 0}));
+  const LocalPoint mid = t.position_at(sim::SimTime::from_seconds(2.5));
+  EXPECT_NEAR(mid.x, 5.0, 1e-9);
+  EXPECT_NEAR(mid.y, 0.0, 1e-9);
+  EXPECT_EQ(t.position_at(sim::SimTime::from_seconds(100.0)),
+            (LocalPoint{10, 0}));
+  EXPECT_DOUBLE_EQ(t.duration().seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(t.length_m(), 10.0);
+}
+
+TEST(Trajectory, PausesHoldPosition) {
+  const sensors::Trajectory t = sensors::TrajectoryBuilder({0, 0})
+                                    .walk_to({10, 0}, 2.0)
+                                    .pause(4.0)
+                                    .walk_to({10, 10}, 2.0)
+                                    .build();
+  EXPECT_EQ(t.position_at(sim::SimTime::from_seconds(7.0)),
+            (LocalPoint{10, 0}));
+  EXPECT_DOUBLE_EQ(t.speed_at(sim::SimTime::from_seconds(7.0)), 0.0);
+  EXPECT_DOUBLE_EQ(t.speed_at(sim::SimTime::from_seconds(2.0)), 2.0);
+  EXPECT_DOUBLE_EQ(t.duration().seconds(), 5.0 + 4.0 + 5.0);
+}
+
+TEST(Trajectory, SampleCount) {
+  const sensors::Trajectory t =
+      sensors::TrajectoryBuilder({0, 0}).walk_to({10, 0}, 1.0).build();
+  const auto samples = t.sample(sim::SimTime::from_seconds(1.0));
+  EXPECT_EQ(samples.size(), 11u);  // 0..10 inclusive.
+}
+
+TEST(Trajectory, StationaryFixture) {
+  const sensors::Trajectory t = sensors::stationary({3, 4}, 60.0);
+  EXPECT_EQ(t.position_at(sim::SimTime::from_seconds(30.0)),
+            (LocalPoint{3, 4}));
+  EXPECT_DOUBLE_EQ(t.duration().seconds(), 60.0);
+  EXPECT_DOUBLE_EQ(t.length_m(), 0.0);
+}
+
+TEST(Trajectory, OfficeWalkStaysInFootprint) {
+  const lm::Building b = lm::make_office_building();
+  const sensors::Trajectory t = sensors::office_walk();
+  for (const LocalPoint& p : t.sample(sim::SimTime::from_seconds(1.0))) {
+    EXPECT_TRUE(b.inside_footprint(p))
+        << "left the building at " << p.x << "," << p.y;
+  }
+}
+
+TEST(Trajectory, OfficeWalkNeverCrossesWalls) {
+  const lm::Building b = lm::make_office_building();
+  const sensors::Trajectory t = sensors::office_walk();
+  const auto pts = t.sample(sim::SimTime::from_millis(500));
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_FALSE(b.crosses_wall(pts[i - 1], pts[i]))
+        << "wall crossed between step " << i - 1 << " and " << i;
+  }
+}
+
+TEST(GpsModel, OpenSkyErrorsAreModest) {
+  sim::Random random(42);
+  sensors::GpsModel model({}, random);
+  const geo::GeoPoint truth{56.17, 10.20, 50.0};
+  double total_err = 0.0;
+  int sats = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    const auto epoch =
+        model.step(sim::SimTime::from_seconds(i), truth, false);
+    total_err += epoch.error_m;
+    sats += epoch.satellites;
+    EXPECT_TRUE(epoch.has_fix);
+  }
+  EXPECT_LT(total_err / n, 8.0);
+  EXPECT_GT(static_cast<double>(sats) / n, 7.0);
+}
+
+TEST(GpsModel, DegradedEpochsAreWorse) {
+  sim::Random random(42);
+  sensors::GpsModel model({}, random);
+  const geo::GeoPoint truth{56.17, 10.20, 50.0};
+  double open_err = 0.0, degraded_err = 0.0;
+  int degraded_fix_losses = 0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    open_err += model.step(sim::SimTime::from_seconds(i), truth, false).error_m;
+  }
+  for (int i = 0; i < n; ++i) {
+    const auto e =
+        model.step(sim::SimTime::from_seconds(n + i), truth, true);
+    degraded_err += e.error_m;
+    if (!e.has_fix) ++degraded_fix_losses;
+    EXPECT_LE(e.satellites, 5);
+  }
+  EXPECT_GT(degraded_err / n, 2.0 * open_err / n);
+  EXPECT_GT(degraded_fix_losses, 30);  // Fix losses happen but not always.
+  EXPECT_LT(degraded_fix_losses, n);
+}
+
+TEST(GpsModel, HdopCorrelatesWithError) {
+  sim::Random random(7);
+  sensors::GpsModel model({}, random);
+  const geo::GeoPoint truth{56.17, 10.20, 50.0};
+  double low_hdop_err = 0.0, high_hdop_err = 0.0;
+  int low_n = 0, high_n = 0;
+  for (int i = 0; i < 500; ++i) {
+    const bool degraded = i % 2 == 0;
+    const auto e = model.step(sim::SimTime::from_seconds(i), truth, degraded);
+    if (e.hdop < 2.0) {
+      low_hdop_err += e.error_m;
+      ++low_n;
+    } else if (e.hdop > 5.0) {
+      high_hdop_err += e.error_m;
+      ++high_n;
+    }
+  }
+  ASSERT_GT(low_n, 10);
+  ASSERT_GT(high_n, 10);
+  EXPECT_GT(high_hdop_err / high_n, low_hdop_err / low_n);
+}
+
+class GpsPipelineFixture : public ::testing::Test {
+ protected:
+  GpsPipelineFixture()
+      : frame(geo::GeoPoint{56.1697, 10.1994, 50.0}),
+        trajectory(sensors::TrajectoryBuilder({0, 0})
+                       .walk_to({60, 0}, 1.5)
+                       .build()),
+        graph(&scheduler.clock()) {}
+
+  void build_pipeline(sensors::GpsSensorConfig config = {},
+                      const lm::Building* indoor = nullptr) {
+    sensor = std::make_shared<sensors::GpsSensor>(
+        scheduler, random, trajectory, frame, config, indoor);
+    parser = std::make_shared<sensors::NmeaParser>();
+    interpreter = std::make_shared<sensors::NmeaInterpreter>();
+    sink = std::make_shared<core::ApplicationSink>();
+    sensor_id = graph.add(sensor);
+    parser_id = graph.add(parser);
+    interpreter_id = graph.add(interpreter);
+    sink_id = graph.add(sink);
+    graph.connect(sensor_id, parser_id);
+    graph.connect(parser_id, interpreter_id);
+    graph.connect(interpreter_id, sink_id);
+  }
+
+  sim::Scheduler scheduler;
+  sim::Random random{42};
+  geo::LocalFrame frame;
+  sensors::Trajectory trajectory;
+  core::ProcessingGraph graph;
+  std::shared_ptr<sensors::GpsSensor> sensor;
+  std::shared_ptr<sensors::NmeaParser> parser;
+  std::shared_ptr<sensors::NmeaInterpreter> interpreter;
+  std::shared_ptr<core::ApplicationSink> sink;
+  core::ComponentId sensor_id{}, parser_id{}, interpreter_id{}, sink_id{};
+};
+
+TEST_F(GpsPipelineFixture, ProducesFixesAtEpochRate) {
+  build_pipeline();
+  sensor->start();
+  scheduler.run_until(sim::SimTime::from_seconds(30.0));
+  EXPECT_EQ(sensor->epochs(), 30u);
+  EXPECT_GT(sink->received(), 25u);  // Nearly one fix per epoch outdoors.
+  EXPECT_EQ(parser->parse_errors(), 0u);
+}
+
+TEST_F(GpsPipelineFixture, FixesTrackTheTrajectory) {
+  build_pipeline();
+  sensor->start();
+  std::vector<double> errors;
+  sink->set_callback([&](const core::Sample& s) {
+    const auto& fix = s.payload.as<core::PositionFix>();
+    const geo::GeoPoint truth = sensor->truth_at(s.timestamp);
+    errors.push_back(geo::haversine_m(fix.position, truth));
+  });
+  scheduler.run_until(sim::SimTime::from_seconds(40.0));
+  ASSERT_GT(errors.size(), 30u);
+  double mean = 0.0;
+  for (double e : errors) mean += e;
+  mean /= static_cast<double>(errors.size());
+  EXPECT_LT(mean, 10.0);
+}
+
+TEST_F(GpsPipelineFixture, FragmentationProducesManyStringsPerSentence) {
+  sensors::GpsSensorConfig config;
+  config.fragments_per_sentence = 3;
+  config.emit_gsa = false;
+  build_pipeline(config);
+  sensor->start();
+  scheduler.run_until(sim::SimTime::from_seconds(5.0));
+  // 5 epochs, 1 sentence each, 3 fragments per sentence.
+  EXPECT_EQ(graph.info(sensor_id).emitted, 15u);
+  EXPECT_EQ(graph.info(parser_id).emitted, 5u);
+}
+
+TEST_F(GpsPipelineFixture, IndoorDegradationReducesFixes) {
+  const lm::Building building = lm::make_office_building();
+  // Walk entirely inside the building footprint.
+  trajectory = sensors::TrajectoryBuilder({5, 10})
+                   .walk_to({30, 10}, 1.0)
+                   .build();
+  build_pipeline({}, &building);
+  sensor->start();
+  scheduler.run_until(sim::SimTime::from_seconds(25.0));
+  EXPECT_EQ(sensor->epochs(), 25u);
+  EXPECT_LT(sink->received(), sensor->epochs());  // Fix losses indoors.
+  EXPECT_GT(interpreter->skipped(), 0u);          // No-fix sentences seen.
+}
+
+TEST_F(GpsPipelineFixture, ScriptedOutage) {
+  build_pipeline();
+  sensor->add_outage(sim::SimTime::from_seconds(10.0),
+                     sim::SimTime::from_seconds(20.0));
+  sensor->set_record_epochs(true);
+  sensor->start();
+  scheduler.run_until(sim::SimTime::from_seconds(30.0));
+  int degraded_sats = 0;
+  for (const auto& e : sensor->recorded_epochs()) {
+    if (e.time >= sim::SimTime::from_seconds(10.0) &&
+        e.time <= sim::SimTime::from_seconds(20.0) && e.satellites <= 5) {
+      ++degraded_sats;
+    }
+  }
+  EXPECT_GT(degraded_sats, 5);
+}
+
+TEST_F(GpsPipelineFixture, SetActiveStopsEpochs) {
+  build_pipeline();
+  sensor->start();
+  scheduler.run_until(sim::SimTime::from_seconds(10.0));
+  const auto epochs_at_10 = sensor->epochs();
+  sensor->set_active(false);
+  scheduler.run_until(sim::SimTime::from_seconds(20.0));
+  EXPECT_EQ(sensor->epochs(), epochs_at_10);
+  sensor->set_active(true);
+  scheduler.run_until(sim::SimTime::from_seconds(30.0));
+  EXPECT_GT(sensor->epochs(), epochs_at_10);
+  // Active time excludes the 10 s sleep.
+  EXPECT_NEAR(sensor->active_time().seconds(), 20.0, 1.1);
+}
+
+TEST_F(GpsPipelineFixture, StopCancelsTicks) {
+  build_pipeline();
+  sensor->start();
+  scheduler.run_until(sim::SimTime::from_seconds(5.0));
+  sensor->stop();
+  scheduler.run_all();
+  EXPECT_EQ(sensor->epochs(), 5u);
+}
+
+TEST(WifiScanner, EmitsScansAtConfiguredRate) {
+  sim::Scheduler scheduler;
+  sim::Random random(9);
+  const lm::Building building = lm::make_office_building();
+  const perpos::wifi::SignalModel model(perpos::wifi::office_access_points(),
+                                perpos::wifi::SignalModelConfig{}, &building);
+  const sensors::Trajectory trajectory = sensors::office_walk();
+  core::ProcessingGraph graph(&scheduler.clock());
+  auto scanner = std::make_shared<sensors::WifiScanner>(
+      scheduler, random, trajectory, model, sim::SimTime::from_seconds(2.0));
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = graph.add(scanner);
+  const auto z = graph.add(sink);
+  graph.connect(a, z);
+  scanner->start();
+  scheduler.run_until(sim::SimTime::from_seconds(20.0));
+  EXPECT_EQ(scanner->scans(), 10u);
+  EXPECT_EQ(sink->received(), 10u);
+  ASSERT_TRUE(sink->last().has_value());
+  EXPECT_FALSE(
+      sink->last()->payload.as<perpos::wifi::RssiScan>().readings.empty());
+}
+
+TEST(Trace, SaveLoadRoundTripRaw) {
+  sensors::Trace trace;
+  trace.add(sim::SimTime::from_seconds(1.0),
+            core::Payload::make(core::RawFragment{"$GPGGA,1\r\n"}));
+  trace.add(sim::SimTime::from_seconds(2.0),
+            core::Payload::make(core::RawFragment{"with\ttab"}));
+  std::stringstream s;
+  EXPECT_EQ(trace.save(s), 2u);
+  const sensors::Trace loaded = sensors::Trace::load(s);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.entries()[0].payload.as<core::RawFragment>().bytes,
+            "$GPGGA,1\r\n");
+  EXPECT_EQ(loaded.entries()[1].payload.as<core::RawFragment>().bytes,
+            "with\ttab");
+  EXPECT_EQ(loaded.entries()[1].time, sim::SimTime::from_seconds(2.0));
+}
+
+TEST(Trace, SaveLoadRoundTripRssi) {
+  sensors::Trace trace;
+  perpos::wifi::RssiScan scan;
+  scan.timestamp = sim::SimTime::from_seconds(3.0);
+  scan.readings = {{"AP-1", -40.25}, {"AP-2", -61.5}};
+  trace.add(scan.timestamp, core::Payload::make(scan));
+  std::stringstream s;
+  trace.save(s);
+  const sensors::Trace loaded = sensors::Trace::load(s);
+  ASSERT_EQ(loaded.size(), 1u);
+  const auto& back = loaded.entries()[0].payload.as<perpos::wifi::RssiScan>();
+  ASSERT_EQ(back.readings.size(), 2u);
+  EXPECT_EQ(back.readings[0].ap_id, "AP-1");
+  EXPECT_NEAR(back.readings[0].rssi_dbm, -40.25, 0.01);
+}
+
+TEST(Trace, LoadRejectsMalformedLines) {
+  std::stringstream s("not-a-number RAW xx\n");
+  EXPECT_THROW(sensors::Trace::load(s), std::runtime_error);
+  std::stringstream s2("100 BOGUS data\n");
+  EXPECT_THROW(sensors::Trace::load(s2), std::runtime_error);
+}
+
+TEST_F(GpsPipelineFixture, RecorderFeatureCapturesSensorOutput) {
+  build_pipeline();
+  auto recorder = std::make_shared<sensors::TraceRecorderFeature>();
+  graph.attach_feature(sensor_id, recorder);
+  sensor->start();
+  scheduler.run_until(sim::SimTime::from_seconds(10.0));
+  EXPECT_EQ(recorder->trace().size(), graph.info(sensor_id).emitted);
+}
+
+TEST_F(GpsPipelineFixture, EmulatorReplayMatchesLiveRun) {
+  // Record a live run, then replay it through an EmulatorSource that takes
+  // the sensor's place — the paper's validation methodology.
+  build_pipeline();
+  auto recorder = std::make_shared<sensors::TraceRecorderFeature>();
+  graph.attach_feature(sensor_id, recorder);
+  std::vector<std::string> live_fixes;
+  sink->set_callback([&](const core::Sample& s) {
+    live_fixes.push_back(
+        core::to_string(s.payload.as<core::PositionFix>()));
+  });
+  sensor->start();
+  scheduler.run_until(sim::SimTime::from_seconds(20.0));
+  sensor->stop();
+
+  // Second graph: emulator takes the sensor's place.
+  sim::Scheduler replay_sched;
+  core::ProcessingGraph replay_graph(&replay_sched.clock());
+  auto emulator = std::make_shared<sensors::EmulatorSource>(
+      replay_sched, recorder->take_trace(), "GPS");
+  auto parser2 = std::make_shared<sensors::NmeaParser>();
+  auto interpreter2 = std::make_shared<sensors::NmeaInterpreter>();
+  auto sink2 = std::make_shared<core::ApplicationSink>();
+  std::vector<std::string> replay_fixes;
+  sink2->set_callback([&](const core::Sample& s) {
+    replay_fixes.push_back(
+        core::to_string(s.payload.as<core::PositionFix>()));
+  });
+  const auto e = replay_graph.add(emulator);
+  const auto p = replay_graph.add(parser2);
+  const auto i = replay_graph.add(interpreter2);
+  const auto z = replay_graph.add(sink2);
+  replay_graph.connect(e, p);
+  replay_graph.connect(p, i);
+  replay_graph.connect(i, z);
+  emulator->start();
+  replay_sched.run_all();
+
+  EXPECT_EQ(replay_fixes, live_fixes);
+  EXPECT_GT(emulator->replayed(), 0u);
+}
+
+TEST(Trace, FileRoundTrip) {
+  sensors::Trace trace;
+  trace.add(sim::SimTime::from_seconds(1.0),
+            core::Payload::make(core::RawFragment{"$GPGGA,x*00\r\n"}));
+  perpos::wifi::RssiScan scan;
+  scan.timestamp = sim::SimTime::from_seconds(2.0);
+  scan.readings = {{"AP", -50.0}};
+  trace.add(scan.timestamp, core::Payload::make(scan));
+
+  const std::string path = "/tmp/perpos_trace_test.txt";
+  trace.save_file(path);
+  const sensors::Trace loaded = sensors::Trace::load_file(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.entries()[0].payload.as<core::RawFragment>().bytes,
+            "$GPGGA,x*00\r\n");
+  EXPECT_EQ(loaded.entries()[1].payload.as<perpos::wifi::RssiScan>()
+                .readings[0]
+                .ap_id,
+            "AP");
+  std::remove(path.c_str());
+}
+
+TEST(Trace, FileErrorsThrow) {
+  EXPECT_THROW(sensors::Trace::load_file("/nonexistent/path/x.txt"),
+               std::runtime_error);
+  sensors::Trace trace;
+  EXPECT_THROW(trace.save_file("/nonexistent/dir/x.txt"),
+               std::runtime_error);
+}

@@ -1,0 +1,182 @@
+// Tests for the Positioning Layer services: track history queries and
+// geofencing with hysteresis and dwell accounting.
+
+#include "perpos/core/channel.hpp"
+#include "perpos/core/components.hpp"
+#include "perpos/core/positioning.hpp"
+#include "perpos/core/services.hpp"
+#include "perpos/geo/local_frame.hpp"
+
+#include <gtest/gtest.h>
+
+namespace core = perpos::core;
+namespace geo = perpos::geo;
+namespace sim = perpos::sim;
+
+namespace {
+
+const geo::GeoPoint kBase{56.1697, 10.1994, 50.0};
+
+struct Rig {
+  Rig() : frame(kBase), channels(graph), service(graph, channels) {
+    source = std::make_shared<core::SourceComponent>(
+        "GPS",
+        std::vector<core::DataSpec>{core::provide<core::PositionFix>()});
+    graph.add(source);
+    provider = &service.request_provider(core::Criteria{});
+  }
+
+  void push(double east, double north, double t_s) {
+    core::PositionFix fix;
+    fix.position = frame.to_geodetic(geo::LocalPoint{east, north});
+    fix.horizontal_accuracy_m = 3.0;
+    fix.timestamp = sim::SimTime::from_seconds(t_s);
+    fix.technology = "GPS";
+    source->push(fix);
+  }
+
+  geo::LocalFrame frame;
+  core::ProcessingGraph graph;
+  core::ChannelManager channels;
+  core::PositioningService service;
+  std::shared_ptr<core::SourceComponent> source;
+  core::LocationProvider* provider = nullptr;
+};
+
+}  // namespace
+
+TEST(TrackLog, RecordsFixesInOrder) {
+  Rig rig;
+  core::TrackLogService log(*rig.provider);
+  rig.push(0, 0, 1.0);
+  rig.push(10, 0, 2.0);
+  rig.push(20, 0, 3.0);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_DOUBLE_EQ(log.points().front().timestamp.seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(log.points().back().timestamp.seconds(), 3.0);
+}
+
+TEST(TrackLog, CapacityEvictsOldest) {
+  Rig rig;
+  core::TrackLogService log(*rig.provider, 3);
+  for (int i = 0; i < 6; ++i) rig.push(i * 1.0, 0, i);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_DOUBLE_EQ(log.points().front().timestamp.seconds(), 3.0);
+}
+
+TEST(TrackLog, WindowQueries) {
+  Rig rig;
+  core::TrackLogService log(*rig.provider);
+  for (int i = 0; i <= 10; ++i) rig.push(i * 10.0, 0, i);
+  const auto window = log.between(sim::SimTime::from_seconds(3.0),
+                                  sim::SimTime::from_seconds(6.0));
+  EXPECT_EQ(window.size(), 4u);  // t = 3,4,5,6.
+  // 10 m per second: 30 m over the 3-6 s window.
+  EXPECT_NEAR(log.distance_m(sim::SimTime::from_seconds(3.0),
+                             sim::SimTime::from_seconds(6.0)),
+              30.0, 0.5);
+  EXPECT_NEAR(log.average_speed_mps(sim::SimTime::from_seconds(3.0),
+                                    sim::SimTime::from_seconds(6.0)),
+              10.0, 0.2);
+  EXPECT_NEAR(log.total_distance_m(), 100.0, 1.0);
+}
+
+TEST(TrackLog, EmptyWindowsAreSafe) {
+  Rig rig;
+  core::TrackLogService log(*rig.provider);
+  EXPECT_TRUE(log.empty());
+  EXPECT_DOUBLE_EQ(log.distance_m({}, sim::SimTime::from_seconds(100)), 0.0);
+  EXPECT_DOUBLE_EQ(
+      log.average_speed_mps({}, sim::SimTime::from_seconds(100)), 0.0);
+  EXPECT_FALSE(log.nearest_in_time({}).has_value());
+}
+
+TEST(TrackLog, NearestInTime) {
+  Rig rig;
+  core::TrackLogService log(*rig.provider);
+  rig.push(0, 0, 1.0);
+  rig.push(10, 0, 5.0);
+  const auto p = log.nearest_in_time(sim::SimTime::from_seconds(4.0));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->timestamp.seconds(), 5.0);
+}
+
+TEST(TrackLog, UnsubscribesOnDestruction) {
+  Rig rig;
+  {
+    core::TrackLogService log(*rig.provider);
+    rig.push(0, 0, 1.0);
+    EXPECT_EQ(log.size(), 1u);
+  }
+  EXPECT_NO_THROW(rig.push(1, 0, 2.0));  // No dangling listener.
+}
+
+TEST(Geofence, EnterExitWithDwell) {
+  Rig rig;
+  core::GeofenceService fence(*rig.provider);
+  fence.add_zone({"home", rig.frame.to_geodetic(geo::LocalPoint{0, 0}),
+                  30.0, 40.0});
+  std::vector<core::GeofenceEvent> events;
+  fence.subscribe([&](const core::GeofenceEvent& e) { events.push_back(e); });
+
+  rig.push(100, 0, 1.0);  // Outside.
+  rig.push(10, 0, 2.0);   // Enter.
+  rig.push(5, 0, 3.0);    // Inside.
+  rig.push(100, 0, 10.0); // Exit after 8 s dwell.
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE(events[0].entered);
+  EXPECT_FALSE(events[1].entered);
+  EXPECT_DOUBLE_EQ(events[1].dwell.seconds(), 8.0);
+  EXPECT_DOUBLE_EQ(fence.total_dwell("home").seconds(), 8.0);
+}
+
+TEST(Geofence, HysteresisSuppressesBoundaryJitter) {
+  Rig rig;
+  core::GeofenceService fence(*rig.provider);
+  // Entry at 30 m, exit at 50 m: jitter between 32 and 45 m stays inside.
+  fence.add_zone({"zone", rig.frame.to_geodetic(geo::LocalPoint{0, 0}),
+                  30.0, 50.0});
+  int events = 0;
+  fence.subscribe([&](const core::GeofenceEvent&) { ++events; });
+  rig.push(20, 0, 1.0);  // Enter.
+  rig.push(35, 0, 2.0);  // Beyond entry radius but within exit: inside.
+  rig.push(45, 0, 3.0);
+  rig.push(33, 0, 4.0);
+  EXPECT_EQ(events, 1);
+  EXPECT_TRUE(fence.inside("zone"));
+  rig.push(60, 0, 5.0);  // Beyond exit radius: exit.
+  EXPECT_EQ(events, 2);
+  EXPECT_FALSE(fence.inside("zone"));
+}
+
+TEST(Geofence, MultipleZones) {
+  Rig rig;
+  core::GeofenceService fence(*rig.provider);
+  fence.add_zone({"a", rig.frame.to_geodetic(geo::LocalPoint{0, 0}),
+                  50.0, 60.0});
+  fence.add_zone({"b", rig.frame.to_geodetic(geo::LocalPoint{30, 0}),
+                  50.0, 60.0});
+  rig.push(15, 0, 1.0);  // Inside both.
+  EXPECT_EQ(fence.current_zones().size(), 2u);
+  EXPECT_EQ(fence.zone_names().size(), 2u);
+}
+
+TEST(Geofence, ZoneValidation) {
+  Rig rig;
+  core::GeofenceService fence(*rig.provider);
+  fence.add_zone({"x", kBase, 10.0, 20.0});
+  EXPECT_THROW(fence.add_zone({"x", kBase, 10.0, 20.0}),
+               std::invalid_argument);
+  EXPECT_THROW(fence.add_zone({"bad", kBase, 30.0, 20.0}),
+               std::invalid_argument);
+  EXPECT_THROW(fence.remove_zone("nope"), std::invalid_argument);
+  fence.remove_zone("x");
+  EXPECT_TRUE(fence.zone_names().empty());
+}
+
+TEST(Geofence, UnknownZoneQueries) {
+  Rig rig;
+  core::GeofenceService fence(*rig.provider);
+  EXPECT_FALSE(fence.inside("nothing"));
+  EXPECT_DOUBLE_EQ(fence.total_dwell("nothing").seconds(), 0.0);
+}

@@ -1,0 +1,247 @@
+// Tests for the discrete-event simulation substrate: deterministic
+// scheduling, cancellation, simulated time, network links and the seeded
+// random source.
+
+#include "perpos/sim/network.hpp"
+#include "perpos/sim/random.hpp"
+#include "perpos/sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sim = perpos::sim;
+
+TEST(SimTime, ArithmeticAndComparison) {
+  const sim::SimTime a = sim::SimTime::from_seconds(1.5);
+  const sim::SimTime b = sim::SimTime::from_millis(500);
+  EXPECT_EQ((a + b).ns, 2'000'000'000);
+  EXPECT_EQ((a - b).ns, 1'000'000'000);
+  EXPECT_LT(b, a);
+  EXPECT_DOUBLE_EQ(a.seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(b.millis(), 500.0);
+}
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  sim::Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(sim::SimTime::from_seconds(3.0), [&] { order.push_back(3); });
+  sched.schedule_at(sim::SimTime::from_seconds(1.0), [&] { order.push_back(1); });
+  sched.schedule_at(sim::SimTime::from_seconds(2.0), [&] { order.push_back(2); });
+  EXPECT_EQ(sched.run_all(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, SimultaneousEventsRunFifo) {
+  sim::Scheduler sched;
+  std::vector<int> order;
+  const sim::SimTime t = sim::SimTime::from_seconds(1.0);
+  for (int i = 0; i < 5; ++i) {
+    sched.schedule_at(t, [&order, i] { order.push_back(i); });
+  }
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, ClockAdvancesToEventTime) {
+  sim::Scheduler sched;
+  sim::SimTime seen;
+  sched.schedule_at(sim::SimTime::from_seconds(7.5),
+                    [&] { seen = sched.now(); });
+  sched.run_all();
+  EXPECT_DOUBLE_EQ(seen.seconds(), 7.5);
+  EXPECT_DOUBLE_EQ(sched.now().seconds(), 7.5);
+}
+
+TEST(Scheduler, ScheduleAfterIsRelative) {
+  sim::Scheduler sched;
+  std::vector<double> times;
+  sched.schedule_at(sim::SimTime::from_seconds(2.0), [&] {
+    sched.schedule_after(sim::SimTime::from_seconds(0.5),
+                         [&] { times.push_back(sched.now().seconds()); });
+  });
+  sched.run_all();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 2.5);
+}
+
+TEST(Scheduler, RunUntilStopsAtLimit) {
+  sim::Scheduler sched;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sched.schedule_at(sim::SimTime::from_seconds(i), [&] { ++count; });
+  }
+  EXPECT_EQ(sched.run_until(sim::SimTime::from_seconds(5.0)), 5u);
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sched.now().seconds(), 5.0);
+  EXPECT_EQ(sched.pending(), 5u);
+}
+
+TEST(Scheduler, PastEventsRunAtCurrentTime) {
+  sim::Scheduler sched;
+  sched.run_until(sim::SimTime::from_seconds(10.0));
+  double when = -1.0;
+  sched.schedule_at(sim::SimTime::from_seconds(1.0),
+                    [&] { when = sched.now().seconds(); });
+  sched.run_all();
+  EXPECT_DOUBLE_EQ(when, 10.0);  // Never travels back in time.
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  sim::Scheduler sched;
+  bool ran = false;
+  const auto id = sched.schedule_at(sim::SimTime::from_seconds(1.0),
+                                    [&] { ran = true; });
+  EXPECT_TRUE(sched.cancel(id));
+  EXPECT_FALSE(sched.cancel(id));  // Double-cancel reports failure.
+  sched.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, CancelUnknownIdFails) {
+  sim::Scheduler sched;
+  EXPECT_FALSE(sched.cancel(0));
+  EXPECT_FALSE(sched.cancel(12345));
+}
+
+TEST(Scheduler, SelfReschedulingChainTerminatesWithRunUntil) {
+  sim::Scheduler sched;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    sched.schedule_after(sim::SimTime::from_seconds(1.0), tick);
+  };
+  sched.schedule_after(sim::SimTime::from_seconds(1.0), tick);
+  sched.run_until(sim::SimTime::from_seconds(10.0));
+  EXPECT_EQ(ticks, 10);
+}
+
+TEST(Random, DeterministicAcrossInstances) {
+  sim::Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  sim::Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1000000) == b.uniform_int(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Random, UniformBounds) {
+  sim::Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+    const int n = r.uniform_int(-2, 2);
+    EXPECT_GE(n, -2);
+    EXPECT_LE(n, 2);
+  }
+}
+
+TEST(Random, NormalMoments) {
+  sim::Random r(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal(5.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+TEST(Random, ChanceEdgeCases) {
+  sim::Random r(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Random, ZeroStddevNormalIsMean) {
+  sim::Random r(3);
+  EXPECT_DOUBLE_EQ(r.normal(42.0, 0.0), 42.0);
+}
+
+// --- Network -------------------------------------------------------------------
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  sim::Scheduler sched;
+  sim::Random random{99};
+  sim::Network net{sched, random};
+};
+
+TEST_F(NetworkTest, DeliversWithLatency) {
+  std::vector<std::string> received;
+  sim::SimTime at;
+  const auto a = net.add_host("a", nullptr);
+  const auto b = net.add_host("b", [&](sim::HostId, const std::string& m) {
+    received.push_back(m);
+    at = sched.now();
+  });
+  net.set_link(a, b, sim::LinkConfig{sim::SimTime::from_millis(40), 0.0, {}});
+  net.send(a, b, "hello");
+  sched.run_all();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "hello");
+  EXPECT_DOUBLE_EQ(at.millis(), 40.0);
+}
+
+TEST_F(NetworkTest, StatsCountMessagesAndBytes) {
+  const auto a = net.add_host("a", nullptr);
+  const auto b = net.add_host("b", [](sim::HostId, const std::string&) {});
+  net.send(a, b, "12345");
+  net.send(a, b, "xy");
+  sched.run_all();
+  const sim::LinkStats& s = net.stats(a, b);
+  EXPECT_EQ(s.messages_sent, 2u);
+  EXPECT_EQ(s.messages_delivered, 2u);
+  EXPECT_EQ(s.bytes_sent, 7u);
+}
+
+TEST_F(NetworkTest, LossyLinkDropsSomeMessages) {
+  const auto a = net.add_host("a", nullptr);
+  int received = 0;
+  const auto b =
+      net.add_host("b", [&](sim::HostId, const std::string&) { ++received; });
+  net.set_link(a, b, sim::LinkConfig{sim::SimTime::zero(), 0.5, {}});
+  for (int i = 0; i < 200; ++i) net.send(a, b, "x");
+  sched.run_all();
+  const sim::LinkStats& s = net.stats(a, b);
+  EXPECT_EQ(s.messages_sent, 200u);
+  EXPECT_EQ(s.messages_delivered, static_cast<std::uint64_t>(received));
+  EXPECT_GT(s.messages_dropped, 50u);
+  EXPECT_LT(s.messages_dropped, 150u);
+  EXPECT_EQ(s.messages_dropped + s.messages_delivered, 200u);
+}
+
+TEST_F(NetworkTest, DirectionalLinksAreIndependent) {
+  const auto a = net.add_host("a", [](sim::HostId, const std::string&) {});
+  const auto b = net.add_host("b", [](sim::HostId, const std::string&) {});
+  net.send(a, b, "ab");
+  sched.run_all();
+  EXPECT_EQ(net.stats(a, b).messages_sent, 1u);
+  EXPECT_EQ(net.stats(b, a).messages_sent, 0u);
+}
+
+TEST_F(NetworkTest, UnknownHostThrows) {
+  const auto a = net.add_host("a", nullptr);
+  EXPECT_THROW(net.send(a, 42, "x"), std::out_of_range);
+}
+
+TEST_F(NetworkTest, HostNames) {
+  const auto a = net.add_host("mobile", nullptr);
+  EXPECT_EQ(net.host_name(a), "mobile");
+  EXPECT_EQ(net.host_count(), 1u);
+}

@@ -1,0 +1,279 @@
+// Tests for the transportation-mode pipeline: per-stage units plus the
+// full four-component reasoning chain on synthetic movement, including the
+// HMM's flicker suppression (the reason for post-processing).
+
+#include "perpos/core/components.hpp"
+#include "perpos/core/graph.hpp"
+#include "perpos/fusion/transport_mode.hpp"
+#include "perpos/sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace fusion = perpos::fusion;
+namespace core = perpos::core;
+namespace geo = perpos::geo;
+namespace sim = perpos::sim;
+using fusion::TransportMode;
+
+namespace {
+
+const geo::LocalFrame& frame() {
+  static const geo::LocalFrame f(geo::GeoPoint{56.1697, 10.1994, 50.0});
+  return f;
+}
+
+/// A straight-line segment at constant speed with Gaussian position noise.
+fusion::TrackSegment make_segment(double speed_mps, double noise_m,
+                                  sim::Random& random, int n = 10,
+                                  double t0 = 0.0) {
+  fusion::TrackSegment segment;
+  for (int i = 0; i < n; ++i) {
+    segment.points.push_back({i * speed_mps + random.normal(0.0, noise_m),
+                              random.normal(0.0, noise_m)});
+    segment.times.push_back(sim::SimTime::from_seconds(t0 + i));
+  }
+  return segment;
+}
+
+core::PositionFix fix_at(double x, double y, double t) {
+  core::PositionFix fix;
+  fix.position = frame().to_geodetic(geo::LocalPoint{x, y});
+  fix.horizontal_accuracy_m = 3.0;
+  fix.timestamp = sim::SimTime::from_seconds(t);
+  fix.technology = "GPS";
+  return fix;
+}
+
+}  // namespace
+
+TEST(TransportMode, Names) {
+  EXPECT_STREQ(fusion::to_string(TransportMode::kStill), "still");
+  EXPECT_STREQ(fusion::to_string(TransportMode::kVehicle), "vehicle");
+}
+
+TEST(FeatureExtraction, ConstantSpeedStatistics) {
+  sim::Random random(42);
+  const auto segment = make_segment(2.0, 0.0, random);
+  const auto f = fusion::FeatureExtractionComponent::extract(segment);
+  EXPECT_NEAR(f.mean_speed_mps, 2.0, 1e-9);
+  EXPECT_NEAR(f.max_speed_mps, 2.0, 1e-9);
+  EXPECT_NEAR(f.speed_stddev, 0.0, 1e-9);
+  EXPECT_NEAR(f.mean_abs_acceleration, 0.0, 1e-9);
+  EXPECT_NEAR(f.heading_change_deg, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(f.duration_s, 9.0);
+}
+
+TEST(FeatureExtraction, NoiseRaisesVariationFeatures) {
+  sim::Random random(42);
+  const auto clean = fusion::FeatureExtractionComponent::extract(
+      make_segment(1.5, 0.0, random));
+  const auto noisy = fusion::FeatureExtractionComponent::extract(
+      make_segment(1.5, 1.0, random));
+  EXPECT_GT(noisy.speed_stddev, clean.speed_stddev);
+  EXPECT_GT(noisy.heading_change_deg, clean.heading_change_deg);
+}
+
+TEST(FeatureExtraction, DegenerateSegments) {
+  fusion::TrackSegment empty;
+  EXPECT_DOUBLE_EQ(
+      fusion::FeatureExtractionComponent::extract(empty).mean_speed_mps, 0.0);
+  fusion::TrackSegment one;
+  one.points.push_back({0, 0});
+  one.times.push_back({});
+  EXPECT_DOUBLE_EQ(
+      fusion::FeatureExtractionComponent::extract(one).mean_speed_mps, 0.0);
+}
+
+// Parameterized classifier sweep: speed band -> expected mode.
+class ClassifierBands
+    : public ::testing::TestWithParam<std::pair<double, TransportMode>> {};
+
+TEST_P(ClassifierBands, SpeedBandClassification) {
+  const auto [speed, expected] = GetParam();
+  sim::Random random(42);
+  const auto f = fusion::FeatureExtractionComponent::extract(
+      make_segment(speed, 0.05, random));
+  EXPECT_EQ(fusion::DecisionTreeClassifier::classify(f).mode, expected)
+      << "speed " << speed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bands, ClassifierBands,
+    ::testing::Values(std::pair{0.05, TransportMode::kStill},
+                      std::pair{0.2, TransportMode::kStill},
+                      std::pair{0.5, TransportMode::kStill},
+                      std::pair{0.8, TransportMode::kWalk},
+                      std::pair{1.5, TransportMode::kWalk},
+                      std::pair{3.5, TransportMode::kBike},
+                      std::pair{5.5, TransportMode::kBike},
+                      std::pair{12.0, TransportMode::kVehicle},
+                      std::pair{25.0, TransportMode::kVehicle}));
+
+TEST(Classifier, ConfidenceInRange) {
+  sim::Random random(42);
+  for (double speed : {0.1, 1.0, 4.0, 15.0}) {
+    const auto f = fusion::FeatureExtractionComponent::extract(
+        make_segment(speed, 0.1, random));
+    const auto estimate = fusion::DecisionTreeClassifier::classify(f);
+    EXPECT_GE(estimate.confidence, 0.5);
+    EXPECT_LE(estimate.confidence, 0.95);
+  }
+}
+
+TEST(Segmentation, EmitsSlidingWindows) {
+  core::ProcessingGraph graph;
+  auto source = std::make_shared<core::SourceComponent>(
+      "Src",
+      std::vector<core::DataSpec>{core::provide<core::PositionFix>()});
+  fusion::SegmentationConfig config;
+  config.segment_size = 4;
+  config.stride = 2;
+  auto seg = std::make_shared<fusion::SegmentationComponent>(frame(), config);
+  auto sink = std::make_shared<core::ApplicationSink>();
+  graph.connect(graph.add(source), graph.add(seg));
+  graph.connect(seg->context().id(), graph.add(sink));
+
+  for (int i = 0; i < 8; ++i) {
+    source->push(fix_at(i * 1.0, 0.0, i));
+  }
+  // Windows at fix 4 (0-3), 6 (2-5), 8 (4-7).
+  EXPECT_EQ(sink->received(), 3u);
+  const auto& last = sink->last()->payload.as<fusion::TrackSegment>();
+  EXPECT_EQ(last.points.size(), 4u);
+  EXPECT_NEAR(last.points.front().x, 4.0, 1e-6);
+}
+
+TEST(Segmentation, GapFlushesBuffer) {
+  core::ProcessingGraph graph;
+  auto source = std::make_shared<core::SourceComponent>(
+      "Src",
+      std::vector<core::DataSpec>{core::provide<core::PositionFix>()});
+  fusion::SegmentationConfig config;
+  config.segment_size = 4;
+  config.stride = 4;
+  config.gap_limit = sim::SimTime::from_seconds(5.0);
+  auto seg = std::make_shared<fusion::SegmentationComponent>(frame(), config);
+  auto sink = std::make_shared<core::ApplicationSink>();
+  graph.connect(graph.add(source), graph.add(seg));
+  graph.connect(seg->context().id(), graph.add(sink));
+
+  source->push(fix_at(0, 0, 0));
+  source->push(fix_at(1, 0, 1));
+  source->push(fix_at(2, 0, 2));
+  source->push(fix_at(50, 0, 60));  // 58 s gap: buffer resets.
+  source->push(fix_at(51, 0, 61));
+  source->push(fix_at(52, 0, 62));
+  source->push(fix_at(53, 0, 63));  // 4 fixes since the gap -> 1 segment.
+  EXPECT_EQ(seg->gaps(), 1u);
+  EXPECT_EQ(sink->received(), 1u);
+  const auto& segment = sink->last()->payload.as<fusion::TrackSegment>();
+  EXPECT_NEAR(segment.points.front().x, 50.0, 1e-6);
+}
+
+TEST(Hmm, SuppressesSingleMisclassification) {
+  core::ProcessingGraph graph;
+  auto source = std::make_shared<core::SourceComponent>(
+      "Src",
+      std::vector<core::DataSpec>{core::provide<fusion::ModeEstimate>()});
+  auto hmm = std::make_shared<fusion::HmmSmoother>();
+  auto sink = std::make_shared<core::ApplicationSink>();
+  graph.connect(graph.add(source), graph.add(hmm));
+  graph.connect(hmm->context().id(), graph.add(sink));
+
+  std::vector<TransportMode> smoothed;
+  sink->set_callback([&](const core::Sample& s) {
+    smoothed.push_back(s.payload.as<fusion::ModeEstimate>().mode);
+  });
+
+  const auto push = [&](TransportMode mode, double confidence) {
+    fusion::ModeEstimate e;
+    e.mode = mode;
+    e.confidence = confidence;
+    source->push(e);
+  };
+  for (int i = 0; i < 5; ++i) push(TransportMode::kWalk, 0.8);
+  push(TransportMode::kVehicle, 0.6);  // One flicker.
+  for (int i = 0; i < 5; ++i) push(TransportMode::kWalk, 0.8);
+
+  // The single vehicle observation must not flip the smoothed output.
+  int vehicle_outputs = 0;
+  for (TransportMode m : smoothed) {
+    if (m == TransportMode::kVehicle) ++vehicle_outputs;
+  }
+  EXPECT_EQ(vehicle_outputs, 0);
+}
+
+TEST(Hmm, FollowsSustainedModeChange) {
+  fusion::HmmSmoother hmm;
+  core::ProcessingGraph graph;
+  auto source = std::make_shared<core::SourceComponent>(
+      "Src",
+      std::vector<core::DataSpec>{core::provide<fusion::ModeEstimate>()});
+  auto hmm_c = std::make_shared<fusion::HmmSmoother>();
+  auto sink = std::make_shared<core::ApplicationSink>();
+  graph.connect(graph.add(source), graph.add(hmm_c));
+  graph.connect(hmm_c->context().id(), graph.add(sink));
+
+  const auto push = [&](TransportMode mode) {
+    fusion::ModeEstimate e;
+    e.mode = mode;
+    e.confidence = 0.85;
+    source->push(e);
+  };
+  for (int i = 0; i < 6; ++i) push(TransportMode::kWalk);
+  for (int i = 0; i < 6; ++i) push(TransportMode::kVehicle);
+  EXPECT_EQ(sink->last()->payload.as<fusion::ModeEstimate>().mode,
+            TransportMode::kVehicle);
+}
+
+TEST(TransportPipeline, EndToEndClassifiesSyntheticJourney) {
+  // Full four-stage chain over a journey: still -> walk -> vehicle.
+  core::ProcessingGraph graph;
+  auto source = std::make_shared<core::SourceComponent>(
+      "GPS",
+      std::vector<core::DataSpec>{core::provide<core::PositionFix>()});
+  fusion::SegmentationConfig seg_config;
+  seg_config.segment_size = 8;
+  seg_config.stride = 4;
+  auto seg =
+      std::make_shared<fusion::SegmentationComponent>(frame(), seg_config);
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = graph.add(source);
+  const auto s = graph.add(seg);
+  const auto f = graph.add(std::make_shared<fusion::FeatureExtractionComponent>());
+  const auto d = graph.add(std::make_shared<fusion::DecisionTreeClassifier>());
+  const auto h = graph.add(std::make_shared<fusion::HmmSmoother>());
+  const auto z = graph.add(sink);
+  graph.connect(a, s);
+  graph.connect(s, f);
+  graph.connect(f, d);
+  graph.connect(d, h);
+  graph.connect(h, z);
+
+  std::map<TransportMode, int> histogram;
+  sink->set_callback([&](const core::Sample& smp) {
+    ++histogram[smp.payload.as<fusion::ModeEstimate>().mode];
+  });
+
+  sim::Random random(42);
+  double x = 0.0, t = 0.0;
+  const auto advance = [&](double speed, int steps, double noise) {
+    for (int i = 0; i < steps; ++i) {
+      x += speed;
+      t += 1.0;
+      source->push(fix_at(x + random.normal(0.0, noise),
+                          random.normal(0.0, noise), t));
+    }
+  };
+  // Position noise of 0.4 m/s would make stillness look like slow
+  // walking (a real seam!); assume smoothed input for this test.
+  advance(0.0, 40, 0.1);   // Still.
+  advance(1.4, 40, 0.4);   // Walk.
+  advance(14.0, 40, 0.4);  // Vehicle.
+
+  EXPECT_GT(histogram[TransportMode::kStill], 0);
+  EXPECT_GT(histogram[TransportMode::kWalk], 0);
+  EXPECT_GT(histogram[TransportMode::kVehicle], 0);
+}

@@ -1,0 +1,310 @@
+// Tests for the WiFi positioning substrate: propagation model properties,
+// fingerprint surveying, k-NN estimation quality and the pipeline
+// components.
+
+#include "perpos/core/components.hpp"
+#include "perpos/core/graph.hpp"
+#include "perpos/locmodel/fixtures.hpp"
+#include "perpos/wifi/components.hpp"
+#include "perpos/wifi/features.hpp"
+#include "perpos/wifi/fingerprint.hpp"
+#include "perpos/wifi/signal_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wifi = perpos::wifi;
+namespace core = perpos::core;
+namespace lm = perpos::locmodel;
+namespace sim = perpos::sim;
+using wifi::LocalPoint;
+
+namespace {
+
+wifi::SignalModel free_space_model() {
+  return wifi::SignalModel({{"AP1", {0.0, 0.0}, -30.0}},
+                           wifi::SignalModelConfig{});
+}
+
+}  // namespace
+
+TEST(SignalModel, RssiDecreasesWithDistance) {
+  const wifi::SignalModel model = free_space_model();
+  const wifi::AccessPoint& ap = model.access_points()[0];
+  double prev = model.mean_rssi(ap, {1.0, 0.0});
+  for (double d : {2.0, 5.0, 10.0, 30.0, 100.0}) {
+    const double rssi = model.mean_rssi(ap, {d, 0.0});
+    EXPECT_LT(rssi, prev);
+    prev = rssi;
+  }
+}
+
+TEST(SignalModel, ReferenceDistanceGivesTxPower) {
+  const wifi::SignalModel model = free_space_model();
+  EXPECT_DOUBLE_EQ(model.mean_rssi(model.access_points()[0], {1.0, 0.0}),
+                   -30.0);
+  // Distances below 1 m clamp to the reference distance.
+  EXPECT_DOUBLE_EQ(model.mean_rssi(model.access_points()[0], {0.1, 0.0}),
+                   -30.0);
+}
+
+TEST(SignalModel, PathLossExponentControlsSlope) {
+  wifi::SignalModelConfig steep;
+  steep.path_loss_exponent = 4.0;
+  wifi::SignalModelConfig shallow;
+  shallow.path_loss_exponent = 2.0;
+  const wifi::AccessPoint ap{"AP", {0.0, 0.0}, -30.0};
+  const wifi::SignalModel m_steep({ap}, steep);
+  const wifi::SignalModel m_shallow({ap}, shallow);
+  EXPECT_LT(m_steep.mean_rssi(ap, {10.0, 0.0}),
+            m_shallow.mean_rssi(ap, {10.0, 0.0}));
+  // At 10 m: -30 - 10*n*log10(10) = -30 - 10n.
+  EXPECT_DOUBLE_EQ(m_steep.mean_rssi(ap, {10.0, 0.0}), -70.0);
+  EXPECT_DOUBLE_EQ(m_shallow.mean_rssi(ap, {10.0, 0.0}), -50.0);
+}
+
+TEST(SignalModel, WallsAttenuate) {
+  const lm::Building building = lm::make_two_room_building();
+  const wifi::AccessPoint ap{"AP", {2.5, 2.5}, -30.0};
+  const wifi::SignalModel model({ap}, {}, &building);
+  // Same distance, one through the shared wall at y=1 (solid below y=2).
+  const double same_room = model.mean_rssi(ap, {2.5, 0.6});
+  const double through_wall = model.mean_rssi(ap, {6.3, 1.0});
+  const double same_dist_no_wall = model.mean_rssi(ap, {2.5, 4.4});
+  EXPECT_LT(through_wall, same_room);
+  EXPECT_LT(through_wall, same_dist_no_wall);
+}
+
+TEST(SignalModel, SensitivityCutoffLimitsScan) {
+  wifi::SignalModelConfig config;
+  config.sensitivity_dbm = -60.0;  // Very deaf receiver.
+  const wifi::AccessPoint ap{"AP", {0.0, 0.0}, -30.0};
+  const wifi::SignalModel model({ap}, config);
+  sim::Random random(1);
+  const wifi::RssiScan near = model.ideal_scan_at({2.0, 0.0}, {});
+  const wifi::RssiScan far = model.ideal_scan_at({500.0, 0.0}, {});
+  EXPECT_EQ(near.readings.size(), 1u);
+  EXPECT_TRUE(far.readings.empty());
+}
+
+TEST(SignalModel, NoisyScansVary) {
+  const wifi::SignalModel model = free_space_model();
+  sim::Random random(5);
+  const auto s1 = model.scan_at({5.0, 5.0}, random, {});
+  const auto s2 = model.scan_at({5.0, 5.0}, random, {});
+  ASSERT_FALSE(s1.readings.empty());
+  ASSERT_FALSE(s2.readings.empty());
+  EXPECT_NE(s1.readings[0].rssi_dbm, s2.readings[0].rssi_dbm);
+}
+
+TEST(Scan, FindByApId) {
+  wifi::RssiScan scan;
+  scan.readings = {{"A", -40.0}, {"B", -55.0}};
+  ASSERT_NE(scan.find("B"), nullptr);
+  EXPECT_DOUBLE_EQ(scan.find("B")->rssi_dbm, -55.0);
+  EXPECT_EQ(scan.find("C"), nullptr);
+}
+
+class FingerprintFixture : public ::testing::Test {
+ protected:
+  FingerprintFixture()
+      : building(lm::make_office_building()),
+        model(wifi::office_access_points(), wifi::SignalModelConfig{},
+              &building),
+        db(wifi::FingerprintDatabase::survey(model, building, 2.0)) {}
+
+  lm::Building building;
+  wifi::SignalModel model;
+  wifi::FingerprintDatabase db;
+};
+
+TEST_F(FingerprintFixture, SurveyCoversBuilding) {
+  EXPECT_GT(db.size(), 100u);  // 40x20 m at 2 m grid.
+}
+
+TEST_F(FingerprintFixture, IdealScanResolvesNearTruth) {
+  for (const LocalPoint truth :
+       {LocalPoint{12.0, 4.0}, LocalPoint{20.0, 10.0}, LocalPoint{36.0, 15.0}}) {
+    const auto estimate = db.estimate(model.ideal_scan_at(truth, {}));
+    ASSERT_TRUE(estimate.has_value());
+    const double err = std::hypot(estimate->point.x - truth.x,
+                                  estimate->point.y - truth.y);
+    EXPECT_LT(err, 2.5) << "at " << truth.x << "," << truth.y;
+  }
+}
+
+TEST_F(FingerprintFixture, NoisyScanErrorIsBounded) {
+  sim::Random random(17);
+  double total_err = 0.0;
+  const int n = 50;
+  for (int i = 0; i < n; ++i) {
+    const LocalPoint truth{4.0 + i * 0.5, 10.0};
+    const auto estimate =
+        db.estimate(model.scan_at(truth, random, {}));
+    ASSERT_TRUE(estimate.has_value());
+    total_err += std::hypot(estimate->point.x - truth.x,
+                            estimate->point.y - truth.y);
+  }
+  EXPECT_LT(total_err / n, 6.0);  // Typical indoor WiFi accuracy.
+}
+
+TEST_F(FingerprintFixture, EmptyScanYieldsNoEstimate) {
+  EXPECT_FALSE(db.estimate(wifi::RssiScan{}).has_value());
+}
+
+TEST_F(FingerprintFixture, AccuracyEstimatePositive) {
+  const auto estimate = db.estimate(model.ideal_scan_at({10.0, 10.0}, {}));
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_GT(estimate->accuracy_m, 0.0);
+}
+
+TEST(Fingerprint, SignalDistanceHandlesMissingAps) {
+  wifi::RssiScan scan;
+  scan.readings = {{"A", -40.0}};
+  const std::vector<wifi::RssiReading> ref = {{"A", -40.0}, {"B", -50.0}};
+  // Identical on A; B missing from the scan is treated as very weak.
+  const double d = wifi::FingerprintDatabase::signal_distance(scan, ref, -95.0);
+  EXPECT_GT(d, 0.0);
+  const double exact = wifi::FingerprintDatabase::signal_distance(
+      wifi::RssiScan{{{"A", -40.0}, {"B", -50.0}}, {}}, ref, -95.0);
+  EXPECT_DOUBLE_EQ(exact, 0.0);
+}
+
+TEST(Fingerprint, SurveyWithNoiseAveragesOut) {
+  const lm::Building building = lm::make_two_room_building();
+  const wifi::SignalModel model(
+      {{"AP1", {2.0, 2.0}, -30.0}, {"AP2", {8.0, 2.0}, -30.0}},
+      wifi::SignalModelConfig{}, &building);
+  sim::Random random(3);
+  const auto noisy_db = wifi::FingerprintDatabase::survey(
+      model, building, 1.0, /*surveys_per_point=*/8, &random);
+  const auto ideal_db =
+      wifi::FingerprintDatabase::survey(model, building, 1.0);
+  ASSERT_EQ(noisy_db.size(), ideal_db.size());
+  // The averaged noisy readings should be close to the ideal ones.
+  double max_gap = 0.0;
+  for (std::size_t i = 0; i < noisy_db.size(); ++i) {
+    for (const auto& r : noisy_db.fingerprints()[i].readings) {
+      const auto* ideal = ideal_db.fingerprints()[i].readings.data();
+      for (std::size_t j = 0; j < ideal_db.fingerprints()[i].readings.size();
+           ++j) {
+        if (ideal[j].ap_id == r.ap_id) {
+          max_gap = std::max(max_gap, std::fabs(ideal[j].rssi_dbm - r.rssi_dbm));
+        }
+      }
+    }
+  }
+  EXPECT_LT(max_gap, 6.0);
+}
+
+TEST_F(FingerprintFixture, PositionerComponentEmitsLocalPosition) {
+  core::ProcessingGraph g;
+  auto source = std::make_shared<core::SourceComponent>(
+      "WiFi", std::vector<core::DataSpec>{core::provide<wifi::RssiScan>()});
+  auto sink = std::make_shared<core::ApplicationSink>();
+  auto positioner = std::make_shared<wifi::WifiPositioner>(db);
+  const auto a = g.add(source);
+  const auto p = g.add(positioner);
+  const auto z = g.add(sink);
+  g.connect(a, p);
+  g.connect(p, z);
+
+  source->push(model.ideal_scan_at({12.0, 10.0}, {}));
+  ASSERT_TRUE(sink->last().has_value());
+  const auto& local = sink->last()->payload.as<lm::LocalPosition>();
+  EXPECT_NEAR(local.point.x, 12.0, 3.0);
+  EXPECT_NEAR(local.point.y, 10.0, 3.0);
+
+  // An empty scan produces nothing but counts as a failure (seam).
+  source->push(wifi::RssiScan{});
+  EXPECT_EQ(positioner->failed(), 1u);
+  EXPECT_EQ(sink->received(), 1u);
+}
+
+TEST_F(FingerprintFixture, LocalToGeoRoundTrips) {
+  core::ProcessingGraph g;
+  auto source = std::make_shared<core::SourceComponent>(
+      "Pos",
+      std::vector<core::DataSpec>{core::provide<lm::LocalPosition>()});
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = g.add(source);
+  const auto c = g.add(std::make_shared<wifi::LocalToGeoConverter>(building));
+  const auto z = g.add(sink);
+  g.connect(a, c);
+  g.connect(c, z);
+
+  source->push(lm::LocalPosition{{10.0, 5.0}, 0, 3.0,
+                                 sim::SimTime::from_seconds(9.0)});
+  ASSERT_TRUE(sink->last().has_value());
+  const auto& fix = sink->last()->payload.as<core::PositionFix>();
+  EXPECT_EQ(fix.technology, "WiFi");
+  EXPECT_DOUBLE_EQ(fix.timestamp.seconds(), 9.0);
+  const LocalPoint back = building.frame().to_local(fix.position);
+  EXPECT_NEAR(back.x, 10.0, 1e-6);
+  EXPECT_NEAR(back.y, 5.0, 1e-6);
+}
+
+TEST_F(FingerprintFixture, ApOutageDegradesGracefully) {
+  // Disable a corridor AP after the survey: accuracy degrades but the
+  // estimator keeps working — the coverage seam of Sec. 4.
+  wifi::SignalModel live = model;  // Copy shares AP layout + walls.
+  ASSERT_TRUE(live.set_enabled("AP-C12", false));
+  EXPECT_FALSE(live.is_enabled("AP-C12"));
+  EXPECT_FALSE(live.set_enabled("AP-NOPE", false));
+
+  const LocalPoint truth{12.0, 10.0};  // Right under the dead AP.
+  const auto healthy = db.estimate(model.ideal_scan_at(truth, {}));
+  const auto degraded = db.estimate(live.ideal_scan_at(truth, {}));
+  ASSERT_TRUE(healthy.has_value());
+  ASSERT_TRUE(degraded.has_value());
+  const double healthy_err = std::hypot(healthy->point.x - truth.x,
+                                        healthy->point.y - truth.y);
+  const double degraded_err = std::hypot(degraded->point.x - truth.x,
+                                         degraded->point.y - truth.y);
+  EXPECT_LT(healthy_err, 2.5);
+  EXPECT_LT(degraded_err, 12.0);  // Worse but not absurd.
+
+  // Re-enabling restores the scan.
+  ASSERT_TRUE(live.set_enabled("AP-C12", true));
+  EXPECT_TRUE(live.is_enabled("AP-C12"));
+  EXPECT_EQ(live.ideal_scan_at(truth, {}).readings.size(),
+            model.ideal_scan_at(truth, {}).readings.size());
+}
+
+TEST_F(FingerprintFixture, ScanQualityChannelFeature) {
+  // The WiFi channel exposes coverage quality exactly as the GPS channel
+  // exposes HDOP — same Channel Feature mechanism, different technology.
+  core::ProcessingGraph g;
+  core::ChannelManager channels(g);
+  auto source = std::make_shared<core::SourceComponent>(
+      "WiFi", std::vector<core::DataSpec>{core::provide<wifi::RssiScan>()});
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = g.add(source);
+  const auto p = g.add(std::make_shared<wifi::WifiPositioner>(db));
+  const auto z = g.add(sink);
+  g.connect(a, p);
+  g.connect(p, z);
+
+  auto quality = std::make_shared<wifi::ScanQualityFeature>();
+  channels.attach_feature(*channels.channel_from_source(a), quality);
+
+  source->push(model.ideal_scan_at({12.0, 10.0}, {}));
+  EXPECT_GE(quality->ap_count(), 3u);
+  EXPECT_TRUE(quality->adequate_coverage());
+  ASSERT_TRUE(quality->strongest_dbm().has_value());
+  EXPECT_GT(*quality->strongest_dbm(), *quality->mean_dbm());
+
+  // Time-scoped retrieval works through the channel, like Likelihood.
+  core::Channel* c = channels.channel_from_source(a);
+  EXPECT_NE(c->get_feature<wifi::ScanQualityFeature>(*sink->last()), nullptr);
+
+  // A sparse scan (most APs disabled) flips the coverage verdict.
+  wifi::SignalModel degraded = model;
+  for (const char* ap : {"AP-C12", "AP-C24", "AP-LAB", "AP-S", "AP-N"}) {
+    degraded.set_enabled(ap, false);
+  }
+  source->push(degraded.ideal_scan_at({2.0, 10.0}, {}));
+  EXPECT_LE(quality->ap_count(), 2u);
+  EXPECT_FALSE(quality->adequate_coverage());
+}
