@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_transport_mode.dir/bench_a2_transport_mode.cpp.o"
+  "CMakeFiles/bench_a2_transport_mode.dir/bench_a2_transport_mode.cpp.o.d"
+  "bench_a2_transport_mode"
+  "bench_a2_transport_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_transport_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

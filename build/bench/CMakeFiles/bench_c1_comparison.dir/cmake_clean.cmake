@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_comparison.dir/bench_c1_comparison.cpp.o"
+  "CMakeFiles/bench_c1_comparison.dir/bench_c1_comparison.cpp.o.d"
+  "bench_c1_comparison"
+  "bench_c1_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

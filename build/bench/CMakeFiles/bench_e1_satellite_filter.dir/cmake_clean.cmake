@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_satellite_filter.dir/bench_e1_satellite_filter.cpp.o"
+  "CMakeFiles/bench_e1_satellite_filter.dir/bench_e1_satellite_filter.cpp.o.d"
+  "bench_e1_satellite_filter"
+  "bench_e1_satellite_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_satellite_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_features.dir/bench_fig3_features.cpp.o"
+  "CMakeFiles/bench_fig3_features.dir/bench_fig3_features.cpp.o.d"
+  "bench_fig3_features"
+  "bench_fig3_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

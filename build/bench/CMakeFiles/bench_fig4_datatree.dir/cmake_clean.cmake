@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_datatree.dir/bench_fig4_datatree.cpp.o"
+  "CMakeFiles/bench_fig4_datatree.dir/bench_fig4_datatree.cpp.o.d"
+  "bench_fig4_datatree"
+  "bench_fig4_datatree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_datatree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_likelihood.dir/bench_fig5_likelihood.cpp.o"
+  "CMakeFiles/bench_fig5_likelihood.dir/bench_fig5_likelihood.cpp.o.d"
+  "bench_fig5_likelihood"
+  "bench_fig5_likelihood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_likelihood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_particle_filter.dir/bench_fig6_particle_filter.cpp.o"
+  "CMakeFiles/bench_fig6_particle_filter.dir/bench_fig6_particle_filter.cpp.o.d"
+  "bench_fig6_particle_filter"
+  "bench_fig6_particle_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_particle_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

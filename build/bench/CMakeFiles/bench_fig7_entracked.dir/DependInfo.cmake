@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_entracked.cpp" "bench/CMakeFiles/bench_fig7_entracked.dir/bench_fig7_entracked.cpp.o" "gcc" "bench/CMakeFiles/bench_fig7_entracked.dir/bench_fig7_entracked.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/perpos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/perpos_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/nmea/CMakeFiles/perpos_nmea.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/perpos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/locmodel/CMakeFiles/perpos_locmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/perpos_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/perpos_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/perpos_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/perpos_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/perpos_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/perpos_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

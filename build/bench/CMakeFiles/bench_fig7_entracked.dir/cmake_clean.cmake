@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_entracked.dir/bench_fig7_entracked.cpp.o"
+  "CMakeFiles/bench_fig7_entracked.dir/bench_fig7_entracked.cpp.o.d"
+  "bench_fig7_entracked"
+  "bench_fig7_entracked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_entracked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_o1_scalability.dir/bench_o1_scalability.cpp.o"
+  "CMakeFiles/bench_o1_scalability.dir/bench_o1_scalability.cpp.o.d"
+  "bench_o1_scalability"
+  "bench_o1_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_o1_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

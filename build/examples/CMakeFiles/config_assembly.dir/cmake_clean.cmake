@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_assembly.dir/config_assembly.cpp.o"
+  "CMakeFiles/config_assembly.dir/config_assembly.cpp.o.d"
+  "config_assembly"
+  "config_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

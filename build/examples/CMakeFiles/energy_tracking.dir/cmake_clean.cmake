@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_tracking.dir/energy_tracking.cpp.o"
+  "CMakeFiles/energy_tracking.dir/energy_tracking.cpp.o.d"
+  "energy_tracking"
+  "energy_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

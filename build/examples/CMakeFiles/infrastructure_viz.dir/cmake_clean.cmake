@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infrastructure_viz.dir/infrastructure_viz.cpp.o"
+  "CMakeFiles/infrastructure_viz.dir/infrastructure_viz.cpp.o.d"
+  "infrastructure_viz"
+  "infrastructure_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infrastructure_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

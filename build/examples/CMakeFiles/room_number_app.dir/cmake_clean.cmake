@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/room_number_app.dir/room_number_app.cpp.o"
+  "CMakeFiles/room_number_app.dir/room_number_app.cpp.o.d"
+  "room_number_app"
+  "room_number_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/room_number_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for room_number_app.
+# This may be replaced when dependencies are built.

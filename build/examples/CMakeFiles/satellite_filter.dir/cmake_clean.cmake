@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satellite_filter.dir/satellite_filter.cpp.o"
+  "CMakeFiles/satellite_filter.dir/satellite_filter.cpp.o.d"
+  "satellite_filter"
+  "satellite_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satellite_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

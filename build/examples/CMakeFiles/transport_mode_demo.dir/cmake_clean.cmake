@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_mode_demo.dir/transport_mode_demo.cpp.o"
+  "CMakeFiles/transport_mode_demo.dir/transport_mode_demo.cpp.o.d"
+  "transport_mode_demo"
+  "transport_mode_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_mode_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/src/location_stack.cpp" "src/baselines/CMakeFiles/perpos_baselines.dir/src/location_stack.cpp.o" "gcc" "src/baselines/CMakeFiles/perpos_baselines.dir/src/location_stack.cpp.o.d"
+  "/root/repo/src/baselines/src/middlewhere.cpp" "src/baselines/CMakeFiles/perpos_baselines.dir/src/middlewhere.cpp.o" "gcc" "src/baselines/CMakeFiles/perpos_baselines.dir/src/middlewhere.cpp.o.d"
+  "/root/repo/src/baselines/src/posim.cpp" "src/baselines/CMakeFiles/perpos_baselines.dir/src/posim.cpp.o" "gcc" "src/baselines/CMakeFiles/perpos_baselines.dir/src/posim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/perpos_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/perpos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

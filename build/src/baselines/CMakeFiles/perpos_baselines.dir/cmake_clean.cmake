@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perpos_baselines.dir/src/location_stack.cpp.o"
+  "CMakeFiles/perpos_baselines.dir/src/location_stack.cpp.o.d"
+  "CMakeFiles/perpos_baselines.dir/src/middlewhere.cpp.o"
+  "CMakeFiles/perpos_baselines.dir/src/middlewhere.cpp.o.d"
+  "CMakeFiles/perpos_baselines.dir/src/posim.cpp.o"
+  "CMakeFiles/perpos_baselines.dir/src/posim.cpp.o.d"
+  "libperpos_baselines.a"
+  "libperpos_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perpos_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

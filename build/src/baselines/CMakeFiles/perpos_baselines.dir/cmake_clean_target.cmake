@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libperpos_baselines.a"
+)

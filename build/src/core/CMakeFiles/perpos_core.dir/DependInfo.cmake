@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/channel.cpp" "src/core/CMakeFiles/perpos_core.dir/src/channel.cpp.o" "gcc" "src/core/CMakeFiles/perpos_core.dir/src/channel.cpp.o.d"
+  "/root/repo/src/core/src/component.cpp" "src/core/CMakeFiles/perpos_core.dir/src/component.cpp.o" "gcc" "src/core/CMakeFiles/perpos_core.dir/src/component.cpp.o.d"
+  "/root/repo/src/core/src/data_tree.cpp" "src/core/CMakeFiles/perpos_core.dir/src/data_tree.cpp.o" "gcc" "src/core/CMakeFiles/perpos_core.dir/src/data_tree.cpp.o.d"
+  "/root/repo/src/core/src/data_types.cpp" "src/core/CMakeFiles/perpos_core.dir/src/data_types.cpp.o" "gcc" "src/core/CMakeFiles/perpos_core.dir/src/data_types.cpp.o.d"
+  "/root/repo/src/core/src/feature.cpp" "src/core/CMakeFiles/perpos_core.dir/src/feature.cpp.o" "gcc" "src/core/CMakeFiles/perpos_core.dir/src/feature.cpp.o.d"
+  "/root/repo/src/core/src/graph.cpp" "src/core/CMakeFiles/perpos_core.dir/src/graph.cpp.o" "gcc" "src/core/CMakeFiles/perpos_core.dir/src/graph.cpp.o.d"
+  "/root/repo/src/core/src/graph_dump.cpp" "src/core/CMakeFiles/perpos_core.dir/src/graph_dump.cpp.o" "gcc" "src/core/CMakeFiles/perpos_core.dir/src/graph_dump.cpp.o.d"
+  "/root/repo/src/core/src/payload.cpp" "src/core/CMakeFiles/perpos_core.dir/src/payload.cpp.o" "gcc" "src/core/CMakeFiles/perpos_core.dir/src/payload.cpp.o.d"
+  "/root/repo/src/core/src/positioning.cpp" "src/core/CMakeFiles/perpos_core.dir/src/positioning.cpp.o" "gcc" "src/core/CMakeFiles/perpos_core.dir/src/positioning.cpp.o.d"
+  "/root/repo/src/core/src/services.cpp" "src/core/CMakeFiles/perpos_core.dir/src/services.cpp.o" "gcc" "src/core/CMakeFiles/perpos_core.dir/src/services.cpp.o.d"
+  "/root/repo/src/core/src/type_info.cpp" "src/core/CMakeFiles/perpos_core.dir/src/type_info.cpp.o" "gcc" "src/core/CMakeFiles/perpos_core.dir/src/type_info.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/perpos_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/perpos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perpos_core.dir/src/channel.cpp.o"
+  "CMakeFiles/perpos_core.dir/src/channel.cpp.o.d"
+  "CMakeFiles/perpos_core.dir/src/component.cpp.o"
+  "CMakeFiles/perpos_core.dir/src/component.cpp.o.d"
+  "CMakeFiles/perpos_core.dir/src/data_tree.cpp.o"
+  "CMakeFiles/perpos_core.dir/src/data_tree.cpp.o.d"
+  "CMakeFiles/perpos_core.dir/src/data_types.cpp.o"
+  "CMakeFiles/perpos_core.dir/src/data_types.cpp.o.d"
+  "CMakeFiles/perpos_core.dir/src/feature.cpp.o"
+  "CMakeFiles/perpos_core.dir/src/feature.cpp.o.d"
+  "CMakeFiles/perpos_core.dir/src/graph.cpp.o"
+  "CMakeFiles/perpos_core.dir/src/graph.cpp.o.d"
+  "CMakeFiles/perpos_core.dir/src/graph_dump.cpp.o"
+  "CMakeFiles/perpos_core.dir/src/graph_dump.cpp.o.d"
+  "CMakeFiles/perpos_core.dir/src/payload.cpp.o"
+  "CMakeFiles/perpos_core.dir/src/payload.cpp.o.d"
+  "CMakeFiles/perpos_core.dir/src/positioning.cpp.o"
+  "CMakeFiles/perpos_core.dir/src/positioning.cpp.o.d"
+  "CMakeFiles/perpos_core.dir/src/services.cpp.o"
+  "CMakeFiles/perpos_core.dir/src/services.cpp.o.d"
+  "CMakeFiles/perpos_core.dir/src/type_info.cpp.o"
+  "CMakeFiles/perpos_core.dir/src/type_info.cpp.o.d"
+  "libperpos_core.a"
+  "libperpos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perpos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

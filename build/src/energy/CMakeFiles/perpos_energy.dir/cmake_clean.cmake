@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perpos_energy.dir/src/entracked.cpp.o"
+  "CMakeFiles/perpos_energy.dir/src/entracked.cpp.o.d"
+  "CMakeFiles/perpos_energy.dir/src/power_model.cpp.o"
+  "CMakeFiles/perpos_energy.dir/src/power_model.cpp.o.d"
+  "libperpos_energy.a"
+  "libperpos_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perpos_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

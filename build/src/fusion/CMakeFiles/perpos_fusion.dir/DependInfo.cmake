@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fusion/src/features.cpp" "src/fusion/CMakeFiles/perpos_fusion.dir/src/features.cpp.o" "gcc" "src/fusion/CMakeFiles/perpos_fusion.dir/src/features.cpp.o.d"
+  "/root/repo/src/fusion/src/kalman_filter.cpp" "src/fusion/CMakeFiles/perpos_fusion.dir/src/kalman_filter.cpp.o" "gcc" "src/fusion/CMakeFiles/perpos_fusion.dir/src/kalman_filter.cpp.o.d"
+  "/root/repo/src/fusion/src/metrics.cpp" "src/fusion/CMakeFiles/perpos_fusion.dir/src/metrics.cpp.o" "gcc" "src/fusion/CMakeFiles/perpos_fusion.dir/src/metrics.cpp.o.d"
+  "/root/repo/src/fusion/src/particle_filter.cpp" "src/fusion/CMakeFiles/perpos_fusion.dir/src/particle_filter.cpp.o" "gcc" "src/fusion/CMakeFiles/perpos_fusion.dir/src/particle_filter.cpp.o.d"
+  "/root/repo/src/fusion/src/satellite_filter.cpp" "src/fusion/CMakeFiles/perpos_fusion.dir/src/satellite_filter.cpp.o" "gcc" "src/fusion/CMakeFiles/perpos_fusion.dir/src/satellite_filter.cpp.o.d"
+  "/root/repo/src/fusion/src/transport_mode.cpp" "src/fusion/CMakeFiles/perpos_fusion.dir/src/transport_mode.cpp.o" "gcc" "src/fusion/CMakeFiles/perpos_fusion.dir/src/transport_mode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/perpos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nmea/CMakeFiles/perpos_nmea.dir/DependInfo.cmake"
+  "/root/repo/build/src/locmodel/CMakeFiles/perpos_locmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/perpos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/perpos_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

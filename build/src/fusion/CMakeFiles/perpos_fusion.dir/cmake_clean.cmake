@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perpos_fusion.dir/src/features.cpp.o"
+  "CMakeFiles/perpos_fusion.dir/src/features.cpp.o.d"
+  "CMakeFiles/perpos_fusion.dir/src/kalman_filter.cpp.o"
+  "CMakeFiles/perpos_fusion.dir/src/kalman_filter.cpp.o.d"
+  "CMakeFiles/perpos_fusion.dir/src/metrics.cpp.o"
+  "CMakeFiles/perpos_fusion.dir/src/metrics.cpp.o.d"
+  "CMakeFiles/perpos_fusion.dir/src/particle_filter.cpp.o"
+  "CMakeFiles/perpos_fusion.dir/src/particle_filter.cpp.o.d"
+  "CMakeFiles/perpos_fusion.dir/src/satellite_filter.cpp.o"
+  "CMakeFiles/perpos_fusion.dir/src/satellite_filter.cpp.o.d"
+  "CMakeFiles/perpos_fusion.dir/src/transport_mode.cpp.o"
+  "CMakeFiles/perpos_fusion.dir/src/transport_mode.cpp.o.d"
+  "libperpos_fusion.a"
+  "libperpos_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perpos_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

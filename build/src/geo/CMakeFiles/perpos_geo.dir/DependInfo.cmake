@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/src/bounding_box.cpp" "src/geo/CMakeFiles/perpos_geo.dir/src/bounding_box.cpp.o" "gcc" "src/geo/CMakeFiles/perpos_geo.dir/src/bounding_box.cpp.o.d"
+  "/root/repo/src/geo/src/coordinates.cpp" "src/geo/CMakeFiles/perpos_geo.dir/src/coordinates.cpp.o" "gcc" "src/geo/CMakeFiles/perpos_geo.dir/src/coordinates.cpp.o.d"
+  "/root/repo/src/geo/src/distance.cpp" "src/geo/CMakeFiles/perpos_geo.dir/src/distance.cpp.o" "gcc" "src/geo/CMakeFiles/perpos_geo.dir/src/distance.cpp.o.d"
+  "/root/repo/src/geo/src/local_frame.cpp" "src/geo/CMakeFiles/perpos_geo.dir/src/local_frame.cpp.o" "gcc" "src/geo/CMakeFiles/perpos_geo.dir/src/local_frame.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

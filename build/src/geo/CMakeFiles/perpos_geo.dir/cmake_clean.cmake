@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perpos_geo.dir/src/bounding_box.cpp.o"
+  "CMakeFiles/perpos_geo.dir/src/bounding_box.cpp.o.d"
+  "CMakeFiles/perpos_geo.dir/src/coordinates.cpp.o"
+  "CMakeFiles/perpos_geo.dir/src/coordinates.cpp.o.d"
+  "CMakeFiles/perpos_geo.dir/src/distance.cpp.o"
+  "CMakeFiles/perpos_geo.dir/src/distance.cpp.o.d"
+  "CMakeFiles/perpos_geo.dir/src/local_frame.cpp.o"
+  "CMakeFiles/perpos_geo.dir/src/local_frame.cpp.o.d"
+  "libperpos_geo.a"
+  "libperpos_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perpos_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/locmodel/src/building.cpp" "src/locmodel/CMakeFiles/perpos_locmodel.dir/src/building.cpp.o" "gcc" "src/locmodel/CMakeFiles/perpos_locmodel.dir/src/building.cpp.o.d"
+  "/root/repo/src/locmodel/src/fixtures.cpp" "src/locmodel/CMakeFiles/perpos_locmodel.dir/src/fixtures.cpp.o" "gcc" "src/locmodel/CMakeFiles/perpos_locmodel.dir/src/fixtures.cpp.o.d"
+  "/root/repo/src/locmodel/src/geometry.cpp" "src/locmodel/CMakeFiles/perpos_locmodel.dir/src/geometry.cpp.o" "gcc" "src/locmodel/CMakeFiles/perpos_locmodel.dir/src/geometry.cpp.o.d"
+  "/root/repo/src/locmodel/src/resolver.cpp" "src/locmodel/CMakeFiles/perpos_locmodel.dir/src/resolver.cpp.o" "gcc" "src/locmodel/CMakeFiles/perpos_locmodel.dir/src/resolver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/perpos_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/perpos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/perpos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perpos_locmodel.dir/src/building.cpp.o"
+  "CMakeFiles/perpos_locmodel.dir/src/building.cpp.o.d"
+  "CMakeFiles/perpos_locmodel.dir/src/fixtures.cpp.o"
+  "CMakeFiles/perpos_locmodel.dir/src/fixtures.cpp.o.d"
+  "CMakeFiles/perpos_locmodel.dir/src/geometry.cpp.o"
+  "CMakeFiles/perpos_locmodel.dir/src/geometry.cpp.o.d"
+  "CMakeFiles/perpos_locmodel.dir/src/resolver.cpp.o"
+  "CMakeFiles/perpos_locmodel.dir/src/resolver.cpp.o.d"
+  "libperpos_locmodel.a"
+  "libperpos_locmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perpos_locmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nmea/src/checksum.cpp" "src/nmea/CMakeFiles/perpos_nmea.dir/src/checksum.cpp.o" "gcc" "src/nmea/CMakeFiles/perpos_nmea.dir/src/checksum.cpp.o.d"
+  "/root/repo/src/nmea/src/generate.cpp" "src/nmea/CMakeFiles/perpos_nmea.dir/src/generate.cpp.o" "gcc" "src/nmea/CMakeFiles/perpos_nmea.dir/src/generate.cpp.o.d"
+  "/root/repo/src/nmea/src/parse.cpp" "src/nmea/CMakeFiles/perpos_nmea.dir/src/parse.cpp.o" "gcc" "src/nmea/CMakeFiles/perpos_nmea.dir/src/parse.cpp.o.d"
+  "/root/repo/src/nmea/src/stream_parser.cpp" "src/nmea/CMakeFiles/perpos_nmea.dir/src/stream_parser.cpp.o" "gcc" "src/nmea/CMakeFiles/perpos_nmea.dir/src/stream_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/perpos_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

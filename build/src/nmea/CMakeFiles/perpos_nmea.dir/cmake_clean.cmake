@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perpos_nmea.dir/src/checksum.cpp.o"
+  "CMakeFiles/perpos_nmea.dir/src/checksum.cpp.o.d"
+  "CMakeFiles/perpos_nmea.dir/src/generate.cpp.o"
+  "CMakeFiles/perpos_nmea.dir/src/generate.cpp.o.d"
+  "CMakeFiles/perpos_nmea.dir/src/parse.cpp.o"
+  "CMakeFiles/perpos_nmea.dir/src/parse.cpp.o.d"
+  "CMakeFiles/perpos_nmea.dir/src/stream_parser.cpp.o"
+  "CMakeFiles/perpos_nmea.dir/src/stream_parser.cpp.o.d"
+  "libperpos_nmea.a"
+  "libperpos_nmea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perpos_nmea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

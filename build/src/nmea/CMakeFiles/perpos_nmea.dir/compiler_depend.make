@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for perpos_nmea.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/src/assembler.cpp" "src/runtime/CMakeFiles/perpos_runtime.dir/src/assembler.cpp.o" "gcc" "src/runtime/CMakeFiles/perpos_runtime.dir/src/assembler.cpp.o.d"
+  "/root/repo/src/runtime/src/bundle.cpp" "src/runtime/CMakeFiles/perpos_runtime.dir/src/bundle.cpp.o" "gcc" "src/runtime/CMakeFiles/perpos_runtime.dir/src/bundle.cpp.o.d"
+  "/root/repo/src/runtime/src/config.cpp" "src/runtime/CMakeFiles/perpos_runtime.dir/src/config.cpp.o" "gcc" "src/runtime/CMakeFiles/perpos_runtime.dir/src/config.cpp.o.d"
+  "/root/repo/src/runtime/src/distribution.cpp" "src/runtime/CMakeFiles/perpos_runtime.dir/src/distribution.cpp.o" "gcc" "src/runtime/CMakeFiles/perpos_runtime.dir/src/distribution.cpp.o.d"
+  "/root/repo/src/runtime/src/payload_codec.cpp" "src/runtime/CMakeFiles/perpos_runtime.dir/src/payload_codec.cpp.o" "gcc" "src/runtime/CMakeFiles/perpos_runtime.dir/src/payload_codec.cpp.o.d"
+  "/root/repo/src/runtime/src/registry.cpp" "src/runtime/CMakeFiles/perpos_runtime.dir/src/registry.cpp.o" "gcc" "src/runtime/CMakeFiles/perpos_runtime.dir/src/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/perpos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/perpos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/perpos_wifi.dir/DependInfo.cmake"
+  "/root/repo/build/src/locmodel/CMakeFiles/perpos_locmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/perpos_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perpos_runtime.dir/src/assembler.cpp.o"
+  "CMakeFiles/perpos_runtime.dir/src/assembler.cpp.o.d"
+  "CMakeFiles/perpos_runtime.dir/src/bundle.cpp.o"
+  "CMakeFiles/perpos_runtime.dir/src/bundle.cpp.o.d"
+  "CMakeFiles/perpos_runtime.dir/src/config.cpp.o"
+  "CMakeFiles/perpos_runtime.dir/src/config.cpp.o.d"
+  "CMakeFiles/perpos_runtime.dir/src/distribution.cpp.o"
+  "CMakeFiles/perpos_runtime.dir/src/distribution.cpp.o.d"
+  "CMakeFiles/perpos_runtime.dir/src/payload_codec.cpp.o"
+  "CMakeFiles/perpos_runtime.dir/src/payload_codec.cpp.o.d"
+  "CMakeFiles/perpos_runtime.dir/src/registry.cpp.o"
+  "CMakeFiles/perpos_runtime.dir/src/registry.cpp.o.d"
+  "libperpos_runtime.a"
+  "libperpos_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perpos_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

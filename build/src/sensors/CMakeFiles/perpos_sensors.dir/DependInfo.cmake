@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/src/emulator.cpp" "src/sensors/CMakeFiles/perpos_sensors.dir/src/emulator.cpp.o" "gcc" "src/sensors/CMakeFiles/perpos_sensors.dir/src/emulator.cpp.o.d"
+  "/root/repo/src/sensors/src/gps_model.cpp" "src/sensors/CMakeFiles/perpos_sensors.dir/src/gps_model.cpp.o" "gcc" "src/sensors/CMakeFiles/perpos_sensors.dir/src/gps_model.cpp.o.d"
+  "/root/repo/src/sensors/src/gps_sensor.cpp" "src/sensors/CMakeFiles/perpos_sensors.dir/src/gps_sensor.cpp.o" "gcc" "src/sensors/CMakeFiles/perpos_sensors.dir/src/gps_sensor.cpp.o.d"
+  "/root/repo/src/sensors/src/pipeline_components.cpp" "src/sensors/CMakeFiles/perpos_sensors.dir/src/pipeline_components.cpp.o" "gcc" "src/sensors/CMakeFiles/perpos_sensors.dir/src/pipeline_components.cpp.o.d"
+  "/root/repo/src/sensors/src/trajectory.cpp" "src/sensors/CMakeFiles/perpos_sensors.dir/src/trajectory.cpp.o" "gcc" "src/sensors/CMakeFiles/perpos_sensors.dir/src/trajectory.cpp.o.d"
+  "/root/repo/src/sensors/src/wifi_scanner.cpp" "src/sensors/CMakeFiles/perpos_sensors.dir/src/wifi_scanner.cpp.o" "gcc" "src/sensors/CMakeFiles/perpos_sensors.dir/src/wifi_scanner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/perpos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nmea/CMakeFiles/perpos_nmea.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/perpos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/perpos_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/locmodel/CMakeFiles/perpos_locmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/wifi/CMakeFiles/perpos_wifi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

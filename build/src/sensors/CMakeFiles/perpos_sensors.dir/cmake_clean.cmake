@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perpos_sensors.dir/src/emulator.cpp.o"
+  "CMakeFiles/perpos_sensors.dir/src/emulator.cpp.o.d"
+  "CMakeFiles/perpos_sensors.dir/src/gps_model.cpp.o"
+  "CMakeFiles/perpos_sensors.dir/src/gps_model.cpp.o.d"
+  "CMakeFiles/perpos_sensors.dir/src/gps_sensor.cpp.o"
+  "CMakeFiles/perpos_sensors.dir/src/gps_sensor.cpp.o.d"
+  "CMakeFiles/perpos_sensors.dir/src/pipeline_components.cpp.o"
+  "CMakeFiles/perpos_sensors.dir/src/pipeline_components.cpp.o.d"
+  "CMakeFiles/perpos_sensors.dir/src/trajectory.cpp.o"
+  "CMakeFiles/perpos_sensors.dir/src/trajectory.cpp.o.d"
+  "CMakeFiles/perpos_sensors.dir/src/wifi_scanner.cpp.o"
+  "CMakeFiles/perpos_sensors.dir/src/wifi_scanner.cpp.o.d"
+  "libperpos_sensors.a"
+  "libperpos_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perpos_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

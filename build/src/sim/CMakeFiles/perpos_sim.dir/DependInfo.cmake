@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/src/network.cpp" "src/sim/CMakeFiles/perpos_sim.dir/src/network.cpp.o" "gcc" "src/sim/CMakeFiles/perpos_sim.dir/src/network.cpp.o.d"
+  "/root/repo/src/sim/src/random.cpp" "src/sim/CMakeFiles/perpos_sim.dir/src/random.cpp.o" "gcc" "src/sim/CMakeFiles/perpos_sim.dir/src/random.cpp.o.d"
+  "/root/repo/src/sim/src/scheduler.cpp" "src/sim/CMakeFiles/perpos_sim.dir/src/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/perpos_sim.dir/src/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

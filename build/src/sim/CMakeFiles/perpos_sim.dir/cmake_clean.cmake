@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perpos_sim.dir/src/network.cpp.o"
+  "CMakeFiles/perpos_sim.dir/src/network.cpp.o.d"
+  "CMakeFiles/perpos_sim.dir/src/random.cpp.o"
+  "CMakeFiles/perpos_sim.dir/src/random.cpp.o.d"
+  "CMakeFiles/perpos_sim.dir/src/scheduler.cpp.o"
+  "CMakeFiles/perpos_sim.dir/src/scheduler.cpp.o.d"
+  "libperpos_sim.a"
+  "libperpos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perpos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wifi/src/components.cpp" "src/wifi/CMakeFiles/perpos_wifi.dir/src/components.cpp.o" "gcc" "src/wifi/CMakeFiles/perpos_wifi.dir/src/components.cpp.o.d"
+  "/root/repo/src/wifi/src/fingerprint.cpp" "src/wifi/CMakeFiles/perpos_wifi.dir/src/fingerprint.cpp.o" "gcc" "src/wifi/CMakeFiles/perpos_wifi.dir/src/fingerprint.cpp.o.d"
+  "/root/repo/src/wifi/src/signal_model.cpp" "src/wifi/CMakeFiles/perpos_wifi.dir/src/signal_model.cpp.o" "gcc" "src/wifi/CMakeFiles/perpos_wifi.dir/src/signal_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/perpos_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/perpos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/locmodel/CMakeFiles/perpos_locmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/perpos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perpos_wifi.dir/src/components.cpp.o"
+  "CMakeFiles/perpos_wifi.dir/src/components.cpp.o.d"
+  "CMakeFiles/perpos_wifi.dir/src/fingerprint.cpp.o"
+  "CMakeFiles/perpos_wifi.dir/src/fingerprint.cpp.o.d"
+  "CMakeFiles/perpos_wifi.dir/src/signal_model.cpp.o"
+  "CMakeFiles/perpos_wifi.dir/src/signal_model.cpp.o.d"
+  "libperpos_wifi.a"
+  "libperpos_wifi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perpos_wifi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

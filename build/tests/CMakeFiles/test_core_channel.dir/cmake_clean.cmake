@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_channel.dir/test_core_channel.cpp.o"
+  "CMakeFiles/test_core_channel.dir/test_core_channel.cpp.o.d"
+  "test_core_channel"
+  "test_core_channel.pdb"
+  "test_core_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_positioning.dir/test_core_positioning.cpp.o"
+  "CMakeFiles/test_core_positioning.dir/test_core_positioning.cpp.o.d"
+  "test_core_positioning"
+  "test_core_positioning.pdb"
+  "test_core_positioning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_positioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

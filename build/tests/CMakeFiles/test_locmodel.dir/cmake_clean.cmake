@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_locmodel.dir/test_locmodel.cpp.o"
+  "CMakeFiles/test_locmodel.dir/test_locmodel.cpp.o.d"
+  "test_locmodel"
+  "test_locmodel.pdb"
+  "test_locmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_locmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

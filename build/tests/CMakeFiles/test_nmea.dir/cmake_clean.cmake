@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nmea.dir/test_nmea.cpp.o"
+  "CMakeFiles/test_nmea.dir/test_nmea.cpp.o.d"
+  "test_nmea"
+  "test_nmea.pdb"
+  "test_nmea[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nmea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_operations.dir/test_operations.cpp.o"
+  "CMakeFiles/test_operations.dir/test_operations.cpp.o.d"
+  "test_operations"
+  "test_operations.pdb"
+  "test_operations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport_mode.dir/test_transport_mode.cpp.o"
+  "CMakeFiles/test_transport_mode.dir/test_transport_mode.cpp.o.d"
+  "test_transport_mode"
+  "test_transport_mode.pdb"
+  "test_transport_mode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

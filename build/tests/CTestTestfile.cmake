@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_geo[1]_include.cmake")
+include("/root/repo/build/tests/test_nmea[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_core_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_core_features[1]_include.cmake")
+include("/root/repo/build/tests/test_core_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_core_positioning[1]_include.cmake")
+include("/root/repo/build/tests/test_locmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_wifi[1]_include.cmake")
+include("/root/repo/build/tests/test_sensors[1]_include.cmake")
+include("/root/repo/build/tests/test_fusion[1]_include.cmake")
+include("/root/repo/build/tests/test_energy[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_kalman[1]_include.cmake")
+include("/root/repo/build/tests/test_transport_mode[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_config[1]_include.cmake")
+include("/root/repo/build/tests/test_operations[1]_include.cmake")
+include("/root/repo/build/tests/test_property_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_services[1]_include.cmake")
