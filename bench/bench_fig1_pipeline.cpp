@@ -7,11 +7,18 @@
 // on every edge (the content of Fig. 1), and verifies both deliver their
 // advertised outputs.
 //
-// Benchmark phase: per-epoch processing cost of each pipeline.
+// Benchmark phase: per-epoch processing cost of each pipeline, with and
+// without observability enabled (the price of telemetry).
+//
+// With `--metrics-json <path>` the report phase runs fully observed
+// (metrics + timing + tracing) and writes a self-describing snapshot:
+// per-component emit/deliver counts, on_input latency histograms, channel
+// telemetry and a Chrome trace_event flow trace (open in Perfetto).
 
 #include "perpos/core/channel.hpp"
 #include "perpos/core/components.hpp"
 #include "perpos/core/graph_dump.hpp"
+#include "perpos/core/trace_feature.hpp"
 #include "perpos/locmodel/fixtures.hpp"
 #include "perpos/locmodel/resolver.hpp"
 #include "perpos/nmea/generate.hpp"
@@ -25,12 +32,15 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 using namespace perpos;
 
 namespace {
 
-void print_report() {
+void print_report(const std::string& metrics_json_path) {
   std::printf("=== F1: Fig. 1 — positioning processes of the Room Number "
               "Application ===\n\n");
 
@@ -44,6 +54,9 @@ void print_report() {
   const sensors::Trajectory walk = sensors::office_walk();
 
   core::ProcessingGraph graph(&scheduler.clock());
+  obs::ObservabilityConfig obs_config;
+  obs_config.tracing = true;
+  graph.enable_observability(obs_config);
   core::ChannelManager channels(graph);
   runtime::GraphAssembler assembler(graph);
 
@@ -77,6 +90,11 @@ void print_report() {
     std::printf("  %-12s -> %s\n", e.producer.c_str(), e.consumer.c_str());
   }
 
+  for (core::Channel* ch : channels.channels()) {
+    channels.attach_feature(
+        *ch, std::make_shared<core::TraceChannelFeature>(ch->name()));
+  }
+
   gps->start();
   scanner->start();
   scheduler.run_until(sim::SimTime::from_seconds(60.0));
@@ -92,12 +110,60 @@ void print_report() {
               room != nullptr ? core::to_string(*room).c_str() : "<none>");
   std::printf("map-app last  : %s\n\n",
               fix != nullptr ? core::to_string(*fix).c_str() : "<none>");
+
+  // Observability: per-component runtime behaviour of the same run.
+  const obs::MetricsSnapshot snap = graph.metrics();
+  std::printf("--- telemetry (60 simulated seconds) ---\n");
+  std::printf("%-16s %8s %10s %12s %12s\n", "component", "emitted",
+              "delivered", "on_input p50", "on_input p95");
+  for (core::ComponentId id : graph.components()) {
+    const auto info = graph.info(id);
+    const auto* emitted = snap.find_counter("perpos_component_emitted_total",
+                                            "component", std::to_string(id));
+    const auto* delivered = snap.find_counter(
+        "perpos_component_delivered_total", "component", std::to_string(id));
+    const auto* latency = snap.find_histogram(
+        "perpos_component_on_input_us", "component", std::to_string(id));
+    std::printf("%-16s %8llu %10llu %10.1fus %10.1fus\n", info.kind.c_str(),
+                static_cast<unsigned long long>(
+                    emitted != nullptr ? emitted->value : 0),
+                static_cast<unsigned long long>(
+                    delivered != nullptr ? delivered->value : 0),
+                latency != nullptr ? latency->quantile(0.50) : 0.0,
+                latency != nullptr ? latency->quantile(0.95) : 0.0);
+  }
+  const std::size_t spans =
+      graph.tracer() != nullptr ? graph.tracer()->spans().size() : 0;
+  std::printf("flow spans recorded: %zu\n\n", spans);
+
+  if (!metrics_json_path.empty()) {
+    std::ofstream out(metrics_json_path);
+    out << "{\"experiment\":\"fig1_pipeline\",\"metrics\":"
+        << obs::to_json(snap) << ",\"trace\":"
+        << (graph.tracer() != nullptr ? graph.tracer()->to_chrome_trace_json()
+                                      : std::string("{\"traceEvents\":[]}"))
+        << "}\n";
+    if (out) {
+      std::printf("metrics snapshot written to %s\n\n",
+                  metrics_json_path.c_str());
+    } else {
+      std::printf("ERROR: could not write %s\n\n", metrics_json_path.c_str());
+    }
+  }
 }
 
 /// Per-epoch cost of the GPS pipeline: one GGA sentence through Parser and
-/// Interpreter to the application.
+/// Interpreter to the application. `observed` = 0 (off, the default cost),
+/// 1 (metrics only), 2 (metrics + timing).
 void BM_GpsPipelineEpoch(benchmark::State& state) {
   core::ProcessingGraph graph;
+  const auto observed = state.range(0);
+  if (observed > 0) {
+    obs::ObservabilityConfig cfg;
+    cfg.metrics = true;
+    cfg.timing = observed >= 2;
+    graph.enable_observability(cfg);
+  }
   auto source = std::make_shared<core::SourceComponent>(
       "GPS",
       std::vector<core::DataSpec>{core::provide<core::RawFragment>()});
@@ -122,8 +188,11 @@ void BM_GpsPipelineEpoch(benchmark::State& state) {
     source->push(core::RawFragment{sentence});
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(observed == 0   ? "obs:off"
+                 : observed == 1 ? "obs:metrics"
+                                 : "obs:metrics+timing");
 }
-BENCHMARK(BM_GpsPipelineEpoch);
+BENCHMARK(BM_GpsPipelineEpoch)->Arg(0)->Arg(1)->Arg(2);
 
 /// Per-scan cost of the WiFi pipeline with a realistic fingerprint DB.
 void BM_WifiPipelineScan(benchmark::State& state) {
@@ -156,7 +225,19 @@ BENCHMARK(BM_WifiPipelineScan);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_report();
+  // Strip --metrics-json <path> before google-benchmark sees the args.
+  std::string metrics_json_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      metrics_json_path = argv[++i];
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  print_report(metrics_json_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

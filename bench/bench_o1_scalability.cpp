@@ -7,16 +7,24 @@
 //  * delivery throughput vs fan-out width,
 //  * channel-view derivation vs graph size,
 //  * graph assembly (add+connect) cost vs component count,
-//  * provenance bookkeeping cost vs inputs-per-output.
+//  * provenance bookkeeping cost vs inputs-per-output,
+//  * observability overhead (metrics / timing / tracing) vs the bare graph.
+//
+// `--metrics-json <path>` writes the observed deep-pipeline run as a
+// machine-readable snapshot (metrics + Chrome trace_event flow trace).
 
 #include "perpos/core/channel.hpp"
 #include "perpos/core/components.hpp"
 #include "perpos/core/graph.hpp"
+#include "perpos/fusion/metrics.hpp"
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 using namespace perpos;
 
@@ -68,21 +76,58 @@ struct FanRig {
   std::shared_ptr<core::SourceComponent> source;
 };
 
-void print_report() {
+void print_report(const std::string& metrics_json_path) {
   std::printf("=== O1: scalability of the reified processing graph ===\n\n");
-  std::printf("%-22s %16s\n", "pipeline depth", "deliveries/sec");
+  std::printf("%-22s %16s %16s\n", "pipeline depth", "deliveries/sec",
+              "observed del/sec");
   for (int depth : {1, 8, 32, 128}) {
-    ChainRig rig(depth);
     constexpr int kIters = 20000;
-    const auto start = std::chrono::steady_clock::now();
-    for (int i = 0; i < kIters; ++i) rig.source->push(Value{i});
-    const auto stop = std::chrono::steady_clock::now();
-    const double secs = std::chrono::duration<double>(stop - start).count();
-    std::printf("%-22d %16.0f\n", depth,
-                static_cast<double>(kIters) * (depth + 1) / secs);
+    const auto run = [&](bool observed) {
+      ChainRig rig(depth);
+      if (observed) rig.graph.enable_observability();
+      const auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < kIters; ++i) rig.source->push(Value{i});
+      const auto stop = std::chrono::steady_clock::now();
+      const double secs = std::chrono::duration<double>(stop - start).count();
+      return static_cast<double>(kIters) * (depth + 1) / secs;
+    };
+    std::printf("%-22d %16.0f %16.0f\n", depth, run(false), run(true));
   }
   std::printf("\n(each hop stamps logical time and provenance — the price "
-              "of translucency)\n\n");
+              "of translucency;\n the observed column adds counters and "
+              "on_input latency histograms)\n\n");
+
+  // One fully observed deep pipeline, summarized with the same ErrorStats
+  // machinery the accuracy tables use, and optionally exported as JSON.
+  ChainRig rig(16);
+  obs::ObservabilityConfig cfg;
+  cfg.tracing = true;
+  rig.graph.enable_observability(cfg);
+  std::vector<double> push_us;
+  for (int i = 0; i < 2000; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    rig.source->push(Value{i});
+    push_us.push_back(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+  }
+  std::printf("%s\n", perpos::fusion::stats_header().c_str());
+  std::printf("%s\n\n",
+              perpos::fusion::format_series_row("observed push (us)", push_us)
+                  .c_str());
+
+  if (!metrics_json_path.empty()) {
+    std::ofstream out(metrics_json_path);
+    out << "{\"experiment\":\"o1_scalability\",\"metrics\":"
+        << obs::to_json(rig.graph.metrics()) << ",\"trace\":"
+        << rig.graph.tracer()->to_chrome_trace_json() << "}\n";
+    if (out) {
+      std::printf("metrics snapshot written to %s\n\n",
+                  metrics_json_path.c_str());
+    } else {
+      std::printf("ERROR: could not write %s\n\n", metrics_json_path.c_str());
+    }
+  }
 }
 
 void BM_PipelineDepth(benchmark::State& state) {
@@ -95,6 +140,33 @@ void BM_PipelineDepth(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * (state.range(0) + 1)));
 }
 BENCHMARK(BM_PipelineDepth)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+/// Same pipeline with observability on: range(1) selects the level
+/// (1 = metrics, 2 = +timing, 3 = +tracing).
+void BM_PipelineDepthObserved(benchmark::State& state) {
+  ChainRig rig(static_cast<int>(state.range(0)));
+  obs::ObservabilityConfig cfg;
+  cfg.metrics = true;
+  cfg.timing = state.range(1) >= 2;
+  cfg.tracing = state.range(1) >= 3;
+  rig.graph.enable_observability(cfg);
+  int i = 0;
+  for (auto _ : state) {
+    rig.source->push(Value{i++});
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * (state.range(0) + 1)));
+  state.SetLabel(state.range(1) == 1   ? "metrics"
+                 : state.range(1) == 2 ? "metrics+timing"
+                                       : "metrics+timing+tracing");
+}
+BENCHMARK(BM_PipelineDepthObserved)
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({16, 3})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 3});
 
 void BM_FanOutWidth(benchmark::State& state) {
   FanRig rig(static_cast<int>(state.range(0)));
@@ -177,7 +249,18 @@ BENCHMARK(BM_ProvenanceAggregation)->Arg(1)->Arg(10)->Arg(100);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_report();
+  std::string metrics_json_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      metrics_json_path = argv[++i];
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
+  print_report(metrics_json_path);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -2,6 +2,8 @@
 
 #include "perpos/core/component.hpp"
 #include "perpos/core/feature.hpp"
+#include "perpos/obs/metrics.hpp"
+#include "perpos/obs/trace.hpp"
 #include "perpos/sim/clock.hpp"
 
 #include <cstdint>
@@ -145,6 +147,38 @@ class ProcessingGraph {
 
   const sim::Clock* clock() const noexcept { return clock_; }
 
+  // --- Observability -------------------------------------------------------
+  //
+  // When enabled, the graph records per-component runtime behaviour into an
+  // obs::MetricsRegistry (samples emitted / delivered / rejected, hook
+  // vetoes, on_input and feature-hook wall-time histograms) and — with
+  // `tracing` on — per-delivery flow spans whose parent links mirror each
+  // sample's provenance chain. When disabled (the default) the dispatch
+  // path pays a single null-pointer check.
+
+  /// Start (or reconfigure) observability. Metrics accumulated so far are
+  /// kept when called repeatedly. Rejected during dispatch.
+  void enable_observability(obs::ObservabilityConfig config = {});
+
+  /// Drop the registry, the recorder and all accumulated data.
+  void disable_observability();
+
+  bool observability_enabled() const noexcept;
+
+  /// The active configuration, or nullptr when disabled.
+  const obs::ObservabilityConfig* observability_config() const noexcept;
+
+  /// The registry (for custom instrumentation: components and features may
+  /// publish their own metrics here), or nullptr when disabled.
+  obs::MetricsRegistry* metrics_registry() const noexcept;
+
+  /// PSL inspection API: a point-in-time snapshot of every metric. Empty
+  /// when observability is disabled.
+  obs::MetricsSnapshot metrics() const;
+
+  /// The flow-trace recorder, or nullptr unless tracing is enabled.
+  obs::TraceRecorder* tracer() const noexcept;
+
   // --- Used by ComponentContext / FeatureContext --------------------------
 
   /// Emit from a component (feature_origin empty) or from a feature.
@@ -153,6 +187,7 @@ class ProcessingGraph {
 
  private:
   struct Entry;
+  struct Obs;
 
   Entry& entry(ComponentId id);
   const Entry& entry(ComponentId id) const;
@@ -169,6 +204,11 @@ class ProcessingGraph {
   std::uint64_t deliveries_ = 0;
   std::size_t live_count_ = 0;
   int dispatch_depth_ = 0;
+  std::unique_ptr<Obs> obs_;
+  /// Monotone handle-cache generation; bumped on every enable so stale
+  /// handles from an earlier registry are never reused after re-enable.
+  std::uint64_t obs_generation_ = 0;
+  std::uint64_t current_span_ = 0;  ///< Open on_input span during dispatch.
 };
 
 }  // namespace perpos::core

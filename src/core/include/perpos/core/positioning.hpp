@@ -121,6 +121,31 @@ class LocationProvider {
   ComponentId sink_id() const noexcept { return sink_id_; }
   const ProviderAdvertisement& advertisement() const noexcept { return ad_; }
 
+  // --- Provider-level observability ---------------------------------------
+
+  /// PositionFixes delivered to this provider since creation.
+  std::uint64_t fixes() const noexcept { return fix_count_; }
+
+  /// Simulation time of the first / most recent fix.
+  std::optional<sim::SimTime> first_fix_time() const noexcept {
+    return first_fix_time_;
+  }
+  std::optional<sim::SimTime> last_fix_time() const noexcept {
+    return last_fix_time_;
+  }
+
+  /// Average fix rate in Hz over the observed fix interval; 0 until two
+  /// fixes have arrived.
+  double fix_rate_hz() const noexcept;
+
+  /// Seconds since the last fix at simulation time `now`; +infinity when
+  /// no fix has ever arrived.
+  double staleness_s(sim::SimTime now) const noexcept;
+
+  /// "<technology>#<sink id>" — the label naming this provider's metric
+  /// series in the graph registry.
+  std::string metric_label() const;
+
  private:
   friend class PositioningService;
   LocationProvider(PositioningService* service, ComponentId sink_id,
@@ -145,6 +170,12 @@ class LocationProvider {
   std::map<SubscriptionId, SampleListener> sample_listeners_;
   std::map<SubscriptionId, Proximity> proximity_listeners_;
   std::optional<PositionFix> last_fix_;
+  std::uint64_t fix_count_ = 0;
+  std::optional<sim::SimTime> first_fix_time_;
+  std::optional<sim::SimTime> last_fix_time_;
+  obs::MetricsRegistry* bound_registry_ = nullptr;
+  obs::Counter* fix_counter_ = nullptr;
+  obs::Counter* sample_counter_ = nullptr;
 };
 
 /// A tracked entity which may have several position providers attached
@@ -204,6 +235,13 @@ class PositioningService {
   /// Targets without any fix are excluded.
   std::vector<std::pair<Target*, double>> k_nearest(const geo::GeoPoint& point,
                                                     std::size_t k);
+
+  /// Publish per-provider gauges (fix rate, staleness, advertised
+  /// accuracy) into the graph's metrics registry. Fix *counters* are
+  /// maintained live as fixes arrive; rates and staleness are computed
+  /// against the graph clock at call time. No-op while observability is
+  /// disabled.
+  void publish_metrics();
 
   ProcessingGraph& graph() noexcept { return graph_; }
   ChannelManager& channels() noexcept { return channels_; }

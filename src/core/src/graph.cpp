@@ -1,9 +1,22 @@
 #include "perpos/core/graph.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace perpos::core {
+
+/// Cached metric handles of one component; filled lazily after
+/// enable_observability so the hot path never does a registry lookup.
+struct ComponentMetricHandles {
+  obs::Counter* emitted = nullptr;
+  obs::Counter* delivered = nullptr;
+  obs::Counter* rejected = nullptr;
+  obs::Counter* produce_vetoed = nullptr;
+  obs::Counter* consume_vetoed = nullptr;
+  obs::Histogram* on_input_us = nullptr;
+};
 
 struct ProcessingGraph::Entry {
   std::shared_ptr<ProcessingComponent> component;
@@ -21,8 +34,80 @@ struct ProcessingGraph::Entry {
   /// emission happens after pending_inputs was consumed.
   const Sample* current_input = nullptr;
 
+  ComponentMetricHandles metric_handles;
+  std::uint64_t metric_epoch = 0;  ///< Matches Obs::epoch when handles valid.
+
   bool live = false;
 };
+
+/// Per-feature hook-timing histograms, keyed by feature object.
+struct FeatureMetricHandles {
+  obs::Histogram* produce_us = nullptr;
+  obs::Histogram* consume_us = nullptr;
+};
+
+struct ProcessingGraph::Obs {
+  obs::ObservabilityConfig config;
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::TraceRecorder> tracer;
+  std::uint64_t epoch = 1;  ///< Bumped when handles must be re-resolved.
+  std::unordered_map<const ComponentFeature*, FeatureMetricHandles>
+      feature_handles;
+  obs::Counter* deliveries_total = nullptr;
+  obs::Counter* rejections_total = nullptr;
+  obs::Counter* mutations_total = nullptr;
+  obs::Gauge* components_gauge = nullptr;
+
+  ComponentMetricHandles& handles(Entry& e, ComponentId id) {
+    if (e.metric_epoch != epoch) {
+      const obs::Labels labels{{"component", std::to_string(id)},
+                               {"kind", std::string(e.component->kind())}};
+      e.metric_handles.emitted =
+          registry.counter("perpos_component_emitted_total", labels);
+      e.metric_handles.delivered =
+          registry.counter("perpos_component_delivered_total", labels);
+      e.metric_handles.rejected =
+          registry.counter("perpos_component_rejected_total", labels);
+      e.metric_handles.produce_vetoed =
+          registry.counter("perpos_component_produce_vetoed_total", labels);
+      e.metric_handles.consume_vetoed =
+          registry.counter("perpos_component_consume_vetoed_total", labels);
+      // Without timing no latency is ever observed; don't pollute exports
+      // with an empty histogram. (All uses are gated on config.timing.)
+      e.metric_handles.on_input_us =
+          config.timing ? registry.histogram("perpos_component_on_input_us",
+                                             labels)
+                        : nullptr;
+      e.metric_epoch = epoch;
+    }
+    return e.metric_handles;
+  }
+
+  FeatureMetricHandles& handles(const Entry& e, ComponentId id,
+                                const ComponentFeature& feature) {
+    auto [it, inserted] = feature_handles.try_emplace(&feature);
+    if (inserted) {
+      const obs::Labels labels{{"component", std::to_string(id)},
+                               {"kind", std::string(e.component->kind())},
+                               {"feature", std::string(feature.name())}};
+      it->second.produce_us =
+          registry.histogram("perpos_feature_produce_us", labels);
+      it->second.consume_us =
+          registry.histogram("perpos_feature_consume_us", labels);
+    }
+    return it->second;
+  }
+};
+
+namespace {
+
+double now_wall_us() noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 namespace {
 
@@ -47,6 +132,10 @@ void ProcessingGraph::remove_mutation_listener(std::size_t token) {
 }
 
 void ProcessingGraph::notify_mutation() {
+  if (obs_ && obs_->config.metrics) {
+    obs_->mutations_total->inc();
+    obs_->components_gauge->set(static_cast<double>(live_count_));
+  }
   // Iterate over a copy: a listener may (un)register listeners.
   const auto snapshot = listeners_;
   for (const auto& [token, fn] : snapshot) fn();
@@ -54,6 +143,62 @@ void ProcessingGraph::notify_mutation() {
 
 ProcessingGraph::ProcessingGraph(const sim::Clock* clock) : clock_(clock) {}
 ProcessingGraph::~ProcessingGraph() = default;
+
+void ProcessingGraph::enable_observability(obs::ObservabilityConfig config) {
+  check_not_dispatching("enable_observability");
+  if (!obs_) {
+    obs_ = std::make_unique<Obs>();
+    obs_->deliveries_total =
+        obs_->registry.counter("perpos_graph_deliveries_total");
+    obs_->rejections_total =
+        obs_->registry.counter("perpos_graph_rejections_total");
+    obs_->mutations_total =
+        obs_->registry.counter("perpos_graph_mutations_total");
+    obs_->components_gauge = obs_->registry.gauge("perpos_graph_components");
+  }
+  obs_->config = config;
+  // Invalidate every cached handle set: entries may hold pointers into a
+  // previous registry (destroyed by disable_observability), and a config
+  // change can alter which handles exist (e.g. the timing histogram). The
+  // generation counter lives on the graph so it survives obs_ teardown.
+  obs_->epoch = ++obs_generation_;
+  if (config.tracing) {
+    if (!obs_->tracer) {
+      obs_->tracer =
+          std::make_unique<obs::TraceRecorder>(config.trace_capacity);
+    }
+  } else {
+    obs_->tracer.reset();
+  }
+  obs_->components_gauge->set(static_cast<double>(live_count_));
+}
+
+void ProcessingGraph::disable_observability() {
+  check_not_dispatching("disable_observability");
+  obs_.reset();
+  current_span_ = 0;
+}
+
+bool ProcessingGraph::observability_enabled() const noexcept {
+  return obs_ != nullptr;
+}
+
+const obs::ObservabilityConfig* ProcessingGraph::observability_config()
+    const noexcept {
+  return obs_ ? &obs_->config : nullptr;
+}
+
+obs::MetricsRegistry* ProcessingGraph::metrics_registry() const noexcept {
+  return obs_ ? &obs_->registry : nullptr;
+}
+
+obs::MetricsSnapshot ProcessingGraph::metrics() const {
+  return obs_ ? obs_->registry.snapshot() : obs::MetricsSnapshot{};
+}
+
+obs::TraceRecorder* ProcessingGraph::tracer() const noexcept {
+  return obs_ ? obs_->tracer.get() : nullptr;
+}
 
 ProcessingGraph::Entry& ProcessingGraph::entry(ComponentId id) {
   if (!has(id)) throw std::invalid_argument("unknown component id");
@@ -234,6 +379,7 @@ void ProcessingGraph::detach_feature(ComponentId host, std::string_view name) {
                                 "' not attached");
   }
   (*it)->context_ = FeatureContext();
+  if (obs_) obs_->feature_handles.erase(it->get());
   e.features.erase(it);
 }
 
@@ -326,17 +472,50 @@ void ProcessingGraph::emit_from(ComponentId producer, Payload payload,
         std::vector<Sample>{*e.current_input});
   }
 
+  Obs* const obs = obs_.get();
+  const bool timing = obs != nullptr && obs->config.timing;
+
   // Produce hooks of the producing component's features. A hook may modify
   // the sample but not its data type; returning false drops the emission.
   const TypeInfo* original_type = sample.payload.type();
   for (const auto& f : e.features) {
-    if (!f->produce(sample)) return;
+    bool keep;
+    if (timing) {
+      const double t0 = now_wall_us();
+      keep = f->produce(sample);
+      obs->handles(e, producer, *f).produce_us->observe(now_wall_us() - t0);
+    } else {
+      keep = f->produce(sample);
+    }
+    if (!keep) {
+      if (obs != nullptr && obs->config.metrics) {
+        obs->handles(e, producer).produce_vetoed->inc();
+      }
+      return;
+    }
     if (sample.payload.type() != original_type) {
       throw std::logic_error("feature '" + std::string(f->name()) +
                              "' changed the data type in produce()");
     }
   }
   ++e.emitted;
+  if (obs != nullptr && obs->config.metrics) {
+    obs->handles(e, producer).emitted->inc();
+  }
+
+  // Flow tracing: bind the sample to the span it was produced under. An
+  // emission during dispatch belongs to the producer's open on_input span;
+  // an external push (a source) gets an instantaneous root span of its own.
+  if (obs != nullptr && obs->tracer) {
+    obs::TraceRecorder& tracer = *obs->tracer;
+    std::uint64_t span = current_span_;
+    if (span == 0) {
+      span = tracer.open(std::string(e.component->kind()) + ".emit", producer,
+                         producer, sample.sequence, 0);
+      tracer.close(span);
+    }
+    tracer.bind_sample(producer, sample.sequence, span);
+  }
 
   // Deliver to each connected consumer that accepts the sample's spec.
   // Iterate over a copy of ids: consumers_ is stable during dispatch
@@ -349,18 +528,39 @@ void ProcessingGraph::emit_from(ComponentId producer, Payload payload,
 
 void ProcessingGraph::deliver(const Sample& sample, ComponentId consumer) {
   Entry& c = entry(consumer);
+  Obs* const obs = obs_.get();
+  const bool metrics = obs != nullptr && obs->config.metrics;
+  const bool timing = obs != nullptr && obs->config.timing;
+
   const auto reqs = c.component->input_requirements();
   const bool accepted = std::any_of(
       reqs.begin(), reqs.end(), [&](const InputRequirement& r) {
         return r.accepts(sample.payload.type(), sample.feature_origin);
       });
-  if (!accepted) return;
+  if (!accepted) {
+    if (metrics) {
+      obs->handles(c, consumer).rejected->inc();
+      obs->rejections_total->inc();
+    }
+    return;
+  }
 
   // Consume hooks of the receiving component's features.
   Sample local = sample;
   const TypeInfo* original_type = local.payload.type();
   for (const auto& f : c.features) {
-    if (!f->consume(local)) return;
+    bool keep;
+    if (timing) {
+      const double t0 = now_wall_us();
+      keep = f->consume(local);
+      obs->handles(c, consumer, *f).consume_us->observe(now_wall_us() - t0);
+    } else {
+      keep = f->consume(local);
+    }
+    if (!keep) {
+      if (metrics) obs->handles(c, consumer).consume_vetoed->inc();
+      return;
+    }
     if (local.payload.type() != original_type) {
       throw std::logic_error("feature '" + std::string(f->name()) +
                              "' changed the data type in consume()");
@@ -368,11 +568,29 @@ void ProcessingGraph::deliver(const Sample& sample, ComponentId consumer) {
   }
 
   ++deliveries_;
+  if (metrics) {
+    obs->handles(c, consumer).delivered->inc();
+    obs->deliveries_total->inc();
+  }
   // Record provenance only for components that can emit; pure sinks
   // (applications) would otherwise accumulate pending inputs forever.
   if (!c.component->output_capabilities().empty()) {
     c.pending_inputs.push_back(local);
   }
+
+  // Open the flow span for this delivery: its parent is the span under
+  // which the sample was emitted, so span ancestry == provenance chain.
+  const std::uint64_t saved_span = current_span_;
+  std::uint64_t span_id = 0;
+  if (obs != nullptr && obs->tracer) {
+    const std::uint64_t parent =
+        obs->tracer->span_for_sample(local.producer, local.sequence);
+    span_id = obs->tracer->open(
+        std::string(c.component->kind()) + ".on_input", consumer,
+        local.producer, local.sequence, parent);
+    current_span_ = span_id;
+  }
+  const double t0 = timing ? now_wall_us() : 0.0;
 
   const Sample* saved = c.current_input;
   c.current_input = &local;
@@ -382,10 +600,17 @@ void ProcessingGraph::deliver(const Sample& sample, ComponentId consumer) {
   } catch (...) {
     --dispatch_depth_;
     c.current_input = saved;
+    if (span_id != 0 && obs_ && obs_->tracer) obs_->tracer->close(span_id);
+    current_span_ = saved_span;
     throw;
   }
   --dispatch_depth_;
   c.current_input = saved;
+  if (timing) {
+    obs->handles(c, consumer).on_input_us->observe(now_wall_us() - t0);
+  }
+  if (span_id != 0 && obs->tracer) obs->tracer->close(span_id);
+  current_span_ = saved_span;
 }
 
 }  // namespace perpos::core

@@ -1,6 +1,7 @@
 #include "perpos/core/positioning.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -46,12 +47,48 @@ std::vector<Channel*> LocationProvider::channels() const {
   return service_->channels_.channels_into(sink_id_);
 }
 
+double LocationProvider::fix_rate_hz() const noexcept {
+  if (fix_count_ < 2 || !first_fix_time_ || !last_fix_time_) return 0.0;
+  const double span_s = (*last_fix_time_ - *first_fix_time_).seconds();
+  if (span_s <= 0.0) return 0.0;
+  return static_cast<double>(fix_count_ - 1) / span_s;
+}
+
+double LocationProvider::staleness_s(sim::SimTime now) const noexcept {
+  if (!last_fix_time_) return std::numeric_limits<double>::infinity();
+  return std::max(0.0, (now - *last_fix_time_).seconds());
+}
+
+std::string LocationProvider::metric_label() const {
+  return ad_.technology + "#" + std::to_string(sink_id_);
+}
+
 void LocationProvider::on_sample(const Sample& sample) {
+  if (obs::MetricsRegistry* registry = service_->graph_.metrics_registry()) {
+    if (registry != bound_registry_) {
+      const obs::Labels labels{{"provider", metric_label()}};
+      sample_counter_ =
+          registry->counter("perpos_provider_samples_total", labels);
+      fix_counter_ = registry->counter("perpos_provider_fixes_total", labels);
+      bound_registry_ = registry;
+    }
+    sample_counter_->inc();
+  } else {
+    bound_registry_ = nullptr;
+  }
+
   for (const auto& [id, listener] : sample_listeners_) listener(sample);
 
   const PositionFix* fix = sample.payload.get<PositionFix>();
   if (fix == nullptr) return;
   last_fix_ = *fix;
+  ++fix_count_;
+  // Rate/staleness are measured on the fix's own validity time, not the
+  // delivery time: the two coincide under a live clock, but a clockless
+  // graph (tests, replays) still timestamps its fixes.
+  if (!first_fix_time_) first_fix_time_ = fix->timestamp;
+  last_fix_time_ = fix->timestamp;
+  if (bound_registry_ != nullptr) fix_counter_->inc();
   for (const auto& [id, listener] : fix_listeners_) listener(*fix, sample);
   for (auto& [id, prox] : proximity_listeners_) {
     const bool inside =
@@ -153,6 +190,29 @@ LocationProvider& PositioningService::request_provider(
 Target& PositioningService::create_target(std::string name) {
   targets_.push_back(std::make_unique<Target>(std::move(name)));
   return *targets_.back();
+}
+
+void PositioningService::publish_metrics() {
+  obs::MetricsRegistry* registry = graph_.metrics_registry();
+  if (registry == nullptr) return;
+  const sim::SimTime now =
+      graph_.clock() != nullptr ? graph_.clock()->now() : sim::SimTime::zero();
+  registry->gauge("perpos_service_providers")
+      ->set(static_cast<double>(providers_.size()));
+  registry->gauge("perpos_service_targets")
+      ->set(static_cast<double>(targets_.size()));
+  for (const auto& p : providers_) {
+    const obs::Labels labels{{"provider", p->metric_label()}};
+    registry->gauge("perpos_provider_fix_rate_hz", labels)
+        ->set(p->fix_rate_hz());
+    const double staleness = p->staleness_s(now);
+    // A provider that never delivered reports a negative staleness gauge
+    // rather than +Inf, which serialises poorly in most scrapers.
+    registry->gauge("perpos_provider_staleness_seconds", labels)
+        ->set(std::isinf(staleness) ? -1.0 : staleness);
+    registry->gauge("perpos_provider_advertised_accuracy_m", labels)
+        ->set(p->advertisement().typical_accuracy_m);
+  }
 }
 
 std::vector<std::pair<Target*, double>> PositioningService::k_nearest(

@@ -21,8 +21,16 @@ struct ErrorStats {
 };
 
 /// Compute summary statistics of an error series (metres). An empty input
-/// yields all-zero stats.
+/// yields all-zero stats. Median and p95 are linearly interpolated order
+/// statistics, so an even-length series averages its middle pair and an
+/// n=1 series reports that value for every quantile.
 ErrorStats compute_stats(std::vector<double> errors);
+
+/// Summarise an error series into one ErrorStats-backed table row; used by
+/// benches to render obs latency series with the same format as position
+/// error tables.
+std::string format_series_row(const std::string& label,
+                              const std::vector<double>& series);
 
 /// One formatted table row: "label  n  mean  rmse  median  p95  max".
 std::string format_stats_row(const std::string& label, const ErrorStats& s);

@@ -19,10 +19,24 @@ ErrorStats compute_stats(std::vector<double> errors) {
   const double n = static_cast<double>(errors.size());
   s.mean = sum / n;
   s.rmse = std::sqrt(sum_sq / n);
-  s.median = errors[errors.size() / 2];
-  s.p95 = errors[static_cast<std::size_t>(0.95 * (n - 1))];
+  // Linearly interpolated order statistics (the common "type 7" quantile):
+  // exact for n=1, averages the middle pair for even n.
+  const auto quantile = [&](double q) {
+    const double rank = q * (n - 1.0);
+    const auto lo = static_cast<std::size_t>(rank);
+    if (lo + 1 >= errors.size()) return errors.back();
+    const double frac = rank - static_cast<double>(lo);
+    return errors[lo] + frac * (errors[lo + 1] - errors[lo]);
+  };
+  s.median = quantile(0.5);
+  s.p95 = quantile(0.95);
   s.max = errors.back();
   return s;
+}
+
+std::string format_series_row(const std::string& label,
+                              const std::vector<double>& series) {
+  return format_stats_row(label, compute_stats(series));
 }
 
 std::string format_stats_row(const std::string& label, const ErrorStats& s) {

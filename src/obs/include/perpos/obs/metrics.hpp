@@ -1,0 +1,215 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file metrics.hpp
+/// The observability substrate (perpos::obs): a registry of named,
+/// labelled metrics — counters, gauges and fixed-bucket histograms — with
+/// machine-readable exporters (Prometheus text exposition and JSON).
+///
+/// PerPos's thesis is that the internal positioning process should be
+/// *inspectable*; this module is the runtime half of that promise. The
+/// Process Structure Layer exposes structure (graph_dump), the registry
+/// exposes behaviour: sample rates, rejection counts, hook costs and
+/// on_input latencies.
+///
+/// Design points:
+///  * Hot-path operations (Counter::inc, Histogram::observe) touch only
+///    relaxed atomics — no locks, no allocation. The registry mutex is
+///    taken only when a metric handle is first created or a snapshot is
+///    taken.
+///  * Handles returned by the registry are stable for the registry's
+///    lifetime (metrics live in a deque), so callers cache raw pointers.
+///  * Histograms use fixed upper-bound buckets (Prometheus style, +Inf
+///    implicit) so observe() is a branchless-ish linear scan over a dozen
+///    doubles — no per-sample allocation, bounded memory.
+
+namespace perpos::obs {
+
+/// Sorted (key, value) pairs identifying one time series of a metric.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotone event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram; bucket i counts observations <= bounds[i], with
+/// an implicit +Inf bucket at the end. Also tracks sum/min/max.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::vector<double> bounds_;
+  std::deque<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Default latency buckets in microseconds: 0.5us .. ~8ms, log-spaced.
+std::vector<double> default_latency_buckets_us();
+
+// --- Snapshots ---------------------------------------------------------------
+
+struct CounterSnapshot {
+  std::string name;
+  Labels labels;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  Labels labels;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  Labels labels;
+  std::vector<double> bounds;          ///< Upper bounds, +Inf implicit.
+  std::vector<std::uint64_t> buckets;  ///< Per-bucket (non-cumulative).
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  double mean() const noexcept {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// Bucket-interpolated quantile estimate, q in [0,1]. The error is
+  /// bounded by the bucket width around the true value.
+  double quantile(double q) const noexcept;
+};
+
+/// A point-in-time copy of every metric in a registry.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  /// First counter with this name (any labels), or nullptr.
+  const CounterSnapshot* find_counter(std::string_view name) const noexcept;
+  /// Counter with this name and a label equal to (key, value), or nullptr.
+  const CounterSnapshot* find_counter(std::string_view name,
+                                      std::string_view key,
+                                      std::string_view value) const noexcept;
+  const GaugeSnapshot* find_gauge(std::string_view name) const noexcept;
+  const GaugeSnapshot* find_gauge(std::string_view name, std::string_view key,
+                                  std::string_view value) const noexcept;
+  const HistogramSnapshot* find_histogram(std::string_view name) const noexcept;
+  const HistogramSnapshot* find_histogram(std::string_view name,
+                                          std::string_view key,
+                                          std::string_view value)
+      const noexcept;
+};
+
+// --- Registry ----------------------------------------------------------------
+
+/// Owner of all metrics of one observed subsystem (typically one
+/// ProcessingGraph). Creation and snapshotting lock; increments do not.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. The returned pointer is valid for the registry's
+  /// lifetime; repeated calls with the same (name, labels) return the same
+  /// object.
+  Counter* counter(const std::string& name, Labels labels = {});
+  Gauge* gauge(const std::string& name, Labels labels = {});
+  /// `upper_bounds` is only used on first creation; empty means
+  /// default_latency_buckets_us().
+  Histogram* histogram(const std::string& name, Labels labels = {},
+                       std::vector<double> upper_bounds = {});
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct Key {
+    std::string name;
+    Labels labels;
+    bool operator<(const Key& o) const noexcept {
+      if (name != o.name) return name < o.name;
+      return labels < o.labels;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::map<Key, Counter*> counter_index_;
+  std::map<Key, Gauge*> gauge_index_;
+  std::map<Key, Histogram*> histogram_index_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+};
+
+// --- Exporters ---------------------------------------------------------------
+
+/// Prometheus text exposition format (counters get a _total-preserving
+/// name as given; histograms expand to _bucket/_sum/_count series).
+std::string to_prometheus_text(const MetricsSnapshot& snapshot);
+
+/// JSON object: {"counters":[...],"gauges":[...],"histograms":[...]}.
+std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Escape a string for embedding in a JSON or Prometheus label value.
+std::string escape_json(std::string_view s);
+
+// --- Configuration -----------------------------------------------------------
+
+/// What an observed graph records. All knobs independent so the overhead
+/// can be dialled: `metrics` alone costs a few relaxed atomic increments
+/// per sample; `timing` adds two steady_clock reads per hook/on_input;
+/// `tracing` additionally retains flow spans (bounded by trace_capacity).
+struct ObservabilityConfig {
+  bool metrics = true;
+  bool timing = true;
+  bool tracing = false;
+  std::size_t trace_capacity = 4096;  ///< Completed spans retained (ring).
+};
+
+}  // namespace perpos::obs

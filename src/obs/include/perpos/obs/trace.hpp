@@ -1,0 +1,88 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+/// \file trace.hpp
+/// Sample-flow tracing: spans recording one sample's journey through the
+/// processing graph, source to sink, exportable as Chrome `trace_event`
+/// JSON (viewable in Perfetto / chrome://tracing).
+///
+/// The recorder rides the graph's existing translucency machinery: every
+/// sample already carries (producer, sequence) logical-time identity and
+/// provenance links to the samples it was derived from. The graph opens a
+/// span per on_input invocation, binds every sample emitted during that
+/// invocation to the open span, and parents the next hop's span on the
+/// binding of the sample it consumes — so the span tree of one delivery
+/// mirrors the provenance chain of the delivered sample exactly.
+
+namespace perpos::obs {
+
+/// One completed unit of work. Times are microseconds since the recorder
+/// was constructed (steady clock).
+struct TraceSpan {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 = root (a source emission).
+  std::string name;          ///< "NmeaParser.on_input", "GpsSensor.emit".
+  std::uint32_t component = 0xffffffffu;
+  std::uint32_t sample_producer = 0xffffffffu;  ///< Sample being processed.
+  std::uint64_t sample_sequence = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+};
+
+/// Records spans into a bounded ring; completed spans older than
+/// `capacity` are discarded (newest are kept). Not thread-safe — the
+/// graph's dispatch is synchronous and single-threaded by design.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 4096);
+
+  /// Monotonic microseconds since construction.
+  double now_us() const noexcept;
+
+  /// Open a span; returns its id. `sample_*` identify the sample whose
+  /// processing the span covers (the delivered sample for on_input spans).
+  std::uint64_t open(std::string name, std::uint32_t component,
+                     std::uint32_t sample_producer,
+                     std::uint64_t sample_sequence, std::uint64_t parent);
+
+  /// Close the span (records its duration and retires it to the ring).
+  void close(std::uint64_t id);
+
+  /// Associate the sample identified by (producer, sequence) with `span`:
+  /// deliveries of that sample will parent their spans on it.
+  void bind_sample(std::uint32_t producer, std::uint64_t sequence,
+                   std::uint64_t span);
+
+  /// Span bound to a sample, or 0 when unknown (e.g. evicted).
+  std::uint64_t span_for_sample(std::uint32_t producer,
+                                std::uint64_t sequence) const noexcept;
+
+  /// Completed spans, oldest first.
+  const std::deque<TraceSpan>& spans() const noexcept { return spans_; }
+
+  /// The completed span with this id, or nullptr (searches the ring).
+  const TraceSpan* find(std::uint64_t id) const noexcept;
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}): one "X" (complete)
+  /// event per span with args carrying span id, parent id and the sample's
+  /// (producer, sequence) identity. Load in Perfetto or chrome://tracing.
+  std::string to_chrome_trace_json() const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t next_id_ = 1;
+  std::chrono::steady_clock::time_point epoch_;
+  std::deque<TraceSpan> spans_;                    // Completed ring.
+  std::vector<TraceSpan> open_;                    // Stack: dispatch nests.
+  std::unordered_map<std::uint64_t, std::uint64_t> sample_spans_;
+};
+
+}  // namespace perpos::obs

@@ -1,0 +1,105 @@
+#include "perpos/obs/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace perpos::obs {
+
+namespace {
+
+std::uint64_t sample_key(std::uint32_t producer,
+                         std::uint64_t sequence) noexcept {
+  // Sequences are per-producer and realistically < 2^32 in any run we
+  // record; fold the producer into the top bits for a single-word key.
+  return (static_cast<std::uint64_t>(producer) << 32) ^ sequence;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceRecorder::now_us() const noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::uint64_t TraceRecorder::open(std::string name, std::uint32_t component,
+                                  std::uint32_t sample_producer,
+                                  std::uint64_t sample_sequence,
+                                  std::uint64_t parent) {
+  TraceSpan span;
+  span.id = next_id_++;
+  span.parent = parent;
+  span.name = std::move(name);
+  span.component = component;
+  span.sample_producer = sample_producer;
+  span.sample_sequence = sample_sequence;
+  span.ts_us = now_us();
+  open_.push_back(std::move(span));
+  return open_.back().id;
+}
+
+void TraceRecorder::close(std::uint64_t id) {
+  // Dispatch is strictly nested, so the span is the top of the stack; the
+  // loop tolerates exception-unwound frames that were never closed.
+  while (!open_.empty()) {
+    TraceSpan span = std::move(open_.back());
+    open_.pop_back();
+    const bool match = span.id == id;
+    span.dur_us = now_us() - span.ts_us;
+    spans_.push_back(std::move(span));
+    while (spans_.size() > capacity_) {
+      spans_.pop_front();
+    }
+    if (match) return;
+  }
+}
+
+void TraceRecorder::bind_sample(std::uint32_t producer, std::uint64_t sequence,
+                                std::uint64_t span) {
+  // Bound memory: the binding table is transient routing state; once it
+  // grows far past the span ring it only holds evicted history.
+  if (sample_spans_.size() > capacity_ * 4) sample_spans_.clear();
+  sample_spans_[sample_key(producer, sequence)] = span;
+}
+
+std::uint64_t TraceRecorder::span_for_sample(
+    std::uint32_t producer, std::uint64_t sequence) const noexcept {
+  const auto it = sample_spans_.find(sample_key(producer, sequence));
+  return it == sample_spans_.end() ? 0 : it->second;
+}
+
+const TraceSpan* TraceRecorder::find(std::uint64_t id) const noexcept {
+  for (const TraceSpan& s : spans_) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+std::string TraceRecorder::to_chrome_trace_json() const {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceSpan& s : spans_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << s.name << "\",\"ph\":\"X\",\"pid\":1,\"tid\":1"
+        << ",\"ts\":" << s.ts_us << ",\"dur\":" << s.dur_us << ",\"args\":{"
+        << "\"span\":" << s.id << ",\"parent\":" << s.parent
+        << ",\"component\":" << s.component << ",\"sample\":\""
+        << s.sample_producer << ":" << s.sample_sequence << "\"}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+void TraceRecorder::clear() {
+  spans_.clear();
+  open_.clear();
+  sample_spans_.clear();
+}
+
+}  // namespace perpos::obs

@@ -21,6 +21,10 @@
 ///   component <name> <kind> [arg...]
 ///   connect <producer-name> <consumer-name>
 ///   resolve
+///   observe [metrics] [timing] [tracing] [all]
+///
+/// `observe` enables graph observability (perpos::obs). With no flags it
+/// turns on metrics and timing; `all` adds flow tracing.
 
 namespace perpos::runtime {
 

@@ -96,6 +96,31 @@ ConfigResult assemble_from_config(const std::string& text,
       edges.push_back(Edge{line_no, producer, consumer});
     } else if (verb == "resolve") {
       want_resolve = true;
+    } else if (verb == "observe") {
+      obs::ObservabilityConfig cfg;
+      cfg.metrics = cfg.timing = cfg.tracing = false;
+      bool any = false, bad = false;
+      std::string flag;
+      while (ls >> flag) {
+        any = true;
+        if (flag == "metrics") {
+          cfg.metrics = true;
+        } else if (flag == "timing") {
+          cfg.timing = true;
+        } else if (flag == "tracing") {
+          cfg.tracing = true;
+        } else if (flag == "all") {
+          cfg.metrics = cfg.timing = cfg.tracing = true;
+        } else {
+          fail("unknown observe flag '" + flag + "'");
+          bad = true;
+          break;
+        }
+      }
+      if (!bad) {
+        if (!any) cfg.metrics = cfg.timing = true;
+        graph.enable_observability(cfg);
+      }
     } else {
       fail("unknown directive '" + verb + "'");
     }
@@ -192,6 +217,13 @@ std::string export_config(const core::ProcessingGraph& graph) {
     for (core::ComponentId consumer : graph.info(id).consumers) {
       out << "connect " << name_of(id) << " " << name_of(consumer) << "\n";
     }
+  }
+  if (const obs::ObservabilityConfig* cfg = graph.observability_config()) {
+    out << "observe";
+    if (cfg->metrics) out << " metrics";
+    if (cfg->timing) out << " timing";
+    if (cfg->tracing) out << " tracing";
+    out << "\n";
   }
   return out.str();
 }

@@ -3,6 +3,7 @@
 #include "perpos/core/component.hpp"
 #include "perpos/core/data_types.hpp"
 #include "perpos/core/feature.hpp"
+#include "perpos/core/graph.hpp"
 #include "perpos/sim/random.hpp"
 
 #include <string>
@@ -43,6 +44,24 @@ inline void garble_one_byte(std::string& bytes, sim::Random& random) {
   bytes[index] = static_cast<char>(bytes[index] ^ 0x20);
 }
 
+/// Report one failure event into the graph's metrics registry (no-op when
+/// the graph is null or observability is off). Injected traffic mutations
+/// were previously silent; this makes every drop/garble/duplicate/reorder
+/// visible as `perpos_failure_events_total{injector=..., event=...}`.
+inline void report_failure_event(core::ProcessingGraph* graph,
+                                 std::string_view injector,
+                                 core::ComponentId host, const char* event) {
+  if (graph == nullptr) return;
+  obs::MetricsRegistry* registry = graph->metrics_registry();
+  if (registry == nullptr) return;
+  registry
+      ->counter("perpos_failure_events_total",
+                {{"injector",
+                  std::string(injector) + "#" + std::to_string(host)},
+                 {"event", event}})
+      ->inc();
+}
+
 /// Component Feature: drop/garble on the way OUT of the host component.
 class FailureInjectionFeature final : public core::ComponentFeature {
  public:
@@ -58,6 +77,8 @@ class FailureInjectionFeature final : public core::ComponentFeature {
 
     if (random_->chance(config_.drop_probability)) {
       ++dropped_;
+      report_failure_event(context().graph(), name(), context().host(),
+                           "dropped");
       return false;
     }
     if (random_->chance(config_.garble_probability)) {
@@ -65,6 +86,8 @@ class FailureInjectionFeature final : public core::ComponentFeature {
       garble_one_byte(garbled.bytes, *random_);
       sample.payload = core::Payload::make(std::move(garbled));
       ++garbled_;
+      report_failure_event(context().graph(), name(), context().host(),
+                           "garbled");
     }
     return true;
   }
@@ -101,6 +124,8 @@ class FlakyLinkComponent final : public core::ProcessingComponent {
 
     if (random_->chance(config_.drop_probability)) {
       ++dropped_;
+      report_failure_event(context().graph(), kind(), context().id(),
+                           "dropped");
       emit_held();
       return;
     }
@@ -108,6 +133,8 @@ class FlakyLinkComponent final : public core::ProcessingComponent {
     if (random_->chance(config_.garble_probability)) {
       garble_one_byte(out.bytes, *random_);
       ++garbled_;
+      report_failure_event(context().graph(), kind(), context().id(),
+                           "garbled");
     }
     if (!held_.empty()) {
       // A held fragment goes out after the current one: reordered.
@@ -116,10 +143,14 @@ class FlakyLinkComponent final : public core::ProcessingComponent {
     } else if (random_->chance(config_.reorder_probability)) {
       held_ = out.bytes;
       ++reordered_;
+      report_failure_event(context().graph(), kind(), context().id(),
+                           "reordered");
     } else {
       context().emit(core::Payload::make(out));
       if (random_->chance(config_.duplicate_probability)) {
         ++duplicated_;
+        report_failure_event(context().graph(), kind(), context().id(),
+                             "duplicated");
         context().emit(core::Payload::make(core::RawFragment{out.bytes}));
       }
     }

@@ -226,3 +226,60 @@ connect dbl app
   EXPECT_EQ(rebuilt.size(), original.size());
   EXPECT_EQ(second.report.edges.size(), 2u);
 }
+
+TEST(Config, ObserveDirectiveEnablesObservability) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto result = rt::assemble_from_config(R"(
+component src source
+component app sink
+connect src app
+observe metrics timing tracing
+)",
+                                               registry, graph);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(graph.observability_enabled());
+  const auto* cfg = graph.observability_config();
+  ASSERT_NE(cfg, nullptr);
+  EXPECT_TRUE(cfg->metrics);
+  EXPECT_TRUE(cfg->timing);
+  EXPECT_TRUE(cfg->tracing);
+  EXPECT_NE(graph.tracer(), nullptr);
+}
+
+TEST(Config, ObserveDirectiveDefaultsToMetricsAndTiming) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto result =
+      rt::assemble_from_config("observe\n", registry, graph);
+  ASSERT_TRUE(result.ok());
+  const auto* cfg = graph.observability_config();
+  ASSERT_NE(cfg, nullptr);
+  EXPECT_TRUE(cfg->metrics);
+  EXPECT_TRUE(cfg->timing);
+  EXPECT_FALSE(cfg->tracing);
+}
+
+TEST(Config, ObserveUnknownFlagReported) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto result =
+      rt::assemble_from_config("observe shiny\n", registry, graph);
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_NE(result.errors[0].find("unknown observe flag"), std::string::npos);
+  EXPECT_FALSE(graph.observability_enabled());
+}
+
+TEST(Config, ObserveRoundTripsThroughExport) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  ASSERT_TRUE(rt::assemble_from_config(R"(
+component src source
+observe metrics tracing
+)",
+                                       registry, graph)
+                  .ok());
+  const std::string exported = rt::export_config(graph);
+  EXPECT_NE(exported.find("observe metrics tracing"), std::string::npos);
+  EXPECT_EQ(exported.find("timing"), std::string::npos);
+}

@@ -6,11 +6,15 @@
 #include "perpos/core/channel.hpp"
 #include "perpos/core/components.hpp"
 #include "perpos/geo/distance.hpp"
+#include "perpos/obs/metrics.hpp"
 #include "perpos/sensors/failure_injection.hpp"
 #include "perpos/sensors/gps_sensor.hpp"
 #include "perpos/sensors/pipeline_components.hpp"
 
 #include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
 
 namespace core = perpos::core;
 namespace geo = perpos::geo;
@@ -140,4 +144,75 @@ TEST(FailureFeature, StatsStartAtZero) {
   EXPECT_EQ(feature->dropped(), 0u);
   EXPECT_EQ(feature->garbled(), 0u);
   EXPECT_EQ(rig.parser->parse_errors(), 0u);
+}
+
+// --- Observability of injected failures --------------------------------------
+
+namespace {
+
+std::uint64_t failure_count(const perpos::obs::MetricsSnapshot& snap,
+                            const std::string& injector,
+                            const char* event) {
+  for (const auto& c : snap.counters) {
+    if (c.name != "perpos_failure_events_total") continue;
+    bool injector_match = false, event_match = false;
+    for (const auto& [k, v] : c.labels) {
+      if (k == "injector" && v == injector) injector_match = true;
+      if (k == "event" && v == event) event_match = true;
+    }
+    if (injector_match && event_match) return c.value;
+  }
+  return 0;
+}
+
+}  // namespace
+
+TEST(FailureObservability, FeatureCountersMatchRegistry) {
+  PipelineRig rig;
+  rig.graph.enable_observability();
+  auto feature = std::make_shared<sensors::FailureInjectionFeature>(
+      sensors::FailureInjectionConfig{0.3, 0.3, 0.0, 0.0}, rig.random);
+  rig.graph.attach_feature(rig.sensor_id, feature);
+  rig.run(40.0);
+
+  ASSERT_GT(feature->dropped(), 0u);
+  ASSERT_GT(feature->garbled(), 0u);
+
+  const auto snap = rig.graph.metrics();
+  const std::string injector =
+      "FailureInjection#" + std::to_string(rig.sensor_id);
+  EXPECT_EQ(failure_count(snap, injector, "dropped"), feature->dropped());
+  EXPECT_EQ(failure_count(snap, injector, "garbled"), feature->garbled());
+}
+
+TEST(FailureObservability, FlakyLinkCountersMatchRegistry) {
+  PipelineRig rig;
+  rig.graph.enable_observability();
+  auto link = std::make_shared<sensors::FlakyLinkComponent>(
+      sensors::FailureInjectionConfig{0.1, 0.1, 0.1, 0.1}, rig.random);
+  const auto link_id = rig.graph.add(link);
+  rig.graph.insert_between(link_id, rig.sensor_id, rig.parser_id);
+  rig.run(60.0);
+
+  const auto snap = rig.graph.metrics();
+  const std::string injector = "FlakyLink#" + std::to_string(link_id);
+  EXPECT_EQ(failure_count(snap, injector, "dropped"), link->dropped());
+  EXPECT_EQ(failure_count(snap, injector, "garbled"), link->garbled());
+  EXPECT_EQ(failure_count(snap, injector, "duplicated"), link->duplicated());
+  EXPECT_EQ(failure_count(snap, injector, "reordered"), link->reordered());
+  EXPECT_GT(link->dropped() + link->garbled() + link->duplicated() +
+                link->reordered(),
+            0u);
+}
+
+TEST(FailureObservability, SilentWhenObservabilityOff) {
+  // With observability off the injector still counts locally but the
+  // graph has no registry to publish into — and nothing crashes.
+  PipelineRig rig;
+  auto feature = std::make_shared<sensors::FailureInjectionFeature>(
+      sensors::FailureInjectionConfig{0.5, 0.0, 0.0, 0.0}, rig.random);
+  rig.graph.attach_feature(rig.sensor_id, feature);
+  rig.run(20.0);
+  EXPECT_GT(feature->dropped(), 0u);
+  EXPECT_TRUE(rig.graph.metrics().empty());
 }

@@ -41,6 +41,51 @@ TEST(Metrics, EmptySeries) {
   const auto s = fusion::compute_stats({});
   EXPECT_EQ(s.count, 0u);
   EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+  EXPECT_DOUBLE_EQ(s.p95, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(Metrics, SingleElementSeries) {
+  // Every statistic of a one-element series is that element.
+  const auto s = fusion::compute_stats({7.5});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_DOUBLE_EQ(s.rmse, 7.5);
+  EXPECT_DOUBLE_EQ(s.median, 7.5);
+  EXPECT_DOUBLE_EQ(s.p95, 7.5);
+  EXPECT_DOUBLE_EQ(s.max, 7.5);
+}
+
+TEST(Metrics, AllEqualSeries) {
+  const auto s = fusion::compute_stats({3.0, 3.0, 3.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.rmse, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p95, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+}
+
+TEST(Metrics, EvenCountMedianInterpolates) {
+  // Type-7 quantiles: the median of an even-count series is the average
+  // of the middle pair, and p95 interpolates between order statistics.
+  const auto s = fusion::compute_stats({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  // rank = 0.95 * 3 = 2.85 -> between 3.0 and 4.0.
+  EXPECT_DOUBLE_EQ(s.p95, 3.0 + 0.85 * 1.0);
+}
+
+TEST(Metrics, QuantilesMonotoneAndBounded) {
+  const auto s = fusion::compute_stats({5.0, 1.0, 9.0, 3.0, 7.0, 2.0});
+  EXPECT_LE(s.median, s.p95);
+  EXPECT_LE(s.p95, s.max);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Metrics, FormatSeriesRowMatchesComputeStats) {
+  const std::vector<double> series{1.0, 2.0, 3.0};
+  EXPECT_EQ(fusion::format_series_row("label", series),
+            fusion::format_stats_row("label", fusion::compute_stats(series)));
 }
 
 class FilterFixture : public ::testing::Test {

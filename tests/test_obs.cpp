@@ -1,0 +1,549 @@
+// Tests for the observability subsystem: the metrics registry and its
+// exporters, graph instrumentation (counters, veto/rejection accounting,
+// on_input latency histograms), flow tracing whose span ancestry must
+// mirror sample provenance, the Trace Channel Feature at the PCL and the
+// provider-level counters at the Positioning Layer.
+
+#include "perpos/core/channel.hpp"
+#include "perpos/core/components.hpp"
+#include "perpos/core/feature.hpp"
+#include "perpos/core/graph.hpp"
+#include "perpos/core/positioning.hpp"
+#include "perpos/core/trace_feature.hpp"
+#include "perpos/geo/coordinates.hpp"
+#include "perpos/obs/metrics.hpp"
+#include "perpos/obs/trace.hpp"
+#include "perpos/sim/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace core = perpos::core;
+namespace obs = perpos::obs;
+namespace sim = perpos::sim;
+using core::Payload;
+using core::Sample;
+
+namespace {
+
+struct Value {
+  int n = 0;
+};
+struct Other {
+  int n = 0;
+};
+
+std::shared_ptr<core::SourceComponent> make_source() {
+  return std::make_shared<core::SourceComponent>(
+      "Src", std::vector<core::DataSpec>{core::provide<Value>()});
+}
+
+std::shared_ptr<core::LambdaComponent> make_relay() {
+  return std::make_shared<core::LambdaComponent>(
+      "Relay", std::vector<core::InputRequirement>{core::require<Value>()},
+      std::vector<core::DataSpec>{core::provide<Value>()},
+      [](const Sample& s, const core::ComponentContext& ctx) {
+        ctx.emit(s.payload);
+      });
+}
+
+std::string id_str(core::ComponentId id) { return std::to_string(id); }
+
+}  // namespace
+
+// --- Registry / exporter basics ---------------------------------------------
+
+TEST(MetricsRegistry, CounterFindOrCreateReturnsStableHandle) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.counter("x_total", {{"k", "v"}});
+  obs::Counter* b = registry.counter("x_total", {{"k", "v"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, registry.counter("x_total", {{"k", "w"}}));
+  EXPECT_NE(a, registry.counter("y_total", {{"k", "v"}}));
+  a->inc();
+  a->inc(4);
+  EXPECT_EQ(b->value(), 5u);
+}
+
+TEST(MetricsRegistry, LabelOrderDoesNotMatter) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.counter("x_total", {{"a", "1"}, {"b", "2"}});
+  obs::Counter* b = registry.counter("x_total", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetricsRegistry, SnapshotFindByNameAndLabel) {
+  obs::MetricsRegistry registry;
+  registry.counter("hits_total", {{"component", "3"}})->inc(7);
+  registry.gauge("level")->set(2.5);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  const auto* c = snap.find_counter("hits_total", "component", "3");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, 7u);
+  EXPECT_EQ(snap.find_counter("hits_total", "component", "4"), nullptr);
+  const auto* g = snap.find_gauge("level");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->value, 2.5);
+}
+
+TEST(MetricsRegistry, HistogramBucketsCountAndQuantile) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h =
+      registry.histogram("lat_us", {}, {1.0, 10.0, 100.0});
+  for (int i = 1; i <= 100; ++i) h->observe(static_cast<double>(i));
+  EXPECT_EQ(h->count(), 100u);
+  EXPECT_DOUBLE_EQ(h->sum(), 5050.0);
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  const auto* s = snap.find_histogram("lat_us");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->buckets.size(), 4u);  // 3 bounds + implicit +Inf.
+  EXPECT_EQ(s->buckets[0], 1u);      // <= 1
+  EXPECT_EQ(s->buckets[1], 9u);      // (1, 10]
+  EXPECT_EQ(s->buckets[2], 90u);     // (10, 100]
+  EXPECT_EQ(s->buckets[3], 0u);      // > 100
+  EXPECT_EQ(s->count, 100u);
+  EXPECT_DOUBLE_EQ(s->mean(), 50.5);
+  // Median lies in the (10, 100] bucket; interpolation keeps it inside.
+  const double p50 = s->quantile(0.5);
+  EXPECT_GT(p50, 10.0);
+  EXPECT_LE(p50, 100.0);
+  EXPECT_GE(s->quantile(1.0), s->quantile(0.0));
+}
+
+TEST(MetricsRegistry, PrometheusTextFormat) {
+  obs::MetricsRegistry registry;
+  registry.counter("perpos_events_total", {{"component", "1"}})->inc(3);
+  registry.histogram("perpos_lat_us", {}, {1.0, 2.0})->observe(1.5);
+  const std::string text = obs::to_prometheus_text(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE perpos_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("perpos_events_total{component=\"1\"} 3"),
+            std::string::npos);
+  // Histogram expands to cumulative _bucket series plus _sum/_count.
+  EXPECT_NE(text.find("perpos_lat_us_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("perpos_lat_us_count 1"), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonExportIsWellFormedAndComplete) {
+  obs::MetricsRegistry registry;
+  registry.counter("c_total")->inc();
+  registry.gauge("g")->set(1.0);
+  registry.histogram("h", {}, {1.0})->observe(0.5);
+  const std::string json = obs::to_json(registry.snapshot());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"c_total\""), std::string::npos);
+  // Balanced braces/brackets — cheap structural sanity check.
+  int braces = 0, brackets = 0;
+  for (char ch : json) {
+    braces += (ch == '{') - (ch == '}');
+    brackets += (ch == '[') - (ch == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(MetricsRegistry, EscapeJsonHandlesSpecials) {
+  EXPECT_EQ(obs::escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+}
+
+// --- Graph instrumentation ---------------------------------------------------
+
+TEST(GraphObservability, DisabledByDefaultAndMetricsEmpty) {
+  core::ProcessingGraph graph;
+  EXPECT_FALSE(graph.observability_enabled());
+  EXPECT_EQ(graph.metrics_registry(), nullptr);
+  EXPECT_EQ(graph.tracer(), nullptr);
+  auto source = make_source();
+  graph.connect(graph.add(source),
+                graph.add(std::make_shared<core::ApplicationSink>()));
+  source->push(Value{1});
+  const obs::MetricsSnapshot snap = graph.metrics();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(GraphObservability, EmittedAndDeliveredCounters) {
+  core::ProcessingGraph graph;
+  graph.enable_observability();
+  auto source = make_source();
+  auto relay = make_relay();
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = graph.add(source);
+  const auto b = graph.add(relay);
+  const auto z = graph.add(sink);
+  graph.connect(a, b);
+  graph.connect(b, z);
+
+  for (int i = 0; i < 5; ++i) source->push(Value{i});
+
+  const obs::MetricsSnapshot snap = graph.metrics();
+  const auto* src_emitted = snap.find_counter("perpos_component_emitted_total",
+                                              "component", id_str(a));
+  const auto* relay_delivered = snap.find_counter(
+      "perpos_component_delivered_total", "component", id_str(b));
+  const auto* sink_delivered = snap.find_counter(
+      "perpos_component_delivered_total", "component", id_str(z));
+  ASSERT_NE(src_emitted, nullptr);
+  ASSERT_NE(relay_delivered, nullptr);
+  ASSERT_NE(sink_delivered, nullptr);
+  EXPECT_EQ(src_emitted->value, 5u);
+  EXPECT_EQ(relay_delivered->value, 5u);
+  EXPECT_EQ(sink_delivered->value, 5u);
+  // Counters agree with the graph's own bookkeeping.
+  EXPECT_EQ(src_emitted->value, graph.info(a).emitted);
+
+  const auto* total = snap.find_counter("perpos_graph_deliveries_total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->value, 10u);  // relay + sink.
+}
+
+TEST(GraphObservability, OnInputLatencyHistogramPopulated) {
+  core::ProcessingGraph graph;
+  graph.enable_observability();  // metrics + timing on by default.
+  auto source = make_source();
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = graph.add(source);
+  const auto z = graph.add(sink);
+  graph.connect(a, z);
+  for (int i = 0; i < 8; ++i) source->push(Value{i});
+
+  const obs::MetricsSnapshot snap = graph.metrics();
+  const auto* h = snap.find_histogram("perpos_component_on_input_us",
+                                      "component", id_str(z));
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 8u);
+  EXPECT_GE(h->sum, 0.0);
+}
+
+TEST(GraphObservability, TimingOffSkipsHistograms) {
+  core::ProcessingGraph graph;
+  obs::ObservabilityConfig cfg;
+  cfg.timing = false;
+  graph.enable_observability(cfg);
+  auto source = make_source();
+  const auto a = graph.add(source);
+  const auto z = graph.add(std::make_shared<core::ApplicationSink>());
+  graph.connect(a, z);
+  source->push(Value{1});
+
+  const obs::MetricsSnapshot snap = graph.metrics();
+  EXPECT_EQ(snap.find_histogram("perpos_component_on_input_us", "component",
+                                id_str(z)),
+            nullptr);
+  // Counters still flow.
+  EXPECT_NE(snap.find_counter("perpos_component_delivered_total", "component",
+                              id_str(z)),
+            nullptr);
+}
+
+TEST(GraphObservability, RejectionCounter) {
+  core::ProcessingGraph graph;
+  graph.enable_observability();
+  // Source offers Value and Other; the sink only accepts Value, so every
+  // Other emission is rejected at delivery time.
+  auto source = std::make_shared<core::SourceComponent>(
+      "Src", std::vector<core::DataSpec>{core::provide<Value>(),
+                                         core::provide<Other>()});
+  auto sink = std::make_shared<core::ApplicationSink>(
+      "App", std::vector<core::InputRequirement>{core::require<Value>()});
+  const auto a = graph.add(source);
+  const auto z = graph.add(sink);
+  graph.connect(a, z);
+
+  source->push(Value{1});
+  source->push(Other{2});
+  source->push(Other{3});
+
+  const obs::MetricsSnapshot snap = graph.metrics();
+  const auto* rejected = snap.find_counter("perpos_component_rejected_total",
+                                           "component", id_str(z));
+  ASSERT_NE(rejected, nullptr);
+  EXPECT_EQ(rejected->value, 2u);
+  const auto* total = snap.find_counter("perpos_graph_rejections_total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->value, 2u);
+}
+
+namespace {
+
+/// Vetoes every second outgoing sample.
+class DropEverySecond final : public core::ComponentFeature {
+ public:
+  std::string_view name() const override { return "DropEverySecond"; }
+  bool produce(Sample&) override { return (++n_ % 2) != 0; }
+
+ private:
+  int n_ = 0;
+};
+
+}  // namespace
+
+TEST(GraphObservability, ProduceVetoCounterAndFeatureTiming) {
+  core::ProcessingGraph graph;
+  graph.enable_observability();
+  auto source = make_source();
+  const auto a = graph.add(source);
+  graph.connect(a, graph.add(std::make_shared<core::ApplicationSink>()));
+  graph.attach_feature(a, std::make_shared<DropEverySecond>());
+
+  for (int i = 0; i < 6; ++i) source->push(Value{i});
+
+  const obs::MetricsSnapshot snap = graph.metrics();
+  const auto* vetoed = snap.find_counter(
+      "perpos_component_produce_vetoed_total", "component", id_str(a));
+  ASSERT_NE(vetoed, nullptr);
+  EXPECT_EQ(vetoed->value, 3u);
+  const auto* emitted = snap.find_counter("perpos_component_emitted_total",
+                                          "component", id_str(a));
+  ASSERT_NE(emitted, nullptr);
+  EXPECT_EQ(emitted->value, 3u);
+  // The produce hook itself was timed (6 invocations).
+  const auto* hook = snap.find_histogram("perpos_feature_produce_us",
+                                         "feature", "DropEverySecond");
+  ASSERT_NE(hook, nullptr);
+  EXPECT_EQ(hook->count, 6u);
+}
+
+TEST(GraphObservability, MutationCounterAndComponentsGauge) {
+  core::ProcessingGraph graph;
+  graph.enable_observability();
+  auto source = make_source();
+  const auto a = graph.add(source);
+  const auto z = graph.add(std::make_shared<core::ApplicationSink>());
+  graph.connect(a, z);
+
+  const obs::MetricsSnapshot snap = graph.metrics();
+  const auto* mutations = snap.find_counter("perpos_graph_mutations_total");
+  ASSERT_NE(mutations, nullptr);
+  EXPECT_GE(mutations->value, 3u);  // two adds + one connect.
+  const auto* components = snap.find_gauge("perpos_graph_components");
+  ASSERT_NE(components, nullptr);
+  EXPECT_DOUBLE_EQ(components->value, 2.0);
+}
+
+TEST(GraphObservability, DisableClearsRegistryAccessors) {
+  core::ProcessingGraph graph;
+  graph.enable_observability();
+  auto source = make_source();
+  const auto a = graph.add(source);
+  graph.connect(a, graph.add(std::make_shared<core::ApplicationSink>()));
+  source->push(Value{1});
+  EXPECT_FALSE(graph.metrics().counters.empty());
+
+  graph.disable_observability();
+  EXPECT_FALSE(graph.observability_enabled());
+  EXPECT_EQ(graph.metrics_registry(), nullptr);
+  EXPECT_TRUE(graph.metrics().counters.empty());
+
+  // Re-enabling starts a fresh registry and keeps counting.
+  graph.enable_observability();
+  source->push(Value{2});
+  const auto* emitted = graph.metrics().find_counter(
+      "perpos_component_emitted_total", "component", id_str(a));
+  ASSERT_NE(emitted, nullptr);
+  EXPECT_EQ(emitted->value, 1u);
+}
+
+// --- Flow tracing ------------------------------------------------------------
+
+TEST(FlowTracing, SpanParentsMirrorProvenanceChain) {
+  core::ProcessingGraph graph;
+  obs::ObservabilityConfig cfg;
+  cfg.tracing = true;
+  graph.enable_observability(cfg);
+
+  auto source = make_source();
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = graph.add(source);
+  core::ComponentId prev = a;
+  for (int i = 0; i < 3; ++i) {
+    const auto mid = graph.add(make_relay());
+    graph.connect(prev, mid);
+    prev = mid;
+  }
+  graph.connect(prev, graph.add(sink));
+
+  source->push(Value{7});
+
+  ASSERT_NE(graph.tracer(), nullptr);
+  ASSERT_TRUE(sink->last().has_value());
+
+  // Walk the provenance chain of the delivered sample: each hop was
+  // re-emitted by one relay, so following `inputs` front-first yields the
+  // producers sink <- relay3 <- relay2 <- relay1 <- source.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> provenance;
+  const Sample* node = &*sink->last();
+  while (node != nullptr) {
+    provenance.emplace_back(node->producer, node->sequence);
+    node = (node->inputs != nullptr && !node->inputs->empty())
+               ? &node->inputs->front()
+               : nullptr;
+  }
+  ASSERT_EQ(provenance.size(), 4u);  // source + 3 relays.
+
+  // Now walk the trace: the sink's on_input span processes the sample
+  // emitted by the last relay; its parent span must carry the previous
+  // sample in the provenance chain, and so on down to the source's root
+  // emit span (parent 0).
+  const obs::TraceRecorder& tracer = *graph.tracer();
+  const obs::TraceSpan* span = nullptr;
+  for (const obs::TraceSpan& s : tracer.spans()) {
+    if (s.name == "Application.on_input") span = &s;
+  }
+  ASSERT_NE(span, nullptr);
+  for (std::size_t i = 0; i < provenance.size(); ++i) {
+    EXPECT_EQ(span->sample_producer, provenance[i].first);
+    EXPECT_EQ(span->sample_sequence, provenance[i].second);
+    span = tracer.find(span->parent);
+    ASSERT_NE(span, nullptr);
+  }
+  // The final hop is the source's instantaneous emit span: it carries the
+  // same sample as the first delivery and roots the whole trace.
+  EXPECT_EQ(span->name, "Src.emit");
+  EXPECT_EQ(span->sample_producer, provenance.back().first);
+  EXPECT_EQ(span->sample_sequence, provenance.back().second);
+  EXPECT_EQ(span->parent, 0u);
+}
+
+TEST(FlowTracing, ChromeTraceJsonContainsEvents) {
+  core::ProcessingGraph graph;
+  obs::ObservabilityConfig cfg;
+  cfg.tracing = true;
+  graph.enable_observability(cfg);
+  auto source = make_source();
+  const auto a = graph.add(source);
+  graph.connect(a, graph.add(std::make_shared<core::ApplicationSink>()));
+  source->push(Value{1});
+
+  const std::string json = graph.tracer()->to_chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("Application.on_input"), std::string::npos);
+}
+
+TEST(FlowTracing, RingBufferBoundsRetainedSpans) {
+  core::ProcessingGraph graph;
+  obs::ObservabilityConfig cfg;
+  cfg.tracing = true;
+  cfg.trace_capacity = 16;
+  graph.enable_observability(cfg);
+  auto source = make_source();
+  const auto a = graph.add(source);
+  graph.connect(a, graph.add(std::make_shared<core::ApplicationSink>()));
+  for (int i = 0; i < 100; ++i) source->push(Value{i});
+  EXPECT_LE(graph.tracer()->spans().size(), 16u);
+}
+
+// --- PCL: Trace Channel Feature ---------------------------------------------
+
+TEST(TraceChannelFeature, ReportsChannelTelemetry) {
+  core::ProcessingGraph graph;
+  graph.enable_observability();
+  auto source = make_source();
+  auto relay = make_relay();
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = graph.add(source);
+  const auto b = graph.add(relay);
+  const auto z = graph.add(sink);
+  graph.connect(a, b);
+  graph.connect(b, z);
+
+  core::ChannelManager channels(graph);
+  ASSERT_FALSE(channels.channels().empty());
+  auto feature = std::make_shared<core::TraceChannelFeature>("gps");
+  channels.attach_feature(*channels.channels().front(), feature);
+
+  for (int i = 0; i < 3; ++i) source->push(Value{i});
+
+  EXPECT_EQ(feature->deliveries(), 3u);
+  // The delivered tree has the sink sample on top of relay and source.
+  EXPECT_GE(feature->last_tree_depth(), 2u);
+  EXPECT_GE(feature->last_tree_size(), 2u);
+  EXPECT_NE(feature->last_journey().find("Src"), std::string::npos);
+
+  // The feature also publishes into the graph's registry.
+  const obs::MetricsSnapshot snap = graph.metrics();
+  const auto* deliveries = snap.find_counter("perpos_channel_deliveries_total",
+                                             "channel", "gps");
+  ASSERT_NE(deliveries, nullptr);
+  EXPECT_EQ(deliveries->value, 3u);
+  EXPECT_NE(snap.find_histogram("perpos_channel_tree_depth", "channel", "gps"),
+            nullptr);
+}
+
+TEST(TraceChannelFeature, WorksWithoutRegistry) {
+  core::ProcessingGraph graph;  // Observability off.
+  auto source = make_source();
+  const auto a = graph.add(source);
+  graph.connect(a, graph.add(std::make_shared<core::ApplicationSink>()));
+  core::ChannelManager channels(graph);
+  auto feature = std::make_shared<core::TraceChannelFeature>();
+  channels.attach_feature(*channels.channels().front(), feature);
+  source->push(Value{1});
+  EXPECT_EQ(feature->deliveries(), 1u);  // Local telemetry still works.
+}
+
+// --- PL: provider-level counters ---------------------------------------------
+
+namespace {
+
+core::PositionFix fix_at_t(double t_s) {
+  core::PositionFix fix;
+  fix.position = perpos::geo::GeoPoint{56.0, 10.0, 0.0};
+  fix.horizontal_accuracy_m = 5.0;
+  fix.timestamp = sim::SimTime::from_seconds(t_s);
+  fix.technology = "GPS";
+  return fix;
+}
+
+}  // namespace
+
+TEST(ProviderObservability, FixCountRateAndStaleness) {
+  core::ProcessingGraph graph;
+  graph.enable_observability();
+  core::ChannelManager channels(graph);
+  core::PositioningService service(graph, channels);
+  auto source = std::make_shared<core::SourceComponent>(
+      "GPS",
+      std::vector<core::DataSpec>{core::provide<core::PositionFix>()});
+  graph.add(source);
+  core::LocationProvider& provider =
+      service.request_provider(core::Criteria{});
+
+  EXPECT_EQ(provider.fixes(), 0u);
+  EXPECT_TRUE(std::isinf(provider.staleness_s(sim::SimTime::from_seconds(5))));
+
+  for (int i = 0; i < 5; ++i) source->push(fix_at_t(i));
+
+  EXPECT_EQ(provider.fixes(), 5u);
+  // Five fixes across 4 seconds of fix timestamps: 1 Hz.
+  EXPECT_NEAR(provider.fix_rate_hz(), 1.0, 1e-9);
+  EXPECT_NEAR(provider.staleness_s(sim::SimTime::from_seconds(6.5)), 2.5,
+              1e-9);
+
+  const obs::MetricsSnapshot live = graph.metrics();
+  const auto* fixes = live.find_counter("perpos_provider_fixes_total");
+  ASSERT_NE(fixes, nullptr);
+  EXPECT_EQ(fixes->value, 5u);
+
+  service.publish_metrics();
+  const obs::MetricsSnapshot snap = graph.metrics();
+  const auto* providers = snap.find_gauge("perpos_service_providers");
+  ASSERT_NE(providers, nullptr);
+  EXPECT_DOUBLE_EQ(providers->value, 1.0);
+  const auto* rate = snap.find_gauge("perpos_provider_fix_rate_hz",
+                                     "provider",
+                                     provider.metric_label());
+  ASSERT_NE(rate, nullptr);
+  EXPECT_NEAR(rate->value, 1.0, 1e-9);
+}
