@@ -119,6 +119,14 @@ class ProcessingComponent {
   /// consume hooks of attached features ran.
   virtual void on_input(const Sample& sample) = 0;
 
+  /// Teardown hook: called with the context still valid (and, on remove(),
+  /// with the component's edges still connected) right before the component
+  /// leaves the graph — by ProcessingGraph::remove() and for every live
+  /// component when the graph itself is destroyed. Components holding
+  /// buffered data emit it here so nothing is silently lost; see
+  /// FlakyLinkComponent::flush().
+  virtual void on_teardown() {}
+
   /// Components that conceptually merge data sources (fusion components)
   /// return true so the Channel layer treats them as channel end-points
   /// even while only one input is connected. Sources, sinks and nodes with

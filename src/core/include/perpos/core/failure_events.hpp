@@ -1,0 +1,34 @@
+#pragma once
+
+#include "perpos/core/graph.hpp"
+
+#include <string>
+#include <string_view>
+
+/// \file failure_events.hpp
+/// The shared failure-event reporting channel. Anything that mutates,
+/// loses or rejects traffic — failure injectors, lossy links, remoting
+/// endpoints — reports here so every failure is visible as one metric
+/// family, `perpos_failure_events_total{injector=..., event=...}`, and the
+/// health Watchdog can fold per-component failure rates into its verdicts.
+
+namespace perpos::core {
+
+/// Report one failure event into the graph's metrics registry (no-op when
+/// the graph is null or observability is off). `injector` is the reporting
+/// component's kind or feature name; `host` the component id it concerns.
+inline void report_failure_event(ProcessingGraph* graph,
+                                 std::string_view injector, ComponentId host,
+                                 const char* event) {
+  if (graph == nullptr) return;
+  obs::MetricsRegistry* registry = graph->metrics_registry();
+  if (registry == nullptr) return;
+  registry
+      ->counter("perpos_failure_events_total",
+                {{"injector",
+                  std::string(injector) + "#" + std::to_string(host)},
+                 {"event", event}})
+      ->inc();
+}
+
+}  // namespace perpos::core

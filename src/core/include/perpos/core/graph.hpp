@@ -54,7 +54,10 @@ class ProcessingGraph {
   /// Add a component; the graph shares ownership. Returns its id.
   ComponentId add(std::shared_ptr<ProcessingComponent> component);
 
-  /// Remove a component, disconnecting all its edges.
+  /// Remove a component, disconnecting all its edges. The component's
+  /// on_teardown() hook runs first, with its edges still connected, so
+  /// buffered data can be flushed downstream. (The graph destructor calls
+  /// on_teardown() for every live component too.)
   /// Throws std::invalid_argument for unknown ids.
   void remove(ComponentId id);
 

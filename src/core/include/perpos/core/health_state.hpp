@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string_view>
+
+/// \file health_state.hpp
+/// The shared health vocabulary of the fault-tolerance subsystem
+/// (perpos::health). The paper's Sec. 4 motivates adaptation with exactly
+/// the failure modes this models: "positioning technologies do not provide
+/// pervasive coverage ... positions delivered can be erroneous due to
+/// signal noise, delays, or faulty system calibration". The enum lives in
+/// core because all three layers speak it: the PSL Watchdog derives it,
+/// the PCL HealthChannelFeature exposes it, and the Positioning Layer's
+/// failover acts on it.
+
+namespace perpos::core {
+
+/// Per-source health verdict, ordered by severity. Derived from deadlines
+/// on sample arrival (how long since the source last produced) and from
+/// failure-event rates; the exact thresholds are configuration.
+enum class HealthState {
+  kHealthy = 0,   ///< Producing within its deadline, failure rate nominal.
+  kDegraded = 1,  ///< Producing, but late or with an elevated failure rate.
+  kStale = 2,     ///< Past the staleness deadline; consumers should fail over.
+  kDead = 3,      ///< Past the dead deadline (or the component is gone).
+};
+
+constexpr std::string_view to_string(HealthState s) noexcept {
+  switch (s) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kStale:
+      return "stale";
+    case HealthState::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
+}  // namespace perpos::core

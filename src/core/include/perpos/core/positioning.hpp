@@ -4,7 +4,9 @@
 #include "perpos/core/components.hpp"
 #include "perpos/core/data_types.hpp"
 #include "perpos/core/graph.hpp"
+#include "perpos/core/health_state.hpp"
 #include "perpos/geo/distance.hpp"
+#include "perpos/sim/scheduler.hpp"
 
 #include <functional>
 #include <map>
@@ -196,9 +198,39 @@ class Target {
   /// Newest fix across all attached providers.
   std::optional<PositionFix> last_position() const;
 
+  /// The provider failover currently routes this target through; nullptr
+  /// until PositioningService::enable_failover() selects one. Under
+  /// failover this switches away from an unhealthy provider and back (with
+  /// hysteresis) when the preferred one recovers.
+  LocationProvider* active_provider() const noexcept { return active_; }
+
+  /// The active provider's most recent fix — possibly a degraded-accuracy
+  /// fix from a fallback technology, which is the point: a worse position
+  /// beats silence. Falls back to last_position() when failover has not
+  /// selected a provider.
+  std::optional<PositionFix> current_position() const;
+
  private:
+  friend class PositioningService;
   std::string name_;
   std::vector<LocationProvider*> providers_;
+  LocationProvider* active_ = nullptr;
+};
+
+/// Failover policy (Positioning Layer). Staleness thresholds map a
+/// provider's seconds-since-last-fix to a HealthState; failover triggers
+/// when the active provider goes kStale or worse, and fails back only
+/// after the preferred provider has stayed recovered for `hold_s`
+/// (hysteresis, so a flickering source does not cause flapping).
+struct FailoverConfig {
+  double degraded_after_s = 2.0;  ///< Staleness beyond this: kDegraded.
+  double stale_after_s = 5.0;     ///< Beyond this: kStale — fail over.
+  double dead_after_s = 15.0;     ///< Beyond this: kDead.
+  /// The preferred provider counts as recovered below this staleness.
+  double recovery_s = 2.0;
+  /// Recovery must hold this long before failing back.
+  double hold_s = 5.0;
+  sim::SimTime check_interval = sim::SimTime::from_seconds(1.0);
 };
 
 /// The Positioning Layer facade: provider selection, targets and
@@ -243,17 +275,84 @@ class PositioningService {
   /// disabled.
   void publish_metrics();
 
+  // --- Failover (fault tolerance at the Positioning Layer) ----------------
+  //
+  // With failover enabled, every tracked target with attached providers is
+  // supervised: when its active provider's health (derived from fix
+  // staleness against the configured deadlines) drops to kStale or worse,
+  // the target re-resolves to the next-best healthy provider by advertised
+  // accuracy — degraded fixes instead of silence — and fails back to the
+  // preferred provider once it has stayed recovered for the hysteresis
+  // hold. Transitions are published as
+  // perpos_failover_transitions_total{target,from,to} and per-provider
+  // perpos_provider_health gauges when observability is on.
+
+  using FailoverListener = std::function<void(
+      Target& target, LocationProvider* from, LocationProvider* to,
+      sim::SimTime when)>;
+
+  /// Start (or reconfigure) supervised failover. `scheduler` must outlive
+  /// the service (or disable_failover() must be called first); checks run
+  /// every config.check_interval.
+  void enable_failover(sim::Scheduler& scheduler, FailoverConfig config = {});
+
+  /// Stop the periodic checks; targets keep their current active provider.
+  void disable_failover();
+
+  bool failover_enabled() const noexcept { return failover_scheduler_ != nullptr; }
+  const FailoverConfig& failover_config() const noexcept {
+    return failover_config_;
+  }
+
+  /// The provider's health as the failover policy sees it right now,
+  /// derived from fix staleness against the configured (or default)
+  /// deadlines. Providers that never delivered are judged by the time
+  /// since failover was enabled (or kDead if it never was).
+  HealthState provider_health(const LocationProvider& provider) const;
+
+  /// Called on every failover / fail-back transition of any target.
+  SubscriptionId add_failover_listener(FailoverListener listener);
+  void remove_failover_listener(SubscriptionId id);
+
+  /// Total failover + fail-back transitions across all targets.
+  std::uint64_t failover_transitions() const noexcept {
+    return failover_transitions_;
+  }
+
+  /// One supervision pass (normally scheduler-driven; public so tests and
+  /// clockless embeddings can step it manually).
+  void failover_check();
+
   ProcessingGraph& graph() noexcept { return graph_; }
   ChannelManager& channels() noexcept { return channels_; }
 
  private:
   friend class LocationProvider;
 
+  HealthState health_at(const LocationProvider& provider,
+                        sim::SimTime now) const;
+  double effective_staleness_s(const LocationProvider& provider,
+                               sim::SimTime now) const;
+  LocationProvider* preferred_provider(const Target& target) const;
+  void switch_active(Target& target, LocationProvider* to, sim::SimTime now);
+  void schedule_failover_check();
+
   ProcessingGraph& graph_;
   ChannelManager& channels_;
   std::map<ComponentId, ProviderAdvertisement> advertisements_;
   std::vector<std::unique_ptr<LocationProvider>> providers_;
   std::vector<std::unique_ptr<Target>> targets_;
+
+  sim::Scheduler* failover_scheduler_ = nullptr;
+  FailoverConfig failover_config_;
+  sim::Scheduler::EventId failover_event_ = 0;
+  sim::SimTime failover_enabled_at_ = sim::SimTime::zero();
+  /// Per-target time since which the preferred provider has been
+  /// continuously recovered (hysteresis state).
+  std::map<const Target*, std::optional<sim::SimTime>> recovery_since_;
+  std::map<SubscriptionId, FailoverListener> failover_listeners_;
+  SubscriptionId next_failover_subscription_ = 1;
+  std::uint64_t failover_transitions_ = 0;
 };
 
 }  // namespace perpos::core

@@ -142,7 +142,19 @@ void ProcessingGraph::notify_mutation() {
 }
 
 ProcessingGraph::ProcessingGraph(const sim::Clock* clock) : clock_(clock) {}
-ProcessingGraph::~ProcessingGraph() = default;
+
+ProcessingGraph::~ProcessingGraph() {
+  // Graph teardown: give every live component a chance to flush buffered
+  // data while all entries (and thus all consumers) are still intact.
+  // Destructors must not throw, so teardown failures are swallowed.
+  for (const auto& e : entries_) {
+    if (e == nullptr || !e->live) continue;
+    try {
+      e->component->on_teardown();
+    } catch (...) {
+    }
+  }
+}
 
 void ProcessingGraph::enable_observability(obs::ObservabilityConfig config) {
   check_not_dispatching("enable_observability");
@@ -243,6 +255,9 @@ ComponentId ProcessingGraph::add(
 
 void ProcessingGraph::remove(ComponentId id) {
   check_not_dispatching("remove");
+  // Teardown hook before any edge is cut: a component flushing buffered
+  // data here still reaches its consumers.
+  entry(id).component->on_teardown();
   Entry& e = entry(id);
   for (ComponentId c : e.consumers) erase_id(entries_[c]->producers, id);
   for (ComponentId p : e.producers) erase_id(entries_[p]->consumers, id);

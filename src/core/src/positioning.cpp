@@ -112,13 +112,20 @@ std::optional<PositionFix> Target::last_position() const {
   return best;
 }
 
+std::optional<PositionFix> Target::current_position() const {
+  if (active_ != nullptr) {
+    if (auto fix = active_->last_position()) return fix;
+  }
+  return last_position();
+}
+
 // --- PositioningService --------------------------------------------------------
 
 PositioningService::PositioningService(ProcessingGraph& graph,
                                        ChannelManager& channels)
     : graph_(graph), channels_(channels) {}
 
-PositioningService::~PositioningService() = default;
+PositioningService::~PositioningService() { disable_failover(); }
 
 void PositioningService::advertise(ComponentId producer,
                                    ProviderAdvertisement ad) {
@@ -212,6 +219,168 @@ void PositioningService::publish_metrics() {
         ->set(std::isinf(staleness) ? -1.0 : staleness);
     registry->gauge("perpos_provider_advertised_accuracy_m", labels)
         ->set(p->advertisement().typical_accuracy_m);
+  }
+}
+
+// --- Failover ----------------------------------------------------------------
+
+void PositioningService::enable_failover(sim::Scheduler& scheduler,
+                                         FailoverConfig config) {
+  disable_failover();
+  failover_scheduler_ = &scheduler;
+  failover_config_ = config;
+  failover_enabled_at_ = scheduler.now();
+  // Route every target through its preferred provider from the start, so
+  // current_position() has a well-defined source before the first check.
+  for (const auto& t : targets_) {
+    if (t->active_ == nullptr) t->active_ = preferred_provider(*t);
+  }
+  schedule_failover_check();
+}
+
+void PositioningService::disable_failover() {
+  if (failover_scheduler_ != nullptr && failover_event_ != 0) {
+    failover_scheduler_->cancel(failover_event_);
+  }
+  failover_event_ = 0;
+  failover_scheduler_ = nullptr;
+}
+
+void PositioningService::schedule_failover_check() {
+  failover_event_ = failover_scheduler_->schedule_after(
+      failover_config_.check_interval, [this] {
+        failover_event_ = 0;
+        failover_check();
+        if (failover_scheduler_ != nullptr) schedule_failover_check();
+      });
+}
+
+double PositioningService::effective_staleness_s(
+    const LocationProvider& provider, sim::SimTime now) const {
+  // A provider that never delivered is judged by how long failover has
+  // been waiting for it, not +infinity — otherwise a freshly assembled
+  // pipeline would be declared dead before its first fix.
+  if (!provider.last_fix_time()) {
+    return std::max(0.0, (now - failover_enabled_at_).seconds());
+  }
+  return provider.staleness_s(now);
+}
+
+HealthState PositioningService::health_at(const LocationProvider& provider,
+                                          sim::SimTime now) const {
+  const double s = effective_staleness_s(provider, now);
+  if (s >= failover_config_.dead_after_s) return HealthState::kDead;
+  if (s >= failover_config_.stale_after_s) return HealthState::kStale;
+  if (s >= failover_config_.degraded_after_s) return HealthState::kDegraded;
+  return HealthState::kHealthy;
+}
+
+HealthState PositioningService::provider_health(
+    const LocationProvider& provider) const {
+  if (failover_scheduler_ != nullptr) {
+    return health_at(provider, failover_scheduler_->now());
+  }
+  const sim::SimTime now =
+      graph_.clock() != nullptr ? graph_.clock()->now() : sim::SimTime::zero();
+  return health_at(provider, now);
+}
+
+LocationProvider* PositioningService::preferred_provider(
+    const Target& target) const {
+  LocationProvider* best = nullptr;
+  for (LocationProvider* p : target.providers()) {
+    if (best == nullptr ||
+        p->advertisement().typical_accuracy_m <
+            best->advertisement().typical_accuracy_m) {
+      best = p;
+    }
+  }
+  return best;
+}
+
+SubscriptionId PositioningService::add_failover_listener(
+    FailoverListener listener) {
+  const SubscriptionId id = next_failover_subscription_++;
+  failover_listeners_.emplace(id, std::move(listener));
+  return id;
+}
+
+void PositioningService::remove_failover_listener(SubscriptionId id) {
+  failover_listeners_.erase(id);
+}
+
+void PositioningService::switch_active(Target& target, LocationProvider* to,
+                                       sim::SimTime now) {
+  LocationProvider* from = target.active_;
+  target.active_ = to;
+  ++failover_transitions_;
+  if (obs::MetricsRegistry* registry = graph_.metrics_registry()) {
+    registry
+        ->counter("perpos_failover_transitions_total",
+                  {{"target", target.name()},
+                   {"from", from != nullptr ? from->advertisement().technology
+                                            : std::string("none")},
+                   {"to", to != nullptr ? to->advertisement().technology
+                                        : std::string("none")}})
+        ->inc();
+  }
+  for (const auto& [id, listener] : failover_listeners_) {
+    listener(target, from, to, now);
+  }
+}
+
+void PositioningService::failover_check() {
+  if (failover_scheduler_ == nullptr) return;
+  const sim::SimTime now = failover_scheduler_->now();
+
+  for (const auto& t : targets_) {
+    if (t->providers().empty()) continue;
+    LocationProvider* preferred = preferred_provider(*t);
+    if (t->active_ == nullptr) t->active_ = preferred;
+    LocationProvider* active = t->active_;
+    auto& recovery = recovery_since_[t.get()];
+
+    if (health_at(*active, now) >= HealthState::kStale) {
+      // The active provider blew its staleness deadline: re-resolve to the
+      // best healthy-enough alternative by advertised accuracy. If every
+      // alternative is worse than the failed one, so be it — a degraded
+      // fix beats silence.
+      LocationProvider* candidate = nullptr;
+      for (LocationProvider* p : t->providers()) {
+        if (p == active) continue;
+        if (health_at(*p, now) >= HealthState::kStale) continue;
+        if (candidate == nullptr ||
+            p->advertisement().typical_accuracy_m <
+                candidate->advertisement().typical_accuracy_m) {
+          candidate = p;
+        }
+      }
+      if (candidate != nullptr) {
+        switch_active(*t, candidate, now);
+        recovery.reset();
+      }
+    } else if (active != preferred && preferred != nullptr &&
+               effective_staleness_s(*preferred, now) <=
+                   failover_config_.recovery_s) {
+      // Preferred provider looks recovered; fail back only after it has
+      // stayed that way for the hysteresis hold.
+      if (!recovery) {
+        recovery = now;
+      } else if ((now - *recovery).seconds() >= failover_config_.hold_s) {
+        switch_active(*t, preferred, now);
+        recovery.reset();
+      }
+    } else {
+      recovery.reset();
+    }
+  }
+
+  if (obs::MetricsRegistry* registry = graph_.metrics_registry()) {
+    for (const auto& p : providers_) {
+      registry
+          ->gauge("perpos_provider_health", {{"provider", p->metric_label()}})
+          ->set(static_cast<double>(health_at(*p, now)));
+    }
   }
 }
 

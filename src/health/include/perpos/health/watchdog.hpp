@@ -1,0 +1,115 @@
+#pragma once
+
+#include "perpos/core/graph.hpp"
+#include "perpos/core/health_state.hpp"
+#include "perpos/sim/scheduler.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+/// \file watchdog.hpp
+/// PSL-level health supervision (paper Sec. 4: positioning technologies
+/// "do not provide pervasive coverage" and fail partially — a GPS losing
+/// sky view simply stops producing, it does not error).
+///
+/// The Watchdog derives a per-source HealthState from two passive signals:
+///  * sample arrival — every check it polls the graph's per-component
+///    emission counters; silence for longer than the configured deadlines
+///    walks the source down kHealthy → kDegraded → kStale → kDead,
+///  * failure-event rate — when a threshold is set, a burst of
+///    `perpos_failure_events_total` events attributed to the source marks
+///    it at least kDegraded even while samples still flow.
+///
+/// Polling counters costs the hot path nothing: no probe feature, no extra
+/// hook. Checks run on the simulation scheduler, so verdicts are
+/// deterministic and testable. State is published three ways: accessors
+/// here (PSL), the HealthChannelFeature (PCL) and
+/// PositioningService failover (PL) all read the same vocabulary.
+
+namespace perpos::health {
+
+struct WatchdogConfig {
+  sim::SimTime check_interval = sim::SimTime::from_millis(500);
+  double degraded_after_s = 2.0;  ///< Silence before kDegraded.
+  double stale_after_s = 5.0;     ///< Silence before kStale.
+  double dead_after_s = 15.0;     ///< Silence before kDead.
+  /// Failure events per second (averaged over one check interval) above
+  /// which a source is at least kDegraded. Default: disabled.
+  double failure_rate_threshold_hz = std::numeric_limits<double>::infinity();
+};
+
+class Watchdog {
+ public:
+  /// Invoked on every state transition of a watched source.
+  using Listener =
+      std::function<void(core::ComponentId source, core::HealthState from,
+                         core::HealthState to, sim::SimTime when)>;
+
+  Watchdog(core::ProcessingGraph& graph, sim::Scheduler& scheduler,
+           WatchdogConfig config = {});
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Supervise `source`. A source starts kHealthy with its silence clock
+  /// at the time watch() was called. Throws for unknown components.
+  void watch(core::ComponentId source);
+  void unwatch(core::ComponentId source);
+  bool watches(core::ComponentId source) const;
+  std::vector<core::ComponentId> watched() const;
+
+  /// Start periodic checks on the scheduler (idempotent).
+  void start();
+  /// Cancel the pending check (idempotent; state is kept).
+  void stop();
+  bool running() const noexcept { return running_; }
+
+  /// One evaluation pass at the current simulation time. start() arranges
+  /// for this to run every check_interval; tests may call it directly.
+  void check_now();
+
+  /// Current verdict; a source removed from the graph is kDead.
+  core::HealthState state(core::ComponentId source) const;
+  /// Time of the source's most recent state change (zero if none yet).
+  sim::SimTime last_transition(core::ComponentId source) const;
+  /// Total state transitions across all watched sources.
+  std::uint64_t transitions() const noexcept { return transitions_; }
+
+  const WatchdogConfig& config() const noexcept { return config_; }
+
+  std::size_t add_listener(Listener listener);
+  void remove_listener(std::size_t token);
+
+ private:
+  struct Watched {
+    std::uint64_t last_emitted = 0;
+    sim::SimTime last_activity = sim::SimTime::zero();
+    std::uint64_t last_failures = 0;
+    core::HealthState state = core::HealthState::kHealthy;
+    sim::SimTime last_transition = sim::SimTime::zero();
+    std::string label;  ///< "<kind>#<id>", fixed at watch() time.
+  };
+
+  void schedule_next();
+  void set_state(core::ComponentId id, Watched& w, core::HealthState next,
+                 sim::SimTime now);
+  std::uint64_t failure_total(core::ComponentId id) const;
+  void publish(const Watched& w) const;
+
+  core::ProcessingGraph& graph_;
+  sim::Scheduler& scheduler_;
+  WatchdogConfig config_;
+  std::map<core::ComponentId, Watched> watched_;
+  std::vector<std::pair<std::size_t, Listener>> listeners_;
+  std::size_t next_listener_token_ = 1;
+  std::uint64_t transitions_ = 0;
+  sim::Scheduler::EventId pending_check_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace perpos::health

@@ -1,0 +1,188 @@
+#include "perpos/health/watchdog.hpp"
+
+#include <stdexcept>
+
+namespace perpos::health {
+
+namespace {
+
+/// Counter value helper: gauges publish the numeric state so dashboards
+/// can plot state-over-time without string parsing.
+double state_value(core::HealthState s) noexcept {
+  return static_cast<double>(static_cast<int>(s));
+}
+
+}  // namespace
+
+Watchdog::Watchdog(core::ProcessingGraph& graph, sim::Scheduler& scheduler,
+                   WatchdogConfig config)
+    : graph_(graph), scheduler_(scheduler), config_(config) {}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::watch(core::ComponentId source) {
+  if (!graph_.has(source)) {
+    throw std::invalid_argument("watch: unknown component");
+  }
+  if (watched_.contains(source)) return;
+  Watched w;
+  const auto info = graph_.info(source);
+  w.last_emitted = info.emitted;
+  w.last_activity = scheduler_.now();
+  w.last_failures = failure_total(source);
+  w.label = info.kind + "#" + std::to_string(source);
+  publish(w);
+  watched_.emplace(source, std::move(w));
+}
+
+void Watchdog::unwatch(core::ComponentId source) { watched_.erase(source); }
+
+bool Watchdog::watches(core::ComponentId source) const {
+  return watched_.contains(source);
+}
+
+std::vector<core::ComponentId> Watchdog::watched() const {
+  std::vector<core::ComponentId> out;
+  out.reserve(watched_.size());
+  for (const auto& [id, w] : watched_) out.push_back(id);
+  return out;
+}
+
+void Watchdog::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void Watchdog::stop() {
+  if (!running_) return;
+  running_ = false;
+  scheduler_.cancel(pending_check_);
+  pending_check_ = 0;
+}
+
+void Watchdog::schedule_next() {
+  pending_check_ = scheduler_.schedule_after(config_.check_interval, [this] {
+    if (!running_) return;
+    check_now();
+    schedule_next();
+  });
+}
+
+void Watchdog::check_now() {
+  const sim::SimTime now = scheduler_.now();
+  const bool use_failures =
+      config_.failure_rate_threshold_hz !=
+      std::numeric_limits<double>::infinity();
+  for (auto& [id, w] : watched_) {
+    if (!graph_.has(id)) {
+      set_state(id, w, core::HealthState::kDead, now);
+      continue;
+    }
+    const std::uint64_t emitted = graph_.info(id).emitted;
+    if (emitted > w.last_emitted) {
+      w.last_emitted = emitted;
+      w.last_activity = now;
+    }
+    const double silence_s = (now - w.last_activity).seconds();
+    core::HealthState next = core::HealthState::kHealthy;
+    if (silence_s >= config_.dead_after_s) {
+      next = core::HealthState::kDead;
+    } else if (silence_s >= config_.stale_after_s) {
+      next = core::HealthState::kStale;
+    } else if (silence_s >= config_.degraded_after_s) {
+      next = core::HealthState::kDegraded;
+    }
+    if (use_failures && next == core::HealthState::kHealthy) {
+      const std::uint64_t failures = failure_total(id);
+      const double interval_s = config_.check_interval.seconds();
+      const double rate =
+          interval_s > 0.0
+              ? static_cast<double>(failures - w.last_failures) / interval_s
+              : 0.0;
+      w.last_failures = failures;
+      if (rate > config_.failure_rate_threshold_hz) {
+        next = core::HealthState::kDegraded;
+      }
+    }
+    set_state(id, w, next, now);
+  }
+}
+
+void Watchdog::set_state(core::ComponentId id, Watched& w,
+                         core::HealthState next, sim::SimTime now) {
+  if (next == w.state) return;
+  const core::HealthState from = w.state;
+  w.state = next;
+  w.last_transition = now;
+  ++transitions_;
+  if (obs::MetricsRegistry* registry = graph_.metrics_registry()) {
+    registry
+        ->counter("perpos_health_transitions_total",
+                  {{"from", std::string(core::to_string(from))},
+                   {"source", w.label},
+                   {"to", std::string(core::to_string(next))}})
+        ->inc();
+  }
+  publish(w);
+  for (const auto& [token, listener] : listeners_) {
+    listener(id, from, next, now);
+  }
+}
+
+std::uint64_t Watchdog::failure_total(core::ComponentId id) const {
+  obs::MetricsRegistry* registry = graph_.metrics_registry();
+  if (registry == nullptr) return 0;
+  // Failure events are labelled injector="<Kind>#<host-id>"; everything a
+  // component (or a feature hosted on it) reported counts against it.
+  const std::string suffix = "#" + std::to_string(id);
+  std::uint64_t total = 0;
+  for (const auto& c : registry->snapshot().counters) {
+    if (c.name != "perpos_failure_events_total") continue;
+    for (const auto& [key, value] : c.labels) {
+      if (key == "injector" && value.size() >= suffix.size() &&
+          value.compare(value.size() - suffix.size(), suffix.size(),
+                        suffix) == 0) {
+        total += c.value;
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+void Watchdog::publish(const Watched& w) const {
+  if (obs::MetricsRegistry* registry = graph_.metrics_registry()) {
+    registry->gauge("perpos_health_state", {{"source", w.label}})
+        ->set(state_value(w.state));
+  }
+}
+
+core::HealthState Watchdog::state(core::ComponentId source) const {
+  const auto it = watched_.find(source);
+  if (it == watched_.end()) {
+    throw std::invalid_argument("state: component not watched");
+  }
+  return it->second.state;
+}
+
+sim::SimTime Watchdog::last_transition(core::ComponentId source) const {
+  const auto it = watched_.find(source);
+  if (it == watched_.end()) {
+    throw std::invalid_argument("last_transition: component not watched");
+  }
+  return it->second.last_transition;
+}
+
+std::size_t Watchdog::add_listener(Listener listener) {
+  const std::size_t token = next_listener_token_++;
+  listeners_.emplace_back(token, std::move(listener));
+  return token;
+}
+
+void Watchdog::remove_listener(std::size_t token) {
+  std::erase_if(listeners_,
+                [token](const auto& entry) { return entry.first == token; });
+}
+
+}  // namespace perpos::health

@@ -1,9 +1,11 @@
 #pragma once
 
+#include "perpos/core/positioning.hpp"
 #include "perpos/runtime/assembler.hpp"
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,9 +24,15 @@
 ///   connect <producer-name> <consumer-name>
 ///   resolve
 ///   observe [metrics] [timing] [tracing] [all]
+///   health [key=value ...]
 ///
 /// `observe` enables graph observability (perpos::obs). With no flags it
 /// turns on metrics and timing; `all` adds flow tracing.
+///
+/// `health` declares fault-tolerance thresholds (see HealthSettings). The
+/// parser only records them in ConfigResult::health — wiring them into a
+/// Watchdog / PositioningService / reliable links is the caller's choice,
+/// keeping the config layer free of a dependency on perpos::health.
 
 namespace perpos::runtime {
 
@@ -52,11 +60,42 @@ class ComponentFactoryRegistry {
   std::map<std::string, Factory> factories_;
 };
 
+/// Fault-tolerance thresholds declared by a `health` config line. All
+/// durations are seconds; defaults match core::FailoverConfig and the
+/// health module's WatchdogConfig / ReliableLinkConfig.
+struct HealthSettings {
+  double degraded_after_s = 2.0;  ///< No samples for this long: kDegraded.
+  double stale_after_s = 5.0;     ///< ...kStale (failover trigger).
+  double dead_after_s = 15.0;     ///< ...kDead.
+  double recovery_s = 2.0;   ///< Preferred provider fresh within this: ok.
+  double hold_s = 5.0;       ///< Sustained recovery needed before fail-back.
+  double check_interval_s = 1.0;  ///< Health evaluation cadence.
+  int max_retries = 8;            ///< Reliable link retransmission budget.
+  double ack_timeout_ms = 100.0;  ///< Reliable link initial ack timeout.
+
+  friend bool operator==(const HealthSettings&,
+                         const HealthSettings&) = default;
+
+  /// The failover subset, ready for PositioningService::enable_failover.
+  core::FailoverConfig failover() const {
+    core::FailoverConfig cfg;
+    cfg.degraded_after_s = degraded_after_s;
+    cfg.stale_after_s = stale_after_s;
+    cfg.dead_after_s = dead_after_s;
+    cfg.recovery_s = recovery_s;
+    cfg.hold_s = hold_s;
+    cfg.check_interval = sim::SimTime::from_seconds(check_interval_s);
+    return cfg;
+  }
+};
+
 struct ConfigResult {
   /// Instantiated names and ids, explicit edges, resolver edges.
   AssemblyReport report;
   /// One entry per rejected line: "line N: message". Empty = success.
   std::vector<std::string> errors;
+  /// Set when the config contained a (valid) `health` line.
+  std::optional<HealthSettings> health;
 
   bool ok() const noexcept { return errors.empty() && report.ok(); }
 };
@@ -72,6 +111,9 @@ ConfigResult assemble_from_config(const std::string& text,
 /// assemble_from_config, for snapshotting a live system). Component names
 /// are "<kind>_<id>"; kinds are the components' kind() strings, so the
 /// output re-assembles only against a registry that maps those kinds.
-std::string export_config(const core::ProcessingGraph& graph);
+/// When `health` is non-null a `health` line with every setting is
+/// appended, so settings round-trip through export and re-parse.
+std::string export_config(const core::ProcessingGraph& graph,
+                          const HealthSettings* health = nullptr);
 
 }  // namespace perpos::runtime

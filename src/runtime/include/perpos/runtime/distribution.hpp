@@ -1,12 +1,14 @@
 #pragma once
 
 #include "perpos/core/component.hpp"
+#include "perpos/core/failure_events.hpp"
 #include "perpos/core/graph.hpp"
 #include "perpos/runtime/payload_codec.hpp"
 #include "perpos/sim/network.hpp"
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,10 +41,14 @@ class RemoteEgress final : public core::ProcessingComponent {
     return {};
   }
   void on_input(const core::Sample& sample) override {
+    // After teardown the network may already be destroyed (a peer's
+    // teardown hook can emit into us during graph destruction) — drop.
+    if (torn_down_) return;
     if (!is_encodable(sample.payload)) return;
     network_.send(from_, to_, tag_ + " " + encode_payload(sample.payload));
     ++sent_;
   }
+  void on_teardown() override { torn_down_ = true; }
 
   std::uint64_t sent() const noexcept { return sent_; }
 
@@ -51,6 +57,7 @@ class RemoteEgress final : public core::ProcessingComponent {
   sim::HostId from_;
   sim::HostId to_;
   std::string tag_;
+  bool torn_down_ = false;
   std::uint64_t sent_ = 0;
 };
 
@@ -75,15 +82,46 @@ class RemoteIngress final : public core::ProcessingComponent {
     if (auto payload = decode_payload(wire)) {
       ++received_;
       context().emit(std::move(*payload));
+    } else {
+      // A payload that arrives but cannot be decoded (link corruption,
+      // version skew) used to vanish silently — the worst failure mode
+      // for a positioning system. Count it and surface it as a failure
+      // event so watchdogs and dashboards see the link rot.
+      ++decode_failures_;
+      core::report_failure_event(context().graph(), kind(), context().id(),
+                                 "decode_failed");
     }
   }
 
   std::uint64_t received() const noexcept { return received_; }
+  std::uint64_t decode_failures() const noexcept { return decode_failures_; }
 
  private:
   std::vector<core::DataSpec> capabilities_;
   std::uint64_t received_ = 0;
+  std::uint64_t decode_failures_ = 0;
 };
+
+/// The two components (plus delivery callbacks) a link factory returns for
+/// one remoted edge. `deliver_at_to` runs on the consumer-side host when a
+/// data message arrives; `deliver_at_from` runs on the producer-side host
+/// for reverse-path traffic (e.g. acknowledgements) and may be null for
+/// fire-and-forget transports.
+struct RemoteLinkEndpoints {
+  std::shared_ptr<core::ProcessingComponent> egress;
+  std::shared_ptr<core::ProcessingComponent> ingress;
+  std::function<void(const std::string& rest)> deliver_at_to;
+  std::function<void(const std::string& rest)> deliver_at_from;
+};
+
+/// Pluggable transport seam: deploy() asks the factory for the egress /
+/// ingress pair of every host-crossing edge. The default builds the
+/// fire-and-forget RemoteEgress / RemoteIngress above; the health module
+/// provides a reliable (ack + retransmit) factory without the runtime
+/// depending on it.
+using RemoteLinkFactory = std::function<RemoteLinkEndpoints(
+    sim::Network& network, sim::HostId from, sim::HostId to, std::string tag,
+    std::vector<core::DataSpec> capabilities)>;
 
 class DistributedDeployment {
  public:
@@ -96,6 +134,13 @@ class DistributedDeployment {
   /// Pin a component to a host. Unassigned components are local to
   /// whatever they connect to (edges to/from them are never remoted).
   void assign(core::ComponentId component, sim::HostId host);
+
+  /// Install a transport factory used by subsequent deploy() calls (see
+  /// RemoteLinkFactory). Pass nullptr to restore the default
+  /// fire-and-forget transport. Already-deployed edges keep their links.
+  void set_link_factory(RemoteLinkFactory factory) {
+    link_factory_ = std::move(factory);
+  }
 
   /// Splice egress/ingress pairs into every edge whose endpoints are
   /// assigned to different hosts. Call after the graph is assembled;
@@ -115,15 +160,25 @@ class DistributedDeployment {
   sim::Network& network() noexcept { return network_; }
 
  private:
+  // Routing: pair tag -> the remoted edge's delivery callbacks. The shared
+  // host handler dispatches on the tag prefix and the *sending* host:
+  // messages from the producer side go to deliver_at_to (data), messages
+  // from the consumer side go to deliver_at_from (acks).
+  struct Route {
+    sim::HostId from = 0;
+    sim::HostId to = 0;
+    std::function<void(const std::string& rest)> at_to;
+    std::function<void(const std::string& rest)> at_from;
+  };
+
   core::ProcessingGraph& graph_;
   sim::Network& network_;
   std::map<core::ComponentId, sim::HostId> assignment_;
-  // Routing: pair tag -> ingress component. The shared host handler
-  // dispatches on the tag prefix.
-  std::map<std::string, RemoteIngress*> ingresses_;
+  std::map<std::string, Route> routes_;
   std::map<std::uint64_t, std::uint64_t> control_counts_;
   std::vector<sim::HostId> hosts_;
   std::uint64_t next_pair_ = 1;
+  RemoteLinkFactory link_factory_;
 
   void host_handler(sim::HostId from, const std::string& payload);
 };

@@ -96,6 +96,52 @@ ConfigResult assemble_from_config(const std::string& text,
       edges.push_back(Edge{line_no, producer, consumer});
     } else if (verb == "resolve") {
       want_resolve = true;
+    } else if (verb == "health") {
+      HealthSettings settings = result.health.value_or(HealthSettings{});
+      bool bad = false;
+      std::string token;
+      while (ls >> token) {
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+          fail("health expects key=value tokens, got '" + token + "'");
+          bad = true;
+          break;
+        }
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        double number = 0.0;
+        try {
+          std::size_t used = 0;
+          number = std::stod(value, &used);
+          if (used != value.size()) throw std::invalid_argument(value);
+        } catch (const std::exception&) {
+          fail("health " + key + ": bad number '" + value + "'");
+          bad = true;
+          break;
+        }
+        if (key == "degraded_after_s") {
+          settings.degraded_after_s = number;
+        } else if (key == "stale_after_s") {
+          settings.stale_after_s = number;
+        } else if (key == "dead_after_s") {
+          settings.dead_after_s = number;
+        } else if (key == "recovery_s") {
+          settings.recovery_s = number;
+        } else if (key == "hold_s") {
+          settings.hold_s = number;
+        } else if (key == "check_interval_s") {
+          settings.check_interval_s = number;
+        } else if (key == "max_retries") {
+          settings.max_retries = static_cast<int>(number);
+        } else if (key == "ack_timeout_ms") {
+          settings.ack_timeout_ms = number;
+        } else {
+          fail("unknown health key '" + key + "'");
+          bad = true;
+          break;
+        }
+      }
+      if (!bad) result.health = settings;
     } else if (verb == "observe") {
       obs::ObservabilityConfig cfg;
       cfg.metrics = cfg.timing = cfg.tracing = false;
@@ -201,7 +247,8 @@ ConfigResult assemble_from_config(const std::string& text,
   return result;
 }
 
-std::string export_config(const core::ProcessingGraph& graph) {
+std::string export_config(const core::ProcessingGraph& graph,
+                          const HealthSettings* health) {
   std::ostringstream out;
   out << "# snapshot of a live PerPos processing graph\n";
   const auto ids = graph.components();
@@ -224,6 +271,22 @@ std::string export_config(const core::ProcessingGraph& graph) {
     if (cfg->timing) out << " timing";
     if (cfg->tracing) out << " tracing";
     out << "\n";
+  }
+  if (health != nullptr) {
+    const auto number = [](double v) {
+      std::ostringstream s;
+      s << v;  // Default formatting drops trailing zeros; std::stod
+               // re-parses it exactly for the values we deal in.
+      return s.str();
+    };
+    out << "health degraded_after_s=" << number(health->degraded_after_s)
+        << " stale_after_s=" << number(health->stale_after_s)
+        << " dead_after_s=" << number(health->dead_after_s)
+        << " recovery_s=" << number(health->recovery_s)
+        << " hold_s=" << number(health->hold_s)
+        << " check_interval_s=" << number(health->check_interval_s)
+        << " max_retries=" << health->max_retries
+        << " ack_timeout_ms=" << number(health->ack_timeout_ms) << "\n";
   }
   return out.str();
 }

@@ -46,36 +46,53 @@ void DistributedDeployment::deploy() {
 
   for (const Crossing& c : crossings) {
     const std::string tag = "#" + std::to_string(next_pair_++);
-    auto egress =
-        std::make_shared<RemoteEgress>(network_, c.from, c.to, tag);
-    auto ingress =
-        std::make_shared<RemoteIngress>(graph_.capabilities(c.producer));
-    RemoteIngress* ingress_ptr = ingress.get();
+    RemoteLinkEndpoints link;
+    if (link_factory_) {
+      link = link_factory_(network_, c.from, c.to, tag,
+                           graph_.capabilities(c.producer));
+    } else {
+      auto egress = std::make_shared<RemoteEgress>(network_, c.from, c.to, tag);
+      auto ingress =
+          std::make_shared<RemoteIngress>(graph_.capabilities(c.producer));
+      RemoteIngress* ingress_ptr = ingress.get();
+      link.egress = std::move(egress);
+      link.ingress = std::move(ingress);
+      link.deliver_at_to = [ingress_ptr](const std::string& rest) {
+        ingress_ptr->deliver(rest);
+      };
+    }
 
-    const core::ComponentId egress_id = graph_.add(std::move(egress));
-    const core::ComponentId ingress_id = graph_.add(std::move(ingress));
+    const core::ComponentId egress_id = graph_.add(std::move(link.egress));
+    const core::ComponentId ingress_id = graph_.add(std::move(link.ingress));
     graph_.disconnect(c.producer, c.consumer);
     graph_.connect(c.producer, egress_id);
     graph_.connect(ingress_id, c.consumer);
 
     assignment_[egress_id] = c.from;
     assignment_[ingress_id] = c.to;
-    ingresses_[tag] = ingress_ptr;
+    routes_[tag] = Route{c.from, c.to, std::move(link.deliver_at_to),
+                         std::move(link.deliver_at_from)};
   }
 }
 
 void DistributedDeployment::host_handler(sim::HostId from,
                                          const std::string& payload) {
-  (void)from;
   const std::size_t space = payload.find(' ');
   if (space == std::string::npos) return;
   const std::string tag = payload.substr(0, space);
   if (tag == "#CTL") {
     return;  // Control messages carry no payload to route.
   }
-  const auto it = ingresses_.find(tag);
-  if (it == ingresses_.end()) return;
-  it->second->deliver(payload.substr(space + 1));
+  const auto it = routes_.find(tag);
+  if (it == routes_.end()) return;
+  const Route& route = it->second;
+  // Forward path (data) comes from the producer host; reverse path (acks)
+  // from the consumer host. Anything else is misrouted and dropped.
+  if (from == route.from) {
+    if (route.at_to) route.at_to(payload.substr(space + 1));
+  } else if (from == route.to) {
+    if (route.at_from) route.at_from(payload.substr(space + 1));
+  }
 }
 
 void DistributedDeployment::remote_call(sim::HostId from, sim::HostId to,

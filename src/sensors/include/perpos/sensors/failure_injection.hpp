@@ -2,6 +2,7 @@
 
 #include "perpos/core/component.hpp"
 #include "perpos/core/data_types.hpp"
+#include "perpos/core/failure_events.hpp"
 #include "perpos/core/feature.hpp"
 #include "perpos/core/graph.hpp"
 #include "perpos/sim/random.hpp"
@@ -44,23 +45,10 @@ inline void garble_one_byte(std::string& bytes, sim::Random& random) {
   bytes[index] = static_cast<char>(bytes[index] ^ 0x20);
 }
 
-/// Report one failure event into the graph's metrics registry (no-op when
-/// the graph is null or observability is off). Injected traffic mutations
-/// were previously silent; this makes every drop/garble/duplicate/reorder
-/// visible as `perpos_failure_events_total{injector=..., event=...}`.
-inline void report_failure_event(core::ProcessingGraph* graph,
-                                 std::string_view injector,
-                                 core::ComponentId host, const char* event) {
-  if (graph == nullptr) return;
-  obs::MetricsRegistry* registry = graph->metrics_registry();
-  if (registry == nullptr) return;
-  registry
-      ->counter("perpos_failure_events_total",
-                {{"injector",
-                  std::string(injector) + "#" + std::to_string(host)},
-                 {"event", event}})
-      ->inc();
-}
+/// Failure events flow through the shared core helper so injectors,
+/// remoting endpoints and reliable links all publish into one
+/// `perpos_failure_events_total{injector=..., event=...}` family.
+using core::report_failure_event;
 
 /// Component Feature: drop/garble on the way OUT of the host component.
 class FailureInjectionFeature final : public core::ComponentFeature {
@@ -121,6 +109,7 @@ class FlakyLinkComponent final : public core::ProcessingComponent {
   void on_input(const core::Sample& sample) override {
     const auto* fragment = sample.payload.get<core::RawFragment>();
     if (fragment == nullptr) return;
+    ++received_;
 
     if (random_->chance(config_.drop_probability)) {
       ++dropped_;
@@ -156,10 +145,23 @@ class FlakyLinkComponent final : public core::ProcessingComponent {
     }
   }
 
+  /// Emit any fragment held back for reordering. Without this, a fragment
+  /// held when the stream ends is silently lost — violating conservation
+  /// (in - dropped = out). Called automatically from on_teardown() when the
+  /// link is removed from the graph or the graph is destroyed.
+  void flush() {
+    if (context().attached()) emit_held();
+  }
+
+  void on_teardown() override { flush(); }
+
+  std::uint64_t received() const noexcept { return received_; }
   std::uint64_t dropped() const noexcept { return dropped_; }
   std::uint64_t garbled() const noexcept { return garbled_; }
   std::uint64_t duplicated() const noexcept { return duplicated_; }
   std::uint64_t reordered() const noexcept { return reordered_; }
+  /// True while a fragment is held back awaiting a later arrival.
+  bool held_pending() const noexcept { return !held_.empty(); }
 
  private:
   void emit_held() {
@@ -173,6 +175,7 @@ class FlakyLinkComponent final : public core::ProcessingComponent {
   FailureInjectionConfig config_;
   sim::Random* random_;
   std::string held_;
+  std::uint64_t received_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t garbled_ = 0;
   std::uint64_t duplicated_ = 0;

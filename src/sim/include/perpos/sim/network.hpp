@@ -63,6 +63,13 @@ class Network {
   const std::string& host_name(HostId id) const;
   std::size_t host_count() const noexcept { return hosts_.size(); }
 
+  /// The scheduler delivering this network's messages. Protocol endpoints
+  /// built on top (e.g. reliable links with retransmission timers) share it
+  /// so their timers interleave deterministically with deliveries.
+  Scheduler& scheduler() noexcept { return scheduler_; }
+  /// The randomness source driving loss/jitter, shared for the same reason.
+  Random& random() noexcept { return random_; }
+
  private:
   struct Host {
     std::string name;

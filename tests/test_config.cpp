@@ -270,6 +270,94 @@ TEST(Config, ObserveUnknownFlagReported) {
   EXPECT_FALSE(graph.observability_enabled());
 }
 
+TEST(Config, HealthDirectiveParsesSettings) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto result = rt::assemble_from_config(R"(
+component src source
+component app sink
+connect src app
+health degraded_after_s=1.5 stale_after_s=4 dead_after_s=20 max_retries=3
+health ack_timeout_ms=250
+)",
+                                               registry, graph);
+  ASSERT_TRUE(result.ok()) << (result.errors.empty() ? "unsatisfied"
+                                                     : result.errors[0]);
+  ASSERT_TRUE(result.health.has_value());
+  EXPECT_DOUBLE_EQ(result.health->degraded_after_s, 1.5);
+  EXPECT_DOUBLE_EQ(result.health->stale_after_s, 4.0);
+  EXPECT_DOUBLE_EQ(result.health->dead_after_s, 20.0);
+  EXPECT_EQ(result.health->max_retries, 3);
+  // The second line extended, not replaced, the first.
+  EXPECT_DOUBLE_EQ(result.health->ack_timeout_ms, 250.0);
+  // Untouched keys keep their defaults.
+  EXPECT_DOUBLE_EQ(result.health->hold_s, rt::HealthSettings{}.hold_s);
+
+  // The parsed settings translate into a PL failover config.
+  const auto failover = result.health->failover();
+  EXPECT_DOUBLE_EQ(failover.degraded_after_s, 1.5);
+  EXPECT_DOUBLE_EQ(failover.stale_after_s, 4.0);
+}
+
+TEST(Config, HealthDirectiveAbsentMeansNoSettings) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto result =
+      rt::assemble_from_config("component s source\n", registry, graph);
+  EXPECT_FALSE(result.health.has_value());
+}
+
+TEST(Config, HealthDirectiveErrorsReported) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto result = rt::assemble_from_config(R"(
+health frobnication=3
+health degraded_after_s=soon
+health stale_after_s
+)",
+                                               registry, graph);
+  ASSERT_EQ(result.errors.size(), 3u);
+  EXPECT_NE(result.errors[0].find("unknown health key"), std::string::npos);
+  EXPECT_NE(result.errors[1].find("bad number"), std::string::npos);
+  EXPECT_NE(result.errors[2].find("key=value"), std::string::npos);
+  // A rejected line leaves the settings untouched.
+  EXPECT_FALSE(result.health.has_value());
+}
+
+TEST(Config, HealthRoundTripsThroughExport) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto first = rt::assemble_from_config(R"(
+component src source
+component app sink
+connect src app
+health degraded_after_s=1.5 stale_after_s=4 dead_after_s=20 recovery_s=1 hold_s=7 check_interval_s=0.5 max_retries=3 ack_timeout_ms=250
+)",
+                                              registry, graph);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first.health.has_value());
+
+  const std::string exported = rt::export_config(graph, &*first.health);
+  EXPECT_NE(exported.find("health "), std::string::npos);
+
+  // Re-parse the export: identical settings come back.
+  rt::ComponentFactoryRegistry by_kind;
+  by_kind.register_kind("Source", [](const auto&) {
+    return std::make_shared<core::SourceComponent>(
+        "Source", std::vector<core::DataSpec>{core::provide<Num>()});
+  });
+  by_kind.register_kind("Sink", [](const auto&) {
+    return std::make_shared<core::ApplicationSink>(
+        "Sink", std::vector<core::InputRequirement>{core::require<Num>()});
+  });
+  core::ProcessingGraph rebuilt;
+  const auto second = rt::assemble_from_config(exported, by_kind, rebuilt);
+  ASSERT_TRUE(second.errors.empty())
+      << (second.errors.empty() ? "" : second.errors[0]);
+  ASSERT_TRUE(second.health.has_value());
+  EXPECT_EQ(*second.health, *first.health);
+}
+
 TEST(Config, ObserveRoundTripsThroughExport) {
   const auto registry = make_registry();
   core::ProcessingGraph graph;

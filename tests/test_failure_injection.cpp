@@ -205,6 +205,101 @@ TEST(FailureObservability, FlakyLinkCountersMatchRegistry) {
             0u);
 }
 
+// --- Conservation: in - dropped + duplicated = out ---------------------------
+
+namespace {
+
+/// Minimal source -> FlakyLink -> sink rig where the sink counts exactly
+/// what the link emits (no parser discarding garbled bytes in between).
+struct LinkRig {
+  explicit LinkRig(sensors::FailureInjectionConfig config)
+      : graph(&scheduler.clock()) {
+    source = std::make_shared<core::SourceComponent>(
+        "Serial",
+        std::vector<core::DataSpec>{core::provide<core::RawFragment>()});
+    link = std::make_shared<sensors::FlakyLinkComponent>(config, random);
+    sink = std::make_shared<core::ApplicationSink>();
+    source_id = graph.add(source);
+    link_id = graph.add(link);
+    sink_id = graph.add(sink);
+    graph.connect(source_id, link_id);
+    graph.connect(link_id, sink_id);
+  }
+
+  void push(int count) {
+    for (int i = 0; i < count; ++i) {
+      source->push(core::RawFragment{"fragment-" + std::to_string(i)});
+    }
+  }
+
+  sim::Scheduler scheduler;
+  sim::Random random{42};
+  core::ProcessingGraph graph;
+  std::shared_ptr<core::SourceComponent> source;
+  std::shared_ptr<sensors::FlakyLinkComponent> link;
+  std::shared_ptr<core::ApplicationSink> sink;
+  core::ComponentId source_id{}, link_id{}, sink_id{};
+};
+
+}  // namespace
+
+TEST(FlakyLinkConservation, EveryFragmentAccountedForAfterFlush) {
+  // Heavy chaos: with reordering enabled the link may end the stream with
+  // one fragment still held back. flush() releases it; afterwards the
+  // ledger must balance exactly: in - dropped + duplicated = out.
+  LinkRig rig({0.2, 0.2, 0.2, 0.5});
+  rig.push(500);
+
+  const std::uint64_t expected_out =
+      rig.link->received() - rig.link->dropped() + rig.link->duplicated();
+  const std::uint64_t held = rig.link->held_pending() ? 1 : 0;
+  EXPECT_EQ(rig.sink->received(), expected_out - held);
+
+  rig.link->flush();
+  EXPECT_FALSE(rig.link->held_pending());
+  EXPECT_EQ(rig.sink->received(), expected_out);
+}
+
+TEST(FlakyLinkConservation, RemovalFlushesTheHeldFragment) {
+  // reorder_probability = 1 holds every other fragment; an odd-length
+  // stream therefore ends with one fragment in limbo. Removing the link
+  // must flush it downstream (on_teardown runs before the edges are cut),
+  // not drop it on the floor.
+  LinkRig rig({0.0, 0.0, 0.0, 1.0});
+  rig.push(1);
+  EXPECT_TRUE(rig.link->held_pending());
+  EXPECT_EQ(rig.sink->received(), 0u);
+
+  rig.graph.remove(rig.link_id);
+  EXPECT_FALSE(rig.link->held_pending());
+  EXPECT_EQ(rig.sink->received(), 1u);
+}
+
+TEST(FlakyLinkConservation, GraphDestructionFlushesTheHeldFragment) {
+  auto sink = std::make_shared<core::ApplicationSink>();
+  sim::Scheduler scheduler;
+  sim::Random random{42};
+  auto link = std::make_shared<sensors::FlakyLinkComponent>(
+      sensors::FailureInjectionConfig{0.0, 0.0, 0.0, 1.0}, random);
+  {
+    core::ProcessingGraph graph(&scheduler.clock());
+    auto source = std::make_shared<core::SourceComponent>(
+        "Serial",
+        std::vector<core::DataSpec>{core::provide<core::RawFragment>()});
+    const auto source_id = graph.add(source);
+    const auto link_id = graph.add(link);
+    const auto sink_id = graph.add(sink);
+    graph.connect(source_id, link_id);
+    graph.connect(link_id, sink_id);
+    source->push(core::RawFragment{"last words"});
+    EXPECT_TRUE(link->held_pending());
+  }
+  // The destructor ran every component's teardown hook with edges intact.
+  EXPECT_FALSE(link->held_pending());
+  ASSERT_EQ(sink->received(), 1u);
+  EXPECT_EQ(sink->last()->payload.as<core::RawFragment>().bytes, "last words");
+}
+
 TEST(FailureObservability, SilentWhenObservabilityOff) {
   // With observability off the injector still counts locally but the
   // graph has no registry to publish into — and nothing crashes.

@@ -1,0 +1,624 @@
+// Health subsystem tests: watchdog state derivation at the PSL, reliable
+// remoting under loss, the Health channel feature at the PCL, and
+// criteria-driven provider failover at the PL — plus the chaos end-to-end
+// property test combining all failure modes.
+
+#include "perpos/core/channel.hpp"
+#include "perpos/core/components.hpp"
+#include "perpos/core/health_state.hpp"
+#include "perpos/core/positioning.hpp"
+#include "perpos/geo/distance.hpp"
+#include "perpos/health/health_feature.hpp"
+#include "perpos/health/reliable_link.hpp"
+#include "perpos/health/settings.hpp"
+#include "perpos/health/watchdog.hpp"
+#include "perpos/locmodel/fixtures.hpp"
+#include "perpos/runtime/distribution.hpp"
+#include "perpos/sensors/failure_injection.hpp"
+#include "perpos/sensors/gps_sensor.hpp"
+#include "perpos/sensors/pipeline_components.hpp"
+#include "perpos/sensors/wifi_scanner.hpp"
+#include "perpos/sim/network.hpp"
+#include "perpos/wifi/components.hpp"
+#include "perpos/wifi/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace core = perpos::core;
+namespace geo = perpos::geo;
+namespace sim = perpos::sim;
+namespace lm = perpos::locmodel;
+namespace wifi = perpos::wifi;
+namespace sensors = perpos::sensors;
+namespace health = perpos::health;
+namespace rt = perpos::runtime;
+
+using core::HealthState;
+
+// --- Watchdog (PSL) ----------------------------------------------------------
+
+namespace {
+
+struct WatchdogRig {
+  WatchdogRig() : graph(&scheduler.clock()) {
+    source = std::make_shared<core::SourceComponent>(
+        "TestSource",
+        std::vector<core::DataSpec>{core::provide<core::RawFragment>()});
+    sink = std::make_shared<core::ApplicationSink>();
+    source_id = graph.add(source);
+    sink_id = graph.add(sink);
+    graph.connect(source_id, sink_id);
+  }
+
+  /// Emit one fragment every second until `until_s`.
+  void pump_until(double until_s) {
+    const double now_s = scheduler.now().seconds();
+    for (double t = now_s + 1.0; t <= until_s; t += 1.0) {
+      scheduler.schedule_at(sim::SimTime::from_seconds(t), [this] {
+        source->push(core::RawFragment{"tick"});
+      });
+    }
+  }
+
+  sim::Scheduler scheduler;
+  core::ProcessingGraph graph;
+  std::shared_ptr<core::SourceComponent> source;
+  std::shared_ptr<core::ApplicationSink> sink;
+  core::ComponentId source_id{}, sink_id{};
+};
+
+health::WatchdogConfig fast_watchdog() {
+  health::WatchdogConfig cfg;
+  cfg.check_interval = sim::SimTime::from_millis(500);
+  cfg.degraded_after_s = 2.0;
+  cfg.stale_after_s = 5.0;
+  cfg.dead_after_s = 15.0;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Watchdog, WalksStatesAsSilenceGrows) {
+  WatchdogRig rig;
+  health::Watchdog dog(rig.graph, rig.scheduler, fast_watchdog());
+  dog.watch(rig.source_id);
+  dog.start();
+
+  std::vector<std::pair<HealthState, HealthState>> seen;
+  dog.add_listener([&](core::ComponentId id, HealthState from, HealthState to,
+                       sim::SimTime) {
+    EXPECT_EQ(id, rig.source_id);
+    seen.emplace_back(from, to);
+  });
+
+  rig.pump_until(10.0);
+  rig.scheduler.run_until(sim::SimTime::from_seconds(10.0));
+  EXPECT_EQ(dog.state(rig.source_id), HealthState::kHealthy);
+
+  // Silence from t=10: degraded at 12, stale at 15, dead at 25.
+  rig.scheduler.run_until(sim::SimTime::from_seconds(13.0));
+  EXPECT_EQ(dog.state(rig.source_id), HealthState::kDegraded);
+  rig.scheduler.run_until(sim::SimTime::from_seconds(16.0));
+  EXPECT_EQ(dog.state(rig.source_id), HealthState::kStale);
+  rig.scheduler.run_until(sim::SimTime::from_seconds(26.0));
+  EXPECT_EQ(dog.state(rig.source_id), HealthState::kDead);
+
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0],
+            std::make_pair(HealthState::kHealthy, HealthState::kDegraded));
+  EXPECT_EQ(seen[1],
+            std::make_pair(HealthState::kDegraded, HealthState::kStale));
+  EXPECT_EQ(seen[2], std::make_pair(HealthState::kStale, HealthState::kDead));
+  EXPECT_EQ(dog.transitions(), 3u);
+  EXPECT_GE(dog.last_transition(rig.source_id).seconds(), 25.0);
+}
+
+TEST(Watchdog, RecoversWhenSamplesResume) {
+  WatchdogRig rig;
+  health::Watchdog dog(rig.graph, rig.scheduler, fast_watchdog());
+  dog.watch(rig.source_id);
+  dog.start();
+
+  rig.scheduler.run_until(sim::SimTime::from_seconds(6.0));
+  EXPECT_EQ(dog.state(rig.source_id), HealthState::kStale);
+
+  rig.pump_until(10.0);
+  rig.scheduler.run_until(sim::SimTime::from_seconds(8.0));
+  EXPECT_EQ(dog.state(rig.source_id), HealthState::kHealthy);
+}
+
+TEST(Watchdog, RemovedComponentIsDead) {
+  WatchdogRig rig;
+  health::Watchdog dog(rig.graph, rig.scheduler, fast_watchdog());
+  dog.watch(rig.source_id);
+  rig.graph.remove(rig.source_id);
+  dog.check_now();
+  EXPECT_EQ(dog.state(rig.source_id), HealthState::kDead);
+}
+
+TEST(Watchdog, FailureRateDegradesEvenWhileSamplesFlow) {
+  WatchdogRig rig;
+  rig.graph.enable_observability();
+  health::WatchdogConfig cfg = fast_watchdog();
+  cfg.failure_rate_threshold_hz = 1.0;
+  health::Watchdog dog(rig.graph, rig.scheduler, cfg);
+  dog.watch(rig.source_id);
+  dog.start();
+
+  rig.pump_until(10.0);
+  // A burst of failure events attributed to the source: well above 1 Hz.
+  rig.scheduler.schedule_at(sim::SimTime::from_seconds(3.2), [&] {
+    for (int i = 0; i < 10; ++i) {
+      core::report_failure_event(&rig.graph, "TestSource", rig.source_id,
+                                 "garbled");
+    }
+  });
+
+  rig.scheduler.run_until(sim::SimTime::from_seconds(2.9));
+  EXPECT_EQ(dog.state(rig.source_id), HealthState::kHealthy);
+  rig.scheduler.run_until(sim::SimTime::from_seconds(3.6));
+  EXPECT_EQ(dog.state(rig.source_id), HealthState::kDegraded);
+  // The burst is over; the rate falls back under the threshold.
+  rig.scheduler.run_until(sim::SimTime::from_seconds(5.0));
+  EXPECT_EQ(dog.state(rig.source_id), HealthState::kHealthy);
+}
+
+TEST(Watchdog, PublishesStateAndTransitionsToRegistry) {
+  WatchdogRig rig;
+  rig.graph.enable_observability();
+  health::Watchdog dog(rig.graph, rig.scheduler, fast_watchdog());
+  dog.watch(rig.source_id);
+  dog.start();
+  rig.scheduler.run_until(sim::SimTime::from_seconds(16.0));
+  ASSERT_EQ(dog.state(rig.source_id), HealthState::kDead);
+
+  const auto snap = rig.graph.metrics();
+  const std::string label = "TestSource#" + std::to_string(rig.source_id);
+  const auto* gauge = snap.find_gauge("perpos_health_state", "source", label);
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->value, 3.0);  // kDead.
+  const auto* transition =
+      snap.find_counter("perpos_health_transitions_total", "source", label);
+  ASSERT_NE(transition, nullptr);
+  EXPECT_GE(transition->value, 1u);
+}
+
+// --- Reliable link (distributed PSL) -----------------------------------------
+
+namespace {
+
+/// The Fig. 1 GPS/NMEA pipeline split across a lossy device->server link.
+struct DistributedRig {
+  DistributedRig(bool reliable, double loss,
+                 health::ReliableLinkConfig link_cfg = {})
+      : frame(geo::GeoPoint{56.1697, 10.1994, 50.0}),
+        trajectory(
+            sensors::TrajectoryBuilder({0, 0}).walk_to({80, 0}, 1.4).build()),
+        network(scheduler, random),
+        graph(&scheduler.clock()),
+        deployment(graph, network) {
+    graph.enable_observability();
+    sensors::GpsSensorConfig config;
+    config.emit_gsa = false;
+    sensor = std::make_shared<sensors::GpsSensor>(scheduler, random,
+                                                  trajectory, frame, config);
+    parser = std::make_shared<sensors::NmeaParser>();
+    sink = std::make_shared<core::ApplicationSink>();
+    sensor_id = graph.add(sensor);
+    parser_id = graph.add(parser);
+    interpreter_id = graph.add(std::make_shared<sensors::NmeaInterpreter>());
+    sink_id = graph.add(sink);
+    graph.connect(sensor_id, parser_id);
+    graph.connect(parser_id, interpreter_id);
+    graph.connect(interpreter_id, sink_id);
+
+    device = deployment.add_host("device");
+    server = deployment.add_host("server");
+    network.set_link(device, server,
+                     {sim::SimTime::from_millis(10), loss,
+                      sim::SimTime::from_millis(2)});
+    network.set_link(server, device,
+                     {sim::SimTime::from_millis(10), loss,
+                      sim::SimTime::from_millis(2)});
+    deployment.assign(sensor_id, device);
+    deployment.assign(parser_id, server);
+    deployment.assign(interpreter_id, server);
+    deployment.assign(sink_id, server);
+    if (reliable) {
+      deployment.set_link_factory(health::reliable_link_factory(link_cfg));
+    }
+    deployment.deploy();
+
+    for (core::ComponentId id : graph.components()) {
+      if (auto* e = graph.component_as<health::ReliableEgress>(id)) egress = e;
+      if (auto* i = graph.component_as<health::ReliableIngress>(id)) {
+        ingress = i;
+      }
+      if (auto* e = graph.component_as<rt::RemoteEgress>(id)) basic_egress = e;
+      if (auto* i = graph.component_as<rt::RemoteIngress>(id)) {
+        basic_ingress = i;
+      }
+    }
+  }
+
+  void run(double seconds) {
+    sensor->start();
+    scheduler.run_until(sim::SimTime::from_seconds(seconds));
+    sensor->stop();
+    scheduler.run_all();  // Drain in-flight deliveries and retransmissions.
+  }
+
+  // Note: network declared before graph so it outlives the graph — teardown
+  // hooks (e.g. FlakyLink::flush) may emit into egress components that send.
+  sim::Scheduler scheduler;
+  sim::Random random{42};
+  geo::LocalFrame frame;
+  sensors::Trajectory trajectory;
+  sim::Network network;
+  core::ProcessingGraph graph;
+  rt::DistributedDeployment deployment;
+  sim::HostId device{}, server{};
+  std::shared_ptr<sensors::GpsSensor> sensor;
+  std::shared_ptr<sensors::NmeaParser> parser;
+  std::shared_ptr<core::ApplicationSink> sink;
+  core::ComponentId sensor_id{}, parser_id{}, interpreter_id{}, sink_id{};
+  health::ReliableEgress* egress = nullptr;
+  health::ReliableIngress* ingress = nullptr;
+  rt::RemoteEgress* basic_egress = nullptr;
+  rt::RemoteIngress* basic_ingress = nullptr;
+};
+
+}  // namespace
+
+TEST(ReliableLink, DeliversEverythingWhereBaselineLoses) {
+  DistributedRig reliable(/*reliable=*/true, /*loss=*/0.10);
+  DistributedRig baseline(/*reliable=*/false, /*loss=*/0.10);
+  reliable.run(60.0);
+  baseline.run(60.0);
+
+  // The unreliable baseline loses messages for good.
+  ASSERT_NE(baseline.basic_egress, nullptr);
+  ASSERT_NE(baseline.basic_ingress, nullptr);
+  EXPECT_LT(baseline.basic_ingress->received(), baseline.basic_egress->sent());
+
+  // The reliable link retransmits its way to 100% within the retry budget.
+  ASSERT_NE(reliable.egress, nullptr);
+  ASSERT_NE(reliable.ingress, nullptr);
+  EXPECT_GT(reliable.egress->accepted(), 100u);
+  EXPECT_EQ(reliable.ingress->received(), reliable.egress->accepted());
+  EXPECT_GT(reliable.egress->retransmits(), 0u);
+  EXPECT_EQ(reliable.egress->gave_up(), 0u);
+  EXPECT_EQ(reliable.egress->inflight(), 0u);
+  EXPECT_GT(reliable.sink->received(), baseline.sink->received());
+}
+
+TEST(ReliableLink, RetransmitsVisibleInMetricsRegistry) {
+  DistributedRig rig(/*reliable=*/true, /*loss=*/0.10);
+  rig.run(30.0);
+  ASSERT_NE(rig.egress, nullptr);
+  ASSERT_GT(rig.egress->retransmits(), 0u);
+
+  const auto snap = rig.graph.metrics();
+  const auto* sent = snap.find_counter("perpos_reliable_link_sent_total");
+  ASSERT_NE(sent, nullptr);
+  EXPECT_EQ(sent->value, rig.egress->accepted());
+  const auto* retr =
+      snap.find_counter("perpos_reliable_link_retransmits_total");
+  ASSERT_NE(retr, nullptr);
+  EXPECT_EQ(retr->value, rig.egress->retransmits());
+  const auto* acks = snap.find_counter("perpos_reliable_link_acks_total");
+  ASSERT_NE(acks, nullptr);
+  EXPECT_EQ(acks->value, rig.egress->acked());
+}
+
+TEST(ReliableLink, SuppressesDuplicatesWhenAcksAreLost) {
+  // Forward path clean, ack path very lossy: the egress retransmits
+  // already-delivered messages, which the ingress must swallow.
+  DistributedRig rig(/*reliable=*/true, /*loss=*/0.0);
+  rig.network.set_link(rig.server, rig.device,
+                       {sim::SimTime::from_millis(10), /*loss=*/0.6, {}});
+  rig.run(30.0);
+
+  ASSERT_NE(rig.ingress, nullptr);
+  EXPECT_GT(rig.ingress->duplicates(), 0u);
+  // Exactly-once delivery downstream: every accepted message emitted once.
+  EXPECT_EQ(rig.ingress->received(), rig.egress->accepted());
+}
+
+TEST(ReliableLink, GivesUpAfterRetryBudgetOnDeadLink) {
+  health::ReliableLinkConfig cfg;
+  cfg.max_retries = 2;
+  cfg.ack_timeout = sim::SimTime::from_millis(50);
+  DistributedRig rig(/*reliable=*/true, /*loss=*/1.0, cfg);
+  rig.run(5.0);
+
+  ASSERT_NE(rig.egress, nullptr);
+  EXPECT_GT(rig.egress->accepted(), 0u);
+  EXPECT_EQ(rig.egress->gave_up(), rig.egress->accepted());
+  EXPECT_EQ(rig.egress->inflight(), 0u);
+  EXPECT_EQ(rig.ingress->received(), 0u);
+
+  const auto snap = rig.graph.metrics();
+  const auto* giveups =
+      snap.find_counter("perpos_reliable_link_giveups_total");
+  ASSERT_NE(giveups, nullptr);
+  EXPECT_EQ(giveups->value, rig.egress->gave_up());
+  // Give-ups surface as failure events for the watchdog's rate signal.
+  const auto* failures = snap.find_counter("perpos_failure_events_total",
+                                           "event", "delivery_failed");
+  ASSERT_NE(failures, nullptr);
+  EXPECT_EQ(failures->value, rig.egress->gave_up());
+}
+
+TEST(ReliableLink, CountsUndecodableWire) {
+  DistributedRig rig(/*reliable=*/true, /*loss=*/0.0);
+  ASSERT_NE(rig.ingress, nullptr);
+  rig.ingress->deliver("DATA 1 not-a-payload");
+  rig.ingress->deliver("garbage with no protocol");
+  EXPECT_EQ(rig.ingress->decode_failures(), 2u);
+  EXPECT_EQ(rig.ingress->received(), 0u);
+}
+
+// --- Chaos end-to-end property test ------------------------------------------
+
+TEST(Chaos, NmeaPipelineSurvivesAllFailureModesAtOnce) {
+  // Drop + garble + duplicate + reorder on the serial stream, 10% message
+  // loss on the host link in both directions, reliable remoting on top.
+  // Property: nothing crashes, no corrupt fix is ever delivered, and the
+  // application still sees a usable position stream.
+  DistributedRig rig(/*reliable=*/true, /*loss=*/0.10);
+  auto flaky = std::make_shared<sensors::FlakyLinkComponent>(
+      sensors::FailureInjectionConfig{0.05, 0.05, 0.05, 0.05}, rig.random);
+  const auto flaky_id = rig.graph.add(flaky);
+  // Chaos on the device-side serial stream, before the host boundary: the
+  // remoted edge replaced sensor->parser, so splice into sensor->egress.
+  rig.graph.insert_between(flaky_id, rig.sensor_id,
+                           rig.graph.info(rig.sensor_id).consumers.front());
+
+  int implausible = 0;
+  rig.sink->set_callback([&](const core::Sample& s) {
+    const auto& fix = s.payload.as<core::PositionFix>();
+    const double err =
+        geo::haversine_m(fix.position, rig.sensor->truth_at(s.timestamp));
+    if (err > 500.0) ++implausible;
+  });
+
+  EXPECT_NO_THROW(rig.run(90.0));
+
+  EXPECT_GT(flaky->dropped(), 0u);
+  EXPECT_GT(flaky->garbled(), 0u);
+  EXPECT_GT(flaky->duplicated(), 0u);
+  EXPECT_GT(flaky->reordered(), 0u);
+  // The reliable link delivered every fragment the chaos let through.
+  ASSERT_NE(rig.egress, nullptr);
+  EXPECT_EQ(rig.ingress->received(), rig.egress->accepted());
+  // Usable output despite everything; never a corrupt position.
+  EXPECT_GT(rig.sink->received(), 10u);
+  EXPECT_EQ(implausible, 0);
+}
+
+// --- HealthChannelFeature (PCL) ----------------------------------------------
+
+TEST(HealthChannelFeature, ExposesWatchdogVerdictOnTheChannel) {
+  WatchdogRig rig;
+  core::ChannelManager channels(rig.graph);
+  health::Watchdog dog(rig.graph, rig.scheduler, fast_watchdog());
+  dog.watch(rig.source_id);
+  dog.start();
+
+  core::Channel* channel = channels.channel_from_source(rig.source_id);
+  ASSERT_NE(channel, nullptr);
+  channels.attach_feature(
+      *channel,
+      std::make_shared<health::HealthChannelFeature>(dog, rig.source_id));
+
+  rig.pump_until(10.0);
+  rig.scheduler.run_until(sim::SimTime::from_seconds(10.0));
+
+  channel = channels.channel_from_source(rig.source_id);
+  ASSERT_NE(channel, nullptr);
+  auto* feature = channel->get_feature<health::HealthChannelFeature>();
+  ASSERT_NE(feature, nullptr);
+  EXPECT_EQ(feature->verdict(), HealthState::kHealthy);
+  EXPECT_TRUE(feature->healthy());
+  EXPECT_GT(feature->outputs_seen(), 5u);
+
+  // Source goes quiet; the channel-level verdict follows the watchdog,
+  // and the transition time is queryable.
+  rig.scheduler.run_until(sim::SimTime::from_seconds(20.0));
+  EXPECT_GE(feature->verdict(), HealthState::kStale);
+  EXPECT_FALSE(feature->healthy());
+  EXPECT_GT(feature->last_transition().seconds(), 10.0);
+}
+
+TEST(HealthChannelFeature, UnwatchedSourceIsDead) {
+  WatchdogRig rig;
+  health::Watchdog dog(rig.graph, rig.scheduler, fast_watchdog());
+  health::HealthChannelFeature feature(dog, rig.source_id);
+  EXPECT_EQ(feature.verdict(), HealthState::kDead);
+  EXPECT_EQ(feature.last_transition(), sim::SimTime::zero());
+}
+
+// --- Failover (PL) -----------------------------------------------------------
+
+namespace {
+
+/// GPS (preferred, accurate) + WiFi (fallback) providers over the office
+/// building, with a tracked target attached to both.
+class FailoverFixture : public ::testing::Test {
+ protected:
+  FailoverFixture()
+      : building(lm::make_office_building()),
+        signal_model(wifi::office_access_points(), wifi::SignalModelConfig{},
+                     &building),
+        db(wifi::FingerprintDatabase::survey(signal_model, building, 2.0)),
+        trajectory(sensors::office_walk()),
+        graph(&scheduler.clock()),
+        channels(graph),
+        service(graph, channels) {
+    graph.enable_observability();
+
+    sensors::GpsSensorConfig config;
+    config.emit_gsa = false;
+    gps = std::make_shared<sensors::GpsSensor>(scheduler, random, trajectory,
+                                               building.frame(), config);
+    auto parser = std::make_shared<sensors::NmeaParser>();
+    auto interpreter = std::make_shared<sensors::NmeaInterpreter>();
+    const auto gid = graph.add(gps);
+    const auto nid = graph.add(parser);
+    const auto iid = graph.add(interpreter);
+    graph.connect(gid, nid);
+    graph.connect(nid, iid);
+    service.advertise(iid, {"GPS", 4.0, core::Criteria::Power::kHigh});
+
+    scanner = std::make_shared<sensors::WifiScanner>(
+        scheduler, random, trajectory, signal_model,
+        sim::SimTime::from_seconds(1.0));
+    auto positioner = std::make_shared<wifi::WifiPositioner>(db);
+    auto togeo = std::make_shared<wifi::LocalToGeoConverter>(building);
+    const auto wid = graph.add(scanner);
+    const auto pid = graph.add(positioner);
+    const auto tid = graph.add(togeo);
+    graph.connect(wid, pid);
+    graph.connect(pid, tid);
+    service.advertise(tid, {"WiFi", 8.0, core::Criteria::Power::kLow});
+
+    core::Criteria gps_criteria;
+    gps_criteria.technology = "GPS";
+    gps_provider = &service.request_provider(gps_criteria);
+    core::Criteria wifi_criteria;
+    wifi_criteria.technology = "WiFi";
+    wifi_provider = &service.request_provider(wifi_criteria);
+
+    target = &service.create_target("user");
+    target->attach_provider(*gps_provider);
+    target->attach_provider(*wifi_provider);
+  }
+
+  lm::Building building;
+  wifi::SignalModel signal_model;
+  wifi::FingerprintDatabase db;
+  sensors::Trajectory trajectory;
+  sim::Scheduler scheduler;
+  sim::Random random{42};
+  core::ProcessingGraph graph;
+  core::ChannelManager channels;
+  core::PositioningService service;
+  std::shared_ptr<sensors::GpsSensor> gps;
+  std::shared_ptr<sensors::WifiScanner> scanner;
+  core::LocationProvider* gps_provider = nullptr;
+  core::LocationProvider* wifi_provider = nullptr;
+  core::Target* target = nullptr;
+};
+
+}  // namespace
+
+TEST_F(FailoverFixture, DeadGpsFailsOverToWifiAndBackWithoutFlapping) {
+  struct Transition {
+    std::string from, to;
+    double when_s;
+  };
+  std::vector<Transition> transitions;
+  service.add_failover_listener([&](core::Target& t, core::LocationProvider* f,
+                                    core::LocationProvider* to,
+                                    sim::SimTime when) {
+    EXPECT_EQ(&t, target);
+    transitions.push_back({f ? f->advertisement().technology : "none",
+                           to ? to->advertisement().technology : "none",
+                           when.seconds()});
+  });
+
+  service.enable_failover(scheduler);  // Defaults: stale 5s, hold 5s.
+  ASSERT_TRUE(service.failover_enabled());
+  EXPECT_EQ(target->active_provider(), gps_provider);  // Preferred by accuracy.
+
+  gps->start();
+  scanner->start();
+  scheduler.run_until(sim::SimTime::from_seconds(20.0));
+  EXPECT_EQ(target->active_provider(), gps_provider);
+  EXPECT_EQ(service.provider_health(*gps_provider), HealthState::kHealthy);
+
+  // GPS receiver dies at t=20. Staleness crosses 5s at ~25; the next
+  // 1s-interval check must fail the target over to WiFi.
+  gps->set_active(false);
+  scheduler.run_until(sim::SimTime::from_seconds(35.0));
+  EXPECT_EQ(target->active_provider(), wifi_provider);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].from, "GPS");
+  EXPECT_EQ(transitions[0].to, "WiFi");
+  EXPECT_GE(transitions[0].when_s, 24.0);
+  EXPECT_LE(transitions[0].when_s, 27.0);  // Bounded staleness window.
+  EXPECT_GE(service.provider_health(*gps_provider), HealthState::kStale);
+
+  // Degraded-accuracy fixes instead of silence: the target keeps
+  // producing fresh positions through WiFi during the outage.
+  scheduler.run_until(sim::SimTime::from_seconds(50.0));
+  const auto during_outage = target->current_position();
+  ASSERT_TRUE(during_outage.has_value());
+  EXPECT_GE(during_outage->timestamp.seconds(), 45.0);
+  EXPECT_EQ(during_outage->technology, "WiFi");
+
+  // GPS recovers at t=50; fail-back waits out the 5s hysteresis hold.
+  gps->set_active(true);
+  scheduler.run_until(sim::SimTime::from_seconds(75.0));
+  EXPECT_EQ(target->active_provider(), gps_provider);
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[1].from, "WiFi");
+  EXPECT_EQ(transitions[1].to, "GPS");
+  EXPECT_GE(transitions[1].when_s, 55.0);  // Not before the hold expired.
+  EXPECT_LE(transitions[1].when_s, 62.0);
+  EXPECT_EQ(service.provider_health(*gps_provider), HealthState::kHealthy);
+
+  // No flapping: a long stable tail adds no further transitions.
+  scheduler.run_until(sim::SimTime::from_seconds(95.0));
+  EXPECT_EQ(service.failover_transitions(), 2u);
+
+  // PL health is visible in the metrics registry.
+  const auto snap = graph.metrics();
+  const auto* count = snap.find_counter("perpos_failover_transitions_total",
+                                        "target", "user");
+  ASSERT_NE(count, nullptr);
+  const auto* gauge = snap.find_gauge("perpos_provider_health", "provider",
+                                      gps_provider->metric_label());
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->value, 0.0);  // kHealthy again.
+}
+
+TEST_F(FailoverFixture, DisableStopsChecksAndKeepsActiveProvider) {
+  service.enable_failover(scheduler);
+  gps->start();
+  scanner->start();
+  scheduler.run_until(sim::SimTime::from_seconds(10.0));
+  service.disable_failover();
+  EXPECT_FALSE(service.failover_enabled());
+
+  gps->set_active(false);
+  scheduler.run_until(sim::SimTime::from_seconds(40.0));
+  // Nobody is checking any more: the target stays on (stale) GPS.
+  EXPECT_EQ(target->active_provider(), gps_provider);
+  EXPECT_EQ(service.failover_transitions(), 0u);
+}
+
+TEST_F(FailoverFixture, HealthSettingsDriveFailoverConfig) {
+  rt::HealthSettings settings;
+  settings.stale_after_s = 3.0;
+  settings.hold_s = 2.0;
+  settings.check_interval_s = 0.5;
+  service.enable_failover(scheduler, settings.failover());
+  EXPECT_EQ(service.failover_config().stale_after_s, 3.0);
+  EXPECT_EQ(service.failover_config().hold_s, 2.0);
+  EXPECT_EQ(service.failover_config().check_interval,
+            sim::SimTime::from_seconds(0.5));
+
+  // The same settings convert for the PSL watchdog and the link layer.
+  const auto dog_cfg = health::watchdog_config_from(settings);
+  EXPECT_EQ(dog_cfg.stale_after_s, 3.0);
+  EXPECT_EQ(dog_cfg.check_interval, sim::SimTime::from_seconds(0.5));
+  const auto link_cfg = health::reliable_link_config_from(settings);
+  EXPECT_EQ(link_cfg.max_retries, 8);
+  EXPECT_EQ(link_cfg.ack_timeout, sim::SimTime::from_seconds(0.1));
+}

@@ -348,7 +348,8 @@ TEST(GraphObservability, DisableClearsRegistryAccessors) {
   // Re-enabling starts a fresh registry and keeps counting.
   graph.enable_observability();
   source->push(Value{2});
-  const auto* emitted = graph.metrics().find_counter(
+  const auto snap = graph.metrics();  // Keep alive: find_counter borrows.
+  const auto* emitted = snap.find_counter(
       "perpos_component_emitted_total", "component", id_str(a));
   ASSERT_NE(emitted, nullptr);
   EXPECT_EQ(emitted->value, 1u);

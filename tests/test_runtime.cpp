@@ -326,6 +326,56 @@ TEST_F(DistributionFixture, CrossHostEdgeIsRemoted) {
   EXPECT_EQ(deployment.data_messages(mobile, server), 1u);
 }
 
+TEST_F(DistributionFixture, GarbledWireIsCountedNotSilentlyDropped) {
+  // A corrupted wire message must not crash the ingress, must not emit
+  // downstream, and must be visible as a decode_failed failure event.
+  graph.enable_observability();
+  auto source = std::make_shared<core::SourceComponent>(
+      "GPS",
+      std::vector<core::DataSpec>{core::provide<core::RawFragment>()});
+  auto sink = std::make_shared<core::ApplicationSink>();
+  const auto a = graph.add(source);
+  const auto z = graph.add(sink);
+  graph.connect(a, z);
+  deployment.assign(a, mobile);
+  deployment.assign(z, server);
+  deployment.deploy();
+
+  rt::RemoteIngress* ingress = nullptr;
+  core::ComponentId ingress_id = 0;
+  for (core::ComponentId id : graph.components()) {
+    if (auto* i = graph.component_as<rt::RemoteIngress>(id)) {
+      ingress = i;
+      ingress_id = id;
+    }
+  }
+  ASSERT_NE(ingress, nullptr);
+
+  EXPECT_NO_THROW(ingress->deliver("BOGUS \x01\x7f bytes"));
+  EXPECT_NO_THROW(ingress->deliver(""));
+  EXPECT_EQ(ingress->decode_failures(), 2u);
+  EXPECT_EQ(sink->received(), 0u);
+
+  // Healthy traffic still flows after the garbage.
+  source->push(core::RawFragment{"still alive"});
+  scheduler.run_all();
+  EXPECT_EQ(sink->received(), 1u);
+  EXPECT_EQ(ingress->decode_failures(), 2u);
+
+  const auto snap = graph.metrics();
+  const auto* failures = snap.find_counter("perpos_failure_events_total",
+                                           "event", "decode_failed");
+  ASSERT_NE(failures, nullptr);
+  EXPECT_EQ(failures->value, 2u);
+  bool injector_labelled = false;
+  const std::string injector =
+      "RemoteIngress#" + std::to_string(ingress_id);
+  for (const auto& [k, v] : failures->labels) {
+    if (k == "injector" && v == injector) injector_labelled = true;
+  }
+  EXPECT_TRUE(injector_labelled);
+}
+
 TEST_F(DistributionFixture, SameHostEdgeStaysLocal) {
   auto source = std::make_shared<core::SourceComponent>(
       "GPS",
