@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# Lint every example config with perpos-verify and collect SARIF output.
+#
+# Usage: scripts/lint_configs.sh <build-dir> [sarif-output-dir]
+#
+# Clean configs (everything except broken_pipeline.conf) must produce zero
+# findings under --werror; broken_pipeline.conf must exit non-zero — it is
+# the analyzer's own regression fixture. SARIF files are written one per
+# config so CI can upload them to code scanning.
+set -eu
+
+build_dir=${1:?usage: lint_configs.sh <build-dir> [sarif-output-dir]}
+sarif_dir=${2:-}
+verify="$build_dir/tools/perpos-verify"
+configs_dir=$(dirname "$0")/../examples/configs
+
+status=0
+for config in "$configs_dir"/*.conf; do
+  name=$(basename "$config" .conf)
+  if [ -n "$sarif_dir" ]; then
+    mkdir -p "$sarif_dir"
+    "$verify" --werror --format=sarif --output "$sarif_dir/$name.sarif" \
+      "$config" && rc=0 || rc=$?
+  else
+    "$verify" --werror "$config" && rc=0 || rc=$?
+  fi
+  if [ "$name" = "broken_pipeline" ]; then
+    if [ "$rc" -eq 0 ]; then
+      echo "FAIL: $name.conf should produce findings but linted clean" >&2
+      status=1
+    elif [ "$rc" -ne 1 ]; then
+      echo "FAIL: $name.conf: perpos-verify usage/IO error (exit $rc)" >&2
+      status=1
+    else
+      echo "ok: $name.conf fails as intended"
+    fi
+  elif [ "$rc" -ne 0 ]; then
+    echo "FAIL: $name.conf has findings (exit $rc)" >&2
+    "$verify" "$config" >&2 || true
+    status=1
+  else
+    echo "ok: $name.conf"
+  fi
+done
+exit $status

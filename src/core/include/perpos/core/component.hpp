@@ -93,6 +93,28 @@ class ComponentContext {
   ComponentId id_ = kInvalidComponent;
 };
 
+/// Optional mixin for components whose data is expressed in a named
+/// coordinate frame (a building-local frame, typically). The static
+/// analyzer (perpos::verify, rule PPV007) compares the `output_frame` of a
+/// producer with the `input_frame` of its consumers along every edge:
+/// local-coordinate data produced against one building's frame must never
+/// feed a component that interprets it against another building's frame —
+/// a datum bug the type system cannot catch, because both sides just see
+/// a LocalPosition. An empty string means "frame-neutral" (WGS84 or
+/// non-spatial data) and matches everything.
+class FrameAware {
+ public:
+  virtual ~FrameAware() = default;
+
+  /// Frame in which this component interprets local-coordinate inputs;
+  /// empty when inputs are frame-neutral.
+  virtual std::string input_frame() const { return {}; }
+
+  /// Frame of emitted local-coordinate data; empty when outputs are
+  /// frame-neutral (e.g. WGS84 fixes).
+  virtual std::string output_frame() const { return {}; }
+};
+
 /// Base class for nodes of the processing graph.
 ///
 /// Implementations receive inputs through on_input() and emit through

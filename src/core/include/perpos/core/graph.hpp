@@ -66,6 +66,17 @@ class ProcessingGraph {
   /// unknown ids, self-loop, duplicate edge, no capability of the producer
   /// satisfies any requirement of the consumer, or the edge would create a
   /// cycle.
+  ///
+  /// Accept semantics: an edge is realizable when *any* producer capability
+  /// satisfies *any* consumer requirement — deliberately permissive, so a
+  /// fusion consumer can take each of its inputs from a different producer.
+  /// The flip side is that a consumer with several mandatory requirements
+  /// can end up fully connected yet have one requirement no upstream
+  /// capability ever satisfies: every edge was individually realizable, but
+  /// that input port will starve forever. connect() cannot see this (it
+  /// judges one edge at a time); the static analyzer's requirement-
+  /// starvation rule (perpos::verify, PPV001) checks the whole graph and
+  /// reports starved ports as warnings.
   void connect(ComponentId producer, ComponentId consumer);
 
   /// Remove the edge producer->consumer (throws if absent).

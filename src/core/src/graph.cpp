@@ -494,7 +494,7 @@ void ProcessingGraph::emit_from(ComponentId producer, Payload payload,
   // the sample but not its data type; returning false drops the emission.
   const TypeInfo* original_type = sample.payload.type();
   for (const auto& f : e.features) {
-    bool keep;
+    bool keep = false;
     if (timing) {
       const double t0 = now_wall_us();
       keep = f->produce(sample);
@@ -564,7 +564,7 @@ void ProcessingGraph::deliver(const Sample& sample, ComponentId consumer) {
   Sample local = sample;
   const TypeInfo* original_type = local.payload.type();
   for (const auto& f : c.features) {
-    bool keep;
+    bool keep = false;
     if (timing) {
       const double t0 = now_wall_us();
       keep = f->consume(local);

@@ -47,7 +47,7 @@ void EnTrackedFeature::apply(const core::DataTree& tree) {
   // Sleep sizing: while the receiver is off for t seconds, the target can
   // move at most v_assumed * t; keep that within the threshold, minus the
   // warmup during which no fixes arrive either.
-  double sleep_s;
+  double sleep_s = 0.0;
   if (speed_estimate_ <= config_.stationary_speed_mps) {
     sleep_s = config_.stationary_poll_s;
   } else {

@@ -25,13 +25,18 @@ struct LocalPosition {
 };
 
 /// PositionFix/LocalPosition -> RoomFix.
-class RoomResolver final : public core::ProcessingComponent {
+class RoomResolver final : public core::ProcessingComponent,
+                           public core::FrameAware {
  public:
   /// The resolver keeps a reference to `building`; the model must outlive
   /// the component.
   explicit RoomResolver(const Building& building) : building_(building) {}
 
   std::string_view kind() const override { return "Resolver"; }
+
+  /// LocalPosition inputs are interpreted against this building's frame
+  /// (PositionFix inputs are WGS84 and convert through the same frame).
+  std::string input_frame() const override { return building_.name(); }
 
   std::vector<core::InputRequirement> input_requirements() const override {
     return {core::require<core::PositionFix>("", /*optional=*/true),

@@ -31,6 +31,11 @@ struct AssemblyEdge {
   std::string consumer;
   core::ComponentId producer_id = core::kInvalidComponent;
   core::ComponentId consumer_id = core::kInvalidComponent;
+  /// True when the edge was chosen by dependency resolution rather than
+  /// declared explicitly. The analyzer's wildcard-ambiguity rule (PPV002)
+  /// uses this: a resolver-chosen edge into a wildcard consumer depends on
+  /// provider insertion order.
+  bool resolved = false;
 };
 
 struct AssemblyReport {

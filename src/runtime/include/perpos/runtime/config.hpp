@@ -25,6 +25,8 @@
 ///   resolve
 ///   observe [metrics] [timing] [tracing] [all]
 ///   health [key=value ...]
+///   host <host-name> <component-name>...
+///   verify
 ///
 /// `observe` enables graph observability (perpos::obs). With no flags it
 /// turns on metrics and timing; `all` adds flow tracing.
@@ -33,6 +35,18 @@
 /// parser only records them in ConfigResult::health — wiring them into a
 /// Watchdog / PositioningService / reliable links is the caller's choice,
 /// keeping the config layer free of a dependency on perpos::health.
+///
+/// `host` declares the intended deployment partition: every named
+/// component is pinned to the given host. The parser only records the
+/// partition in ConfigResult::hosts — DistributedDeployment wiring stays
+/// with the caller — but the static analyzer uses it to check that every
+/// host-crossing edge carries wire-codable data (rule PPV008).
+///
+/// `verify` requests static analysis of the assembled graph. Like
+/// `health`, the parser only records the request (ConfigResult::
+/// verify_requested); running the analyzer is the caller's choice (see
+/// perpos::verify::verify_config / assemble_verified), keeping this layer
+/// free of a dependency on perpos::verify.
 
 namespace perpos::runtime {
 
@@ -96,6 +110,10 @@ struct ConfigResult {
   std::vector<std::string> errors;
   /// Set when the config contained a (valid) `health` line.
   std::optional<HealthSettings> health;
+  /// Component name -> host name, from `host` lines.
+  std::map<std::string, std::string> hosts;
+  /// True when the config contained a `verify` line.
+  bool verify_requested = false;
 
   bool ok() const noexcept { return errors.empty() && report.ok(); }
 };
@@ -112,8 +130,14 @@ ConfigResult assemble_from_config(const std::string& text,
 /// are "<kind>_<id>"; kinds are the components' kind() strings, so the
 /// output re-assembles only against a registry that maps those kinds.
 /// When `health` is non-null a `health` line with every setting is
-/// appended, so settings round-trip through export and re-parse.
+/// appended, so settings round-trip through export and re-parse. When
+/// `hosts` is non-null, `host` lines record the deployment partition
+/// (component id -> host name; see DistributedDeployment::assignments),
+/// so an exported snapshot carries enough for the static analyzer's
+/// remoting-boundary rule.
 std::string export_config(const core::ProcessingGraph& graph,
-                          const HealthSettings* health = nullptr);
+                          const HealthSettings* health = nullptr,
+                          const std::map<core::ComponentId, std::string>*
+                              hosts = nullptr);
 
 }  // namespace perpos::runtime

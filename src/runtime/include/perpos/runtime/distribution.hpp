@@ -142,9 +142,22 @@ class DistributedDeployment {
     link_factory_ = std::move(factory);
   }
 
+  /// Strict mode (the default): deploy() consults the payload codec before
+  /// cutting an edge and refuses — throws std::runtime_error naming the
+  /// edge and the offending type — when any producer capability the
+  /// consumer accepts cannot round-trip through the wire codec. Without
+  /// the check such an edge deploys fine and then dies sample by sample at
+  /// runtime (`decode_failed` on the ingress, or a silent drop on the
+  /// egress). set_strict(false) restores the old deploy-anyway behaviour
+  /// for embeddings that knowingly remote partially-codable edges.
+  void set_strict(bool strict) noexcept { strict_ = strict; }
+  bool strict() const noexcept { return strict_; }
+
   /// Splice egress/ingress pairs into every edge whose endpoints are
   /// assigned to different hosts. Call after the graph is assembled;
-  /// idempotent for already-remoted edges.
+  /// idempotent for already-remoted edges. In strict mode (default),
+  /// throws std::runtime_error if a crossing edge is not wire-codable
+  /// (see set_strict) — the graph is left unmodified in that case.
   void deploy();
 
   /// Run `fn` on `to` after the link latency, counting one control
@@ -158,6 +171,14 @@ class DistributedDeployment {
   std::uint64_t control_messages(sim::HostId from, sim::HostId to) const;
 
   sim::Network& network() noexcept { return network_; }
+  const sim::Network& network() const noexcept { return network_; }
+
+  /// The component -> host partition (for inspection and for the static
+  /// analyzer's remoting-boundary rule).
+  const std::map<core::ComponentId, sim::HostId>& assignments() const
+      noexcept {
+    return assignment_;
+  }
 
  private:
   // Routing: pair tag -> the remoted edge's delivery callbacks. The shared
@@ -178,6 +199,7 @@ class DistributedDeployment {
   std::map<std::uint64_t, std::uint64_t> control_counts_;
   std::vector<sim::HostId> hosts_;
   std::uint64_t next_pair_ = 1;
+  bool strict_ = true;
   RemoteLinkFactory link_factory_;
 
   void host_handler(sim::HostId from, const std::string& payload);

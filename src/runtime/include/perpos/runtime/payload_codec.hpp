@@ -1,5 +1,6 @@
 #pragma once
 
+#include "perpos/core/component.hpp"
 #include "perpos/core/payload.hpp"
 
 #include <optional>
@@ -22,5 +23,17 @@ std::optional<core::Payload> decode_payload(const std::string& wire);
 
 /// True if the payload's type can cross host boundaries.
 bool is_encodable(const core::Payload& payload);
+
+/// Type-level variant: true if data of `type` can round-trip through the
+/// wire codec. This is what static checks use — DistributedDeployment's
+/// fail-fast deploy() and the analyzer's remoting-boundary rule (PPV008)
+/// ask it about every capability crossing a host cut, instead of waiting
+/// for a sample to die at runtime with `decode_failed`.
+bool is_encodable_type(const core::TypeInfo* type);
+
+/// Spec-level convenience: feature-added data never crosses host
+/// boundaries (the remote end has no matching feature context), so a spec
+/// is codable only when it is component-produced and its type encodes.
+bool is_encodable_spec(const core::DataSpec& spec);
 
 }  // namespace perpos::runtime

@@ -48,11 +48,17 @@ ConfigResult assemble_from_config(const std::string& text,
 
   // Pass 1: instantiate components and record directives.
   struct Edge {
-    std::size_t line;
+    std::size_t line = 0;
     std::string producer;
     std::string consumer;
   };
   std::vector<Edge> edges;
+  struct HostDecl {
+    std::size_t line = 0;
+    std::string host;
+    std::vector<std::string> members;
+  };
+  std::vector<HostDecl> host_decls;
 
   while (std::getline(in, line)) {
     ++line_no;
@@ -96,6 +102,22 @@ ConfigResult assemble_from_config(const std::string& text,
       edges.push_back(Edge{line_no, producer, consumer});
     } else if (verb == "resolve") {
       want_resolve = true;
+    } else if (verb == "verify") {
+      result.verify_requested = true;
+    } else if (verb == "host") {
+      HostDecl decl;
+      decl.line = line_no;
+      if (!(ls >> decl.host)) {
+        fail("host needs <host-name> <component-name>...");
+        continue;
+      }
+      std::string member;
+      while (ls >> member) decl.members.push_back(std::move(member));
+      if (decl.members.empty()) {
+        fail("host '" + decl.host + "' names no components");
+        continue;
+      }
+      host_decls.push_back(std::move(decl));
     } else if (verb == "health") {
       HealthSettings settings = result.health.value_or(HealthSettings{});
       bool bad = false;
@@ -172,6 +194,23 @@ ConfigResult assemble_from_config(const std::string& text,
     }
   }
 
+  // Host assignments resolve against the full set of component names, so a
+  // `host` line may precede the components it pins.
+  for (const HostDecl& decl : host_decls) {
+    line_no = decl.line;
+    for (const std::string& member : decl.members) {
+      if (!names.contains(member)) {
+        fail("host '" + decl.host + "': unknown component '" + member + "'");
+        continue;
+      }
+      const auto [it, inserted] = result.hosts.emplace(member, decl.host);
+      if (!inserted && it->second != decl.host) {
+        fail("component '" + member + "' assigned to both '" + it->second +
+             "' and '" + decl.host + "'");
+      }
+    }
+  }
+
   // Pass 2: explicit edges.
   for (const Edge& edge : edges) {
     line_no = edge.line;
@@ -230,7 +269,8 @@ ConfigResult assemble_from_config(const std::string& text,
             continue;
           }
           result.report.edges.push_back(AssemblyEdge{
-              provider_name, consumer_name, provider_id, consumer_id});
+              provider_name, consumer_name, provider_id, consumer_id,
+              /*resolved=*/true});
           connected = true;
           break;
         }
@@ -248,7 +288,9 @@ ConfigResult assemble_from_config(const std::string& text,
 }
 
 std::string export_config(const core::ProcessingGraph& graph,
-                          const HealthSettings* health) {
+                          const HealthSettings* health,
+                          const std::map<core::ComponentId, std::string>*
+                              hosts) {
   std::ostringstream out;
   out << "# snapshot of a live PerPos processing graph\n";
   const auto ids = graph.components();
@@ -263,6 +305,20 @@ std::string export_config(const core::ProcessingGraph& graph,
   for (core::ComponentId id : ids) {
     for (core::ComponentId consumer : graph.info(id).consumers) {
       out << "connect " << name_of(id) << " " << name_of(consumer) << "\n";
+    }
+  }
+  if (hosts != nullptr) {
+    // One `host` line per host, members in component-id order.
+    std::map<std::string, std::vector<core::ComponentId>> by_host;
+    for (core::ComponentId id : ids) {
+      if (const auto it = hosts->find(id); it != hosts->end()) {
+        by_host[it->second].push_back(id);
+      }
+    }
+    for (const auto& [host, members] : by_host) {
+      out << "host " << host;
+      for (core::ComponentId id : members) out << " " << name_of(id);
+      out << "\n";
     }
   }
   if (const obs::ObservabilityConfig* cfg = graph.observability_config()) {

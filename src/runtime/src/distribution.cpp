@@ -1,5 +1,6 @@
 #include "perpos/runtime/distribution.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace perpos::runtime {
@@ -41,6 +42,35 @@ void DistributedDeployment::deploy() {
       const auto jt = assignment_.find(consumer);
       if (jt == assignment_.end() || jt->second == it->second) continue;
       crossings.push_back(Crossing{id, consumer, it->second, jt->second});
+    }
+  }
+
+  // Fail fast before mutating anything: a cut edge whose data the wire
+  // codec cannot round-trip would otherwise deploy fine and die at runtime
+  // (decode_failed / silent egress drops), the worst failure mode for a
+  // positioning system. Checked per capability the consumer accepts —
+  // capabilities the consumer ignores may legally be uncodable.
+  if (strict_) {
+    for (const Crossing& c : crossings) {
+      const auto reqs = graph_.component(c.consumer).input_requirements();
+      for (const core::DataSpec& cap : graph_.capabilities(c.producer)) {
+        const bool needed = std::any_of(
+            reqs.begin(), reqs.end(), [&](const core::InputRequirement& r) {
+              return r.accepts(cap.type, cap.feature_tag);
+            });
+        if (needed && !is_encodable_spec(cap)) {
+          throw std::runtime_error(
+              "deploy: edge " + std::string(graph_.component(c.producer).kind()) +
+              "#" + std::to_string(c.producer) + " -> " +
+              std::string(graph_.component(c.consumer).kind()) + "#" +
+              std::to_string(c.consumer) + " crosses hosts but '" +
+              std::string(cap.type != nullptr ? cap.type->name() : "<null>") +
+              (cap.feature_tag.empty() ? std::string()
+                                       : "@" + cap.feature_tag) +
+              "' has no payload_codec coverage (PPV008); keep both ends on "
+              "one host, or move the cut past a codable stage");
+        }
+      }
     }
   }
 

@@ -50,6 +50,17 @@ bool is_encodable(const core::Payload& payload) {
          payload.is<core::PositionFix>() || payload.is<core::RoomFix>();
 }
 
+bool is_encodable_type(const core::TypeInfo* type) {
+  return type == core::type_of<core::RawFragment>() ||
+         type == core::type_of<wifi::RssiScan>() ||
+         type == core::type_of<core::PositionFix>() ||
+         type == core::type_of<core::RoomFix>();
+}
+
+bool is_encodable_spec(const core::DataSpec& spec) {
+  return spec.feature_tag.empty() && is_encodable_type(spec.type);
+}
+
 std::string encode_payload(const core::Payload& payload) {
   char buf[256];
   if (const auto* raw = payload.get<core::RawFragment>()) {

@@ -1,0 +1,64 @@
+#pragma once
+
+#include "perpos/core/sample.hpp"
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file diagnostic.hpp
+/// Structured diagnostics for the PerPos static analyzer (perpos::verify).
+///
+/// The analyzer is compiler-shaped: every finding carries a stable rule id
+/// (`PPV001`...), a severity, the graph location it concerns (component
+/// and/or edge), a human message and an optional fix-it hint. Stable ids
+/// are the contract — tooling (CI gates, SARIF consumers, suppression
+/// lists) keys on them, so an id is never reused for a different check.
+
+namespace perpos::verify {
+
+enum class Severity {
+  kNote,     ///< Style / possible-intent observation; never gates.
+  kWarning,  ///< Likely defect; the graph still runs.
+  kError,    ///< The graph (or part of it) cannot work as assembled.
+};
+
+std::string_view severity_name(Severity severity) noexcept;
+
+/// One finding. `component` / `edge` locate it in the graph; both may be
+/// unset for whole-config findings (e.g. a parse error).
+struct Diagnostic {
+  std::string rule_id;      ///< Stable id, e.g. "PPV001".
+  Severity severity = Severity::kWarning;
+  std::string message;      ///< Human-readable, self-contained.
+  std::optional<core::ComponentId> component;
+  std::string component_name;  ///< Display name ("parser", "Kalman_3").
+  /// The edge concerned, as (producer, consumer), when the finding is
+  /// about a connection rather than a single node.
+  std::optional<std::pair<core::ComponentId, core::ComponentId>> edge;
+  std::string fix_hint;     ///< Optional "how to repair" suggestion.
+  /// Config line the finding maps to (1-based), when known — parse errors
+  /// and `component` directives carry one; pure graph findings do not.
+  std::optional<int> line;
+};
+
+/// The result of one analyzer run.
+struct Report {
+  std::vector<Diagnostic> diagnostics;
+
+  std::size_t count(Severity severity) const noexcept;
+  std::size_t errors() const noexcept { return count(Severity::kError); }
+  std::size_t warnings() const noexcept { return count(Severity::kWarning); }
+  std::size_t notes() const noexcept { return count(Severity::kNote); }
+
+  /// No errors (warnings and notes do not fail a verification).
+  bool ok() const noexcept { return errors() == 0; }
+
+  /// All diagnostics produced by `rule_id`.
+  std::vector<const Diagnostic*> by_rule(std::string_view rule_id) const;
+};
+
+}  // namespace perpos::verify

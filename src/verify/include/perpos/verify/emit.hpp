@@ -1,0 +1,32 @@
+#pragma once
+
+#include "perpos/verify/diagnostic.hpp"
+#include "perpos/verify/rules.hpp"
+
+#include <string>
+
+/// \file emit.hpp
+/// Diagnostic emitters: compiler-style text for humans, JSON for scripts,
+/// SARIF 2.1.0 for code-scanning services (GitHub's upload-sarif action
+/// turns it into PR annotations).
+
+namespace perpos::verify {
+
+/// Compiler-style lines, one per diagnostic, plus a summary line:
+///   error[PPV008] edge parser -> interp: ... \n  hint: ...
+std::string to_text(const Report& report);
+
+/// Machine-readable JSON:
+///   {"diagnostics":[{"rule":...,"severity":...,...}],
+///    "summary":{"errors":N,"warnings":N,"notes":N}}
+std::string to_json(const Report& report);
+
+/// SARIF 2.1.0. `registry` supplies tool.driver.rules metadata (pass
+/// RuleRegistry::default_catalog()). When `artifact_uri` is non-empty,
+/// results carry a physical location in that artifact (the linted config
+/// file) using each diagnostic's line when known — this is what lets
+/// GitHub code scanning annotate the config in a PR.
+std::string to_sarif(const Report& report, const RuleRegistry& registry,
+                     const std::string& artifact_uri = {});
+
+}  // namespace perpos::verify

@@ -1,0 +1,74 @@
+#pragma once
+
+#include "perpos/core/component.hpp"
+#include "perpos/core/graph.hpp"
+
+#include <string>
+#include <vector>
+
+/// \file model.hpp
+/// The analyzer's view of a positioning process: a plain-data snapshot of
+/// the graph structure, decoupled from live ProcessingGraph objects.
+///
+/// Rules operate on this model rather than on the graph directly, for two
+/// reasons. First, the same rules then check graphs from every origin —
+/// a live PSL graph, a config assembled into a scratch graph, or a
+/// hand-built model in a unit test. Second, the model can represent
+/// states a live graph refuses to enter (a cycle, for instance), which is
+/// exactly what the defensive rules exist to catch.
+
+namespace perpos::verify {
+
+struct NodeModel {
+  core::ComponentId id = core::kInvalidComponent;
+  std::string name;  ///< Display name (config name or "<kind>_<id>").
+  std::string kind;
+  std::vector<core::InputRequirement> requirements;
+  std::vector<core::DataSpec> capabilities;
+  /// True for components that conceptually merge inputs (fusion filters);
+  /// mirrors ProcessingComponent::is_channel_endpoint().
+  bool is_merge = false;
+  /// Coordinate-frame annotations (see core::FrameAware); empty = neutral.
+  std::string input_frame;
+  std::string output_frame;
+  /// Deployment host label; empty = unassigned (never remoted).
+  std::string host;
+};
+
+struct EdgeModel {
+  core::ComponentId producer = core::kInvalidComponent;
+  core::ComponentId consumer = core::kInvalidComponent;
+  /// True when the edge was chosen by dependency resolution (see
+  /// runtime::AssemblyEdge::resolved); insertion-order sensitive.
+  bool resolved = false;
+};
+
+class GraphModel {
+ public:
+  std::vector<NodeModel> nodes;
+  std::vector<EdgeModel> edges;
+
+  /// The node with `id`, or nullptr.
+  const NodeModel* node(core::ComponentId id) const noexcept;
+  NodeModel* node(core::ComponentId id) noexcept;
+
+  /// Connected upstream / downstream neighbours of `id`.
+  std::vector<const NodeModel*> producers_of(core::ComponentId id) const;
+  std::vector<const NodeModel*> consumers_of(core::ComponentId id) const;
+
+  /// Display label "name (Kind#id)" used in diagnostics.
+  std::string label(core::ComponentId id) const;
+
+  /// Snapshot a live graph: structure, requirements, capabilities
+  /// (including feature-added ones), merge flags and frame annotations.
+  /// Hosts are not in the graph — callers stamp them from Options.
+  static GraphModel from_graph(const core::ProcessingGraph& graph);
+};
+
+/// Human-readable description of a requirement ("PositionFix", "<any>",
+/// "Likelihood@likelihood") — shared by rules and tests.
+std::string describe(const core::InputRequirement& requirement);
+/// Same for a capability spec.
+std::string describe(const core::DataSpec& spec);
+
+}  // namespace perpos::verify

@@ -1,0 +1,83 @@
+#pragma once
+
+#include "perpos/verify/diagnostic.hpp"
+#include "perpos/verify/model.hpp"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file rules.hpp
+/// The analyzer's rule catalog. Each rule is an independently testable
+/// class with a stable id; the RuleRegistry owns the catalog and runs it
+/// over a GraphModel.
+///
+/// Catalog (severities are the rule's strongest finding):
+///   PPV000  config-error            error    config does not assemble
+///   PPV001  requirement-starvation  error    input no upstream cap satisfies
+///   PPV002  wildcard-ambiguity      warning  order-dependent wildcard match
+///   PPV003  dead-output             warning  capability no consumer accepts
+///   PPV004  unreachable-component   warning  source-less subgraph
+///   PPV005  merge-fan-in            warning  fan-in arity suspicious
+///   PPV006  cycle                   error    directed cycle in the process
+///   PPV007  frame-mismatch          error    datum/frame mixup on an edge
+///   PPV008  uncodable-remote-edge   error    cut edge without codec coverage
+
+namespace perpos::verify {
+
+/// Tuning knobs for one analyzer run.
+struct Options {
+  /// Deployment partition: component -> host label. Empty host = local.
+  /// Feeds the remoting-boundary rule (PPV008).
+  std::map<core::ComponentId, std::string> hosts;
+
+  /// Wire-codability predicate for PPV008. When unset, verify() installs
+  /// the runtime payload codec (runtime::is_encodable_spec).
+  std::function<bool(const core::DataSpec&)> encodable;
+
+  /// Rule ids to skip (suppressions), e.g. {"PPV005"}.
+  std::vector<std::string> disabled_rules;
+};
+
+/// One static check. Implementations are stateless; check() appends any
+/// findings for `model` to `report`.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+
+  virtual std::string_view id() const noexcept = 0;
+  /// Short kebab-case name, e.g. "requirement-starvation".
+  virtual std::string_view name() const noexcept = 0;
+  /// One-line description (shown by --list-rules and in SARIF metadata).
+  virtual std::string_view description() const noexcept = 0;
+  /// The severity this rule's findings default to (SARIF metadata).
+  virtual Severity default_severity() const noexcept = 0;
+
+  virtual void check(const GraphModel& model, const Options& options,
+                     Report& report) const = 0;
+};
+
+class RuleRegistry {
+ public:
+  /// Register a rule; throws std::invalid_argument on duplicate ids.
+  void add(std::unique_ptr<Rule> rule);
+
+  const std::vector<std::unique_ptr<Rule>>& rules() const noexcept {
+    return rules_;
+  }
+  const Rule* find(std::string_view id) const noexcept;
+
+  /// Run every rule not disabled in `options` over `model`.
+  Report run(const GraphModel& model, const Options& options) const;
+
+  /// The built-in catalog (PPV000..PPV008), constructed once.
+  static const RuleRegistry& default_catalog();
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+}  // namespace perpos::verify

@@ -1,0 +1,80 @@
+#pragma once
+
+#include "perpos/runtime/config.hpp"
+#include "perpos/runtime/distribution.hpp"
+#include "perpos/verify/rules.hpp"
+
+#include <map>
+#include <optional>
+#include <string>
+
+/// \file verify.hpp
+/// Entry points of the PerPos static analyzer.
+///
+/// PerPos reifies the positioning process as an explicit graph that
+/// applications adapt at runtime — which makes a *misassembled* graph the
+/// dominant failure mode, and one that otherwise surfaces only at runtime,
+/// sample by sample (a starved input port simply never fires; an uncodable
+/// remoted edge dies with decode_failed). These functions check a graph —
+/// or a config before it ever touches a real graph — against the rule
+/// catalog in rules.hpp and return structured diagnostics.
+///
+/// Three integration layers:
+///  * PSL: verify(graph) lints a live ProcessingGraph.
+///  * Runtime: verify_config() lints a text config on a scratch graph;
+///    assemble_verified() is analyze-then-instantiate — the target graph
+///    is only touched when the analysis finds no errors.
+///  * Tooling: the perpos-verify CLI (tools/) wraps verify_config with
+///    text / JSON / SARIF output for CI.
+
+namespace perpos::verify {
+
+/// Lint a live graph. `options.hosts` supplies the deployment partition
+/// when the caller has one (see hosts_of); an unset `options.encodable`
+/// defaults to the runtime payload codec.
+Report verify(const core::ProcessingGraph& graph, Options options = {});
+
+/// Rule-level entry: lint an explicit model (unit tests, custom front
+/// ends). Applies the same option defaulting as verify(graph).
+Report verify_model(const GraphModel& model, Options options = {});
+
+/// The outcome of linting a config.
+struct ConfigVerification {
+  /// Assembly outcome on the scratch graph (names, edges, config errors).
+  runtime::ConfigResult assembly;
+  /// The analyzed model (host-stamped, resolver edges marked).
+  GraphModel model;
+  /// PPV000 config diagnostics + every graph rule finding.
+  Report report;
+};
+
+/// Lint `text` without touching any caller-owned graph: components are
+/// instantiated into a private scratch graph, `host` lines become the
+/// model's deployment partition, resolver-chosen edges are marked for the
+/// wildcard-ambiguity rule, and config/assembly failures are surfaced as
+/// PPV000 diagnostics alongside the graph rules.
+ConfigVerification verify_config(
+    const std::string& text,
+    const runtime::ComponentFactoryRegistry& registry, Options options = {});
+
+/// Analyze-then-instantiate. Lints like verify_config; only when the
+/// report contains no errors is the config assembled into `graph` (via a
+/// second instantiation — factories run again). On errors, `graph` is
+/// left untouched and `assembled` is false.
+struct VerifiedAssembly {
+  Report report;
+  /// Set when assembly ran (i.e. the analysis passed).
+  std::optional<runtime::ConfigResult> result;
+  bool assembled = false;
+};
+VerifiedAssembly assemble_verified(
+    const std::string& text,
+    const runtime::ComponentFactoryRegistry& registry,
+    core::ProcessingGraph& graph, Options options = {});
+
+/// The deployment partition of a DistributedDeployment as analyzer
+/// options input: component -> network host name.
+std::map<core::ComponentId, std::string> hosts_of(
+    const runtime::DistributedDeployment& deployment);
+
+}  // namespace perpos::verify

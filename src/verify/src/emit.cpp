@@ -1,0 +1,139 @@
+#include "perpos/verify/emit.hpp"
+
+#include <sstream>
+
+namespace perpos::verify {
+
+namespace {
+
+std::string json_escape(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string_view sarif_level(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "none";
+}
+
+}  // namespace
+
+std::string to_text(const Report& report) {
+  std::ostringstream out;
+  for (const Diagnostic& d : report.diagnostics) {
+    out << severity_name(d.severity) << '[' << d.rule_id << "] ";
+    if (!d.component_name.empty()) out << d.component_name << ": ";
+    out << d.message << '\n';
+    if (!d.fix_hint.empty()) out << "  hint: " << d.fix_hint << '\n';
+  }
+  out << report.errors() << " error(s), " << report.warnings()
+      << " warning(s), " << report.notes() << " note(s)\n";
+  return out.str();
+}
+
+std::string to_json(const Report& report) {
+  std::ostringstream out;
+  out << "{\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"rule\":\"" << json_escape(d.rule_id) << "\","
+        << "\"severity\":\"" << severity_name(d.severity) << "\","
+        << "\"message\":\"" << json_escape(d.message) << "\"";
+    if (d.component.has_value()) out << ",\"component\":" << *d.component;
+    if (!d.component_name.empty()) {
+      out << ",\"component_name\":\"" << json_escape(d.component_name)
+          << "\"";
+    }
+    if (d.edge.has_value()) {
+      out << ",\"edge\":{\"producer\":" << d.edge->first
+          << ",\"consumer\":" << d.edge->second << '}';
+    }
+    if (!d.fix_hint.empty()) {
+      out << ",\"fix_hint\":\"" << json_escape(d.fix_hint) << "\"";
+    }
+    if (d.line.has_value()) out << ",\"line\":" << *d.line;
+    out << '}';
+  }
+  out << "],\"summary\":{\"errors\":" << report.errors()
+      << ",\"warnings\":" << report.warnings()
+      << ",\"notes\":" << report.notes() << "}}";
+  return out.str();
+}
+
+std::string to_sarif(const Report& report, const RuleRegistry& registry,
+                     const std::string& artifact_uri) {
+  std::ostringstream out;
+  out << "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\","
+      << "\"version\":\"2.1.0\",\"runs\":[{"
+      << "\"tool\":{\"driver\":{\"name\":\"perpos-verify\","
+      << "\"informationUri\":"
+         "\"https://example.invalid/perpos\",\"rules\":[";
+  for (std::size_t i = 0; i < registry.rules().size(); ++i) {
+    const Rule& rule = *registry.rules()[i];
+    if (i != 0) out << ',';
+    out << "{\"id\":\"" << json_escape(rule.id()) << "\","
+        << "\"name\":\"" << json_escape(rule.name()) << "\","
+        << "\"shortDescription\":{\"text\":\""
+        << json_escape(rule.description()) << "\"},"
+        << "\"defaultConfiguration\":{\"level\":\""
+        << sarif_level(rule.default_severity()) << "\"}}";
+  }
+  out << "]}},\"results\":[";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    if (i != 0) out << ',';
+    // ruleIndex is required by some consumers when rules[] is present;
+    // -1 would be invalid, so fall back to 0 for unknown ids.
+    std::size_t rule_index = 0;
+    for (std::size_t r = 0; r < registry.rules().size(); ++r) {
+      if (registry.rules()[r]->id() == d.rule_id) {
+        rule_index = r;
+        break;
+      }
+    }
+    out << "{\"ruleId\":\"" << json_escape(d.rule_id) << "\","
+        << "\"ruleIndex\":" << rule_index << ','
+        << "\"level\":\"" << sarif_level(d.severity) << "\","
+        << "\"message\":{\"text\":\"" << json_escape(d.message);
+    if (!d.fix_hint.empty()) out << " Hint: " << json_escape(d.fix_hint);
+    out << "\"},\"locations\":[{";
+    if (!artifact_uri.empty()) {
+      out << "\"physicalLocation\":{\"artifactLocation\":{\"uri\":\""
+          << json_escape(artifact_uri) << "\"},\"region\":{\"startLine\":"
+          << d.line.value_or(1) << "}},";
+    }
+    out << "\"logicalLocations\":[{\"name\":\""
+        << json_escape(d.component_name.empty() ? std::string("<config>")
+                                                : d.component_name)
+        << "\",\"kind\":\"member\"}]}]}";
+  }
+  out << "]}]}";
+  return out.str();
+}
+
+}  // namespace perpos::verify

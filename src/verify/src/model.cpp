@@ -1,0 +1,92 @@
+#include "perpos/verify/model.hpp"
+
+namespace perpos::verify {
+
+const NodeModel* GraphModel::node(core::ComponentId id) const noexcept {
+  for (const NodeModel& n : nodes) {
+    if (n.id == id) return &n;
+  }
+  return nullptr;
+}
+
+NodeModel* GraphModel::node(core::ComponentId id) noexcept {
+  for (NodeModel& n : nodes) {
+    if (n.id == id) return &n;
+  }
+  return nullptr;
+}
+
+std::vector<const NodeModel*> GraphModel::producers_of(
+    core::ComponentId id) const {
+  std::vector<const NodeModel*> out;
+  for (const EdgeModel& e : edges) {
+    if (e.consumer == id) {
+      if (const NodeModel* n = node(e.producer)) out.push_back(n);
+    }
+  }
+  return out;
+}
+
+std::vector<const NodeModel*> GraphModel::consumers_of(
+    core::ComponentId id) const {
+  std::vector<const NodeModel*> out;
+  for (const EdgeModel& e : edges) {
+    if (e.producer == id) {
+      if (const NodeModel* n = node(e.consumer)) out.push_back(n);
+    }
+  }
+  return out;
+}
+
+std::string GraphModel::label(core::ComponentId id) const {
+  const NodeModel* n = node(id);
+  if (n == nullptr) return "#" + std::to_string(id);
+  std::string out = "'" + n->name + "'";
+  const std::string qualified = n->kind + "#" + std::to_string(n->id);
+  if (n->name != qualified) out += " (" + qualified + ")";
+  return out;
+}
+
+GraphModel GraphModel::from_graph(const core::ProcessingGraph& graph) {
+  GraphModel model;
+  for (core::ComponentId id : graph.components()) {
+    const core::ComponentInfo info = graph.info(id);
+    const core::ProcessingComponent& component = graph.component(id);
+    NodeModel n;
+    n.id = id;
+    n.kind = info.kind;
+    n.name = info.kind + "#" + std::to_string(id);
+    n.requirements = component.input_requirements();
+    n.capabilities = info.capabilities;  // Declared + feature-added.
+    n.is_merge = component.is_channel_endpoint();
+    if (const auto* framed = dynamic_cast<const core::FrameAware*>(&component)) {
+      n.input_frame = framed->input_frame();
+      n.output_frame = framed->output_frame();
+    }
+    model.nodes.push_back(std::move(n));
+    for (core::ComponentId consumer : info.consumers) {
+      model.edges.push_back(EdgeModel{id, consumer, /*resolved=*/false});
+    }
+  }
+  return model;
+}
+
+std::string describe(const core::InputRequirement& requirement) {
+  std::string out = requirement.any_type
+                        ? "<any>"
+                        : std::string(requirement.type != nullptr
+                                          ? requirement.type->name()
+                                          : "<null>");
+  if (!requirement.feature_tag.empty()) out += "@" + requirement.feature_tag;
+  if (requirement.optional) out += "?";
+  return out;
+}
+
+std::string describe(const core::DataSpec& spec) {
+  std::string out =
+      std::string(spec.type != nullptr ? spec.type->name() : "<null>");
+  if (!spec.feature_tag.empty()) out += "@" + spec.feature_tag;
+  return out;
+}
+
+}  // namespace perpos::verify

@@ -1,0 +1,582 @@
+#include "perpos/verify/rules.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace perpos::verify {
+
+namespace {
+
+bool satisfies(const core::DataSpec& cap, const core::InputRequirement& req) {
+  return req.accepts(cap.type, cap.feature_tag);
+}
+
+bool any_cap_satisfies(const NodeModel& producer,
+                       const core::InputRequirement& req) {
+  return std::any_of(
+      producer.capabilities.begin(), producer.capabilities.end(),
+      [&](const core::DataSpec& cap) { return satisfies(cap, req); });
+}
+
+Diagnostic at_node(std::string rule_id, Severity severity,
+                   const NodeModel& node, std::string message,
+                   std::string fix_hint = {}) {
+  Diagnostic d;
+  d.rule_id = std::move(rule_id);
+  d.severity = severity;
+  d.component = node.id;
+  d.component_name = node.name;
+  d.message = std::move(message);
+  d.fix_hint = std::move(fix_hint);
+  return d;
+}
+
+Diagnostic at_edge(std::string rule_id, Severity severity,
+                   const NodeModel& producer, const NodeModel& consumer,
+                   std::string message, std::string fix_hint = {}) {
+  Diagnostic d = at_node(std::move(rule_id), severity, consumer,
+                         std::move(message), std::move(fix_hint));
+  d.edge = std::make_pair(producer.id, consumer.id);
+  return d;
+}
+
+// --- PPV000 ----------------------------------------------------------------
+//
+// Findings under this id are produced by the config front end
+// (verify_config maps parse/assembly failures onto it); the rule object
+// exists so the id appears in --list-rules and SARIF metadata.
+class ConfigErrorRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "PPV000"; }
+  std::string_view name() const noexcept override { return "config-error"; }
+  std::string_view description() const noexcept override {
+    return "the configuration does not parse or assemble";
+  }
+  Severity default_severity() const noexcept override {
+    return Severity::kError;
+  }
+  void check(const GraphModel&, const Options&, Report&) const override {}
+};
+
+// --- PPV001 ----------------------------------------------------------------
+class RequirementStarvationRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "PPV001"; }
+  std::string_view name() const noexcept override {
+    return "requirement-starvation";
+  }
+  std::string_view description() const noexcept override {
+    return "a mandatory input no connected producer capability can satisfy";
+  }
+  Severity default_severity() const noexcept override {
+    return Severity::kError;
+  }
+
+  void check(const GraphModel& model, const Options&,
+             Report& report) const override {
+    for (const NodeModel& n : model.nodes) {
+      const auto producers = model.producers_of(n.id);
+      bool any_mandatory = false;
+      for (const core::InputRequirement& req : n.requirements) {
+        if (req.optional) continue;
+        any_mandatory = true;
+        const bool satisfied =
+            std::any_of(producers.begin(), producers.end(),
+                        [&](const NodeModel* p) {
+                          return any_cap_satisfies(*p, req);
+                        });
+        if (satisfied) continue;
+        if (producers.empty()) {
+          // Fully starved: nothing is connected at all. One error per
+          // node reads better than one per requirement.
+          report.diagnostics.push_back(at_node(
+              std::string(id()), Severity::kError, n,
+              "component " + model.label(n.id) +
+                  " has a mandatory input '" + describe(req) +
+                  "' but no connected producer; it will never fire",
+              "connect a producer of '" + describe(req) +
+                  "' or remove the component"));
+          break;  // Remaining mandatory inputs are equally unconnected.
+        }
+        // Partially starved: every edge into this node was individually
+        // realizable (connect() accepts when *any* capability satisfies
+        // *any* requirement), yet this input can never be fed — the
+        // whole-graph view connect() cannot take.
+        report.diagnostics.push_back(at_node(
+            std::string(id()), Severity::kWarning, n,
+            "input '" + describe(req) + "' of component " +
+                model.label(n.id) + " is starved: none of its " +
+                std::to_string(producers.size()) +
+                " connected producer(s) can satisfy it",
+            "connect a producer of '" + describe(req) +
+                "' or mark the requirement optional"));
+      }
+      (void)any_mandatory;
+    }
+  }
+};
+
+// --- PPV002 ----------------------------------------------------------------
+class WildcardAmbiguityRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "PPV002"; }
+  std::string_view name() const noexcept override {
+    return "wildcard-ambiguity";
+  }
+  std::string_view description() const noexcept override {
+    return "a wildcard input whose producer match depends on insertion order";
+  }
+  Severity default_severity() const noexcept override {
+    return Severity::kWarning;
+  }
+
+  void check(const GraphModel& model, const Options&,
+             Report& report) const override {
+    for (const NodeModel& n : model.nodes) {
+      const auto wildcard =
+          std::find_if(n.requirements.begin(), n.requirements.end(),
+                       [](const core::InputRequirement& r) {
+                         return r.any_type && !r.optional;
+                       });
+      if (wildcard == n.requirements.end()) continue;
+
+      // Every other component with a capability the wildcard accepts is a
+      // match candidate under dependency resolution.
+      std::vector<const NodeModel*> candidates;
+      for (const NodeModel& m : model.nodes) {
+        if (m.id == n.id) continue;
+        if (any_cap_satisfies(m, *wildcard)) candidates.push_back(&m);
+      }
+      if (candidates.size() < 2) continue;  // At most one match: unambiguous.
+
+      const bool has_resolved_edge = std::any_of(
+          model.edges.begin(), model.edges.end(), [&](const EdgeModel& e) {
+            return e.consumer == n.id && e.resolved;
+          });
+      const auto producers = model.producers_of(n.id);
+
+      if (has_resolved_edge) {
+        report.diagnostics.push_back(at_node(
+            std::string(id()), Severity::kWarning, n,
+            "wildcard input of " + model.label(n.id) +
+                " was wired by dependency resolution, but " +
+                std::to_string(candidates.size()) +
+                " producers match it — the choice depends on declaration "
+                "order",
+            "declare a typed requirement (e.g. 'application <name> "
+            "PositionFix') or connect the intended producer explicitly"));
+      } else if (producers.empty()) {
+        report.diagnostics.push_back(at_node(
+            std::string(id()), Severity::kWarning, n,
+            "unconnected wildcard input of " + model.label(n.id) +
+                " matches " + std::to_string(candidates.size()) +
+                " producers; dependency resolution would pick one by "
+                "declaration order",
+            "connect the intended producer explicitly or declare a typed "
+            "requirement"));
+      }
+    }
+  }
+};
+
+// --- PPV003 ----------------------------------------------------------------
+class DeadOutputRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "PPV003"; }
+  std::string_view name() const noexcept override { return "dead-output"; }
+  std::string_view description() const noexcept override {
+    return "a declared capability no connected consumer ever accepts";
+  }
+  Severity default_severity() const noexcept override {
+    return Severity::kWarning;
+  }
+
+  void check(const GraphModel& model, const Options&,
+             Report& report) const override {
+    for (const NodeModel& n : model.nodes) {
+      if (n.capabilities.empty()) continue;  // Pure sink.
+      const auto consumers = model.consumers_of(n.id);
+      if (consumers.empty()) {
+        report.diagnostics.push_back(at_node(
+            std::string(id()), Severity::kNote, n,
+            "producer " + model.label(n.id) +
+                " has no connected consumer; everything it emits is "
+                "discarded",
+            "connect a consumer, or remove the component if it is unused"));
+        continue;
+      }
+      for (const core::DataSpec& cap : n.capabilities) {
+        const bool accepted = std::any_of(
+            consumers.begin(), consumers.end(), [&](const NodeModel* c) {
+              return std::any_of(c->requirements.begin(),
+                                 c->requirements.end(),
+                                 [&](const core::InputRequirement& r) {
+                                   return satisfies(cap, r);
+                                 });
+            });
+        if (!accepted) {
+          const bool feature_added = !cap.feature_tag.empty();
+          report.diagnostics.push_back(at_node(
+              std::string(id()), Severity::kWarning, n,
+              "capability '" + describe(cap) + "' of " + model.label(n.id) +
+                  " is accepted by none of its " +
+                  std::to_string(consumers.size()) +
+                  " connected consumer(s)" +
+                  (feature_added
+                       ? " (feature-added data reaches only consumers that "
+                         "declare its feature tag)"
+                       : ""),
+              feature_added
+                  ? "declare a requirement with feature tag '" +
+                        cap.feature_tag + "' on a consumer, or detach the "
+                        "feature"
+                  : "connect a consumer that accepts '" + describe(cap) +
+                        "'"));
+        }
+      }
+    }
+  }
+};
+
+// --- PPV004 ----------------------------------------------------------------
+class UnreachableComponentRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "PPV004"; }
+  std::string_view name() const noexcept override {
+    return "unreachable-component";
+  }
+  std::string_view description() const noexcept override {
+    return "a component no source can ever feed (source-less subgraph)";
+  }
+  Severity default_severity() const noexcept override {
+    return Severity::kWarning;
+  }
+
+  void check(const GraphModel& model, const Options&,
+             Report& report) const override {
+    // Sources are nodes with no input requirements at all: they emit on
+    // their own (sensors, emulators). Everything else must be reachable
+    // from one to ever see data.
+    std::set<core::ComponentId> reachable;
+    std::vector<core::ComponentId> frontier;
+    for (const NodeModel& n : model.nodes) {
+      if (n.requirements.empty()) {
+        reachable.insert(n.id);
+        frontier.push_back(n.id);
+      }
+    }
+    while (!frontier.empty()) {
+      const core::ComponentId id = frontier.back();
+      frontier.pop_back();
+      for (const EdgeModel& e : model.edges) {
+        if (e.producer == id && reachable.insert(e.consumer).second) {
+          frontier.push_back(e.consumer);
+        }
+      }
+    }
+    for (const NodeModel& n : model.nodes) {
+      if (reachable.contains(n.id)) continue;
+      // A consumer with zero producers already gets a PPV001 error;
+      // repeating it here as "unreachable" would be noise. This rule
+      // covers the rest of the dead subgraph hanging off such nodes.
+      const bool has_mandatory =
+          std::any_of(n.requirements.begin(), n.requirements.end(),
+                      [](const core::InputRequirement& r) {
+                        return !r.optional;
+                      });
+      if (model.producers_of(n.id).empty() && has_mandatory) continue;
+      report.diagnostics.push_back(at_node(
+          std::string(id()), Severity::kWarning, n,
+          "component " + model.label(n.id) +
+              " is not reachable from any source; its subgraph will never "
+              "carry data",
+          "connect the subgraph to a source, or remove it"));
+    }
+  }
+};
+
+// --- PPV005 ----------------------------------------------------------------
+class MergeFanInRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "PPV005"; }
+  std::string_view name() const noexcept override { return "merge-fan-in"; }
+  std::string_view description() const noexcept override {
+    return "fan-in arity at odds with the component's merge semantics";
+  }
+  Severity default_severity() const noexcept override {
+    return Severity::kWarning;
+  }
+
+  void check(const GraphModel& model, const Options&,
+             Report& report) const override {
+    for (const NodeModel& n : model.nodes) {
+      const auto producers = model.producers_of(n.id);
+      if (n.is_merge) {
+        if (producers.size() == 1) {
+          report.diagnostics.push_back(at_node(
+              std::string(id()), Severity::kNote, n,
+              "fusion component " + model.label(n.id) +
+                  " has fan-in 1; fusion degenerates to a pass-through",
+              "connect the other input sources, or replace the fusion "
+              "stage with a plain filter"));
+        }
+        continue;
+      }
+      // Non-merging processing components (they transform and re-emit):
+      // several producers feeding the *same* input port interleave their
+      // streams sample by sample, which is almost never intended outside
+      // a fusion component.
+      if (n.capabilities.empty() || producers.size() < 2) continue;
+      for (const core::InputRequirement& req : n.requirements) {
+        const auto feeders = std::count_if(
+            producers.begin(), producers.end(), [&](const NodeModel* p) {
+              return any_cap_satisfies(*p, req);
+            });
+        if (feeders >= 2) {
+          report.diagnostics.push_back(at_node(
+              std::string(id()), Severity::kWarning, n,
+              std::to_string(feeders) + " producers feed input '" +
+                  describe(req) + "' of non-merging component " +
+                  model.label(n.id) +
+                  "; their streams will interleave unpredictably",
+              "insert a fusion component, or split the pipeline per "
+              "source"));
+        }
+      }
+    }
+  }
+};
+
+// --- PPV006 ----------------------------------------------------------------
+class CycleRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "PPV006"; }
+  std::string_view name() const noexcept override { return "cycle"; }
+  std::string_view description() const noexcept override {
+    return "a directed cycle in the processing graph";
+  }
+  Severity default_severity() const noexcept override {
+    return Severity::kError;
+  }
+
+  void check(const GraphModel& model, const Options&,
+             Report& report) const override {
+    // Iterative DFS with colouring. A live ProcessingGraph rejects cycles
+    // at connect() time (including edges realizable only through
+    // feature-added capabilities, which are ordinary edges once made);
+    // this rule is the defence for models from other front ends.
+    std::map<core::ComponentId, int> colour;  // 0 white, 1 grey, 2 black.
+    std::vector<core::ComponentId> stack;
+
+    const std::function<bool(core::ComponentId,
+                             std::vector<core::ComponentId>&)> dfs =
+        [&](core::ComponentId id,
+            std::vector<core::ComponentId>& path) -> bool {
+      colour[id] = 1;
+      path.push_back(id);
+      for (const EdgeModel& e : model.edges) {
+        if (e.producer != id) continue;
+        if (colour[e.consumer] == 1) {
+          // Found a back edge: report the cycle path.
+          std::string cycle;
+          bool in_cycle = false;
+          for (core::ComponentId p : path) {
+            if (p == e.consumer) in_cycle = true;
+            if (in_cycle) {
+              const NodeModel* n = model.node(p);
+              cycle += (n != nullptr ? n->name : std::to_string(p)) + " -> ";
+            }
+          }
+          const NodeModel* back = model.node(e.consumer);
+          cycle += back != nullptr ? back->name : std::to_string(e.consumer);
+          if (const NodeModel* n = model.node(e.consumer)) {
+            report.diagnostics.push_back(at_node(
+                std::string(this->id()), Severity::kError, *n,
+                "processing cycle: " + cycle +
+                    "; samples would recurse forever",
+                "remove one edge of the cycle"));
+          }
+          path.pop_back();
+          colour[id] = 2;
+          return true;
+        }
+        if (colour[e.consumer] == 0 && dfs(e.consumer, path)) {
+          path.pop_back();
+          colour[id] = 2;
+          return true;  // One report per connected cycle is enough.
+        }
+      }
+      path.pop_back();
+      colour[id] = 2;
+      return false;
+    };
+
+    for (const NodeModel& n : model.nodes) {
+      if (colour[n.id] == 0) {
+        std::vector<core::ComponentId> path;
+        dfs(n.id, path);
+      }
+    }
+  }
+};
+
+// --- PPV007 ----------------------------------------------------------------
+class FrameMismatchRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "PPV007"; }
+  std::string_view name() const noexcept override { return "frame-mismatch"; }
+  std::string_view description() const noexcept override {
+    return "local-coordinate data crossing between different frames/datums";
+  }
+  Severity default_severity() const noexcept override {
+    return Severity::kError;
+  }
+
+  void check(const GraphModel& model, const Options&,
+             Report& report) const override {
+    for (const EdgeModel& e : model.edges) {
+      const NodeModel* p = model.node(e.producer);
+      const NodeModel* c = model.node(e.consumer);
+      if (p == nullptr || c == nullptr) continue;
+      if (p->output_frame.empty() || c->input_frame.empty()) continue;
+      if (p->output_frame == c->input_frame) continue;
+      report.diagnostics.push_back(at_edge(
+          std::string(id()), Severity::kError, *p, *c,
+          "coordinate-frame mismatch on edge " + model.label(p->id) +
+              " -> " + model.label(c->id) + ": producer emits frame '" +
+              p->output_frame + "' but consumer interprets frame '" +
+              c->input_frame +
+              "'; positions would be silently wrong by the inter-frame "
+              "offset",
+          "use components bound to the same building/frame, or convert "
+          "through WGS84 (LocalToGeo) first"));
+    }
+  }
+};
+
+// --- PPV008 ----------------------------------------------------------------
+class RemotingBoundaryRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "PPV008"; }
+  std::string_view name() const noexcept override {
+    return "uncodable-remote-edge";
+  }
+  std::string_view description() const noexcept override {
+    return "a host-crossing edge whose data the wire codec cannot carry";
+  }
+  Severity default_severity() const noexcept override {
+    return Severity::kError;
+  }
+
+  void check(const GraphModel& model, const Options& options,
+             Report& report) const override {
+    if (!options.encodable) return;  // No codec knowledge: nothing to say.
+    for (const EdgeModel& e : model.edges) {
+      const NodeModel* p = model.node(e.producer);
+      const NodeModel* c = model.node(e.consumer);
+      if (p == nullptr || c == nullptr) continue;
+      if (p->host.empty() || c->host.empty() || p->host == c->host) continue;
+      for (const core::DataSpec& cap : p->capabilities) {
+        const bool needed = std::any_of(
+            c->requirements.begin(), c->requirements.end(),
+            [&](const core::InputRequirement& r) { return satisfies(cap, r); });
+        if (!needed || options.encodable(cap)) continue;
+        report.diagnostics.push_back(at_edge(
+            std::string(id()), Severity::kError, *p, *c,
+            "edge " + model.label(p->id) + " (host '" + p->host + "') -> " +
+                model.label(c->id) + " (host '" + c->host +
+                "') crosses hosts, but '" + describe(cap) +
+                "' has no payload_codec coverage; at runtime every sample "
+                "would be dropped at the egress or die as decode_failed",
+            "assign both components to one host, or move the host cut "
+            "past a stage producing codable data (RawFragment, RssiScan, "
+            "PositionFix, RoomFix)"));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::string_view severity_name(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::size_t Report::count(Severity severity) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [&](const Diagnostic& d) {
+                      return d.severity == severity;
+                    }));
+}
+
+std::vector<const Diagnostic*> Report::by_rule(
+    std::string_view rule_id) const {
+  std::vector<const Diagnostic*> out;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.rule_id == rule_id) out.push_back(&d);
+  }
+  return out;
+}
+
+void RuleRegistry::add(std::unique_ptr<Rule> rule) {
+  if (rule == nullptr) throw std::invalid_argument("null rule");
+  if (find(rule->id()) != nullptr) {
+    throw std::invalid_argument("rule id '" + std::string(rule->id()) +
+                                "' already registered");
+  }
+  rules_.push_back(std::move(rule));
+}
+
+const Rule* RuleRegistry::find(std::string_view id) const noexcept {
+  for (const auto& rule : rules_) {
+    if (rule->id() == id) return rule.get();
+  }
+  return nullptr;
+}
+
+Report RuleRegistry::run(const GraphModel& model,
+                         const Options& options) const {
+  Report report;
+  for (const auto& rule : rules_) {
+    const bool disabled =
+        std::find(options.disabled_rules.begin(),
+                  options.disabled_rules.end(),
+                  std::string(rule->id())) != options.disabled_rules.end();
+    if (disabled) continue;
+    rule->check(model, options, report);
+  }
+  // Severity-major, catalog-order-minor: errors first, then warnings,
+  // then notes — stable within a severity.
+  std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return static_cast<int>(a.severity) >
+                            static_cast<int>(b.severity);
+                   });
+  return report;
+}
+
+const RuleRegistry& RuleRegistry::default_catalog() {
+  static const RuleRegistry* registry = [] {
+    auto* r = new RuleRegistry();
+    r->add(std::make_unique<ConfigErrorRule>());
+    r->add(std::make_unique<RequirementStarvationRule>());
+    r->add(std::make_unique<WildcardAmbiguityRule>());
+    r->add(std::make_unique<DeadOutputRule>());
+    r->add(std::make_unique<UnreachableComponentRule>());
+    r->add(std::make_unique<MergeFanInRule>());
+    r->add(std::make_unique<CycleRule>());
+    r->add(std::make_unique<FrameMismatchRule>());
+    r->add(std::make_unique<RemotingBoundaryRule>());
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace perpos::verify

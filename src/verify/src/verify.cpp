@@ -1,0 +1,131 @@
+#include "perpos/verify/verify.hpp"
+
+#include "perpos/runtime/payload_codec.hpp"
+
+#include <cstdlib>
+
+namespace perpos::verify {
+
+namespace {
+
+/// Fill in option defaults and stamp the deployment partition onto the
+/// model's nodes, where the rules look for it.
+void prepare(GraphModel& model, Options& options) {
+  if (!options.encodable) {
+    options.encodable = [](const core::DataSpec& spec) {
+      return runtime::is_encodable_spec(spec);
+    };
+  }
+  for (const auto& [id, host] : options.hosts) {
+    if (NodeModel* n = model.node(id)) n->host = host;
+  }
+}
+
+/// "line 12: unknown kind 'foo'" -> (12, whole string). The line prefix is
+/// the config parser's error contract; anything unparsable keeps line 0.
+std::optional<int> parse_line_prefix(const std::string& error) {
+  if (error.rfind("line ", 0) != 0) return std::nullopt;
+  const int line = std::atoi(error.c_str() + 5);
+  return line > 0 ? std::optional<int>(line) : std::nullopt;
+}
+
+}  // namespace
+
+Report verify_model(const GraphModel& model, Options options) {
+  GraphModel stamped = model;
+  prepare(stamped, options);
+  return RuleRegistry::default_catalog().run(stamped, options);
+}
+
+Report verify(const core::ProcessingGraph& graph, Options options) {
+  GraphModel model = GraphModel::from_graph(graph);
+  prepare(model, options);
+  return RuleRegistry::default_catalog().run(model, options);
+}
+
+ConfigVerification verify_config(
+    const std::string& text,
+    const runtime::ComponentFactoryRegistry& registry, Options options) {
+  ConfigVerification out;
+
+  // Assemble into a private scratch graph: analysis must not touch any
+  // caller-owned state, and a config with errors still yields the partial
+  // graph the parser could build, which the rules then inspect.
+  core::ProcessingGraph scratch;
+  out.assembly = runtime::assemble_from_config(text, registry, scratch);
+  out.model = GraphModel::from_graph(scratch);
+
+  // Swap in the config's component names and collect the host partition —
+  // diagnostics should speak the user's vocabulary, not "GpsSensor#3".
+  for (const auto& [name, id] : out.assembly.report.instantiated) {
+    if (NodeModel* n = out.model.node(id)) n->name = name;
+    const auto host = out.assembly.hosts.find(name);
+    if (host != out.assembly.hosts.end()) {
+      options.hosts.emplace(id, host->second);
+    }
+  }
+  for (const runtime::AssemblyEdge& e : out.assembly.report.edges) {
+    if (!e.resolved) continue;
+    for (EdgeModel& m : out.model.edges) {
+      if (m.producer == e.producer_id && m.consumer == e.consumer_id) {
+        m.resolved = true;
+      }
+    }
+  }
+  prepare(out.model, options);
+
+  // Config-level failures become PPV000 diagnostics so one report carries
+  // everything; the graph rules then run over whatever was assembled.
+  Report config_findings;
+  for (const std::string& error : out.assembly.errors) {
+    Diagnostic d;
+    d.rule_id = "PPV000";
+    d.severity = Severity::kError;
+    d.message = error;
+    d.line = parse_line_prefix(error);
+    config_findings.diagnostics.push_back(std::move(d));
+  }
+  for (const auto& [component, description] : out.assembly.report.unsatisfied) {
+    Diagnostic d;
+    d.rule_id = "PPV000";
+    d.severity = Severity::kError;
+    d.component_name = component;
+    d.message = "dependency resolution could not satisfy input '" +
+                description + "' of component '" + component + "'";
+    d.fix_hint = "add a component producing '" + description +
+                 "' or connect one explicitly";
+    config_findings.diagnostics.push_back(std::move(d));
+  }
+
+  out.report = RuleRegistry::default_catalog().run(out.model, options);
+  out.report.diagnostics.insert(out.report.diagnostics.begin(),
+                                config_findings.diagnostics.begin(),
+                                config_findings.diagnostics.end());
+  return out;
+}
+
+VerifiedAssembly assemble_verified(
+    const std::string& text,
+    const runtime::ComponentFactoryRegistry& registry,
+    core::ProcessingGraph& graph, Options options) {
+  VerifiedAssembly out;
+  out.report = verify_config(text, registry, std::move(options)).report;
+  if (!out.report.ok()) return out;
+  // The analysis passed on the scratch instantiation; build the real one.
+  // Factories run a second time — they must be side-effect free, which
+  // config factories (constructing components from tokens) are by design.
+  out.result = runtime::assemble_from_config(text, registry, graph);
+  out.assembled = true;
+  return out;
+}
+
+std::map<core::ComponentId, std::string> hosts_of(
+    const runtime::DistributedDeployment& deployment) {
+  std::map<core::ComponentId, std::string> out;
+  for (const auto& [component, host] : deployment.assignments()) {
+    out.emplace(component, deployment.network().host_name(host));
+  }
+  return out;
+}
+
+}  // namespace perpos::verify

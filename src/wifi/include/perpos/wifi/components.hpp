@@ -13,13 +13,17 @@ namespace perpos::wifi {
 
 /// Estimates a building-local position from RSSI scans using a fingerprint
 /// database.
-class WifiPositioner final : public core::ProcessingComponent {
+class WifiPositioner final : public core::ProcessingComponent,
+                             public core::FrameAware {
  public:
   /// Keeps a reference to `db`; the database must outlive the component.
   explicit WifiPositioner(const FingerprintDatabase& db, KnnConfig config = {})
       : db_(db), config_(config) {}
 
   std::string_view kind() const override { return "WifiPositioner"; }
+
+  /// Emitted LocalPositions are in the surveyed building's frame.
+  std::string output_frame() const override { return db_.frame_id(); }
 
   std::vector<core::InputRequirement> input_requirements() const override {
     return {core::require<RssiScan>()};
@@ -49,12 +53,17 @@ class WifiPositioner final : public core::ProcessingComponent {
 
 /// Converts building-local estimates to technology-independent WGS84
 /// fixes, so WiFi positions can be fused with GPS positions.
-class LocalToGeoConverter final : public core::ProcessingComponent {
+class LocalToGeoConverter final : public core::ProcessingComponent,
+                                  public core::FrameAware {
  public:
   explicit LocalToGeoConverter(const Building& building)
       : building_(building) {}
 
   std::string_view kind() const override { return "LocalToGeo"; }
+
+  /// Incoming LocalPositions are interpreted against this building's
+  /// frame; the emitted PositionFix is WGS84 (frame-neutral).
+  std::string input_frame() const override { return building_.name(); }
 
   std::vector<core::InputRequirement> input_requirements() const override {
     return {core::require<LocalPosition>()};

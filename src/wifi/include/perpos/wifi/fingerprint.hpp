@@ -45,6 +45,13 @@ class FingerprintDatabase {
   }
   std::size_t size() const noexcept { return fingerprints_.size(); }
 
+  /// The coordinate frame the fingerprint positions are expressed in —
+  /// the surveyed building's name. survey() sets it; hand-built databases
+  /// may set it explicitly. Consumed by WifiPositioner::output_frame() so
+  /// the static analyzer can catch cross-building datum mixups (PPV007).
+  const std::string& frame_id() const noexcept { return frame_id_; }
+  void set_frame_id(std::string frame_id) { frame_id_ = std::move(frame_id); }
+
   /// Weighted k-NN estimate in signal space. Returns nullopt for an empty
   /// scan or an empty database. `accuracy_m` of the result is the spread
   /// of the contributing neighbours.
@@ -58,6 +65,7 @@ class FingerprintDatabase {
 
  private:
   std::vector<Fingerprint> fingerprints_;
+  std::string frame_id_;
 };
 
 }  // namespace perpos::wifi

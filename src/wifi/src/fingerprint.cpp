@@ -12,6 +12,7 @@ FingerprintDatabase FingerprintDatabase::survey(const SignalModel& model,
                                                 int surveys_per_point,
                                                 perpos::sim::Random* random) {
   FingerprintDatabase db;
+  db.set_frame_id(building.name());
   const geo::LocalBox& box = building.footprint();
   for (double y = box.min_y + grid_m / 2.0; y < box.max_y; y += grid_m) {
     for (double x = box.min_x + grid_m / 2.0; x < box.max_x; x += grid_m) {

@@ -1,0 +1,243 @@
+// perpos-verify: lint PerPos config files with the static analyzer.
+//
+// Usage:
+//   perpos-verify [--format=text|json|sarif] [--output FILE] [--werror]
+//                 [--disable RULE]... CONFIG...
+//   perpos-verify --list-rules
+//
+// Exit codes: 0 = no findings that gate, 1 = errors (or warnings under
+// --werror), 2 = usage / IO problem. JSON and SARIF output describe one
+// config, so those formats accept exactly one CONFIG argument (CI loops
+// over files); text mode accepts any number.
+//
+// The tool instantiates configs against the standard kind registry below —
+// the middleware-provided components wired to canonical fixtures (the
+// office building of locmodel::make_office_building, a straight-line
+// walk). Analysis only inspects graph *structure*, so fixture values are
+// irrelevant; they exist because factories must produce real components.
+
+#include "perpos/locmodel/fixtures.hpp"
+#include "perpos/runtime/config.hpp"
+#include "perpos/fusion/kalman_filter.hpp"
+#include "perpos/sensors/gps_sensor.hpp"
+#include "perpos/sensors/pipeline_components.hpp"
+#include "perpos/sensors/wifi_scanner.hpp"
+#include "perpos/verify/emit.hpp"
+#include "perpos/verify/verify.hpp"
+#include "perpos/wifi/components.hpp"
+#include "perpos/wifi/fingerprint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace perpos;
+
+namespace {
+
+/// Everything the standard factories reference. Components keep references
+/// into this, so it must outlive every graph the tool builds.
+struct Fixtures {
+  sim::Scheduler scheduler;
+  sim::Random random{42};
+  geo::LocalFrame frame{geo::GeoPoint{56.1697, 10.1994, 50.0}};
+  sensors::Trajectory walk =
+      sensors::TrajectoryBuilder({0, 0}).walk_to({100, 0}, 1.4).build();
+  locmodel::Building building = locmodel::make_office_building();
+  wifi::SignalModel signal_model{
+      {{"AP1", {5.0, 10.0}}, {"AP2", {20.0, 5.0}}, {"AP3", {35.0, 15.0}}},
+      {},
+      &building};
+  wifi::FingerprintDatabase db =
+      wifi::FingerprintDatabase::survey(signal_model, building, 4.0);
+};
+
+std::vector<core::InputRequirement> application_requirements(
+    const std::vector<std::string>& args, std::string& error) {
+  // args[0] is the application name; the rest name required input types.
+  std::vector<core::InputRequirement> reqs;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& type = args[i];
+    if (type == "any") {
+      reqs.push_back(core::require_any());
+    } else if (type == "PositionFix") {
+      reqs.push_back(core::require<core::PositionFix>());
+    } else if (type == "RoomFix") {
+      reqs.push_back(core::require<core::RoomFix>());
+    } else if (type == "RawFragment") {
+      reqs.push_back(core::require<core::RawFragment>());
+    } else if (type == "NMEA") {
+      reqs.push_back(core::require<nmea::Sentence>());
+    } else if (type == "RssiScan") {
+      reqs.push_back(core::require<wifi::RssiScan>());
+    } else if (type == "LocalPosition") {
+      reqs.push_back(core::require<locmodel::LocalPosition>());
+    } else {
+      error = "unknown application input type '" + type + "'";
+      return {};
+    }
+  }
+  if (reqs.empty()) reqs.push_back(core::require_any());
+  return reqs;
+}
+
+runtime::ComponentFactoryRegistry standard_registry(Fixtures& fx) {
+  runtime::ComponentFactoryRegistry registry;
+  registry.register_kind("gps-sensor", [&fx](const auto&) {
+    return std::make_shared<sensors::GpsSensor>(fx.scheduler, fx.random,
+                                                fx.walk, fx.frame);
+  });
+  registry.register_kind("nmea-parser", [](const auto&) {
+    return std::make_shared<sensors::NmeaParser>();
+  });
+  registry.register_kind("nmea-interpreter", [](const auto&) {
+    return std::make_shared<sensors::NmeaInterpreter>();
+  });
+  registry.register_kind("kalman-filter", [&fx](const auto&) {
+    return std::make_shared<fusion::KalmanFilterComponent>(
+        fusion::KalmanFilter::Config{}, fx.frame);
+  });
+  registry.register_kind("wifi-scanner", [&fx](const auto&) {
+    return std::make_shared<sensors::WifiScanner>(fx.scheduler, fx.random,
+                                                  fx.walk, fx.signal_model);
+  });
+  registry.register_kind("wifi-positioner", [&fx](const auto&) {
+    return std::make_shared<wifi::WifiPositioner>(fx.db);
+  });
+  registry.register_kind("local-to-geo", [&fx](const auto&) {
+    return std::make_shared<wifi::LocalToGeoConverter>(fx.building);
+  });
+  registry.register_kind("room-resolver", [&fx](const auto&) {
+    return std::make_shared<locmodel::RoomResolver>(fx.building);
+  });
+  registry.register_kind("application", [](const auto& args)
+                             -> std::shared_ptr<core::ProcessingComponent> {
+    std::string error;
+    auto reqs = application_requirements(args, error);
+    if (!error.empty()) throw std::invalid_argument(error);
+    return std::make_shared<core::ApplicationSink>(
+        args.empty() ? "App" : args[0], std::move(reqs));
+  });
+  return registry;
+}
+
+int list_rules() {
+  const verify::RuleRegistry& catalog = verify::RuleRegistry::default_catalog();
+  for (const auto& rule : catalog.rules()) {
+    std::printf("%s  %-22s  %-7s  %s\n", std::string(rule->id()).c_str(),
+                std::string(rule->name()).c_str(),
+                std::string(verify::severity_name(rule->default_severity()))
+                    .c_str(),
+                std::string(rule->description()).c_str());
+  }
+  return 0;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--format=text|json|sarif] [--output FILE] [--werror]\n"
+      "          [--disable RULE]... CONFIG...\n"
+      "       %s --list-rules\n",
+      argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string format = "text";
+  std::string output_path;
+  bool werror = false;
+  verify::Options options;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") return list_rules();
+    if (arg == "-h" || arg == "--help") {
+      usage(argv[0]);
+      return 0;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (arg == "--format" && i + 1 < argc) {
+      format = argv[++i];
+    } else if (arg.rfind("--output=", 0) == 0) {
+      output_path = arg.substr(9);
+    } else if (arg == "--output" && i + 1 < argc) {
+      output_path = argv[++i];
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg.rfind("--disable=", 0) == 0) {
+      options.disabled_rules.push_back(arg.substr(10));
+    } else if (arg == "--disable" && i + 1 < argc) {
+      options.disabled_rules.push_back(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage(argv[0]);
+  if (format != "text" && format != "json" && format != "sarif") {
+    std::fprintf(stderr, "unknown format '%s'\n", format.c_str());
+    return usage(argv[0]);
+  }
+  if (format != "text" && files.size() != 1) {
+    std::fprintf(stderr,
+                 "%s output describes one config; got %zu files "
+                 "(invoke once per file)\n",
+                 format.c_str(), files.size());
+    return 2;
+  }
+
+  Fixtures fx;
+  const runtime::ComponentFactoryRegistry registry = standard_registry(fx);
+
+  std::ostringstream rendered;
+  bool gate = false;
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read '%s'\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    const verify::ConfigVerification result =
+        verify::verify_config(text.str(), registry, options);
+    gate = gate || !result.report.ok() ||
+           (werror && result.report.warnings() > 0);
+
+    if (format == "json") {
+      rendered << verify::to_json(result.report) << '\n';
+    } else if (format == "sarif") {
+      rendered << verify::to_sarif(result.report,
+                                   verify::RuleRegistry::default_catalog(),
+                                   path)
+               << '\n';
+    } else {
+      if (files.size() > 1) rendered << path << ":\n";
+      rendered << verify::to_text(result.report);
+      if (files.size() > 1) rendered << '\n';
+    }
+  }
+
+  if (output_path.empty()) {
+    std::cout << rendered.str();
+  } else {
+    std::ofstream out(output_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", output_path.c_str());
+      return 2;
+    }
+    out << rendered.str();
+  }
+  return gate ? 1 : 0;
+}
