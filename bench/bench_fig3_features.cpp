@@ -43,7 +43,7 @@ class AdderFeature final : public core::ComponentFeature {
  public:
   std::string_view name() const override { return "Adder"; }
   bool produce(core::Sample& s) override {
-    if (!s.feature_origin.empty()) return true;
+    if (s.feature_added()) return true;
     context().emit(core::Payload::make(Value{s.payload.as<Value>().n + 1}));
     return true;
   }

@@ -8,7 +8,9 @@
 //  * channel-view derivation vs graph size,
 //  * graph assembly (add+connect) cost vs component count,
 //  * provenance bookkeeping cost vs inputs-per-output,
-//  * observability overhead (metrics / timing / tracing) vs the bare graph.
+//  * observability overhead (metrics / timing / tracing) vs the bare graph,
+//  * batched emission (emit_batch) vs per-sample pushes,
+//  * multi-graph throughput through the execution engine vs worker count.
 //
 // `--metrics-json <path>` writes the observed deep-pipeline run as a
 // machine-readable snapshot (metrics + Chrome trace_event flow trace).
@@ -16,6 +18,7 @@
 #include "perpos/core/channel.hpp"
 #include "perpos/core/components.hpp"
 #include "perpos/core/graph.hpp"
+#include "perpos/exec/engine.hpp"
 #include "perpos/fusion/metrics.hpp"
 
 #include <benchmark/benchmark.h>
@@ -24,7 +27,9 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
 using namespace perpos;
 
@@ -245,6 +250,69 @@ void BM_ProvenanceAggregation(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ProvenanceAggregation)->Arg(1)->Arg(10)->Arg(100);
+
+/// Batched emission through a 16-stage pipeline: range(0) is the burst
+/// size (1 = the per-sample push baseline).
+void BM_EmitBatch(benchmark::State& state) {
+  const int burst = static_cast<int>(state.range(0));
+  ChainRig rig(16);
+  int i = 0;
+  for (auto _ : state) {
+    if (burst == 1) {
+      rig.source->push(Value{i++});
+    } else {
+      std::vector<Value> values;
+      values.reserve(static_cast<std::size_t>(burst));
+      for (int b = 0; b < burst; ++b) values.push_back(Value{i++});
+      rig.source->push_batch(std::move(values));
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * burst * 17);
+}
+BENCHMARK(BM_EmitBatch)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+/// Multi-graph scaling through the execution engine: 16 independent
+/// 16-stage pipelines, one affinity lane each, driven by range(0) workers
+/// (0 = inline single-threaded baseline). Throughput counts every hop.
+void BM_EngineMultiGraph(benchmark::State& state) {
+  const std::size_t workers = static_cast<std::size_t>(state.range(0));
+  constexpr int kGraphs = 16;
+  constexpr int kDepth = 16;
+  constexpr int kBurst = 64;  // samples pushed per lane per iteration
+  std::vector<std::unique_ptr<ChainRig>> rigs;
+  for (int g = 0; g < kGraphs; ++g) {
+    rigs.push_back(std::make_unique<ChainRig>(kDepth));
+  }
+  exec::ExecutionEngine engine(workers);
+  std::vector<std::function<void(exec::Task)>> lanes;
+  for (int g = 0; g < kGraphs; ++g) {
+    lanes.push_back(engine.executor(engine.create_lane()));
+  }
+  int i = 0;
+  for (auto _ : state) {
+    for (int g = 0; g < kGraphs; ++g) {
+      ChainRig* rig = rigs[static_cast<std::size_t>(g)].get();
+      const int base = i;
+      lanes[static_cast<std::size_t>(g)]([rig, base] {
+        for (int b = 0; b < kBurst; ++b) rig->source->push(Value{base + b});
+      });
+    }
+    i += kBurst;
+    engine.run_until_idle();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kGraphs * kBurst * (kDepth + 1));
+  state.SetLabel(workers == 0 ? "inline" :
+                 std::to_string(workers) + " workers");
+}
+BENCHMARK(BM_EngineMultiGraph)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Refreshes BENCH_o1.json — the checked-in machine-readable record of the
+# O1 scalability experiment (pipeline depth, emit_batch amortization, and
+# multi-graph scaling through the execution engine vs worker count).
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+# Expects a configured build in ./build (cmake -B build -S . && cmake
+# --build build -j). Benchmark selection and repetitions are kept modest so
+# the snapshot is reproducible on a laptop; the environment block in the
+# JSON (host, num_cpus, date) says what produced the numbers.
+set -eu
+out="${1:-BENCH_o1.json}"
+bench="build/bench/bench_o1_scalability"
+if [ ! -x "$bench" ]; then
+  echo "error: $bench not built (run: cmake --build build -j)" >&2
+  exit 1
+fi
+"$bench" \
+  --benchmark_filter='BM_PipelineDepth/|BM_EmitBatch|BM_EngineMultiGraph' \
+  --benchmark_format=json \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json > /dev/null
+echo "wrote $out"

@@ -85,6 +85,13 @@ class ComponentContext {
   /// synchronously.
   void emit(Payload payload) const;
 
+  /// Emit a burst of payloads with identical semantics to N emit() calls
+  /// (per-payload logical time, produce hooks, delivery order) while paying
+  /// graph lookup, metric-handle resolution and dispatch bookkeeping once.
+  /// Sources with bursty input (batched network reads, replayed logs) use
+  /// this to amortize per-sample overhead.
+  void emit_batch(std::vector<Payload> payloads) const;
+
   /// Current simulation time as seen by the graph.
   sim::SimTime now() const noexcept;
 
@@ -130,11 +137,15 @@ class ProcessingComponent {
   virtual std::string_view kind() const = 0;
 
   /// Input-port requirements. Evaluated when connections are made and when
-  /// the dependency resolver assembles graphs.
+  /// the dependency resolver assembles graphs. The graph compiles these
+  /// into its per-delivery accept check when the component is added, so
+  /// they must stay stable while the component is attached.
   virtual std::vector<InputRequirement> input_requirements() const = 0;
 
   /// Output-port capabilities of the implementation itself (capabilities
-  /// added by features are tracked by the graph, not declared here).
+  /// added by features are tracked by the graph, not declared here). Must
+  /// stay stable while attached (the graph caches whether this component
+  /// records provenance).
   virtual std::vector<DataSpec> output_capabilities() const = 0;
 
   /// Called by the graph for every accepted incoming sample, after the

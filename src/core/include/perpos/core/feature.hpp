@@ -28,12 +28,14 @@ namespace perpos::core {
 class ProcessingGraph;
 
 /// Runtime services the graph hands to an attached Component Feature.
+/// The feature name is interned once at attachment, so every emit stamps a
+/// 32-bit origin symbol instead of copying a string.
 class FeatureContext {
  public:
   FeatureContext() = default;
   FeatureContext(ProcessingGraph* graph, ComponentId host,
-                 std::string feature_name)
-      : graph_(graph), host_(host), feature_name_(std::move(feature_name)) {}
+                 std::string_view feature_name)
+      : graph_(graph), host_(host), origin_(intern_origin(feature_name)) {}
 
   bool attached() const noexcept { return graph_ != nullptr; }
   ComponentId host() const noexcept { return host_; }
@@ -46,7 +48,7 @@ class FeatureContext {
  private:
   ProcessingGraph* graph_ = nullptr;
   ComponentId host_ = kInvalidComponent;
-  std::string feature_name_;
+  OriginId origin_ = kComponentOrigin;  ///< Interned feature name.
 };
 
 /// Base class for Component Features.

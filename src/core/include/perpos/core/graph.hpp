@@ -22,9 +22,19 @@
 /// Delivery is synchronous and deterministic: when a component emits, the
 /// sample is (after produce hooks) pushed to every connected consumer whose
 /// input requirements accept it, running that consumer's consume hooks and
-/// then its on_input(), recursively. The graph stamps per-producer logical
-/// time and provenance links onto every sample, which is what makes the
-/// Channel data trees of the PCL (Fig. 4) reconstructible.
+/// then its on_input(). Dispatch is driven by an explicit per-graph work
+/// stack rather than by recursion, so a 10k-stage pipeline costs heap, not
+/// call stack; the stack is drained in depth-first order, which reproduces
+/// exactly the delivery order of the old recursive dispatcher. The graph
+/// stamps per-producer logical time and provenance links onto every sample,
+/// which is what makes the Channel data trees of the PCL (Fig. 4)
+/// reconstructible.
+///
+/// A ProcessingGraph is single-threaded by design: all mutation and all
+/// emission must come from one thread at a time. Concurrency lives one
+/// level up — exec::ExecutionEngine runs many graphs in parallel, one
+/// affinity lane per graph, which preserves every in-graph invariant
+/// (delivery order, logical time, provenance, feature hooks) untouched.
 
 namespace perpos::core {
 
@@ -195,18 +205,42 @@ class ProcessingGraph {
 
   // --- Used by ComponentContext / FeatureContext --------------------------
 
-  /// Emit from a component (feature_origin empty) or from a feature.
-  void emit_from(ComponentId producer, Payload payload,
-                 std::string feature_origin);
+  /// Emit from a component (origin == kComponentOrigin) or from a feature
+  /// (origin == the feature's interned name).
+  void emit_from(ComponentId producer, Payload payload, OriginId origin);
+
+  /// Batched emission: every payload goes through the same produce hooks
+  /// and delivery rules as emit_from, but the entry lookup, metric-handle
+  /// resolution and dispatch drain are paid once per burst instead of once
+  /// per sample. Logical time advances per payload, exactly as if each had
+  /// been emitted individually.
+  void emit_batch_from(ComponentId producer, std::vector<Payload> payloads,
+                       OriginId origin);
 
  private:
   struct Entry;
   struct Obs;
+  struct ProvenancePool;
+
+  /// One queued delivery: `sample` waiting to enter `consumer`.
+  struct PendingDelivery {
+    Sample sample;
+    ComponentId consumer;
+  };
 
   Entry& entry(ComponentId id);
   const Entry& entry(ComponentId id) const;
   bool would_cycle(ComponentId producer, ComponentId consumer) const;
-  void deliver(const Sample& sample, ComponentId consumer);
+  void deliver(Sample&& sample, ComponentId consumer);
+  /// Push deliveries of `sample` to every consumer of `e` onto the work
+  /// stack (reverse order, so the LIFO drain visits consumers in
+  /// connection order — the old recursive DFS order).
+  void enqueue_deliveries(Sample&& sample, const Entry& e);
+  /// Pop and deliver until the work stack is empty.
+  void drain_dispatch_stack();
+  /// Claim the provenance of the next emission from `e` into `sample`
+  /// (pending inputs, or the in-flight input as fallback).
+  void stamp_provenance(Entry& e, Sample& sample);
   void check_not_dispatching(const char* op) const;
   void notify_mutation();
 
@@ -217,7 +251,17 @@ class ProcessingGraph {
   std::uint64_t revision_ = 0;
   std::uint64_t deliveries_ = 0;
   std::size_t live_count_ = 0;
-  int dispatch_depth_ = 0;
+  bool dispatching_ = false;
+  std::vector<PendingDelivery> dispatch_stack_;
+  /// Stack index where the current on_input (or batch) frame began. Nested
+  /// emissions insert their delivery blocks here, which makes the LIFO
+  /// drain reproduce the old recursive dispatch order exactly (emissions in
+  /// emit order, each subtree fully propagated before the next).
+  std::size_t current_frame_base_ = 0;
+  /// Recycles the vector<Sample> buffers behind Sample::inputs; shared so
+  /// buffers released after graph death (a sink kept the sample) are
+  /// simply freed instead of returned.
+  std::shared_ptr<ProvenancePool> pool_;
   std::unique_ptr<Obs> obs_;
   /// Monotone handle-cache generation; bumped on every enable so stale
   /// handles from an earlier registry are never reused after re-enable.

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// \file origin.hpp
+/// Interned feature-origin symbols.
+///
+/// Every sample carries the name of the Component Feature that added it
+/// (empty for data emitted by the component implementation itself). Origin
+/// names used to travel as a std::string inside each Sample, which put a
+/// heap allocation on the per-sample hot path of every copy. The set of
+/// distinct origins is tiny and fixed at feature-attachment time, so names
+/// are interned once into a process-wide symbol table and samples carry a
+/// 32-bit id; string content is only materialized for display and for the
+/// string-typed matching used by cold paths (config, verify, tests).
+///
+/// Id 0 is reserved for the empty origin ("emitted by the component
+/// itself"), so `id != kComponentOrigin` is the allocation-free
+/// feature-added test. The table is append-only and thread-safe; interned
+/// names are never freed, and the string_view returned by origin_name()
+/// stays valid for the process lifetime.
+
+namespace perpos::core {
+
+/// Interned origin symbol. 0 = component-emitted (empty origin).
+using OriginId = std::uint32_t;
+
+constexpr OriginId kComponentOrigin = 0;
+
+/// Intern `name`, returning its stable symbol. The empty string always
+/// maps to kComponentOrigin. Thread-safe; O(#distinct origins).
+OriginId intern_origin(std::string_view name);
+
+/// The name interned under `id` ("" for kComponentOrigin or unknown ids).
+/// The returned view is valid for the process lifetime. Thread-safe.
+std::string_view origin_name(OriginId id);
+
+}  // namespace perpos::core

@@ -323,6 +323,15 @@ class PositioningService {
   /// clockless embeddings can step it manually).
   void failover_check();
 
+  /// Route asynchronous service work (currently: scheduled failover
+  /// checks) through `executor` instead of running it on the scheduler's
+  /// thread. This is the execution-engine seam: pass the lane executor of
+  /// the graph this service fronts (exec::ExecutionEngine::executor) and
+  /// supervision runs serialized with the graph's sample flow. Pass
+  /// nullptr to go back to inline execution. The core layer only depends
+  /// on std::function here, not on perpos::exec.
+  void set_executor(std::function<void(std::function<void()>)> executor);
+
   ProcessingGraph& graph() noexcept { return graph_; }
   ChannelManager& channels() noexcept { return channels_; }
 
@@ -344,6 +353,7 @@ class PositioningService {
   std::vector<std::unique_ptr<Target>> targets_;
 
   sim::Scheduler* failover_scheduler_ = nullptr;
+  std::function<void(std::function<void()>)> executor_;
   FailoverConfig failover_config_;
   sim::Scheduler::EventId failover_event_ = 0;
   sim::SimTime failover_enabled_at_ = sim::SimTime::zero();

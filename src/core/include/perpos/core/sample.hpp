@@ -1,11 +1,12 @@
 #pragma once
 
+#include "perpos/core/origin.hpp"
 #include "perpos/core/payload.hpp"
 #include "perpos/sim/clock.hpp"
 
 #include <cstdint>
 #include <memory>
-#include <string>
+#include <string_view>
 #include <vector>
 
 /// \file sample.hpp
@@ -18,10 +19,13 @@
 ///  * `inputs` — provenance: the samples consumed to produce this one.
 ///    Following these links reconstructs the Channel data tree of Fig. 4,
 ///    including the "time range of the data used to generate the element".
-///  * `feature_origin` — non-empty when the sample was added by a
+///  * `origin` — kComponentOrigin unless the sample was added by a
 ///    Component Feature rather than by the component implementation itself;
 ///    such samples only propagate to consumers that explicitly declare they
 ///    accept input from that feature (paper Sec. 2.1, "Adding Data").
+///    The origin is an interned symbol (see origin.hpp) so copying a sample
+///    never allocates; feature_origin() materializes the name for display
+///    and string-typed matching.
 
 namespace perpos::core {
 
@@ -33,11 +37,29 @@ struct Sample {
   sim::SimTime timestamp;                 ///< Simulation time of production.
   ComponentId producer = kInvalidComponent;
   std::uint64_t sequence = 0;             ///< 1-based logical time at producer.
-  std::string feature_origin;             ///< Empty unless feature-added.
+  OriginId origin = kComponentOrigin;     ///< Interned feature-origin symbol.
 
   /// The input samples this sample was derived from (empty for sources).
   /// Shared so that provenance chains are cheap to copy with the sample.
   std::shared_ptr<const std::vector<Sample>> inputs;
+
+  /// Cached logical-time range of `inputs`, stamped by the graph at emit
+  /// time so DataTree construction never rescans the provenance vector.
+  /// 0 means "no inputs" (sequences are 1-based). Samples built by hand
+  /// (tests) may leave these 0; the accessors below then fall back to a
+  /// one-off scan.
+  std::uint64_t cached_seq_min = 0;
+  std::uint64_t cached_seq_max = 0;
+
+  /// True when this sample was added by a Component Feature. Never
+  /// allocates — this is the hot-path replacement for the old
+  /// `feature_origin.empty()` test.
+  bool feature_added() const noexcept { return origin != kComponentOrigin; }
+
+  /// The feature-origin name ("" for component-emitted data). Interned —
+  /// the view is valid for the process lifetime. Cold-path accessor (takes
+  /// the intern-table lock); hot paths compare `origin` ids instead.
+  std::string_view feature_origin() const { return origin_name(origin); }
 
   /// Lowest input sequence number contributing to this sample, or 0 when
   /// there are no inputs.
@@ -47,7 +69,9 @@ struct Sample {
 };
 
 inline std::uint64_t Sample::input_seq_min() const noexcept {
-  if (!inputs || inputs->empty()) return 0;
+  if (cached_seq_min != 0 || !inputs || inputs->empty()) {
+    return cached_seq_min;
+  }
   std::uint64_t lo = inputs->front().sequence;
   for (const Sample& s : *inputs) {
     if (s.sequence < lo) lo = s.sequence;
@@ -56,7 +80,9 @@ inline std::uint64_t Sample::input_seq_min() const noexcept {
 }
 
 inline std::uint64_t Sample::input_seq_max() const noexcept {
-  if (!inputs || inputs->empty()) return 0;
+  if (cached_seq_max != 0 || !inputs || inputs->empty()) {
+    return cached_seq_max;
+  }
   std::uint64_t hi = inputs->front().sequence;
   for (const Sample& s : *inputs) {
     if (s.sequence > hi) hi = s.sequence;

@@ -34,7 +34,7 @@ class ChannelAdapter final : public ComponentFeature {
 
   bool produce(Sample& sample) override {
     // Feature-added side data is not a channel delivery.
-    if (!sample.feature_origin.empty()) return true;
+    if (sample.feature_added()) return true;
     record_->last_output = sample;
     if (!record_->features.empty()) {
       const DataTree tree = DataTree::build(sample, record_->members);

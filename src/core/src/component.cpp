@@ -21,7 +21,12 @@ InputRequirement require_any() {
 
 void ComponentContext::emit(Payload payload) const {
   if (graph_ == nullptr) return;  // Detached components emit into the void.
-  graph_->emit_from(id_, std::move(payload), "");
+  graph_->emit_from(id_, std::move(payload), kComponentOrigin);
+}
+
+void ComponentContext::emit_batch(std::vector<Payload> payloads) const {
+  if (graph_ == nullptr) return;
+  graph_->emit_batch_from(id_, std::move(payloads), kComponentOrigin);
 }
 
 sim::SimTime ComponentContext::now() const noexcept {

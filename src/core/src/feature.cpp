@@ -6,7 +6,7 @@ namespace perpos::core {
 
 void FeatureContext::emit(Payload payload) const {
   if (graph_ == nullptr) return;
-  graph_->emit_from(host_, std::move(payload), feature_name_);
+  graph_->emit_from(host_, std::move(payload), origin_);
 }
 
 }  // namespace perpos::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -18,6 +19,52 @@ struct ComponentMetricHandles {
   obs::Histogram* on_input_us = nullptr;
 };
 
+/// Recycles the vector<Sample> buffers behind Sample::inputs. Every
+/// provenance-carrying emission used to heap-allocate a fresh vector; now
+/// the buffer is drawn from this free list and returned by the shared_ptr
+/// deleter when the last sample referencing it dies. The pool outlives the
+/// graph through shared ownership, so samples kept by applications after
+/// graph teardown release their buffers safely (they are freed, not
+/// returned, once the weak reference is gone — and the free list dying
+/// with the pool frees whatever it still holds). The mutex makes returns
+/// from other execution-engine lanes safe; it is uncontended in
+/// single-threaded use.
+struct ProcessingGraph::ProvenancePool {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<std::vector<Sample>>> free_list;
+  static constexpr std::size_t kMaxFree = 256;
+
+  std::unique_ptr<std::vector<Sample>> acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!free_list.empty()) {
+        auto buffer = std::move(free_list.back());
+        free_list.pop_back();
+        return buffer;
+      }
+    }
+    return std::make_unique<std::vector<Sample>>();
+  }
+
+  struct ReturnToPool {
+    std::weak_ptr<ProvenancePool> pool;
+    void operator()(const std::vector<Sample>* p) const noexcept {
+      auto* buffer = const_cast<std::vector<Sample>*>(p);
+      // Destroy the samples before taking the pool lock: releasing them can
+      // release further pooled buffers down the provenance chain.
+      buffer->clear();
+      if (auto alive = pool.lock()) {
+        std::lock_guard<std::mutex> lock(alive->mutex);
+        if (alive->free_list.size() < kMaxFree) {
+          alive->free_list.emplace_back(buffer);
+          return;
+        }
+      }
+      delete buffer;
+    }
+  };
+};
+
 struct ProcessingGraph::Entry {
   std::shared_ptr<ProcessingComponent> component;
   std::vector<ComponentId> consumers;
@@ -26,10 +73,31 @@ struct ProcessingGraph::Entry {
   std::uint64_t sequence = 0;  ///< Logical time of the output port.
   std::uint64_t emitted = 0;
 
+  /// Input requirements compiled to interned origin symbols, cached at
+  /// add() — the per-delivery accept check is two integer compares per
+  /// requirement, and input_requirements() (which returns a fresh vector)
+  /// is never called on the hot path. Components must keep their
+  /// requirements stable while attached (see ProcessingComponent).
+  struct CompiledRequirement {
+    const TypeInfo* type = nullptr;
+    OriginId origin = kComponentOrigin;
+    bool any_type = false;
+  };
+  std::vector<CompiledRequirement> compiled_requirements;
+  /// Cached `!output_capabilities().empty()` — only emit-capable
+  /// components record pending inputs (pure sinks would accumulate them
+  /// forever), and the old code paid a vector allocation per delivery to
+  /// find that out.
+  bool records_provenance = false;
+
   /// Inputs accepted since the last emission; becomes the provenance of the
-  /// next emitted sample (Fig. 4 time ranges).
+  /// next emitted sample (Fig. 4 time ranges). The running sequence range
+  /// is tracked alongside so emission stamps Sample::cached_seq_min/max
+  /// without rescanning.
   std::vector<Sample> pending_inputs;
-  /// The input currently being processed by on_input (recursion-safe via
+  std::uint64_t pending_seq_min = 0;
+  std::uint64_t pending_seq_max = 0;
+  /// The input currently being processed by on_input (nesting-safe via
   /// save/restore in deliver()); used as fallback provenance when a second
   /// emission happens after pending_inputs was consumed.
   const Sample* current_input = nullptr;
@@ -141,7 +209,8 @@ void ProcessingGraph::notify_mutation() {
   for (const auto& [token, fn] : snapshot) fn();
 }
 
-ProcessingGraph::ProcessingGraph(const sim::Clock* clock) : clock_(clock) {}
+ProcessingGraph::ProcessingGraph(const sim::Clock* clock)
+    : clock_(clock), pool_(std::make_shared<ProvenancePool>()) {}
 
 ProcessingGraph::~ProcessingGraph() {
   // Graph teardown: give every live component a chance to flush buffered
@@ -228,7 +297,7 @@ bool ProcessingGraph::has(ComponentId id) const noexcept {
 }
 
 void ProcessingGraph::check_not_dispatching(const char* op) const {
-  if (dispatch_depth_ > 0) {
+  if (dispatching_) {
     throw std::logic_error(std::string("ProcessingGraph::") + op +
                            ": structural mutation during dispatch");
   }
@@ -246,6 +315,14 @@ ComponentId ProcessingGraph::add(
   e->component = std::move(component);
   e->live = true;
   e->component->context_ = ComponentContext(this, id);
+  // Compile the hot-path caches once. Requirements and capabilities must
+  // stay stable while the component is attached (they already had to be:
+  // connect() realizability is judged against them).
+  for (const InputRequirement& r : e->component->input_requirements()) {
+    e->compiled_requirements.push_back(Entry::CompiledRequirement{
+        r.type, intern_origin(r.feature_tag), r.any_type});
+  }
+  e->records_provenance = !e->component->output_capabilities().empty();
   entries_.push_back(std::move(e));
   ++live_count_;
   ++revision_;
@@ -464,8 +541,80 @@ std::vector<DataSpec> ProcessingGraph::capabilities(ComponentId id) const {
   return out;
 }
 
+void ProcessingGraph::stamp_provenance(Entry& e, Sample& sample) {
+  // Provenance: everything consumed since the previous emission; when that
+  // was already claimed by an earlier emission in the same on_input call,
+  // fall back to the input being processed right now. Buffers come from
+  // the pool, so the steady state allocates nothing: the swap hands the
+  // accumulated samples to the outgoing buffer and leaves the (recycled)
+  // buffer's capacity behind for the next accumulation round.
+  if (!e.pending_inputs.empty()) {
+    auto buffer = pool_->acquire();
+    buffer->swap(e.pending_inputs);
+    sample.cached_seq_min = e.pending_seq_min;
+    sample.cached_seq_max = e.pending_seq_max;
+    e.pending_seq_min = 0;
+    e.pending_seq_max = 0;
+    sample.inputs = std::shared_ptr<const std::vector<Sample>>(
+        buffer.release(), ProvenancePool::ReturnToPool{pool_});
+  } else if (e.current_input != nullptr) {
+    auto buffer = pool_->acquire();
+    buffer->push_back(*e.current_input);
+    sample.cached_seq_min = e.current_input->sequence;
+    sample.cached_seq_max = e.current_input->sequence;
+    sample.inputs = std::shared_ptr<const std::vector<Sample>>(
+        buffer.release(), ProvenancePool::ReturnToPool{pool_});
+  }
+}
+
+void ProcessingGraph::enqueue_deliveries(Sample&& sample, const Entry& e) {
+  const std::vector<ComponentId>& consumers = e.consumers;
+  if (consumers.empty()) return;
+  // Insert this emission's delivery block at the current frame base. Blocks
+  // of later emissions within the same on_input (or hook) frame land below
+  // earlier ones, and within a block consumers are laid out in reverse, so
+  // the LIFO drain visits everything in exactly the order the old recursive
+  // dispatcher did: emissions in emit order, each fully propagated through
+  // its consumer subtree before the next, consumers in connection order.
+  const auto base = dispatch_stack_.begin() +
+                    static_cast<std::ptrdiff_t>(current_frame_base_);
+  if (consumers.size() == 1) {
+    dispatch_stack_.insert(base, PendingDelivery{std::move(sample),
+                                                 consumers.front()});
+    return;
+  }
+  std::vector<PendingDelivery> block;
+  block.reserve(consumers.size());
+  for (std::size_t i = consumers.size(); i-- > 1;) {
+    block.push_back(PendingDelivery{sample, consumers[i]});
+  }
+  block.push_back(PendingDelivery{std::move(sample), consumers.front()});
+  dispatch_stack_.insert(base, std::make_move_iterator(block.begin()),
+                         std::make_move_iterator(block.end()));
+}
+
+void ProcessingGraph::drain_dispatch_stack() {
+  dispatching_ = true;
+  try {
+    while (!dispatch_stack_.empty()) {
+      PendingDelivery next = std::move(dispatch_stack_.back());
+      dispatch_stack_.pop_back();
+      deliver(std::move(next.sample), next.consumer);
+    }
+  } catch (...) {
+    // Mirror the old recursive unwinding: abandoned sibling deliveries are
+    // dropped and the graph is dispatchable again.
+    dispatch_stack_.clear();
+    current_frame_base_ = 0;
+    dispatching_ = false;
+    throw;
+  }
+  current_frame_base_ = 0;
+  dispatching_ = false;
+}
+
 void ProcessingGraph::emit_from(ComponentId producer, Payload payload,
-                                std::string feature_origin) {
+                                OriginId origin) {
   Entry& e = entry(producer);
 
   Sample sample;
@@ -473,19 +622,8 @@ void ProcessingGraph::emit_from(ComponentId producer, Payload payload,
   sample.timestamp = clock_ != nullptr ? clock_->now() : sim::SimTime::zero();
   sample.producer = producer;
   sample.sequence = ++e.sequence;
-  sample.feature_origin = std::move(feature_origin);
-
-  // Provenance: everything consumed since the previous emission; when that
-  // was already claimed by an earlier emission in the same on_input call,
-  // fall back to the input being processed right now.
-  if (!e.pending_inputs.empty()) {
-    sample.inputs = std::make_shared<const std::vector<Sample>>(
-        std::move(e.pending_inputs));
-    e.pending_inputs.clear();
-  } else if (e.current_input != nullptr) {
-    sample.inputs = std::make_shared<const std::vector<Sample>>(
-        std::vector<Sample>{*e.current_input});
-  }
+  sample.origin = origin;
+  stamp_provenance(e, sample);
 
   Obs* const obs = obs_.get();
   const bool timing = obs != nullptr && obs->config.timing;
@@ -532,26 +670,114 @@ void ProcessingGraph::emit_from(ComponentId producer, Payload payload,
     tracer.bind_sample(producer, sample.sequence, span);
   }
 
-  // Deliver to each connected consumer that accepts the sample's spec.
-  // Iterate over a copy of ids: consumers_ is stable during dispatch
-  // (mutation is rejected) but this keeps the loop robust.
-  const std::vector<ComponentId> consumers = e.consumers;
-  for (ComponentId cid : consumers) {
-    deliver(sample, cid);
-  }
+  enqueue_deliveries(std::move(sample), e);
+  if (!dispatching_) drain_dispatch_stack();
 }
 
-void ProcessingGraph::deliver(const Sample& sample, ComponentId consumer) {
+void ProcessingGraph::emit_batch_from(ComponentId producer,
+                                      std::vector<Payload> payloads,
+                                      OriginId origin) {
+  if (payloads.empty()) return;
+  Entry& e = entry(producer);
+
+  Obs* const obs = obs_.get();
+  const bool timing = obs != nullptr && obs->config.timing;
+  const bool metrics = obs != nullptr && obs->config.metrics;
+  // Resolve metric handles once for the whole burst.
+  obs::Counter* emitted_counter =
+      metrics ? obs->handles(e, producer).emitted : nullptr;
+
+  // Treat the burst as one dispatch frame: deliveries accumulate on the
+  // work stack and drain once at the end, in exactly the order N
+  // individual emit calls would have produced (see enqueue_deliveries).
+  const bool was_dispatching = dispatching_;
+  dispatching_ = true;
+  std::uint64_t emitted_in_batch = 0;
+  try {
+    const sim::SimTime now =
+        clock_ != nullptr ? clock_->now() : sim::SimTime::zero();
+    for (Payload& payload : payloads) {
+      Sample sample;
+      sample.payload = std::move(payload);
+      sample.timestamp = now;
+      sample.producer = producer;
+      sample.sequence = ++e.sequence;
+      sample.origin = origin;
+      stamp_provenance(e, sample);
+
+      const TypeInfo* original_type = sample.payload.type();
+      bool vetoed = false;
+      for (const auto& f : e.features) {
+        bool keep = false;
+        if (timing) {
+          const double t0 = now_wall_us();
+          keep = f->produce(sample);
+          obs->handles(e, producer, *f)
+              .produce_us->observe(now_wall_us() - t0);
+        } else {
+          keep = f->produce(sample);
+        }
+        if (!keep) {
+          if (metrics) obs->handles(e, producer).produce_vetoed->inc();
+          vetoed = true;
+          break;
+        }
+        if (sample.payload.type() != original_type) {
+          throw std::logic_error("feature '" + std::string(f->name()) +
+                                 "' changed the data type in produce()");
+        }
+      }
+      if (vetoed) continue;
+      ++e.emitted;
+      ++emitted_in_batch;
+
+      if (obs != nullptr && obs->tracer) {
+        obs::TraceRecorder& tracer = *obs->tracer;
+        std::uint64_t span = current_span_;
+        if (span == 0) {
+          span = tracer.open(std::string(e.component->kind()) + ".emit",
+                             producer, producer, sample.sequence, 0);
+          tracer.close(span);
+        }
+        tracer.bind_sample(producer, sample.sequence, span);
+      }
+
+      enqueue_deliveries(std::move(sample), e);
+    }
+  } catch (...) {
+    dispatching_ = was_dispatching;
+    if (emitted_counter != nullptr && emitted_in_batch > 0) {
+      emitted_counter->inc(emitted_in_batch);
+    }
+    if (!was_dispatching) {
+      dispatch_stack_.clear();
+      current_frame_base_ = 0;
+    }
+    throw;
+  }
+  dispatching_ = was_dispatching;
+  if (emitted_counter != nullptr && emitted_in_batch > 0) {
+    emitted_counter->inc(emitted_in_batch);
+  }
+  if (!was_dispatching) drain_dispatch_stack();
+}
+
+void ProcessingGraph::deliver(Sample&& sample, ComponentId consumer) {
   Entry& c = entry(consumer);
   Obs* const obs = obs_.get();
   const bool metrics = obs != nullptr && obs->config.metrics;
   const bool timing = obs != nullptr && obs->config.timing;
 
-  const auto reqs = c.component->input_requirements();
-  const bool accepted = std::any_of(
-      reqs.begin(), reqs.end(), [&](const InputRequirement& r) {
-        return r.accepts(sample.payload.type(), sample.feature_origin);
-      });
+  // Accept check against the compiled requirements: two integer compares
+  // per requirement, no vector materialization, no string compare.
+  const TypeInfo* const sample_type = sample.payload.type();
+  bool accepted = false;
+  for (const Entry::CompiledRequirement& r : c.compiled_requirements) {
+    if (r.origin == sample.origin && (r.any_type || r.type == sample_type)) {
+      accepted = true;
+      break;
+    }
+  }
   if (!accepted) {
     if (metrics) {
       obs->handles(c, consumer).rejected->inc();
@@ -560,23 +786,24 @@ void ProcessingGraph::deliver(const Sample& sample, ComponentId consumer) {
     return;
   }
 
-  // Consume hooks of the receiving component's features.
-  Sample local = sample;
-  const TypeInfo* original_type = local.payload.type();
+  // Consume hooks of the receiving component's features. The sample is
+  // owned by this delivery (the emitter queued one copy per consumer), so
+  // hooks mutate it in place — no defensive copy.
+  const TypeInfo* original_type = sample_type;
   for (const auto& f : c.features) {
     bool keep = false;
     if (timing) {
       const double t0 = now_wall_us();
-      keep = f->consume(local);
+      keep = f->consume(sample);
       obs->handles(c, consumer, *f).consume_us->observe(now_wall_us() - t0);
     } else {
-      keep = f->consume(local);
+      keep = f->consume(sample);
     }
     if (!keep) {
       if (metrics) obs->handles(c, consumer).consume_vetoed->inc();
       return;
     }
-    if (local.payload.type() != original_type) {
+    if (sample.payload.type() != original_type) {
       throw std::logic_error("feature '" + std::string(f->name()) +
                              "' changed the data type in consume()");
     }
@@ -588,9 +815,16 @@ void ProcessingGraph::deliver(const Sample& sample, ComponentId consumer) {
     obs->deliveries_total->inc();
   }
   // Record provenance only for components that can emit; pure sinks
-  // (applications) would otherwise accumulate pending inputs forever.
-  if (!c.component->output_capabilities().empty()) {
-    c.pending_inputs.push_back(local);
+  // (applications) would otherwise accumulate pending inputs forever. The
+  // running sequence range feeds Sample::cached_seq_min/max at emit time.
+  if (c.records_provenance) {
+    if (c.pending_seq_min == 0 || sample.sequence < c.pending_seq_min) {
+      c.pending_seq_min = sample.sequence;
+    }
+    if (sample.sequence > c.pending_seq_max) {
+      c.pending_seq_max = sample.sequence;
+    }
+    c.pending_inputs.push_back(sample);
   }
 
   // Open the flow span for this delivery: its parent is the span under
@@ -599,28 +833,29 @@ void ProcessingGraph::deliver(const Sample& sample, ComponentId consumer) {
   std::uint64_t span_id = 0;
   if (obs != nullptr && obs->tracer) {
     const std::uint64_t parent =
-        obs->tracer->span_for_sample(local.producer, local.sequence);
+        obs->tracer->span_for_sample(sample.producer, sample.sequence);
     span_id = obs->tracer->open(
         std::string(c.component->kind()) + ".on_input", consumer,
-        local.producer, local.sequence, parent);
+        sample.producer, sample.sequence, parent);
     current_span_ = span_id;
   }
   const double t0 = timing ? now_wall_us() : 0.0;
 
   const Sample* saved = c.current_input;
-  c.current_input = &local;
-  ++dispatch_depth_;
+  const std::size_t saved_frame_base = current_frame_base_;
+  c.current_input = &sample;
+  current_frame_base_ = dispatch_stack_.size();
   try {
-    c.component->on_input(local);
+    c.component->on_input(sample);
   } catch (...) {
-    --dispatch_depth_;
     c.current_input = saved;
+    current_frame_base_ = saved_frame_base;
     if (span_id != 0 && obs_ && obs_->tracer) obs_->tracer->close(span_id);
     current_span_ = saved_span;
     throw;
   }
-  --dispatch_depth_;
   c.current_input = saved;
+  current_frame_base_ = saved_frame_base;
   if (timing) {
     obs->handles(c, consumer).on_input_us->observe(now_wall_us() - t0);
   }

@@ -1,0 +1,44 @@
+#include "perpos/core/origin.hpp"
+
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace perpos::core {
+
+namespace {
+
+/// Append-only symbol table. A deque keeps element addresses stable, so
+/// views handed out by origin_name() survive later interning.
+struct OriginTable {
+  std::mutex mutex;
+  std::deque<std::string> names;  // names[id - 1] for id >= 1.
+};
+
+OriginTable& table() {
+  static OriginTable* t = new OriginTable();  // leaked: views live forever
+  return *t;
+}
+
+}  // namespace
+
+OriginId intern_origin(std::string_view name) {
+  if (name.empty()) return kComponentOrigin;
+  OriginTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  for (std::size_t i = 0; i < t.names.size(); ++i) {
+    if (t.names[i] == name) return static_cast<OriginId>(i + 1);
+  }
+  t.names.emplace_back(name);
+  return static_cast<OriginId>(t.names.size());
+}
+
+std::string_view origin_name(OriginId id) {
+  if (id == kComponentOrigin) return {};
+  OriginTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  if (id > t.names.size()) return {};
+  return t.names[id - 1];
+}
+
+}  // namespace perpos::core

@@ -250,9 +250,21 @@ void PositioningService::schedule_failover_check() {
   failover_event_ = failover_scheduler_->schedule_after(
       failover_config_.check_interval, [this] {
         failover_event_ = 0;
-        failover_check();
+        // The check touches graph/provider state, so under an execution
+        // engine it must run on this service's lane, not on the thread
+        // driving the scheduler.
+        if (executor_) {
+          executor_([this] { failover_check(); });
+        } else {
+          failover_check();
+        }
         if (failover_scheduler_ != nullptr) schedule_failover_check();
       });
+}
+
+void PositioningService::set_executor(
+    std::function<void(std::function<void()>)> executor) {
+  executor_ = std::move(executor);
 }
 
 double PositioningService::effective_staleness_s(

@@ -1,0 +1,114 @@
+#pragma once
+
+#include "perpos/obs/metrics.hpp"
+#include "perpos/sim/scheduler.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+/// \file engine.hpp
+/// The parallel execution engine (perpos::exec): a worker pool that runs
+/// many positioning processes concurrently without touching any in-graph
+/// invariant.
+///
+/// PerPos graphs are single-threaded by design — delivery order, logical
+/// time and provenance all assume one thread drives a graph at a time
+/// (see ProcessingGraph). The engine therefore parallelizes *across*
+/// graphs, not within one: work is posted to *affinity lanes*, and the
+/// engine guarantees that tasks of one lane run strictly in post order and
+/// never concurrently with each other. Give every graph (equivalently:
+/// every target's positioning process) its own lane and all lanes may
+/// proceed in parallel while each graph still observes the exact
+/// single-threaded execution it was built for.
+///
+/// Determinism contract: for a fixed sequence of post() calls per lane,
+/// the side effects *within that lane* are identical for any worker count
+/// (including 0). Only the interleaving *between* lanes varies — which is
+/// unobservable to a well-formed deployment, because graphs on different
+/// lanes share no mutable state (cross-graph data flows through
+/// DistributedDeployment links, which post to the destination lane).
+/// perpos-verify rule PPV009 checks that a lane assignment actually has
+/// this property.
+///
+/// With `workers == 0` the engine owns no threads: tasks queue up and
+/// run_until_idle() drains them on the calling thread — the fully
+/// deterministic single-threaded mode used by tests and by simulation
+/// runs that need reproducibility.
+
+namespace perpos::exec {
+
+/// Identifies one serial execution lane. Lanes are cheap; create one per
+/// graph / per target.
+using LaneId = std::uint32_t;
+
+using Task = std::function<void()>;
+
+class ExecutionEngine {
+ public:
+  /// Start a pool of `workers` threads. 0 = inline mode (no threads;
+  /// run_until_idle drains on the caller).
+  explicit ExecutionEngine(std::size_t workers);
+  ~ExecutionEngine();
+
+  ExecutionEngine(const ExecutionEngine&) = delete;
+  ExecutionEngine& operator=(const ExecutionEngine&) = delete;
+
+  /// Create a new lane. `name` is used for metrics/debugging only.
+  /// Thread-safe; may be called while workers are draining other lanes.
+  LaneId create_lane(std::string name = {});
+
+  std::size_t workers() const noexcept { return worker_count_; }
+  std::size_t lane_count() const;
+
+  /// Enqueue `task` on `lane`. Tasks of one lane run in post order, one at
+  /// a time; tasks of different lanes run concurrently. Thread-safe.
+  /// Throws std::invalid_argument for unknown lanes.
+  void post(LaneId lane, Task task);
+
+  /// A reusable single-lane executor: calling it posts to `lane` without
+  /// the id->lane lookup. This is the seam handed to PositioningService /
+  /// DistributedDeployment (they depend on std::function, not on exec).
+  std::function<void(Task)> executor(LaneId lane);
+
+  /// Block until every posted task (including tasks posted by running
+  /// tasks) has finished. In inline mode this is what runs the tasks.
+  /// Not reentrant: do not call from inside a task.
+  void run_until_idle();
+
+  /// Drive a discrete-event simulation through the engine: runs
+  /// `scheduler.run_all()` with a post-event hook that drains all lanes to
+  /// idle after every event, so the parallel side effects of each event
+  /// complete before the next fires — deterministic per lane regardless of
+  /// worker count. Returns the number of scheduler events executed. The
+  /// scheduler's previous hook is restored on return.
+  std::size_t drive(sim::Scheduler& scheduler);
+
+  /// As drive(), but stops at simulation time `limit`.
+  std::size_t drive_until(sim::Scheduler& scheduler, sim::SimTime limit);
+
+  /// Publish engine metrics (tasks posted/executed, queue depth, lane and
+  /// worker counts) into `registry`. Pass nullptr to stop. The registry
+  /// must outlive the engine or the next enable_metrics call.
+  void enable_metrics(obs::MetricsRegistry* registry);
+
+  /// Tasks fully executed so far (across all lanes).
+  std::uint64_t executed() const noexcept;
+  /// Tasks posted but not yet finished.
+  std::uint64_t outstanding() const noexcept;
+
+ private:
+  struct Lane;
+  struct Impl;
+
+  Lane* lane_ptr(LaneId id) const;
+  void post_to(Lane& lane, Task&& task);
+
+  std::size_t worker_count_ = 0;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace perpos::exec

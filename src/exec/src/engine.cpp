@@ -1,0 +1,254 @@
+#include "perpos/exec/engine.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace perpos::exec {
+
+namespace {
+/// A hot lane hands its slot back to the ready queue after this many tasks
+/// so one chatty graph cannot starve the others of a worker.
+constexpr std::size_t kLaneBatch = 128;
+}  // namespace
+
+struct ExecutionEngine::Lane {
+  explicit Lane(std::string n) : name(std::move(n)) {}
+  const std::string name;
+  std::mutex mutex;
+  std::deque<Task> queue;
+  /// True while the lane sits in the ready queue or a worker drains it;
+  /// guarantees at most one worker runs this lane at a time (affinity).
+  bool scheduled = false;
+};
+
+struct ExecutionEngine::Impl {
+  // Lane registry. unique_ptr gives stable addresses; the registry mutex
+  // is held only for create/lookup, never while running tasks.
+  mutable std::mutex lanes_mutex;
+  std::vector<std::unique_ptr<Lane>> lanes;
+
+  // Ready queue of lanes with work, shared by all workers.
+  std::mutex ready_mutex;
+  std::condition_variable ready_cv;
+  std::deque<Lane*> ready;
+  bool stop = false;
+
+  // Idle barrier: posted-but-unfinished task count.
+  std::atomic<std::uint64_t> outstanding{0};
+  std::mutex idle_mutex;
+  std::condition_variable idle_cv;
+
+  std::atomic<std::uint64_t> executed{0};
+
+  // Optional metrics (set while idle; read from workers).
+  obs::Counter* tasks_posted = nullptr;
+  obs::Counter* tasks_executed = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+  obs::Gauge* lanes_gauge = nullptr;
+
+  std::vector<std::thread> threads;
+
+  void enqueue_ready(Lane* lane) {
+    {
+      std::lock_guard<std::mutex> lock(ready_mutex);
+      ready.push_back(lane);
+    }
+    ready_cv.notify_one();
+  }
+
+  /// Run queued tasks of `lane` until its queue is empty (or the fairness
+  /// batch is used up, in which case the lane re-enters the ready queue).
+  void drain(Lane* lane) {
+    for (std::size_t ran = 0; ran < kLaneBatch; ++ran) {
+      Task task;
+      {
+        std::lock_guard<std::mutex> lock(lane->mutex);
+        if (lane->queue.empty()) {
+          lane->scheduled = false;
+          return;
+        }
+        task = std::move(lane->queue.front());
+        lane->queue.pop_front();
+      }
+      task();
+      executed.fetch_add(1, std::memory_order_relaxed);
+      if (tasks_executed != nullptr) tasks_executed->inc();
+      if (queue_depth != nullptr) queue_depth->add(-1.0);
+      finish_one();
+    }
+    // Batch exhausted with work (possibly) left: requeue instead of
+    // resetting `scheduled`, keeping the at-most-one-worker guarantee.
+    enqueue_ready(lane);
+  }
+
+  void finish_one() {
+    if (outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Lock before notifying so the wakeup cannot slip between a waiter's
+      // predicate check and its wait.
+      std::lock_guard<std::mutex> lock(idle_mutex);
+      idle_cv.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    for (;;) {
+      Lane* lane = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(ready_mutex);
+        ready_cv.wait(lock, [&] { return stop || !ready.empty(); });
+        if (ready.empty()) return;  // stop && drained
+        lane = ready.front();
+        ready.pop_front();
+      }
+      drain(lane);
+    }
+  }
+};
+
+ExecutionEngine::ExecutionEngine(std::size_t workers)
+    : worker_count_(workers), impl_(std::make_unique<Impl>()) {
+  impl_->threads.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    impl_->threads.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ExecutionEngine::~ExecutionEngine() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->ready_mutex);
+    impl_->stop = true;
+  }
+  impl_->ready_cv.notify_all();
+  for (std::thread& t : impl_->threads) t.join();
+}
+
+LaneId ExecutionEngine::create_lane(std::string name) {
+  std::lock_guard<std::mutex> lock(impl_->lanes_mutex);
+  impl_->lanes.push_back(std::make_unique<Lane>(std::move(name)));
+  if (impl_->lanes_gauge != nullptr) {
+    impl_->lanes_gauge->set(static_cast<double>(impl_->lanes.size()));
+  }
+  return static_cast<LaneId>(impl_->lanes.size() - 1);
+}
+
+std::size_t ExecutionEngine::lane_count() const {
+  std::lock_guard<std::mutex> lock(impl_->lanes_mutex);
+  return impl_->lanes.size();
+}
+
+ExecutionEngine::Lane* ExecutionEngine::lane_ptr(LaneId id) const {
+  std::lock_guard<std::mutex> lock(impl_->lanes_mutex);
+  if (id >= impl_->lanes.size()) {
+    throw std::invalid_argument("ExecutionEngine: unknown lane");
+  }
+  return impl_->lanes[id].get();
+}
+
+void ExecutionEngine::post_to(Lane& lane, Task&& task) {
+  impl_->outstanding.fetch_add(1, std::memory_order_acq_rel);
+  if (impl_->tasks_posted != nullptr) impl_->tasks_posted->inc();
+  if (impl_->queue_depth != nullptr) impl_->queue_depth->add(1.0);
+  bool need_schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(lane.mutex);
+    lane.queue.push_back(std::move(task));
+    if (!lane.scheduled) {
+      lane.scheduled = true;
+      need_schedule = true;
+    }
+  }
+  if (need_schedule) impl_->enqueue_ready(&lane);
+}
+
+void ExecutionEngine::post(LaneId lane, Task task) {
+  post_to(*lane_ptr(lane), std::move(task));
+}
+
+std::function<void(Task)> ExecutionEngine::executor(LaneId lane) {
+  Lane* l = lane_ptr(lane);  // resolve (and validate) once
+  return [this, l](Task task) { post_to(*l, std::move(task)); };
+}
+
+void ExecutionEngine::run_until_idle() {
+  if (worker_count_ == 0) {
+    // Inline mode: the caller is the (only) worker. Lanes drain in ready
+    // order, each serially — bit-for-bit the threaded semantics, minus the
+    // interleaving.
+    for (;;) {
+      Lane* lane = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(impl_->ready_mutex);
+        if (impl_->ready.empty()) break;
+        lane = impl_->ready.front();
+        impl_->ready.pop_front();
+      }
+      impl_->drain(lane);
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(impl_->idle_mutex);
+  impl_->idle_cv.wait(lock, [&] {
+    return impl_->outstanding.load(std::memory_order_acquire) == 0;
+  });
+}
+
+std::size_t ExecutionEngine::drive(sim::Scheduler& scheduler) {
+  scheduler.set_post_event_hook([this] { run_until_idle(); });
+  std::size_t events = 0;
+  try {
+    events = scheduler.run_all();
+  } catch (...) {
+    scheduler.set_post_event_hook(nullptr);
+    throw;
+  }
+  scheduler.set_post_event_hook(nullptr);
+  run_until_idle();  // work posted outside any event
+  return events;
+}
+
+std::size_t ExecutionEngine::drive_until(sim::Scheduler& scheduler,
+                                         sim::SimTime limit) {
+  scheduler.set_post_event_hook([this] { run_until_idle(); });
+  std::size_t events = 0;
+  try {
+    events = scheduler.run_until(limit);
+  } catch (...) {
+    scheduler.set_post_event_hook(nullptr);
+    throw;
+  }
+  scheduler.set_post_event_hook(nullptr);
+  run_until_idle();
+  return events;
+}
+
+void ExecutionEngine::enable_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    impl_->tasks_posted = nullptr;
+    impl_->tasks_executed = nullptr;
+    impl_->queue_depth = nullptr;
+    impl_->lanes_gauge = nullptr;
+    return;
+  }
+  impl_->tasks_posted = registry->counter("perpos_exec_tasks_posted_total");
+  impl_->tasks_executed =
+      registry->counter("perpos_exec_tasks_executed_total");
+  impl_->queue_depth = registry->gauge("perpos_exec_queue_depth");
+  impl_->lanes_gauge = registry->gauge("perpos_exec_lanes");
+  registry->gauge("perpos_exec_workers")
+      ->set(static_cast<double>(worker_count_));
+  impl_->lanes_gauge->set(static_cast<double>(lane_count()));
+}
+
+std::uint64_t ExecutionEngine::executed() const noexcept {
+  return impl_->executed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ExecutionEngine::outstanding() const noexcept {
+  return impl_->outstanding.load(std::memory_order_relaxed);
+}
+
+}  // namespace perpos::exec

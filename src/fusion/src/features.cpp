@@ -8,7 +8,7 @@ namespace perpos::fusion {
 bool HdopFeature::produce(core::Sample& sample) {
   // Only react to the component's own sentence output, not to data added
   // by features (including this one — guards against recursion).
-  if (!sample.feature_origin.empty()) return true;
+  if (sample.feature_added()) return true;
   const auto* sentence = sample.payload.get<perpos::nmea::Sentence>();
   if (sentence == nullptr) return true;
 
@@ -25,7 +25,7 @@ bool HdopFeature::produce(core::Sample& sample) {
 }
 
 bool NumberOfSatellitesFeature::produce(core::Sample& sample) {
-  if (!sample.feature_origin.empty()) return true;
+  if (sample.feature_added()) return true;
   const auto* sentence = sample.payload.get<perpos::nmea::Sentence>();
   if (sentence == nullptr || !sentence->gga) return true;
 

@@ -54,6 +54,15 @@ class Counter {
 class Gauge {
  public:
   void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  /// Atomic increment (negative `d` decrements) — used for values tracked
+  /// from several threads at once, e.g. execution-engine queue depths.
+  void add(double d) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+    }
+  }
   double value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }

@@ -165,6 +165,17 @@ class DistributedDeployment {
   void remote_call(sim::HostId from, sim::HostId to,
                    std::function<void()> fn);
 
+  /// Execution-engine seam: route deliveries arriving at `host` (remoted
+  /// data, acks, remote_call actions) through `executor` instead of
+  /// running them on the caller. Pass the lane executor of the graph
+  /// region living on that host (exec::ExecutionEngine::executor); the
+  /// cross-host hop is then the *only* place a sample changes lanes, which
+  /// is what keeps per-lane execution deterministic (and what verify rule
+  /// PPV009 enforces statically). Pass nullptr to clear. The runtime layer
+  /// depends only on std::function here, not on perpos::exec.
+  void set_executor(sim::HostId host,
+                    std::function<void(std::function<void()>)> executor);
+
   /// Data messages sent from `from` to `to` (egress traffic).
   std::uint64_t data_messages(sim::HostId from, sim::HostId to) const;
   /// Control messages issued via remote_call from `from` to `to`.
@@ -196,6 +207,8 @@ class DistributedDeployment {
   sim::Network& network_;
   std::map<core::ComponentId, sim::HostId> assignment_;
   std::map<std::string, Route> routes_;
+  std::map<sim::HostId, std::function<void(std::function<void()>)>>
+      executors_;
   std::map<std::uint64_t, std::uint64_t> control_counts_;
   std::vector<sim::HostId> hosts_;
   std::uint64_t next_pair_ = 1;
@@ -203,6 +216,9 @@ class DistributedDeployment {
   RemoteLinkFactory link_factory_;
 
   void host_handler(sim::HostId from, const std::string& payload);
+  void run_on_host(sim::HostId host,
+                   const std::function<void(const std::string&)>& fn,
+                   std::string rest);
 };
 
 }  // namespace perpos::runtime

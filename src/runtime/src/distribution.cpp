@@ -119,9 +119,35 @@ void DistributedDeployment::host_handler(sim::HostId from,
   // Forward path (data) comes from the producer host; reverse path (acks)
   // from the consumer host. Anything else is misrouted and dropped.
   if (from == route.from) {
-    if (route.at_to) route.at_to(payload.substr(space + 1));
+    if (route.at_to) run_on_host(route.to, route.at_to, payload.substr(space + 1));
   } else if (from == route.to) {
-    if (route.at_from) route.at_from(payload.substr(space + 1));
+    if (route.at_from) {
+      run_on_host(route.from, route.at_from, payload.substr(space + 1));
+    }
+  }
+}
+
+void DistributedDeployment::run_on_host(
+    sim::HostId host, const std::function<void(const std::string&)>& fn,
+    std::string rest) {
+  // Delivery emits into the destination host's graph region; under an
+  // execution engine that must happen on the destination lane, not on the
+  // network thread. Without an executor, deliver inline (single-threaded
+  // simulation — the previous behaviour).
+  const auto it = executors_.find(host);
+  if (it == executors_.end() || !it->second) {
+    fn(rest);
+    return;
+  }
+  it->second([fn, rest = std::move(rest)] { fn(rest); });
+}
+
+void DistributedDeployment::set_executor(
+    sim::HostId host, std::function<void(std::function<void()>)> executor) {
+  if (executor) {
+    executors_[host] = std::move(executor);
+  } else {
+    executors_.erase(host);
   }
 }
 
@@ -136,7 +162,14 @@ void DistributedDeployment::remote_call(sim::HostId from, sim::HostId to,
   // against EnTracked's multi-second duty cycles, and synchronous execution
   // keeps runs deterministic.
   network_.send(from, to, "#CTL remote-call");
-  fn();
+  // Control actions run on the destination host's lane when one is
+  // configured, for the same reason as data deliveries above.
+  const auto it = executors_.find(to);
+  if (it != executors_.end() && it->second) {
+    it->second(std::move(fn));
+  } else {
+    fn();
+  }
 }
 
 std::uint64_t DistributedDeployment::data_messages(sim::HostId from,

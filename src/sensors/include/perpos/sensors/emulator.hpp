@@ -65,7 +65,7 @@ class TraceRecorderFeature final : public core::ComponentFeature {
   std::string_view name() const override { return "TraceRecorder"; }
 
   bool produce(core::Sample& sample) override {
-    if (sample.feature_origin.empty()) {
+    if (!sample.feature_added()) {
       trace_.add(sample.timestamp, sample.payload);
     }
     return true;

@@ -59,7 +59,7 @@ class FailureInjectionFeature final : public core::ComponentFeature {
   std::string_view name() const override { return "FailureInjection"; }
 
   bool produce(core::Sample& sample) override {
-    if (!sample.feature_origin.empty()) return true;
+    if (sample.feature_added()) return true;
     const auto* fragment = sample.payload.get<core::RawFragment>();
     if (fragment == nullptr) return true;
 

@@ -48,6 +48,15 @@ class Scheduler {
   SimTime now() const noexcept { return clock_.now(); }
   std::size_t pending() const noexcept { return queue_.size() - cancelled_; }
 
+  /// Hook run after every executed event (before the next one is popped).
+  /// exec::ExecutionEngine uses it as its simulation hand-off: the engine
+  /// drains all lanes to idle between events, so parallel side effects of
+  /// event N are complete — and deterministic — before event N+1 fires.
+  /// Pass nullptr to clear.
+  void set_post_event_hook(std::function<void()> hook) {
+    post_event_hook_ = std::move(hook);
+  }
+
  private:
   struct Entry {
     SimTime when;
@@ -64,6 +73,7 @@ class Scheduler {
   bool is_cancelled(EventId id) const;
 
   SimClock clock_;
+  std::function<void()> post_event_hook_;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   std::vector<EventId> cancelled_ids_;
   std::size_t cancelled_ = 0;

@@ -40,6 +40,7 @@ bool Scheduler::step() {
     }
     clock_.advance_to(entry.when);
     entry.action();
+    if (post_event_hook_) post_event_hook_();
     return true;
   }
   return false;

@@ -25,6 +25,7 @@
 ///   PPV006  cycle                   error    directed cycle in the process
 ///   PPV007  frame-mismatch          error    datum/frame mixup on an edge
 ///   PPV008  uncodable-remote-edge   error    cut edge without codec coverage
+///   PPV009  cross-lane-edge         error    edge between execution lanes
 
 namespace perpos::verify {
 
@@ -37,6 +38,14 @@ struct Options {
   /// Wire-codability predicate for PPV008. When unset, verify() installs
   /// the runtime payload codec (runtime::is_encodable_spec).
   std::function<bool(const core::DataSpec&)> encodable;
+
+  /// Execution-lane assignment: component -> lane label, mirroring how
+  /// the deployment maps graphs to exec::ExecutionEngine lanes. Empty
+  /// label / missing entry = unassigned. Feeds the lane-affinity rule
+  /// (PPV009): a direct edge between components on different lanes means
+  /// two threads would drive one graph — cross-lane data must flow
+  /// through DistributedDeployment links instead.
+  std::map<core::ComponentId, std::string> lanes;
 
   /// Rule ids to skip (suppressions), e.g. {"PPV005"}.
   std::vector<std::string> disabled_rules;
@@ -73,7 +82,7 @@ class RuleRegistry {
   /// Run every rule not disabled in `options` over `model`.
   Report run(const GraphModel& model, const Options& options) const;
 
-  /// The built-in catalog (PPV000..PPV008), constructed once.
+  /// The built-in catalog (PPV000..PPV009), constructed once.
   static const RuleRegistry& default_catalog();
 
  private:

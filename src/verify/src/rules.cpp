@@ -497,6 +497,59 @@ class RemotingBoundaryRule final : public Rule {
   }
 };
 
+// --- PPV009 ----------------------------------------------------------------
+class CrossLaneEdgeRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "PPV009"; }
+  std::string_view name() const noexcept override { return "cross-lane-edge"; }
+  std::string_view description() const noexcept override {
+    return "a direct edge between components assigned to different "
+           "execution lanes";
+  }
+  Severity default_severity() const noexcept override {
+    return Severity::kError;
+  }
+
+  void check(const GraphModel& model, const Options& options,
+             Report& report) const override {
+    if (options.lanes.empty()) return;  // No lane plan: nothing to say.
+    for (const EdgeModel& e : model.edges) {
+      const NodeModel* p = model.node(e.producer);
+      const NodeModel* c = model.node(e.consumer);
+      if (p == nullptr || c == nullptr) continue;
+      const std::string_view p_lane = lane_of(options, e.producer);
+      const std::string_view c_lane = lane_of(options, e.consumer);
+      if (p_lane.empty() || c_lane.empty() || p_lane == c_lane) continue;
+      // A remoting endpoint on the edge means the lane cut is mediated by
+      // a DistributedDeployment link (the sample changes lanes inside the
+      // link's delivery executor, not through this synchronous edge).
+      if (is_remoting(*p) || is_remoting(*c)) continue;
+      report.diagnostics.push_back(at_edge(
+          std::string(id()), Severity::kError, *p, *c,
+          "edge " + model.label(p->id) + " (lane '" + std::string(p_lane) +
+              "') -> " + model.label(c->id) + " (lane '" +
+              std::string(c_lane) +
+              "') delivers synchronously across execution lanes; two "
+              "engine workers would drive one graph concurrently, "
+              "breaking the per-lane determinism contract",
+          "assign both components to one lane, or cut the edge with a "
+          "DistributedDeployment link so the hop is posted to the "
+          "destination lane"));
+    }
+  }
+
+ private:
+  static std::string_view lane_of(const Options& options,
+                                  core::ComponentId id) {
+    const auto it = options.lanes.find(id);
+    return it == options.lanes.end() ? std::string_view{}
+                                     : std::string_view(it->second);
+  }
+  static bool is_remoting(const NodeModel& n) {
+    return n.kind == "RemoteEgress" || n.kind == "RemoteIngress";
+  }
+};
+
 }  // namespace
 
 std::string_view severity_name(Severity severity) noexcept {
@@ -574,6 +627,7 @@ const RuleRegistry& RuleRegistry::default_catalog() {
     r->add(std::make_unique<CycleRule>());
     r->add(std::make_unique<FrameMismatchRule>());
     r->add(std::make_unique<RemotingBoundaryRule>());
+    r->add(std::make_unique<CrossLaneEdgeRule>());
     return r;
   }();
   return *registry;

@@ -84,7 +84,7 @@ class ExtraAdder final : public core::ComponentFeature {
   static constexpr const char* kName = "ExtraAdder";
   std::string_view name() const override { return kName; }
   bool produce(Sample& s) override {
-    if (!s.feature_origin.empty()) return true;  // Skip our own additions.
+    if (s.feature_added()) return true;  // Skip our own additions.
     context().emit(Payload::make(Extra{s.payload.as<Reading>().value + 1000}));
     return true;
   }
@@ -257,7 +257,7 @@ TEST(Features, AddedDataCarriesFeatureOrigin) {
           core::require<Reading>(), core::require<Extra>(ExtraAdder::kName)},
       std::vector<core::DataSpec>{},
       [&](const Sample& s, const core::ComponentContext&) {
-        origins.push_back(s.feature_origin);
+        origins.emplace_back(s.feature_origin());
       }));
   g.connect(a, z);
   source->push(Reading{1});

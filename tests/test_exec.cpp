@@ -1,0 +1,318 @@
+// Tests for the parallel execution engine (perpos::exec) and for the
+// hot-path properties the engine relies on in core:
+//  - lane serialization and post-order execution,
+//  - per-lane determinism across worker counts (byte-identical per-graph
+//    delivery sequences with 0, 1 and 8 workers),
+//  - the deep-pipeline regression (10k-component chain must not overflow
+//    the call stack now that dispatch is an explicit work queue),
+//  - multi-lane chaos: concurrent lane creation / posting / teardown of
+//    graphs while other lanes are draining (run under TSan in CI),
+//  - the scheduler hand-off (drive() drains lanes between events),
+//  - emit_batch semantics (identical to N single emissions).
+
+#include "perpos/core/components.hpp"
+#include "perpos/core/graph.hpp"
+#include "perpos/exec/engine.hpp"
+#include "perpos/sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace core = perpos::core;
+namespace exec = perpos::exec;
+namespace sim = perpos::sim;
+
+namespace {
+
+struct Tick {
+  int value = 0;
+};
+
+std::shared_ptr<core::SourceComponent> tick_source() {
+  return std::make_shared<core::SourceComponent>(
+      "Src", std::vector<core::DataSpec>{core::provide<Tick>()});
+}
+
+std::shared_ptr<core::LambdaComponent> add_one_stage() {
+  return std::make_shared<core::LambdaComponent>(
+      "AddOne", std::vector<core::InputRequirement>{core::require<Tick>()},
+      std::vector<core::DataSpec>{core::provide<Tick>()},
+      [](const core::Sample& s, const core::ComponentContext& ctx) {
+        ctx.emit(core::Payload::make(Tick{s.payload.get<Tick>()->value + 1}));
+      });
+}
+
+/// One single-graph positioning process: Src -> AddOne^depth -> Sink,
+/// recording every delivered value into a transcript string.
+struct GraphRig {
+  explicit GraphRig(std::size_t depth) {
+    source_id = graph.add(tick_source());
+    core::ComponentId prev = source_id;
+    for (std::size_t i = 0; i < depth; ++i) {
+      const auto stage = graph.add(add_one_stage());
+      graph.connect(prev, stage);
+      prev = stage;
+    }
+    auto sink = std::make_shared<core::ApplicationSink>(
+        "Sink", std::vector<core::InputRequirement>{core::require<Tick>()},
+        [this](const core::Sample& s) {
+          transcript << s.payload.get<Tick>()->value << ':' << s.sequence
+                     << ';';
+        });
+    sink_id = graph.add(sink);
+    graph.connect(prev, sink_id);
+    source = graph.component_as<core::SourceComponent>(source_id);
+  }
+
+  core::ProcessingGraph graph;
+  core::ComponentId source_id = core::kInvalidComponent;
+  core::ComponentId sink_id = core::kInvalidComponent;
+  core::SourceComponent* source = nullptr;
+  std::ostringstream transcript;
+};
+
+}  // namespace
+
+// --- Engine basics -----------------------------------------------------------
+
+TEST(Engine, InlineModeRunsTasksOnRunUntilIdle) {
+  exec::ExecutionEngine engine(0);
+  const auto lane = engine.create_lane("a");
+  int ran = 0;
+  engine.post(lane, [&] { ++ran; });
+  engine.post(lane, [&] { ++ran; });
+  EXPECT_EQ(ran, 0);  // Inline mode queues until drained.
+  engine.run_until_idle();
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(engine.executed(), 2u);
+  EXPECT_EQ(engine.outstanding(), 0u);
+}
+
+TEST(Engine, LaneTasksRunInPostOrder) {
+  for (const std::size_t workers : {std::size_t{0}, std::size_t{4}}) {
+    exec::ExecutionEngine engine(workers);
+    const auto lane = engine.create_lane();
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i) {
+      engine.post(lane, [&order, i] { order.push_back(i); });
+    }
+    engine.run_until_idle();
+    ASSERT_EQ(order.size(), 100u) << "workers=" << workers;
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(Engine, TasksPostedFromTasksAreExecuted) {
+  exec::ExecutionEngine engine(2);
+  const auto lane = engine.create_lane();
+  std::atomic<int> ran{0};
+  engine.post(lane, [&] {
+    ++ran;
+    engine.post(lane, [&] {
+      ++ran;
+      engine.post(lane, [&] { ++ran; });
+    });
+  });
+  engine.run_until_idle();
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(Engine, LanesNeverRunConcurrentlyWithThemselves) {
+  exec::ExecutionEngine engine(8);
+  const auto lane = engine.create_lane();
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlapped{false};
+  for (int i = 0; i < 500; ++i) {
+    engine.post(lane, [&] {
+      if (inside.fetch_add(1) != 0) overlapped = true;
+      inside.fetch_sub(1);
+    });
+  }
+  engine.run_until_idle();
+  EXPECT_FALSE(overlapped.load());
+}
+
+TEST(Engine, ExecutorPostsWithoutLookup) {
+  exec::ExecutionEngine engine(0);
+  const auto lane = engine.create_lane();
+  auto executor = engine.executor(lane);
+  int ran = 0;
+  executor([&] { ++ran; });
+  engine.run_until_idle();
+  EXPECT_EQ(ran, 1);
+  EXPECT_THROW(engine.executor(42), std::invalid_argument);
+  EXPECT_THROW(engine.post(42, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, MetricsReflectActivity) {
+  exec::ExecutionEngine engine(0);
+  perpos::obs::MetricsRegistry registry;
+  engine.enable_metrics(&registry);
+  const auto lane = engine.create_lane("metered");
+  engine.post(lane, [] {});
+  engine.post(lane, [] {});
+  engine.run_until_idle();
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.find_counter("perpos_exec_tasks_posted_total")->value, 2u);
+  EXPECT_EQ(snap.find_counter("perpos_exec_tasks_executed_total")->value, 2u);
+  EXPECT_EQ(snap.find_gauge("perpos_exec_queue_depth")->value, 0.0);
+  EXPECT_EQ(snap.find_gauge("perpos_exec_lanes")->value, 1.0);
+}
+
+// --- Determinism across worker counts ---------------------------------------
+
+TEST(Determinism, PerGraphTranscriptsAreIdenticalForAnyWorkerCount) {
+  constexpr std::size_t kGraphs = 6;
+  constexpr std::size_t kDepth = 8;
+  constexpr int kSamples = 40;
+
+  const auto run = [&](std::size_t workers) {
+    std::vector<std::unique_ptr<GraphRig>> rigs;
+    for (std::size_t g = 0; g < kGraphs; ++g) {
+      rigs.push_back(std::make_unique<GraphRig>(kDepth));
+    }
+    exec::ExecutionEngine engine(workers);
+    std::vector<std::function<void(exec::Task)>> lanes;
+    for (std::size_t g = 0; g < kGraphs; ++g) {
+      lanes.push_back(engine.executor(engine.create_lane()));
+    }
+    for (int i = 0; i < kSamples; ++i) {
+      for (std::size_t g = 0; g < kGraphs; ++g) {
+        GraphRig* rig = rigs[g].get();
+        lanes[g]([rig, i] { rig->source->push(Tick{i}); });
+      }
+    }
+    engine.run_until_idle();
+    std::vector<std::string> transcripts;
+    for (const auto& rig : rigs) transcripts.push_back(rig->transcript.str());
+    return transcripts;
+  };
+
+  const auto baseline = run(0);
+  for (const auto& t : baseline) EXPECT_FALSE(t.empty());
+  EXPECT_EQ(run(1), baseline);
+  EXPECT_EQ(run(8), baseline);
+}
+
+// --- Deep pipelines ----------------------------------------------------------
+
+TEST(DeepPipeline, TenThousandStageChainDoesNotOverflowTheStack) {
+  // With the old recursive dispatcher this nested ~6 frames per stage and
+  // blew the 8 MB default stack around a few thousand stages; the explicit
+  // work queue makes depth a heap concern only.
+  GraphRig rig(10'000);
+  rig.source->push(Tick{0});
+  const std::string t = rig.transcript.str();
+  EXPECT_EQ(t, "10000:1;");
+  rig.source->push(Tick{100});
+  // Sequence numbers are per-emitting-component and monotone, so the second
+  // traversal arrives at the sink as sequence 2.
+  EXPECT_EQ(rig.transcript.str(), "10000:1;10100:2;");
+}
+
+// --- Chaos: concurrent deploy/teardown while lanes drain ---------------------
+
+TEST(Chaos, GraphTeardownAndLaneChurnWhileOtherLanesDrain) {
+  // Lanes hammer their own graphs while the main thread concurrently
+  // creates new lanes, posts to them, and tears whole graphs down (each
+  // teardown posted to the owning lane — same rule a deployment follows).
+  // TSan in CI checks the engine's synchronization; the assertions here
+  // check nothing is lost.
+  exec::ExecutionEngine engine(4);
+  constexpr int kChurnRounds = 50;
+  std::atomic<std::uint64_t> delivered{0};
+
+  // Long-lived lanes draining steadily.
+  std::vector<std::unique_ptr<GraphRig>> steady;
+  std::vector<std::function<void(exec::Task)>> steady_lanes;
+  for (int g = 0; g < 3; ++g) {
+    steady.push_back(std::make_unique<GraphRig>(4));
+    steady_lanes.push_back(engine.executor(engine.create_lane()));
+  }
+  for (int i = 0; i < 200; ++i) {
+    for (std::size_t g = 0; g < steady.size(); ++g) {
+      GraphRig* rig = steady[g].get();
+      steady_lanes[g]([rig, &delivered] {
+        rig->source->push(Tick{1});
+        ++delivered;
+      });
+    }
+  }
+
+  // Churn: bring up a graph on a fresh lane, feed it, tear it down — all
+  // while the steady lanes are still draining.
+  for (int round = 0; round < kChurnRounds; ++round) {
+    auto rig = std::make_shared<GraphRig>(3);
+    auto lane = engine.executor(engine.create_lane());
+    for (int i = 0; i < 20; ++i) {
+      lane([rig, &delivered] {
+        rig->source->push(Tick{1});
+        ++delivered;
+      });
+    }
+    // Teardown on the owning lane: the shared_ptr dies inside the task,
+    // destroying the graph (running every on_teardown) while other lanes
+    // are mid-drain.
+    lane([rig = std::move(rig)]() mutable { rig.reset(); });
+  }
+
+  engine.run_until_idle();
+  EXPECT_EQ(delivered.load(), 3u * 200u + kChurnRounds * 20u);
+  for (const auto& rig : steady) {
+    EXPECT_EQ(rig->graph.deliveries(), 200u * 5u);  // 4 stages + sink
+  }
+}
+
+// --- Scheduler hand-off ------------------------------------------------------
+
+TEST(Drive, EngineDrainsLanesBetweenSchedulerEvents) {
+  exec::ExecutionEngine engine(4);
+  const auto lane = engine.create_lane();
+  auto executor = engine.executor(lane);
+  sim::Scheduler scheduler;
+  std::vector<std::string> log;  // Written only from `lane` or post-drain.
+  for (int i = 0; i < 5; ++i) {
+    scheduler.schedule_after(sim::SimTime::from_seconds(i + 1.0),
+                             [&, i] {
+                               executor([&log, i] {
+                                 log.push_back("task" + std::to_string(i));
+                               });
+                             });
+  }
+  const std::size_t events = engine.drive(scheduler);
+  EXPECT_EQ(events, 5u);
+  // drive() drains to idle after every event, so each event's task lands
+  // before the next event fires — in event order.
+  ASSERT_EQ(log.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(log[i], "task" + std::to_string(i));
+  // The hook is restored: later scheduler use does not touch the engine.
+  scheduler.schedule_after(sim::SimTime::from_seconds(1.0), [] {});
+  EXPECT_EQ(scheduler.run_all(), 1u);
+}
+
+// --- emit_batch --------------------------------------------------------------
+
+TEST(EmitBatch, MatchesSequentialEmissionExactly) {
+  GraphRig single(3);
+  for (int i = 0; i < 10; ++i) single.source->push(Tick{i});
+
+  GraphRig batched(3);
+  std::vector<Tick> burst;
+  for (int i = 0; i < 10; ++i) burst.push_back(Tick{i});
+  batched.source->push_batch(std::move(burst));
+
+  EXPECT_EQ(batched.transcript.str(), single.transcript.str());
+  EXPECT_EQ(batched.graph.deliveries(), single.graph.deliveries());
+}
+
+TEST(EmitBatch, EmptyBatchIsANoOp) {
+  GraphRig rig(1);
+  rig.source->push_batch(std::vector<Tick>{});
+  EXPECT_TRUE(rig.transcript.str().empty());
+}

@@ -87,10 +87,10 @@ vfy::NodeModel node(core::ComponentId id, std::string name,
 
 // --- Catalog ---------------------------------------------------------------
 
-TEST(Catalog, NineRulesWithStableIds) {
+TEST(Catalog, TenRulesWithStableIds) {
   const vfy::RuleRegistry& catalog = vfy::RuleRegistry::default_catalog();
-  ASSERT_EQ(catalog.rules().size(), 9u);
-  for (int i = 0; i <= 8; ++i) {
+  ASSERT_EQ(catalog.rules().size(), 10u);
+  for (int i = 0; i <= 9; ++i) {
     const std::string id = "PPV00" + std::to_string(i);
     const vfy::Rule* rule = catalog.find(id);
     ASSERT_NE(rule, nullptr) << id;
@@ -431,6 +431,53 @@ TEST(RemotingBoundary, CoLocatedUncodableEdgeIsClean) {
   vfy::Options options;
   options.hosts = {{src, "device"}, {sink, "device"}};
   EXPECT_TRUE(vfy::verify(g, options).by_rule("PPV008").empty());
+}
+
+// --- PPV009 cross-lane edges -------------------------------------------------
+
+TEST(CrossLane, SynchronousEdgeAcrossLanesIsError) {
+  core::ProcessingGraph g;
+  const auto src = g.add(make_source<V0>());
+  const auto sink = g.add(make_sink<V0>());
+  g.connect(src, sink);
+  vfy::Options options;
+  options.lanes = {{src, "lane-a"}, {sink, "lane-b"}};
+  const vfy::Report report = vfy::verify(g, options);
+  ASSERT_EQ(report.by_rule("PPV009").size(), 1u);
+  EXPECT_EQ(report.by_rule("PPV009")[0]->severity, vfy::Severity::kError);
+  EXPECT_NE(report.by_rule("PPV009")[0]->message.find("lane-a"),
+            std::string::npos);
+}
+
+TEST(CrossLane, SameLaneAndUnassignedEdgesAreClean) {
+  core::ProcessingGraph g;
+  const auto src = g.add(make_source<V0>());
+  const auto mid = g.add(make_sink<V0>());
+  g.connect(src, mid);
+  // Same lane: clean.
+  vfy::Options options;
+  options.lanes = {{src, "lane-a"}, {mid, "lane-a"}};
+  EXPECT_TRUE(vfy::verify(g, options).by_rule("PPV009").empty());
+  // One endpoint unassigned: clean (no lane plan claim to contradict).
+  options.lanes = {{src, "lane-a"}};
+  EXPECT_TRUE(vfy::verify(g, options).by_rule("PPV009").empty());
+  // No plan at all: rule stays silent.
+  options.lanes = {};
+  EXPECT_TRUE(vfy::verify(g, options).by_rule("PPV009").empty());
+}
+
+TEST(CrossLane, RemotingEndpointsExemptTheLaneCut) {
+  // A deployed link's edges (producer -> RemoteEgress on lane A, and
+  // RemoteIngress -> consumer on lane B) never cross lanes themselves; but
+  // a model snapshotted mid-plan may still pin an egress and its upstream
+  // on different lanes — the link mediates that hop, so no finding.
+  vfy::GraphModel model;
+  model.nodes.push_back(node(0, "Src", {}, {core::provide<V0>()}));
+  model.nodes.push_back(node(1, "RemoteEgress", {core::require_any()}, {}));
+  model.edges.push_back({0, 1, false});
+  vfy::Options options;
+  options.lanes = {{0u, "lane-a"}, {1u, "lane-b"}};
+  EXPECT_TRUE(vfy::verify_model(model, options).by_rule("PPV009").empty());
 }
 
 // --- Strict deployment (runtime integration of the same check) ---------------
