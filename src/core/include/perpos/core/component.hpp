@@ -81,8 +81,15 @@ class ComponentContext {
   ProcessingGraph* graph() const noexcept { return graph_; }
 
   /// Emit `payload` from this component's output port. The graph stamps
-  /// logical time and provenance and delivers to accepting consumers
-  /// synchronously.
+  /// logical time and provenance and delivers to accepting consumers.
+  ///
+  /// Called outside dispatch (a source pushing), every transitive
+  /// delivery completes before emit() returns. Called during dispatch
+  /// (nested emit from on_input or a feature hook), the emission is
+  /// queued and delivered after the current on_input returns, in the old
+  /// recursive order (emissions in emit order, each subtree fully
+  /// propagated before the next) — so state mutated by consumers is NOT
+  /// yet visible when a nested emit() returns.
   void emit(Payload payload) const;
 
   /// Emit a burst of payloads with identical semantics to N emit() calls

@@ -43,6 +43,13 @@ class FeatureContext {
 
   /// Emit `payload` from the host component's output port, tagged as
   /// originating from this feature ("Adding Data" augmentation).
+  ///
+  /// An emission made from a consume() hook is queued with the delivery
+  /// that triggered it: it drains right after the host's on_input returns,
+  /// before the host's own on_input emissions and before any pending
+  /// delivery to the emitter's other consumers. An emission from produce()
+  /// propagates before the sample being produced (the consumer declaring
+  /// the feature's data sees the added sample first).
   void emit(Payload payload) const;
 
  private:

@@ -253,10 +253,12 @@ class ProcessingGraph {
   std::size_t live_count_ = 0;
   bool dispatching_ = false;
   std::vector<PendingDelivery> dispatch_stack_;
-  /// Stack index where the current on_input (or batch) frame began. Nested
-  /// emissions insert their delivery blocks here, which makes the LIFO
-  /// drain reproduce the old recursive dispatch order exactly (emissions in
-  /// emit order, each subtree fully propagated before the next).
+  /// Stack index where the current dispatch frame began — a frame spans
+  /// one whole delivery (consume hooks + on_input) or one emit_batch
+  /// burst. Nested emissions insert their delivery blocks here, which
+  /// makes the LIFO drain reproduce the old recursive dispatch order
+  /// (consume-hook emissions before on_input emissions, emissions in emit
+  /// order, each subtree fully propagated before the next).
   std::size_t current_frame_base_ = 0;
   /// Recycles the vector<Sample> buffers behind Sample::inputs; shared so
   /// buffers released after graph death (a sink kept the sample) are

@@ -680,12 +680,14 @@ void ProcessingGraph::emit_batch_from(ComponentId producer,
   if (payloads.empty()) return;
   Entry& e = entry(producer);
 
+  // The cached obs pointer and flags cannot go stale mid-burst: toggling
+  // observability is rejected while dispatching_ is set (and it is set for
+  // the whole batch, below). The emitted handle is still re-resolved at
+  // inc time rather than cached across the hooks, so the accounting stays
+  // correct even if that guard is ever relaxed.
   Obs* const obs = obs_.get();
   const bool timing = obs != nullptr && obs->config.timing;
   const bool metrics = obs != nullptr && obs->config.metrics;
-  // Resolve metric handles once for the whole burst.
-  obs::Counter* emitted_counter =
-      metrics ? obs->handles(e, producer).emitted : nullptr;
 
   // Treat the burst as one dispatch frame: deliveries accumulate on the
   // work stack and drain once at the end, in exactly the order N
@@ -746,8 +748,8 @@ void ProcessingGraph::emit_batch_from(ComponentId producer,
     }
   } catch (...) {
     dispatching_ = was_dispatching;
-    if (emitted_counter != nullptr && emitted_in_batch > 0) {
-      emitted_counter->inc(emitted_in_batch);
+    if (emitted_in_batch > 0 && obs_ != nullptr && obs_->config.metrics) {
+      obs_->handles(e, producer).emitted->inc(emitted_in_batch);
     }
     if (!was_dispatching) {
       dispatch_stack_.clear();
@@ -756,8 +758,8 @@ void ProcessingGraph::emit_batch_from(ComponentId producer,
     throw;
   }
   dispatching_ = was_dispatching;
-  if (emitted_counter != nullptr && emitted_in_batch > 0) {
-    emitted_counter->inc(emitted_in_batch);
+  if (emitted_in_batch > 0 && obs_ != nullptr && obs_->config.metrics) {
+    obs_->handles(e, producer).emitted->inc(emitted_in_batch);
   }
   if (!was_dispatching) drain_dispatch_stack();
 }
@@ -786,6 +788,18 @@ void ProcessingGraph::deliver(Sample&& sample, ComponentId consumer) {
     return;
   }
 
+  // One dispatch frame covers everything this delivery triggers: emissions
+  // made by consume hooks and by on_input both insert their delivery
+  // blocks at this base, so they drain immediately after this delivery —
+  // before any previously-pending delivery (e.g. to the emitter's other
+  // consumers). Consume-hook emissions enqueue first and therefore pop
+  // first (later blocks at the same base land below earlier ones), then
+  // on_input emissions, each in emit order — the relative order the old
+  // recursive dispatcher produced, which ran hook emissions before
+  // on_input even started.
+  const std::size_t saved_frame_base = current_frame_base_;
+  current_frame_base_ = dispatch_stack_.size();
+
   // Consume hooks of the receiving component's features. The sample is
   // owned by this delivery (the emitter queued one copy per consumer), so
   // hooks mutate it in place — no defensive copy.
@@ -800,10 +814,14 @@ void ProcessingGraph::deliver(Sample&& sample, ComponentId consumer) {
       keep = f->consume(sample);
     }
     if (!keep) {
+      // Emissions already made by earlier hooks stay queued (the recursive
+      // dispatcher had delivered them before the veto, too).
       if (metrics) obs->handles(c, consumer).consume_vetoed->inc();
+      current_frame_base_ = saved_frame_base;
       return;
     }
     if (sample.payload.type() != original_type) {
+      current_frame_base_ = saved_frame_base;
       throw std::logic_error("feature '" + std::string(f->name()) +
                              "' changed the data type in consume()");
     }
@@ -842,9 +860,7 @@ void ProcessingGraph::deliver(Sample&& sample, ComponentId consumer) {
   const double t0 = timing ? now_wall_us() : 0.0;
 
   const Sample* saved = c.current_input;
-  const std::size_t saved_frame_base = current_frame_base_;
   c.current_input = &sample;
-  current_frame_base_ = dispatch_stack_.size();
   try {
     c.component->on_input(sample);
   } catch (...) {

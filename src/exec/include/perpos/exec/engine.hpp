@@ -67,6 +67,13 @@ class ExecutionEngine {
   /// Enqueue `task` on `lane`. Tasks of one lane run in post order, one at
   /// a time; tasks of different lanes run concurrently. Thread-safe.
   /// Throws std::invalid_argument for unknown lanes.
+  ///
+  /// Tasks may throw (graph components are allowed to throw from
+  /// on_input): the exception is captured on the worker — it never
+  /// terminates the process or wedges the lane, and subsequent tasks of
+  /// the lane still run. The first captured exception is rethrown from
+  /// the next run_until_idle(); later ones are counted in failed() but
+  /// dropped.
   void post(LaneId lane, Task task);
 
   /// A reusable single-lane executor: calling it posts to `lane` without
@@ -77,6 +84,10 @@ class ExecutionEngine {
   /// Block until every posted task (including tasks posted by running
   /// tasks) has finished. In inline mode this is what runs the tasks.
   /// Not reentrant: do not call from inside a task.
+  ///
+  /// If any task threw since the previous call, the first captured
+  /// exception is rethrown here — after the engine reached idle, so the
+  /// remaining tasks have still run and the engine stays usable.
   void run_until_idle();
 
   /// Drive a discrete-event simulation through the engine: runs
@@ -95,10 +106,12 @@ class ExecutionEngine {
   /// must outlive the engine or the next enable_metrics call.
   void enable_metrics(obs::MetricsRegistry* registry);
 
-  /// Tasks fully executed so far (across all lanes).
+  /// Tasks run so far (across all lanes), including tasks that threw.
   std::uint64_t executed() const noexcept;
   /// Tasks posted but not yet finished.
   std::uint64_t outstanding() const noexcept;
+  /// Tasks that exited with an exception.
+  std::uint64_t failed() const noexcept;
 
  private:
   struct Lane;

@@ -43,10 +43,19 @@ struct ExecutionEngine::Impl {
   std::condition_variable idle_cv;
 
   std::atomic<std::uint64_t> executed{0};
+  std::atomic<std::uint64_t> failed{0};
+
+  // First exception thrown by a task since the last run_until_idle().
+  // Captured in drain() so a throwing task can neither abort the process
+  // (std::terminate on a worker thread) nor wedge its lane; rethrown to
+  // the caller at the next idle point.
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
 
   // Optional metrics (set while idle; read from workers).
   obs::Counter* tasks_posted = nullptr;
   obs::Counter* tasks_executed = nullptr;
+  obs::Counter* tasks_failed = nullptr;
   obs::Gauge* queue_depth = nullptr;
   obs::Gauge* lanes_gauge = nullptr;
 
@@ -74,7 +83,20 @@ struct ExecutionEngine::Impl {
         task = std::move(lane->queue.front());
         lane->queue.pop_front();
       }
-      task();
+      // Graph components may throw from on_input; a lane task is therefore
+      // allowed to throw. Capture the exception (first one wins — later
+      // ones are counted but dropped) and keep the lane draining, then run
+      // the finish bookkeeping either way so run_until_idle() cannot hang
+      // on a task that errored. The error is stored before finish_one() so
+      // an idle waiter always observes it.
+      try {
+        task();
+      } catch (...) {
+        failed.fetch_add(1, std::memory_order_relaxed);
+        if (tasks_failed != nullptr) tasks_failed->inc();
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
       executed.fetch_add(1, std::memory_order_relaxed);
       if (tasks_executed != nullptr) tasks_executed->inc();
       if (queue_depth != nullptr) queue_depth->add(-1.0);
@@ -92,6 +114,17 @@ struct ExecutionEngine::Impl {
       std::lock_guard<std::mutex> lock(idle_mutex);
       idle_cv.notify_all();
     }
+  }
+
+  /// Rethrow (and clear) the first task exception captured since the last
+  /// call. Called from run_until_idle() once the engine is idle.
+  void rethrow_pending_error() {
+    std::exception_ptr error;
+    {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      error = std::exchange(first_error, nullptr);
+    }
+    if (error) std::rethrow_exception(error);
   }
 
   void worker_loop() {
@@ -188,12 +221,16 @@ void ExecutionEngine::run_until_idle() {
       }
       impl_->drain(lane);
     }
+    impl_->rethrow_pending_error();
     return;
   }
-  std::unique_lock<std::mutex> lock(impl_->idle_mutex);
-  impl_->idle_cv.wait(lock, [&] {
-    return impl_->outstanding.load(std::memory_order_acquire) == 0;
-  });
+  {
+    std::unique_lock<std::mutex> lock(impl_->idle_mutex);
+    impl_->idle_cv.wait(lock, [&] {
+      return impl_->outstanding.load(std::memory_order_acquire) == 0;
+    });
+  }
+  impl_->rethrow_pending_error();
 }
 
 std::size_t ExecutionEngine::drive(sim::Scheduler& scheduler) {
@@ -229,6 +266,7 @@ void ExecutionEngine::enable_metrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     impl_->tasks_posted = nullptr;
     impl_->tasks_executed = nullptr;
+    impl_->tasks_failed = nullptr;
     impl_->queue_depth = nullptr;
     impl_->lanes_gauge = nullptr;
     return;
@@ -236,6 +274,7 @@ void ExecutionEngine::enable_metrics(obs::MetricsRegistry* registry) {
   impl_->tasks_posted = registry->counter("perpos_exec_tasks_posted_total");
   impl_->tasks_executed =
       registry->counter("perpos_exec_tasks_executed_total");
+  impl_->tasks_failed = registry->counter("perpos_exec_tasks_failed_total");
   impl_->queue_depth = registry->gauge("perpos_exec_queue_depth");
   impl_->lanes_gauge = registry->gauge("perpos_exec_lanes");
   registry->gauge("perpos_exec_workers")
@@ -249,6 +288,10 @@ std::uint64_t ExecutionEngine::executed() const noexcept {
 
 std::uint64_t ExecutionEngine::outstanding() const noexcept {
   return impl_->outstanding.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ExecutionEngine::failed() const noexcept {
+  return impl_->failed.load(std::memory_order_relaxed);
 }
 
 }  // namespace perpos::exec

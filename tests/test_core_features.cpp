@@ -93,6 +93,21 @@ class ExtraAdder final : public core::ComponentFeature {
   }
 };
 
+/// Adds an Extra data element from consume(): "adding data" triggered on
+/// the consuming side.
+class ExtraOnConsume final : public core::ComponentFeature {
+ public:
+  static constexpr const char* kName = "ExtraOnConsume";
+  std::string_view name() const override { return kName; }
+  bool consume(Sample& s) override {
+    context().emit(Payload::make(Extra{s.payload.as<Reading>().value + 500}));
+    return true;
+  }
+  std::vector<const core::TypeInfo*> added_types() const override {
+    return {core::type_of<Extra>()};
+  }
+};
+
 /// A state-exposing feature: the "component appears to implement the
 /// feature's functionality" augmentation.
 class ThresholdState final : public core::ComponentFeature {
@@ -264,6 +279,52 @@ TEST(Features, AddedDataCarriesFeatureOrigin) {
   ASSERT_EQ(origins.size(), 2u);
   EXPECT_EQ(origins[0], ExtraAdder::kName);  // Added data arrives first.
   EXPECT_EQ(origins[1], "");
+}
+
+TEST(Features, ConsumeHookEmissionDrainsWithItsDelivery) {
+  // Pins the dispatch order for emissions made inside a consume() hook:
+  // they belong to the delivery that triggered them and drain right after
+  // that delivery's on_input returns — before the host's own on_input
+  // emissions and before pending deliveries to the emitter's other
+  // consumers. (The recursive dispatcher delivered them inside the hook
+  // call; the work-stack dispatcher defers past on_input but keeps the
+  // same relative order.)
+  core::ProcessingGraph g;
+  std::vector<std::string> order;
+
+  auto source = make_source();
+  const auto a = g.add(source);
+  const auto mid = g.add(std::make_shared<core::LambdaComponent>(
+      "Mid", std::vector<core::InputRequirement>{core::require<Reading>()},
+      std::vector<core::DataSpec>{core::provide<Reading>()},
+      [&](const Sample& s, const core::ComponentContext& ctx) {
+        order.push_back("mid");
+        ctx.emit(s.payload);
+      }));
+  const auto sibling = g.add(std::make_shared<core::ApplicationSink>(
+      "Sibling", std::vector<core::InputRequirement>{core::require<Reading>()},
+      [&](const Sample&) { order.push_back("sibling"); }));
+  g.connect(a, mid);
+  g.connect(a, sibling);
+
+  g.attach_feature(mid, std::make_shared<ExtraOnConsume>());
+  const auto extra_sink = g.add(std::make_shared<core::ApplicationSink>(
+      "ExtraSink",
+      std::vector<core::InputRequirement>{
+          core::require<Extra>(ExtraOnConsume::kName)},
+      [&](const Sample& s) {
+        order.push_back("extra:" + std::to_string(s.payload.as<Extra>().value));
+      }));
+  const auto reading_sink = g.add(std::make_shared<core::ApplicationSink>(
+      "ReadingSink",
+      std::vector<core::InputRequirement>{core::require<Reading>()},
+      [&](const Sample&) { order.push_back("reading"); }));
+  g.connect(mid, extra_sink);
+  g.connect(mid, reading_sink);
+
+  source->push(Reading{1});
+  EXPECT_EQ(order, (std::vector<std::string>{"mid", "extra:501", "reading",
+                                             "sibling"}));
 }
 
 TEST(Features, AddedCapabilityVisibleInGraph) {

@@ -20,6 +20,7 @@
 #include <atomic>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -163,6 +164,63 @@ TEST(Engine, MetricsReflectActivity) {
   EXPECT_EQ(snap.find_counter("perpos_exec_tasks_executed_total")->value, 2u);
   EXPECT_EQ(snap.find_gauge("perpos_exec_queue_depth")->value, 0.0);
   EXPECT_EQ(snap.find_gauge("perpos_exec_lanes")->value, 1.0);
+}
+
+// --- Task exceptions ---------------------------------------------------------
+
+TEST(Engine, ThrowingTaskSurfacesOnRunUntilIdleAndLaneContinues) {
+  // Components are allowed to throw from on_input, so lane tasks routing
+  // graph work may throw. The engine must neither std::terminate (worker
+  // mode) nor wedge the lane (inline mode): remaining tasks still run and
+  // the first error is rethrown from run_until_idle.
+  for (const std::size_t workers : {std::size_t{0}, std::size_t{2}}) {
+    exec::ExecutionEngine engine(workers);
+    const auto lane = engine.create_lane();
+    std::atomic<int> ran{0};
+    engine.post(lane, [&] { ++ran; });
+    engine.post(lane, [] { throw std::runtime_error("component failed"); });
+    engine.post(lane, [&] { ++ran; });
+    EXPECT_THROW(engine.run_until_idle(), std::runtime_error)
+        << "workers=" << workers;
+    EXPECT_EQ(ran.load(), 2) << "workers=" << workers;
+    EXPECT_EQ(engine.outstanding(), 0u);
+    EXPECT_EQ(engine.executed(), 3u);
+    EXPECT_EQ(engine.failed(), 1u);
+    // The error is delivered exactly once, and the lane accepts new work.
+    engine.run_until_idle();
+    engine.post(lane, [&] { ++ran; });
+    engine.run_until_idle();
+    EXPECT_EQ(ran.load(), 3) << "workers=" << workers;
+  }
+}
+
+TEST(Engine, FirstTaskErrorWinsWhenSeveralThrow) {
+  exec::ExecutionEngine engine(0);
+  const auto lane = engine.create_lane();
+  engine.post(lane, [] { throw std::runtime_error("first"); });
+  engine.post(lane, [] { throw std::logic_error("second"); });
+  try {
+    engine.run_until_idle();
+    FAIL() << "expected the first task error to be rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  EXPECT_EQ(engine.failed(), 2u);  // Both counted, only the first rethrown.
+  engine.run_until_idle();         // The second error was dropped.
+}
+
+TEST(Engine, FailedTasksAreCountedInMetrics) {
+  exec::ExecutionEngine engine(0);
+  perpos::obs::MetricsRegistry registry;
+  engine.enable_metrics(&registry);
+  const auto lane = engine.create_lane();
+  engine.post(lane, [] {});
+  engine.post(lane, [] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(engine.run_until_idle(), std::runtime_error);
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.find_counter("perpos_exec_tasks_executed_total")->value, 2u);
+  EXPECT_EQ(snap.find_counter("perpos_exec_tasks_failed_total")->value, 1u);
+  EXPECT_EQ(snap.find_gauge("perpos_exec_queue_depth")->value, 0.0);
 }
 
 // --- Determinism across worker counts ---------------------------------------
