@@ -3,10 +3,10 @@
 #
 # Usage: scripts/lint_configs.sh <build-dir> [sarif-output-dir]
 #
-# Clean configs (everything except broken_pipeline.conf) must produce zero
-# findings under --werror; broken_pipeline.conf must exit non-zero — it is
-# the analyzer's own regression fixture. SARIF files are written one per
-# config so CI can upload them to code scanning.
+# Clean configs must produce zero findings under --werror; the deliberate
+# fixtures (broken_pipeline.conf, broken-lanes.cfg) must exit non-zero —
+# they are the analyzer's own regression fixtures. SARIF files are written
+# one per config so CI can upload them to code scanning.
 set -eu
 
 build_dir=${1:?usage: lint_configs.sh <build-dir> [sarif-output-dir]}
@@ -15,8 +15,11 @@ verify="$build_dir/tools/perpos-verify"
 configs_dir=$(dirname "$0")/../examples/configs
 
 status=0
-for config in "$configs_dir"/*.conf; do
-  name=$(basename "$config" .conf)
+for config in "$configs_dir"/*.conf "$configs_dir"/*.cfg; do
+  [ -e "$config" ] || continue
+  name=$(basename "$config")
+  name=${name%.conf}
+  name=${name%.cfg}
   if [ -n "$sarif_dir" ]; then
     mkdir -p "$sarif_dir"
     "$verify" --werror --format=sarif --output "$sarif_dir/$name.sarif" \
@@ -24,22 +27,28 @@ for config in "$configs_dir"/*.conf; do
   else
     "$verify" --werror "$config" && rc=0 || rc=$?
   fi
-  if [ "$name" = "broken_pipeline" ]; then
+  base=$(basename "$config")
+  case "$name" in
+  broken_pipeline|broken-lanes)
     if [ "$rc" -eq 0 ]; then
-      echo "FAIL: $name.conf should produce findings but linted clean" >&2
+      echo "FAIL: $base should produce findings but linted clean" >&2
       status=1
     elif [ "$rc" -ne 1 ]; then
-      echo "FAIL: $name.conf: perpos-verify usage/IO error (exit $rc)" >&2
+      echo "FAIL: $base: perpos-verify usage/IO error (exit $rc)" >&2
       status=1
     else
-      echo "ok: $name.conf fails as intended"
+      echo "ok: $base fails as intended"
     fi
-  elif [ "$rc" -ne 0 ]; then
-    echo "FAIL: $name.conf has findings (exit $rc)" >&2
-    "$verify" "$config" >&2 || true
-    status=1
-  else
-    echo "ok: $name.conf"
-  fi
+    ;;
+  *)
+    if [ "$rc" -ne 0 ]; then
+      echo "FAIL: $base has findings (exit $rc)" >&2
+      "$verify" "$config" >&2 || true
+      status=1
+    else
+      echo "ok: $base"
+    fi
+    ;;
+  esac
 done
 exit $status

@@ -173,6 +173,15 @@ class ProcessingComponent {
   /// >= 2 connected inputs are end-points automatically.
   virtual bool is_channel_endpoint() const { return false; }
 
+  /// Expected number of emissions per accepted input — a declarative
+  /// amplification annotation for the static analyzer (perpos::verify,
+  /// rule PPV010). 1.0 (default) for map-style components, > 1 for
+  /// splitters (a burst parser emitting one sample per NMEA sentence),
+  /// < 1 for decimators and gates, 0 for pure sinks. The graph never
+  /// enforces this; the analyzer multiplies it along feedback regions to
+  /// flag unbounded queue growth.
+  virtual double emit_multiplicity() const { return 1.0; }
+
   /// The context is valid between attachment to and removal from a graph.
   const ComponentContext& context() const noexcept { return context_; }
 

@@ -91,6 +91,17 @@ class ComponentFeature {
   /// on; attachment fails if they are not present.
   virtual std::vector<std::string> required_features() const { return {}; }
 
+  /// Declarative reentrancy annotations for the static analyzer
+  /// (perpos::verify, rule PPV011): does this feature call
+  /// context().emit() from its consume() / produce() hook? An emission
+  /// from consume() re-enters the dispatch of the very delivery that
+  /// triggered it; on a cyclic topology that is a feedback amplifier. An
+  /// emission from produce() re-enters the host's own produce-hook chain
+  /// — unconditional emission there recurses forever. The graph never
+  /// enforces these; they only feed the analyzer.
+  virtual bool emits_in_consume() const { return false; }
+  virtual bool emits_in_produce() const { return false; }
+
   const FeatureContext& context() const noexcept { return context_; }
 
  private:

@@ -2,6 +2,7 @@
 
 #include "perpos/core/component.hpp"
 #include "perpos/core/feature.hpp"
+#include "perpos/core/sentry.hpp"
 #include "perpos/obs/metrics.hpp"
 #include "perpos/obs/trace.hpp"
 #include "perpos/sim/clock.hpp"
@@ -169,6 +170,22 @@ class ProcessingGraph {
   std::size_t add_mutation_listener(std::function<void()> listener);
   void remove_mutation_listener(std::size_t token);
 
+  /// Register a *detailed* mutation observer: unlike the coarse listeners
+  /// above, observers learn which mutation happened (see GraphMutation) —
+  /// including feature attach/detach, which the coarse listeners do not
+  /// report. The incremental verifier uses this to mark dirty regions at
+  /// O(delta). Returns a token for remove_mutation_observer.
+  std::size_t add_mutation_observer(
+      std::function<void(const GraphMutation&)> observer);
+  void remove_mutation_observer(std::size_t token);
+
+  /// Install the dispatch sentry (the runtime sanitizer seam; see
+  /// sentry.hpp). At most one sentry at a time; nullptr detaches. The
+  /// sentry must stay valid until detached or the graph is destroyed.
+  /// When none is installed the dispatch path pays one null check.
+  void set_sentry(GraphSentry* sentry) noexcept;
+  GraphSentry* sentry() const noexcept { return sentry_; }
+
   const sim::Clock* clock() const noexcept { return clock_; }
 
   // --- Observability -------------------------------------------------------
@@ -242,16 +259,26 @@ class ProcessingGraph {
   /// (pending inputs, or the in-flight input as fallback).
   void stamp_provenance(Entry& e, Sample& sample);
   void check_not_dispatching(const char* op) const;
-  void notify_mutation();
+  void notify_mutation(const GraphMutation& mutation);
+  /// Observer-only notification — feature attach/detach events go here, so
+  /// the coarse listeners keep their historical "structural edges/nodes
+  /// changed" contract.
+  void notify_observers(const GraphMutation& mutation);
 
   std::vector<std::unique_ptr<Entry>> entries_;
   std::vector<std::pair<std::size_t, std::function<void()>>> listeners_;
+  std::vector<std::pair<std::size_t, std::function<void(const GraphMutation&)>>>
+      observers_;
   std::size_t next_listener_token_ = 1;
   const sim::Clock* clock_;
   std::uint64_t revision_ = 0;
   std::uint64_t deliveries_ = 0;
   std::size_t live_count_ = 0;
   bool dispatching_ = false;
+  GraphSentry* sentry_ = nullptr;
+  /// Accepted deliveries since the external emission that started the
+  /// current drain; reported to the sentry as the cascade size.
+  std::uint64_t drain_cascade_ = 0;
   std::vector<PendingDelivery> dispatch_stack_;
   /// Stack index where the current dispatch frame began — a frame spans
   /// one whole delivery (consume hooks + on_input) or one emit_batch

@@ -33,6 +33,11 @@ struct ProcessingGraph::ProvenancePool {
   std::mutex mutex;
   std::vector<std::unique_ptr<std::vector<Sample>>> free_list;
   static constexpr std::size_t kMaxFree = 256;
+  /// Set (under `mutex`) while a sanitizer sentry is installed: returns
+  /// scan the free list for the returning buffer, and a duplicate is
+  /// reported through this callback and *dropped* instead of corrupting
+  /// the list. Cleared when the graph dies.
+  std::function<void()> on_double_release;
 
   std::unique_ptr<std::vector<Sample>> acquire() {
     {
@@ -55,6 +60,17 @@ struct ProcessingGraph::ProvenancePool {
       buffer->clear();
       if (auto alive = pool.lock()) {
         std::lock_guard<std::mutex> lock(alive->mutex);
+        if (alive->on_double_release) {
+          for (const auto& held : alive->free_list) {
+            if (held.get() == buffer) {
+              // Already on the free list: a second owner released the same
+              // buffer. Report and drop the duplicate — handing it back
+              // again would let two future samples share one buffer.
+              alive->on_double_release();
+              return;
+            }
+          }
+        }
         if (alive->free_list.size() < kMaxFree) {
           alive->free_list.emplace_back(buffer);
           return;
@@ -199,14 +215,48 @@ void ProcessingGraph::remove_mutation_listener(std::size_t token) {
       listeners_.end());
 }
 
-void ProcessingGraph::notify_mutation() {
+std::size_t ProcessingGraph::add_mutation_observer(
+    std::function<void(const GraphMutation&)> observer) {
+  const std::size_t token = next_listener_token_++;
+  observers_.emplace_back(token, std::move(observer));
+  return token;
+}
+
+void ProcessingGraph::remove_mutation_observer(std::size_t token) {
+  observers_.erase(
+      std::remove_if(observers_.begin(), observers_.end(),
+                     [&](const auto& p) { return p.first == token; }),
+      observers_.end());
+}
+
+void ProcessingGraph::set_sentry(GraphSentry* sentry) noexcept {
+  sentry_ = sentry;
+  // Wire (or unwire) pool double-release detection. The callback captures
+  // the raw sentry pointer: the sentry contract requires it to stay valid
+  // until detached or the graph dies, and ~ProcessingGraph clears the
+  // callback so releases arriving after graph death stay silent.
+  std::lock_guard<std::mutex> lock(pool_->mutex);
+  if (sentry == nullptr) {
+    pool_->on_double_release = nullptr;
+  } else {
+    pool_->on_double_release = [sentry] { sentry->on_pool_double_release(); };
+  }
+}
+
+void ProcessingGraph::notify_mutation(const GraphMutation& mutation) {
   if (obs_ && obs_->config.metrics) {
     obs_->mutations_total->inc();
     obs_->components_gauge->set(static_cast<double>(live_count_));
   }
-  // Iterate over a copy: a listener may (un)register listeners.
+  // Iterate over copies: a callback may (un)register callbacks.
   const auto snapshot = listeners_;
   for (const auto& [token, fn] : snapshot) fn();
+  notify_observers(mutation);
+}
+
+void ProcessingGraph::notify_observers(const GraphMutation& mutation) {
+  const auto snapshot = observers_;
+  for (const auto& [token, fn] : snapshot) fn(mutation);
 }
 
 ProcessingGraph::ProcessingGraph(const sim::Clock* clock)
@@ -223,6 +273,10 @@ ProcessingGraph::~ProcessingGraph() {
     } catch (...) {
     }
   }
+  // Late provenance releases (samples retained by applications) must not
+  // call into a sentry that may be gone by then.
+  std::lock_guard<std::mutex> lock(pool_->mutex);
+  pool_->on_double_release = nullptr;
 }
 
 void ProcessingGraph::enable_observability(obs::ObservabilityConfig config) {
@@ -326,7 +380,7 @@ ComponentId ProcessingGraph::add(
   entries_.push_back(std::move(e));
   ++live_count_;
   ++revision_;
-  notify_mutation();
+  notify_mutation(GraphMutation{GraphMutation::Kind::kAdd, id});
   return id;
 }
 
@@ -345,7 +399,7 @@ void ProcessingGraph::remove(ComponentId id) {
   e.features.clear();
   --live_count_;
   ++revision_;
-  notify_mutation();
+  notify_mutation(GraphMutation{GraphMutation::Kind::kRemove, id});
 }
 
 bool ProcessingGraph::would_cycle(ComponentId producer,
@@ -399,7 +453,8 @@ void ProcessingGraph::connect(ComponentId producer, ComponentId consumer) {
   p.consumers.push_back(consumer);
   c.producers.push_back(producer);
   ++revision_;
-  notify_mutation();
+  notify_mutation(
+      GraphMutation{GraphMutation::Kind::kConnect, producer, consumer});
 }
 
 void ProcessingGraph::disconnect(ComponentId producer, ComponentId consumer) {
@@ -413,7 +468,8 @@ void ProcessingGraph::disconnect(ComponentId producer, ComponentId consumer) {
   p.consumers.erase(it);
   erase_id(c.producers, producer);
   ++revision_;
-  notify_mutation();
+  notify_mutation(
+      GraphMutation{GraphMutation::Kind::kDisconnect, producer, consumer});
 }
 
 void ProcessingGraph::insert_between(ComponentId node, ComponentId producer,
@@ -457,6 +513,7 @@ void ProcessingGraph::attach_feature(
   }
   feature->context_ = FeatureContext(this, host, name);
   e.features.push_back(std::move(feature));
+  notify_observers(GraphMutation{GraphMutation::Kind::kFeatureAttach, host});
 }
 
 void ProcessingGraph::detach_feature(ComponentId host, std::string_view name) {
@@ -473,6 +530,7 @@ void ProcessingGraph::detach_feature(ComponentId host, std::string_view name) {
   (*it)->context_ = FeatureContext();
   if (obs_) obs_->feature_handles.erase(it->get());
   e.features.erase(it);
+  notify_observers(GraphMutation{GraphMutation::Kind::kFeatureDetach, host});
 }
 
 ComponentFeature* ProcessingGraph::get_feature(ComponentId host,
@@ -595,6 +653,7 @@ void ProcessingGraph::enqueue_deliveries(Sample&& sample, const Entry& e) {
 
 void ProcessingGraph::drain_dispatch_stack() {
   dispatching_ = true;
+  drain_cascade_ = 0;
   try {
     while (!dispatch_stack_.empty()) {
       PendingDelivery next = std::move(dispatch_stack_.back());
@@ -669,6 +728,7 @@ void ProcessingGraph::emit_from(ComponentId producer, Payload payload,
     }
     tracer.bind_sample(producer, sample.sequence, span);
   }
+  if (sentry_ != nullptr) sentry_->on_emit(sample);
 
   enqueue_deliveries(std::move(sample), e);
   if (!dispatching_) drain_dispatch_stack();
@@ -743,6 +803,7 @@ void ProcessingGraph::emit_batch_from(ComponentId producer,
         }
         tracer.bind_sample(producer, sample.sequence, span);
       }
+      if (sentry_ != nullptr) sentry_->on_emit(sample);
 
       enqueue_deliveries(std::move(sample), e);
     }
@@ -786,6 +847,10 @@ void ProcessingGraph::deliver(Sample&& sample, ComponentId consumer) {
       obs->rejections_total->inc();
     }
     return;
+  }
+  if (sentry_ != nullptr) {
+    sentry_->on_deliver(sample, consumer, dispatch_stack_.size(),
+                        ++drain_cascade_);
   }
 
   // One dispatch frame covers everything this delivery triggers: emissions

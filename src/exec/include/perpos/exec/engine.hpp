@@ -106,6 +106,18 @@ class ExecutionEngine {
   /// must outlive the engine or the next enable_metrics call.
   void enable_metrics(obs::MetricsRegistry* registry);
 
+  /// Lane queue-depth watermark (the runtime sanitizer seam): when a
+  /// post() pushes a lane's queue past `limit` tasks, `callback(lane_name,
+  /// depth)` fires on the posting thread — once per crossing; it re-arms
+  /// when the lane drains back to the limit. A producer outpacing its
+  /// lane's consumer shows up here long before memory does. limit 0 (the
+  /// default) disables the check. Set while the engine is idle; the
+  /// callback must be thread-safe and must not post to the same engine.
+  void set_queue_watermark(
+      std::size_t limit,
+      std::function<void(const std::string& lane, std::size_t depth)>
+          callback);
+
   /// Tasks run so far (across all lanes), including tasks that threw.
   std::uint64_t executed() const noexcept;
   /// Tasks posted but not yet finished.

@@ -23,6 +23,10 @@ struct ExecutionEngine::Lane {
   /// True while the lane sits in the ready queue or a worker drains it;
   /// guarantees at most one worker runs this lane at a time (affinity).
   bool scheduled = false;
+  /// Watermark edge detector: set when the queue grew past the limit,
+  /// cleared when it drained back — one callback per crossing, not per
+  /// post. Guarded by `mutex`.
+  bool above_watermark = false;
 };
 
 struct ExecutionEngine::Impl {
@@ -51,6 +55,10 @@ struct ExecutionEngine::Impl {
   // the caller at the next idle point.
   std::mutex error_mutex;
   std::exception_ptr first_error;
+
+  // Queue-depth watermark (set while idle; read from posting threads).
+  std::size_t watermark_limit = 0;
+  std::function<void(const std::string&, std::size_t)> watermark_callback;
 
   // Optional metrics (set while idle; read from workers).
   obs::Counter* tasks_posted = nullptr;
@@ -82,6 +90,9 @@ struct ExecutionEngine::Impl {
         }
         task = std::move(lane->queue.front());
         lane->queue.pop_front();
+        if (lane->above_watermark && lane->queue.size() <= watermark_limit) {
+          lane->above_watermark = false;  // Re-arm the crossing detector.
+        }
       }
       // Graph components may throw from on_input; a lane task is therefore
       // allowed to throw. Capture the exception (first one wins — later
@@ -186,15 +197,25 @@ void ExecutionEngine::post_to(Lane& lane, Task&& task) {
   if (impl_->tasks_posted != nullptr) impl_->tasks_posted->inc();
   if (impl_->queue_depth != nullptr) impl_->queue_depth->add(1.0);
   bool need_schedule = false;
+  std::size_t watermark_depth = 0;
   {
     std::lock_guard<std::mutex> lock(lane.mutex);
     lane.queue.push_back(std::move(task));
+    if (impl_->watermark_limit != 0 && !lane.above_watermark &&
+        lane.queue.size() > impl_->watermark_limit) {
+      lane.above_watermark = true;
+      watermark_depth = lane.queue.size();
+    }
     if (!lane.scheduled) {
       lane.scheduled = true;
       need_schedule = true;
     }
   }
   if (need_schedule) impl_->enqueue_ready(&lane);
+  if (watermark_depth != 0 && impl_->watermark_callback) {
+    // Outside the lane lock: the callback may inspect engine state.
+    impl_->watermark_callback(lane.name, watermark_depth);
+  }
 }
 
 void ExecutionEngine::post(LaneId lane, Task task) {
@@ -260,6 +281,14 @@ std::size_t ExecutionEngine::drive_until(sim::Scheduler& scheduler,
   scheduler.set_post_event_hook(nullptr);
   run_until_idle();
   return events;
+}
+
+void ExecutionEngine::set_queue_watermark(
+    std::size_t limit,
+    std::function<void(const std::string& lane, std::size_t depth)>
+        callback) {
+  impl_->watermark_limit = limit;
+  impl_->watermark_callback = std::move(callback);
 }
 
 void ExecutionEngine::enable_metrics(obs::MetricsRegistry* registry) {

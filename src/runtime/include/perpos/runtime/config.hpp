@@ -42,6 +42,13 @@
 /// with the caller — but the static analyzer uses it to check that every
 /// host-crossing edge carries wire-codable data (rule PPV008).
 ///
+/// `lane` declares the intended execution-lane assignment: every named
+/// component runs on the given exec::ExecutionEngine lane. As with
+/// `host`, the parser only records the plan (ConfigResult::lanes) — lane
+/// creation and posting stay with the caller — but the static analyzer
+/// uses it for the lane-affinity rules (PPV009 cross-lane edges, PPV014
+/// lane starvation).
+///
 /// `verify` requests static analysis of the assembled graph. Like
 /// `health`, the parser only records the request (ConfigResult::
 /// verify_requested); running the analyzer is the caller's choice (see
@@ -112,6 +119,8 @@ struct ConfigResult {
   std::optional<HealthSettings> health;
   /// Component name -> host name, from `host` lines.
   std::map<std::string, std::string> hosts;
+  /// Component name -> execution-lane name, from `lane` lines.
+  std::map<std::string, std::string> lanes;
   /// True when the config contained a `verify` line.
   bool verify_requested = false;
 
@@ -134,10 +143,13 @@ ConfigResult assemble_from_config(const std::string& text,
 /// `hosts` is non-null, `host` lines record the deployment partition
 /// (component id -> host name; see DistributedDeployment::assignments),
 /// so an exported snapshot carries enough for the static analyzer's
-/// remoting-boundary rule.
+/// remoting-boundary rule. Likewise `lanes` (component id -> lane name)
+/// becomes `lane` lines for the lane-affinity rules.
 std::string export_config(const core::ProcessingGraph& graph,
                           const HealthSettings* health = nullptr,
                           const std::map<core::ComponentId, std::string>*
-                              hosts = nullptr);
+                              hosts = nullptr,
+                          const std::map<core::ComponentId, std::string>*
+                              lanes = nullptr);
 
 }  // namespace perpos::runtime

@@ -53,12 +53,50 @@ ConfigResult assemble_from_config(const std::string& text,
     std::string consumer;
   };
   std::vector<Edge> edges;
-  struct HostDecl {
+  // `host` and `lane` share one shape: a label plus the components pinned
+  // to it, resolved after pass 1 so the line may precede its members.
+  struct GroupDecl {
     std::size_t line = 0;
-    std::string host;
+    std::string label;
     std::vector<std::string> members;
   };
-  std::vector<HostDecl> host_decls;
+  std::vector<GroupDecl> host_decls;
+  std::vector<GroupDecl> lane_decls;
+  const auto parse_group = [&](std::istringstream& ls, const char* verb,
+                               std::vector<GroupDecl>& out) {
+    GroupDecl decl;
+    decl.line = line_no;
+    if (!(ls >> decl.label)) {
+      fail(std::string(verb) + " needs <" + verb + "-name> <component-name>...");
+      return;
+    }
+    std::string member;
+    while (ls >> member) decl.members.push_back(std::move(member));
+    if (decl.members.empty()) {
+      fail(std::string(verb) + " '" + decl.label + "' names no components");
+      return;
+    }
+    out.push_back(std::move(decl));
+  };
+  const auto resolve_groups = [&](const std::vector<GroupDecl>& decls,
+                                  const char* verb,
+                                  std::map<std::string, std::string>& out) {
+    for (const GroupDecl& decl : decls) {
+      line_no = decl.line;
+      for (const std::string& member : decl.members) {
+        if (!names.contains(member)) {
+          fail(std::string(verb) + " '" + decl.label +
+               "': unknown component '" + member + "'");
+          continue;
+        }
+        const auto [it, inserted] = out.emplace(member, decl.label);
+        if (!inserted && it->second != decl.label) {
+          fail("component '" + member + "' assigned to both '" + it->second +
+               "' and '" + decl.label + "'");
+        }
+      }
+    }
+  };
 
   while (std::getline(in, line)) {
     ++line_no;
@@ -105,19 +143,9 @@ ConfigResult assemble_from_config(const std::string& text,
     } else if (verb == "verify") {
       result.verify_requested = true;
     } else if (verb == "host") {
-      HostDecl decl;
-      decl.line = line_no;
-      if (!(ls >> decl.host)) {
-        fail("host needs <host-name> <component-name>...");
-        continue;
-      }
-      std::string member;
-      while (ls >> member) decl.members.push_back(std::move(member));
-      if (decl.members.empty()) {
-        fail("host '" + decl.host + "' names no components");
-        continue;
-      }
-      host_decls.push_back(std::move(decl));
+      parse_group(ls, "host", host_decls);
+    } else if (verb == "lane") {
+      parse_group(ls, "lane", lane_decls);
     } else if (verb == "health") {
       HealthSettings settings = result.health.value_or(HealthSettings{});
       bool bad = false;
@@ -194,22 +222,10 @@ ConfigResult assemble_from_config(const std::string& text,
     }
   }
 
-  // Host assignments resolve against the full set of component names, so a
-  // `host` line may precede the components it pins.
-  for (const HostDecl& decl : host_decls) {
-    line_no = decl.line;
-    for (const std::string& member : decl.members) {
-      if (!names.contains(member)) {
-        fail("host '" + decl.host + "': unknown component '" + member + "'");
-        continue;
-      }
-      const auto [it, inserted] = result.hosts.emplace(member, decl.host);
-      if (!inserted && it->second != decl.host) {
-        fail("component '" + member + "' assigned to both '" + it->second +
-             "' and '" + decl.host + "'");
-      }
-    }
-  }
+  // Host / lane assignments resolve against the full set of component
+  // names, so the lines may precede the components they pin.
+  resolve_groups(host_decls, "host", result.hosts);
+  resolve_groups(lane_decls, "lane", result.lanes);
 
   // Pass 2: explicit edges.
   for (const Edge& edge : edges) {
@@ -290,7 +306,9 @@ ConfigResult assemble_from_config(const std::string& text,
 std::string export_config(const core::ProcessingGraph& graph,
                           const HealthSettings* health,
                           const std::map<core::ComponentId, std::string>*
-                              hosts) {
+                              hosts,
+                          const std::map<core::ComponentId, std::string>*
+                              lanes) {
   std::ostringstream out;
   out << "# snapshot of a live PerPos processing graph\n";
   const auto ids = graph.components();
@@ -307,20 +325,24 @@ std::string export_config(const core::ProcessingGraph& graph,
       out << "connect " << name_of(id) << " " << name_of(consumer) << "\n";
     }
   }
-  if (hosts != nullptr) {
-    // One `host` line per host, members in component-id order.
-    std::map<std::string, std::vector<core::ComponentId>> by_host;
-    for (core::ComponentId id : ids) {
-      if (const auto it = hosts->find(id); it != hosts->end()) {
-        by_host[it->second].push_back(id);
-      }
-    }
-    for (const auto& [host, members] : by_host) {
-      out << "host " << host;
-      for (core::ComponentId id : members) out << " " << name_of(id);
-      out << "\n";
-    }
-  }
+  // One `host` / `lane` line per label, members in component-id order.
+  const auto emit_groups =
+      [&](const char* verb,
+          const std::map<core::ComponentId, std::string>& assignment) {
+        std::map<std::string, std::vector<core::ComponentId>> by_label;
+        for (core::ComponentId id : ids) {
+          if (const auto it = assignment.find(id); it != assignment.end()) {
+            by_label[it->second].push_back(id);
+          }
+        }
+        for (const auto& [label, members] : by_label) {
+          out << verb << " " << label;
+          for (core::ComponentId id : members) out << " " << name_of(id);
+          out << "\n";
+        }
+      };
+  if (hosts != nullptr) emit_groups("host", *hosts);
+  if (lanes != nullptr) emit_groups("lane", *lanes);
   if (const obs::ObservabilityConfig* cfg = graph.observability_config()) {
     out << "observe";
     if (cfg->metrics) out << " metrics";

@@ -1,0 +1,94 @@
+#pragma once
+
+#include "perpos/core/graph.hpp"
+#include "perpos/verify/rules.hpp"
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <vector>
+
+/// \file incremental.hpp
+/// Incremental re-verification for adapting graphs.
+///
+/// PerPos applications adapt the positioning process at runtime — a PSL
+/// insert here, a provider swap there — and each adaptation should be
+/// re-checked before (or right after) it takes effect. Re-running the full
+/// catalog on every mutation is O(graph) per change; for a middleware
+/// hosting many targets that adds up. This verifier instead tracks *dirty
+/// regions*: graph mutations (observed through the core's mutation-observer
+/// seam) mark the touched components, and recheck() re-analyzes only the
+/// weakly-connected components containing a dirty node — O(delta) for the
+/// typical adaptation that edits one pipeline among many — while replaying
+/// cached findings for untouched regions.
+///
+/// Correctness rests on the Rule::local() contract: a local rule's findings
+/// for a node depend only on that node's weak component (over edges +
+/// links), so clean components' cached findings are exact. Non-local rules
+/// (cross-component scans: PPV002, PPV013, PPV014) re-run on the full model
+/// every time — they are cheap O(n) passes. recheck() therefore always
+/// yields the same verdict multiset as a from-scratch verify().
+
+namespace perpos::verify {
+
+class IncrementalVerifier {
+ public:
+  /// Subscribes to `graph`'s mutation observers; the graph must outlive
+  /// this object. Everything is dirty until the first full()/recheck().
+  /// Not thread-safe: drive it from the thread that mutates the graph.
+  explicit IncrementalVerifier(core::ProcessingGraph& graph,
+                               Options options = {});
+  ~IncrementalVerifier();
+
+  IncrementalVerifier(const IncrementalVerifier&) = delete;
+  IncrementalVerifier& operator=(const IncrementalVerifier&) = delete;
+
+  /// Analyze everything from scratch (ignores the dirty set) and prime the
+  /// per-component finding cache.
+  Report full();
+
+  /// Analyze only components marked dirty since the last full()/recheck();
+  /// clean components replay their cached findings. Equivalent in verdicts
+  /// to full(), at O(dirty subgraph) analysis cost.
+  Report recheck();
+
+  /// Nodes analyzed by subgraph-scoped (local-rule) analysis in the last
+  /// full()/recheck() — the measure of incrementality: after a mutation
+  /// touching one pipeline, recheck() reports that pipeline's size here,
+  /// not the graph's.
+  std::size_t nodes_visited() const noexcept { return nodes_visited_; }
+  /// Weak components analyzed (not replayed from cache) in the last pass.
+  std::size_t components_visited() const noexcept {
+    return components_visited_;
+  }
+
+  /// Components currently marked dirty (pending recheck).
+  std::size_t pending_dirty() const noexcept { return dirty_.size(); }
+
+  /// Drop the cache; the next recheck() analyzes everything (e.g. after
+  /// changing options).
+  void invalidate_all();
+
+  void set_options(Options options);
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  Report analyze(bool everything_dirty);
+  void on_mutation(const core::GraphMutation& mutation);
+
+  core::ProcessingGraph& graph_;
+  std::size_t observer_token_ = 0;
+  Options options_;
+  /// Nodes touched by mutations since the last analysis. A set of node
+  /// ids, not components: the partition is recomputed each pass.
+  std::set<core::ComponentId> dirty_;
+  bool all_dirty_ = true;
+  /// Cached local-rule findings keyed by the component's sorted node-id
+  /// set. Structural mutations that change membership miss the cache by
+  /// key; content mutations within a component hit via the dirty set.
+  std::map<std::vector<core::ComponentId>, std::vector<Diagnostic>> cache_;
+  std::size_t nodes_visited_ = 0;
+  std::size_t components_visited_ = 0;
+};
+
+}  // namespace perpos::verify

@@ -19,6 +19,19 @@
 
 namespace perpos::verify {
 
+/// A Component Feature hook as the analyzer sees it: the attachment name,
+/// the features it requires on the same host (attachment order matters —
+/// see PPV015), and whether its consume()/produce() hooks emit data
+/// (reentrancy hazards — see PPV011).
+struct HookModel {
+  std::string name;
+  std::vector<std::string> requires_hooks;
+  bool emits_on_consume = false;
+  bool emits_on_produce = false;
+
+  friend bool operator==(const HookModel&, const HookModel&) = default;
+};
+
 struct NodeModel {
   core::ComponentId id = core::kInvalidComponent;
   std::string name;  ///< Display name (config name or "<kind>_<id>").
@@ -33,6 +46,17 @@ struct NodeModel {
   std::string output_frame;
   /// Deployment host label; empty = unassigned (never remoted).
   std::string host;
+  /// Execution-lane label; empty = unassigned. Stamped from Options.lanes
+  /// by the verifier front end, like `host`.
+  std::string lane;
+  /// Expected emissions per accepted input — the node's amplification
+  /// factor. 1.0 for map-style components, > 1 for splitters (an NMEA
+  /// burst parser), < 1 for filters/decimators, 0 for pure sinks. Feeds
+  /// the emit-amplification rule (PPV010): a feedback region whose factor
+  /// product exceeds 1 grows its queues without bound.
+  double emit_per_input = 1.0;
+  /// Attached Component Features, in attachment (= hook execution) order.
+  std::vector<HookModel> hooks;
 };
 
 struct EdgeModel {
@@ -43,10 +67,30 @@ struct EdgeModel {
   bool resolved = false;
 };
 
+/// An *asynchronous* connection between two nodes — a deployment link
+/// (Remote/ReliableEgress -> Ingress pair) rather than a synchronous graph
+/// edge. Links never appear in `edges`: the live graph does not contain
+/// them (the egress serializes, a transport carries, the ingress
+/// re-emits). Front ends that know the deployment topology add them so
+/// the temporal rules (PPV010/PPV012/PPV013) can reason about feedback
+/// and ordering across the transport.
+struct LinkModel {
+  core::ComponentId producer = core::kInvalidComponent;  ///< Egress side.
+  core::ComponentId consumer = core::kInvalidComponent;  ///< Ingress side.
+  /// True for reliable links (health::ReliableEgress): the consumer's
+  /// host acknowledges every DATA frame back to the producer's host.
+  bool acked = false;
+  /// False when the transport may reorder deliveries (fire-and-forget
+  /// datagrams); reliable stop-and-wait links are ordered.
+  bool ordered = true;
+  std::string name;  ///< Display label, e.g. the channel name.
+};
+
 class GraphModel {
  public:
   std::vector<NodeModel> nodes;
   std::vector<EdgeModel> edges;
+  std::vector<LinkModel> links;
 
   /// The node with `id`, or nullptr.
   const NodeModel* node(core::ComponentId id) const noexcept;
@@ -60,8 +104,10 @@ class GraphModel {
   std::string label(core::ComponentId id) const;
 
   /// Snapshot a live graph: structure, requirements, capabilities
-  /// (including feature-added ones), merge flags and frame annotations.
-  /// Hosts are not in the graph — callers stamp them from Options.
+  /// (including feature-added ones), merge flags, frame annotations,
+  /// emit multiplicity and feature hooks. Hosts and lanes are not in the
+  /// graph — callers stamp them from Options. Links are not in the graph
+  /// either — deployment-aware front ends add them.
   static GraphModel from_graph(const core::ProcessingGraph& graph);
 };
 

@@ -16,16 +16,31 @@
 /// over a GraphModel.
 ///
 /// Catalog (severities are the rule's strongest finding):
-///   PPV000  config-error            error    config does not assemble
-///   PPV001  requirement-starvation  error    input no upstream cap satisfies
-///   PPV002  wildcard-ambiguity      warning  order-dependent wildcard match
-///   PPV003  dead-output             warning  capability no consumer accepts
-///   PPV004  unreachable-component   warning  source-less subgraph
-///   PPV005  merge-fan-in            warning  fan-in arity suspicious
-///   PPV006  cycle                   error    directed cycle in the process
-///   PPV007  frame-mismatch          error    datum/frame mixup on an edge
-///   PPV008  uncodable-remote-edge   error    cut edge without codec coverage
-///   PPV009  cross-lane-edge         error    edge between execution lanes
+///   PPV000  config-error              error    config does not assemble
+///   PPV001  requirement-starvation    error    input no upstream cap satisfies
+///   PPV002  wildcard-ambiguity        warning  order-dependent wildcard match
+///   PPV003  dead-output               warning  capability no consumer accepts
+///   PPV004  unreachable-component     warning  source-less subgraph
+///   PPV005  merge-fan-in              warning  fan-in arity suspicious
+///   PPV006  cycle                     error    directed cycle in the process
+///   PPV007  frame-mismatch            error    datum/frame mixup on an edge
+///   PPV008  uncodable-remote-edge     error    cut edge without codec coverage
+///   PPV009  cross-lane-edge           error    edge between execution lanes
+///   PPV010  emit-amplification-cycle  error    feedback region amplifies > 1x
+///   PPV011  hook-emit-reentrancy      warning  consume()/produce() emits re-enter
+///   PPV012  non-monotonic-merge-input warning  merge input order not monotonic
+///   PPV013  ack-cycle-deadlock        warning  reliable links form a host cycle
+///   PPV014  lane-starvation           warning  one lane serializes N hot sinks
+///   PPV015  hook-order-violation      error    feature deps missing / mis-ordered
+///
+/// Runtime sanitizer ids (findings produced by sanitize::GraphSanitizer on
+/// the live graph; registered here for --list-rules and SARIF metadata so
+/// one report can mix static and runtime findings):
+///   PPS001  lane-ownership            error    graph driven off its lane thread
+///   PPS002  time-regression           warning  per-channel logical time regressed
+///   PPS003  pool-double-release       error    provenance buffer released twice
+///   PPS004  emission-depth            error    one emission cascaded past bound
+///   PPS005  queue-watermark           warning  dispatch/lane queue depth exceeded
 
 namespace perpos::verify {
 
@@ -47,6 +62,10 @@ struct Options {
   /// through DistributedDeployment links instead.
   std::map<core::ComponentId, std::string> lanes;
 
+  /// PPV014: how many terminal consumers (hot sinks) one execution lane
+  /// may serialize before lane starvation is reported.
+  std::size_t max_sinks_per_lane = 4;
+
   /// Rule ids to skip (suppressions), e.g. {"PPV005"}.
   std::vector<std::string> disabled_rules;
 };
@@ -67,6 +86,15 @@ class Rule {
 
   virtual void check(const GraphModel& model, const Options& options,
                      Report& report) const = 0;
+
+  /// True (the default) when findings depend only on the weakly-connected
+  /// component (over edges + links) each finding's node belongs to. The
+  /// incremental verifier re-runs local rules on dirty components only and
+  /// replays cached findings for clean ones. Rules whose findings span
+  /// components — PPV002 scans all nodes for match candidates, PPV013
+  /// groups links by host, PPV014 totals sinks per lane — return false and
+  /// run on the full model every recheck (they are cheap O(n) scans).
+  virtual bool local() const noexcept { return true; }
 };
 
 class RuleRegistry {
@@ -82,7 +110,8 @@ class RuleRegistry {
   /// Run every rule not disabled in `options` over `model`.
   Report run(const GraphModel& model, const Options& options) const;
 
-  /// The built-in catalog (PPV000..PPV009), constructed once.
+  /// The built-in catalog (PPV000..PPV015 + PPS001..PPS005), constructed
+  /// once.
   static const RuleRegistry& default_catalog();
 
  private:

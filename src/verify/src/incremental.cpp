@@ -1,0 +1,190 @@
+#include "perpos/verify/incremental.hpp"
+
+#include "perpos/runtime/payload_codec.hpp"
+
+#include <algorithm>
+
+namespace perpos::verify {
+
+namespace {
+
+/// Union-find over component ids (the weak-component partition the
+/// Rule::local() contract is defined against).
+class UnionFind {
+ public:
+  void ensure(core::ComponentId id) { parent_.try_emplace(id, id); }
+
+  core::ComponentId find(core::ComponentId id) {
+    core::ComponentId root = id;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[id] != root) {
+      core::ComponentId next = parent_[id];
+      parent_[id] = root;
+      id = next;
+    }
+    return root;
+  }
+
+  void unite(core::ComponentId a, core::ComponentId b) {
+    ensure(a);
+    ensure(b);
+    parent_[find(a)] = find(b);
+  }
+
+ private:
+  std::map<core::ComponentId, core::ComponentId> parent_;
+};
+
+/// The weak components of `model`, over edges and deployment links, each
+/// as a sorted node-id vector (the cache key).
+std::vector<std::vector<core::ComponentId>> weak_components(
+    const GraphModel& model) {
+  UnionFind uf;
+  for (const NodeModel& n : model.nodes) uf.ensure(n.id);
+  for (const EdgeModel& e : model.edges) uf.unite(e.producer, e.consumer);
+  for (const LinkModel& l : model.links) uf.unite(l.producer, l.consumer);
+  std::map<core::ComponentId, std::vector<core::ComponentId>> grouped;
+  for (const NodeModel& n : model.nodes) grouped[uf.find(n.id)].push_back(n.id);
+  std::vector<std::vector<core::ComponentId>> out;
+  out.reserve(grouped.size());
+  for (auto& [root, members] : grouped) {
+    std::sort(members.begin(), members.end());
+    out.push_back(std::move(members));
+  }
+  return out;
+}
+
+/// The restriction of `model` to one weak component: its nodes, and the
+/// edges/links with both endpoints inside. By the local() contract this
+/// is all the context a local rule needs for findings in the component.
+GraphModel restrict_to(const GraphModel& model,
+                       const std::vector<core::ComponentId>& members) {
+  const auto inside = [&members](core::ComponentId id) {
+    return std::binary_search(members.begin(), members.end(), id);
+  };
+  GraphModel sub;
+  for (const NodeModel& n : model.nodes) {
+    if (inside(n.id)) sub.nodes.push_back(n);
+  }
+  for (const EdgeModel& e : model.edges) {
+    if (inside(e.producer) && inside(e.consumer)) sub.edges.push_back(e);
+  }
+  for (const LinkModel& l : model.links) {
+    if (inside(l.producer) && inside(l.consumer)) sub.links.push_back(l);
+  }
+  return sub;
+}
+
+bool rule_disabled(const Rule& rule, const Options& options) {
+  return std::find(options.disabled_rules.begin(),
+                   options.disabled_rules.end(),
+                   std::string(rule.id())) != options.disabled_rules.end();
+}
+
+}  // namespace
+
+IncrementalVerifier::IncrementalVerifier(core::ProcessingGraph& graph,
+                                         Options options)
+    : graph_(graph), options_(std::move(options)) {
+  if (!options_.encodable) {
+    options_.encodable = [](const core::DataSpec& spec) {
+      return runtime::is_encodable_spec(spec);
+    };
+  }
+  observer_token_ = graph_.add_mutation_observer(
+      [this](const core::GraphMutation& mutation) { on_mutation(mutation); });
+}
+
+IncrementalVerifier::~IncrementalVerifier() {
+  graph_.remove_mutation_observer(observer_token_);
+}
+
+Report IncrementalVerifier::full() { return analyze(/*everything_dirty=*/true); }
+
+Report IncrementalVerifier::recheck() {
+  return analyze(/*everything_dirty=*/all_dirty_);
+}
+
+void IncrementalVerifier::invalidate_all() {
+  cache_.clear();
+  all_dirty_ = true;
+}
+
+void IncrementalVerifier::set_options(Options options) {
+  options_ = std::move(options);
+  if (!options_.encodable) {
+    options_.encodable = [](const core::DataSpec& spec) {
+      return runtime::is_encodable_spec(spec);
+    };
+  }
+  invalidate_all();
+}
+
+Report IncrementalVerifier::analyze(bool everything_dirty) {
+  nodes_visited_ = 0;
+  components_visited_ = 0;
+
+  GraphModel model = GraphModel::from_graph(graph_);
+  for (const auto& [id, host] : options_.hosts) {
+    if (NodeModel* n = model.node(id)) n->host = host;
+  }
+  for (const auto& [id, lane] : options_.lanes) {
+    if (NodeModel* n = model.node(id)) n->lane = lane;
+  }
+
+  const RuleRegistry& catalog = RuleRegistry::default_catalog();
+  Report report;
+
+  // Local rules: per weak component, re-analyzing only dirty ones.
+  std::map<std::vector<core::ComponentId>, std::vector<Diagnostic>> fresh;
+  for (const std::vector<core::ComponentId>& members : weak_components(model)) {
+    const auto cached = cache_.find(members);
+    const bool dirty =
+        everything_dirty || cached == cache_.end() ||
+        std::any_of(members.begin(), members.end(),
+                    [this](core::ComponentId id) { return dirty_.count(id); });
+    if (!dirty) {
+      report.diagnostics.insert(report.diagnostics.end(),
+                                cached->second.begin(), cached->second.end());
+      fresh.emplace(members, cached->second);
+      continue;
+    }
+    const GraphModel sub = restrict_to(model, members);
+    Report local;
+    for (const auto& rule : catalog.rules()) {
+      if (!rule->local() || rule_disabled(*rule, options_)) continue;
+      rule->check(sub, options_, local);
+    }
+    nodes_visited_ += members.size();
+    ++components_visited_;
+    report.diagnostics.insert(report.diagnostics.end(),
+                              local.diagnostics.begin(),
+                              local.diagnostics.end());
+    fresh.emplace(members, std::move(local.diagnostics));
+  }
+  cache_ = std::move(fresh);
+
+  // Non-local rules: cross-component scans, always on the full model.
+  for (const auto& rule : catalog.rules()) {
+    if (rule->local() || rule_disabled(*rule, options_)) continue;
+    rule->check(model, options_, report);
+  }
+
+  // Match RuleRegistry::run's presentation order: severity-major, stable.
+  std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return static_cast<int>(a.severity) >
+                            static_cast<int>(b.severity);
+                   });
+
+  dirty_.clear();
+  all_dirty_ = false;
+  return report;
+}
+
+void IncrementalVerifier::on_mutation(const core::GraphMutation& mutation) {
+  if (mutation.a != core::kInvalidComponent) dirty_.insert(mutation.a);
+  if (mutation.b != core::kInvalidComponent) dirty_.insert(mutation.b);
+}
+
+}  // namespace perpos::verify

@@ -59,9 +59,18 @@ GraphModel GraphModel::from_graph(const core::ProcessingGraph& graph) {
     n.requirements = component.input_requirements();
     n.capabilities = info.capabilities;  // Declared + feature-added.
     n.is_merge = component.is_channel_endpoint();
+    n.emit_per_input = component.emit_multiplicity();
     if (const auto* framed = dynamic_cast<const core::FrameAware*>(&component)) {
       n.input_frame = framed->input_frame();
       n.output_frame = framed->output_frame();
+    }
+    for (const auto& feature : graph.features_of(id)) {
+      HookModel hook;
+      hook.name = std::string(feature->name());
+      hook.requires_hooks = feature->required_features();
+      hook.emits_on_consume = feature->emits_in_consume();
+      hook.emits_on_produce = feature->emits_in_produce();
+      n.hooks.push_back(std::move(hook));
     }
     model.nodes.push_back(std::move(n));
     for (core::ComponentId consumer : info.consumers) {

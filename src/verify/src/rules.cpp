@@ -1,6 +1,8 @@
 #include "perpos/verify/rules.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <functional>
 #include <set>
 #include <stdexcept>
 
@@ -130,6 +132,9 @@ class WildcardAmbiguityRule final : public Rule {
   Severity default_severity() const noexcept override {
     return Severity::kWarning;
   }
+  // Match candidates are searched across the whole model, so a node added
+  // in one weak component can change the verdict in another.
+  bool local() const noexcept override { return false; }
 
   void check(const GraphModel& model, const Options&,
              Report& report) const override {
@@ -498,6 +503,9 @@ class RemotingBoundaryRule final : public Rule {
 };
 
 // --- PPV009 ----------------------------------------------------------------
+
+std::string_view lane_of(const NodeModel& n, const Options& options);
+
 class CrossLaneEdgeRule final : public Rule {
  public:
   std::string_view id() const noexcept override { return "PPV009"; }
@@ -512,13 +520,12 @@ class CrossLaneEdgeRule final : public Rule {
 
   void check(const GraphModel& model, const Options& options,
              Report& report) const override {
-    if (options.lanes.empty()) return;  // No lane plan: nothing to say.
     for (const EdgeModel& e : model.edges) {
       const NodeModel* p = model.node(e.producer);
       const NodeModel* c = model.node(e.consumer);
       if (p == nullptr || c == nullptr) continue;
-      const std::string_view p_lane = lane_of(options, e.producer);
-      const std::string_view c_lane = lane_of(options, e.consumer);
+      const std::string_view p_lane = lane_of(*p, options);
+      const std::string_view c_lane = lane_of(*c, options);
       if (p_lane.empty() || c_lane.empty() || p_lane == c_lane) continue;
       // A remoting endpoint on the edge means the lane cut is mediated by
       // a DistributedDeployment link (the sample changes lanes inside the
@@ -539,15 +546,569 @@ class CrossLaneEdgeRule final : public Rule {
   }
 
  private:
-  static std::string_view lane_of(const Options& options,
-                                  core::ComponentId id) {
-    const auto it = options.lanes.find(id);
-    return it == options.lanes.end() ? std::string_view{}
-                                     : std::string_view(it->second);
-  }
   static bool is_remoting(const NodeModel& n) {
     return n.kind == "RemoteEgress" || n.kind == "RemoteIngress";
   }
+};
+
+// --- Shared temporal-rule machinery ----------------------------------------
+
+/// Lane of a node: the stamped annotation when present (prepare() copies
+/// Options.lanes onto nodes, and hand-built models may set it directly),
+/// the Options map otherwise.
+std::string_view lane_of(const NodeModel& n, const Options& options) {
+  if (!n.lane.empty()) return n.lane;
+  const auto it = options.lanes.find(n.id);
+  return it == options.lanes.end() ? std::string_view{}
+                                   : std::string_view(it->second);
+}
+
+/// Strongly connected components of the combined edge + link digraph
+/// (iterative Tarjan). Links participate: a feedback loop closed over a
+/// deployment link is still a feedback loop for queue-growth purposes,
+/// even though the live (acyclic) graph never sees it as a cycle.
+struct SccResult {
+  std::map<core::ComponentId, std::size_t> component_of;
+  std::vector<std::vector<core::ComponentId>> components;
+
+  /// Is the region a feedback region — >= 2 nodes, or a self edge/link?
+  bool cyclic(std::size_t index, const GraphModel& model) const {
+    const auto& comp = components[index];
+    if (comp.size() >= 2) return true;
+    const core::ComponentId id = comp.front();
+    for (const EdgeModel& e : model.edges) {
+      if (e.producer == id && e.consumer == id) return true;
+    }
+    for (const LinkModel& l : model.links) {
+      if (l.producer == id && l.consumer == id) return true;
+    }
+    return false;
+  }
+};
+
+SccResult strongly_connected(const GraphModel& model) {
+  SccResult out;
+  std::map<core::ComponentId, std::vector<core::ComponentId>> next;
+  for (const NodeModel& n : model.nodes) next[n.id];
+  for (const EdgeModel& e : model.edges) {
+    if (next.contains(e.producer) && next.contains(e.consumer)) {
+      next[e.producer].push_back(e.consumer);
+    }
+  }
+  for (const LinkModel& l : model.links) {
+    if (next.contains(l.producer) && next.contains(l.consumer)) {
+      next[l.producer].push_back(l.consumer);
+    }
+  }
+
+  std::map<core::ComponentId, std::size_t> index;
+  std::map<core::ComponentId, std::size_t> low;
+  std::set<core::ComponentId> on_stack;
+  std::vector<core::ComponentId> stack;
+  std::size_t counter = 0;
+  struct Frame {
+    core::ComponentId id;
+    std::size_t child;
+  };
+  for (const NodeModel& root : model.nodes) {
+    if (index.contains(root.id)) continue;
+    std::vector<Frame> frames{{root.id, 0}};
+    index[root.id] = low[root.id] = counter++;
+    stack.push_back(root.id);
+    on_stack.insert(root.id);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& successors = next[f.id];
+      if (f.child < successors.size()) {
+        const core::ComponentId w = successors[f.child++];
+        if (!index.contains(w)) {
+          index[w] = low[w] = counter++;
+          stack.push_back(w);
+          on_stack.insert(w);
+          frames.push_back(Frame{w, 0});
+        } else if (on_stack.contains(w)) {
+          low[f.id] = std::min(low[f.id], index[w]);
+        }
+      } else {
+        if (low[f.id] == index[f.id]) {
+          std::vector<core::ComponentId> comp;
+          core::ComponentId w = core::kInvalidComponent;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack.erase(w);
+            out.component_of[w] = out.components.size();
+            comp.push_back(w);
+          } while (w != f.id);
+          std::sort(comp.begin(), comp.end());
+          out.components.push_back(std::move(comp));
+        }
+        const core::ComponentId done = f.id;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().id] = std::min(low[frames.back().id], low[done]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// "x2.5" style multiplication factor for messages.
+std::string fmt_factor(double factor) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%g", factor);
+  return buffer;
+}
+
+// --- PPV010 ----------------------------------------------------------------
+class EmitAmplificationRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "PPV010"; }
+  std::string_view name() const noexcept override {
+    return "emit-amplification-cycle";
+  }
+  std::string_view description() const noexcept override {
+    return "a feedback region whose emit-multiplicity product exceeds 1 "
+           "(unbounded queue growth)";
+  }
+  Severity default_severity() const noexcept override {
+    return Severity::kError;
+  }
+
+  void check(const GraphModel& model, const Options&,
+             Report& report) const override {
+    if (model.links.empty()) return;  // Edge-only cycles are PPV006's.
+    const SccResult scc = strongly_connected(model);
+    for (std::size_t i = 0; i < scc.components.size(); ++i) {
+      if (!scc.cyclic(i, model)) continue;
+      const auto& comp = scc.components[i];
+      // A feedback region closed purely by synchronous edges is already an
+      // error under PPV006 regardless of amplification; this rule owns the
+      // regions only a deployment link closes.
+      std::set<core::ComponentId> in(comp.begin(), comp.end());
+      const bool link_closed = std::any_of(
+          model.links.begin(), model.links.end(), [&](const LinkModel& l) {
+            return in.contains(l.producer) && in.contains(l.consumer);
+          });
+      if (!link_closed) continue;
+
+      double product = 1.0;
+      const NodeModel* amplifier = nullptr;
+      std::string region;
+      for (const core::ComponentId id : comp) {
+        const NodeModel* n = model.node(id);
+        if (n == nullptr) continue;
+        product *= n->emit_per_input;
+        if (amplifier == nullptr ||
+            n->emit_per_input > amplifier->emit_per_input) {
+          amplifier = n;
+        }
+        if (!region.empty()) region += " -> ";
+        region += n->name;
+      }
+      if (amplifier == nullptr || product <= 1.0 + 1e-9) continue;
+      report.diagnostics.push_back(at_node(
+          std::string(id()), Severity::kError, *amplifier,
+          "feedback region " + region +
+              " closes over a deployment link and amplifies x" +
+              fmt_factor(product) +
+              " per round trip; its queues grow without bound",
+          "decimate or gate a stage of the loop so the round-trip emit "
+          "multiplicity drops to <= 1, or break the feedback link"));
+    }
+  }
+};
+
+// --- PPV011 ----------------------------------------------------------------
+class HookEmitReentrancyRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "PPV011"; }
+  std::string_view name() const noexcept override {
+    return "hook-emit-reentrancy";
+  }
+  std::string_view description() const noexcept override {
+    return "a feature hook whose emission re-enters dispatch hazardously";
+  }
+  Severity default_severity() const noexcept override {
+    return Severity::kWarning;
+  }
+
+  void check(const GraphModel& model, const Options&,
+             Report& report) const override {
+    bool scc_ready = false;
+    SccResult scc;
+    for (const NodeModel& n : model.nodes) {
+      for (const HookModel& h : n.hooks) {
+        if (h.emits_on_produce) {
+          report.diagnostics.push_back(at_node(
+              std::string(id()), Severity::kWarning, n,
+              "feature '" + h.name + "' on " + model.label(n.id) +
+                  " emits from produce(); the emission runs the host's own "
+                  "produce-hook chain again — an unconditional emission "
+                  "there recurses without bound",
+              "emit from consume() instead, or guard the produce-hook "
+              "emission with a reentrancy flag"));
+        }
+        if (!h.emits_on_consume) continue;
+        if (!scc_ready) {
+          scc = strongly_connected(model);
+          scc_ready = true;
+        }
+        const auto it = scc.component_of.find(n.id);
+        if (it == scc.component_of.end() || !scc.cyclic(it->second, model)) {
+          continue;
+        }
+        report.diagnostics.push_back(at_node(
+            std::string(id()), Severity::kWarning, n,
+            "feature '" + h.name + "' on " + model.label(n.id) +
+                " emits from consume() while its host sits on a feedback "
+                "loop; every round trip triggers an extra emission, "
+                "compounding queue growth",
+            "break the loop, or make the consume-hook emission "
+            "conditional on new information"));
+      }
+    }
+  }
+};
+
+// --- PPV012 ----------------------------------------------------------------
+class NonMonotonicMergeInputRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "PPV012"; }
+  std::string_view name() const noexcept override {
+    return "non-monotonic-merge-input";
+  }
+  std::string_view description() const noexcept override {
+    return "a fusion input whose logical-time order is not monotonic "
+           "(reconvergent paths or unordered links)";
+  }
+  Severity default_severity() const noexcept override {
+    return Severity::kWarning;
+  }
+
+  void check(const GraphModel& model, const Options&,
+             Report& report) const override {
+    for (const NodeModel& n : model.nodes) {
+      if (!n.is_merge) continue;
+      check_reconvergence(model, n, report);
+      check_unordered_links(model, n, report);
+    }
+  }
+
+ private:
+  /// Upstream closure of `id` over edges and links, including `id`.
+  static std::set<core::ComponentId> ancestors_of(const GraphModel& model,
+                                                  core::ComponentId id) {
+    std::set<core::ComponentId> seen{id};
+    std::vector<core::ComponentId> frontier{id};
+    while (!frontier.empty()) {
+      const core::ComponentId at = frontier.back();
+      frontier.pop_back();
+      for (const EdgeModel& e : model.edges) {
+        if (e.consumer == at && seen.insert(e.producer).second) {
+          frontier.push_back(e.producer);
+        }
+      }
+      for (const LinkModel& l : model.links) {
+        if (l.consumer == at && seen.insert(l.producer).second) {
+          frontier.push_back(l.producer);
+        }
+      }
+    }
+    return seen;
+  }
+
+  /// Diamond detection: two direct producers of the merge sharing an
+  /// upstream ancestor means one source's stream reaches the fusion along
+  /// >= 2 paths with different delays — arrival order at the merge no
+  /// longer preserves the source's logical-time order.
+  void check_reconvergence(const GraphModel& model, const NodeModel& merge,
+                           Report& report) const {
+    const auto producers = model.producers_of(merge.id);
+    if (producers.size() < 2) return;
+    std::vector<std::set<core::ComponentId>> ancestry;
+    ancestry.reserve(producers.size());
+    for (const NodeModel* p : producers) {
+      ancestry.push_back(ancestors_of(model, p->id));
+    }
+    core::ComponentId common = core::kInvalidComponent;
+    for (std::size_t a = 0; a < ancestry.size() && common == core::kInvalidComponent;
+         ++a) {
+      for (std::size_t b = a + 1; b < ancestry.size(); ++b) {
+        for (const core::ComponentId id : ancestry[a]) {
+          if (ancestry[b].contains(id)) {
+            common = id;
+            break;
+          }
+        }
+        if (common != core::kInvalidComponent) break;
+      }
+    }
+    if (common == core::kInvalidComponent) return;
+    report.diagnostics.push_back(at_node(
+        std::string(id()), Severity::kWarning, merge,
+        "inputs of fusion component " + model.label(merge.id) +
+            " reconverge from a single upstream source " +
+            model.label(common) +
+            " along multiple paths; interleaved deliveries at the merge do "
+            "not preserve that source's logical-time order",
+        "fuse the branches before the split, or key the fusion on "
+        "per-origin sequence numbers instead of arrival order"));
+  }
+
+  /// An unordered link anywhere upstream of a merge can reorder
+  /// deliveries, so logical time at the fusion input may regress.
+  void check_unordered_links(const GraphModel& model, const NodeModel& merge,
+                             Report& report) const {
+    const std::set<core::ComponentId> upstream =
+        ancestors_of(model, merge.id);
+    for (const LinkModel& l : model.links) {
+      if (l.ordered) continue;
+      if (!upstream.contains(l.consumer)) continue;
+      const std::string label =
+          l.name.empty() ? model.label(l.producer) + " -> " +
+                               model.label(l.consumer)
+                         : "'" + l.name + "'";
+      report.diagnostics.push_back(at_node(
+          std::string(id()), Severity::kWarning, merge,
+          "an input of fusion component " + model.label(merge.id) +
+              " flows through unordered link " + label +
+              "; deliveries may arrive out of logical-time order at the "
+              "merge",
+          "carry merge inputs over a reliable (ordered) link, or reorder "
+          "on sequence numbers at the ingress"));
+    }
+  }
+};
+
+// --- PPV013 ----------------------------------------------------------------
+class AckCycleDeadlockRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "PPV013"; }
+  std::string_view name() const noexcept override {
+    return "ack-cycle-deadlock";
+  }
+  std::string_view description() const noexcept override {
+    return "reliable (acked) links forming a cycle between hosts — a "
+           "stop-and-wait deadlock candidate";
+  }
+  Severity default_severity() const noexcept override {
+    return Severity::kWarning;
+  }
+  // Stations group by host label, which can tie links from otherwise
+  // disconnected weak components into one cycle.
+  bool local() const noexcept override { return false; }
+
+  void check(const GraphModel& model, const Options&,
+             Report& report) const override {
+    // Collapse nodes to "stations": the host label when assigned, the
+    // node itself otherwise. Each acked link is a station edge; a directed
+    // cycle of such edges means every station in the ring is both waiting
+    // for an ack and expected to process inbound DATA — with stop-and-wait
+    // retransmission that is a deadlock/livelock candidate.
+    std::map<std::string, std::vector<const LinkModel*>> next;
+    for (const LinkModel& l : model.links) {
+      if (!l.acked) continue;
+      next[station(model, l.producer)].push_back(&l);
+    }
+    if (next.empty()) return;
+
+    std::map<std::string, int> colour;  // 0 white, 1 grey, 2 black.
+    for (const auto& [start, unused] : next) {
+      (void)unused;
+      if (colour[start] != 0) continue;
+      std::vector<const LinkModel*> path;
+      dfs(model, next, start, colour, path, report);
+    }
+  }
+
+ private:
+  static std::string station(const GraphModel& model, core::ComponentId id) {
+    const NodeModel* n = model.node(id);
+    if (n != nullptr && !n->host.empty()) return n->host;
+    return "#" + std::to_string(id);
+  }
+
+  bool dfs(const GraphModel& model,
+           const std::map<std::string, std::vector<const LinkModel*>>& next,
+           const std::string& at, std::map<std::string, int>& colour,
+           std::vector<const LinkModel*>& path, Report& report) const {
+    colour[at] = 1;
+    const auto it = next.find(at);
+    if (it != next.end()) {
+      for (const LinkModel* l : it->second) {
+        const std::string to = station(model, l->consumer);
+        path.push_back(l);
+        if (colour[to] == 1) {
+          // Back edge: the tail of `path` from the first link leaving `to`
+          // is the cycle.
+          std::string ring = to;
+          bool in_cycle = false;
+          for (const LinkModel* seg : path) {
+            if (station(model, seg->producer) == to) in_cycle = true;
+            if (in_cycle) ring += " -> " + station(model, seg->consumer);
+          }
+          if (const NodeModel* n = model.node(l->producer)) {
+            report.diagnostics.push_back(at_node(
+                std::string(id()), Severity::kWarning, *n,
+                "reliable (acked) links form a cycle between hosts: " +
+                    ring +
+                    "; with stop-and-wait retransmission every host in the "
+                    "ring can end up blocked awaiting an ack that is queued "
+                    "behind its own inbound DATA — a deadlock candidate",
+                "break the ring by making one hop fire-and-forget, or "
+                "route one direction through a separate relay host"));
+          }
+          path.pop_back();
+          colour[at] = 2;
+          return true;
+        }
+        if (colour[to] == 0 &&
+            dfs(model, next, to, colour, path, report)) {
+          path.pop_back();
+          colour[at] = 2;
+          return true;  // One report per connected ring.
+        }
+        path.pop_back();
+      }
+    }
+    colour[at] = 2;
+    return false;
+  }
+};
+
+// --- PPV014 ----------------------------------------------------------------
+class LaneStarvationRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "PPV014"; }
+  std::string_view name() const noexcept override {
+    return "lane-starvation";
+  }
+  std::string_view description() const noexcept override {
+    return "one execution lane serializing more hot sinks than the "
+           "configured threshold";
+  }
+  Severity default_severity() const noexcept override {
+    return Severity::kWarning;
+  }
+  // Lane totals span weak components: two independent pipelines can pile
+  // their sinks onto one lane.
+  bool local() const noexcept override { return false; }
+
+  void check(const GraphModel& model, const Options& options,
+             Report& report) const override {
+    // Hot sinks: terminal consumers — they take input, feed nothing
+    // downstream, and their on_input (an application callback, a display,
+    // a logger) runs to completion on the lane's worker before the next
+    // sink sees data.
+    std::map<std::string, std::vector<const NodeModel*>> sinks_by_lane;
+    for (const NodeModel& n : model.nodes) {
+      const std::string_view lane = lane_of(n, options);
+      if (lane.empty()) continue;
+      if (n.requirements.empty()) continue;
+      if (!model.consumers_of(n.id).empty()) continue;
+      sinks_by_lane[std::string(lane)].push_back(&n);
+    }
+    for (const auto& [lane, sinks] : sinks_by_lane) {
+      if (sinks.size() <= options.max_sinks_per_lane) continue;
+      const NodeModel* first = *std::min_element(
+          sinks.begin(), sinks.end(),
+          [](const NodeModel* a, const NodeModel* b) { return a->id < b->id; });
+      report.diagnostics.push_back(at_node(
+          std::string(id()), Severity::kWarning, *first,
+          "execution lane '" + lane + "' serializes " +
+              std::to_string(sinks.size()) + " terminal consumers (threshold " +
+              std::to_string(options.max_sinks_per_lane) +
+              "); one slow sink stalls every other application on the lane",
+          "spread the applications across lanes, or raise "
+          "max_sinks_per_lane if the serialization is intended"));
+    }
+  }
+};
+
+// --- PPV015 ----------------------------------------------------------------
+class HookOrderViolationRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "PPV015"; }
+  std::string_view name() const noexcept override {
+    return "hook-order-violation";
+  }
+  std::string_view description() const noexcept override {
+    return "a feature whose required features are missing or attached "
+           "after it";
+  }
+  Severity default_severity() const noexcept override {
+    return Severity::kError;
+  }
+
+  void check(const GraphModel& model, const Options&,
+             Report& report) const override {
+    for (const NodeModel& n : model.nodes) {
+      for (std::size_t i = 0; i < n.hooks.size(); ++i) {
+        const HookModel& h = n.hooks[i];
+        for (const std::string& dep : h.requires_hooks) {
+          const auto found = std::find_if(
+              n.hooks.begin(), n.hooks.end(),
+              [&](const HookModel& other) { return other.name == dep; });
+          if (found == n.hooks.end()) {
+            // attach_feature() enforces presence, but detach_feature()
+            // does not re-check dependants — and models from other front
+            // ends never ran attach at all.
+            report.diagnostics.push_back(at_node(
+                std::string(id()), Severity::kError, n,
+                "feature '" + h.name + "' on " + model.label(n.id) +
+                    " requires feature '" + dep + "', which is not attached",
+                "attach '" + dep + "' (before '" + h.name +
+                    "'), or detach '" + h.name + "' too"));
+            continue;
+          }
+          const auto j =
+              static_cast<std::size_t>(std::distance(n.hooks.begin(), found));
+          if (j > i) {
+            report.diagnostics.push_back(at_node(
+                std::string(id()), Severity::kWarning, n,
+                "feature '" + h.name + "' on " + model.label(n.id) +
+                    " runs before its required feature '" + dep +
+                    "' (hooks run in attachment order); it observes samples "
+                    "the dependency has not augmented yet",
+                "attach '" + dep + "' before '" + h.name + "'"));
+          }
+        }
+      }
+    }
+  }
+};
+
+// --- PPS001..PPS005 --------------------------------------------------------
+//
+// Runtime sanitizer rules. Like PPV000 these never produce findings from
+// check(): the live sanitizer (perpos::sanitize::GraphSanitizer) emits
+// Diagnostics under these ids while the graph runs. The rule objects exist
+// so --list-rules shows them and SARIF reports carry their metadata,
+// letting one report mix static and runtime findings.
+class RuntimeRule final : public Rule {
+ public:
+  RuntimeRule(std::string id, std::string name, std::string description,
+              Severity severity)
+      : id_(std::move(id)),
+        name_(std::move(name)),
+        description_(std::move(description)),
+        severity_(severity) {}
+
+  std::string_view id() const noexcept override { return id_; }
+  std::string_view name() const noexcept override { return name_; }
+  std::string_view description() const noexcept override {
+    return description_;
+  }
+  Severity default_severity() const noexcept override { return severity_; }
+  void check(const GraphModel&, const Options&, Report&) const override {}
+
+ private:
+  std::string id_;
+  std::string name_;
+  std::string description_;
+  Severity severity_;
 };
 
 }  // namespace
@@ -628,6 +1189,36 @@ const RuleRegistry& RuleRegistry::default_catalog() {
     r->add(std::make_unique<FrameMismatchRule>());
     r->add(std::make_unique<RemotingBoundaryRule>());
     r->add(std::make_unique<CrossLaneEdgeRule>());
+    r->add(std::make_unique<EmitAmplificationRule>());
+    r->add(std::make_unique<HookEmitReentrancyRule>());
+    r->add(std::make_unique<NonMonotonicMergeInputRule>());
+    r->add(std::make_unique<AckCycleDeadlockRule>());
+    r->add(std::make_unique<LaneStarvationRule>());
+    r->add(std::make_unique<HookOrderViolationRule>());
+    r->add(std::make_unique<RuntimeRule>(
+        "PPS001", "lane-ownership",
+        "a graph was driven from a thread other than its bound lane owner "
+        "(runtime sanitizer)",
+        Severity::kError));
+    r->add(std::make_unique<RuntimeRule>(
+        "PPS002", "time-regression",
+        "a producer's per-channel logical time or timestamp regressed "
+        "(runtime sanitizer)",
+        Severity::kWarning));
+    r->add(std::make_unique<RuntimeRule>(
+        "PPS003", "pool-double-release",
+        "a pooled provenance buffer was released twice (runtime sanitizer)",
+        Severity::kError));
+    r->add(std::make_unique<RuntimeRule>(
+        "PPS004", "emission-depth",
+        "a single external emission cascaded past the configured delivery "
+        "bound (runtime sanitizer)",
+        Severity::kError));
+    r->add(std::make_unique<RuntimeRule>(
+        "PPS005", "queue-watermark",
+        "a dispatch or lane queue exceeded its depth watermark (runtime "
+        "sanitizer)",
+        Severity::kWarning));
     return r;
   }();
   return *registry;

@@ -8,8 +8,8 @@ namespace perpos::verify {
 
 namespace {
 
-/// Fill in option defaults and stamp the deployment partition onto the
-/// model's nodes, where the rules look for it.
+/// Fill in option defaults and stamp the deployment partition and lane
+/// plan onto the model's nodes, where the rules look for them.
 void prepare(GraphModel& model, Options& options) {
   if (!options.encodable) {
     options.encodable = [](const core::DataSpec& spec) {
@@ -18,6 +18,9 @@ void prepare(GraphModel& model, Options& options) {
   }
   for (const auto& [id, host] : options.hosts) {
     if (NodeModel* n = model.node(id)) n->host = host;
+  }
+  for (const auto& [id, lane] : options.lanes) {
+    if (NodeModel* n = model.node(id)) n->lane = lane;
   }
 }
 
@@ -55,13 +58,18 @@ ConfigVerification verify_config(
   out.assembly = runtime::assemble_from_config(text, registry, scratch);
   out.model = GraphModel::from_graph(scratch);
 
-  // Swap in the config's component names and collect the host partition —
-  // diagnostics should speak the user's vocabulary, not "GpsSensor#3".
+  // Swap in the config's component names and collect the host partition
+  // and lane plan — diagnostics should speak the user's vocabulary, not
+  // "GpsSensor#3".
   for (const auto& [name, id] : out.assembly.report.instantiated) {
     if (NodeModel* n = out.model.node(id)) n->name = name;
     const auto host = out.assembly.hosts.find(name);
     if (host != out.assembly.hosts.end()) {
       options.hosts.emplace(id, host->second);
+    }
+    const auto lane = out.assembly.lanes.find(name);
+    if (lane != out.assembly.lanes.end()) {
+      options.lanes.emplace(id, lane->second);
     }
   }
   for (const runtime::AssemblyEdge& e : out.assembly.report.edges) {

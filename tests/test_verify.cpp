@@ -10,14 +10,18 @@
 #include "perpos/runtime/config.hpp"
 #include "perpos/runtime/distribution.hpp"
 #include "perpos/verify/emit.hpp"
+#include "perpos/verify/incremental.hpp"
 #include "perpos/verify/verify.hpp"
 #include "perpos/wifi/components.hpp"
 #include "perpos/wifi/fingerprint.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <map>
 #include <memory>
 #include <random>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -87,11 +91,22 @@ vfy::NodeModel node(core::ComponentId id, std::string name,
 
 // --- Catalog ---------------------------------------------------------------
 
-TEST(Catalog, TenRulesWithStableIds) {
+TEST(Catalog, AllRulesWithStableIds) {
   const vfy::RuleRegistry& catalog = vfy::RuleRegistry::default_catalog();
-  ASSERT_EQ(catalog.rules().size(), 10u);
-  for (int i = 0; i <= 9; ++i) {
-    const std::string id = "PPV00" + std::to_string(i);
+  // PPV000..PPV015 static rules + PPS001..PPS005 runtime sanitizer ids.
+  ASSERT_EQ(catalog.rules().size(), 21u);
+  std::vector<std::string> expected;
+  for (int i = 0; i <= 15; ++i) {
+    char id[8];
+    std::snprintf(id, sizeof id, "PPV%03d", i);
+    expected.push_back(id);
+  }
+  for (int i = 1; i <= 5; ++i) {
+    char id[8];
+    std::snprintf(id, sizeof id, "PPS%03d", i);
+    expected.push_back(id);
+  }
+  for (const std::string& id : expected) {
     const vfy::Rule* rule = catalog.find(id);
     ASSERT_NE(rule, nullptr) << id;
     EXPECT_EQ(rule->id(), id);
@@ -99,6 +114,17 @@ TEST(Catalog, TenRulesWithStableIds) {
     EXPECT_FALSE(rule->description().empty());
   }
   EXPECT_EQ(catalog.find("PPV999"), nullptr);
+}
+
+TEST(Catalog, RuntimeRulesNeverFireStatically) {
+  // The PPS ids exist for --list-rules and SARIF metadata; their check()
+  // is a no-op — findings come from the live GraphSanitizer only.
+  core::ProcessingGraph g;
+  g.add(make_sink<V0>("Starved"));  // Plenty wrong statically.
+  const vfy::Report report = vfy::verify(g);
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_TRUE(report.by_rule("PPS00" + std::to_string(i)).empty());
+  }
 }
 
 TEST(Catalog, DuplicateIdRejected) {
@@ -480,6 +506,302 @@ TEST(CrossLane, RemotingEndpointsExemptTheLaneCut) {
   EXPECT_TRUE(vfy::verify_model(model, options).by_rule("PPV009").empty());
 }
 
+// --- PPV010 emit-amplification cycles -----------------------------------------
+
+namespace {
+
+/// Feedback region A -> B (edge), B -> A (deployment link), with the given
+/// per-node emit multiplicities.
+vfy::GraphModel feedback_model(double gain_a, double gain_b) {
+  vfy::GraphModel model;
+  model.nodes.push_back(
+      node(0, "A", {core::require<V0>()}, {core::provide<V0>()}));
+  model.nodes.push_back(
+      node(1, "B", {core::require<V0>()}, {core::provide<V0>()}));
+  model.nodes[0].emit_per_input = gain_a;
+  model.nodes[1].emit_per_input = gain_b;
+  model.edges.push_back({0, 1, false});
+  model.links.push_back({1, 0, /*acked=*/false, /*ordered=*/true, "uplink"});
+  return model;
+}
+
+/// A minimal configurable feature for the hook-annotation rules.
+class TestFeature final : public core::ComponentFeature {
+ public:
+  explicit TestFeature(std::string name, std::vector<std::string> deps = {},
+                       bool consume_emits = false)
+      : name_(std::move(name)),
+        deps_(std::move(deps)),
+        consume_emits_(consume_emits) {}
+  std::string_view name() const override { return name_; }
+  std::vector<std::string> required_features() const override { return deps_; }
+  bool emits_in_consume() const override { return consume_emits_; }
+
+ private:
+  std::string name_;
+  std::vector<std::string> deps_;
+  bool consume_emits_;
+};
+
+}  // namespace
+
+TEST(EmitAmplification, AmplifyingLinkClosedLoopIsError) {
+  const vfy::Report report = vfy::verify_model(feedback_model(2.0, 1.0));
+  ASSERT_EQ(report.by_rule("PPV010").size(), 1u);
+  const vfy::Diagnostic& d = *report.by_rule("PPV010")[0];
+  EXPECT_EQ(d.severity, vfy::Severity::kError);
+  // Reported at the strongest amplifier of the region.
+  EXPECT_EQ(d.component, std::optional<core::ComponentId>(0u));
+  EXPECT_NE(d.message.find("x2"), std::string::npos);
+}
+
+TEST(EmitAmplification, DampedOrBalancedLoopIsClean) {
+  // Gain product exactly 1 (relay loop) and < 1 (decimated) both pass:
+  // the queue cannot grow without bound.
+  EXPECT_TRUE(
+      vfy::verify_model(feedback_model(1.0, 1.0)).by_rule("PPV010").empty());
+  EXPECT_TRUE(
+      vfy::verify_model(feedback_model(2.0, 0.25)).by_rule("PPV010").empty());
+}
+
+TEST(EmitAmplification, EdgeOnlyCycleBelongsToPPV006) {
+  // The same amplifying ring closed by a synchronous edge instead of a
+  // link is PPV006's cycle error, not an amplification finding.
+  vfy::GraphModel model = feedback_model(2.0, 1.0);
+  model.links.clear();
+  model.edges.push_back({1, 0, false});
+  const vfy::Report report = vfy::verify_model(model);
+  EXPECT_TRUE(report.by_rule("PPV010").empty());
+  EXPECT_FALSE(report.by_rule("PPV006").empty());
+}
+
+// --- PPV011 hook-emit reentrancy ----------------------------------------------
+
+TEST(HookReentrancy, ProduceEmissionAlwaysWarns) {
+  vfy::GraphModel model;
+  model.nodes.push_back(node(0, "Src", {}, {core::provide<V0>()}));
+  model.nodes[0].hooks.push_back(
+      {"Annotator", {}, /*emits_on_consume=*/false, /*emits_on_produce=*/true});
+  const vfy::Report report = vfy::verify_model(model);
+  ASSERT_EQ(report.by_rule("PPV011").size(), 1u);
+  EXPECT_NE(report.by_rule("PPV011")[0]->message.find("produce()"),
+            std::string::npos);
+}
+
+TEST(HookReentrancy, ConsumeEmissionOnFeedbackLoopWarns) {
+  vfy::GraphModel model = feedback_model(1.0, 1.0);
+  model.nodes[0].hooks.push_back(
+      {"Echo", {}, /*emits_on_consume=*/true, /*emits_on_produce=*/false});
+  const vfy::Report report = vfy::verify_model(model);
+  ASSERT_EQ(report.by_rule("PPV011").size(), 1u);
+  EXPECT_NE(report.by_rule("PPV011")[0]->message.find("consume()"),
+            std::string::npos);
+}
+
+TEST(HookReentrancy, ConsumeEmissionOnAcyclicPipelineIsClean) {
+  vfy::GraphModel model;
+  model.nodes.push_back(node(0, "Src", {}, {core::provide<V0>()}));
+  model.nodes.push_back(
+      node(1, "Sink", {core::require<V0>()}, {}));
+  model.edges.push_back({0, 1, false});
+  model.nodes[1].hooks.push_back(
+      {"Echo", {}, /*emits_on_consume=*/true, /*emits_on_produce=*/false});
+  EXPECT_TRUE(vfy::verify_model(model).by_rule("PPV011").empty());
+}
+
+// --- PPV012 non-monotonic merge inputs ----------------------------------------
+
+namespace {
+
+/// Source 0 fans out to transforms 1 and 2; both feed merge node 3.
+vfy::GraphModel diamond_model() {
+  vfy::GraphModel model;
+  model.nodes.push_back(node(0, "Src", {}, {core::provide<V0>()}));
+  model.nodes.push_back(node(1, "FastPath", {core::require<V0>()},
+                             {core::provide<V1>()}));
+  model.nodes.push_back(node(2, "SlowPath", {core::require<V0>()},
+                             {core::provide<V1>()}));
+  model.nodes.push_back(node(3, "Fusion", {core::require<V1>()}, {}));
+  model.nodes[3].is_merge = true;
+  model.edges.push_back({0, 1, false});
+  model.edges.push_back({0, 2, false});
+  model.edges.push_back({1, 3, false});
+  model.edges.push_back({2, 3, false});
+  return model;
+}
+
+}  // namespace
+
+TEST(NonMonotonicMerge, ReconvergentDiamondWarns) {
+  const vfy::Report report = vfy::verify_model(diamond_model());
+  ASSERT_GE(report.by_rule("PPV012").size(), 1u);
+  const vfy::Diagnostic& d = *report.by_rule("PPV012")[0];
+  EXPECT_EQ(d.severity, vfy::Severity::kWarning);
+  EXPECT_EQ(d.component, std::optional<core::ComponentId>(3u));
+  EXPECT_NE(d.message.find("reconverge"), std::string::npos);
+}
+
+TEST(NonMonotonicMerge, UnorderedLinkUpstreamOfMergeWarns) {
+  // Two independent sources (no reconvergence), but one arrives over an
+  // unordered deployment link — arrival order can invert logical time.
+  vfy::GraphModel model;
+  model.nodes.push_back(node(0, "SrcA", {}, {core::provide<V1>()}));
+  model.nodes.push_back(node(1, "Ingress", {core::require<V1>()},
+                             {core::provide<V1>()}));
+  model.nodes.push_back(node(2, "SrcB", {}, {core::provide<V1>()}));
+  model.nodes.push_back(node(3, "Fusion", {core::require<V1>()}, {}));
+  model.nodes[3].is_merge = true;
+  model.links.push_back({0, 1, /*acked=*/false, /*ordered=*/false, "radio"});
+  model.edges.push_back({1, 3, false});
+  model.edges.push_back({2, 3, false});
+  const vfy::Report report = vfy::verify_model(model);
+  ASSERT_EQ(report.by_rule("PPV012").size(), 1u);
+  EXPECT_NE(report.by_rule("PPV012")[0]->message.find("'radio'"),
+            std::string::npos);
+}
+
+TEST(NonMonotonicMerge, IndependentOrderedInputsAreClean) {
+  vfy::GraphModel model = diamond_model();
+  // Split the diamond: give each path its own source.
+  model.edges.erase(model.edges.begin());  // Drop 0 -> 1.
+  model.nodes.push_back(node(4, "Src2", {}, {core::provide<V0>()}));
+  model.edges.push_back({4, 1, false});
+  EXPECT_TRUE(vfy::verify_model(model).by_rule("PPV012").empty());
+}
+
+// --- PPV013 ack-cycle deadlock ------------------------------------------------
+
+namespace {
+
+vfy::GraphModel two_host_model() {
+  vfy::GraphModel model;
+  model.nodes.push_back(node(0, "DeviceOut", {}, {core::provide<V0>()}));
+  model.nodes.push_back(node(1, "ServerIn", {core::require<V0>()},
+                             {core::provide<V1>()}));
+  model.nodes.push_back(node(2, "ServerOut", {}, {core::provide<V1>()}));
+  model.nodes.push_back(node(3, "DeviceIn", {core::require<V1>()}, {}));
+  model.nodes[0].host = "device";
+  model.nodes[3].host = "device";
+  model.nodes[1].host = "server";
+  model.nodes[2].host = "server";
+  return model;
+}
+
+}  // namespace
+
+TEST(AckCycle, MutuallyAckedHostsWarn) {
+  vfy::GraphModel model = two_host_model();
+  model.links.push_back({0, 1, /*acked=*/true, /*ordered=*/true, "up"});
+  model.links.push_back({2, 3, /*acked=*/true, /*ordered=*/true, "down"});
+  const vfy::Report report = vfy::verify_model(model);
+  ASSERT_EQ(report.by_rule("PPV013").size(), 1u);
+  EXPECT_NE(report.by_rule("PPV013")[0]->message.find("device"),
+            std::string::npos);
+  EXPECT_NE(report.by_rule("PPV013")[0]->message.find("server"),
+            std::string::npos);
+}
+
+TEST(AckCycle, OneWayAckedIsClean) {
+  // Reliable uplink, fire-and-forget downlink: no ring, no finding.
+  vfy::GraphModel model = two_host_model();
+  model.links.push_back({0, 1, /*acked=*/true, /*ordered=*/true, "up"});
+  model.links.push_back({2, 3, /*acked=*/false, /*ordered=*/true, "down"});
+  EXPECT_TRUE(vfy::verify_model(model).by_rule("PPV013").empty());
+}
+
+// --- PPV014 lane starvation ---------------------------------------------------
+
+namespace {
+
+vfy::GraphModel sinks_on_lane(std::size_t count, const std::string& lane) {
+  vfy::GraphModel model;
+  model.nodes.push_back(node(0, "Src", {}, {core::provide<V0>()}));
+  for (std::size_t i = 1; i <= count; ++i) {
+    model.nodes.push_back(
+        node(static_cast<core::ComponentId>(i), "App" + std::to_string(i),
+             {core::require<V0>()}, {}));
+    model.nodes.back().lane = lane;
+    model.edges.push_back({0, static_cast<core::ComponentId>(i), false});
+  }
+  return model;
+}
+
+}  // namespace
+
+TEST(LaneStarvation, FiveSinksOnOneLaneWarn) {
+  const vfy::Report report = vfy::verify_model(sinks_on_lane(5, "hot"));
+  ASSERT_EQ(report.by_rule("PPV014").size(), 1u);
+  EXPECT_NE(report.by_rule("PPV014")[0]->message.find("'hot'"),
+            std::string::npos);
+}
+
+TEST(LaneStarvation, ThresholdSinksAreClean) {
+  // Exactly max_sinks_per_lane (default 4) is accepted; the threshold is
+  // "more than", not "at least".
+  EXPECT_TRUE(
+      vfy::verify_model(sinks_on_lane(4, "hot")).by_rule("PPV014").empty());
+}
+
+TEST(LaneStarvation, ThresholdIsTunable) {
+  vfy::Options options;
+  options.max_sinks_per_lane = 8;
+  EXPECT_TRUE(vfy::verify_model(sinks_on_lane(5, "hot"), options)
+                  .by_rule("PPV014")
+                  .empty());
+  options.max_sinks_per_lane = 2;
+  EXPECT_EQ(vfy::verify_model(sinks_on_lane(3, "hot"), options)
+                .by_rule("PPV014")
+                .size(),
+            1u);
+}
+
+// --- PPV015 hook-order violations ---------------------------------------------
+
+TEST(HookOrder, MissingRequiredFeatureIsError) {
+  vfy::GraphModel model;
+  model.nodes.push_back(node(0, "Src", {}, {core::provide<V0>()}));
+  model.nodes[0].hooks.push_back({"Smoother", {"Outliers"}, false, false});
+  const vfy::Report report = vfy::verify_model(model);
+  ASSERT_EQ(report.by_rule("PPV015").size(), 1u);
+  EXPECT_EQ(report.by_rule("PPV015")[0]->severity, vfy::Severity::kError);
+}
+
+TEST(HookOrder, DependencyAttachedAfterDependantWarns) {
+  vfy::GraphModel model;
+  model.nodes.push_back(node(0, "Src", {}, {core::provide<V0>()}));
+  model.nodes[0].hooks.push_back({"Smoother", {"Outliers"}, false, false});
+  model.nodes[0].hooks.push_back({"Outliers", {}, false, false});
+  const vfy::Report report = vfy::verify_model(model);
+  ASSERT_EQ(report.by_rule("PPV015").size(), 1u);
+  EXPECT_EQ(report.by_rule("PPV015")[0]->severity, vfy::Severity::kWarning);
+  EXPECT_NE(report.by_rule("PPV015")[0]->message.find("attachment order"),
+            std::string::npos);
+}
+
+TEST(HookOrder, SatisfiedOrderIsClean) {
+  vfy::GraphModel model;
+  model.nodes.push_back(node(0, "Src", {}, {core::provide<V0>()}));
+  model.nodes[0].hooks.push_back({"Outliers", {}, false, false});
+  model.nodes[0].hooks.push_back({"Smoother", {"Outliers"}, false, false});
+  EXPECT_TRUE(vfy::verify_model(model).by_rule("PPV015").empty());
+}
+
+TEST(HookOrder, DetachingADependencyOnALiveGraphIsCaught) {
+  // attach_feature() enforces dependencies at attach time, but
+  // detach_feature() does not re-check dependants — exactly the hole this
+  // rule plugs on re-verification after an adaptation.
+  core::ProcessingGraph g;
+  const auto src = g.add(make_source<V0>());
+  g.attach_feature(src, std::make_shared<TestFeature>("Outliers"));
+  g.attach_feature(src, std::make_shared<TestFeature>(
+                            "Smoother", std::vector<std::string>{"Outliers"}));
+  EXPECT_TRUE(vfy::verify(g).by_rule("PPV015").empty());
+  g.detach_feature(src, "Outliers");
+  const vfy::Report report = vfy::verify(g);
+  ASSERT_EQ(report.by_rule("PPV015").size(), 1u);
+  EXPECT_EQ(report.by_rule("PPV015")[0]->severity, vfy::Severity::kError);
+}
+
 // --- Strict deployment (runtime integration of the same check) ---------------
 
 namespace {
@@ -620,6 +942,60 @@ TEST(ConfigVerify, CleanConfigIsOk) {
   EXPECT_TRUE(result.assembly.verify_requested == false);
 }
 
+TEST(ConfigVerify, LaneLinesFeedTheLaneRules) {
+  const std::string config =
+      "component src v0-source\n"
+      "component mid v0-to-v1\n"
+      "component app v1-sink\n"
+      "connect src mid\n"
+      "connect mid app\n"
+      "lane ingest src mid\n"
+      "lane ui app\n";
+  // The mid -> app edge crosses lanes 'ingest'/'ui' synchronously: PPV009.
+  const vfy::ConfigVerification result =
+      vfy::verify_config(config, test_registry());
+  ASSERT_EQ(result.report.by_rule("PPV009").size(), 1u);
+  EXPECT_NE(result.report.by_rule("PPV009")[0]->message.find("ingest"),
+            std::string::npos);
+  EXPECT_FALSE(result.report.ok());
+}
+
+TEST(ConfigVerify, LaneAssignmentsRoundTripThroughExport) {
+  core::ProcessingGraph g;
+  const auto src = g.add(make_source<V0>());
+  const auto sink = g.add(make_sink<V0>());
+  g.connect(src, sink);
+  const std::map<core::ComponentId, std::string> lanes = {{src, "ingest"},
+                                                          {sink, "ingest"}};
+  const std::string exported =
+      rt::export_config(g, nullptr, nullptr, &lanes);
+  EXPECT_NE(exported.find("lane ingest"), std::string::npos);
+
+  // Re-parse: the lane plan must survive the round trip by name.
+  rt::ComponentFactoryRegistry registry;
+  registry.register_kind("Src",
+                         [](const auto&) { return make_source<V0>("Src"); });
+  registry.register_kind("Sink",
+                         [](const auto&) { return make_sink<V0>("Sink"); });
+  core::ProcessingGraph g2;
+  const rt::ConfigResult parsed =
+      rt::assemble_from_config(exported, registry, g2);
+  EXPECT_TRUE(parsed.errors.empty());
+  ASSERT_EQ(parsed.lanes.size(), 2u);
+  for (const auto& [name, lane] : parsed.lanes) EXPECT_EQ(lane, "ingest");
+}
+
+TEST(ConfigVerify, ConflictingLaneAssignmentIsAnError) {
+  const vfy::ConfigVerification result = vfy::verify_config(
+      "component app v1-sink\nlane a app\nlane b app\n", test_registry());
+  bool conflict = false;
+  for (const auto* d : result.report.by_rule("PPV000")) {
+    conflict = conflict ||
+               d->message.find("assigned to both") != std::string::npos;
+  }
+  EXPECT_TRUE(conflict);
+}
+
 TEST(AssembleVerified, ErrorsLeaveTheGraphUntouched) {
   core::ProcessingGraph g;
   const vfy::VerifiedAssembly out = vfy::assemble_verified(
@@ -731,6 +1107,59 @@ TEST(Emit, SarifGolden) {
       "\"examples/configs/pipeline.conf\"},\"region\":{\"startLine\":1}},"
       "\"logicalLocations\":[{\"name\":\"app\",\"kind\":\"member\"}]}]}]}]}";
   EXPECT_EQ(vfy::to_sarif(report, registry, "examples/configs/pipeline.conf"),
+            expected);
+}
+
+TEST(Emit, SarifGoldenPPV009) {
+  // Exact-output golden for a cross-lane finding: rule metadata from a
+  // one-rule registry plus a pinned warning-severity diagnostic with an
+  // edge location. Guards the lane-rule wire format CI consumes.
+  class LaneRule final : public vfy::Rule {
+   public:
+    std::string_view id() const noexcept override { return "PPV009"; }
+    std::string_view name() const noexcept override {
+      return "cross-lane-edge";
+    }
+    std::string_view description() const noexcept override {
+      return "a direct edge between execution lanes";
+    }
+    vfy::Severity default_severity() const noexcept override {
+      return vfy::Severity::kError;
+    }
+    void check(const vfy::GraphModel&, const vfy::Options&,
+               vfy::Report&) const override {}
+  };
+  vfy::RuleRegistry registry;
+  registry.add(std::make_unique<LaneRule>());
+
+  vfy::Report report;
+  vfy::Diagnostic d;
+  d.rule_id = "PPV009";
+  d.severity = vfy::Severity::kError;
+  d.message = "edge 'src' -> 'app' crosses lanes 'lane-a'/'lane-b'.";
+  d.component = 3;
+  d.component_name = "app";
+  d.edge = std::make_pair<core::ComponentId, core::ComponentId>(2, 3);
+  d.fix_hint = "route the hop through a deployment link.";
+  report.diagnostics.push_back(d);
+
+  const std::string expected =
+      "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/"
+      "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\","
+      "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+      "\"name\":\"perpos-verify\","
+      "\"informationUri\":\"https://example.invalid/perpos\",\"rules\":["
+      "{\"id\":\"PPV009\",\"name\":\"cross-lane-edge\","
+      "\"shortDescription\":{\"text\":\"a direct edge between execution "
+      "lanes\"},\"defaultConfiguration\":{\"level\":\"error\"}}]}},"
+      "\"results\":[{\"ruleId\":\"PPV009\",\"ruleIndex\":0,"
+      "\"level\":\"error\",\"message\":{\"text\":\"edge 'src' -> 'app' "
+      "crosses lanes 'lane-a'/'lane-b'. Hint: route the hop through a "
+      "deployment link.\"},\"locations\":[{"
+      "\"physicalLocation\":{\"artifactLocation\":{\"uri\":"
+      "\"examples/configs/lanes.conf\"},\"region\":{\"startLine\":1}},"
+      "\"logicalLocations\":[{\"name\":\"app\",\"kind\":\"member\"}]}]}]}]}";
+  EXPECT_EQ(vfy::to_sarif(report, registry, "examples/configs/lanes.conf"),
             expected);
 }
 
@@ -858,4 +1287,125 @@ TEST(Property, FindingFreeGraphsRunWithoutRejectedDeliveries) {
   }
   // The generator must actually exercise the clean path.
   EXPECT_GT(clean_graphs, 0);
+}
+
+// --- Incremental re-verification (adaptation-time rechecks) -------------------
+
+namespace {
+
+/// Order-insensitive verdict fingerprint for report equivalence checks.
+std::multiset<std::string> verdicts(const vfy::Report& report) {
+  std::multiset<std::string> out;
+  for (const vfy::Diagnostic& d : report.diagnostics) {
+    out.insert(d.rule_id + "|" +
+               (d.component.has_value() ? std::to_string(*d.component)
+                                        : std::string("-")) +
+               "|" + d.message);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Incremental, FullPassMatchesPlainVerify) {
+  core::ProcessingGraph g;
+  const auto src = g.add(make_source<V0>());
+  const auto sink = g.add(make_sink<V0>());
+  g.connect(src, sink);
+  g.add(make_sink<V1>("Starved"));  // Independent, deliberately broken.
+
+  vfy::IncrementalVerifier iv(g);
+  const vfy::Report incremental = iv.full();
+  EXPECT_EQ(verdicts(incremental), verdicts(vfy::verify(g)));
+  EXPECT_EQ(iv.nodes_visited(), 3u);
+  EXPECT_EQ(iv.components_visited(), 2u);
+}
+
+TEST(Incremental, CleanRecheckReplaysCacheWithoutVisiting) {
+  core::ProcessingGraph g;
+  const auto src = g.add(make_source<V0>());
+  const auto sink = g.add(make_sink<V0>());
+  g.connect(src, sink);
+  g.add(make_sink<V1>("Starved"));
+
+  vfy::IncrementalVerifier iv(g);
+  const vfy::Report first = iv.full();
+  const vfy::Report second = iv.recheck();
+  EXPECT_EQ(verdicts(first), verdicts(second));
+  // Nothing mutated: every component replays from cache.
+  EXPECT_EQ(iv.nodes_visited(), 0u);
+  EXPECT_EQ(iv.components_visited(), 0u);
+}
+
+TEST(Incremental, RecheckAfterInsertVisitsOnlyTheDirtySubgraph) {
+  // Two independent pipelines; adapting one must not re-analyze the other.
+  core::ProcessingGraph g;
+  const auto src_a = g.add(make_source<V0>());
+  const auto sink_a = g.add(make_sink<V0>("AppA"));
+  g.connect(src_a, sink_a);
+  const auto src_b = g.add(make_source<V1>());
+  const auto sink_b = g.add(make_sink<V1>("AppB"));
+  g.connect(src_b, sink_b);
+
+  vfy::IncrementalVerifier iv(g);
+  iv.full();
+  EXPECT_EQ(iv.nodes_visited(), 4u);
+
+  // The PSL-style adaptation: splice a filter into pipeline A's edge.
+  const auto filter = g.add(make_transform<V0, V0>("Filter"));
+  g.insert_between(filter, src_a, sink_a);
+
+  const vfy::Report after = iv.recheck();
+  // Only pipeline A (now 3 nodes) was analyzed; pipeline B replayed.
+  EXPECT_EQ(iv.components_visited(), 1u);
+  EXPECT_EQ(iv.nodes_visited(), 3u);
+  // ...and the verdicts are exactly a full re-verification's.
+  EXPECT_EQ(verdicts(after), verdicts(vfy::verify(g)));
+}
+
+TEST(Incremental, FeatureDetachDirtiesTheHostComponent) {
+  // Feature mutations change no edge, so only the dirty mark (not the
+  // cache key) can catch them — this is the regression test for that path.
+  core::ProcessingGraph g;
+  const auto src = g.add(make_source<V0>());
+  const auto sink = g.add(make_sink<V0>());
+  g.connect(src, sink);
+  const auto other = g.add(make_source<V1>("Other"));
+  const auto other_sink = g.add(make_sink<V1>("OtherApp"));
+  g.connect(other, other_sink);
+  g.attach_feature(src, std::make_shared<TestFeature>("Outliers"));
+  g.attach_feature(src, std::make_shared<TestFeature>(
+                            "Smoother", std::vector<std::string>{"Outliers"}));
+
+  vfy::IncrementalVerifier iv(g);
+  EXPECT_TRUE(iv.full().by_rule("PPV015").empty());
+
+  g.detach_feature(src, "Outliers");
+  const vfy::Report after = iv.recheck();
+  ASSERT_EQ(after.by_rule("PPV015").size(), 1u);
+  EXPECT_EQ(iv.components_visited(), 1u);
+  EXPECT_EQ(iv.nodes_visited(), 2u);
+  EXPECT_EQ(verdicts(after), verdicts(vfy::verify(g)));
+}
+
+TEST(Incremental, NonLocalRulesStillRunOnCleanComponents) {
+  // PPV014 totals sinks per lane across weak components; a cached
+  // component must not hide its contribution.
+  core::ProcessingGraph g;
+  std::vector<core::ComponentId> sinks;
+  for (int i = 0; i < 5; ++i) {
+    const auto src = g.add(make_source<V0>());
+    const auto sink = g.add(make_sink<V0>("App" + std::to_string(i)));
+    g.connect(src, sink);
+    sinks.push_back(sink);
+  }
+  vfy::Options options;
+  for (const auto id : sinks) options.lanes.emplace(id, "hot");
+
+  vfy::IncrementalVerifier iv(g, options);
+  EXPECT_EQ(iv.full().by_rule("PPV014").size(), 1u);
+  // No mutations: everything replays, yet the lane total still fires.
+  const vfy::Report again = iv.recheck();
+  EXPECT_EQ(again.by_rule("PPV014").size(), 1u);
+  EXPECT_EQ(iv.nodes_visited(), 0u);
 }

@@ -1,0 +1,33 @@
+# Test script for perpos-verify's baseline workflow: record every finding
+# of ${CONFIG} into a baseline, then re-lint against it — the second run
+# must suppress everything and exit 0 even under --werror.
+#
+# Driven by the verify_baseline_roundtrip ctest entry with:
+#   -DVERIFY=<perpos-verify binary> -DCONFIG=<config> -DWORK_DIR=<scratch>
+
+set(baseline "${WORK_DIR}/baseline_roundtrip.txt")
+
+execute_process(
+  COMMAND "${VERIFY}" --baseline "${baseline}" --update-baseline "${CONFIG}"
+  RESULT_VARIABLE record_rc)
+if(NOT record_rc EQUAL 0)
+  message(FATAL_ERROR "--update-baseline failed (exit ${record_rc})")
+endif()
+
+execute_process(
+  COMMAND "${VERIFY}" --werror --baseline "${baseline}" "${CONFIG}"
+  RESULT_VARIABLE lint_rc
+  OUTPUT_VARIABLE lint_out)
+if(NOT lint_rc EQUAL 0)
+  message(FATAL_ERROR
+          "baselined lint still gates (exit ${lint_rc}):\n${lint_out}")
+endif()
+
+# Sanity: without the baseline the same invocation must gate.
+execute_process(
+  COMMAND "${VERIFY}" --werror "${CONFIG}"
+  RESULT_VARIABLE bare_rc
+  OUTPUT_QUIET)
+if(bare_rc EQUAL 0)
+  message(FATAL_ERROR "fixture linted clean; the round-trip proves nothing")
+endif()

@@ -2,13 +2,22 @@
 //
 // Usage:
 //   perpos-verify [--format=text|json|sarif] [--output FILE] [--werror]
-//                 [--disable RULE]... CONFIG...
+//                 [--disable RULE]... [--baseline FILE] [--update-baseline]
+//                 CONFIG...
 //   perpos-verify --list-rules
 //
 // Exit codes: 0 = no findings that gate, 1 = errors (or warnings under
 // --werror), 2 = usage / IO problem. JSON and SARIF output describe one
 // config, so those formats accept exactly one CONFIG argument (CI loops
 // over files); text mode accepts any number.
+//
+// Baselines adopt the analyzer into a codebase with existing findings:
+// `--update-baseline --baseline FILE` records every current finding's
+// fingerprint (rule id + node path); later runs with `--baseline FILE`
+// suppress exactly those findings, so only regressions gate. Fingerprints
+// deliberately ignore message text and line numbers — renaming a config
+// line or rewording a rule does not invalidate a baseline, but a finding
+// moving to a new component does.
 //
 // The tool instantiates configs against the standard kind registry below —
 // the middleware-provided components wired to canonical fixtures (the
@@ -27,9 +36,11 @@
 #include "perpos/wifi/components.hpp"
 #include "perpos/wifi/fingerprint.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -140,10 +151,31 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--format=text|json|sarif] [--output FILE] [--werror]\n"
-      "          [--disable RULE]... CONFIG...\n"
+      "          [--disable RULE]... [--baseline FILE] [--update-baseline]\n"
+      "          CONFIG...\n"
       "       %s --list-rules\n",
       argv0, argv0);
   return 2;
+}
+
+/// The stable identity of a finding for baseline matching: rule id + node
+/// path (component name, edge, or config line position) — not the message,
+/// which rewords across analyzer versions.
+std::string fingerprint(const verify::Diagnostic& d) {
+  std::string location;
+  if (!d.component_name.empty()) {
+    location = d.component_name;
+  } else if (d.component.has_value()) {
+    location = "#" + std::to_string(*d.component);
+  } else if (d.edge.has_value()) {
+    location = "#" + std::to_string(d.edge->first) + "->#" +
+               std::to_string(d.edge->second);
+  } else if (d.line.has_value()) {
+    location = "line:" + std::to_string(*d.line);
+  } else {
+    location = "<config>";
+  }
+  return d.rule_id + " " + location;
 }
 
 }  // namespace
@@ -151,6 +183,8 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string format = "text";
   std::string output_path;
+  std::string baseline_path;
+  bool update_baseline = false;
   bool werror = false;
   verify::Options options;
   std::vector<std::string> files;
@@ -172,6 +206,12 @@ int main(int argc, char** argv) {
       output_path = argv[++i];
     } else if (arg == "--werror") {
       werror = true;
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
     } else if (arg.rfind("--disable=", 0) == 0) {
       options.disabled_rules.push_back(arg.substr(10));
     } else if (arg == "--disable" && i + 1 < argc) {
@@ -195,11 +235,37 @@ int main(int argc, char** argv) {
                  format.c_str(), files.size());
     return 2;
   }
+  if (update_baseline && baseline_path.empty()) {
+    std::fprintf(stderr, "--update-baseline needs --baseline FILE\n");
+    return 2;
+  }
+
+  // Load the accepted-findings baseline (one fingerprint per line; '#'
+  // starts a comment). Missing file + --update-baseline = first adoption.
+  std::set<std::string> baseline;
+  if (!baseline_path.empty() && !update_baseline) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline '%s'\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      while (!line.empty() && (line.back() == ' ' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      if (!line.empty()) baseline.insert(line);
+    }
+  }
 
   Fixtures fx;
   const runtime::ComponentFactoryRegistry registry = standard_registry(fx);
 
   std::ostringstream rendered;
+  std::set<std::string> current_fingerprints;
   bool gate = false;
   for (const std::string& path : files) {
     std::ifstream in(path);
@@ -210,8 +276,19 @@ int main(int argc, char** argv) {
     std::ostringstream text;
     text << in.rdbuf();
 
-    const verify::ConfigVerification result =
+    verify::ConfigVerification result =
         verify::verify_config(text.str(), registry, options);
+    for (const verify::Diagnostic& d : result.report.diagnostics) {
+      current_fingerprints.insert(fingerprint(d));
+    }
+    if (!baseline.empty()) {
+      auto& diags = result.report.diagnostics;
+      diags.erase(std::remove_if(diags.begin(), diags.end(),
+                                 [&baseline](const verify::Diagnostic& d) {
+                                   return baseline.count(fingerprint(d)) > 0;
+                                 }),
+                  diags.end());
+    }
     gate = gate || !result.report.ok() ||
            (werror && result.report.warnings() > 0);
 
@@ -227,6 +304,21 @@ int main(int argc, char** argv) {
       rendered << verify::to_text(result.report);
       if (files.size() > 1) rendered << '\n';
     }
+  }
+
+  if (update_baseline) {
+    std::ofstream out(baseline_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write baseline '%s'\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    out << "# perpos-verify baseline: accepted findings, one 'RULE "
+           "location' per line.\n";
+    for (const std::string& fp : current_fingerprints) out << fp << '\n';
+    std::fprintf(stderr, "baseline '%s': %zu finding(s) recorded\n",
+                 baseline_path.c_str(), current_fingerprints.size());
+    return 0;
   }
 
   if (output_path.empty()) {
