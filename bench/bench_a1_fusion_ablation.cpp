@@ -24,6 +24,8 @@
 #include "perpos/sensors/gps_sensor.hpp"
 #include "perpos/sensors/pipeline_components.hpp"
 
+#include "bench_metrics.hpp"
+
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -62,10 +64,12 @@ fusion::ErrorStats replay(const sensors::Trace& trace,
                           const geo::LocalFrame& frame,
                           const sensors::Trajectory& walk,
                           Mechanism mechanism, std::size_t particles,
-                          std::uint64_t seed) {
+                          std::uint64_t seed,
+                          const std::string& metrics_json = {}) {
   sim::Scheduler scheduler;
   sim::Random random(seed);
   core::ProcessingGraph graph(&scheduler.clock());
+  if (!metrics_json.empty()) graph.enable_observability();
   core::ChannelManager channels(graph);
   auto emulator =
       std::make_shared<sensors::EmulatorSource>(scheduler, trace, "GPS");
@@ -115,6 +119,7 @@ fusion::ErrorStats replay(const sensors::Trace& trace,
   });
   emulator->start();
   scheduler.run_all();
+  benchutil::write_metrics_snapshot(metrics_json, "a1_fusion_ablation", graph);
   return fusion::compute_stats(errors);
 }
 
@@ -161,7 +166,7 @@ void run_regime(const char* name, const locmodel::Building* building,
               std::size_t{3});
 }
 
-void print_report() {
+void print_report(const std::string& metrics_json_path) {
   std::printf("=== A1: fusion mechanism ablation ===\n\n");
   static const locmodel::Building building = locmodel::make_office_building();
   static const geo::LocalFrame open_frame(
@@ -174,6 +179,15 @@ void print_report() {
                  .build());
   run_regime("degraded indoor walk", &building, building.frame(),
              sensors::office_walk());
+
+  if (!metrics_json_path.empty()) {
+    // One extra observed particle-filter replay for the metrics snapshot;
+    // the timed regimes above run unobserved so the numbers stay honest.
+    const auto walk = sensors::office_walk();
+    const auto trace = record_trace(&building, walk, 42);
+    (void)replay(trace, &building, building.frame(), walk,
+                 Mechanism::kParticle, 500, 43, metrics_json_path);
+  }
 }
 
 void BM_KalmanUpdate(benchmark::State& state) {
@@ -206,7 +220,8 @@ BENCHMARK(BM_ParticleUpdate)->Arg(100)->Arg(500)->Arg(2000);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_report();
+  const std::string metrics_json = benchutil::strip_metrics_json(argc, argv);
+  print_report(metrics_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -12,6 +12,8 @@
 #include "perpos/fusion/transport_mode.hpp"
 #include "perpos/sim/random.hpp"
 
+#include "bench_metrics.hpp"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -46,10 +48,12 @@ struct RunResult {
   }
 };
 
-RunResult run(bool with_hmm, double noise_m, std::uint64_t seed) {
+RunResult run(bool with_hmm, double noise_m, std::uint64_t seed,
+              const std::string& metrics_json = {}) {
   const geo::LocalFrame frame(geo::GeoPoint{56.1697, 10.1994, 50.0});
   sim::Random random(seed);
   core::ProcessingGraph graph;
+  if (!metrics_json.empty()) graph.enable_observability();
   auto source = std::make_shared<core::SourceComponent>(
       "GPS",
       std::vector<core::DataSpec>{core::provide<core::PositionFix>()});
@@ -109,10 +113,11 @@ RunResult run(bool with_hmm, double noise_m, std::uint64_t seed) {
       source->push(fix);
     }
   }
+  benchutil::write_metrics_snapshot(metrics_json, "a2_transport_mode", graph);
   return result;
 }
 
-void print_report() {
+void print_report(const std::string& metrics_json_path) {
   std::printf("=== A2: transportation-mode pipeline and HMM ablation "
               "===\n\n");
   std::printf("journey: still(60s) walk(90s) bike(90s) vehicle(90s) "
@@ -138,6 +143,12 @@ void print_report() {
   }
   std::printf("\n(mode changes averaged per run; 4 is ideal — more means "
               "flicker)\n\n");
+
+  if (!metrics_json_path.empty()) {
+    // One extra observed run for the metrics snapshot; the accuracy table
+    // above runs unobserved.
+    (void)run(true, 0.5, 42, metrics_json_path);
+  }
 }
 
 void BM_TransportPipelinePerFix(benchmark::State& state) {
@@ -176,7 +187,8 @@ BENCHMARK(BM_TransportPipelinePerFix);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_report();
+  const std::string metrics_json = benchutil::strip_metrics_json(argc, argv);
+  print_report(metrics_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -24,6 +24,8 @@
 #include "perpos/sensors/gps_sensor.hpp"
 #include "perpos/sensors/pipeline_components.hpp"
 
+#include "bench_metrics.hpp"
+
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -224,13 +226,41 @@ void report_middlewhere() {
               info.confidence, info.resolution_m);
 }
 
-void print_report() {
+void print_report(const std::string& metrics_json_path) {
   std::printf("=== C1: comparison with Location Stack and PoSIM (Sec. 3) "
               "===\n\n");
   report_association();
   report_bytes();
   report_modifications();
   report_middlewhere();
+
+  if (!metrics_json_path.empty()) {
+    // Observed run of the PerPos per-fix pipeline (the comparison's own
+    // workload) for the snapshot.
+    core::ProcessingGraph graph;
+    graph.enable_observability();
+    auto source = std::make_shared<core::SourceComponent>(
+        "GPS",
+        std::vector<core::DataSpec>{core::provide<core::RawFragment>()});
+    const auto a = graph.add(source);
+    const auto p = graph.add(std::make_shared<sensors::NmeaParser>());
+    const auto i = graph.add(std::make_shared<sensors::NmeaInterpreter>());
+    graph.connect(a, p);
+    graph.connect(p, i);
+    graph.connect(i, graph.add(std::make_shared<core::ApplicationSink>()));
+    nmea::GgaSentence gga;
+    gga.quality = nmea::FixQuality::kGps;
+    gga.satellites_in_use = 8;
+    gga.hdop = 1.1;
+    gga.latitude_deg = 56.1697;
+    gga.longitude_deg = 10.1994;
+    const std::string sentence = nmea::generate_gga(gga) + "\r\n";
+    for (int n = 0; n < 1000; ++n) {
+      source->push(core::RawFragment{sentence});
+    }
+    benchutil::write_metrics_snapshot(metrics_json_path, "c1_comparison",
+                                      graph);
+  }
 }
 
 // (c) End-to-end overhead per position.
@@ -317,7 +347,8 @@ BENCHMARK(BM_PosimPerFix);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_report();
+  const std::string metrics_json = benchutil::strip_metrics_json(argc, argv);
+  print_report(metrics_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

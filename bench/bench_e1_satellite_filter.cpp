@@ -24,6 +24,8 @@
 #include "perpos/sensors/gps_sensor.hpp"
 #include "perpos/sensors/pipeline_components.hpp"
 
+#include "bench_metrics.hpp"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -39,7 +41,8 @@ struct RunStats {
   std::uint64_t unreliable = 0;  ///< Delivered fixes with error > 20 m.
 };
 
-RunStats run(int min_satellites, double outage_fraction, std::uint64_t seed) {
+RunStats run(int min_satellites, double outage_fraction, std::uint64_t seed,
+              const std::string& metrics_json = {}) {
   sim::Scheduler scheduler;
   sim::Random random(seed);
   const geo::LocalFrame frame(geo::GeoPoint{56.1697, 10.1994, 50.0});
@@ -48,6 +51,7 @@ RunStats run(int min_satellites, double outage_fraction, std::uint64_t seed) {
       sensors::TrajectoryBuilder({0, 0}).walk_to({840, 0}, 1.4).build();
 
   core::ProcessingGraph graph(&scheduler.clock());
+  if (!metrics_json.empty()) graph.enable_observability();
   sensors::GpsSensorConfig config;
   config.emit_gsa = false;
   config.model.degraded_fix_loss_prob = 0.0;  // Keep reporting in outages.
@@ -97,10 +101,11 @@ RunStats run(int min_satellites, double outage_fraction, std::uint64_t seed) {
   out.epochs = gps->epochs();
   out.delivered = errors.size();
   out.unreliable = unreliable;
+  benchutil::write_metrics_snapshot(metrics_json, "e1_satellite_filter", graph);
   return out;
 }
 
-void print_report() {
+void print_report(const std::string& metrics_json_path) {
   std::printf("=== E1: Sec. 3.1 — satellite-count filtering for reliability "
               "===\n\n");
   for (double outage : {0.2, 0.4}) {
@@ -130,6 +135,12 @@ void print_report() {
   std::printf("(the technique trades availability for reliability: stricter "
               "thresholds deliver\n fewer fixes but nearly eliminate the "
               ">20 m outliers produced during outages)\n\n");
+
+  if (!metrics_json_path.empty()) {
+    // One extra observed run for the metrics snapshot; the table above
+    // runs unobserved.
+    (void)run(5, 0.2, 42, metrics_json_path);
+  }
 }
 
 void BM_FilterOverheadPerSentence(benchmark::State& state) {
@@ -167,7 +178,8 @@ BENCHMARK(BM_FilterOverheadPerSentence);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_report();
+  const std::string metrics_json = benchutil::strip_metrics_json(argc, argv);
+  print_report(metrics_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -21,9 +21,12 @@
 #include "perpos/wifi/components.hpp"
 #include "perpos/wifi/fingerprint.hpp"
 
+#include "bench_metrics.hpp"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
 using namespace perpos;
 
@@ -58,7 +61,7 @@ core::ComponentId build_fig2(core::ProcessingGraph& graph,
   return fid;
 }
 
-void print_report() {
+void print_report(const std::string& metrics_json_path) {
   std::printf("=== F2: Fig. 2 — three abstraction levels of one process "
               "===\n\n");
   sim::Scheduler scheduler;
@@ -71,6 +74,7 @@ void print_report() {
   const sensors::Trajectory walk = sensors::office_walk();
 
   core::ProcessingGraph graph(&scheduler.clock());
+  if (!metrics_json_path.empty()) graph.enable_observability();
   core::ChannelManager channels(graph);
   core::PositioningService positioning(graph, channels);
   const auto fid = build_fig2(graph, scheduler, random, building,
@@ -90,6 +94,7 @@ void print_report() {
               core::dump_channels(channels).c_str());
   std::printf("--- Process Structure Layer ---\n%s\n",
               core::dump_structure(graph).c_str());
+  benchutil::write_metrics_snapshot(metrics_json_path, "fig2_layers", graph);
 }
 
 struct Fig2Rig {
@@ -165,7 +170,8 @@ BENCHMARK(BM_DumpChannels);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_report();
+  const std::string metrics_json = benchutil::strip_metrics_json(argc, argv);
+  print_report(metrics_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -15,10 +15,13 @@
 #include "perpos/core/components.hpp"
 #include "perpos/core/graph.hpp"
 
+#include "bench_metrics.hpp"
+
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 
 using namespace perpos;
 
@@ -93,7 +96,7 @@ struct Rig {
   core::ComponentId last{};
 };
 
-void print_report() {
+void print_report(const std::string& metrics_json_path) {
   std::printf("=== F3: Fig. 3 — feature mechanism overhead ===\n\n");
   std::printf("%-32s %14s %10s\n", "configuration", "ns/delivery",
               "overhead");
@@ -114,6 +117,16 @@ void print_report() {
     std::printf("%-32s %14.1f %9.2fx\n", label, ns, ns / baseline);
   }
   std::printf("\n");
+
+  if (!metrics_json_path.empty()) {
+    // A separate observed rig: observability would skew the timing loop
+    // above, so the snapshot comes from its own feature-bearing run.
+    Rig rig(4);
+    rig.graph.enable_observability();
+    for (int i = 0; i < 10000; ++i) rig.source->push(Value{i});
+    benchutil::write_metrics_snapshot(metrics_json_path, "fig3_features",
+                                      rig.graph);
+  }
 }
 
 void BM_DeliveryWithFeatures(benchmark::State& state) {
@@ -187,7 +200,8 @@ BENCHMARK(BM_PipelineNoChannelFeature)->Arg(0)->Arg(8)->Arg(16);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_report();
+  const std::string metrics_json = benchutil::strip_metrics_json(argc, argv);
+  print_report(metrics_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -13,9 +13,12 @@
 #include "perpos/nmea/generate.hpp"
 #include "perpos/sensors/pipeline_components.hpp"
 
+#include "bench_metrics.hpp"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
 using namespace perpos;
 
@@ -43,9 +46,10 @@ void push_split(core::SourceComponent& source, const std::string& sentence,
   }
 }
 
-void print_report() {
+void print_report(const std::string& metrics_json_path) {
   std::printf("=== F4: Fig. 4 — data tree of the GPS channel ===\n\n");
   core::ProcessingGraph graph;
+  if (!metrics_json_path.empty()) graph.enable_observability();
   core::ChannelManager channels(graph);
   auto source = std::make_shared<core::SourceComponent>(
       "GPS",
@@ -70,6 +74,8 @@ void print_report() {
   std::printf("%s\n", tree.to_string(&graph).c_str());
   std::printf("tree: %zu nodes over %zu layers\n\n", tree.size(),
               tree.depth());
+  benchutil::write_metrics_snapshot(metrics_json_path, "fig4_datatree",
+                                    graph);
 }
 
 struct TreeRig {
@@ -151,7 +157,8 @@ BENCHMARK(BM_DataTreeToString);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_report();
+  const std::string metrics_json = benchutil::strip_metrics_json(argc, argv);
+  print_report(metrics_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

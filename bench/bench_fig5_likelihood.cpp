@@ -19,6 +19,8 @@
 #include "perpos/nmea/generate.hpp"
 #include "perpos/sensors/pipeline_components.hpp"
 
+#include "bench_metrics.hpp"
+
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -66,10 +68,11 @@ struct Rig {
   core::ComponentId a{}, p{}, i{}, z{};
 };
 
-void print_report() {
+void print_report(const std::string& metrics_json_path) {
   std::printf("=== F5: Fig. 5 — HDOP likelihood through the feature stack "
               "===\n\n");
   Rig rig;
+  if (!metrics_json_path.empty()) rig.graph.enable_observability();
   rig.push_epoch(2.5);
 
   // Artifact 1: time-scoped retrieval from the delivering channel.
@@ -100,6 +103,8 @@ void print_report() {
                       nullptr
                   ? "ok"
                   : "FAILED");
+  benchutil::write_metrics_snapshot(metrics_json_path, "fig5_likelihood",
+                                    rig.graph);
 }
 
 /// Full epoch cost including the Likelihood feature's apply().
@@ -148,7 +153,8 @@ BENCHMARK(BM_WeightAllParticles)->Arg(100)->Arg(500)->Arg(2000);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_report();
+  const std::string metrics_json = benchutil::strip_metrics_json(argc, argv);
+  print_report(metrics_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

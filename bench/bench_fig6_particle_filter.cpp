@@ -29,6 +29,8 @@
 #include "perpos/sensors/gps_sensor.hpp"
 #include "perpos/sensors/pipeline_components.hpp"
 
+#include "bench_metrics.hpp"
+
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -72,10 +74,12 @@ sensors::Trace record_trace(const locmodel::Building& building,
 std::vector<double> replay(const sensors::Trace& trace,
                            const locmodel::Building& building,
                            const sensors::Trajectory& walk, Config config,
-                           std::uint64_t seed) {
+                           std::uint64_t seed,
+                           const std::string& metrics_json = {}) {
   sim::Scheduler scheduler;
   sim::Random random(seed);
   core::ProcessingGraph graph(&scheduler.clock());
+  if (!metrics_json.empty()) graph.enable_observability();
   core::ChannelManager channels(graph);
   auto emulator =
       std::make_shared<sensors::EmulatorSource>(scheduler, trace, "GPS");
@@ -138,10 +142,12 @@ std::vector<double> replay(const sensors::Trace& trace,
   });
   emulator->start();
   scheduler.run_all();
+  benchutil::write_metrics_snapshot(metrics_json, "fig6_particle_filter",
+                                    graph);
   return errors;
 }
 
-void print_report() {
+void print_report(const std::string& metrics_json_path) {
   std::printf("=== F6: Fig. 6 — particle filter refines the indoor trace "
               "===\n\n");
   const locmodel::Building building = locmodel::make_office_building();
@@ -170,6 +176,14 @@ void print_report() {
     }
   }
   std::printf("\n");
+
+  if (!metrics_json_path.empty()) {
+    // One extra observed replay of the full configuration for the
+    // snapshot (observability would skew the pooled error runs above).
+    const sensors::Trace trace = record_trace(building, walk, 42);
+    replay(trace, building, walk, Config::kLikelihoodWalls, 43,
+           metrics_json_path);
+  }
 }
 
 void BM_FilterUpdate(benchmark::State& state) {
@@ -209,7 +223,8 @@ BENCHMARK(BM_FilterUpdateWithWalls)->Arg(100)->Arg(500);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_report();
+  const std::string metrics_json = benchutil::strip_metrics_json(argc, argv);
+  print_report(metrics_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

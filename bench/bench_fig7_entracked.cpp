@@ -26,6 +26,8 @@
 #include "perpos/sensors/motion_sensor.hpp"
 #include "perpos/sensors/pipeline_components.hpp"
 
+#include "bench_metrics.hpp"
+
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -46,12 +48,13 @@ struct RunResult {
 
 RunResult run(Strategy strategy, double threshold_m,
               const sensors::Trajectory& walk, double duration_s,
-              std::uint64_t seed) {
+              std::uint64_t seed, const std::string& metrics_json = {}) {
   sim::Scheduler scheduler;
   sim::Random random(seed);
   sim::Network network(scheduler, random);
   const geo::LocalFrame frame(geo::GeoPoint{56.1697, 10.1994, 50.0});
   core::ProcessingGraph graph(&scheduler.clock());
+  if (!metrics_json.empty()) graph.enable_observability();
   core::ChannelManager channels(graph);
   runtime::DistributedDeployment deployment(graph, network);
   const sim::HostId mobile = deployment.add_host("mobile");
@@ -151,6 +154,7 @@ RunResult run(Strategy strategy, double threshold_m,
       deployment.control_messages(server, mobile), accel_time);
   result.error = fusion::compute_stats(errors);
   result.max_report_gap_m = max_gap;
+  benchutil::write_metrics_snapshot(metrics_json, "fig7_entracked", graph);
   return result;
 }
 
@@ -180,7 +184,7 @@ void sweep(const char* pattern_name, const sensors::Trajectory& walk,
   std::printf("\n");
 }
 
-void print_report() {
+void print_report(const std::string& metrics_json_path) {
   std::printf("=== F7: Fig. 7 — EnTracked on the distributed graph ===\n\n");
   const double kDuration = 600.0;
   sweep("stationary", sensors::stationary({0, 0}, kDuration), kDuration);
@@ -194,6 +198,12 @@ void print_report() {
             .walk_to({3000, 0}, 5.0)
             .build(),
         kDuration);
+
+  if (!metrics_json_path.empty()) {
+    // One extra observed EnTracked run for the snapshot.
+    run(Strategy::kEnTracked, 25.0, sensors::stationary({0, 0}, 60.0), 60.0,
+        42, metrics_json_path);
+  }
 }
 
 /// Marginal middleware cost of the distributed deployment machinery.
@@ -243,7 +253,8 @@ BENCHMARK(BM_LocalEdgeDelivery);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_report();
+  const std::string metrics_json = benchutil::strip_metrics_json(argc, argv);
+  print_report(metrics_json);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -3,6 +3,7 @@
 #include "perpos/core/component.hpp"
 #include "perpos/core/feature.hpp"
 #include "perpos/core/sentry.hpp"
+#include "perpos/obs/flight_recorder.hpp"
 #include "perpos/obs/metrics.hpp"
 #include "perpos/obs/trace.hpp"
 #include "perpos/sim/clock.hpp"
@@ -220,6 +221,31 @@ class ProcessingGraph {
   /// The flow-trace recorder, or nullptr unless tracing is enabled.
   obs::TraceRecorder* tracer() const noexcept;
 
+  /// Record this graph's flight events (emit / deliver / mutation /
+  /// on_input failure) into `recorder`'s ring `lane`. The graph is the
+  /// only writer of that ring (graph dispatch is single-threaded), which
+  /// is exactly the recorder's per-lane producer contract — in a
+  /// multi-graph deployment every graph gets its own recorder lane.
+  /// `graph_tag` labels the events (deployment-assigned id). Overrides the
+  /// observability-owned recorder; nullptr reverts to it (or to none).
+  void set_flight_recorder(obs::FlightRecorder* recorder, std::uint32_t lane,
+                           std::uint32_t graph_tag = 0) noexcept;
+
+  /// The active flight recorder: the externally attached one, else the one
+  /// owned by enable_observability (config.recording), else nullptr.
+  obs::FlightRecorder* flight_recorder() const noexcept;
+
+  /// Drop a custom event onto this graph's flight ring (no-op without a
+  /// recorder). The seam for layers above the graph — PositioningService
+  /// records failover transitions here — so their events interleave, time-
+  /// ordered, with the graph's own in one black-box dump. Must be called
+  /// from the thread driving the graph (same producer contract as
+  /// dispatch).
+  void record_event(obs::FlightEventType type,
+                    std::uint32_t component = 0xffffffffu, std::uint64_t a = 0,
+                    std::uint64_t b = 0,
+                    std::string_view detail = {}) noexcept;
+
   // --- Used by ComponentContext / FeatureContext --------------------------
 
   /// Emit from a component (origin == kComponentOrigin) or from a feature
@@ -259,6 +285,13 @@ class ProcessingGraph {
   /// (pending inputs, or the in-flight input as fallback).
   void stamp_provenance(Entry& e, Sample& sample);
   void check_not_dispatching(const char* op) const;
+  /// Cold half of flight-event recording; callers gate on
+  /// `active_recorder_ != nullptr` so the disabled path is one null check.
+  void record_flight(obs::FlightEventType type, std::uint32_t component,
+                     std::uint64_t a = 0, std::uint64_t b = 0,
+                     std::string_view detail = {}) noexcept;
+  /// Re-derive `active_recorder_` after enable/disable/set calls.
+  void refresh_active_recorder() noexcept;
   void notify_mutation(const GraphMutation& mutation);
   /// Observer-only notification — feature attach/detach events go here, so
   /// the coarse listeners keep their historical "structural edges/nodes
@@ -296,6 +329,13 @@ class ProcessingGraph {
   /// handles from an earlier registry are never reused after re-enable.
   std::uint64_t obs_generation_ = 0;
   std::uint64_t current_span_ = 0;  ///< Open on_input span during dispatch.
+  /// Flight recorder wiring. `active_recorder_` caches "where do events
+  /// go right now" (external > owned > none) so the hot path pays a single
+  /// null check; the others remember the external attachment.
+  obs::FlightRecorder* active_recorder_ = nullptr;
+  obs::FlightRecorder* external_recorder_ = nullptr;
+  std::uint32_t rec_lane_ = 0;
+  std::uint32_t graph_tag_ = 0;
 };
 
 }  // namespace perpos::core

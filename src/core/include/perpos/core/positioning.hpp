@@ -6,6 +6,7 @@
 #include "perpos/core/graph.hpp"
 #include "perpos/core/health_state.hpp"
 #include "perpos/geo/distance.hpp"
+#include "perpos/obs/introspection.hpp"
 #include "perpos/sim/scheduler.hpp"
 
 #include <functional>
@@ -267,6 +268,13 @@ class PositioningService {
   /// Targets without any fix are excluded.
   std::vector<std::pair<Target*, double>> k_nearest(const geo::GeoPoint& point,
                                                     std::size_t k);
+
+  /// The service's slice of a perpos-top snapshot: graph delivery totals
+  /// and per-component self-time (from the metrics registry, when
+  /// observability is on) plus one "provider=health" line per provider.
+  /// `name` labels the graph in the dashboard.
+  obs::GraphIntrospection introspect(const std::string& name = "graph",
+                                     std::size_t top_k = 5) const;
 
   /// Publish per-provider gauges (fix rate, staleness, advertised
   /// accuracy) into the graph's metrics registry. Fix *counters* are

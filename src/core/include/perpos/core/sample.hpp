@@ -51,6 +51,13 @@ struct Sample {
   std::uint64_t cached_seq_min = 0;
   std::uint64_t cached_seq_max = 0;
 
+  /// Wall-clock time (steady, microseconds) the *root* sample behind this
+  /// one entered the graph; 0 unless the graph's latency knob is on. The
+  /// graph stamps it on root emissions and propagates the minimum through
+  /// provenance, so at a sink `now - ingest_us` is the end-to-end
+  /// ingest→sink latency of the oldest contributing input.
+  double ingest_us = 0.0;
+
   /// True when this sample was added by a Component Feature. Never
   /// allocates — this is the hot-path replacement for the old
   /// `feature_origin.empty()` test.

@@ -17,6 +17,10 @@ struct ComponentMetricHandles {
   obs::Counter* produce_vetoed = nullptr;
   obs::Counter* consume_vetoed = nullptr;
   obs::Histogram* on_input_us = nullptr;
+  /// End-to-end ingest→sink latency; created only for sinks with the
+  /// latency knob on (see deliver()).
+  obs::Histogram* e2e_latency_us = nullptr;
+  obs::Counter* deadline_miss = nullptr;
 };
 
 /// Recycles the vector<Sample> buffers behind Sample::inputs. Every
@@ -113,6 +117,10 @@ struct ProcessingGraph::Entry {
   std::vector<Sample> pending_inputs;
   std::uint64_t pending_seq_min = 0;
   std::uint64_t pending_seq_max = 0;
+  /// Oldest (minimum) Sample::ingest_us among the pending inputs; 0 when
+  /// none carried one. Propagated onto the next emission so end-to-end
+  /// latency follows the slowest contributing input, without rescanning.
+  double pending_ingest_min = 0.0;
   /// The input currently being processed by on_input (nesting-safe via
   /// save/restore in deliver()); used as fallback provenance when a second
   /// emission happens after pending_inputs was consumed.
@@ -134,6 +142,9 @@ struct ProcessingGraph::Obs {
   obs::ObservabilityConfig config;
   obs::MetricsRegistry registry;
   std::unique_ptr<obs::TraceRecorder> tracer;
+  /// Owned flight recorder (config.recording); one "graph" ring.
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  std::uint32_t rec_lane = 0;
   std::uint64_t epoch = 1;  ///< Bumped when handles must be re-resolved.
   std::unordered_map<const ComponentFeature*, FeatureMetricHandles>
       feature_handles;
@@ -162,6 +173,14 @@ struct ProcessingGraph::Obs {
           config.timing ? registry.histogram("perpos_component_on_input_us",
                                              labels)
                         : nullptr;
+      // End-to-end latency is observed at sinks only; same lazy logic.
+      e.metric_handles.e2e_latency_us =
+          config.latency ? registry.histogram("perpos_e2e_latency_us", labels)
+                         : nullptr;
+      e.metric_handles.deadline_miss =
+          config.latency && config.latency_slo_us > 0.0
+              ? registry.counter("perpos_e2e_deadline_miss_total", labels)
+              : nullptr;
       e.metric_epoch = epoch;
     }
     return e.metric_handles;
@@ -189,6 +208,17 @@ double now_wall_us() noexcept {
   return std::chrono::duration<double, std::micro>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// What() of the in-flight exception; only callable inside a catch block.
+std::string current_exception_message() {
+  try {
+    throw;
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown exception";
+  }
 }
 
 }  // namespace
@@ -248,6 +278,10 @@ void ProcessingGraph::notify_mutation(const GraphMutation& mutation) {
     obs_->mutations_total->inc();
     obs_->components_gauge->set(static_cast<double>(live_count_));
   }
+  if (active_recorder_ != nullptr) {
+    record_flight(obs::FlightEventType::kMutation, mutation.a,
+                  static_cast<std::uint64_t>(mutation.kind), mutation.b);
+  }
   // Iterate over copies: a callback may (un)register callbacks.
   const auto snapshot = listeners_;
   for (const auto& [token, fn] : snapshot) fn();
@@ -302,16 +336,78 @@ void ProcessingGraph::enable_observability(obs::ObservabilityConfig config) {
       obs_->tracer =
           std::make_unique<obs::TraceRecorder>(config.trace_capacity);
     }
+    // Ring eviction is otherwise silent; surface it as a counter so a
+    // too-small trace buffer is visible in the metrics export.
+    obs_->tracer->set_dropped_counter(
+        obs_->registry.counter("perpos_obs_spans_dropped_total"));
   } else {
     obs_->tracer.reset();
   }
+  if (config.recording) {
+    if (!obs_->recorder) {
+      obs_->recorder =
+          std::make_unique<obs::FlightRecorder>(config.recorder_capacity);
+      obs_->rec_lane = obs_->recorder->add_lane("graph");
+    }
+  } else {
+    obs_->recorder.reset();
+  }
+  refresh_active_recorder();
   obs_->components_gauge->set(static_cast<double>(live_count_));
 }
 
 void ProcessingGraph::disable_observability() {
   check_not_dispatching("disable_observability");
   obs_.reset();
+  refresh_active_recorder();
   current_span_ = 0;
+}
+
+void ProcessingGraph::set_flight_recorder(obs::FlightRecorder* recorder,
+                                          std::uint32_t lane,
+                                          std::uint32_t graph_tag) noexcept {
+  external_recorder_ = recorder;
+  if (recorder != nullptr) {
+    rec_lane_ = lane;
+    graph_tag_ = graph_tag;
+  }
+  refresh_active_recorder();
+}
+
+obs::FlightRecorder* ProcessingGraph::flight_recorder() const noexcept {
+  return active_recorder_;
+}
+
+void ProcessingGraph::record_event(obs::FlightEventType type,
+                                   std::uint32_t component, std::uint64_t a,
+                                   std::uint64_t b,
+                                   std::string_view detail) noexcept {
+  if (active_recorder_ != nullptr) record_flight(type, component, a, b, detail);
+}
+
+void ProcessingGraph::refresh_active_recorder() noexcept {
+  if (external_recorder_ != nullptr) {
+    active_recorder_ = external_recorder_;  // rec_lane_ set at attach time.
+  } else if (obs_ && obs_->recorder) {
+    active_recorder_ = obs_->recorder.get();
+    rec_lane_ = obs_->rec_lane;
+  } else {
+    active_recorder_ = nullptr;
+  }
+}
+
+void ProcessingGraph::record_flight(obs::FlightEventType type,
+                                    std::uint32_t component, std::uint64_t a,
+                                    std::uint64_t b,
+                                    std::string_view detail) noexcept {
+  obs::FlightEvent event;
+  event.type = type;
+  event.graph = graph_tag_;
+  event.component = component;
+  event.a = a;
+  event.b = b;
+  if (!detail.empty()) event.set_detail(detail);
+  active_recorder_->record(rec_lane_, event);
 }
 
 bool ProcessingGraph::observability_enabled() const noexcept {
@@ -611,8 +707,10 @@ void ProcessingGraph::stamp_provenance(Entry& e, Sample& sample) {
     buffer->swap(e.pending_inputs);
     sample.cached_seq_min = e.pending_seq_min;
     sample.cached_seq_max = e.pending_seq_max;
+    sample.ingest_us = e.pending_ingest_min;
     e.pending_seq_min = 0;
     e.pending_seq_max = 0;
+    e.pending_ingest_min = 0.0;
     sample.inputs = std::shared_ptr<const std::vector<Sample>>(
         buffer.release(), ProvenancePool::ReturnToPool{pool_});
   } else if (e.current_input != nullptr) {
@@ -620,6 +718,7 @@ void ProcessingGraph::stamp_provenance(Entry& e, Sample& sample) {
     buffer->push_back(*e.current_input);
     sample.cached_seq_min = e.current_input->sequence;
     sample.cached_seq_max = e.current_input->sequence;
+    sample.ingest_us = e.current_input->ingest_us;
     sample.inputs = std::shared_ptr<const std::vector<Sample>>(
         buffer.release(), ProvenancePool::ReturnToPool{pool_});
   }
@@ -687,6 +786,12 @@ void ProcessingGraph::emit_from(ComponentId producer, Payload payload,
   Obs* const obs = obs_.get();
   const bool timing = obs != nullptr && obs->config.timing;
 
+  // Latency tracking: a root emission (no inherited ingest stamp) marks the
+  // moment its data entered the graph; sinks subtract this in deliver().
+  if (obs != nullptr && obs->config.latency && sample.ingest_us == 0.0) {
+    sample.ingest_us = now_wall_us();
+  }
+
   // Produce hooks of the producing component's features. A hook may modify
   // the sample but not its data type; returning false drops the emission.
   const TypeInfo* original_type = sample.payload.type();
@@ -713,6 +818,9 @@ void ProcessingGraph::emit_from(ComponentId producer, Payload payload,
   ++e.emitted;
   if (obs != nullptr && obs->config.metrics) {
     obs->handles(e, producer).emitted->inc();
+  }
+  if (active_recorder_ != nullptr) {
+    record_flight(obs::FlightEventType::kEmit, producer, sample.sequence);
   }
 
   // Flow tracing: bind the sample to the span it was produced under. An
@@ -748,6 +856,7 @@ void ProcessingGraph::emit_batch_from(ComponentId producer,
   Obs* const obs = obs_.get();
   const bool timing = obs != nullptr && obs->config.timing;
   const bool metrics = obs != nullptr && obs->config.metrics;
+  const bool latency = obs != nullptr && obs->config.latency;
 
   // Treat the burst as one dispatch frame: deliveries accumulate on the
   // work stack and drain once at the end, in exactly the order N
@@ -766,6 +875,9 @@ void ProcessingGraph::emit_batch_from(ComponentId producer,
       sample.sequence = ++e.sequence;
       sample.origin = origin;
       stamp_provenance(e, sample);
+      if (latency && sample.ingest_us == 0.0) {
+        sample.ingest_us = now_wall_us();
+      }
 
       const TypeInfo* original_type = sample.payload.type();
       bool vetoed = false;
@@ -792,6 +904,9 @@ void ProcessingGraph::emit_batch_from(ComponentId producer,
       if (vetoed) continue;
       ++e.emitted;
       ++emitted_in_batch;
+      if (active_recorder_ != nullptr) {
+        record_flight(obs::FlightEventType::kEmit, producer, sample.sequence);
+      }
 
       if (obs != nullptr && obs->tracer) {
         obs::TraceRecorder& tracer = *obs->tracer;
@@ -897,6 +1012,10 @@ void ProcessingGraph::deliver(Sample&& sample, ComponentId consumer) {
     obs->handles(c, consumer).delivered->inc();
     obs->deliveries_total->inc();
   }
+  if (active_recorder_ != nullptr) {
+    record_flight(obs::FlightEventType::kDeliver, consumer, sample.producer,
+                  sample.sequence);
+  }
   // Record provenance only for components that can emit; pure sinks
   // (applications) would otherwise accumulate pending inputs forever. The
   // running sequence range feeds Sample::cached_seq_min/max at emit time.
@@ -906,6 +1025,10 @@ void ProcessingGraph::deliver(Sample&& sample, ComponentId consumer) {
     }
     if (sample.sequence > c.pending_seq_max) {
       c.pending_seq_max = sample.sequence;
+    }
+    if (sample.ingest_us != 0.0 && (c.pending_ingest_min == 0.0 ||
+                                    sample.ingest_us < c.pending_ingest_min)) {
+      c.pending_ingest_min = sample.ingest_us;
     }
     c.pending_inputs.push_back(sample);
   }
@@ -922,6 +1045,22 @@ void ProcessingGraph::deliver(Sample&& sample, ComponentId consumer) {
         sample.producer, sample.sequence, parent);
     current_span_ = span_id;
   }
+
+  // End-to-end latency is observed when the sample *arrives* at a sink:
+  // ingest→sink covers every upstream hop but not the sink's own on_input
+  // (that is what on_input_us measures). The delivery span doubles as the
+  // histogram exemplar, linking an SLO-busting bucket to its trace.
+  if (obs != nullptr && obs->config.latency && c.consumers.empty() &&
+      sample.ingest_us != 0.0) {
+    ComponentMetricHandles& h = obs->handles(c, consumer);
+    if (h.e2e_latency_us != nullptr) {
+      const double e2e = now_wall_us() - sample.ingest_us;
+      h.e2e_latency_us->observe_with_exemplar(e2e, span_id);
+      if (h.deadline_miss != nullptr && e2e > obs->config.latency_slo_us) {
+        h.deadline_miss->inc();
+      }
+    }
+  }
   const double t0 = timing ? now_wall_us() : 0.0;
 
   const Sample* saved = c.current_input;
@@ -933,6 +1072,11 @@ void ProcessingGraph::deliver(Sample&& sample, ComponentId consumer) {
     current_frame_base_ = saved_frame_base;
     if (span_id != 0 && obs_ && obs_->tracer) obs_->tracer->close(span_id);
     current_span_ = saved_span;
+    if (active_recorder_ != nullptr) {
+      record_flight(obs::FlightEventType::kTaskFailed, consumer,
+                    sample.producer, sample.sequence,
+                    current_exception_message());
+    }
     throw;
   }
   c.current_input = saved;

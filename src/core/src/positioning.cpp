@@ -336,6 +336,21 @@ void PositioningService::switch_active(Target& target, LocationProvider* to,
                                         : std::string("none")}})
         ->inc();
   }
+  // Black box: the transition lands next to the graph's own emit/deliver
+  // events, so a post-mortem dump shows what the pipeline was doing when
+  // the provider died.
+  {
+    std::string detail = target.name();
+    detail += ": ";
+    detail += from != nullptr ? from->advertisement().technology
+                              : std::string("none");
+    detail += " -> ";
+    detail +=
+        to != nullptr ? to->advertisement().technology : std::string("none");
+    graph_.record_event(obs::FlightEventType::kFailover,
+                        to != nullptr ? to->sink_id() : kInvalidComponent,
+                        static_cast<std::uint64_t>(now.ns), 0, detail);
+  }
   for (const auto& [id, listener] : failover_listeners_) {
     listener(target, from, to, now);
   }
@@ -394,6 +409,23 @@ void PositioningService::failover_check() {
           ->set(static_cast<double>(health_at(*p, now)));
     }
   }
+}
+
+obs::GraphIntrospection PositioningService::introspect(
+    const std::string& name, std::size_t top_k) const {
+  obs::GraphIntrospection out;
+  if (graph_.observability_enabled()) {
+    out = obs::graph_introspection(name, graph_.metrics(), top_k);
+  } else {
+    out.name = name;
+  }
+  for (const auto& p : providers_) {
+    std::string line = p->metric_label();
+    line += '=';
+    line += to_string(provider_health(*p));
+    out.health.push_back(std::move(line));
+  }
+  return out;
 }
 
 std::vector<std::pair<Target*, double>> PositioningService::k_nearest(

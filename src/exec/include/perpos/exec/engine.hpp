@@ -1,6 +1,9 @@
 #pragma once
 
+#include "perpos/obs/flight_recorder.hpp"
+#include "perpos/obs/introspection.hpp"
 #include "perpos/obs/metrics.hpp"
+#include "perpos/obs/profiler.hpp"
 #include "perpos/sim/scheduler.hpp"
 
 #include <cstdint>
@@ -105,6 +108,27 @@ class ExecutionEngine {
   /// worker counts) into `registry`. Pass nullptr to stop. The registry
   /// must outlive the engine or the next enable_metrics call.
   void enable_metrics(obs::MetricsRegistry* registry);
+
+  /// Attach a profiler: every lane (existing and future) gets a slot, and
+  /// workers account drained batches, queue-depth high-water marks and
+  /// idle wakeups into it. Pass nullptr to detach. Set while the engine is
+  /// idle; the profiler must outlive the engine or the next call. With no
+  /// profiler attached the hot path pays one null check per drained batch.
+  void enable_profiler(obs::EngineProfiler* profiler);
+
+  /// Attach a flight recorder: the engine registers one "engine" ring and
+  /// records task failures (with the lane name and error message) and
+  /// watermark crossings into it — and trigger()s a black-box dump on the
+  /// first task failure of each idle cycle. Pass nullptr to detach. Set
+  /// while the engine is idle; the recorder must outlive the engine.
+  void set_flight_recorder(obs::FlightRecorder* recorder);
+
+  /// Point-in-time runtime snapshot for perpos-top: lane queue depths and
+  /// activity, task totals, and (when a profiler is attached) per-lane
+  /// busy time and per-worker utilization. Thread-safe; callable while
+  /// workers drain. Graph sections are left empty — PositioningService
+  /// fills those.
+  obs::IntrospectionSnapshot introspect() const;
 
   /// Lane queue-depth watermark (the runtime sanitizer seam): when a
   /// post() pushes a lane's queue past `limit` tasks, `callback(lane_name,

@@ -13,6 +13,34 @@ namespace {
 /// A hot lane hands its slot back to the ready queue after this many tasks
 /// so one chatty graph cannot starve the others of a worker.
 constexpr std::size_t kLaneBatch = 128;
+
+constexpr std::uint32_t kNoProfilerSlot = 0xffffffffu;
+
+/// Bound an error message to a metrics-label-safe form: printable ASCII
+/// only, capped length, so a thrown what() can never explode label
+/// cardinality via embedded addresses/newlines or unbounded text.
+std::string labels_safe_error(std::string_view message) {
+  std::string out;
+  const std::size_t n = message.size() < 64 ? message.size() : 64;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = message[i];
+    out += (c >= 0x20 && c < 0x7f && c != '"' && c != '\\') ? c : '_';
+  }
+  if (message.size() > 64) out += "...";
+  return out;
+}
+
+std::string describe_current_exception() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
 }  // namespace
 
 struct ExecutionEngine::Lane {
@@ -27,6 +55,9 @@ struct ExecutionEngine::Lane {
   /// cleared when it drained back — one callback per crossing, not per
   /// post. Guarded by `mutex`.
   bool above_watermark = false;
+  /// Profiler slot; written only while the engine is idle (enable_profiler)
+  /// or under lanes_mutex (create_lane).
+  std::uint32_t prof_slot = kNoProfilerSlot;
 };
 
 struct ExecutionEngine::Impl {
@@ -61,13 +92,67 @@ struct ExecutionEngine::Impl {
   std::function<void(const std::string&, std::size_t)> watermark_callback;
 
   // Optional metrics (set while idle; read from workers).
+  obs::MetricsRegistry* registry = nullptr;
   obs::Counter* tasks_posted = nullptr;
   obs::Counter* tasks_executed = nullptr;
   obs::Counter* tasks_failed = nullptr;
   obs::Gauge* queue_depth = nullptr;
   obs::Gauge* lanes_gauge = nullptr;
 
+  // Optional profiler (set while idle; read from workers and posters).
+  obs::EngineProfiler* profiler = nullptr;
+
+  // Optional flight recorder. The engine writes rare events (task
+  // failures, watermark crossings) to one shared "engine" ring; rec_mutex
+  // serializes those writers to honor the ring's single-producer contract.
+  obs::FlightRecorder* recorder = nullptr;
+  std::uint32_t rec_lane = 0;
+  std::mutex rec_mutex;
+
   std::vector<std::thread> threads;
+
+  /// Record an engine-level event into the shared recorder ring (no-op
+  /// without a recorder). Rare paths only — takes rec_mutex.
+  void record_engine_event(obs::FlightEvent event) {
+    obs::FlightRecorder* rec = recorder;
+    if (rec == nullptr) return;
+    std::lock_guard<std::mutex> lock(rec_mutex);
+    rec->record(rec_lane, event);
+  }
+
+  /// Failure bookkeeping shared by drain(): counters, error capture,
+  /// flight-recorder event, and (for the first failure of an idle cycle)
+  /// a labels-safe error metric plus a black-box dump trigger.
+  void on_task_failure(Lane* lane) {
+    failed.fetch_add(1, std::memory_order_relaxed);
+    if (tasks_failed != nullptr) tasks_failed->inc();
+    const std::string message = describe_current_exception();
+    bool is_first = false;
+    {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) {
+        first_error = std::current_exception();
+        is_first = true;
+      }
+    }
+    if (recorder != nullptr) {
+      obs::FlightEvent event;
+      event.type = obs::FlightEventType::kTaskFailed;
+      event.a = lane->prof_slot;
+      event.set_detail(lane->name.empty() ? message
+                                          : lane->name + ": " + message);
+      record_engine_event(event);
+    }
+    if (!is_first) return;
+    if (registry != nullptr) {
+      registry
+          ->counter("perpos_exec_task_errors_total",
+                    {{"lane", labels_safe_error(lane->name)},
+                     {"error", labels_safe_error(message)}})
+          ->inc();
+    }
+    if (recorder != nullptr) recorder->trigger("task_failed: " + message);
+  }
 
   void enqueue_ready(Lane* lane) {
     {
@@ -79,14 +164,21 @@ struct ExecutionEngine::Impl {
 
   /// Run queued tasks of `lane` until its queue is empty (or the fairness
   /// batch is used up, in which case the lane re-enters the ready queue).
-  void drain(Lane* lane) {
-    for (std::size_t ran = 0; ran < kLaneBatch; ++ran) {
+  /// `worker` attributes the batch in the profiler (pool index, or the
+  /// inline slot for caller-thread drains).
+  void drain(Lane* lane, std::uint32_t worker) {
+    // Profile at batch granularity: two clock reads per drained batch,
+    // not per task — and none at all when no profiler is attached.
+    obs::EngineProfiler* const prof = profiler;
+    const std::uint64_t t0 = prof != nullptr ? prof->now_ns() : 0;
+    std::size_t ran = 0;
+    while (ran < kLaneBatch) {
       Task task;
       {
         std::lock_guard<std::mutex> lock(lane->mutex);
         if (lane->queue.empty()) {
           lane->scheduled = false;
-          return;
+          break;
         }
         task = std::move(lane->queue.front());
         lane->queue.pop_front();
@@ -98,28 +190,33 @@ struct ExecutionEngine::Impl {
       // allowed to throw. Capture the exception (first one wins — later
       // ones are counted but dropped) and keep the lane draining, then run
       // the finish bookkeeping either way so run_until_idle() cannot hang
-      // on a task that errored. The error is stored before finish_one() so
+      // on a task that errored. The error is stored before finish_many() so
       // an idle waiter always observes it.
       try {
         task();
       } catch (...) {
-        failed.fetch_add(1, std::memory_order_relaxed);
-        if (tasks_failed != nullptr) tasks_failed->inc();
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        on_task_failure(lane);
       }
+      ++ran;
       executed.fetch_add(1, std::memory_order_relaxed);
       if (tasks_executed != nullptr) tasks_executed->inc();
       if (queue_depth != nullptr) queue_depth->add(-1.0);
-      finish_one();
+    }
+    if (prof != nullptr && ran != 0) {
+      prof->on_drain(lane->prof_slot, worker, ran, prof->now_ns() - t0);
     }
     // Batch exhausted with work (possibly) left: requeue instead of
     // resetting `scheduled`, keeping the at-most-one-worker guarantee.
-    enqueue_ready(lane);
+    if (ran == kLaneBatch) enqueue_ready(lane);
+    // Retire the whole batch at once, *after* the profiler accounting: a
+    // run_until_idle() waiter that wakes on outstanding==0 then observes
+    // the batch's profile. (Deferring decrements is safe — tasks posted by
+    // tasks only ever add to `outstanding`.)
+    if (ran != 0) finish_many(ran);
   }
 
-  void finish_one() {
-    if (outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+  void finish_many(std::uint64_t n) {
+    if (outstanding.fetch_sub(n, std::memory_order_acq_rel) == n) {
       // Lock before notifying so the wakeup cannot slip between a waiter's
       // predicate check and its wait.
       std::lock_guard<std::mutex> lock(idle_mutex);
@@ -138,17 +235,23 @@ struct ExecutionEngine::Impl {
     if (error) std::rethrow_exception(error);
   }
 
-  void worker_loop() {
+  void worker_loop(std::uint32_t index) {
     for (;;) {
       Lane* lane = nullptr;
+      bool waited = false;
       {
         std::unique_lock<std::mutex> lock(ready_mutex);
-        ready_cv.wait(lock, [&] { return stop || !ready.empty(); });
+        while (!stop && ready.empty()) {
+          waited = true;
+          ready_cv.wait(lock);
+        }
         if (ready.empty()) return;  // stop && drained
         lane = ready.front();
         ready.pop_front();
       }
-      drain(lane);
+      obs::EngineProfiler* const prof = profiler;
+      if (prof != nullptr && waited) prof->on_idle_wakeup(index);
+      drain(lane, index);
     }
   }
 };
@@ -157,7 +260,8 @@ ExecutionEngine::ExecutionEngine(std::size_t workers)
     : worker_count_(workers), impl_(std::make_unique<Impl>()) {
   impl_->threads.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    impl_->threads.emplace_back([this] { impl_->worker_loop(); });
+    impl_->threads.emplace_back(
+        [this, i] { impl_->worker_loop(static_cast<std::uint32_t>(i)); });
   }
 }
 
@@ -170,13 +274,26 @@ ExecutionEngine::~ExecutionEngine() {
   for (std::thread& t : impl_->threads) t.join();
 }
 
+namespace {
+
+std::string lane_display_name(const std::string& name, std::size_t index) {
+  return name.empty() ? "lane-" + std::to_string(index) : name;
+}
+
+}  // namespace
+
 LaneId ExecutionEngine::create_lane(std::string name) {
   std::lock_guard<std::mutex> lock(impl_->lanes_mutex);
   impl_->lanes.push_back(std::make_unique<Lane>(std::move(name)));
+  const std::size_t index = impl_->lanes.size() - 1;
+  if (impl_->profiler != nullptr) {
+    impl_->lanes.back()->prof_slot = impl_->profiler->add_lane(
+        lane_display_name(impl_->lanes.back()->name, index));
+  }
   if (impl_->lanes_gauge != nullptr) {
     impl_->lanes_gauge->set(static_cast<double>(impl_->lanes.size()));
   }
-  return static_cast<LaneId>(impl_->lanes.size() - 1);
+  return static_cast<LaneId>(index);
 }
 
 std::size_t ExecutionEngine::lane_count() const {
@@ -198,13 +315,15 @@ void ExecutionEngine::post_to(Lane& lane, Task&& task) {
   if (impl_->queue_depth != nullptr) impl_->queue_depth->add(1.0);
   bool need_schedule = false;
   std::size_t watermark_depth = 0;
+  std::size_t depth_after = 0;
   {
     std::lock_guard<std::mutex> lock(lane.mutex);
     lane.queue.push_back(std::move(task));
+    depth_after = lane.queue.size();
     if (impl_->watermark_limit != 0 && !lane.above_watermark &&
-        lane.queue.size() > impl_->watermark_limit) {
+        depth_after > impl_->watermark_limit) {
       lane.above_watermark = true;
-      watermark_depth = lane.queue.size();
+      watermark_depth = depth_after;
     }
     if (!lane.scheduled) {
       lane.scheduled = true;
@@ -212,9 +331,21 @@ void ExecutionEngine::post_to(Lane& lane, Task&& task) {
     }
   }
   if (need_schedule) impl_->enqueue_ready(&lane);
-  if (watermark_depth != 0 && impl_->watermark_callback) {
-    // Outside the lane lock: the callback may inspect engine state.
-    impl_->watermark_callback(lane.name, watermark_depth);
+  if (obs::EngineProfiler* const prof = impl_->profiler) {
+    prof->on_queue_depth(lane.prof_slot, depth_after);
+  }
+  if (watermark_depth != 0) {
+    if (impl_->recorder != nullptr) {
+      obs::FlightEvent event;
+      event.type = obs::FlightEventType::kWatermark;
+      event.a = watermark_depth;
+      event.set_detail(lane.name);
+      impl_->record_engine_event(event);
+    }
+    if (impl_->watermark_callback) {
+      // Outside the lane lock: the callback may inspect engine state.
+      impl_->watermark_callback(lane.name, watermark_depth);
+    }
   }
 }
 
@@ -240,7 +371,8 @@ void ExecutionEngine::run_until_idle() {
         lane = impl_->ready.front();
         impl_->ready.pop_front();
       }
-      impl_->drain(lane);
+      obs::EngineProfiler* const prof = impl_->profiler;
+      impl_->drain(lane, prof != nullptr ? prof->inline_worker() : 0);
     }
     impl_->rethrow_pending_error();
     return;
@@ -292,6 +424,7 @@ void ExecutionEngine::set_queue_watermark(
 }
 
 void ExecutionEngine::enable_metrics(obs::MetricsRegistry* registry) {
+  impl_->registry = registry;
   if (registry == nullptr) {
     impl_->tasks_posted = nullptr;
     impl_->tasks_executed = nullptr;
@@ -309,6 +442,73 @@ void ExecutionEngine::enable_metrics(obs::MetricsRegistry* registry) {
   registry->gauge("perpos_exec_workers")
       ->set(static_cast<double>(worker_count_));
   impl_->lanes_gauge->set(static_cast<double>(lane_count()));
+}
+
+void ExecutionEngine::enable_profiler(obs::EngineProfiler* profiler) {
+  std::lock_guard<std::mutex> lock(impl_->lanes_mutex);
+  impl_->profiler = profiler;
+  for (std::size_t i = 0; i < impl_->lanes.size(); ++i) {
+    impl_->lanes[i]->prof_slot =
+        profiler != nullptr
+            ? profiler->add_lane(lane_display_name(impl_->lanes[i]->name, i))
+            : kNoProfilerSlot;
+  }
+}
+
+void ExecutionEngine::set_flight_recorder(obs::FlightRecorder* recorder) {
+  impl_->recorder = recorder;
+  if (recorder != nullptr) impl_->rec_lane = recorder->add_lane("engine");
+}
+
+obs::IntrospectionSnapshot ExecutionEngine::introspect() const {
+  obs::IntrospectionSnapshot snap;
+  snap.workers = worker_count_;
+  snap.tasks_executed = impl_->executed.load(std::memory_order_relaxed);
+  snap.tasks_failed = impl_->failed.load(std::memory_order_relaxed);
+  snap.tasks_posted =
+      snap.tasks_executed + impl_->outstanding.load(std::memory_order_relaxed);
+
+  obs::EngineProfiler* const prof = impl_->profiler;
+  obs::EngineProfiler::Snapshot prof_snap;
+  if (prof != nullptr) {
+    prof_snap = prof->snapshot();
+    snap.captured_us = static_cast<double>(prof_snap.elapsed_ns) / 1000.0;
+    snap.worker_stats.reserve(prof_snap.workers.size());
+    for (const auto& w : prof_snap.workers) {
+      obs::WorkerIntrospection wi;
+      wi.tasks = w.tasks;
+      wi.busy_us = static_cast<double>(w.busy_ns) / 1000.0;
+      wi.drains = w.drains;
+      wi.idle_wakeups = w.idle_wakeups;
+      wi.utilization = w.utilization;
+      snap.worker_stats.push_back(wi);
+    }
+  } else {
+    snap.captured_us = std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count();
+  }
+
+  std::lock_guard<std::mutex> lock(impl_->lanes_mutex);
+  snap.lanes.reserve(impl_->lanes.size());
+  for (std::size_t i = 0; i < impl_->lanes.size(); ++i) {
+    Lane& lane = *impl_->lanes[i];
+    obs::LaneIntrospection li;
+    li.name = lane_display_name(lane.name, i);
+    {
+      std::lock_guard<std::mutex> lane_lock(lane.mutex);
+      li.queue_depth = lane.queue.size();
+      li.active = lane.scheduled;
+    }
+    if (lane.prof_slot < prof_snap.lanes.size()) {
+      const auto& lp = prof_snap.lanes[lane.prof_slot];
+      li.tasks = lp.tasks;
+      li.busy_us = static_cast<double>(lp.busy_ns) / 1000.0;
+      li.queue_peak = lp.queue_peak;
+    }
+    snap.lanes.push_back(std::move(li));
+  }
+  return snap;
 }
 
 std::uint64_t ExecutionEngine::executed() const noexcept {

@@ -79,6 +79,16 @@ class Histogram {
 
   void observe(double v) noexcept;
 
+  /// observe(), additionally stamping `exemplar` (a trace-span id) onto
+  /// the bucket the observation lands in. The per-bucket last exemplar
+  /// links the latency distribution back to one concrete trace: "a sample
+  /// in the 2–5ms bucket? here is a span that took that long". Exemplar 0
+  /// records nothing beyond the observation.
+  void observe_with_exemplar(double v, std::uint64_t exemplar) noexcept;
+
+  /// Last exemplar recorded for bucket `i`, or 0.
+  std::uint64_t exemplar(std::size_t i) const noexcept;
+
   const std::vector<double>& bounds() const noexcept { return bounds_; }
   std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
@@ -87,8 +97,10 @@ class Histogram {
 
  private:
   friend class MetricsRegistry;
+  std::size_t bucket_for(double v) const noexcept;
   std::vector<double> bounds_;
   std::deque<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::deque<std::atomic<std::uint64_t>> exemplars_;  // Parallel to buckets_.
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{0.0};
@@ -117,6 +129,7 @@ struct HistogramSnapshot {
   Labels labels;
   std::vector<double> bounds;          ///< Upper bounds, +Inf implicit.
   std::vector<std::uint64_t> buckets;  ///< Per-bucket (non-cumulative).
+  std::vector<std::uint64_t> exemplars;  ///< Per-bucket last span id (0 = none).
   std::uint64_t count = 0;
   double sum = 0.0;
   double min = 0.0;
@@ -213,12 +226,20 @@ std::string escape_json(std::string_view s);
 /// What an observed graph records. All knobs independent so the overhead
 /// can be dialled: `metrics` alone costs a few relaxed atomic increments
 /// per sample; `timing` adds two steady_clock reads per hook/on_input;
-/// `tracing` additionally retains flow spans (bounded by trace_capacity).
+/// `tracing` additionally retains flow spans (bounded by trace_capacity);
+/// `latency` stamps wall-clock ingest time on root emissions and observes
+/// end-to-end ingest→sink latency (with SLO deadline-miss counting when
+/// latency_slo_us > 0); `recording` attaches a flight recorder ring of
+/// recent structured events for black-box dumps.
 struct ObservabilityConfig {
   bool metrics = true;
   bool timing = true;
   bool tracing = false;
+  bool latency = false;
+  bool recording = false;
+  double latency_slo_us = 0.0;        ///< 0 = no deadline accounting.
   std::size_t trace_capacity = 4096;  ///< Completed spans retained (ring).
+  std::size_t recorder_capacity = 1024;  ///< Flight events retained per lane.
 };
 
 }  // namespace perpos::obs

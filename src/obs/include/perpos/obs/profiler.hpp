@@ -1,0 +1,129 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "perpos/obs/metrics.hpp"
+
+/// \file profiler.hpp
+/// The engine profiler: low-overhead accumulators attributing wall time
+/// per (lane, worker) inside the ExecutionEngine. PR 1's metrics layer
+/// instruments the graph (hooks, on_input); this instruments the engine
+/// around it — which lanes are hot, which workers are busy or starved,
+/// where queue depth peaked and when. ROADMAP item 1 (fleet scale-out
+/// with lane rebalancing) consumes exactly this: rebalancing needs
+/// per-lane busy time and per-worker utilization to decide placement.
+///
+/// Cost model: every hot-path method is noexcept, allocation-free and
+/// touches only relaxed atomics on a cacheline owned by the calling lane
+/// or worker (slots are alignas(64), so two workers never false-share).
+/// When no profiler is attached the engine pays a single null check.
+
+namespace perpos::obs {
+
+class EngineProfiler {
+ public:
+  /// Queue-depth high-water marks retained per lane (newest overwrite
+  /// oldest): a timeline of when the lane's backlog grew, not just how
+  /// high it got.
+  static constexpr std::size_t kPeakTimeline = 8;
+
+  /// `workers` pool threads plus one extra slot (index `workers`) for
+  /// inline execution — the caller's thread drains lanes itself when the
+  /// engine runs with zero workers.
+  explicit EngineProfiler(std::size_t workers);
+  ~EngineProfiler();
+
+  EngineProfiler(const EngineProfiler&) = delete;
+  EngineProfiler& operator=(const EngineProfiler&) = delete;
+
+  /// Register a lane slot and return its index. Thread-safe; cold path.
+  std::uint32_t add_lane(std::string name);
+
+  std::size_t lane_count() const;
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+  /// Slot index recording work done inline on the caller's thread.
+  std::uint32_t inline_worker() const noexcept {
+    return static_cast<std::uint32_t>(workers_.size() - 1);
+  }
+
+  /// Steady-clock ns since the profiler was constructed.
+  std::uint64_t now_ns() const noexcept;
+
+  // --- Hot path (relaxed atomics only, no locks, no allocation) -------------
+
+  /// Account a drained batch: `tasks` tasks took `busy_ns` on `worker`
+  /// while draining `lane`.
+  void on_drain(std::uint32_t lane, std::uint32_t worker, std::uint64_t tasks,
+                std::uint64_t busy_ns) noexcept;
+
+  /// Track `lane`'s queue depth after an enqueue; records a new high-water
+  /// mark (with timestamp) when `depth` exceeds the previous peak.
+  void on_queue_depth(std::uint32_t lane, std::uint64_t depth) noexcept;
+
+  /// A pool worker woke from its idle wait.
+  void on_idle_wakeup(std::uint32_t worker) noexcept;
+
+  // --- Snapshots / export ----------------------------------------------------
+
+  struct QueuePeak {
+    std::uint64_t t_ns = 0;
+    std::uint64_t depth = 0;
+  };
+
+  struct LaneSnapshot {
+    std::string name;
+    std::uint64_t tasks = 0;
+    std::uint64_t busy_ns = 0;
+    std::uint64_t drains = 0;
+    std::uint64_t queue_peak = 0;
+    std::vector<QueuePeak> peaks;  ///< Retained timeline, oldest first.
+  };
+
+  struct WorkerSnapshot {
+    std::uint64_t tasks = 0;
+    std::uint64_t busy_ns = 0;
+    std::uint64_t drains = 0;
+    std::uint64_t idle_wakeups = 0;
+    double utilization = 0.0;  ///< busy_ns / profiler elapsed, in [0,1].
+  };
+
+  struct Snapshot {
+    std::uint64_t elapsed_ns = 0;
+    std::vector<LaneSnapshot> lanes;
+    std::vector<WorkerSnapshot> workers;
+  };
+
+  /// Consistent-enough point-in-time copy (individual values are relaxed
+  /// loads; totals may straddle an in-flight drain by one batch).
+  Snapshot snapshot() const;
+
+  /// Publish the current accumulators as perpos_prof_* gauges/counters
+  /// into `registry`. Cold path, idempotent (gauges are overwritten).
+  void drain_into(MetricsRegistry& registry) const;
+
+ private:
+  struct LaneSlot;
+  struct WorkerSlot;
+
+  /// Bound on the lock-free lane table; add_lane beyond it is refused.
+  static constexpr std::size_t kMaxLanes = 1024;
+
+  LaneSlot* lane(std::uint32_t id) const noexcept;
+
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex lanes_mutex_;
+  std::vector<std::unique_ptr<LaneSlot>> lanes_;
+  std::vector<std::string> lane_names_;
+  /// Lock-free id→slot map (slots published once with release order).
+  std::unique_ptr<std::atomic<LaneSlot*>[]> table_;
+  std::atomic<std::size_t> lane_count_{0};
+  std::vector<std::unique_ptr<WorkerSlot>> workers_;
+};
+
+}  // namespace perpos::obs

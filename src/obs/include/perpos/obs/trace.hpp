@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "perpos/obs/metrics.hpp"
+
 /// \file trace.hpp
 /// Sample-flow tracing: spans recording one sample's journey through the
 /// processing graph, source to sink, exportable as Chrome `trace_event`
@@ -74,11 +76,25 @@ class TraceRecorder {
   /// (producer, sequence) identity. Load in Perfetto or chrome://tracing.
   std::string to_chrome_trace_json() const;
 
+  /// Completed spans evicted from the ring so far. Eviction used to be
+  /// silent, which made an undersized trace_capacity look like missing
+  /// instrumentation; now it is countable (and mirrored into the metrics
+  /// counter below, so it shows up in exporters).
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Mirror ring evictions into `counter` (perpos_obs_spans_dropped_total
+  /// when wired by the graph). nullptr unwires.
+  void set_dropped_counter(Counter* counter) noexcept {
+    dropped_counter_ = counter;
+  }
+
   void clear();
 
  private:
   std::size_t capacity_;
   std::uint64_t next_id_ = 1;
+  std::uint64_t dropped_ = 0;
+  Counter* dropped_counter_ = nullptr;
   std::chrono::steady_clock::time_point epoch_;
   std::deque<TraceSpan> spans_;                    // Completed ring.
   std::vector<TraceSpan> open_;                    // Stack: dispatch nests.

@@ -14,11 +14,31 @@ Histogram::Histogram(std::vector<double> upper_bounds)
   std::sort(bounds_.begin(), bounds_.end());
   bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
   buckets_.resize(bounds_.size() + 1);  // atomics value-initialize to 0
+  exemplars_.resize(bounds_.size() + 1);
+}
+
+std::size_t Histogram::bucket_for(double v) const noexcept {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  return i;
+}
+
+void Histogram::observe_with_exemplar(double v,
+                                      std::uint64_t exemplar) noexcept {
+  if (exemplar != 0) {
+    exemplars_[bucket_for(v)].store(exemplar, std::memory_order_relaxed);
+  }
+  observe(v);
+}
+
+std::uint64_t Histogram::exemplar(std::size_t i) const noexcept {
+  return i < exemplars_.size()
+             ? exemplars_[i].load(std::memory_order_relaxed)
+             : 0;
 }
 
 void Histogram::observe(double v) noexcept {
-  std::size_t i = 0;
-  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  const std::size_t i = bucket_for(v);
   buckets_[i].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   // Relaxed CAS loops; the graph dispatch is single-threaded so these
@@ -195,6 +215,10 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     for (const auto& b : h->buckets_) {
       s.buckets.push_back(b.load(std::memory_order_relaxed));
     }
+    s.exemplars.reserve(h->exemplars_.size());
+    for (const auto& e : h->exemplars_) {
+      s.exemplars.push_back(e.load(std::memory_order_relaxed));
+    }
     s.count = h->count();
     s.sum = h->sum();
     s.min = h->min_.load(std::memory_order_relaxed);
@@ -328,7 +352,18 @@ std::string to_json(const MetricsSnapshot& snapshot) {
       if (b) out << ",";
       out << h.buckets[b];
     }
-    out << "],\"count\":" << h.count << ",\"sum\":" << fmt_double(h.sum)
+    out << "]";
+    bool any_exemplar = false;
+    for (const std::uint64_t e : h.exemplars) any_exemplar |= e != 0;
+    if (any_exemplar) {
+      out << ",\"exemplars\":[";
+      for (std::size_t b = 0; b < h.exemplars.size(); ++b) {
+        if (b) out << ",";
+        out << h.exemplars[b];
+      }
+      out << "]";
+    }
+    out << ",\"count\":" << h.count << ",\"sum\":" << fmt_double(h.sum)
         << ",\"min\":" << fmt_double(h.min) << ",\"max\":" << fmt_double(h.max)
         << ",\"p50\":" << fmt_double(h.quantile(0.50))
         << ",\"p95\":" << fmt_double(h.quantile(0.95)) << "}";

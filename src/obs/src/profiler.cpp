@@ -1,0 +1,184 @@
+#include "perpos/obs/profiler.hpp"
+
+namespace perpos::obs {
+
+struct alignas(64) EngineProfiler::LaneSlot {
+  std::atomic<std::uint64_t> tasks{0};
+  std::atomic<std::uint64_t> busy_ns{0};
+  std::atomic<std::uint64_t> drains{0};
+  std::atomic<std::uint64_t> queue_peak{0};
+  std::atomic<std::uint64_t> peak_count{0};
+  std::atomic<std::uint64_t> peak_t_ns[kPeakTimeline] = {};
+  std::atomic<std::uint64_t> peak_depth[kPeakTimeline] = {};
+};
+
+struct alignas(64) EngineProfiler::WorkerSlot {
+  std::atomic<std::uint64_t> tasks{0};
+  std::atomic<std::uint64_t> busy_ns{0};
+  std::atomic<std::uint64_t> drains{0};
+  std::atomic<std::uint64_t> idle_wakeups{0};
+};
+
+EngineProfiler::EngineProfiler(std::size_t workers)
+    : epoch_(std::chrono::steady_clock::now()),
+      table_(new std::atomic<LaneSlot*>[kMaxLanes]) {
+  for (std::size_t i = 0; i < kMaxLanes; ++i) {
+    table_[i].store(nullptr, std::memory_order_relaxed);
+  }
+  workers_.reserve(workers + 1);
+  for (std::size_t i = 0; i < workers + 1; ++i) {
+    workers_.push_back(std::make_unique<WorkerSlot>());
+  }
+}
+
+EngineProfiler::~EngineProfiler() = default;
+
+std::uint32_t EngineProfiler::add_lane(std::string name) {
+  std::lock_guard<std::mutex> lock(lanes_mutex_);
+  if (lanes_.size() >= kMaxLanes) {
+    return static_cast<std::uint32_t>(kMaxLanes);
+  }
+  lanes_.push_back(std::make_unique<LaneSlot>());
+  lane_names_.push_back(std::move(name));
+  const auto id = static_cast<std::uint32_t>(lanes_.size() - 1);
+  table_[id].store(lanes_.back().get(), std::memory_order_release);
+  lane_count_.store(lanes_.size(), std::memory_order_release);
+  return id;
+}
+
+std::size_t EngineProfiler::lane_count() const {
+  return lane_count_.load(std::memory_order_acquire);
+}
+
+EngineProfiler::LaneSlot* EngineProfiler::lane(
+    std::uint32_t id) const noexcept {
+  if (id >= kMaxLanes) return nullptr;
+  return table_[id].load(std::memory_order_acquire);
+}
+
+std::uint64_t EngineProfiler::now_ns() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void EngineProfiler::on_drain(std::uint32_t lane_id, std::uint32_t worker,
+                              std::uint64_t tasks,
+                              std::uint64_t busy_ns) noexcept {
+  if (LaneSlot* l = lane(lane_id)) {
+    l->tasks.fetch_add(tasks, std::memory_order_relaxed);
+    l->busy_ns.fetch_add(busy_ns, std::memory_order_relaxed);
+    l->drains.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (worker < workers_.size()) {
+    WorkerSlot& w = *workers_[worker];
+    w.tasks.fetch_add(tasks, std::memory_order_relaxed);
+    w.busy_ns.fetch_add(busy_ns, std::memory_order_relaxed);
+    w.drains.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void EngineProfiler::on_queue_depth(std::uint32_t lane_id,
+                                    std::uint64_t depth) noexcept {
+  LaneSlot* l = lane(lane_id);
+  if (l == nullptr) return;
+  std::uint64_t peak = l->queue_peak.load(std::memory_order_relaxed);
+  while (depth > peak) {
+    if (l->queue_peak.compare_exchange_weak(peak, depth,
+                                            std::memory_order_relaxed)) {
+      // New high-water mark: stamp it into the timeline ring. Writers to
+      // one lane are serialized by the engine's lane mutex, so the ring
+      // index never races; readers tolerate a torn (t, depth) pair — the
+      // timeline is diagnostic, not transactional.
+      const std::uint64_t idx =
+          l->peak_count.fetch_add(1, std::memory_order_relaxed) %
+          kPeakTimeline;
+      l->peak_t_ns[idx].store(now_ns(), std::memory_order_relaxed);
+      l->peak_depth[idx].store(depth, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void EngineProfiler::on_idle_wakeup(std::uint32_t worker) noexcept {
+  if (worker < workers_.size()) {
+    workers_[worker]->idle_wakeups.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+EngineProfiler::Snapshot EngineProfiler::snapshot() const {
+  Snapshot out;
+  out.elapsed_ns = now_ns();
+  {
+    std::lock_guard<std::mutex> lock(lanes_mutex_);
+    out.lanes.reserve(lanes_.size());
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      const LaneSlot& l = *lanes_[i];
+      LaneSnapshot s;
+      s.name = lane_names_[i];
+      s.tasks = l.tasks.load(std::memory_order_relaxed);
+      s.busy_ns = l.busy_ns.load(std::memory_order_relaxed);
+      s.drains = l.drains.load(std::memory_order_relaxed);
+      s.queue_peak = l.queue_peak.load(std::memory_order_relaxed);
+      const std::uint64_t n = l.peak_count.load(std::memory_order_relaxed);
+      const std::uint64_t retained = n < kPeakTimeline ? n : kPeakTimeline;
+      s.peaks.reserve(retained);
+      for (std::uint64_t k = n - retained; k < n; ++k) {
+        QueuePeak p;
+        p.t_ns = l.peak_t_ns[k % kPeakTimeline].load(std::memory_order_relaxed);
+        p.depth =
+            l.peak_depth[k % kPeakTimeline].load(std::memory_order_relaxed);
+        s.peaks.push_back(p);
+      }
+      out.lanes.push_back(std::move(s));
+    }
+  }
+  out.workers.reserve(workers_.size());
+  for (const auto& wptr : workers_) {
+    const WorkerSlot& w = *wptr;
+    WorkerSnapshot s;
+    s.tasks = w.tasks.load(std::memory_order_relaxed);
+    s.busy_ns = w.busy_ns.load(std::memory_order_relaxed);
+    s.drains = w.drains.load(std::memory_order_relaxed);
+    s.idle_wakeups = w.idle_wakeups.load(std::memory_order_relaxed);
+    s.utilization = out.elapsed_ns == 0
+                        ? 0.0
+                        : static_cast<double>(s.busy_ns) /
+                              static_cast<double>(out.elapsed_ns);
+    out.workers.push_back(s);
+  }
+  return out;
+}
+
+void EngineProfiler::drain_into(MetricsRegistry& registry) const {
+  const Snapshot snap = snapshot();
+  for (const LaneSnapshot& l : snap.lanes) {
+    const Labels labels{{"lane", l.name}};
+    registry.gauge("perpos_prof_lane_tasks", labels)
+        ->set(static_cast<double>(l.tasks));
+    registry.gauge("perpos_prof_lane_busy_us", labels)
+        ->set(static_cast<double>(l.busy_ns) / 1000.0);
+    registry.gauge("perpos_prof_lane_drains", labels)
+        ->set(static_cast<double>(l.drains));
+    registry.gauge("perpos_prof_lane_queue_peak", labels)
+        ->set(static_cast<double>(l.queue_peak));
+  }
+  for (std::size_t i = 0; i < snap.workers.size(); ++i) {
+    const WorkerSnapshot& w = snap.workers[i];
+    const bool is_inline = i + 1 == snap.workers.size();
+    const Labels labels{{"worker", is_inline ? "inline" : std::to_string(i)}};
+    registry.gauge("perpos_prof_worker_tasks", labels)
+        ->set(static_cast<double>(w.tasks));
+    registry.gauge("perpos_prof_worker_busy_us", labels)
+        ->set(static_cast<double>(w.busy_ns) / 1000.0);
+    registry.gauge("perpos_prof_worker_drains", labels)
+        ->set(static_cast<double>(w.drains));
+    registry.gauge("perpos_prof_worker_idle_wakeups", labels)
+        ->set(static_cast<double>(w.idle_wakeups));
+    registry.gauge("perpos_prof_worker_utilization", labels)
+        ->set(w.utilization);
+  }
+}
+
+}  // namespace perpos::obs

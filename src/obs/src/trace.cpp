@@ -53,6 +53,8 @@ void TraceRecorder::close(std::uint64_t id) {
     spans_.push_back(std::move(span));
     while (spans_.size() > capacity_) {
       spans_.pop_front();
+      ++dropped_;
+      if (dropped_counter_ != nullptr) dropped_counter_->inc();
     }
     if (match) return;
   }
@@ -81,7 +83,7 @@ const TraceSpan* TraceRecorder::find(std::uint64_t id) const noexcept {
 
 std::string TraceRecorder::to_chrome_trace_json() const {
   std::ostringstream out;
-  out << "{\"traceEvents\":[";
+  out << "{\"droppedSpans\":" << dropped_ << ",\"traceEvents\":[";
   bool first = true;
   for (const TraceSpan& s : spans_) {
     if (!first) out << ",";

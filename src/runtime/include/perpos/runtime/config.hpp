@@ -23,13 +23,18 @@
 ///   component <name> <kind> [arg...]
 ///   connect <producer-name> <consumer-name>
 ///   resolve
-///   observe [metrics] [timing] [tracing] [all]
+///   observe [metrics] [timing] [tracing] [latency] [recording]
+///           [slo_us=<number>] [all]
 ///   health [key=value ...]
 ///   host <host-name> <component-name>...
 ///   verify
 ///
 /// `observe` enables graph observability (perpos::obs). With no flags it
-/// turns on metrics and timing; `all` adds flow tracing.
+/// turns on metrics and timing; `all` turns on everything. `latency`
+/// stamps root emissions and observes end-to-end ingest→sink latency at
+/// sinks (slo_us=N additionally counts deadline misses against an N-µs
+/// SLO); `recording` attaches a flight recorder whose ring captures
+/// recent emit/deliver/mutation events for black-box dumps.
 ///
 /// `health` declares fault-tolerance thresholds (see HealthSettings). The
 /// parser only records them in ConfigResult::health — wiring them into a

@@ -205,8 +205,24 @@ ConfigResult assemble_from_config(const std::string& text,
           cfg.timing = true;
         } else if (flag == "tracing") {
           cfg.tracing = true;
+        } else if (flag == "latency") {
+          cfg.latency = true;
+        } else if (flag == "recording") {
+          cfg.recording = true;
         } else if (flag == "all") {
           cfg.metrics = cfg.timing = cfg.tracing = true;
+          cfg.latency = cfg.recording = true;
+        } else if (flag.rfind("slo_us=", 0) == 0) {
+          const std::string value = flag.substr(7);
+          try {
+            std::size_t used = 0;
+            cfg.latency_slo_us = std::stod(value, &used);
+            if (used != value.size()) throw std::invalid_argument(value);
+          } catch (const std::exception&) {
+            fail("observe slo_us: bad number '" + value + "'");
+            bad = true;
+            break;
+          }
         } else {
           fail("unknown observe flag '" + flag + "'");
           bad = true;
@@ -348,6 +364,13 @@ std::string export_config(const core::ProcessingGraph& graph,
     if (cfg->metrics) out << " metrics";
     if (cfg->timing) out << " timing";
     if (cfg->tracing) out << " tracing";
+    if (cfg->latency) out << " latency";
+    if (cfg->recording) out << " recording";
+    if (cfg->latency_slo_us > 0.0) {
+      std::ostringstream s;
+      s << cfg->latency_slo_us;
+      out << " slo_us=" << s.str();
+    }
     out << "\n";
   }
   if (health != nullptr) {

@@ -2,6 +2,7 @@
 
 #include "perpos/core/graph.hpp"
 #include "perpos/exec/engine.hpp"
+#include "perpos/obs/flight_recorder.hpp"
 #include "perpos/verify/diagnostic.hpp"
 
 #include <cstdint>
@@ -76,6 +77,14 @@ class GraphSanitizer final : public core::GraphSentry {
   /// (one callback per crossing). Call with the engine idle.
   void watch_engine(exec::ExecutionEngine& engine, std::size_t limit = 4096);
 
+  /// Attach a flight recorder: every *newly* recorded violation (duplicates
+  /// are suppressed as usual) lands as a kSanitizerFinding event on a
+  /// dedicated "sanitizer" ring, and trigger()s the recorder's dump handler
+  /// — so a PPS rule firing snapshots the black box with the triggering
+  /// event in it. Pass nullptr to detach. The recorder must outlive the
+  /// sanitizer or the next call.
+  void set_flight_recorder(obs::FlightRecorder* recorder);
+
   /// Bind the lane-ownership check to the calling thread explicitly
   /// (e.g. the engine lane's worker); dispatch from any other thread then
   /// raises PPS001.
@@ -127,6 +136,10 @@ class GraphSanitizer final : public core::GraphSentry {
       last_emit_;
   std::set<std::string> reported_;  ///< Duplicate-suppression keys.
   std::vector<verify::Diagnostic> diagnostics_;
+  /// Black-box hookup: events go to rec_lane_ under mutex_ (violations can
+  /// surface from any thread; the lock serializes the single-producer ring).
+  obs::FlightRecorder* recorder_ = nullptr;
+  std::uint32_t rec_lane_ = 0;
 };
 
 }  // namespace perpos::sanitize

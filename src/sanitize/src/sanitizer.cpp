@@ -61,6 +61,12 @@ void GraphSanitizer::watch_engine(exec::ExecutionEngine& engine,
       });
 }
 
+void GraphSanitizer::set_flight_recorder(obs::FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  recorder_ = recorder;
+  if (recorder != nullptr) rec_lane_ = recorder->add_lane("sanitizer");
+}
+
 void GraphSanitizer::bind_to_current_thread() {
   std::lock_guard<std::mutex> lock(mutex_);
   bound_ = true;
@@ -198,19 +204,39 @@ void GraphSanitizer::on_pool_double_release() {
 void GraphSanitizer::record(std::string rule_id, verify::Severity severity,
                             std::optional<core::ComponentId> component,
                             std::string message, std::string fix_hint) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::string key = rule_id;
-  key += '@';
-  key += component.has_value() ? std::to_string(*component) : message;
-  if (!reported_.insert(std::move(key)).second) return;
-  verify::Diagnostic diagnostic;
-  diagnostic.rule_id = std::move(rule_id);
-  diagnostic.severity = severity;
-  diagnostic.message = std::move(message);
-  diagnostic.component = component;
-  if (component.has_value()) diagnostic.component_name = name_of(*component);
-  diagnostic.fix_hint = std::move(fix_hint);
-  diagnostics_.push_back(std::move(diagnostic));
+  std::string detail;
+  obs::FlightRecorder* recorder = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string key = rule_id;
+    key += '@';
+    key += component.has_value() ? std::to_string(*component) : message;
+    if (!reported_.insert(std::move(key)).second) return;
+    if (recorder_ != nullptr) {
+      detail = rule_id;
+      detail += ": ";
+      detail += message;
+    }
+    verify::Diagnostic diagnostic;
+    diagnostic.rule_id = std::move(rule_id);
+    diagnostic.severity = severity;
+    diagnostic.message = std::move(message);
+    diagnostic.component = component;
+    if (component.has_value()) diagnostic.component_name = name_of(*component);
+    diagnostic.fix_hint = std::move(fix_hint);
+    diagnostics_.push_back(std::move(diagnostic));
+    if (recorder_ != nullptr) {
+      obs::FlightEvent event;
+      event.type = obs::FlightEventType::kSanitizerFinding;
+      event.component = component.value_or(core::kInvalidComponent);
+      event.set_detail(detail);
+      recorder_->record(rec_lane_, event);
+      recorder = recorder_;
+    }
+  }
+  // Dump outside the lock: the handler may serialize the whole recorder
+  // (or even call back into report()).
+  if (recorder != nullptr) recorder->trigger(detail);
 }
 
 std::string GraphSanitizer::name_of(core::ComponentId id) const {

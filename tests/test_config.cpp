@@ -371,3 +371,71 @@ observe metrics tracing
   EXPECT_NE(exported.find("observe metrics tracing"), std::string::npos);
   EXPECT_EQ(exported.find("timing"), std::string::npos);
 }
+
+TEST(Config, ObserveLatencyRecordingAndSloParse) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto result = rt::assemble_from_config(R"(
+component src source
+component app sink
+connect src app
+observe latency recording slo_us=250
+)",
+                                               registry, graph);
+  ASSERT_TRUE(result.ok()) << (result.errors.empty() ? "" : result.errors[0]);
+  const auto* cfg = graph.observability_config();
+  ASSERT_NE(cfg, nullptr);
+  EXPECT_TRUE(cfg->latency);
+  EXPECT_TRUE(cfg->recording);
+  EXPECT_DOUBLE_EQ(cfg->latency_slo_us, 250.0);
+  // `recording` attaches the graph-owned flight recorder.
+  EXPECT_NE(graph.flight_recorder(), nullptr);
+
+  const std::string exported = rt::export_config(graph);
+  EXPECT_NE(exported.find("latency"), std::string::npos);
+  EXPECT_NE(exported.find("recording"), std::string::npos);
+  EXPECT_NE(exported.find("slo_us=250"), std::string::npos);
+
+  // Re-parsing the export reproduces the observability config exactly.
+  // (Re-assembly of the component lines needs a kind()-keyed registry, as
+  // in ExportRoundTrip; the observe semantics are what's under test here.)
+  rt::ComponentFactoryRegistry by_kind;
+  by_kind.register_kind("Source", [](const auto&) {
+    return std::make_shared<core::SourceComponent>(
+        "Source", std::vector<core::DataSpec>{core::provide<Num>()});
+  });
+  by_kind.register_kind("Sink", [](const auto&) {
+    return std::make_shared<core::ApplicationSink>(
+        "Sink", std::vector<core::InputRequirement>{core::require<Num>()});
+  });
+  core::ProcessingGraph second;
+  const auto round = rt::assemble_from_config(exported, by_kind, second);
+  ASSERT_TRUE(round.ok()) << (round.errors.empty() ? "" : round.errors[0]);
+  const auto* cfg2 = second.observability_config();
+  ASSERT_NE(cfg2, nullptr);
+  EXPECT_TRUE(cfg2->latency);
+  EXPECT_TRUE(cfg2->recording);
+  EXPECT_DOUBLE_EQ(cfg2->latency_slo_us, 250.0);
+}
+
+TEST(Config, ObserveAllEnablesEverything) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  ASSERT_TRUE(rt::assemble_from_config("observe all\n", registry, graph).ok());
+  const auto* cfg = graph.observability_config();
+  ASSERT_NE(cfg, nullptr);
+  EXPECT_TRUE(cfg->metrics);
+  EXPECT_TRUE(cfg->timing);
+  EXPECT_TRUE(cfg->tracing);
+  EXPECT_TRUE(cfg->latency);
+  EXPECT_TRUE(cfg->recording);
+}
+
+TEST(Config, ObserveBadSloReported) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto result =
+      rt::assemble_from_config("observe slo_us=banana\n", registry, graph);
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_NE(result.errors[0].find("slo_us"), std::string::npos);
+}

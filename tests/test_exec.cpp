@@ -13,12 +13,17 @@
 #include "perpos/core/components.hpp"
 #include "perpos/core/graph.hpp"
 #include "perpos/exec/engine.hpp"
+#include "perpos/obs/flight_recorder.hpp"
+#include "perpos/obs/introspection.hpp"
+#include "perpos/obs/profiler.hpp"
 #include "perpos/sim/scheduler.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -27,6 +32,7 @@
 
 namespace core = perpos::core;
 namespace exec = perpos::exec;
+namespace obs = perpos::obs;
 namespace sim = perpos::sim;
 
 namespace {
@@ -373,4 +379,282 @@ TEST(EmitBatch, EmptyBatchIsANoOp) {
   GraphRig rig(1);
   rig.source->push_batch(std::vector<Tick>{});
   EXPECT_TRUE(rig.transcript.str().empty());
+}
+
+// --- Translucency plane: profiler, flight recorder, introspection ------------
+
+// Allocation accounting for the hot-path guards below: the global operator
+// new is replaced with a counting pass-through. Counting is off by default
+// and enabled only around the measured region, so the rest of this binary
+// is unaffected.
+//
+// GCC cannot see that the replaced operator new is malloc-backed and warns
+// that operator delete frees a non-malloc pointer; the pairing is correct
+// by construction here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<bool> g_count_allocations{false};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_count_allocations.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+const obs::EngineProfiler::LaneSnapshot* find_lane(
+    const obs::EngineProfiler::Snapshot& snap, const std::string& name) {
+  for (const auto& lane : snap.lanes) {
+    if (lane.name == name) return &lane;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+TEST(EngineProfiler, AccountsInlineDrains) {
+  exec::ExecutionEngine engine(0);
+  obs::EngineProfiler profiler(engine.workers());
+  engine.enable_profiler(&profiler);
+  const auto alpha = engine.create_lane("alpha");
+  const auto beta = engine.create_lane("beta");
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 5; ++i) engine.post(alpha, [&] { ++ran; });
+  for (int i = 0; i < 3; ++i) engine.post(beta, [&] { ++ran; });
+  engine.run_until_idle();
+  EXPECT_EQ(ran.load(), 8);
+
+  const auto snap = profiler.snapshot();
+  const auto* a = find_lane(snap, "alpha");
+  const auto* b = find_lane(snap, "beta");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->tasks, 5u);
+  EXPECT_EQ(b->tasks, 3u);
+  EXPECT_GE(a->drains, 1u);
+  // All 5 posts landed before the inline drain started, so the lane's
+  // high-water mark is the full burst — and the peak timeline retains it.
+  EXPECT_EQ(a->queue_peak, 5u);
+  ASSERT_FALSE(a->peaks.empty());
+  EXPECT_EQ(a->peaks.back().depth, 5u);
+  // Inline mode accounts everything to the single inline worker slot.
+  ASSERT_EQ(snap.workers.size(), 1u);
+  EXPECT_EQ(snap.workers[0].tasks, 8u);
+}
+
+TEST(EngineProfiler, LateAttachRegistersExistingLanes) {
+  exec::ExecutionEngine engine(0);
+  const auto alpha = engine.create_lane("alpha");
+  const auto beta = engine.create_lane("beta");
+  obs::EngineProfiler profiler(engine.workers());
+  engine.enable_profiler(&profiler);  // Lanes already exist.
+  engine.post(alpha, [] {});
+  engine.post(beta, [] {});
+  engine.run_until_idle();
+
+  const auto snap = profiler.snapshot();
+  const auto* a = find_lane(snap, "alpha");
+  const auto* b = find_lane(snap, "beta");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->tasks, 1u);
+  EXPECT_EQ(b->tasks, 1u);
+}
+
+TEST(EngineProfiler, SnapshotConsistentAtIdleForAnyWorkerCount) {
+  // run_until_idle() returning must imply the profiler has accounted every
+  // drained batch (the engine retires a batch only after profiling it), so
+  // lane and worker totals exactly match executed() — for 1 worker and for
+  // more workers than lanes.
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{8}}) {
+    exec::ExecutionEngine engine(workers);
+    obs::EngineProfiler profiler(engine.workers());
+    engine.enable_profiler(&profiler);
+    std::vector<exec::LaneId> lanes;
+    for (int i = 0; i < 4; ++i) {
+      lanes.push_back(engine.create_lane("lane-" + std::to_string(i)));
+    }
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 200; ++i) {
+      engine.post(lanes[static_cast<std::size_t>(i) % lanes.size()],
+                  [&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    engine.run_until_idle();
+    EXPECT_EQ(ran.load(), 200) << "workers=" << workers;
+
+    const auto snap = profiler.snapshot();
+    std::uint64_t lane_tasks = 0;
+    std::uint64_t worker_tasks = 0;
+    for (const auto& lane : snap.lanes) lane_tasks += lane.tasks;
+    for (const auto& worker : snap.workers) worker_tasks += worker.tasks;
+    EXPECT_EQ(lane_tasks, 200u) << "workers=" << workers;
+    EXPECT_EQ(worker_tasks, 200u) << "workers=" << workers;
+    EXPECT_EQ(engine.executed(), 200u) << "workers=" << workers;
+
+    const auto intro = engine.introspect();
+    EXPECT_EQ(intro.tasks_executed, 200u) << "workers=" << workers;
+    std::uint64_t intro_lane_tasks = 0;
+    for (const auto& lane : intro.lanes) {
+      EXPECT_EQ(lane.queue_depth, 0u) << "workers=" << workers;
+      EXPECT_FALSE(lane.active) << "workers=" << workers;
+      intro_lane_tasks += lane.tasks;
+    }
+    EXPECT_EQ(intro_lane_tasks, 200u) << "workers=" << workers;
+  }
+}
+
+TEST(EngineProfiler, DetachedHotPathDoesNotAllocate) {
+  exec::ExecutionEngine engine(0);
+  const auto lane = engine.create_lane("hot");
+  // Warm-up pass: let the queue and the ready deque grow their blocks.
+  for (int i = 0; i < 256; ++i) engine.post(lane, [] {});
+  engine.run_until_idle();
+  // Steady state, no profiler: draining 256 captureless tasks must not
+  // touch the allocator at all.
+  for (int i = 0; i < 256; ++i) engine.post(lane, [] {});
+  g_allocations.store(0, std::memory_order_relaxed);
+  g_count_allocations.store(true, std::memory_order_relaxed);
+  engine.run_until_idle();
+  g_count_allocations.store(false, std::memory_order_relaxed);
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), 0u);
+}
+
+TEST(EngineProfiler, AttachedHotPathDoesNotAllocate) {
+  // The profiler's accounting is relaxed atomics on preallocated slots, so
+  // attaching it must keep the drain path allocation-free too.
+  exec::ExecutionEngine engine(0);
+  obs::EngineProfiler profiler(engine.workers());
+  engine.enable_profiler(&profiler);
+  const auto lane = engine.create_lane("hot");
+  for (int i = 0; i < 256; ++i) engine.post(lane, [] {});
+  engine.run_until_idle();
+  for (int i = 0; i < 256; ++i) engine.post(lane, [] {});
+  g_allocations.store(0, std::memory_order_relaxed);
+  g_count_allocations.store(true, std::memory_order_relaxed);
+  engine.run_until_idle();
+  g_count_allocations.store(false, std::memory_order_relaxed);
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), 0u);
+}
+
+namespace {
+
+/// Drives a 3-graph deployment through an engine with the flight recorder
+/// attached and serializes every graph lane's retained events — minus the
+/// wall-clock timestamps — into one transcript string.
+std::string flight_transcript(std::size_t workers) {
+  obs::FlightRecorder recorder(4096);
+  exec::ExecutionEngine engine(workers);
+  engine.set_flight_recorder(&recorder);
+  constexpr int kGraphs = 3;
+  constexpr int kSamples = 40;
+  std::vector<std::unique_ptr<GraphRig>> rigs;
+  std::vector<std::function<void(exec::Task)>> post;
+  std::vector<std::uint32_t> rec_lanes;
+  for (int g = 0; g < kGraphs; ++g) {
+    rigs.push_back(std::make_unique<GraphRig>(2));
+    const auto ring = recorder.add_lane("graph-" + std::to_string(g));
+    rigs.back()->graph.set_flight_recorder(&recorder, ring,
+                                           static_cast<std::uint32_t>(g));
+    rec_lanes.push_back(ring);
+    post.push_back(engine.executor(engine.create_lane()));
+  }
+  for (int i = 0; i < kSamples; ++i) {
+    for (int g = 0; g < kGraphs; ++g) {
+      GraphRig* rig = rigs[static_cast<std::size_t>(g)].get();
+      post[static_cast<std::size_t>(g)](
+          [rig, i] { rig->source->push(Tick{i}); });
+    }
+  }
+  engine.run_until_idle();
+
+  std::ostringstream out;
+  const auto events = recorder.merged_events();
+  for (const std::uint32_t ring : rec_lanes) {
+    out << "== " << recorder.lane_name(ring) << '\n';
+    for (const auto& e : events) {
+      if (e.lane != ring) continue;
+      out << obs::flight_event_type_name(e.type) << ' ' << e.graph << ' '
+          << e.component << ' ' << e.a << ' ' << e.b << ' ' << e.detail
+          << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+TEST(EngineFlightRecorder, PerLaneTranscriptsIdenticalAcrossWorkerCounts) {
+  // The recorder rides the same determinism contract as the graphs: with
+  // one ring per graph lane, the event sequence each ring captures is
+  // byte-identical for 0, 1 and 8 workers (only timestamps differ).
+  const std::string inline_run = flight_transcript(0);
+  const std::string one_worker = flight_transcript(1);
+  const std::string eight_workers = flight_transcript(8);
+  EXPECT_NE(inline_run.find("emit"), std::string::npos);
+  EXPECT_NE(inline_run.find("deliver"), std::string::npos);
+  EXPECT_EQ(inline_run, one_worker);
+  EXPECT_EQ(one_worker, eight_workers);
+}
+
+TEST(EngineFlightRecorder, TaskFailureRecordsEventAndTriggersDump) {
+  obs::FlightRecorder recorder(64);
+  int dumps = 0;
+  std::string dump_reason;
+  recorder.set_dump_handler(
+      [&](const std::string& reason, const obs::FlightRecorder&) {
+        ++dumps;
+        dump_reason = reason;
+      });
+  exec::ExecutionEngine engine(0);
+  engine.set_flight_recorder(&recorder);
+  const auto lane = engine.create_lane("crashy");
+  engine.post(lane, [] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(engine.run_until_idle(), std::runtime_error);
+  EXPECT_EQ(engine.failed(), 1u);
+  EXPECT_EQ(dumps, 1);
+  EXPECT_NE(dump_reason.find("boom"), std::string::npos);
+
+  // The recorded event carries both the lane name and the error message.
+  bool saw_failure = false;
+  for (const auto& e : recorder.merged_events()) {
+    if (e.type != obs::FlightEventType::kTaskFailed) continue;
+    saw_failure = true;
+    const std::string detail = e.detail;
+    EXPECT_NE(detail.find("crashy"), std::string::npos);
+    EXPECT_NE(detail.find("boom"), std::string::npos);
+  }
+  EXPECT_TRUE(saw_failure);
+}
+
+TEST(EngineFlightRecorder, WatermarkCrossingIsRecorded) {
+  obs::FlightRecorder recorder(64);
+  exec::ExecutionEngine engine(0);
+  engine.set_flight_recorder(&recorder);
+  std::atomic<int> crossings{0};
+  engine.set_queue_watermark(
+      2, [&](const std::string&, std::size_t) { ++crossings; });
+  const auto lane = engine.create_lane("deep");
+  for (int i = 0; i < 5; ++i) engine.post(lane, [] {});
+  engine.run_until_idle();
+  EXPECT_EQ(crossings.load(), 1);
+
+  bool saw_watermark = false;
+  for (const auto& e : recorder.merged_events()) {
+    if (e.type != obs::FlightEventType::kWatermark) continue;
+    saw_watermark = true;
+    EXPECT_EQ(e.a, 3u);  // The crossing depth: limit 2 exceeded at 3.
+  }
+  EXPECT_TRUE(saw_watermark);
 }

@@ -11,16 +11,21 @@
 #include "perpos/core/positioning.hpp"
 #include "perpos/core/trace_feature.hpp"
 #include "perpos/geo/coordinates.hpp"
+#include "perpos/obs/flight_recorder.hpp"
+#include "perpos/obs/introspection.hpp"
 #include "perpos/obs/metrics.hpp"
 #include "perpos/obs/trace.hpp"
 #include "perpos/sim/clock.hpp"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -547,4 +552,351 @@ TEST(ProviderObservability, FixCountRateAndStaleness) {
                                      provider.metric_label());
   ASSERT_NE(rate, nullptr);
   EXPECT_NEAR(rate->value, 1.0, 1e-9);
+}
+
+// --- Flight recorder (the black box) -----------------------------------------
+
+TEST(FlightRecorder, MergedEventsAreTimeOrderedAcrossLanes) {
+  obs::FlightRecorder recorder(16);
+  const auto a = recorder.add_lane("a");
+  const auto b = recorder.add_lane("b");
+  const auto mk = [](std::uint64_t t, std::uint64_t tag) {
+    obs::FlightEvent e;
+    e.type = obs::FlightEventType::kMark;
+    e.t_ns = t;
+    e.a = tag;
+    return e;
+  };
+  // Interleaved wall-clock order, recorded out of order per lane.
+  recorder.record(a, mk(30, 1));
+  recorder.record(b, mk(10, 2));
+  recorder.record(a, mk(50, 3));
+  recorder.record(b, mk(40, 4));
+  recorder.record(b, mk(30, 5));  // Same instant as lane a's first event.
+
+  const auto merged = recorder.merged_events();
+  ASSERT_EQ(merged.size(), 5u);
+  std::vector<std::uint64_t> tags;
+  for (const auto& e : merged) tags.push_back(e.a);
+  // Sorted by t_ns; the t=30 tie is broken by lane id (a before b).
+  EXPECT_EQ(tags, (std::vector<std::uint64_t>{2, 1, 5, 4, 3}));
+}
+
+TEST(FlightRecorder, RingWraparoundKeepsNewestAndCountsDropped) {
+  obs::FlightRecorder recorder(4);
+  const auto lane = recorder.add_lane("ring");
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    obs::FlightEvent e;
+    e.type = obs::FlightEventType::kMark;
+    e.t_ns = i + 1;
+    e.a = i;
+    recorder.record(lane, e);
+  }
+  EXPECT_EQ(recorder.recorded(lane), 10u);
+  EXPECT_EQ(recorder.dropped(lane), 6u);
+  const auto merged = recorder.merged_events();
+  ASSERT_EQ(merged.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(merged[i].a, 6u + i);
+}
+
+TEST(FlightRecorder, TriggerRecordsMarkAndInvokesHandler) {
+  obs::FlightRecorder recorder(16);
+  recorder.add_lane("main");
+  std::vector<std::string> reasons;
+  recorder.set_dump_handler(
+      [&](const std::string& reason, const obs::FlightRecorder& r) {
+        reasons.push_back(reason);
+        EXPECT_EQ(&r, &recorder);
+      });
+  recorder.trigger("PPS004 fired");
+  ASSERT_EQ(reasons.size(), 1u);
+  EXPECT_EQ(reasons[0], "PPS004 fired");
+  EXPECT_EQ(recorder.triggers(), 1u);
+
+  const auto merged = recorder.merged_events();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].type, obs::FlightEventType::kMark);
+  EXPECT_STREQ(merged[0].detail, "PPS004 fired");
+}
+
+TEST(FlightRecorder, HandlerExceptionsAreSwallowed) {
+  obs::FlightRecorder recorder(16);
+  recorder.add_lane("main");
+  recorder.set_dump_handler(
+      [](const std::string&, const obs::FlightRecorder&) {
+        throw std::runtime_error("handler failed");
+      });
+  recorder.trigger("must not escape");  // noexcept: terminate would abort.
+  EXPECT_EQ(recorder.triggers(), 1u);
+}
+
+TEST(FlightRecorder, UnknownLaneIsSilentlyDropped) {
+  obs::FlightRecorder recorder(16);
+  obs::FlightEvent e;
+  recorder.record(99, e);  // No lanes registered at all.
+  EXPECT_TRUE(recorder.merged_events().empty());
+}
+
+TEST(FlightRecorder, DumpJsonAndChromeTraceSerializeEvents) {
+  obs::FlightRecorder recorder(16);
+  const auto lane = recorder.add_lane("graph-0");
+  obs::FlightEvent e;
+  e.type = obs::FlightEventType::kEmit;
+  e.component = 3;
+  e.a = 7;
+  e.set_detail("hello \"quoted\"");
+  recorder.record(lane, e);
+
+  const std::string json = recorder.dump_json("unit test");
+  EXPECT_NE(json.find("\"reason\":\"unit test\""), std::string::npos);
+  EXPECT_NE(json.find("\"emit\""), std::string::npos);
+  EXPECT_NE(json.find("graph-0"), std::string::npos);
+
+  const std::string trace = recorder.dump_chrome_trace();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("emit"), std::string::npos);
+}
+
+// --- Graph wiring of the flight recorder -------------------------------------
+
+TEST(GraphFlightRecorder, RecordingConfigCapturesEmitDeliverMutation) {
+  core::ProcessingGraph graph;
+  obs::ObservabilityConfig cfg;
+  cfg.recording = true;
+  cfg.recorder_capacity = 64;
+  // Enable BEFORE building so the structural mutations are captured too.
+  graph.enable_observability(cfg);
+  ASSERT_NE(graph.flight_recorder(), nullptr);
+
+  const auto src = graph.add(make_source());
+  const auto sink = graph.add(std::make_shared<core::ApplicationSink>());
+  graph.connect(src, sink);
+  graph.component_as<core::SourceComponent>(src)->push(Value{1});
+
+  int emits = 0;
+  int delivers = 0;
+  int mutations = 0;
+  for (const auto& e : graph.flight_recorder()->merged_events()) {
+    switch (e.type) {
+      case obs::FlightEventType::kEmit:
+        ++emits;
+        EXPECT_EQ(e.component, src);
+        break;
+      case obs::FlightEventType::kDeliver:
+        ++delivers;
+        EXPECT_EQ(e.component, sink);
+        EXPECT_EQ(e.a, src);  // Producing component.
+        break;
+      case obs::FlightEventType::kMutation:
+        ++mutations;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(emits, 1);
+  EXPECT_EQ(delivers, 1);
+  EXPECT_GE(mutations, 3);  // Two adds + one connect, at least.
+
+  // Disabling tears the owned recorder down.
+  graph.disable_observability();
+  EXPECT_EQ(graph.flight_recorder(), nullptr);
+}
+
+TEST(GraphFlightRecorder, ComponentThrowRecordsTaskFailedWithDetail) {
+  core::ProcessingGraph graph;
+  obs::ObservabilityConfig cfg;
+  cfg.recording = true;
+  graph.enable_observability(cfg);
+
+  const auto src = graph.add(make_source());
+  auto bomb = std::make_shared<core::LambdaComponent>(
+      "Bomb", std::vector<core::InputRequirement>{core::require<Value>()},
+      std::vector<core::DataSpec>{},
+      [](const Sample&, const core::ComponentContext&) {
+        throw std::runtime_error("sensor exploded");
+      });
+  const auto sink = graph.add(bomb);
+  graph.connect(src, sink);
+  EXPECT_THROW(graph.component_as<core::SourceComponent>(src)->push(Value{1}),
+               std::runtime_error);
+
+  bool saw_failure = false;
+  for (const auto& e : graph.flight_recorder()->merged_events()) {
+    if (e.type != obs::FlightEventType::kTaskFailed) continue;
+    saw_failure = true;
+    EXPECT_EQ(e.component, sink);
+    EXPECT_NE(std::string(e.detail).find("sensor exploded"),
+              std::string::npos);
+  }
+  EXPECT_TRUE(saw_failure);
+}
+
+TEST(GraphFlightRecorder, ExternalRecorderTakesPrecedenceAndDetaches) {
+  core::ProcessingGraph graph;
+  const auto src = graph.add(make_source());
+  const auto sink = graph.add(std::make_shared<core::ApplicationSink>());
+  graph.connect(src, sink);
+
+  obs::FlightRecorder shared(64);
+  const auto lane = shared.add_lane("deployment-graph");
+  graph.set_flight_recorder(&shared, lane, /*graph_tag=*/7);
+  EXPECT_EQ(graph.flight_recorder(), &shared);
+
+  graph.component_as<core::SourceComponent>(src)->push(Value{1});
+  bool saw_emit = false;
+  for (const auto& e : shared.merged_events()) {
+    if (e.type != obs::FlightEventType::kEmit) continue;
+    saw_emit = true;
+    EXPECT_EQ(e.lane, lane);
+    EXPECT_EQ(e.graph, 7u);
+  }
+  EXPECT_TRUE(saw_emit);
+
+  graph.set_flight_recorder(nullptr, 0);
+  EXPECT_EQ(graph.flight_recorder(), nullptr);
+  const auto before = shared.recorded(lane);
+  graph.component_as<core::SourceComponent>(src)->push(Value{2});
+  EXPECT_EQ(shared.recorded(lane), before);  // Fully detached.
+}
+
+// --- Histogram exemplars ------------------------------------------------------
+
+TEST(Histogram, ExemplarStampsTheObservedBucket) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.histogram("lat_us", {}, {1.0, 10.0, 100.0});
+  h->observe_with_exemplar(5.0, 0xabcd);   // Bucket 1: (1, 10].
+  h->observe_with_exemplar(500.0, 0xef01); // Overflow bucket.
+  h->observe(0.5);                         // No exemplar for bucket 0.
+  EXPECT_EQ(h->exemplar(0), 0u);
+  EXPECT_EQ(h->exemplar(1), 0xabcdu);
+  EXPECT_EQ(h->exemplar(3), 0xef01u);
+
+  const auto snap = registry.snapshot();
+  const auto* s = snap.find_histogram("lat_us");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->exemplars.size(), 4u);
+  EXPECT_EQ(s->exemplars[1], 0xabcdu);
+  EXPECT_NE(obs::to_json(snap).find("\"exemplars\""), std::string::npos);
+}
+
+// --- End-to-end latency -------------------------------------------------------
+
+TEST(E2ELatency, SinkObservesIngestToSinkLatencyAndDeadlineMisses) {
+  core::ProcessingGraph graph;
+  const auto src = graph.add(make_source());
+  const auto relay = graph.add(std::make_shared<core::LambdaComponent>(
+      "SlowRelay", std::vector<core::InputRequirement>{core::require<Value>()},
+      std::vector<core::DataSpec>{core::provide<Value>()},
+      [](const Sample& s, const core::ComponentContext& ctx) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        ctx.emit(s.payload);
+      }));
+  const auto sink = graph.add(std::make_shared<core::ApplicationSink>());
+  graph.connect(src, relay);
+  graph.connect(relay, sink);
+
+  obs::ObservabilityConfig cfg;
+  cfg.latency = true;
+  cfg.tracing = true;        // Latency exemplars link to delivery spans.
+  cfg.latency_slo_us = 10.0; // The 2 ms relay guarantees a miss.
+  graph.enable_observability(cfg);
+
+  graph.component_as<core::SourceComponent>(src)->push(Value{1});
+  graph.component_as<core::SourceComponent>(src)->push(Value{2});
+
+  const auto snap = graph.metrics();
+  const auto* h =
+      snap.find_histogram("perpos_e2e_latency_us", "component", id_str(sink));
+  ASSERT_NE(h, nullptr);
+  std::uint64_t count = 0;
+  for (const auto b : h->buckets) count += b;
+  EXPECT_EQ(count, 2u);
+  EXPECT_GE(h->sum, 2 * 2000.0);  // Two traversals, >= 2 ms each.
+  // The bucket the observations landed in carries a span-id exemplar.
+  bool any_exemplar = false;
+  for (const auto e : h->exemplars) any_exemplar |= e != 0;
+  EXPECT_TRUE(any_exemplar);
+
+  const auto* miss = snap.find_counter("perpos_e2e_deadline_miss_total",
+                                       "component", id_str(sink));
+  ASSERT_NE(miss, nullptr);
+  EXPECT_EQ(miss->value, 2u);
+  // Only the sink observes e2e latency; the relay's histogram handle
+  // exists (handles are created per component) but never fires.
+  const auto* relay_h =
+      snap.find_histogram("perpos_e2e_latency_us", "component", id_str(relay));
+  ASSERT_NE(relay_h, nullptr);
+  EXPECT_EQ(relay_h->count, 0u);
+}
+
+TEST(E2ELatency, DisabledByDefault) {
+  core::ProcessingGraph graph;
+  const auto src = graph.add(make_source());
+  graph.connect(src, graph.add(std::make_shared<core::ApplicationSink>()));
+  graph.enable_observability();  // Default config: no latency knob.
+  graph.component_as<core::SourceComponent>(src)->push(Value{1});
+  EXPECT_EQ(graph.metrics().find_histogram("perpos_e2e_latency_us"), nullptr);
+}
+
+// --- Trace ring eviction accounting ------------------------------------------
+
+TEST(FlowTracing, RingEvictionIsCountedAsDroppedSpans) {
+  core::ProcessingGraph graph;
+  const auto src = graph.add(make_source());
+  graph.connect(src, graph.add(std::make_shared<core::ApplicationSink>()));
+
+  obs::ObservabilityConfig cfg;
+  cfg.tracing = true;
+  cfg.trace_capacity = 4;
+  graph.enable_observability(cfg);
+
+  auto* source = graph.component_as<core::SourceComponent>(src);
+  for (int i = 0; i < 20; ++i) source->push(Value{i});
+
+  ASSERT_NE(graph.tracer(), nullptr);
+  const std::uint64_t dropped = graph.tracer()->dropped();
+  EXPECT_GT(dropped, 0u);
+  const auto* counter =
+      graph.metrics().find_counter("perpos_obs_spans_dropped_total");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value, dropped);
+  EXPECT_NE(graph.tracer()->to_chrome_trace_json().find("\"droppedSpans\":"),
+            std::string::npos);
+}
+
+// --- Introspection ------------------------------------------------------------
+
+TEST(Introspection, GraphIntrospectionExtractsDeliveriesAndSelfTime) {
+  core::ProcessingGraph graph;
+  const auto src = graph.add(make_source());
+  const auto relay = graph.add(make_relay());
+  const auto sink = graph.add(std::make_shared<core::ApplicationSink>());
+  graph.connect(src, relay);
+  graph.connect(relay, sink);
+  graph.enable_observability();  // metrics + timing on by default
+
+  auto* source = graph.component_as<core::SourceComponent>(src);
+  for (int i = 0; i < 10; ++i) source->push(Value{i});
+
+  const auto g = obs::graph_introspection("wifi-floor2", graph.metrics());
+  EXPECT_EQ(g.name, "wifi-floor2");
+  EXPECT_EQ(g.deliveries, 20u);  // 10 into the relay + 10 into the sink.
+  EXPECT_EQ(g.components, 3u);
+  ASSERT_FALSE(g.top_self_time.empty());
+  std::uint64_t on_input_calls = 0;
+  for (const auto& c : g.top_self_time) on_input_calls += c.count;
+  EXPECT_EQ(on_input_calls, 20u);
+  // Hottest-first ordering.
+  for (std::size_t i = 1; i < g.top_self_time.size(); ++i) {
+    EXPECT_GE(g.top_self_time[i - 1].total_us, g.top_self_time[i].total_us);
+  }
+
+  obs::IntrospectionSnapshot snapshot;
+  snapshot.graphs.push_back(g);
+  const std::string json = obs::to_json(snapshot);
+  EXPECT_NE(json.find("\"graphs\""), std::string::npos);
+  EXPECT_NE(json.find("wifi-floor2"), std::string::npos);
+  const std::string screen = obs::render_dashboard(snapshot, nullptr);
+  EXPECT_NE(screen.find("wifi-floor2"), std::string::npos);
 }

@@ -332,3 +332,40 @@ TEST(Sanitize, EnvironmentModeInstallsTheSanitizer) {
   EXPECT_FALSE(san::GraphSanitizer::env_enabled());
   ::unsetenv("PERPOS_SANITIZE");
 }
+
+// --- Flight-recorder wiring ---------------------------------------------------
+
+TEST(Sanitize, ViolationRecordsFlightEventAndTriggersDump) {
+  BackwardsClock clock;
+  core::ProcessingGraph g(&clock);
+  const auto src = g.add(make_source());
+  g.connect(src, g.add(make_sink()));
+
+  perpos::obs::FlightRecorder recorder(64);
+  std::vector<std::string> reasons;
+  recorder.set_dump_handler(
+      [&](const std::string& reason, const perpos::obs::FlightRecorder&) {
+        reasons.push_back(reason);
+      });
+
+  san::GraphSanitizer sanitizer;
+  sanitizer.set_flight_recorder(&recorder);
+  sanitizer.attach(g);
+  g.component_as<core::SourceComponent>(src)->push(V0{1});
+  g.component_as<core::SourceComponent>(src)->push(V0{2});  // Time regressed.
+
+  ASSERT_TRUE(has_rule(sanitizer.report(), "PPS002"));
+  bool saw_finding = false;
+  for (const auto& e : recorder.merged_events()) {
+    if (e.type != perpos::obs::FlightEventType::kSanitizerFinding) continue;
+    saw_finding = true;
+    EXPECT_NE(std::string(e.detail).find("PPS002"), std::string::npos);
+  }
+  EXPECT_TRUE(saw_finding);
+  ASSERT_EQ(reasons.size(), 1u);
+  EXPECT_NE(reasons[0].find("PPS002"), std::string::npos);
+
+  // The deduped repeat of the same violation must not re-trigger the dump.
+  g.component_as<core::SourceComponent>(src)->push(V0{3});
+  EXPECT_EQ(recorder.triggers(), 1u);
+}
