@@ -167,6 +167,28 @@ class ProcessingComponent {
   /// FlakyLinkComponent::flush().
   virtual void on_teardown() {}
 
+  // --- StateHandoff capability (live reconfiguration) ---------------------
+  //
+  // ProcessingGraph::replace() migrates a component's internal state to an
+  // id-preserving successor through these two hooks. The defaults are
+  // best-effort: a stateless component needs nothing, and a stateful one
+  // that implements neither simply starts the successor cold (logical time
+  // and pending provenance live in the graph's Entry and carry over
+  // regardless — only implementation-private state needs the hooks).
+
+  /// Serialize implementation-private state for a live handoff. Called by
+  /// replace() after on_teardown() flushed buffered data downstream, so
+  /// the blob should capture accumulated state (calibration, filters,
+  /// counters), not in-flight samples. The format is the component's own;
+  /// only the matching restore_state() ever reads it.
+  virtual std::string serialize_state() const { return {}; }
+
+  /// Restore state serialized by a predecessor (or by an earlier epoch of
+  /// this component, on rollback). Called before the successor is wired
+  /// into the graph; throwing aborts the swap and leaves the predecessor
+  /// installed.
+  virtual void restore_state(const std::string& blob) { (void)blob; }
+
   /// Components that conceptually merge data sources (fusion components)
   /// return true so the Channel layer treats them as channel end-points
   /// even while only one input is connected. Sources, sinks and nodes with

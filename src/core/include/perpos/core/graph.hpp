@@ -40,6 +40,24 @@
 
 namespace perpos::core {
 
+/// How ProcessingGraph::replace() migrates the victim's runtime state to
+/// the successor (see the StateHandoff capability on ProcessingComponent).
+enum class ReplaceHandoff {
+  /// Pure structural swap: no teardown, no serialize/restore. Used to
+  /// stage a successor for verification (and to reverse a rejected
+  /// staging) without any observable emission.
+  kNone,
+  /// Run the victim's on_teardown() (flushing buffered data downstream
+  /// while its edges are intact) but skip serialize/restore — the swap-in
+  /// component keeps whatever state it already carries. This is the
+  /// rollback path: the displaced predecessor retains its own state.
+  kFlushOnly,
+  /// Full migration: teardown-flush, then serialize the victim's state
+  /// and restore it into the successor before wiring it in. A throwing
+  /// restore_state() aborts the swap with the graph untouched.
+  kFull,
+};
+
 /// Read-only snapshot of one node, used by inspection APIs and dumps.
 struct ComponentInfo {
   ComponentId id = kInvalidComponent;
@@ -100,6 +118,21 @@ class ProcessingGraph {
   void insert_between(ComponentId node, ComponentId producer,
                       ComponentId consumer);
 
+  /// Swap the implementation behind `id` for `successor`, preserving the
+  /// component id, every edge, every attached feature, the output port's
+  /// logical time and the pending provenance — the primitive behind live
+  /// hot-swap (see perpos::reconfig::LiveReconfigurator).
+  ///
+  /// Validation happens before anything mutates: `successor` must be
+  /// non-null and unattached, every existing inbound edge must stay
+  /// realizable against the successor's input requirements, and every
+  /// outbound edge against its (plus the attached features') output
+  /// capabilities. `policy` selects the state migration (ReplaceHandoff);
+  /// under kFull a throwing serialize/restore aborts the swap with the
+  /// predecessor still installed. Reports GraphMutation::Kind::kReplace.
+  void replace(ComponentId id, std::shared_ptr<ProcessingComponent> successor,
+               ReplaceHandoff policy = ReplaceHandoff::kFull);
+
   // --- Features -----------------------------------------------------------
 
   /// Attach a Component Feature to `host`. Throws when a feature with the
@@ -140,6 +173,11 @@ class ProcessingGraph {
   /// explicitly supports). Throws for unknown ids.
   ProcessingComponent& component(ComponentId id) const;
 
+  /// Shared ownership of the component behind `id` — what replace()-based
+  /// undo records hold so a displaced implementation stays alive for a
+  /// later rollback. Throws for unknown ids.
+  std::shared_ptr<ProcessingComponent> component_ptr(ComponentId id) const;
+
   /// Typed access to the component implementation; nullptr on type
   /// mismatch.
   template <typename C>
@@ -164,6 +202,15 @@ class ProcessingGraph {
 
   /// Samples delivered (accepted by a consumer) since construction.
   std::uint64_t deliveries() const noexcept { return deliveries_; }
+
+  /// The reconfiguration epoch: a coarse version counter advanced only at
+  /// committed live reconfigurations (unlike revision(), which ticks on
+  /// every structural mutation). Samples processed before a cutover ran
+  /// under the old epoch; rollback(epoch) targets these values.
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  /// Advance and return the new epoch. Called by the reconfiguration
+  /// layer at commit points; harmless (but meaningless) elsewhere.
+  std::uint64_t advance_epoch() noexcept { return ++epoch_; }
 
   /// Register a callback invoked after every structural mutation; the
   /// Channel layer uses this to keep its derived view causally connected.
@@ -297,14 +344,26 @@ class ProcessingGraph {
   /// the coarse listeners keep their historical "structural edges/nodes
   /// changed" contract.
   void notify_observers(const GraphMutation& mutation);
+  /// Leave one notification level; compacts tombstoned callback slots when
+  /// the outermost level returns.
+  void end_notify();
 
   std::vector<std::unique_ptr<Entry>> entries_;
   std::vector<std::pair<std::size_t, std::function<void()>>> listeners_;
   std::vector<std::pair<std::size_t, std::function<void(const GraphMutation&)>>>
       observers_;
   std::size_t next_listener_token_ = 1;
+  /// Depth of in-flight listener/observer notifications. While non-zero,
+  /// remove_mutation_listener/observer tombstones entries (null fn)
+  /// instead of erasing, so a callback that detaches itself — or any other
+  /// callback — cannot invalidate the notifying iteration; the vectors
+  /// compact when the outermost notification returns.
+  std::size_t notify_depth_ = 0;
+  bool listeners_tombstoned_ = false;
+  bool observers_tombstoned_ = false;
   const sim::Clock* clock_;
   std::uint64_t revision_ = 0;
+  std::uint64_t epoch_ = 0;
   std::uint64_t deliveries_ = 0;
   std::size_t live_count_ = 0;
   bool dispatching_ = false;

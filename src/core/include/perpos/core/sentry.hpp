@@ -31,6 +31,8 @@ struct GraphMutation {
     kDisconnect,     ///< Edge `a` -> `b` disconnected.
     kFeatureAttach,  ///< A feature was attached to host `a`.
     kFeatureDetach,  ///< A feature was detached from host `a`.
+    kReplace,        ///< Component `a`'s implementation was swapped in
+                     ///< place (id, edges and features preserved).
   };
   Kind kind = Kind::kAdd;
   ComponentId a = kInvalidComponent;

@@ -239,6 +239,18 @@ std::size_t ProcessingGraph::add_mutation_listener(
 }
 
 void ProcessingGraph::remove_mutation_listener(std::size_t token) {
+  // Mid-notification removal (a listener detaching itself or a peer from
+  // inside its callback) must not invalidate the notifying iteration:
+  // tombstone the slot and let end_notify() compact once the walk is done.
+  if (notify_depth_ > 0) {
+    for (auto& [t, fn] : listeners_) {
+      if (t == token && fn) {
+        fn = nullptr;
+        listeners_tombstoned_ = true;
+      }
+    }
+    return;
+  }
   listeners_.erase(
       std::remove_if(listeners_.begin(), listeners_.end(),
                      [&](const auto& p) { return p.first == token; }),
@@ -253,6 +265,15 @@ std::size_t ProcessingGraph::add_mutation_observer(
 }
 
 void ProcessingGraph::remove_mutation_observer(std::size_t token) {
+  if (notify_depth_ > 0) {
+    for (auto& [t, fn] : observers_) {
+      if (t == token && fn) {
+        fn = nullptr;
+        observers_tombstoned_ = true;
+      }
+    }
+    return;
+  }
   observers_.erase(
       std::remove_if(observers_.begin(), observers_.end(),
                      [&](const auto& p) { return p.first == token; }),
@@ -282,15 +303,60 @@ void ProcessingGraph::notify_mutation(const GraphMutation& mutation) {
     record_flight(obs::FlightEventType::kMutation, mutation.a,
                   static_cast<std::uint64_t>(mutation.kind), mutation.b);
   }
-  // Iterate over copies: a callback may (un)register callbacks.
-  const auto snapshot = listeners_;
-  for (const auto& [token, fn] : snapshot) fn();
-  notify_observers(mutation);
+  // Walk by index up to the count captured at entry: callbacks may
+  // register new callbacks (not notified for this mutation — the vector
+  // may reallocate, so no iterator survives) or remove existing ones
+  // (tombstoned to null by the removal paths, skipped here). Each function
+  // object is copied out before the call: a reallocating registration
+  // would otherwise move the object mid-execution.
+  ++notify_depth_;
+  try {
+    const std::size_t count = listeners_.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!listeners_[i].second) continue;
+      const auto fn = listeners_[i].second;
+      fn();
+    }
+    notify_observers(mutation);
+  } catch (...) {
+    end_notify();
+    throw;
+  }
+  end_notify();
 }
 
 void ProcessingGraph::notify_observers(const GraphMutation& mutation) {
-  const auto snapshot = observers_;
-  for (const auto& [token, fn] : snapshot) fn(mutation);
+  ++notify_depth_;
+  try {
+    const std::size_t count = observers_.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!observers_[i].second) continue;
+      const auto fn = observers_[i].second;
+      fn(mutation);
+    }
+  } catch (...) {
+    end_notify();
+    throw;
+  }
+  end_notify();
+}
+
+void ProcessingGraph::end_notify() {
+  if (--notify_depth_ != 0) return;
+  if (listeners_tombstoned_) {
+    listeners_.erase(
+        std::remove_if(listeners_.begin(), listeners_.end(),
+                       [](const auto& p) { return !p.second; }),
+        listeners_.end());
+    listeners_tombstoned_ = false;
+  }
+  if (observers_tombstoned_) {
+    observers_.erase(
+        std::remove_if(observers_.begin(), observers_.end(),
+                       [](const auto& p) { return !p.second; }),
+        observers_.end());
+    observers_tombstoned_ = false;
+  }
 }
 
 ProcessingGraph::ProcessingGraph(const sim::Clock* clock)
@@ -593,6 +659,95 @@ void ProcessingGraph::insert_between(ComponentId node, ComponentId producer,
   }
 }
 
+void ProcessingGraph::replace(ComponentId id,
+                              std::shared_ptr<ProcessingComponent> successor,
+                              ReplaceHandoff policy) {
+  check_not_dispatching("replace");
+  Entry& e = entry(id);
+  if (!successor) throw std::invalid_argument("replace: null successor");
+  if (successor->context().attached()) {
+    throw std::invalid_argument(
+        "replace: successor already attached to a graph");
+  }
+  // Validate every existing edge against the successor before anything
+  // mutates. Inbound: some capability of each producer must satisfy a
+  // requirement of the successor. Outbound: the successor's capabilities
+  // (plus those added by the features, which stay attached) must satisfy a
+  // requirement of each consumer. Same realizability rule as connect().
+  const auto sreqs = successor->input_requirements();
+  for (ComponentId p : e.producers) {
+    const auto caps = capabilities(p);
+    const bool realizable =
+        std::any_of(caps.begin(), caps.end(), [&](const DataSpec& cap) {
+          return std::any_of(sreqs.begin(), sreqs.end(),
+                             [&](const InputRequirement& r) {
+                               return r.accepts(cap.type, cap.feature_tag);
+                             });
+        });
+    if (!realizable) {
+      throw std::invalid_argument(
+          "replace: no capability of '" +
+          std::string(entries_[p]->component->kind()) +
+          "' satisfies a requirement of successor '" +
+          std::string(successor->kind()) + "'");
+    }
+  }
+  std::vector<DataSpec> out_caps = successor->output_capabilities();
+  for (const auto& f : e.features) {
+    for (const TypeInfo* t : f->added_types()) {
+      out_caps.push_back(DataSpec{t, std::string(f->name())});
+    }
+  }
+  for (ComponentId c : e.consumers) {
+    const auto creqs = entries_[c]->component->input_requirements();
+    const bool realizable =
+        std::any_of(out_caps.begin(), out_caps.end(), [&](const DataSpec& cap) {
+          return std::any_of(creqs.begin(), creqs.end(),
+                             [&](const InputRequirement& r) {
+                               return r.accepts(cap.type, cap.feature_tag);
+                             });
+        });
+    if (!realizable) {
+      throw std::invalid_argument(
+          "replace: no capability of successor '" +
+          std::string(successor->kind()) + "' satisfies a requirement of '" +
+          std::string(entries_[c]->component->kind()) + "'");
+    }
+  }
+
+  // State migration before any wiring changes. The teardown flush runs
+  // with the victim's edges intact, so buffered data still reaches its
+  // consumers; the blob is serialized *after* the flush, so a later
+  // restore cannot re-materialize samples that already went downstream. A
+  // throwing serialize/restore aborts here — predecessor still installed.
+  if (policy != ReplaceHandoff::kNone) {
+    e.component->on_teardown();
+    if (policy == ReplaceHandoff::kFull) {
+      successor->restore_state(e.component->serialize_state());
+    }
+  }
+
+  auto old = std::move(e.component);
+  e.component = std::move(successor);
+  e.component->context_ = ComponentContext(this, id);
+  old->context_ = ComponentContext();
+  // Recompile the hot-path caches against the successor; invalidate the
+  // metric handles (the kind label changed). Logical time (sequence),
+  // emission count, pending provenance and the features carry over — that
+  // continuity is what makes a live cutover free of duplicated or dropped
+  // logical-time slots.
+  e.compiled_requirements.clear();
+  for (const InputRequirement& r : e.component->input_requirements()) {
+    e.compiled_requirements.push_back(Entry::CompiledRequirement{
+        r.type, intern_origin(r.feature_tag), r.any_type});
+  }
+  e.records_provenance = !e.component->output_capabilities().empty();
+  e.metric_epoch = 0;
+  e.current_input = nullptr;
+  ++revision_;
+  notify_mutation(GraphMutation{GraphMutation::Kind::kReplace, id});
+}
+
 void ProcessingGraph::attach_feature(
     ComponentId host, std::shared_ptr<ComponentFeature> feature) {
   Entry& e = entry(host);
@@ -666,6 +821,11 @@ ComponentInfo ProcessingGraph::info(ComponentId id) const {
 
 ProcessingComponent& ProcessingGraph::component(ComponentId id) const {
   return *entry(id).component;
+}
+
+std::shared_ptr<ProcessingComponent> ProcessingGraph::component_ptr(
+    ComponentId id) const {
+  return entry(id).component;
 }
 
 std::vector<ComponentId> ProcessingGraph::sources() const {

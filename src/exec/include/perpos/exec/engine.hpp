@@ -79,6 +79,27 @@ class ExecutionEngine {
   /// dropped.
   void post(LaneId lane, Task task);
 
+  /// Fence `lane`: wait until the worker currently draining it (if any)
+  /// finishes its in-flight task and parks the lane, then hold every
+  /// queued and newly posted task — held tasks neither run nor count
+  /// toward run_until_idle() until unfence(). Because at most one worker
+  /// ever drains a lane, a returned fence() guarantees no task of this
+  /// lane is executing and none will start: the quiesce point live
+  /// reconfiguration mutates the lane's graph under. Post order is
+  /// preserved across the fence. Idempotent; thread-safe. Must not be
+  /// called from a task running on `lane` (it would wait for itself).
+  void fence(LaneId lane);
+
+  /// Lift the fence: held tasks re-enter the idle accounting and the lane
+  /// is scheduled again. Idempotent; thread-safe.
+  void unfence(LaneId lane);
+
+  /// True while `lane` is fenced.
+  bool fenced(LaneId lane) const;
+
+  /// Tasks currently queued on `lane` (held or schedulable).
+  std::size_t lane_depth(LaneId lane) const;
+
   /// A reusable single-lane executor: calling it posts to `lane` without
   /// the id->lane lookup. This is the seam handed to PositioningService /
   /// DistributedDeployment (they depend on std::function, not on exec).

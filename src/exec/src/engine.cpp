@@ -55,6 +55,13 @@ struct ExecutionEngine::Lane {
   /// cleared when it drained back — one callback per crossing, not per
   /// post. Guarded by `mutex`.
   bool above_watermark = false;
+  /// Fenced: drain() parks at the next pop and post_to() holds new tasks
+  /// without scheduling; `held` counts queued tasks excluded from the
+  /// engine's `outstanding` (they re-enter it at unfence()). Guarded by
+  /// `mutex`; `fence_cv` signals "no worker drains this lane anymore".
+  bool fenced = false;
+  std::size_t held = 0;
+  std::condition_variable fence_cv;
   /// Profiler slot; written only while the engine is idle (enable_profiler)
   /// or under lanes_mutex (create_lane).
   std::uint32_t prof_slot = kNoProfilerSlot;
@@ -176,6 +183,14 @@ struct ExecutionEngine::Impl {
       Task task;
       {
         std::lock_guard<std::mutex> lock(lane->mutex);
+        if (lane->fenced) {
+          // Park at the fence: the in-flight task (if any) already
+          // finished, queued tasks stay put. fence() waits for exactly
+          // this hand-over.
+          lane->scheduled = false;
+          lane->fence_cv.notify_all();
+          break;
+        }
         if (lane->queue.empty()) {
           lane->scheduled = false;
           break;
@@ -206,8 +221,21 @@ struct ExecutionEngine::Impl {
       prof->on_drain(lane->prof_slot, worker, ran, prof->now_ns() - t0);
     }
     // Batch exhausted with work (possibly) left: requeue instead of
-    // resetting `scheduled`, keeping the at-most-one-worker guarantee.
-    if (ran == kLaneBatch) enqueue_ready(lane);
+    // resetting `scheduled`, keeping the at-most-one-worker guarantee —
+    // unless a fence arrived mid-batch, in which case park here so the
+    // fencer need not wait for another worker to pick the lane up.
+    if (ran == kLaneBatch) {
+      bool requeue = true;
+      {
+        std::lock_guard<std::mutex> lock(lane->mutex);
+        if (lane->fenced) {
+          lane->scheduled = false;
+          lane->fence_cv.notify_all();
+          requeue = false;
+        }
+      }
+      if (requeue) enqueue_ready(lane);
+    }
     // Retire the whole batch at once, *after* the profiler accounting: a
     // run_until_idle() waiter that wakes on outstanding==0 then observes
     // the batch's profile. (Deferring decrements is safe — tasks posted by
@@ -310,7 +338,6 @@ ExecutionEngine::Lane* ExecutionEngine::lane_ptr(LaneId id) const {
 }
 
 void ExecutionEngine::post_to(Lane& lane, Task&& task) {
-  impl_->outstanding.fetch_add(1, std::memory_order_acq_rel);
   if (impl_->tasks_posted != nullptr) impl_->tasks_posted->inc();
   if (impl_->queue_depth != nullptr) impl_->queue_depth->add(1.0);
   bool need_schedule = false;
@@ -318,6 +345,14 @@ void ExecutionEngine::post_to(Lane& lane, Task&& task) {
   std::size_t depth_after = 0;
   {
     std::lock_guard<std::mutex> lock(lane.mutex);
+    // Posts to a fenced lane are held: queued, but neither scheduled nor
+    // counted toward `outstanding`, so run_until_idle() stays fence-aware
+    // (it waits only for runnable work). unfence() re-admits them.
+    if (lane.fenced) {
+      ++lane.held;
+    } else {
+      impl_->outstanding.fetch_add(1, std::memory_order_acq_rel);
+    }
     lane.queue.push_back(std::move(task));
     depth_after = lane.queue.size();
     if (impl_->watermark_limit != 0 && !lane.above_watermark &&
@@ -325,7 +360,7 @@ void ExecutionEngine::post_to(Lane& lane, Task&& task) {
       lane.above_watermark = true;
       watermark_depth = depth_after;
     }
-    if (!lane.scheduled) {
+    if (!lane.fenced && !lane.scheduled) {
       lane.scheduled = true;
       need_schedule = true;
     }
@@ -356,6 +391,75 @@ void ExecutionEngine::post(LaneId lane, Task task) {
 std::function<void(Task)> ExecutionEngine::executor(LaneId lane) {
   Lane* l = lane_ptr(lane);  // resolve (and validate) once
   return [this, l](Task task) { post_to(*l, std::move(task)); };
+}
+
+void ExecutionEngine::fence(LaneId lane) {
+  Lane* l = lane_ptr(lane);
+  {
+    std::lock_guard<std::mutex> lock(l->mutex);
+    if (l->fenced) return;
+    l->fenced = true;
+  }
+  // If the lane is parked in the ready queue (scheduled, but no worker
+  // picked it up yet), pull it out so no drain ever starts; a worker
+  // already draining it parks at its next pop instead.
+  bool descheduled = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->ready_mutex);
+    auto it = std::find(impl_->ready.begin(), impl_->ready.end(), l);
+    if (it != impl_->ready.end()) {
+      impl_->ready.erase(it);
+      descheduled = true;
+    }
+  }
+  std::size_t backlog = 0;
+  {
+    std::unique_lock<std::mutex> lock(l->mutex);
+    if (descheduled) l->scheduled = false;
+    // The quiesce point: once `scheduled` drops, the at-most-one-worker
+    // guarantee means no task of this lane is executing and none will
+    // start until unfence().
+    l->fence_cv.wait(lock, [&] { return !l->scheduled; });
+    // Move the queued backlog out of the idle accounting; tasks popped
+    // before the fence are not in the queue anymore and retire normally.
+    backlog = l->queue.size() - l->held;
+    l->held = l->queue.size();
+  }
+  if (backlog > 0) impl_->finish_many(backlog);
+}
+
+void ExecutionEngine::unfence(LaneId lane) {
+  Lane* l = lane_ptr(lane);
+  bool need_schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(l->mutex);
+    if (!l->fenced) return;
+    // Re-admit held tasks before the lane becomes schedulable — we hold
+    // the lane mutex and the lane is unscheduled, so no worker can retire
+    // them concurrently and race the idle barrier.
+    if (l->held > 0) {
+      impl_->outstanding.fetch_add(l->held, std::memory_order_acq_rel);
+      l->held = 0;
+    }
+    l->fenced = false;
+    if (!l->queue.empty() && !l->scheduled) {
+      l->scheduled = true;
+      need_schedule = true;
+    }
+  }
+  if (need_schedule) impl_->enqueue_ready(l);
+}
+
+bool ExecutionEngine::fenced(LaneId lane) const {
+  Lane* l = lane_ptr(lane);
+  std::lock_guard<std::mutex> lock(l->mutex);
+  return l->fenced;
+}
+
+std::size_t ExecutionEngine::lane_depth(LaneId lane) const {
+  Lane* l = lane_ptr(lane);
+  std::lock_guard<std::mutex> lock(l->mutex);
+  return l->queue.size();
 }
 
 void ExecutionEngine::run_until_idle() {

@@ -42,6 +42,9 @@ enum class FlightEventType : std::uint8_t {
   kSanitizerFinding,  ///< A PPS rule fired (detail = rule id).
   kTaskFailed,        ///< An engine task threw (detail = error message).
   kWatermark,         ///< Lane queue crossed its watermark (a = depth).
+  kReconfig,          ///< Live-reconfiguration phase (component = victim,
+                      ///< a = epoch, detail = phase: staged/committed/
+                      ///< rejected/aborted/rolled_back/tee).
 };
 
 /// Name of an event type for exports ("emit", "deliver", ...).

@@ -36,6 +36,7 @@ std::string_view flight_event_type_name(FlightEventType type) noexcept {
     case FlightEventType::kSanitizerFinding: return "sanitizer_finding";
     case FlightEventType::kTaskFailed: return "task_failed";
     case FlightEventType::kWatermark: return "watermark";
+    case FlightEventType::kReconfig: return "reconfig";
   }
   return "unknown";
 }

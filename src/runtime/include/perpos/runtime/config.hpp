@@ -26,6 +26,7 @@
 ///   observe [metrics] [timing] [tracing] [latency] [recording]
 ///           [slo_us=<number>] [all]
 ///   health [key=value ...]
+///   reconfig [key=value ...]
 ///   host <host-name> <component-name>...
 ///   verify
 ///
@@ -40,6 +41,12 @@
 /// parser only records them in ConfigResult::health — wiring them into a
 /// Watchdog / PositioningService / reliable links is the caller's choice,
 /// keeping the config layer free of a dependency on perpos::health.
+///
+/// `reconfig` declares live-reconfiguration policy (see ReconfigSettings).
+/// As with `health`, the parser only records the settings in
+/// ConfigResult::reconfig — constructing a reconfig::LiveReconfigurator
+/// from them is the caller's choice, keeping the config layer free of a
+/// dependency on perpos::reconfig.
 ///
 /// `host` declares the intended deployment partition: every named
 /// component is pinned to the given host. The parser only records the
@@ -115,6 +122,20 @@ struct HealthSettings {
   }
 };
 
+/// Live-reconfiguration policy declared by a `reconfig` config line.
+/// Field-for-field mirror of reconfig::ReconfigOptions (kept as plain
+/// numbers here so the config layer stays independent of perpos::reconfig;
+/// the caller copies them across when building a LiveReconfigurator).
+struct ReconfigSettings {
+  bool verify = true;         ///< Gate swaps on incremental re-verification.
+  std::size_t history = 8;    ///< Bounded undo history (committed epochs).
+  std::size_t tee_samples = 0;       ///< A/B tee promotion quota (0 = off).
+  std::size_t probation_checks = 0;  ///< Watchdog probation window (0 = off).
+
+  friend bool operator==(const ReconfigSettings&,
+                         const ReconfigSettings&) = default;
+};
+
 struct ConfigResult {
   /// Instantiated names and ids, explicit edges, resolver edges.
   AssemblyReport report;
@@ -122,6 +143,8 @@ struct ConfigResult {
   std::vector<std::string> errors;
   /// Set when the config contained a (valid) `health` line.
   std::optional<HealthSettings> health;
+  /// Set when the config contained a (valid) `reconfig` line.
+  std::optional<ReconfigSettings> reconfig;
   /// Component name -> host name, from `host` lines.
   std::map<std::string, std::string> hosts;
   /// Component name -> execution-lane name, from `lane` lines.
@@ -149,12 +172,14 @@ ConfigResult assemble_from_config(const std::string& text,
 /// (component id -> host name; see DistributedDeployment::assignments),
 /// so an exported snapshot carries enough for the static analyzer's
 /// remoting-boundary rule. Likewise `lanes` (component id -> lane name)
-/// becomes `lane` lines for the lane-affinity rules.
+/// becomes `lane` lines for the lane-affinity rules, and a non-null
+/// `reconfig` appends a `reconfig` line with every setting.
 std::string export_config(const core::ProcessingGraph& graph,
                           const HealthSettings* health = nullptr,
                           const std::map<core::ComponentId, std::string>*
                               hosts = nullptr,
                           const std::map<core::ComponentId, std::string>*
-                              lanes = nullptr);
+                              lanes = nullptr,
+                          const ReconfigSettings* reconfig = nullptr);
 
 }  // namespace perpos::runtime

@@ -192,6 +192,46 @@ ConfigResult assemble_from_config(const std::string& text,
         }
       }
       if (!bad) result.health = settings;
+    } else if (verb == "reconfig") {
+      ReconfigSettings settings = result.reconfig.value_or(ReconfigSettings{});
+      bool bad = false;
+      std::string token;
+      while (ls >> token) {
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+          fail("reconfig expects key=value tokens, got '" + token + "'");
+          bad = true;
+          break;
+        }
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        double number = 0.0;
+        try {
+          std::size_t used = 0;
+          number = std::stod(value, &used);
+          if (used != value.size() || number < 0.0) {
+            throw std::invalid_argument(value);
+          }
+        } catch (const std::exception&) {
+          fail("reconfig " + key + ": bad number '" + value + "'");
+          bad = true;
+          break;
+        }
+        if (key == "verify") {
+          settings.verify = number != 0.0;
+        } else if (key == "history") {
+          settings.history = static_cast<std::size_t>(number);
+        } else if (key == "tee_samples") {
+          settings.tee_samples = static_cast<std::size_t>(number);
+        } else if (key == "probation_checks") {
+          settings.probation_checks = static_cast<std::size_t>(number);
+        } else {
+          fail("unknown reconfig key '" + key + "'");
+          bad = true;
+          break;
+        }
+      }
+      if (!bad) result.reconfig = settings;
     } else if (verb == "observe") {
       obs::ObservabilityConfig cfg;
       cfg.metrics = cfg.timing = cfg.tracing = false;
@@ -324,7 +364,8 @@ std::string export_config(const core::ProcessingGraph& graph,
                           const std::map<core::ComponentId, std::string>*
                               hosts,
                           const std::map<core::ComponentId, std::string>*
-                              lanes) {
+                              lanes,
+                          const ReconfigSettings* reconfig) {
   std::ostringstream out;
   out << "# snapshot of a live PerPos processing graph\n";
   const auto ids = graph.components();
@@ -388,6 +429,12 @@ std::string export_config(const core::ProcessingGraph& graph,
         << " check_interval_s=" << number(health->check_interval_s)
         << " max_retries=" << health->max_retries
         << " ack_timeout_ms=" << number(health->ack_timeout_ms) << "\n";
+  }
+  if (reconfig != nullptr) {
+    out << "reconfig verify=" << (reconfig->verify ? 1 : 0)
+        << " history=" << reconfig->history
+        << " tee_samples=" << reconfig->tee_samples
+        << " probation_checks=" << reconfig->probation_checks << "\n";
   }
   return out.str();
 }

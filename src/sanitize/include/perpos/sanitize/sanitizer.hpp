@@ -29,6 +29,9 @@
 ///   PPS004  emission-depth       one external emission cascades into a
 ///                                bounded number of deliveries
 ///   PPS005  queue-watermark      dispatch / lane queues stay bounded
+///   PPS006  mutation-during-drain  structural mutations happen only with
+///                                the watched engine idle, or inside a
+///                                reconfiguration quiesce window
 ///
 /// Violations become the same verify::Diagnostic records the static rules
 /// produce, under the PPS ids registered in the default catalog — so one
@@ -74,8 +77,19 @@ class GraphSanitizer final : public core::GraphSentry {
   bool attached() const noexcept { return graph_ != nullptr; }
 
   /// Arm PPS005 for `engine`'s lane inboxes too, via its queue watermark
-  /// (one callback per crossing). Call with the engine idle.
+  /// (one callback per crossing), and PPS006 against its in-flight task
+  /// count: a structural mutation of the attached graph while the engine
+  /// has runnable tasks outstanding — and no quiesce window is open — is
+  /// recorded as a mutation-during-drain violation. Call with the engine
+  /// idle; the engine must outlive the sanitizer or the next call.
   void watch_engine(exec::ExecutionEngine& engine, std::size_t limit = 4096);
+
+  /// Open / close a reconfiguration quiesce window: between the two calls
+  /// mutations of the attached graph do not raise PPS006 (the caller
+  /// vouches that every lane driving this graph is fenced — see
+  /// exec::ExecutionEngine::fence and perpos::reconfig). Nestable.
+  void begin_quiesce();
+  void end_quiesce();
 
   /// Attach a flight recorder: every *newly* recorded violation (duplicates
   /// are suppressed as usual) lands as a kSanitizerFinding event on a
@@ -125,10 +139,18 @@ class GraphSanitizer final : public core::GraphSentry {
               std::string message, std::string fix_hint);
   std::string name_of(core::ComponentId id) const;
   void check_thread(core::ComponentId at);
+  void on_graph_mutation(const core::GraphMutation& mutation);
 
   mutable std::mutex mutex_;
   SanitizerConfig config_;
   core::ProcessingGraph* graph_ = nullptr;
+  /// Engine watched for PPS006 (in-flight tasks during a mutation) and
+  /// PPS005; null until watch_engine().
+  exec::ExecutionEngine* engine_ = nullptr;
+  /// Mutation-observer registration on the attached graph (0 = none).
+  std::size_t mutation_observer_token_ = 0;
+  /// Open quiesce windows; mutations are PPS006-exempt while non-zero.
+  int quiesce_depth_ = 0;
   bool bound_ = false;
   std::thread::id owner_;
   /// Per-producer high-water marks: last timestamp and logical time seen.

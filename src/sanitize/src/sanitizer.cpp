@@ -31,23 +31,37 @@ void GraphSanitizer::attach(core::ProcessingGraph& graph) {
   detach();
   std::lock_guard<std::mutex> lock(mutex_);
   graph_ = &graph;
+  // PPS006 needs to see every structural mutation; the sentry seam only
+  // covers dispatch, so subscribe to the mutation observers as well.
+  mutation_observer_token_ = graph.add_mutation_observer(
+      [this](const core::GraphMutation& m) { on_graph_mutation(m); });
   graph.set_sentry(this);
 }
 
 void GraphSanitizer::detach() {
   core::ProcessingGraph* graph = nullptr;
+  std::size_t token = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     graph = graph_;
     graph_ = nullptr;
+    token = mutation_observer_token_;
+    mutation_observer_token_ = 0;
   }
   // set_sentry takes the graph's pool mutex; release ours first so a
   // concurrent pool release cannot deadlock against the detach.
-  if (graph != nullptr && graph->sentry() == this) graph->set_sentry(nullptr);
+  if (graph != nullptr) {
+    if (token != 0) graph->remove_mutation_observer(token);
+    if (graph->sentry() == this) graph->set_sentry(nullptr);
+  }
 }
 
 void GraphSanitizer::watch_engine(exec::ExecutionEngine& engine,
                                   std::size_t limit) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    engine_ = &engine;
+  }
   engine.set_queue_watermark(
       limit, [this, limit](const std::string& lane, std::size_t depth) {
         std::ostringstream message;
@@ -191,6 +205,41 @@ void GraphSanitizer::on_deliver(const core::Sample& sample,
            "a fan-out burst or feedback loop is flooding the dispatcher; "
            "decimate or split the graph");
   }
+}
+
+void GraphSanitizer::begin_quiesce() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++quiesce_depth_;
+}
+
+void GraphSanitizer::end_quiesce() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (quiesce_depth_ > 0) --quiesce_depth_;
+}
+
+void GraphSanitizer::on_graph_mutation(const core::GraphMutation& mutation) {
+  exec::ExecutionEngine* engine = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (quiesce_depth_ > 0) return;
+    engine = engine_;
+  }
+  if (engine == nullptr) return;
+  // `outstanding` excludes tasks held behind a lane fence, so a properly
+  // fenced cutover of the only running lane is quiet here even without an
+  // explicit quiesce window; anything still runnable at mutation time is
+  // a race against the drain protocol.
+  const std::uint64_t in_flight = engine->outstanding();
+  if (in_flight == 0) return;
+  std::ostringstream message;
+  message << "graph mutated (kind " << static_cast<int>(mutation.kind)
+          << " at " << name_of(mutation.a) << ") while the watched engine "
+          << "had " << in_flight
+          << " task(s) in flight: mutations must run at a quiesce point "
+             "(engine idle, or every lane of this graph fenced)";
+  record("PPS006", verify::Severity::kError, mutation.a, message.str(),
+         "fence the graph's lanes (ExecutionEngine::fence) or drain to "
+         "idle before mutating; LiveReconfigurator does this for you");
 }
 
 void GraphSanitizer::on_pool_double_release() {

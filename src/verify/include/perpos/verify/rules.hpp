@@ -41,6 +41,8 @@
 ///   PPS003  pool-double-release       error    provenance buffer released twice
 ///   PPS004  emission-depth            error    one emission cascaded past bound
 ///   PPS005  queue-watermark           warning  dispatch/lane queue depth exceeded
+///   PPS006  mutation-during-drain     error    graph mutated with engine tasks in
+///                                              flight, outside a quiesce window
 
 namespace perpos::verify {
 
@@ -110,7 +112,7 @@ class RuleRegistry {
   /// Run every rule not disabled in `options` over `model`.
   Report run(const GraphModel& model, const Options& options) const;
 
-  /// The built-in catalog (PPV000..PPV015 + PPS001..PPS005), constructed
+  /// The built-in catalog (PPV000..PPV015 + PPS001..PPS006), constructed
   /// once.
   static const RuleRegistry& default_catalog();
 

@@ -1080,7 +1080,7 @@ class HookOrderViolationRule final : public Rule {
   }
 };
 
-// --- PPS001..PPS005 --------------------------------------------------------
+// --- PPS001..PPS006 --------------------------------------------------------
 //
 // Runtime sanitizer rules. Like PPV000 these never produce findings from
 // check(): the live sanitizer (perpos::sanitize::GraphSanitizer) emits
@@ -1219,6 +1219,12 @@ const RuleRegistry& RuleRegistry::default_catalog() {
         "a dispatch or lane queue exceeded its depth watermark (runtime "
         "sanitizer)",
         Severity::kWarning));
+    r->add(std::make_unique<RuntimeRule>(
+        "PPS006", "mutation-during-drain",
+        "the graph was mutated while its execution lanes still had tasks "
+        "in flight, outside a reconfiguration quiesce window (runtime "
+        "sanitizer)",
+        Severity::kError));
     return r;
   }();
   return *registry;

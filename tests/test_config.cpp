@@ -358,6 +358,75 @@ health degraded_after_s=1.5 stale_after_s=4 dead_after_s=20 recovery_s=1 hold_s=
   EXPECT_EQ(*second.health, *first.health);
 }
 
+TEST(Config, ReconfigDirectiveParsesSettings) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto result = rt::assemble_from_config(R"(
+component src source
+reconfig verify=0 history=4 tee_samples=64
+reconfig probation_checks=10
+)",
+                                               registry, graph);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.reconfig.has_value());
+  EXPECT_FALSE(result.reconfig->verify);
+  EXPECT_EQ(result.reconfig->history, 4u);
+  EXPECT_EQ(result.reconfig->tee_samples, 64u);
+  // Second line merged into the first, defaults untouched elsewhere.
+  EXPECT_EQ(result.reconfig->probation_checks, 10u);
+}
+
+TEST(Config, ReconfigDirectiveErrorsReported) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto result = rt::assemble_from_config(R"(
+component src source
+reconfig frobnication=3
+reconfig history=soon
+reconfig verify
+)",
+                                               registry, graph);
+  ASSERT_EQ(result.errors.size(), 3u);
+  EXPECT_NE(result.errors[0].find("unknown reconfig key"), std::string::npos);
+  EXPECT_NE(result.errors[1].find("bad number"), std::string::npos);
+  EXPECT_NE(result.errors[2].find("key=value"), std::string::npos);
+  EXPECT_FALSE(result.reconfig.has_value());
+}
+
+TEST(Config, ReconfigRoundTripsThroughExport) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto first = rt::assemble_from_config(R"(
+component src source
+component app sink
+connect src app
+reconfig verify=1 history=16 tee_samples=128 probation_checks=5
+)",
+                                              registry, graph);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first.reconfig.has_value());
+
+  const std::string exported = rt::export_config(
+      graph, nullptr, nullptr, nullptr, &*first.reconfig);
+  EXPECT_NE(exported.find("reconfig "), std::string::npos);
+
+  rt::ComponentFactoryRegistry by_kind;
+  by_kind.register_kind("Source", [](const auto&) {
+    return std::make_shared<core::SourceComponent>(
+        "Source", std::vector<core::DataSpec>{core::provide<Num>()});
+  });
+  by_kind.register_kind("Sink", [](const auto&) {
+    return std::make_shared<core::ApplicationSink>(
+        "Sink", std::vector<core::InputRequirement>{core::require<Num>()});
+  });
+  core::ProcessingGraph rebuilt;
+  const auto second = rt::assemble_from_config(exported, by_kind, rebuilt);
+  ASSERT_TRUE(second.errors.empty())
+      << (second.errors.empty() ? "" : second.errors[0]);
+  ASSERT_TRUE(second.reconfig.has_value());
+  EXPECT_EQ(*second.reconfig, *first.reconfig);
+}
+
 TEST(Config, ObserveRoundTripsThroughExport) {
   const auto registry = make_registry();
   core::ProcessingGraph graph;

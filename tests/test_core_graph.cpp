@@ -312,6 +312,84 @@ TEST(Graph, MutationListenerFires) {
   EXPECT_EQ(fired, 1);
 }
 
+// Regression tests for notification reentrancy: removing a listener or
+// observer from inside a callback must neither invalidate the walk (the
+// historical iterator-invalidation crash) nor deliver to the removed entry.
+
+TEST(Graph, ListenerMaySelfRemoveDuringNotification) {
+  core::ProcessingGraph g;
+  int fired = 0;
+  std::size_t token = 0;
+  token = g.add_mutation_listener([&] {
+    ++fired;
+    g.remove_mutation_listener(token);  // Self-detach mid-walk.
+  });
+  g.add(make_int_source());
+  EXPECT_EQ(fired, 1);
+  g.add(make_int_source());  // Tombstone compacted; never fires again.
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Graph, ObserverMaySelfRemoveDuringNotification) {
+  core::ProcessingGraph g;
+  int fired = 0;
+  std::size_t token = 0;
+  token = g.add_mutation_observer([&](const core::GraphMutation&) {
+    ++fired;
+    g.remove_mutation_observer(token);
+  });
+  g.add(make_int_source());
+  EXPECT_EQ(fired, 1);
+  g.add(make_int_source());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Graph, DetachingLaterObserverSuppressesItsInvocation) {
+  core::ProcessingGraph g;
+  int second_fired = 0;
+  std::size_t second = 0;
+  g.add_mutation_observer([&](const core::GraphMutation&) {
+    // First observer removes the second before the walk reaches it: the
+    // second must not see this mutation (tombstones are skipped in-walk).
+    if (second != 0) g.remove_mutation_observer(second);
+  });
+  second = g.add_mutation_observer(
+      [&](const core::GraphMutation&) { ++second_fired; });
+  g.add(make_int_source());
+  EXPECT_EQ(second_fired, 0);
+}
+
+TEST(Graph, ObserverMayMutateGraphReentrantly) {
+  core::ProcessingGraph g;
+  std::vector<core::GraphMutation::Kind> seen;
+  bool nested = false;
+  g.add_mutation_observer([&](const core::GraphMutation& m) {
+    seen.push_back(m.kind);
+    if (!nested) {
+      nested = true;
+      g.add(make_int_source());  // Nested mutation from inside the walk.
+    }
+  });
+  g.add(make_int_source());
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], core::GraphMutation::Kind::kAdd);
+  EXPECT_EQ(seen[1], core::GraphMutation::Kind::kAdd);
+}
+
+TEST(Graph, ListenerRemovedFromObserverCallbackStaysCoherent) {
+  core::ProcessingGraph g;
+  int listener_fired = 0;
+  const auto listener =
+      g.add_mutation_listener([&] { ++listener_fired; });
+  g.add_mutation_observer([&](const core::GraphMutation&) {
+    g.remove_mutation_listener(listener);  // Cross-list removal mid-walk.
+  });
+  g.add(make_int_source());
+  const int after_first = listener_fired;
+  g.add(make_int_source());
+  EXPECT_EQ(listener_fired, after_first);  // Never fires again.
+}
+
 TEST(Graph, LogicalTimeIsPerProducerSequence) {
   core::ProcessingGraph g;
   auto source = make_int_source();

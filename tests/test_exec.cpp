@@ -20,7 +20,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <new>
@@ -331,6 +333,173 @@ TEST(Chaos, GraphTeardownAndLaneChurnWhileOtherLanesDrain) {
   for (const auto& rig : steady) {
     EXPECT_EQ(rig->graph.deliveries(), 200u * 5u);  // 4 stages + sink
   }
+}
+
+// --- Lane fencing (the reconfiguration quiesce point) ------------------------
+
+TEST(Fence, WaitsOutInFlightTaskAndHoldsBacklog) {
+  exec::ExecutionEngine engine(4);
+  const auto lane = engine.create_lane("fenced");
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> first_done{false};
+  std::atomic<int> backlog_ran{0};
+  engine.post(lane, [&] {
+    started = true;
+    while (!release.load()) std::this_thread::yield();
+    first_done = true;
+  });
+  for (int i = 0; i < 8; ++i) engine.post(lane, [&] { ++backlog_ran; });
+  // Only once the task is genuinely in flight is the fence obliged to
+  // wait it out (a fence may legally hold a not-yet-started backlog).
+  while (!started.load()) std::this_thread::yield();
+
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    release = true;
+  });
+  engine.fence(lane);  // Must block until the in-flight task retires.
+  releaser.join();
+  EXPECT_TRUE(first_done.load());
+  EXPECT_EQ(backlog_ran.load(), 0);  // Backlog held behind the fence.
+  EXPECT_TRUE(engine.fenced(lane));
+
+  engine.unfence(lane);
+  engine.run_until_idle();
+  EXPECT_EQ(backlog_ran.load(), 8);
+}
+
+TEST(Fence, HeldTasksAreExcludedFromRunUntilIdle) {
+  for (const std::size_t workers : {std::size_t{0}, std::size_t{4}}) {
+    exec::ExecutionEngine engine(workers);
+    const auto fenced_lane = engine.create_lane("fenced");
+    const auto open_lane = engine.create_lane("open");
+    engine.fence(fenced_lane);
+    int held_ran = 0, open_ran = 0;
+    for (int i = 0; i < 4; ++i) {
+      engine.post(fenced_lane, [&] { ++held_ran; });
+      engine.post(open_lane, [&] { ++open_ran; });
+    }
+    // run_until_idle waits only for runnable work: it must return with
+    // the fenced backlog untouched instead of deadlocking on it.
+    engine.run_until_idle();
+    EXPECT_EQ(open_ran, 4) << "workers=" << workers;
+    EXPECT_EQ(held_ran, 0) << "workers=" << workers;
+    EXPECT_EQ(engine.outstanding(), 0u) << "workers=" << workers;
+    engine.unfence(fenced_lane);
+    engine.run_until_idle();
+    EXPECT_EQ(held_ran, 4) << "workers=" << workers;
+  }
+}
+
+TEST(Fence, PostOrderSurvivesAFenceCycle) {
+  for (const std::size_t workers : {std::size_t{0}, std::size_t{4}}) {
+    exec::ExecutionEngine engine(workers);
+    const auto lane = engine.create_lane();
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      engine.post(lane, [&order, i] { order.push_back(i); });
+    }
+    engine.fence(lane);
+    for (int i = 50; i < 100; ++i) {  // Posted while fenced: held.
+      engine.post(lane, [&order, i] { order.push_back(i); });
+    }
+    engine.unfence(lane);
+    engine.run_until_idle();
+    ASSERT_EQ(order.size(), 100u) << "workers=" << workers;
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(Fence, FenceAndUnfenceAreIdempotent) {
+  exec::ExecutionEngine engine(2);
+  const auto lane = engine.create_lane();
+  engine.fence(lane);
+  engine.fence(lane);  // Second fence is a no-op, not a deadlock.
+  EXPECT_TRUE(engine.fenced(lane));
+  int ran = 0;
+  engine.post(lane, [&] { ++ran; });
+  engine.unfence(lane);
+  engine.unfence(lane);  // Second unfence is a no-op.
+  EXPECT_FALSE(engine.fenced(lane));
+  engine.run_until_idle();
+  EXPECT_EQ(ran, 1);
+}
+
+// --- Graph mutation racing an active drain -----------------------------------
+
+namespace {
+
+/// A no-op passthrough feature; exists so detach_feature has something
+/// real to tear off while the lane is mid-drain.
+class TagFeature final : public core::ComponentFeature {
+ public:
+  std::string_view name() const override { return "tag"; }
+  bool produce(core::Sample&) override {
+    ++produced;
+    return true;
+  }
+  int produced = 0;
+};
+
+}  // namespace
+
+TEST(Fence, RemoveUnderFenceRacesActiveDrainSafely) {
+  // A sink hangs off the middle of the pipeline; traffic is mid-drain on
+  // 4 workers when the main thread fences, remove()s the side sink, and
+  // unfences. The held backlog then flows through the mutated graph.
+  exec::ExecutionEngine engine(4);
+  const auto lane = engine.create_lane();
+  GraphRig rig(4);
+  std::atomic<int> side_count{0};
+  const auto side = rig.graph.add(std::make_shared<core::ApplicationSink>(
+      "SideSink", std::vector<core::InputRequirement>{core::require<Tick>()},
+      [&](const core::Sample&) { ++side_count; }));
+  rig.graph.connect(rig.source_id, side);
+
+  for (int i = 0; i < 100; ++i) {
+    engine.post(lane, [&rig] { rig.source->push(Tick{1}); });
+  }
+  engine.fence(lane);  // Quiesce: at most one in-flight task, now retired.
+  const int seen_before = side_count.load();
+  rig.graph.remove(side);
+  engine.unfence(lane);
+  for (int i = 0; i < 100; ++i) {
+    engine.post(lane, [&rig] { rig.source->push(Tick{1}); });
+  }
+  engine.run_until_idle();
+  // The side sink saw exactly the pre-fence deliveries and nothing after.
+  EXPECT_EQ(side_count.load(), seen_before);
+  // The main pipeline delivered every sample, before and after.
+  const std::string transcript = rig.transcript.str();
+  EXPECT_EQ(static_cast<int>(std::count(transcript.begin(),
+                                        transcript.end(), ';')),
+            200);
+}
+
+TEST(Fence, DetachFeatureUnderFenceRacesActiveDrainSafely) {
+  exec::ExecutionEngine engine(4);
+  const auto lane = engine.create_lane();
+  GraphRig rig(2);
+  auto tag = std::make_shared<TagFeature>();
+  rig.graph.attach_feature(rig.source_id, tag);
+
+  for (int i = 0; i < 100; ++i) {
+    engine.post(lane, [&rig] { rig.source->push(Tick{1}); });
+  }
+  engine.fence(lane);
+  const int produced_before = tag->produced;
+  rig.graph.detach_feature(rig.source_id, "tag");
+  engine.unfence(lane);
+  for (int i = 0; i < 100; ++i) {
+    engine.post(lane, [&rig] { rig.source->push(Tick{1}); });
+  }
+  engine.run_until_idle();
+  EXPECT_EQ(tag->produced, produced_before);  // Hook gone after detach.
+  const std::string transcript = rig.transcript.str();
+  EXPECT_EQ(static_cast<int>(std::count(transcript.begin(),
+                                        transcript.end(), ';')),
+            200);
 }
 
 // --- Scheduler hand-off ------------------------------------------------------

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -250,6 +251,112 @@ TEST(Sanitize, DetachStopsObservation) {
       [&g, src] { g.component_as<core::SourceComponent>(src)->push(V0{1}); });
   foreign.join();
   EXPECT_EQ(sanitizer.violations(), 0u);
+}
+
+// --- PPS006 mutation during drain --------------------------------------------
+
+TEST(Sanitize, MutationWithTasksInFlightIsCaught) {
+  exec::ExecutionEngine engine(0);  // Inline: posted tasks stay queued.
+  const auto lane = engine.create_lane();
+  core::ProcessingGraph g;
+  const auto src = g.add(make_source());
+  g.connect(src, g.add(make_sink()));
+
+  san::GraphSanitizer sanitizer;
+  sanitizer.attach(g);
+  sanitizer.watch_engine(engine);
+  sanitizer.unbind_thread();
+
+  engine.post(lane, [] {});  // One runnable task: the lane is mid-drain.
+  g.add(make_sink("Late"));  // Mutation races the drain.
+  EXPECT_TRUE(has_rule(sanitizer.report(), "PPS006"));
+
+  engine.run_until_idle();
+}
+
+TEST(Sanitize, MutationBehindAFenceIsClean) {
+  exec::ExecutionEngine engine(0);
+  const auto lane = engine.create_lane();
+  core::ProcessingGraph g;
+  const auto src = g.add(make_source());
+  g.connect(src, g.add(make_sink()));
+
+  san::GraphSanitizer sanitizer;
+  sanitizer.attach(g);
+  sanitizer.watch_engine(engine);
+  sanitizer.unbind_thread();
+
+  engine.post(lane, [] {});
+  engine.fence(lane);  // Held tasks leave `outstanding` — proper quiesce.
+  g.add(make_sink("Late"));
+  EXPECT_FALSE(has_rule(sanitizer.report(), "PPS006"));
+  engine.unfence(lane);
+  engine.run_until_idle();
+}
+
+TEST(Sanitize, MutationInsideQuiesceWindowIsExempt) {
+  exec::ExecutionEngine engine(0);
+  const auto lane = engine.create_lane();
+  core::ProcessingGraph g;
+  const auto src = g.add(make_source());
+  g.connect(src, g.add(make_sink()));
+
+  san::GraphSanitizer sanitizer;
+  sanitizer.attach(g);
+  sanitizer.watch_engine(engine);
+  sanitizer.unbind_thread();
+
+  engine.post(lane, [] {});  // Runnable work NOT behind a fence...
+  sanitizer.begin_quiesce();
+  sanitizer.begin_quiesce();  // Windows nest.
+  g.add(make_sink("Late"));   // ...but the protocol vouches for this one.
+  sanitizer.end_quiesce();
+  g.add(make_sink("Later"));  // Still inside the outer window.
+  sanitizer.end_quiesce();
+  EXPECT_FALSE(has_rule(sanitizer.report(), "PPS006"));
+
+  g.add(make_sink("TooLate"));  // Window closed: this one is a race.
+  EXPECT_TRUE(has_rule(sanitizer.report(), "PPS006"));
+  engine.run_until_idle();
+}
+
+TEST(Sanitize, TeardownChurnWhileFlightRecorderDumps) {
+  // Dump handlers iterate merged_events() while worker lanes are still
+  // recording into the ring and whole graphs are being torn down; the
+  // recorder must stay internally consistent through the churn.
+  exec::ExecutionEngine engine(4);
+  perpos::obs::FlightRecorder recorder(128);
+  std::atomic<std::size_t> dumped_events{0};
+  recorder.set_dump_handler(
+      [&](const std::string&, const perpos::obs::FlightRecorder& r) {
+        dumped_events += r.merged_events().size();
+      });
+
+  struct ChurnRig {
+    core::ProcessingGraph graph;
+    core::SourceComponent* source = nullptr;
+  };
+  constexpr int kRounds = 20;
+  for (int round = 0; round < kRounds; ++round) {
+    auto rig = std::make_shared<ChurnRig>();
+    const auto src = rig->graph.add(make_source());
+    rig->graph.connect(src, rig->graph.add(make_sink()));
+    const auto ring =
+        recorder.add_lane("churn-" + std::to_string(round));
+    rig->graph.set_flight_recorder(&recorder, ring,
+                                   static_cast<std::uint32_t>(round));
+    rig->source = rig->graph.component_as<core::SourceComponent>(src);
+    auto lane = engine.executor(engine.create_lane());
+    for (int i = 0; i < 10; ++i) {
+      lane([rig] { rig->source->push(V0{1}); });
+    }
+    recorder.trigger("churn round " + std::to_string(round));
+    // Teardown on the owning lane while other lanes still drain and dump.
+    lane([rig = std::move(rig)]() mutable { rig.reset(); });
+  }
+  engine.run_until_idle();
+  EXPECT_EQ(recorder.triggers(), static_cast<std::uint64_t>(kRounds));
+  EXPECT_GT(dumped_events.load(), 0u);
 }
 
 TEST(Sanitize, ClearResetsFindingsAndDedupe) {

@@ -93,15 +93,15 @@ vfy::NodeModel node(core::ComponentId id, std::string name,
 
 TEST(Catalog, AllRulesWithStableIds) {
   const vfy::RuleRegistry& catalog = vfy::RuleRegistry::default_catalog();
-  // PPV000..PPV015 static rules + PPS001..PPS005 runtime sanitizer ids.
-  ASSERT_EQ(catalog.rules().size(), 21u);
+  // PPV000..PPV015 static rules + PPS001..PPS006 runtime sanitizer ids.
+  ASSERT_EQ(catalog.rules().size(), 22u);
   std::vector<std::string> expected;
   for (int i = 0; i <= 15; ++i) {
     char id[8];
     std::snprintf(id, sizeof id, "PPV%03d", i);
     expected.push_back(id);
   }
-  for (int i = 1; i <= 5; ++i) {
+  for (int i = 1; i <= 6; ++i) {
     char id[8];
     std::snprintf(id, sizeof id, "PPS%03d", i);
     expected.push_back(id);
@@ -122,7 +122,7 @@ TEST(Catalog, RuntimeRulesNeverFireStatically) {
   core::ProcessingGraph g;
   g.add(make_sink<V0>("Starved"));  // Plenty wrong statically.
   const vfy::Report report = vfy::verify(g);
-  for (int i = 1; i <= 5; ++i) {
+  for (int i = 1; i <= 6; ++i) {
     EXPECT_TRUE(report.by_rule("PPS00" + std::to_string(i)).empty());
   }
 }

@@ -5,6 +5,11 @@
 //                 [--disable RULE]... [--baseline FILE] [--update-baseline]
 //                 CONFIG...
 //   perpos-verify --list-rules
+//   perpos-verify --explain RULE
+//
+// `--explain PPVxxx/PPSxxx` prints one rule's full description, default
+// severity, and a minimal failing-config sketch (for the static rules) or
+// the runtime scenario that trips it (for the PPS sanitizer rules).
 //
 // Exit codes: 0 = no findings that gate, 1 = errors (or warnings under
 // --werror), 2 = usage / IO problem. JSON and SARIF output describe one
@@ -147,14 +152,129 @@ int list_rules() {
   return 0;
 }
 
+/// A minimal sketch that triggers each rule: a failing config fragment for
+/// the static PPV rules, a runtime scenario for the PPS sanitizer rules.
+/// Kept here (not on the Rule interface) because the sketches lean on the
+/// tool's standard kind registry for concrete component names.
+struct ExplainSketch {
+  const char* id;
+  const char* sketch;
+};
+
+constexpr ExplainSketch kSketches[] = {
+    {"PPV000",
+     "  component gps gps-sensor extra-token-the-factory-rejects\n"
+     "  # any line the parser or a factory rejects raises PPV000"},
+    {"PPV001",
+     "  component app application App PositionFix\n"
+     "  # nothing produces PositionFix and nothing is connected to app"},
+    {"PPV002",
+     "  component gps gps-sensor\n"
+     "  component parser nmea-parser\n"
+     "  component app application App any   # wildcard input\n"
+     "  connect gps app\n"
+     "  connect parser app   # two producers match 'any': order-dependent"},
+    {"PPV003",
+     "  component gps gps-sensor\n"
+     "  component app application App RawFragment\n"
+     "  connect gps app   # gps's NMEA capability has no consumer"},
+    {"PPV004",
+     "  component parser nmea-parser\n"
+     "  component interp nmea-interpreter\n"
+     "  connect parser interp   # subgraph has no source feeding it"},
+    {"PPV005",
+     "  component kf kalman-filter\n"
+     "  # a merge-style consumer with a single producer (or an\n"
+     "  # implausibly wide fan-in) trips the arity heuristic"},
+    {"PPV006",
+     "  connect a b\n"
+     "  connect b a   # directed cycle in the reified process"},
+    {"PPV007",
+     "  # producer declares output_frame()=\"siteB\" while its consumer\n"
+     "  # declares input_frame()=\"siteA\"; the edge mixes frames"},
+    {"PPV008",
+     "  host alpha gps\n"
+     "  host beta app\n"
+     "  connect gps app   # cut edge carries a type with no wire codec"},
+    {"PPV009",
+     "  lane fast gps\n"
+     "  lane slow app\n"
+     "  connect gps app   # edge crosses execution lanes"},
+    {"PPV010",
+     "  # every component in a feedback region emits >1 sample per input;\n"
+     "  # the loop's amplification product exceeds 1x and diverges"},
+    {"PPV011",
+     "  # a component feature's consume()/produce() hook calls emit(),\n"
+     "  # which re-enters the hook chain on the same dispatch"},
+    {"PPV012",
+     "  # a merge consumer's input arrives via a path that reorders\n"
+     "  # samples, so per-producer logical time is not monotonic"},
+    {"PPV013",
+     "  # reliable (acked) links between hosts form a cycle, so every\n"
+     "  # host can end up waiting on a peer's ack"},
+    {"PPV014",
+     "  lane main gps wifi app1 app2 app3\n"
+     "  # one lane serializes several hot sinks; N-1 of them starve"},
+    {"PPV015",
+     "  # a component feature lists a dependency that is not attached,\n"
+     "  # or attached after it, so hooks run out of order"},
+    {"PPS001",
+     "  runtime: engine.bind_thread(lane) then graph driven from another\n"
+     "  thread (e.g. a direct source->push off-lane)"},
+    {"PPS002",
+     "  runtime: a producer re-emits an older timestamp / sequence on a\n"
+     "  channel (clock stepped back, replayed sample)"},
+    {"PPS003",
+     "  runtime: a pooled provenance buffer's release() called twice\n"
+     "  (double free of a recycled Sample)"},
+    {"PPS004",
+     "  runtime: one external emission cascades through emit() chains\n"
+     "  past the configured delivery-depth bound"},
+    {"PPS005",
+     "  runtime: a dispatch or lane queue exceeds its depth watermark\n"
+     "  (producer outruns the drain)"},
+    {"PPS006",
+     "  runtime: graph.remove()/connect()/replace() while the execution\n"
+     "  lane still has tasks in flight, outside a LiveReconfigurator\n"
+     "  quiesce window (fence first, or use reconfig::LiveReconfigurator)"},
+};
+
+int explain_rule(const std::string& id) {
+  const verify::RuleRegistry& catalog = verify::RuleRegistry::default_catalog();
+  const verify::Rule* rule = catalog.find(id);
+  if (rule == nullptr) {
+    std::fprintf(stderr,
+                 "unknown rule '%s' (see --list-rules for the catalog)\n",
+                 id.c_str());
+    return 2;
+  }
+  std::printf("%s  %s  [%s]\n", std::string(rule->id()).c_str(),
+              std::string(rule->name()).c_str(),
+              std::string(verify::severity_name(rule->default_severity()))
+                  .c_str());
+  std::printf("\n  %s\n", std::string(rule->description()).c_str());
+  for (const ExplainSketch& entry : kSketches) {
+    if (id == entry.id) {
+      const bool runtime = id.rfind("PPS", 0) == 0;
+      std::printf("\n%s:\n%s\n",
+                  runtime ? "triggering scenario"
+                          : "minimal failing config",
+                  entry.sketch);
+      break;
+    }
+  }
+  return 0;
+}
+
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--format=text|json|sarif] [--output FILE] [--werror]\n"
       "          [--disable RULE]... [--baseline FILE] [--update-baseline]\n"
       "          CONFIG...\n"
-      "       %s --list-rules\n",
-      argv0, argv0);
+      "       %s --list-rules\n"
+      "       %s --explain RULE\n",
+      argv0, argv0, argv0);
   return 2;
 }
 
@@ -192,6 +312,14 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") return list_rules();
+    if (arg.rfind("--explain=", 0) == 0) return explain_rule(arg.substr(10));
+    if (arg == "--explain") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--explain needs a rule id (PPVxxx/PPSxxx)\n");
+        return 2;
+      }
+      return explain_rule(argv[i + 1]);
+    }
     if (arg == "-h" || arg == "--help") {
       usage(argv[0]);
       return 0;
