@@ -4,9 +4,10 @@
 # Usage: scripts/lint_configs.sh <build-dir> [sarif-output-dir]
 #
 # Clean configs must produce zero findings under --werror; the deliberate
-# fixtures (broken_pipeline.conf, broken-lanes.cfg) must exit non-zero —
-# they are the analyzer's own regression fixtures. SARIF files are written
-# one per config so CI can upload them to code scanning.
+# fixtures (broken_pipeline.conf, broken-lanes.cfg, broken-budget.cfg)
+# must exit non-zero — they are the analyzer's own regression fixtures.
+# SARIF files are written one per config so CI can upload them to code
+# scanning.
 set -eu
 
 build_dir=${1:?usage: lint_configs.sh <build-dir> [sarif-output-dir]}
@@ -29,7 +30,7 @@ for config in "$configs_dir"/*.conf "$configs_dir"/*.cfg; do
   fi
   base=$(basename "$config")
   case "$name" in
-  broken_pipeline|broken-lanes)
+  broken_pipeline|broken-lanes|broken-budget)
     if [ "$rc" -eq 0 ]; then
       echo "FAIL: $base should produce findings but linted clean" >&2
       status=1

@@ -204,6 +204,14 @@ class ProcessingComponent {
   /// flag unbounded queue growth.
   virtual double emit_multiplicity() const { return 1.0; }
 
+  /// Nominal self-emission rate in samples per second for autonomous
+  /// sources (sensors with a scheduler-driven tick). 0 (default) means
+  /// "not a source" or "unknown". Like emit_multiplicity() this is a
+  /// declarative annotation for the static analyzer: the quantitative
+  /// budget pass (verify::analyze_budget) seeds rate propagation from it;
+  /// config `budget` annotations override it.
+  virtual double nominal_rate_hz() const { return 0.0; }
+
   /// The context is valid between attachment to and removal from a graph.
   const ComponentContext& context() const noexcept { return context_; }
 

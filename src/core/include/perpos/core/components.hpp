@@ -117,6 +117,8 @@ class ApplicationSink : public ProcessingComponent {
     return requirements_;
   }
   std::vector<DataSpec> output_capabilities() const override { return {}; }
+  /// Pure sink: nothing is ever re-emitted downstream.
+  double emit_multiplicity() const override { return 0.0; }
 
   void on_input(const Sample& sample) override {
     last_ = sample;

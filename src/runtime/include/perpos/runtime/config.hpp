@@ -28,6 +28,9 @@
 ///   health [key=value ...]
 ///   reconfig [key=value ...]
 ///   host <host-name> <component-name>...
+///   budget <component-name> [rate=<hz>|<lo>..<hi>] [cost_us=<n>]
+///          [min_rate=<hz>]
+///   budget * [source_rate=<hz>] [burst=<n>] [watermark=<n>] [slo_us=<n>]
 ///   verify
 ///
 /// `observe` enables graph observability (perpos::obs). With no flags it
@@ -60,6 +63,19 @@
 /// creation and posting stay with the caller — but the static analyzer
 /// uses it for the lane-affinity rules (PPV009 cross-lane edges, PPV014
 /// lane starvation).
+///
+/// `budget` annotates the quantitative rate/cost model the static
+/// analyzer's PPQ rules and `perpos-verify --budget` consume. A component
+/// form pins an emission rate (a number or a `lo..hi` interval), declares
+/// a per-sample service cost, or a required minimum input rate; the `*`
+/// form sets analysis-wide defaults — unannotated source rate, burst
+/// size, the queue watermark the static bounds are checked against
+/// (PPQ002) and the end-to-end latency SLO (PPQ003; `observe slo_us=` is
+/// its runtime twin and seeds the same check when no `budget *` SLO is
+/// given). As with `health`, the parser only records the annotations
+/// (ConfigResult::budgets / budget_defaults) — the analyzer front end
+/// copies them into verify::BudgetOptions, keeping this layer free of a
+/// dependency on perpos::verify.
 ///
 /// `verify` requests static analysis of the assembled graph. Like
 /// `health`, the parser only records the request (ConfigResult::
@@ -136,6 +152,33 @@ struct ReconfigSettings {
                          const ReconfigSettings&) = default;
 };
 
+/// Per-component quantitative annotation from a `budget <name>` config
+/// line. Field-for-field mirror of verify::BudgetAnnotation (plain
+/// numbers keep the config layer independent of perpos::verify; the
+/// analyzer front end copies them across, as ConfigResult::reconfig does
+/// for reconfig::ReconfigOptions). Zero rates / negative cost = unset.
+struct BudgetAnnotation {
+  double rate_lo_hz = 0.0;  ///< Pinned emission-rate interval; 0/0 = unset.
+  double rate_hi_hz = 0.0;
+  double cost_us = -1.0;    ///< Per-sample service cost; < 0 = calibrated.
+  double min_rate_hz = 0.0; ///< Required minimum input rate; 0 = none.
+
+  friend bool operator==(const BudgetAnnotation&,
+                         const BudgetAnnotation&) = default;
+};
+
+/// Analysis-wide quantitative defaults from a `budget *` config line;
+/// mirror of the scalar half of verify::BudgetOptions.
+struct BudgetDefaults {
+  double source_rate_hz = 1.0;     ///< Rate of unannotated sources.
+  double burst = 1.0;              ///< Samples per source emission event.
+  std::size_t queue_watermark = 0; ///< Static queue-bound check; 0 = off.
+  double latency_slo_us = 0.0;     ///< End-to-end latency SLO; 0 = none.
+
+  friend bool operator==(const BudgetDefaults&,
+                         const BudgetDefaults&) = default;
+};
+
 struct ConfigResult {
   /// Instantiated names and ids, explicit edges, resolver edges.
   AssemblyReport report;
@@ -149,6 +192,10 @@ struct ConfigResult {
   std::map<std::string, std::string> hosts;
   /// Component name -> execution-lane name, from `lane` lines.
   std::map<std::string, std::string> lanes;
+  /// Component name -> quantitative annotation, from `budget <name>` lines.
+  std::map<std::string, BudgetAnnotation> budgets;
+  /// Set when the config contained a (valid) `budget *` line.
+  std::optional<BudgetDefaults> budget_defaults;
   /// True when the config contained a `verify` line.
   bool verify_requested = false;
 
@@ -173,13 +220,19 @@ ConfigResult assemble_from_config(const std::string& text,
 /// so an exported snapshot carries enough for the static analyzer's
 /// remoting-boundary rule. Likewise `lanes` (component id -> lane name)
 /// becomes `lane` lines for the lane-affinity rules, and a non-null
-/// `reconfig` appends a `reconfig` line with every setting.
+/// `reconfig` appends a `reconfig` line with every setting. A non-null
+/// `budgets` emits one `budget` line per component with any annotation
+/// set, and a non-null `budget_defaults` a `budget *` line, so the
+/// quantitative model round-trips through export and re-parse.
 std::string export_config(const core::ProcessingGraph& graph,
                           const HealthSettings* health = nullptr,
                           const std::map<core::ComponentId, std::string>*
                               hosts = nullptr,
                           const std::map<core::ComponentId, std::string>*
                               lanes = nullptr,
-                          const ReconfigSettings* reconfig = nullptr);
+                          const ReconfigSettings* reconfig = nullptr,
+                          const std::map<core::ComponentId, BudgetAnnotation>*
+                              budgets = nullptr,
+                          const BudgetDefaults* budget_defaults = nullptr);
 
 }  // namespace perpos::runtime

@@ -62,6 +62,15 @@ ConfigResult assemble_from_config(const std::string& text,
   };
   std::vector<GroupDecl> host_decls;
   std::vector<GroupDecl> lane_decls;
+  // `budget <name>` annotations resolve against the full name set too, so
+  // the line may precede its component. Key/value parsing (and its
+  // errors) still happens at the declaring line.
+  struct BudgetDecl {
+    std::size_t line = 0;
+    std::string name;
+    BudgetAnnotation annotation;
+  };
+  std::vector<BudgetDecl> budget_decls;
   const auto parse_group = [&](std::istringstream& ls, const char* verb,
                                std::vector<GroupDecl>& out) {
     GroupDecl decl;
@@ -146,6 +155,119 @@ ConfigResult assemble_from_config(const std::string& text,
       parse_group(ls, "host", host_decls);
     } else if (verb == "lane") {
       parse_group(ls, "lane", lane_decls);
+    } else if (verb == "budget") {
+      std::string target;
+      if (!(ls >> target)) {
+        fail("budget needs <component-name> or '*' plus key=value tokens");
+        continue;
+      }
+      // Shared numeric parsing; `rate` additionally accepts lo..hi.
+      const auto parse_number = [&](const std::string& key,
+                                    const std::string& value, double& out) {
+        try {
+          std::size_t used = 0;
+          out = std::stod(value, &used);
+          if (used != value.size() || out < 0.0) {
+            throw std::invalid_argument(value);
+          }
+          return true;
+        } catch (const std::exception&) {
+          fail("budget " + key + ": bad number '" + value + "'");
+          return false;
+        }
+      };
+      bool bad = false;
+      if (target == "*") {
+        BudgetDefaults defaults =
+            result.budget_defaults.value_or(BudgetDefaults{});
+        std::string token;
+        while (ls >> token) {
+          const std::size_t eq = token.find('=');
+          if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+            fail("budget expects key=value tokens, got '" + token + "'");
+            bad = true;
+            break;
+          }
+          const std::string key = token.substr(0, eq);
+          const std::string value = token.substr(eq + 1);
+          double number = 0.0;
+          if (!parse_number(key, value, number)) {
+            bad = true;
+            break;
+          }
+          if (key == "source_rate") {
+            defaults.source_rate_hz = number;
+          } else if (key == "burst") {
+            defaults.burst = number;
+          } else if (key == "watermark") {
+            defaults.queue_watermark = static_cast<std::size_t>(number);
+          } else if (key == "slo_us") {
+            defaults.latency_slo_us = number;
+          } else {
+            fail("unknown budget * key '" + key + "'");
+            bad = true;
+            break;
+          }
+        }
+        if (!bad) result.budget_defaults = defaults;
+        continue;
+      }
+      BudgetDecl decl;
+      decl.line = line_no;
+      decl.name = target;
+      std::string token;
+      bool any = false;
+      while (ls >> token) {
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 == token.size()) {
+          fail("budget expects key=value tokens, got '" + token + "'");
+          bad = true;
+          break;
+        }
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        if (key == "rate") {
+          // A single rate or a lo..hi interval.
+          const std::size_t dots = value.find("..");
+          std::string lo = value, hi = value;
+          if (dots != std::string::npos) {
+            lo = value.substr(0, dots);
+            hi = value.substr(dots + 2);
+          }
+          if (!parse_number(key, lo, decl.annotation.rate_lo_hz) ||
+              !parse_number(key, hi, decl.annotation.rate_hi_hz)) {
+            bad = true;
+            break;
+          }
+          if (decl.annotation.rate_hi_hz < decl.annotation.rate_lo_hz ||
+              decl.annotation.rate_hi_hz <= 0.0) {
+            fail("budget rate: bad interval '" + value + "'");
+            bad = true;
+            break;
+          }
+        } else if (key == "cost_us") {
+          if (!parse_number(key, value, decl.annotation.cost_us)) {
+            bad = true;
+            break;
+          }
+        } else if (key == "min_rate") {
+          if (!parse_number(key, value, decl.annotation.min_rate_hz)) {
+            bad = true;
+            break;
+          }
+        } else {
+          fail("unknown budget key '" + key + "'");
+          bad = true;
+          break;
+        }
+        any = true;
+      }
+      if (bad) continue;
+      if (!any) {
+        fail("budget '" + target + "' sets no annotation");
+        continue;
+      }
+      budget_decls.push_back(std::move(decl));
     } else if (verb == "health") {
       HealthSettings settings = result.health.value_or(HealthSettings{});
       bool bad = false;
@@ -278,10 +400,30 @@ ConfigResult assemble_from_config(const std::string& text,
     }
   }
 
-  // Host / lane assignments resolve against the full set of component
-  // names, so the lines may precede the components they pin.
+  // Host / lane / budget assignments resolve against the full set of
+  // component names, so the lines may precede the components they pin.
   resolve_groups(host_decls, "host", result.hosts);
   resolve_groups(lane_decls, "lane", result.lanes);
+  for (const BudgetDecl& decl : budget_decls) {
+    line_no = decl.line;
+    if (!names.contains(decl.name)) {
+      fail("budget: unknown component '" + decl.name + "'");
+      continue;
+    }
+    // Later lines refine earlier ones field by field, matching the
+    // annotation's own unset conventions.
+    BudgetAnnotation& merged = result.budgets[decl.name];
+    if (decl.annotation.rate_hi_hz > 0.0) {
+      merged.rate_lo_hz = decl.annotation.rate_lo_hz;
+      merged.rate_hi_hz = decl.annotation.rate_hi_hz;
+    }
+    if (decl.annotation.cost_us >= 0.0) {
+      merged.cost_us = decl.annotation.cost_us;
+    }
+    if (decl.annotation.min_rate_hz > 0.0) {
+      merged.min_rate_hz = decl.annotation.min_rate_hz;
+    }
+  }
 
   // Pass 2: explicit edges.
   for (const Edge& edge : edges) {
@@ -365,7 +507,10 @@ std::string export_config(const core::ProcessingGraph& graph,
                               hosts,
                           const std::map<core::ComponentId, std::string>*
                               lanes,
-                          const ReconfigSettings* reconfig) {
+                          const ReconfigSettings* reconfig,
+                          const std::map<core::ComponentId, BudgetAnnotation>*
+                              budgets,
+                          const BudgetDefaults* budget_defaults) {
   std::ostringstream out;
   out << "# snapshot of a live PerPos processing graph\n";
   const auto ids = graph.components();
@@ -400,6 +545,37 @@ std::string export_config(const core::ProcessingGraph& graph,
       };
   if (hosts != nullptr) emit_groups("host", *hosts);
   if (lanes != nullptr) emit_groups("lane", *lanes);
+  const auto number = [](double v) {
+    std::ostringstream s;
+    s << v;  // Default formatting drops trailing zeros; std::stod
+             // re-parses it exactly for the values we deal in.
+    return s.str();
+  };
+  if (budgets != nullptr) {
+    for (core::ComponentId id : ids) {
+      const auto it = budgets->find(id);
+      if (it == budgets->end()) continue;
+      const BudgetAnnotation& a = it->second;
+      const bool has_rate = a.rate_hi_hz > 0.0;
+      const bool has_cost = a.cost_us >= 0.0;
+      const bool has_min = a.min_rate_hz > 0.0;
+      if (!has_rate && !has_cost && !has_min) continue;
+      out << "budget " << name_of(id);
+      if (has_rate) {
+        out << " rate=" << number(a.rate_lo_hz);
+        if (a.rate_hi_hz != a.rate_lo_hz) out << ".." << number(a.rate_hi_hz);
+      }
+      if (has_cost) out << " cost_us=" << number(a.cost_us);
+      if (has_min) out << " min_rate=" << number(a.min_rate_hz);
+      out << "\n";
+    }
+  }
+  if (budget_defaults != nullptr) {
+    out << "budget * source_rate=" << number(budget_defaults->source_rate_hz)
+        << " burst=" << number(budget_defaults->burst)
+        << " watermark=" << budget_defaults->queue_watermark
+        << " slo_us=" << number(budget_defaults->latency_slo_us) << "\n";
+  }
   if (const obs::ObservabilityConfig* cfg = graph.observability_config()) {
     out << "observe";
     if (cfg->metrics) out << " metrics";
@@ -415,12 +591,6 @@ std::string export_config(const core::ProcessingGraph& graph,
     out << "\n";
   }
   if (health != nullptr) {
-    const auto number = [](double v) {
-      std::ostringstream s;
-      s << v;  // Default formatting drops trailing zeros; std::stod
-               // re-parses it exactly for the values we deal in.
-      return s.str();
-    };
     out << "health degraded_after_s=" << number(health->degraded_after_s)
         << " stale_after_s=" << number(health->stale_after_s)
         << " dead_after_s=" << number(health->dead_after_s)

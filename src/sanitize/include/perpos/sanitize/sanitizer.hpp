@@ -116,6 +116,16 @@ class GraphSanitizer final : public core::GraphSentry {
   /// Drop all recorded violations and duplicate-suppression state.
   void clear();
 
+  /// Peak dispatch-queue depth observed across all deliveries (the
+  /// queue_depth the graph reported to on_deliver). This is what the
+  /// static analyzer's queue bound (analyze_budget) promises to dominate;
+  /// the cross-validation suite asserts static >= this runtime peak.
+  std::size_t dispatch_queue_high_water() const;
+  /// Peak per-emission delivery cascade observed (the cascade counter the
+  /// graph reported to on_deliver). Static counterpart: the per-source
+  /// burst cascade in analyze_budget's queue model.
+  std::uint64_t cascade_high_water() const;
+
   /// True when the PERPOS_SANITIZE environment variable requests graph
   /// mode (the value "graph", or a comma list containing it).
   static bool env_enabled();
@@ -157,6 +167,8 @@ class GraphSanitizer final : public core::GraphSentry {
   std::map<core::ComponentId, std::pair<sim::SimTime, std::uint64_t>>
       last_emit_;
   std::set<std::string> reported_;  ///< Duplicate-suppression keys.
+  std::size_t queue_high_water_ = 0;     ///< Peak on_deliver queue_depth.
+  std::uint64_t cascade_high_water_ = 0; ///< Peak on_deliver cascade.
   std::vector<verify::Diagnostic> diagnostics_;
   /// Black-box hookup: events go to rec_lane_ under mutex_ (violations can
   /// surface from any thread; the lock serializes the single-producer ring).

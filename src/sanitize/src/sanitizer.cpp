@@ -115,6 +115,18 @@ void GraphSanitizer::clear() {
   diagnostics_.clear();
   reported_.clear();
   last_emit_.clear();
+  queue_high_water_ = 0;
+  cascade_high_water_ = 0;
+}
+
+std::size_t GraphSanitizer::dispatch_queue_high_water() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_high_water_;
+}
+
+std::uint64_t GraphSanitizer::cascade_high_water() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cascade_high_water_;
 }
 
 bool GraphSanitizer::env_enabled() {
@@ -185,6 +197,11 @@ void GraphSanitizer::on_deliver(const core::Sample& sample,
                                 std::size_t queue_depth,
                                 std::uint64_t cascade) {
   (void)sample;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_high_water_ = std::max(queue_high_water_, queue_depth);
+    cascade_high_water_ = std::max(cascade_high_water_, cascade);
+  }
   if (cascade > config_.max_cascade) {
     std::ostringstream message;
     message << "one external emission cascaded into " << cascade

@@ -53,6 +53,17 @@ class GpsSensor final : public core::ProcessingComponent {
   }
   void on_input(const core::Sample&) override {}
 
+  /// Fragments per second at the configured epoch cadence: each epoch
+  /// emits one GGA sentence plus the optional GSA/RMC extras, each split
+  /// into fragments_per_sentence raw fragments.
+  double nominal_rate_hz() const override {
+    const double seconds = config_.epoch_interval.seconds();
+    if (seconds <= 0.0) return 0.0;
+    const int sentences =
+        1 + (config_.emit_gsa ? 1 : 0) + (config_.emit_rmc ? 1 : 0);
+    return sentences * config_.fragments_per_sentence / seconds;
+  }
+
   /// Begin emitting epochs (the first after one epoch interval).
   void start();
   /// Stop emitting permanently (cancels the scheduled tick).

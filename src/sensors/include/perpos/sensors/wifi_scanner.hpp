@@ -32,6 +32,12 @@ class WifiScanner final : public core::ProcessingComponent {
   }
   void on_input(const core::Sample&) override {}
 
+  /// One RssiScan per scan interval.
+  double nominal_rate_hz() const override {
+    const double seconds = scan_interval_.seconds();
+    return seconds > 0.0 ? 1.0 / seconds : 0.0;
+  }
+
   void start() {
     if (started_) return;
     started_ = true;

@@ -12,6 +12,8 @@
 
 namespace perpos::verify {
 
+struct BudgetReport;
+
 /// Compiler-style lines, one per diagnostic, plus a summary line:
 ///   error[PPV008] edge parser -> interp: ... \n  hint: ...
 std::string to_text(const Report& report);
@@ -19,14 +21,21 @@ std::string to_text(const Report& report);
 /// Machine-readable JSON:
 ///   {"diagnostics":[{"rule":...,"severity":...,...}],
 ///    "summary":{"errors":N,"warnings":N,"notes":N}}
-std::string to_json(const Report& report);
+/// A non-null `budget` (perpos-verify --budget) adds a "budget" object —
+/// the quantitative lane/path report of budget_to_json().
+std::string to_json(const Report& report,
+                    const BudgetReport* budget = nullptr);
 
 /// SARIF 2.1.0. `registry` supplies tool.driver.rules metadata (pass
 /// RuleRegistry::default_catalog()). When `artifact_uri` is non-empty,
 /// results carry a physical location in that artifact (the linted config
 /// file) using each diagnostic's line when known — this is what lets
-/// GitHub code scanning annotate the config in a PR.
+/// GitHub code scanning annotate the config in a PR. A non-null `budget`
+/// attaches the quantitative report as the run's properties.budget bag
+/// (SARIF property bags are the spec's extension point; findings stay
+/// plain results).
 std::string to_sarif(const Report& report, const RuleRegistry& registry,
-                     const std::string& artifact_uri = {});
+                     const std::string& artifact_uri = {},
+                     const BudgetReport* budget = nullptr);
 
 }  // namespace perpos::verify

@@ -25,9 +25,10 @@
 /// Correctness rests on the Rule::local() contract: a local rule's findings
 /// for a node depend only on that node's weak component (over edges +
 /// links), so clean components' cached findings are exact. Non-local rules
-/// (cross-component scans: PPV002, PPV013, PPV014) re-run on the full model
-/// every time — they are cheap O(n) passes. recheck() therefore always
-/// yields the same verdict multiset as a from-scratch verify().
+/// (cross-component scans: PPV002, PPV013, PPV014, and the lane-aggregating
+/// quantitative checks PPQ001, PPQ002) re-run on the full model every time —
+/// they are cheap near-linear passes. recheck() therefore always yields the
+/// same verdict multiset as a from-scratch verify().
 
 namespace perpos::verify {
 
@@ -68,6 +69,15 @@ class IncrementalVerifier {
   /// Drop the cache; the next recheck() analyzes everything (e.g. after
   /// changing options).
   void invalidate_all();
+
+  /// Update one component's quantitative budget annotation and mark only
+  /// that component dirty — the O(delta) path for rate/cost tuning, where
+  /// set_options() would drop the whole cache. The next recheck()
+  /// re-analyzes the annotated node's weak component locally; the
+  /// non-local lane/queue rules (PPQ001/PPQ002) re-run on the full model
+  /// every recheck() anyway, so lane verdicts stay exact.
+  void annotate_budget(core::ComponentId id,
+                       const BudgetAnnotation& annotation);
 
   void set_options(Options options);
   const Options& options() const noexcept { return options_; }

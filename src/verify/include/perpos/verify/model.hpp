@@ -55,6 +55,20 @@ struct NodeModel {
   /// the emit-amplification rule (PPV010): a feedback region whose factor
   /// product exceeds 1 grows its queues without bound.
   double emit_per_input = 1.0;
+  /// Pinned emission-rate interval in samples/sec (the quantitative budget
+  /// pass, see budget.hpp). 0/0 = unannotated: sources fall back to the
+  /// component's nominal_rate_hz() (seeded by from_graph) or
+  /// Options.budget.default_source_rate_hz; interior nodes derive their
+  /// rate from upstream. Stamped from Options.budget.annotations by the
+  /// verifier front end, like `host` and `lane`.
+  double rate_lo_hz = 0.0;
+  double rate_hi_hz = 0.0;
+  /// Per-sample service cost in microseconds; < 0 = unannotated (the
+  /// budget pass falls back to the per-kind calibration table).
+  double cost_us = -1.0;
+  /// Required minimum input rate for a sink (samples/sec); 0 = none.
+  /// Feeds the rate-starved-sink rule (PPQ004).
+  double min_rate_hz = 0.0;
   /// Attached Component Features, in attachment (= hook execution) order.
   std::vector<HookModel> hooks;
 };

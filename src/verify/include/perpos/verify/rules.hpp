@@ -43,8 +43,51 @@
 ///   PPS005  queue-watermark           warning  dispatch/lane queue depth exceeded
 ///   PPS006  mutation-during-drain     error    graph mutated with engine tasks in
 ///                                              flight, outside a quiesce window
+///
+/// Quantitative budget ids (the PPQ family, computed by the abstract
+/// rate/cost interpretation in budget.hpp over the same model):
+///   PPQ001  lane-overload             error    lane utilization exceeds 1 core
+///   PPQ002  queue-bound-exceeded      warning  static queue bound > watermark
+///   PPQ003  latency-slo-infeasible    error    best-case path latency > SLO
+///   PPQ004  rate-starved-sink         warning  required min input rate unreachable
+///   PPQ005  unbounded-feedback-queue  error    gain >= 1 feedback region feeding
+///                                              a bounded execution lane
 
 namespace perpos::verify {
+
+/// Per-node quantitative annotation (the `budget <component>` config verb,
+/// or programmatic callers). Zeros / negative cost mean "unannotated".
+struct BudgetAnnotation {
+  double rate_lo_hz = 0.0;  ///< Pinned emission-rate interval; 0/0 = unset.
+  double rate_hi_hz = 0.0;
+  double cost_us = -1.0;    ///< Per-sample service cost; < 0 = calibration.
+  double min_rate_hz = 0.0; ///< Required minimum input rate; 0 = none.
+
+  friend bool operator==(const BudgetAnnotation&,
+                         const BudgetAnnotation&) = default;
+};
+
+/// Knobs of the quantitative budget analysis (see budget.hpp). The
+/// defaults keep unannotated graphs trivially within budget, so the PPQ
+/// rules stay silent unless a config opts into rates/costs/SLOs.
+struct BudgetOptions {
+  /// Rate assumed for a source with neither a `budget rate=` annotation
+  /// nor a nominal_rate_hz() of its own.
+  double default_source_rate_hz = 1.0;
+  /// Samples one source emission event produces (burst size); scales the
+  /// static queue-depth bounds.
+  double burst = 1.0;
+  /// Queue-depth watermark the static bounds are checked against (PPQ002);
+  /// 0 = unchecked. Mirrors exec::ExecutionEngine::set_queue_watermark /
+  /// sanitize::SanitizerConfig::max_queue_depth.
+  std::size_t queue_watermark = 0;
+  /// End-to-end latency SLO in microseconds (PPQ003); 0 = none. Defaults
+  /// from obs::ObservabilityConfig::latency_slo_us by the config front end.
+  double latency_slo_us = 0.0;
+  /// Component -> quantitative annotation, stamped onto the model's nodes
+  /// by the verifier front end like hosts and lanes.
+  std::map<core::ComponentId, BudgetAnnotation> annotations;
+};
 
 /// Tuning knobs for one analyzer run.
 struct Options {
@@ -67,6 +110,10 @@ struct Options {
   /// PPV014: how many terminal consumers (hot sinks) one execution lane
   /// may serialize before lane starvation is reported.
   std::size_t max_sinks_per_lane = 4;
+
+  /// Quantitative budget knobs (rates, costs, watermark, SLO) for the
+  /// PPQ rule family and analyze_budget().
+  BudgetOptions budget;
 
   /// Rule ids to skip (suppressions), e.g. {"PPV005"}.
   std::vector<std::string> disabled_rules;
@@ -112,12 +159,19 @@ class RuleRegistry {
   /// Run every rule not disabled in `options` over `model`.
   Report run(const GraphModel& model, const Options& options) const;
 
-  /// The built-in catalog (PPV000..PPV015 + PPS001..PPS006), constructed
-  /// once.
+  /// The built-in catalog (PPV000..PPV015 + PPS001..PPS006 +
+  /// PPQ001..PPQ005), constructed once.
   static const RuleRegistry& default_catalog();
 
  private:
   std::vector<std::unique_ptr<Rule>> rules_;
 };
+
+/// A minimal triggering sketch for a rule id: a failing config fragment
+/// for the static PPV/PPQ rules, a runtime scenario for the PPS sanitizer
+/// rules. Empty view for unknown ids. Every id in the default catalog has
+/// one — the catalog-completeness test enforces it, and perpos-verify
+/// --explain prints it.
+std::string_view rule_sketch(std::string_view id) noexcept;
 
 }  // namespace perpos::verify

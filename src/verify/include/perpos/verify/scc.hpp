@@ -1,0 +1,43 @@
+#pragma once
+
+#include "perpos/verify/model.hpp"
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+/// \file scc.hpp
+/// Shared graph decompositions over a GraphModel, used by the temporal
+/// rules (PPV010/PPV011), the quantitative budget pass (budget.hpp), the
+/// incremental verifier and the capacity planner.
+///
+/// Both decompositions run over the combined edge + link digraph: a
+/// feedback loop closed over a deployment link is still a feedback loop
+/// for queue-growth purposes, even though the live (acyclic) graph never
+/// sees it as a cycle, and the Rule::local() contract is defined against
+/// weak connectivity over edges *and* links.
+
+namespace perpos::verify {
+
+/// Strongly connected components (iterative Tarjan). Components are
+/// emitted in reverse topological order of the condensation: a component
+/// is completed only after every component it reaches — so iterating
+/// `components` back to front visits producers before consumers.
+struct SccResult {
+  std::map<core::ComponentId, std::size_t> component_of;
+  std::vector<std::vector<core::ComponentId>> components;
+
+  /// Is the region a feedback region — >= 2 nodes, or a self edge/link?
+  bool cyclic(std::size_t index, const GraphModel& model) const;
+};
+
+SccResult strongly_connected(const GraphModel& model);
+
+/// The weakly-connected components of `model`, each as a sorted node-id
+/// vector (the incremental verifier's cache key and the planner's
+/// placement granularity — a weak component must stay on one lane or
+/// PPV009 rejects the cut edges).
+std::vector<std::vector<core::ComponentId>> weak_components(
+    const GraphModel& model);
+
+}  // namespace perpos::verify

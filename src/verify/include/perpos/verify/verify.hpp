@@ -46,6 +46,11 @@ struct ConfigVerification {
   GraphModel model;
   /// PPV000 config diagnostics + every graph rule finding.
   Report report;
+  /// The effective options the analysis ran with: caller options plus the
+  /// config's `host` / `lane` / `budget` declarations and defaults. Feed
+  /// them with `model` to analyze_budget() / plan_lanes() to reproduce the
+  /// quantitative pass (perpos-verify --budget, perpos-plan).
+  Options options;
 };
 
 /// Lint `text` without touching any caller-owned graph: components are

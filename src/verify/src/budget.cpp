@@ -1,0 +1,530 @@
+#include "perpos/verify/budget.hpp"
+
+#include "perpos/verify/scc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <set>
+
+namespace perpos::verify {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+/// Gains within this of 1.0 count as >= 1 (divergent): a marginally
+/// stable loop still grows its queues under any jitter.
+constexpr double kGainEpsilon = 1e-9;
+
+/// Per-kind service-cost calibration (microseconds per sample). Values
+/// are medians from the bench suite on the reference container; they are
+/// deliberately coarse — the analysis needs relative weights, and a
+/// config `budget cost_us=` annotation overrides any of them.
+struct KindCost {
+  std::string_view kind;
+  double cost_us;
+};
+constexpr KindCost kCalibration[] = {
+    {"GPS", 2.0},             // Scheduler tick + NMEA sentence formatting.
+    {"WiFi", 3.0},            // Scan snapshot + RSSI vector emission.
+    {"Parser", 4.0},          // Fragment reassembly + checksum.
+    {"Interpreter", 6.0},     // Sentence field decode + fix synthesis.
+    {"KalmanFilter", 12.0},   // Predict/update, small state.
+    {"ParticleFilter", 45.0}, // Resample dominates.
+    {"HmmSmoother", 20.0},    // Viterbi step over the room graph.
+    {"WifiPositioner", 15.0}, // Fingerprint match.
+    {"LocalToGeo", 3.0},      // Affine frame transform.
+    {"Resolver", 8.0},        // Containment lookup.
+    {"RemoteEgress", 10.0},   // Encode + enqueue on the transport.
+    {"RemoteIngress", 10.0},  // Decode + re-emit.
+    {"ReliableEgress", 14.0}, // Encode + retransmission bookkeeping.
+    {"ReliableIngress", 14.0},
+};
+constexpr double kDefaultTransformCost = 5.0;
+/// Sinks are keyed structurally (no capabilities), not by kind:
+/// ApplicationSink::kind() is the app name, not a stable kind string.
+constexpr double kSinkCost = 8.0;
+
+bool is_source(const NodeModel& n) { return n.requirements.empty(); }
+bool is_sink(const NodeModel& n) { return n.capabilities.empty(); }
+
+/// Effective annotation: stamped node fields first (prepare() copies
+/// Options.budget.annotations onto them, and from_graph seeds nominal
+/// source rates), with any explicitly-set fields of an Options map entry
+/// overriding — so hand-built models work without a prepare() pass.
+BudgetAnnotation effective_annotation(const NodeModel& n,
+                                      const Options& options) {
+  BudgetAnnotation a;
+  a.rate_lo_hz = n.rate_lo_hz;
+  a.rate_hi_hz = n.rate_hi_hz;
+  a.cost_us = n.cost_us;
+  a.min_rate_hz = n.min_rate_hz;
+  const auto it = options.budget.annotations.find(n.id);
+  if (it != options.budget.annotations.end()) {
+    const BudgetAnnotation& m = it->second;
+    if (m.rate_hi_hz > 0.0) {
+      a.rate_lo_hz = m.rate_lo_hz;
+      a.rate_hi_hz = m.rate_hi_hz;
+    }
+    if (m.cost_us >= 0.0) a.cost_us = m.cost_us;
+    if (m.min_rate_hz > 0.0) a.min_rate_hz = m.min_rate_hz;
+  }
+  return a;
+}
+
+/// Lane precedence mirrors rules.cpp lane_of: stamped field, then map.
+std::string lane_of(const NodeModel& n, const Options& options) {
+  if (!n.lane.empty()) return n.lane;
+  const auto it = options.lanes.find(n.id);
+  return it == options.lanes.end() ? std::string() : it->second;
+}
+
+/// Incoming producers of each node over edges + links (a link delivers
+/// the producer's stream to the ingress just like an edge would).
+std::map<core::ComponentId, std::vector<core::ComponentId>> incoming_of(
+    const GraphModel& model) {
+  std::map<core::ComponentId, std::vector<core::ComponentId>> in;
+  for (const NodeModel& n : model.nodes) in[n.id];
+  for (const EdgeModel& e : model.edges) {
+    if (in.contains(e.producer)) in[e.consumer].push_back(e.producer);
+  }
+  for (const LinkModel& l : model.links) {
+    if (in.contains(l.producer)) in[l.consumer].push_back(l.producer);
+  }
+  return in;
+}
+
+std::map<core::ComponentId, std::vector<core::ComponentId>> outgoing_of(
+    const GraphModel& model) {
+  std::map<core::ComponentId, std::vector<core::ComponentId>> out;
+  for (const NodeModel& n : model.nodes) out[n.id];
+  for (const EdgeModel& e : model.edges) {
+    if (out.contains(e.consumer)) out[e.producer].push_back(e.consumer);
+  }
+  for (const LinkModel& l : model.links) {
+    if (out.contains(l.consumer)) out[l.producer].push_back(l.consumer);
+  }
+  return out;
+}
+
+/// Gain product of an SCC and its geometric closure factor 1/(1-g):
+/// a feedback region re-circulates every injected sample with gain g, so
+/// total deliveries per injection form the series 1 + g + g^2 + ...
+double closure_factor(const GraphModel& model,
+                      const std::vector<core::ComponentId>& members) {
+  double gain = 1.0;
+  for (const core::ComponentId id : members) {
+    if (const NodeModel* n = model.node(id)) gain *= n->emit_per_input;
+  }
+  return gain < 1.0 - kGainEpsilon ? 1.0 / (1.0 - gain) : kInfinity;
+}
+
+std::string fmt_double(double v) {
+  if (std::isinf(v)) return "unbounded";
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6g", v);
+  return buffer;
+}
+
+/// JSON number or, for infinities, the string "unbounded" (JSON has no
+/// infinity literal).
+std::string json_number(double v) {
+  if (std::isinf(v)) return "\"unbounded\"";
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6g", v);
+  return buffer;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const NodeBudget* BudgetReport::node(core::ComponentId id) const noexcept {
+  for (const NodeBudget& n : nodes) {
+    if (n.id == id) return &n;
+  }
+  return nullptr;
+}
+
+const LaneBudget* BudgetReport::lane(std::string_view label) const noexcept {
+  for (const LaneBudget& l : lanes) {
+    if (l.lane == label) return &l;
+  }
+  return nullptr;
+}
+
+double calibrated_cost_us(std::string_view kind, bool sink) {
+  if (sink) return kSinkCost;
+  for (const KindCost& entry : kCalibration) {
+    if (entry.kind == kind) return entry.cost_us;
+  }
+  return kDefaultTransformCost;
+}
+
+BudgetReport analyze_budget(const GraphModel& model, const Options& options) {
+  BudgetReport report;
+  const auto incoming = incoming_of(model);
+  const auto outgoing = outgoing_of(model);
+  const SccResult scc = strongly_connected(model);
+
+  // --- Steady-state rate propagation over the SCC condensation ---------
+  // Components are emitted in reverse topological order, so walking the
+  // vector back to front visits producers before consumers: every
+  // upstream out_rate is final when a component is processed.
+  std::map<core::ComponentId, RateInterval> in_rate;
+  std::map<core::ComponentId, RateInterval> out_rate;
+  for (std::size_t i = scc.components.size(); i-- > 0;) {
+    const auto& members = scc.components[i];
+    const std::set<core::ComponentId> in_region(members.begin(),
+                                                members.end());
+    // External inflow: producers outside the region (already final).
+    std::map<core::ComponentId, RateInterval> external;
+    RateInterval region_inflow;
+    for (const core::ComponentId m : members) {
+      RateInterval ext;
+      for (const core::ComponentId p : incoming.at(m)) {
+        if (!in_region.contains(p)) ext += out_rate[p];
+      }
+      external[m] = ext;
+      region_inflow += ext;
+    }
+
+    if (!scc.cyclic(i, model)) {
+      const core::ComponentId m = members.front();
+      const NodeModel* n = model.node(m);
+      if (n == nullptr) continue;
+      const BudgetAnnotation a = effective_annotation(*n, options);
+      in_rate[m] = external[m];
+      if (a.rate_hi_hz > 0.0) {
+        out_rate[m] = RateInterval{a.rate_lo_hz, a.rate_hi_hz};
+      } else if (is_source(*n)) {
+        const double r = options.budget.default_source_rate_hz;
+        out_rate[m] = RateInterval{r, r};
+      } else {
+        out_rate[m] = external[m].scaled(n->emit_per_input);
+      }
+      continue;
+    }
+
+    // Feedback region: every injected sample re-circulates with the
+    // region's gain product, amplifying by the geometric factor (infinite
+    // when the gain reaches 1). Rates inside the region are bounded at
+    // region granularity — each member sees at most the amplified total
+    // inflow; a pinned rate still caps that member's own emissions.
+    const double factor = closure_factor(model, members);
+    for (const core::ComponentId m : members) {
+      const NodeModel* n = model.node(m);
+      if (n == nullptr) continue;
+      const BudgetAnnotation a = effective_annotation(*n, options);
+      RateInterval inject = region_inflow;
+      if (is_source(*n)) {
+        const double r = a.rate_hi_hz > 0.0
+                             ? a.rate_hi_hz
+                             : options.budget.default_source_rate_hz;
+        inject += RateInterval{r, r};
+      }
+      in_rate[m] = std::isinf(factor)
+                       ? RateInterval{inject.lo > 0.0 ? kInfinity : 0.0,
+                                      inject.hi > 0.0 ? kInfinity : 0.0}
+                       : inject.scaled(factor);
+      out_rate[m] = a.rate_hi_hz > 0.0
+                        ? RateInterval{a.rate_lo_hz, a.rate_hi_hz}
+                        : in_rate[m].scaled(n->emit_per_input);
+    }
+  }
+
+  // --- Per-node budgets ------------------------------------------------
+  for (const NodeModel& n : model.nodes) {
+    const BudgetAnnotation a = effective_annotation(n, options);
+    NodeBudget b;
+    b.id = n.id;
+    b.name = n.name;
+    b.lane = lane_of(n, options);
+    b.in_rate = in_rate[n.id];
+    b.out_rate = out_rate[n.id];
+    b.cost_calibrated = a.cost_us < 0.0;
+    b.cost_us = b.cost_calibrated
+                    ? calibrated_cost_us(n.kind, is_sink(n))
+                    : a.cost_us;
+    // Sources do their work emitting; everything else works per delivery.
+    const RateInterval work = is_source(n) ? b.out_rate : b.in_rate;
+    b.busy = work.scaled(b.cost_us * 1e-6);
+    report.nodes.push_back(std::move(b));
+  }
+
+  // --- Burst cascade queue bounds --------------------------------------
+  // Under the engine's drive() discipline lanes drain between scheduler
+  // events, so the worst queue depth is the largest cascade one source
+  // emission event can fan out into. Count deliveries per source, then
+  // take maxima per node, per lane and for the dispatch queue.
+  std::map<std::string, double> lane_bound;
+  for (const NodeModel& src : model.nodes) {
+    if (!is_source(src)) continue;
+    std::map<core::ComponentId, double> deliveries;
+    std::map<core::ComponentId, double> emissions;
+    for (std::size_t i = scc.components.size(); i-- > 0;) {
+      const auto& members = scc.components[i];
+      const std::set<core::ComponentId> in_region(members.begin(),
+                                                  members.end());
+      double inject = 0.0;
+      for (const core::ComponentId m : members) {
+        for (const core::ComponentId p : incoming.at(m)) {
+          if (!in_region.contains(p)) inject += emissions[p];
+        }
+      }
+      if (in_region.contains(src.id)) inject += options.budget.burst;
+
+      if (!scc.cyclic(i, model)) {
+        const core::ComponentId m = members.front();
+        const NodeModel* n = model.node(m);
+        if (n == nullptr) continue;
+        const double d = m == src.id ? 0.0 : inject;
+        deliveries[m] = d;
+        emissions[m] =
+            m == src.id ? options.budget.burst : d * n->emit_per_input;
+        continue;
+      }
+      const double factor = closure_factor(model, members);
+      const double amplified =
+          inject > 0.0 ? (std::isinf(factor) ? kInfinity : inject * factor)
+                       : 0.0;
+      for (const core::ComponentId m : members) {
+        const NodeModel* n = model.node(m);
+        if (n == nullptr) continue;
+        deliveries[m] = amplified;
+        emissions[m] = amplified * n->emit_per_input;
+      }
+    }
+
+    double total = 0.0;
+    std::map<std::string, double> per_lane;
+    for (const NodeModel& n : model.nodes) {
+      const double d = deliveries[n.id];
+      total += d;
+      const std::string lane = lane_of(n, options);
+      if (!lane.empty()) per_lane[lane] += d;
+      for (NodeBudget& b : report.nodes) {
+        if (b.id == n.id) {
+          b.deliveries_per_burst = std::max(b.deliveries_per_burst, d);
+          break;
+        }
+      }
+    }
+    report.dispatch_queue_bound = std::max(report.dispatch_queue_bound, total);
+    for (const auto& [lane, bound] : per_lane) {
+      lane_bound[lane] = std::max(lane_bound[lane], bound);
+    }
+  }
+
+  // --- Per-lane budgets -------------------------------------------------
+  std::map<std::string, LaneBudget> lanes;
+  for (const NodeBudget& b : report.nodes) {
+    if (b.lane.empty()) continue;
+    LaneBudget& l = lanes[b.lane];
+    l.lane = b.lane;
+    l.members.push_back(b.id);
+    l.utilization += b.busy;
+  }
+  for (auto& [label, l] : lanes) {
+    l.queue_bound = lane_bound[label];
+    report.lanes.push_back(std::move(l));
+  }
+
+  // --- Source -> sink path latencies ------------------------------------
+  // Per-node latency contribution: the service cost, amortized by the
+  // feedback closure factor when the node sits in a cyclic region (each
+  // sample effectively transits the region factor times).
+  std::map<core::ComponentId, double> latency_of;
+  for (const NodeBudget& b : report.nodes) {
+    double contribution = b.cost_us;
+    const auto it = scc.component_of.find(b.id);
+    if (it != scc.component_of.end() && scc.cyclic(it->second, model)) {
+      const double factor = closure_factor(model, scc.components[it->second]);
+      contribution = std::isinf(factor) ? kInfinity : contribution * factor;
+    }
+    latency_of[b.id] = contribution;
+  }
+  for (const NodeModel& src : model.nodes) {
+    if (!is_source(src)) continue;
+    std::vector<core::ComponentId> path{src.id};
+    std::set<core::ComponentId> on_path{src.id};
+    const std::function<void(core::ComponentId)> dfs =
+        [&](core::ComponentId at) {
+          if (report.paths.size() >= kMaxPaths) {
+            report.paths_truncated = true;
+            return;
+          }
+          const auto& next = outgoing.at(at);
+          bool terminal = true;
+          for (const core::ComponentId to : next) {
+            if (on_path.contains(to)) continue;  // Feedback: already costed.
+            terminal = false;
+            path.push_back(to);
+            on_path.insert(to);
+            dfs(to);
+            on_path.erase(to);
+            path.pop_back();
+          }
+          if (!terminal || path.size() < 2) return;
+          PathBudget p;
+          p.path = path;
+          double latency = 0.0;
+          for (const core::ComponentId id : path) {
+            const NodeModel* n = model.node(id);
+            if (!p.label.empty()) p.label += " -> ";
+            p.label += n != nullptr ? n->name : std::to_string(id);
+            latency += latency_of[id];
+          }
+          p.latency_us = latency;
+          report.paths.push_back(std::move(p));
+        };
+    dfs(src.id);
+  }
+
+  return report;
+}
+
+std::string budget_to_text(const BudgetReport& report) {
+  std::string out = "budget: " + std::to_string(report.nodes.size()) +
+                    " node(s), " + std::to_string(report.lanes.size()) +
+                    " lane(s), " + std::to_string(report.paths.size()) +
+                    " path(s)\n";
+  for (const NodeBudget& n : report.nodes) {
+    out += "  node " + n.name + ": in " + fmt_double(n.in_rate.lo) + ".." +
+           fmt_double(n.in_rate.hi) + " Hz, out " + fmt_double(n.out_rate.lo) +
+           ".." + fmt_double(n.out_rate.hi) + " Hz, cost " +
+           fmt_double(n.cost_us) + " us" +
+           (n.cost_calibrated ? " (calibrated)" : "") + ", busy " +
+           fmt_double(n.busy.lo) + ".." + fmt_double(n.busy.hi);
+    if (!n.lane.empty()) out += ", lane '" + n.lane + "'";
+    out += "\n";
+  }
+  for (const LaneBudget& l : report.lanes) {
+    out += "  lane '" + l.lane + "': utilization " +
+           fmt_double(l.utilization.lo) + ".." + fmt_double(l.utilization.hi) +
+           ", queue bound " + fmt_double(l.queue_bound) + ", " +
+           std::to_string(l.members.size()) + " member(s)\n";
+  }
+  out += "  dispatch queue bound: " + fmt_double(report.dispatch_queue_bound) +
+         "\n";
+  for (const PathBudget& p : report.paths) {
+    out += "  path " + p.label + ": latency " + fmt_double(p.latency_us) +
+           " us\n";
+  }
+  if (report.paths_truncated) {
+    out += "  (path enumeration truncated at " + std::to_string(kMaxPaths) +
+           " paths; latency coverage is partial)\n";
+  }
+  return out;
+}
+
+std::string budget_to_json(const BudgetReport& report) {
+  std::string out = "{\"nodes\":[";
+  for (std::size_t i = 0; i < report.nodes.size(); ++i) {
+    const NodeBudget& n = report.nodes[i];
+    if (i != 0) out += ",";
+    out += "{\"id\":" + std::to_string(n.id) + ",\"name\":\"" +
+           json_escape(n.name) + "\",\"lane\":\"" + json_escape(n.lane) +
+           "\",\"in_hz\":[" + json_number(n.in_rate.lo) + "," +
+           json_number(n.in_rate.hi) + "],\"out_hz\":[" +
+           json_number(n.out_rate.lo) + "," + json_number(n.out_rate.hi) +
+           "],\"cost_us\":" + json_number(n.cost_us) +
+           ",\"cost_calibrated\":" + (n.cost_calibrated ? "true" : "false") +
+           ",\"busy\":[" + json_number(n.busy.lo) + "," +
+           json_number(n.busy.hi) + "],\"deliveries_per_burst\":" +
+           json_number(n.deliveries_per_burst) + "}";
+  }
+  out += "],\"lanes\":[";
+  for (std::size_t i = 0; i < report.lanes.size(); ++i) {
+    const LaneBudget& l = report.lanes[i];
+    if (i != 0) out += ",";
+    out += "{\"lane\":\"" + json_escape(l.lane) + "\",\"utilization\":[" +
+           json_number(l.utilization.lo) + "," +
+           json_number(l.utilization.hi) +
+           "],\"queue_bound\":" + json_number(l.queue_bound) +
+           ",\"members\":" + std::to_string(l.members.size()) + "}";
+  }
+  out += "],\"paths\":[";
+  for (std::size_t i = 0; i < report.paths.size(); ++i) {
+    const PathBudget& p = report.paths[i];
+    if (i != 0) out += ",";
+    out += "{\"path\":\"" + json_escape(p.label) +
+           "\",\"latency_us\":" + json_number(p.latency_us) + "}";
+  }
+  out += "],\"dispatch_queue_bound\":" +
+         json_number(report.dispatch_queue_bound) + ",\"paths_truncated\":" +
+         (report.paths_truncated ? "true" : "false") + "}";
+  return out;
+}
+
+LanePlan plan_lanes(const GraphModel& model, const Options& options,
+                    std::size_t lane_count) {
+  if (lane_count == 0) lane_count = 1;
+  const BudgetReport report = analyze_budget(model, options);
+
+  LanePlan plan;
+  for (const LaneBudget& l : report.lanes) {
+    plan.max_utilization_before =
+        std::max(plan.max_utilization_before, l.utilization.hi);
+  }
+
+  // Longest-processing-time bin packing: heaviest weak component first,
+  // each onto the currently lightest lane.
+  struct Item {
+    double weight = 0.0;
+    const std::vector<core::ComponentId>* members = nullptr;
+  };
+  const auto components = weak_components(model);
+  std::vector<Item> items;
+  items.reserve(components.size());
+  for (const auto& members : components) {
+    Item item;
+    item.members = &members;
+    for (const core::ComponentId id : members) {
+      if (const NodeBudget* b = report.node(id)) item.weight += b->busy.hi;
+    }
+    items.push_back(item);
+  }
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) {
+                     if (a.weight != b.weight) return a.weight > b.weight;
+                     return a.members->front() < b.members->front();
+                   });
+
+  std::vector<double> load(lane_count, 0.0);
+  for (const Item& item : items) {
+    const std::size_t lightest = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    load[lightest] += item.weight;
+    const std::string label = "lane" + std::to_string(lightest);
+    for (const core::ComponentId id : *item.members) {
+      plan.lanes[id] = label;
+    }
+  }
+  plan.max_utilization_after = *std::max_element(load.begin(), load.end());
+  return plan;
+}
+
+}  // namespace perpos::verify

@@ -1,5 +1,7 @@
 #include "perpos/verify/emit.hpp"
 
+#include "perpos/verify/budget.hpp"
+
 #include <sstream>
 
 namespace perpos::verify {
@@ -53,7 +55,7 @@ std::string to_text(const Report& report) {
   return out.str();
 }
 
-std::string to_json(const Report& report) {
+std::string to_json(const Report& report, const BudgetReport* budget) {
   std::ostringstream out;
   out << "{\"diagnostics\":[";
   bool first = true;
@@ -80,12 +82,15 @@ std::string to_json(const Report& report) {
   }
   out << "],\"summary\":{\"errors\":" << report.errors()
       << ",\"warnings\":" << report.warnings()
-      << ",\"notes\":" << report.notes() << "}}";
+      << ",\"notes\":" << report.notes() << "}";
+  if (budget != nullptr) out << ",\"budget\":" << budget_to_json(*budget);
+  out << "}";
   return out.str();
 }
 
 std::string to_sarif(const Report& report, const RuleRegistry& registry,
-                     const std::string& artifact_uri) {
+                     const std::string& artifact_uri,
+                     const BudgetReport* budget) {
   std::ostringstream out;
   out << "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/"
          "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\","
@@ -132,7 +137,11 @@ std::string to_sarif(const Report& report, const RuleRegistry& registry,
                                                 : d.component_name)
         << "\",\"kind\":\"member\"}]}]}";
   }
-  out << "]}]}";
+  out << "]";
+  if (budget != nullptr) {
+    out << ",\"properties\":{\"budget\":" << budget_to_json(*budget) << "}";
+  }
+  out << "}]}";
   return out.str();
 }
 

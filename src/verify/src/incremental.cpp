@@ -1,6 +1,7 @@
 #include "perpos/verify/incremental.hpp"
 
 #include "perpos/runtime/payload_codec.hpp"
+#include "perpos/verify/scc.hpp"
 
 #include <algorithm>
 
@@ -8,51 +9,9 @@ namespace perpos::verify {
 
 namespace {
 
-/// Union-find over component ids (the weak-component partition the
-/// Rule::local() contract is defined against).
-class UnionFind {
- public:
-  void ensure(core::ComponentId id) { parent_.try_emplace(id, id); }
-
-  core::ComponentId find(core::ComponentId id) {
-    core::ComponentId root = id;
-    while (parent_[root] != root) root = parent_[root];
-    while (parent_[id] != root) {
-      core::ComponentId next = parent_[id];
-      parent_[id] = root;
-      id = next;
-    }
-    return root;
-  }
-
-  void unite(core::ComponentId a, core::ComponentId b) {
-    ensure(a);
-    ensure(b);
-    parent_[find(a)] = find(b);
-  }
-
- private:
-  std::map<core::ComponentId, core::ComponentId> parent_;
-};
-
-/// The weak components of `model`, over edges and deployment links, each
-/// as a sorted node-id vector (the cache key).
-std::vector<std::vector<core::ComponentId>> weak_components(
-    const GraphModel& model) {
-  UnionFind uf;
-  for (const NodeModel& n : model.nodes) uf.ensure(n.id);
-  for (const EdgeModel& e : model.edges) uf.unite(e.producer, e.consumer);
-  for (const LinkModel& l : model.links) uf.unite(l.producer, l.consumer);
-  std::map<core::ComponentId, std::vector<core::ComponentId>> grouped;
-  for (const NodeModel& n : model.nodes) grouped[uf.find(n.id)].push_back(n.id);
-  std::vector<std::vector<core::ComponentId>> out;
-  out.reserve(grouped.size());
-  for (auto& [root, members] : grouped) {
-    std::sort(members.begin(), members.end());
-    out.push_back(std::move(members));
-  }
-  return out;
-}
+// weak_components (the partition the Rule::local() contract and the cache
+// key are defined against) lives in scc.hpp, shared with the budget pass
+// and the capacity planner.
 
 /// The restriction of `model` to one weak component: its nodes, and the
 /// edges/links with both endpoints inside. By the local() contract this
@@ -110,6 +69,16 @@ void IncrementalVerifier::invalidate_all() {
   all_dirty_ = true;
 }
 
+void IncrementalVerifier::annotate_budget(core::ComponentId id,
+                                          const BudgetAnnotation& annotation) {
+  options_.budget.annotations[id] = annotation;
+  // Only the component's own weak component needs local re-analysis: an
+  // annotation changes node content, not membership, so every other cache
+  // entry stays exact. The non-local lane/queue rules (PPQ001/PPQ002)
+  // re-run on the full model each recheck() regardless.
+  dirty_.insert(id);
+}
+
 void IncrementalVerifier::set_options(Options options) {
   options_ = std::move(options);
   if (!options_.encodable) {
@@ -130,6 +99,16 @@ Report IncrementalVerifier::analyze(bool everything_dirty) {
   }
   for (const auto& [id, lane] : options_.lanes) {
     if (NodeModel* n = model.node(id)) n->lane = lane;
+  }
+  for (const auto& [id, budget] : options_.budget.annotations) {
+    NodeModel* n = model.node(id);
+    if (n == nullptr) continue;
+    if (budget.rate_hi_hz > 0.0) {
+      n->rate_lo_hz = budget.rate_lo_hz;
+      n->rate_hi_hz = budget.rate_hi_hz;
+    }
+    if (budget.cost_us >= 0.0) n->cost_us = budget.cost_us;
+    if (budget.min_rate_hz > 0.0) n->min_rate_hz = budget.min_rate_hz;
   }
 
   const RuleRegistry& catalog = RuleRegistry::default_catalog();

@@ -60,6 +60,9 @@ GraphModel GraphModel::from_graph(const core::ProcessingGraph& graph) {
     n.capabilities = info.capabilities;  // Declared + feature-added.
     n.is_merge = component.is_channel_endpoint();
     n.emit_per_input = component.emit_multiplicity();
+    if (const double rate = component.nominal_rate_hz(); rate > 0.0) {
+      n.rate_lo_hz = n.rate_hi_hz = rate;
+    }
     if (const auto* framed = dynamic_cast<const core::FrameAware*>(&component)) {
       n.input_frame = framed->input_frame();
       n.output_frame = framed->output_frame();

@@ -1,6 +1,10 @@
 #include "perpos/verify/rules.hpp"
 
+#include "perpos/verify/budget.hpp"
+#include "perpos/verify/scc.hpp"
+
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <set>
@@ -563,96 +567,8 @@ std::string_view lane_of(const NodeModel& n, const Options& options) {
                                    : std::string_view(it->second);
 }
 
-/// Strongly connected components of the combined edge + link digraph
-/// (iterative Tarjan). Links participate: a feedback loop closed over a
-/// deployment link is still a feedback loop for queue-growth purposes,
-/// even though the live (acyclic) graph never sees it as a cycle.
-struct SccResult {
-  std::map<core::ComponentId, std::size_t> component_of;
-  std::vector<std::vector<core::ComponentId>> components;
-
-  /// Is the region a feedback region — >= 2 nodes, or a self edge/link?
-  bool cyclic(std::size_t index, const GraphModel& model) const {
-    const auto& comp = components[index];
-    if (comp.size() >= 2) return true;
-    const core::ComponentId id = comp.front();
-    for (const EdgeModel& e : model.edges) {
-      if (e.producer == id && e.consumer == id) return true;
-    }
-    for (const LinkModel& l : model.links) {
-      if (l.producer == id && l.consumer == id) return true;
-    }
-    return false;
-  }
-};
-
-SccResult strongly_connected(const GraphModel& model) {
-  SccResult out;
-  std::map<core::ComponentId, std::vector<core::ComponentId>> next;
-  for (const NodeModel& n : model.nodes) next[n.id];
-  for (const EdgeModel& e : model.edges) {
-    if (next.contains(e.producer) && next.contains(e.consumer)) {
-      next[e.producer].push_back(e.consumer);
-    }
-  }
-  for (const LinkModel& l : model.links) {
-    if (next.contains(l.producer) && next.contains(l.consumer)) {
-      next[l.producer].push_back(l.consumer);
-    }
-  }
-
-  std::map<core::ComponentId, std::size_t> index;
-  std::map<core::ComponentId, std::size_t> low;
-  std::set<core::ComponentId> on_stack;
-  std::vector<core::ComponentId> stack;
-  std::size_t counter = 0;
-  struct Frame {
-    core::ComponentId id;
-    std::size_t child;
-  };
-  for (const NodeModel& root : model.nodes) {
-    if (index.contains(root.id)) continue;
-    std::vector<Frame> frames{{root.id, 0}};
-    index[root.id] = low[root.id] = counter++;
-    stack.push_back(root.id);
-    on_stack.insert(root.id);
-    while (!frames.empty()) {
-      Frame& f = frames.back();
-      const auto& successors = next[f.id];
-      if (f.child < successors.size()) {
-        const core::ComponentId w = successors[f.child++];
-        if (!index.contains(w)) {
-          index[w] = low[w] = counter++;
-          stack.push_back(w);
-          on_stack.insert(w);
-          frames.push_back(Frame{w, 0});
-        } else if (on_stack.contains(w)) {
-          low[f.id] = std::min(low[f.id], index[w]);
-        }
-      } else {
-        if (low[f.id] == index[f.id]) {
-          std::vector<core::ComponentId> comp;
-          core::ComponentId w = core::kInvalidComponent;
-          do {
-            w = stack.back();
-            stack.pop_back();
-            on_stack.erase(w);
-            out.component_of[w] = out.components.size();
-            comp.push_back(w);
-          } while (w != f.id);
-          std::sort(comp.begin(), comp.end());
-          out.components.push_back(std::move(comp));
-        }
-        const core::ComponentId done = f.id;
-        frames.pop_back();
-        if (!frames.empty()) {
-          low[frames.back().id] = std::min(low[frames.back().id], low[done]);
-        }
-      }
-    }
-  }
-  return out;
-}
+// SccResult / strongly_connected moved to scc.hpp — the budget pass, the
+// incremental verifier and the planner share the same decompositions.
 
 /// "x2.5" style multiplication factor for messages.
 std::string fmt_factor(double factor) {
@@ -1080,6 +996,276 @@ class HookOrderViolationRule final : public Rule {
   }
 };
 
+// --- PPQ001..PPQ005 --------------------------------------------------------
+//
+// Quantitative budget rules: findings derived from the interval-valued
+// rate/cost interpretation in budget.hpp. Each rule runs its own
+// analyze_budget() pass — the analysis is linear in the graph and rules
+// must stay independently executable under suppression and incremental
+// replay. All five are silent on unannotated graphs: default rates and
+// calibrated costs keep utilization around 1e-6 cores, and the watermark /
+// SLO / min-rate gates default to "unset".
+
+/// Effective min-rate annotation with the same precedence as budget.cpp:
+/// an explicitly-set Options map entry wins over the stamped node field.
+double min_rate_of(const NodeModel& n, const Options& options) {
+  const auto it = options.budget.annotations.find(n.id);
+  if (it != options.budget.annotations.end() && it->second.min_rate_hz > 0.0) {
+    return it->second.min_rate_hz;
+  }
+  return n.min_rate_hz;
+}
+
+/// The lane member with the largest hi-side busy fraction — the natural
+/// anchor for a lane-level finding.
+const NodeModel* hottest_member(const GraphModel& model,
+                                const BudgetReport& budget,
+                                const LaneBudget& lane) {
+  const NodeModel* hottest = nullptr;
+  double worst = -1.0;
+  for (const core::ComponentId id : lane.members) {
+    const NodeBudget* b = budget.node(id);
+    const NodeModel* n = model.node(id);
+    if (b == nullptr || n == nullptr) continue;
+    if (b->busy.hi > worst) {
+      worst = b->busy.hi;
+      hottest = n;
+    }
+  }
+  return hottest;
+}
+
+class LaneOverloadRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "PPQ001"; }
+  std::string_view name() const noexcept override { return "lane-overload"; }
+  std::string_view description() const noexcept override {
+    return "an execution lane whose steady-state utilization exceeds one "
+           "core";
+  }
+  Severity default_severity() const noexcept override {
+    return Severity::kError;
+  }
+  // Lane totals sum busy fractions across weak components sharing a label.
+  bool local() const noexcept override { return false; }
+
+  void check(const GraphModel& model, const Options& options,
+             Report& report) const override {
+    const BudgetReport budget = analyze_budget(model, options);
+    for (const LaneBudget& l : budget.lanes) {
+      if (l.utilization.hi <= 1.0 + 1e-9) continue;
+      const NodeModel* anchor = hottest_member(model, budget, l);
+      if (anchor == nullptr) continue;
+      // Definite overload (even the optimistic end exceeds a core) is an
+      // error; overload only at the pessimistic end is a warning.
+      const bool definite = l.utilization.lo > 1.0 + 1e-9;
+      report.diagnostics.push_back(at_node(
+          std::string(id()), definite ? Severity::kError : Severity::kWarning,
+          *anchor,
+          "execution lane '" + l.lane + "' needs " +
+              fmt_factor(l.utilization.lo) + ".." +
+              fmt_factor(l.utilization.hi) +
+              " cores in steady state (one worker per lane); its queues "
+              "grow until samples are stale or dropped",
+          "split the lane's components across lanes (perpos-plan proposes "
+          "a placement), decimate upstream, or lower annotated rates"));
+    }
+  }
+};
+
+class QueueBoundExceededRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "PPQ002"; }
+  std::string_view name() const noexcept override {
+    return "queue-bound-exceeded";
+  }
+  std::string_view description() const noexcept override {
+    return "a static worst-case queue-depth bound above the configured "
+           "watermark";
+  }
+  Severity default_severity() const noexcept override {
+    return Severity::kWarning;
+  }
+  // Lane queue bounds aggregate deliveries across weak components.
+  bool local() const noexcept override { return false; }
+
+  void check(const GraphModel& model, const Options& options,
+             Report& report) const override {
+    const std::size_t watermark = options.budget.queue_watermark;
+    if (watermark == 0) return;
+    const BudgetReport budget = analyze_budget(model, options);
+    for (const LaneBudget& l : budget.lanes) {
+      if (l.queue_bound <= static_cast<double>(watermark)) continue;
+      const NodeModel* anchor = hottest_member(model, budget, l);
+      if (anchor == nullptr) continue;
+      report.diagnostics.push_back(at_node(
+          std::string(id()), Severity::kWarning, *anchor,
+          "one source burst can queue " + fmt_factor(l.queue_bound) +
+              " sample(s) on execution lane '" + l.lane +
+              "', above the configured watermark of " +
+              std::to_string(watermark) +
+              "; the runtime sanitizer would report PPS005",
+          "raise the watermark, reduce the burst, or decimate the cascade "
+          "feeding the lane"));
+    }
+    if (budget.dispatch_queue_bound > static_cast<double>(watermark)) {
+      // Anchor on the first source: the dispatch queue is per-graph, and
+      // the bound is driven by whichever source cascades widest.
+      for (const NodeModel& n : model.nodes) {
+        if (!n.requirements.empty()) continue;
+        report.diagnostics.push_back(at_node(
+            std::string(id()), Severity::kWarning, n,
+            "one source burst can cascade into " +
+                fmt_factor(budget.dispatch_queue_bound) +
+                " deliveries on the dispatch work queue, above the "
+                "configured watermark of " +
+                std::to_string(watermark),
+            "raise the watermark or narrow the fan-out of the cascade"));
+        break;
+      }
+    }
+  }
+};
+
+class LatencySloInfeasibleRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "PPQ003"; }
+  std::string_view name() const noexcept override {
+    return "latency-slo-infeasible";
+  }
+  std::string_view description() const noexcept override {
+    return "a source-to-sink path whose best-case service latency already "
+           "exceeds the latency SLO";
+  }
+  Severity default_severity() const noexcept override {
+    return Severity::kError;
+  }
+  // Paths never leave a weak component, so findings stay local.
+
+  void check(const GraphModel& model, const Options& options,
+             Report& report) const override {
+    const double slo = options.budget.latency_slo_us;
+    if (slo <= 0.0) return;
+    const BudgetReport budget = analyze_budget(model, options);
+    for (const PathBudget& p : budget.paths) {
+      if (p.latency_us <= slo) continue;
+      const NodeModel* sink = model.node(p.path.back());
+      if (sink == nullptr) continue;
+      const std::string latency = std::isinf(p.latency_us)
+                                      ? "unbounded"
+                                      : fmt_factor(p.latency_us) + " us";
+      report.diagnostics.push_back(at_node(
+          std::string(id()), Severity::kError, *sink,
+          "path " + p.label + " has a best-case service latency of " +
+              latency + ", above the " + fmt_factor(slo) +
+              " us SLO — queueing only adds to it, so the SLO is "
+              "infeasible, not merely at risk",
+          "shorten the path, lower per-stage costs, or relax the SLO"));
+    }
+  }
+};
+
+class RateStarvedSinkRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "PPQ004"; }
+  std::string_view name() const noexcept override {
+    return "rate-starved-sink";
+  }
+  std::string_view description() const noexcept override {
+    return "a consumer whose required minimum input rate no upstream rate "
+           "can reach";
+  }
+  Severity default_severity() const noexcept override {
+    return Severity::kWarning;
+  }
+
+  void check(const GraphModel& model, const Options& options,
+             Report& report) const override {
+    bool analyzed = false;
+    BudgetReport budget;
+    for (const NodeModel& n : model.nodes) {
+      const double required = min_rate_of(n, options);
+      if (required <= 0.0) continue;
+      if (!analyzed) {
+        budget = analyze_budget(model, options);
+        analyzed = true;
+      }
+      const NodeBudget* b = budget.node(n.id);
+      if (b == nullptr || b->in_rate.hi >= required) continue;
+      report.diagnostics.push_back(at_node(
+          std::string(id()), Severity::kWarning, n,
+          "component " + model.label(n.id) + " requires >= " +
+              fmt_factor(required) + " Hz of input but at most " +
+              fmt_factor(b->in_rate.hi) +
+              " Hz can ever reach it given upstream rates and decimation",
+          "raise the source rate, remove upstream decimation, or lower "
+          "the min_rate_hz annotation"));
+    }
+  }
+};
+
+class UnboundedFeedbackQueueRule final : public Rule {
+ public:
+  std::string_view id() const noexcept override { return "PPQ005"; }
+  std::string_view name() const noexcept override {
+    return "unbounded-feedback-queue";
+  }
+  std::string_view description() const noexcept override {
+    return "a feedback region with emit gain >= 1 feeding a bounded "
+           "execution lane or queue watermark";
+  }
+  Severity default_severity() const noexcept override {
+    return Severity::kError;
+  }
+
+  void check(const GraphModel& model, const Options& options,
+             Report& report) const override {
+    // PPV010 owns link-closed loops with gain strictly > 1 on any graph;
+    // this rule covers the quantitative boundary case — gain >= 1
+    // (including exactly 1, which any jitter tips into growth) — but only
+    // where a finite capacity promise exists to break: a member assigned
+    // to an execution lane, or a configured queue watermark.
+    const SccResult scc = strongly_connected(model);
+    for (std::size_t i = 0; i < scc.components.size(); ++i) {
+      if (!scc.cyclic(i, model)) continue;
+      const auto& comp = scc.components[i];
+      double gain = 1.0;
+      const NodeModel* amplifier = nullptr;
+      std::string region;
+      std::string bounded_lane;
+      for (const core::ComponentId id : comp) {
+        const NodeModel* n = model.node(id);
+        if (n == nullptr) continue;
+        gain *= n->emit_per_input;
+        if (amplifier == nullptr ||
+            n->emit_per_input > amplifier->emit_per_input) {
+          amplifier = n;
+        }
+        if (bounded_lane.empty()) bounded_lane = std::string(lane_of(*n, options));
+        if (!region.empty()) region += " -> ";
+        region += n->name;
+      }
+      if (amplifier == nullptr || gain < 1.0 - 1e-9) continue;
+      const bool bounded =
+          !bounded_lane.empty() || options.budget.queue_watermark > 0;
+      if (!bounded) continue;
+      const std::string capacity =
+          !bounded_lane.empty()
+              ? "execution lane '" + bounded_lane + "'"
+              : "a queue watermark of " +
+                    std::to_string(options.budget.queue_watermark);
+      report.diagnostics.push_back(at_node(
+          std::string(id()), Severity::kError, *amplifier,
+          "feedback region " + region + " re-circulates with emit gain x" +
+              fmt_factor(gain) + " (>= 1) and feeds " + capacity +
+              "; no finite queue can hold it — even gain exactly 1 grows "
+              "under jitter",
+          "decimate a loop stage below gain 1, or break the feedback "
+          "path"));
+    }
+  }
+};
+
 // --- PPS001..PPS006 --------------------------------------------------------
 //
 // Runtime sanitizer rules. Like PPV000 these never produce findings from
@@ -1225,9 +1411,133 @@ const RuleRegistry& RuleRegistry::default_catalog() {
         "in flight, outside a reconfiguration quiesce window (runtime "
         "sanitizer)",
         Severity::kError));
+    r->add(std::make_unique<LaneOverloadRule>());
+    r->add(std::make_unique<QueueBoundExceededRule>());
+    r->add(std::make_unique<LatencySloInfeasibleRule>());
+    r->add(std::make_unique<RateStarvedSinkRule>());
+    r->add(std::make_unique<UnboundedFeedbackQueueRule>());
     return r;
   }();
   return *registry;
+}
+
+namespace {
+
+/// Minimal triggering sketches, one per catalog id (the completeness test
+/// iterates the catalog against this table). Failing config fragments for
+/// the static PPV/PPQ rules, runtime scenarios for the PPS sanitizer
+/// rules. Component kinds reference the standard perpos-verify registry.
+struct ExplainSketch {
+  const char* id;
+  const char* sketch;
+};
+
+constexpr ExplainSketch kSketches[] = {
+    {"PPV000",
+     "  component gps gps-sensor extra-token-the-factory-rejects\n"
+     "  # any line the parser or a factory rejects raises PPV000"},
+    {"PPV001",
+     "  component app application App PositionFix\n"
+     "  # nothing produces PositionFix and nothing is connected to app"},
+    {"PPV002",
+     "  component gps gps-sensor\n"
+     "  component parser nmea-parser\n"
+     "  component app application App any   # wildcard input\n"
+     "  connect gps app\n"
+     "  connect parser app   # two producers match 'any': order-dependent"},
+    {"PPV003",
+     "  component gps gps-sensor\n"
+     "  component app application App RawFragment\n"
+     "  connect gps app   # gps's NMEA capability has no consumer"},
+    {"PPV004",
+     "  component parser nmea-parser\n"
+     "  component interp nmea-interpreter\n"
+     "  connect parser interp   # subgraph has no source feeding it"},
+    {"PPV005",
+     "  component kf kalman-filter\n"
+     "  # a merge-style consumer with a single producer (or an\n"
+     "  # implausibly wide fan-in) trips the arity heuristic"},
+    {"PPV006",
+     "  connect a b\n"
+     "  connect b a   # directed cycle in the reified process"},
+    {"PPV007",
+     "  # producer declares output_frame()=\"siteB\" while its consumer\n"
+     "  # declares input_frame()=\"siteA\"; the edge mixes frames"},
+    {"PPV008",
+     "  host alpha gps\n"
+     "  host beta app\n"
+     "  connect gps app   # cut edge carries a type with no wire codec"},
+    {"PPV009",
+     "  lane fast gps\n"
+     "  lane slow app\n"
+     "  connect gps app   # edge crosses execution lanes"},
+    {"PPV010",
+     "  # every component in a feedback region emits >1 sample per input;\n"
+     "  # the loop's amplification product exceeds 1x and diverges"},
+    {"PPV011",
+     "  # a component feature's consume()/produce() hook calls emit(),\n"
+     "  # which re-enters the hook chain on the same dispatch"},
+    {"PPV012",
+     "  # a merge consumer's input arrives via a path that reorders\n"
+     "  # samples, so per-producer logical time is not monotonic"},
+    {"PPV013",
+     "  # reliable (acked) links between hosts form a cycle, so every\n"
+     "  # host can end up waiting on a peer's ack"},
+    {"PPV014",
+     "  lane main gps wifi app1 app2 app3\n"
+     "  # one lane serializes several hot sinks; N-1 of them starve"},
+    {"PPV015",
+     "  # a component feature lists a dependency that is not attached,\n"
+     "  # or attached after it, so hooks run out of order"},
+    {"PPS001",
+     "  runtime: engine.bind_thread(lane) then graph driven from another\n"
+     "  thread (e.g. a direct source->push off-lane)"},
+    {"PPS002",
+     "  runtime: a producer re-emits an older timestamp / sequence on a\n"
+     "  channel (clock stepped back, replayed sample)"},
+    {"PPS003",
+     "  runtime: a pooled provenance buffer's release() called twice\n"
+     "  (double free of a recycled Sample)"},
+    {"PPS004",
+     "  runtime: one external emission cascades through emit() chains\n"
+     "  past the configured delivery-depth bound"},
+    {"PPS005",
+     "  runtime: a dispatch or lane queue exceeds its depth watermark\n"
+     "  (producer outruns the drain)"},
+    {"PPS006",
+     "  runtime: graph.remove()/connect()/replace() while the execution\n"
+     "  lane still has tasks in flight, outside a LiveReconfigurator\n"
+     "  quiesce window (fence first, or use reconfig::LiveReconfigurator)"},
+    {"PPQ001",
+     "  component gps gps-sensor\n"
+     "  component kf kalman-filter\n"
+     "  connect gps kf\n"
+     "  lane main gps kf\n"
+     "  budget gps rate=2000\n"
+     "  budget kf cost_us=1500   # 2 kHz x 1.5 ms = 3 cores on one lane"},
+    {"PPQ002",
+     "  budget * watermark=16 burst=8\n"
+     "  # an 8-sample burst fanning out past 16 deliveries on one lane\n"
+     "  # exceeds the declared queue watermark"},
+    {"PPQ003",
+     "  budget * slo_us=50\n"
+     "  budget kf cost_us=1500\n"
+     "  # the best-case path latency through kf already exceeds the SLO"},
+    {"PPQ004",
+     "  budget app min_rate=10\n"
+     "  # upstream rates and decimation cap app's input below 10 Hz"},
+    {"PPQ005",
+     "  # a feedback region whose emit-gain product is >= 1 feeds a\n"
+     "  # bounded execution lane; no finite queue watermark can hold it"},
+};
+
+}  // namespace
+
+std::string_view rule_sketch(std::string_view id) noexcept {
+  for (const ExplainSketch& entry : kSketches) {
+    if (id == entry.id) return entry.sketch;
+  }
+  return {};
 }
 
 }  // namespace perpos::verify

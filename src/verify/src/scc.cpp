@@ -1,0 +1,136 @@
+#include "perpos/verify/scc.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace perpos::verify {
+
+bool SccResult::cyclic(std::size_t index, const GraphModel& model) const {
+  const auto& comp = components[index];
+  if (comp.size() >= 2) return true;
+  const core::ComponentId id = comp.front();
+  for (const EdgeModel& e : model.edges) {
+    if (e.producer == id && e.consumer == id) return true;
+  }
+  for (const LinkModel& l : model.links) {
+    if (l.producer == id && l.consumer == id) return true;
+  }
+  return false;
+}
+
+SccResult strongly_connected(const GraphModel& model) {
+  SccResult out;
+  std::map<core::ComponentId, std::vector<core::ComponentId>> next;
+  for (const NodeModel& n : model.nodes) next[n.id];
+  for (const EdgeModel& e : model.edges) {
+    if (next.contains(e.producer) && next.contains(e.consumer)) {
+      next[e.producer].push_back(e.consumer);
+    }
+  }
+  for (const LinkModel& l : model.links) {
+    if (next.contains(l.producer) && next.contains(l.consumer)) {
+      next[l.producer].push_back(l.consumer);
+    }
+  }
+
+  std::map<core::ComponentId, std::size_t> index;
+  std::map<core::ComponentId, std::size_t> low;
+  std::set<core::ComponentId> on_stack;
+  std::vector<core::ComponentId> stack;
+  std::size_t counter = 0;
+  struct Frame {
+    core::ComponentId id;
+    std::size_t child;
+  };
+  for (const NodeModel& root : model.nodes) {
+    if (index.contains(root.id)) continue;
+    std::vector<Frame> frames{{root.id, 0}};
+    index[root.id] = low[root.id] = counter++;
+    stack.push_back(root.id);
+    on_stack.insert(root.id);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& successors = next[f.id];
+      if (f.child < successors.size()) {
+        const core::ComponentId w = successors[f.child++];
+        if (!index.contains(w)) {
+          index[w] = low[w] = counter++;
+          stack.push_back(w);
+          on_stack.insert(w);
+          frames.push_back(Frame{w, 0});
+        } else if (on_stack.contains(w)) {
+          low[f.id] = std::min(low[f.id], index[w]);
+        }
+      } else {
+        if (low[f.id] == index[f.id]) {
+          std::vector<core::ComponentId> comp;
+          core::ComponentId w = core::kInvalidComponent;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack.erase(w);
+            out.component_of[w] = out.components.size();
+            comp.push_back(w);
+          } while (w != f.id);
+          std::sort(comp.begin(), comp.end());
+          out.components.push_back(std::move(comp));
+        }
+        const core::ComponentId done = f.id;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().id] = std::min(low[frames.back().id], low[done]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Union-find over component ids.
+class UnionFind {
+ public:
+  void ensure(core::ComponentId id) { parent_.try_emplace(id, id); }
+
+  core::ComponentId find(core::ComponentId id) {
+    core::ComponentId root = id;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[id] != root) {
+      core::ComponentId next = parent_[id];
+      parent_[id] = root;
+      id = next;
+    }
+    return root;
+  }
+
+  void unite(core::ComponentId a, core::ComponentId b) {
+    ensure(a);
+    ensure(b);
+    parent_[find(a)] = find(b);
+  }
+
+ private:
+  std::map<core::ComponentId, core::ComponentId> parent_;
+};
+
+}  // namespace
+
+std::vector<std::vector<core::ComponentId>> weak_components(
+    const GraphModel& model) {
+  UnionFind uf;
+  for (const NodeModel& n : model.nodes) uf.ensure(n.id);
+  for (const EdgeModel& e : model.edges) uf.unite(e.producer, e.consumer);
+  for (const LinkModel& l : model.links) uf.unite(l.producer, l.consumer);
+  std::map<core::ComponentId, std::vector<core::ComponentId>> grouped;
+  for (const NodeModel& n : model.nodes) grouped[uf.find(n.id)].push_back(n.id);
+  std::vector<std::vector<core::ComponentId>> out;
+  out.reserve(grouped.size());
+  for (auto& [root, members] : grouped) {
+    std::sort(members.begin(), members.end());
+    out.push_back(std::move(members));
+  }
+  return out;
+}
+
+}  // namespace perpos::verify

@@ -22,6 +22,16 @@ void prepare(GraphModel& model, Options& options) {
   for (const auto& [id, lane] : options.lanes) {
     if (NodeModel* n = model.node(id)) n->lane = lane;
   }
+  for (const auto& [id, budget] : options.budget.annotations) {
+    NodeModel* n = model.node(id);
+    if (n == nullptr) continue;
+    if (budget.rate_hi_hz > 0.0) {
+      n->rate_lo_hz = budget.rate_lo_hz;
+      n->rate_hi_hz = budget.rate_hi_hz;
+    }
+    if (budget.cost_us >= 0.0) n->cost_us = budget.cost_us;
+    if (budget.min_rate_hz > 0.0) n->min_rate_hz = budget.min_rate_hz;
+  }
 }
 
 /// "line 12: unknown kind 'foo'" -> (12, whole string). The line prefix is
@@ -71,6 +81,32 @@ ConfigVerification verify_config(
     if (lane != out.assembly.lanes.end()) {
       options.lanes.emplace(id, lane->second);
     }
+    const auto budget = out.assembly.budgets.find(name);
+    if (budget != out.assembly.budgets.end()) {
+      BudgetAnnotation a;
+      a.rate_lo_hz = budget->second.rate_lo_hz;
+      a.rate_hi_hz = budget->second.rate_hi_hz;
+      a.cost_us = budget->second.cost_us;
+      a.min_rate_hz = budget->second.min_rate_hz;
+      options.budget.annotations.emplace(id, a);
+    }
+  }
+  // `budget *` defaults, then the runtime observability SLO as fallback:
+  // `observe slo_us=` declares the same end-to-end promise PPQ003 checks
+  // statically, so one declaration feeds both layers.
+  if (out.assembly.budget_defaults.has_value()) {
+    const runtime::BudgetDefaults& d = *out.assembly.budget_defaults;
+    options.budget.default_source_rate_hz = d.source_rate_hz;
+    options.budget.burst = d.burst;
+    options.budget.queue_watermark = d.queue_watermark;
+    if (d.latency_slo_us > 0.0) {
+      options.budget.latency_slo_us = d.latency_slo_us;
+    }
+  }
+  if (options.budget.latency_slo_us <= 0.0) {
+    if (const obs::ObservabilityConfig* cfg = scratch.observability_config()) {
+      options.budget.latency_slo_us = cfg->latency_slo_us;
+    }
   }
   for (const runtime::AssemblyEdge& e : out.assembly.report.edges) {
     if (!e.resolved) continue;
@@ -109,6 +145,7 @@ ConfigVerification verify_config(
   out.report.diagnostics.insert(out.report.diagnostics.begin(),
                                 config_findings.diagnostics.begin(),
                                 config_findings.diagnostics.end());
+  out.options = std::move(options);
   return out;
 }
 

@@ -508,3 +508,104 @@ TEST(Config, ObserveBadSloReported) {
   ASSERT_EQ(result.errors.size(), 1u);
   EXPECT_NE(result.errors[0].find("slo_us"), std::string::npos);
 }
+
+// --- The budget verb ---------------------------------------------------------
+
+TEST(Config, BudgetAnnotationAndDefaultsParse) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto result = rt::assemble_from_config(R"(
+component src source
+component app sink
+connect src app
+budget src rate=10..20 cost_us=2.5
+budget app min_rate=0.5
+budget * source_rate=4 burst=16 watermark=256 slo_us=50000
+)",
+                                               registry, graph);
+  ASSERT_TRUE(result.ok()) << (result.errors.empty() ? "" : result.errors[0]);
+  const rt::BudgetAnnotation& src = result.budgets.at("src");
+  EXPECT_DOUBLE_EQ(src.rate_lo_hz, 10.0);
+  EXPECT_DOUBLE_EQ(src.rate_hi_hz, 20.0);
+  EXPECT_DOUBLE_EQ(src.cost_us, 2.5);
+  EXPECT_DOUBLE_EQ(src.min_rate_hz, 0.0);
+  const rt::BudgetAnnotation& app = result.budgets.at("app");
+  EXPECT_DOUBLE_EQ(app.min_rate_hz, 0.5);
+  EXPECT_LT(app.cost_us, 0.0);  // Untouched: stays "calibrated".
+  ASSERT_TRUE(result.budget_defaults.has_value());
+  EXPECT_DOUBLE_EQ(result.budget_defaults->source_rate_hz, 4.0);
+  EXPECT_DOUBLE_EQ(result.budget_defaults->burst, 16.0);
+  EXPECT_EQ(result.budget_defaults->queue_watermark, 256u);
+  EXPECT_DOUBLE_EQ(result.budget_defaults->latency_slo_us, 50000.0);
+}
+
+TEST(Config, BudgetLinesMergeFieldByField) {
+  // A later line refines, never resets: rate from line one survives a
+  // cost-only line two, and a rate-only line three replaces only the rate.
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto result = rt::assemble_from_config(R"(
+component src source
+budget src rate=10
+budget src cost_us=7
+budget src rate=30..40
+)",
+                                               registry, graph);
+  ASSERT_TRUE(result.errors.empty()) << result.errors[0];
+  const rt::BudgetAnnotation& src = result.budgets.at("src");
+  EXPECT_DOUBLE_EQ(src.rate_lo_hz, 30.0);
+  EXPECT_DOUBLE_EQ(src.rate_hi_hz, 40.0);
+  EXPECT_DOUBLE_EQ(src.cost_us, 7.0);
+}
+
+TEST(Config, BudgetErrorsArePerLine) {
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto result = rt::assemble_from_config(R"(
+component src source
+budget src frobs=3
+budget src cost_us=soon
+budget src rate=9..3
+budget src not-key-value
+budget
+budget src
+budget * rate=5
+budget ghost rate=5
+)",
+                                               registry, graph);
+  ASSERT_EQ(result.errors.size(), 8u);
+  EXPECT_NE(result.errors[0].find("unknown budget key 'frobs'"),
+            std::string::npos);
+  EXPECT_NE(result.errors[1].find("bad number 'soon'"), std::string::npos);
+  EXPECT_NE(result.errors[2].find("budget rate: bad interval '9..3'"),
+            std::string::npos);
+  EXPECT_NE(result.errors[3].find("key=value tokens"), std::string::npos);
+  EXPECT_NE(result.errors[4].find("budget needs <component-name>"),
+            std::string::npos);
+  EXPECT_NE(result.errors[5].find("budget 'src' sets no annotation"),
+            std::string::npos);
+  EXPECT_NE(result.errors[6].find("unknown budget * key 'rate'"),
+            std::string::npos);
+  // Unknown targets surface in the resolution pass, after every parse
+  // error, because `budget` lines may precede the components they name.
+  EXPECT_NE(result.errors[7].find("budget: unknown component 'ghost'"),
+            std::string::npos);
+  // Nothing half-applied: the only valid target never got a valid key.
+  EXPECT_TRUE(result.budgets.empty());
+  EXPECT_FALSE(result.budget_defaults.has_value());
+}
+
+TEST(Config, BudgetZeroValuesAreTheUnsetConvention) {
+  // min_rate=0 / rate interval 0..0 ARE the "unset" encodings, so a line
+  // writing only zeros parses fine but annotates nothing — the analyzer
+  // sees calibrated cost and no rate floor, exactly as with no line.
+  const auto registry = make_registry();
+  core::ProcessingGraph graph;
+  const auto result = rt::assemble_from_config(R"(
+component src source
+budget src min_rate=0
+)",
+                                               registry, graph);
+  ASSERT_TRUE(result.ok()) << (result.errors.empty() ? "" : result.errors[0]);
+  EXPECT_EQ(result.budgets.at("src"), rt::BudgetAnnotation{});
+}

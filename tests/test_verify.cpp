@@ -9,6 +9,7 @@
 #include "perpos/locmodel/resolver.hpp"
 #include "perpos/runtime/config.hpp"
 #include "perpos/runtime/distribution.hpp"
+#include "perpos/verify/budget.hpp"
 #include "perpos/verify/emit.hpp"
 #include "perpos/verify/incremental.hpp"
 #include "perpos/verify/verify.hpp"
@@ -93,8 +94,9 @@ vfy::NodeModel node(core::ComponentId id, std::string name,
 
 TEST(Catalog, AllRulesWithStableIds) {
   const vfy::RuleRegistry& catalog = vfy::RuleRegistry::default_catalog();
-  // PPV000..PPV015 static rules + PPS001..PPS006 runtime sanitizer ids.
-  ASSERT_EQ(catalog.rules().size(), 22u);
+  // PPV000..PPV015 static rules + PPS001..PPS006 runtime sanitizer ids +
+  // PPQ001..PPQ005 quantitative budget rules.
+  ASSERT_EQ(catalog.rules().size(), 27u);
   std::vector<std::string> expected;
   for (int i = 0; i <= 15; ++i) {
     char id[8];
@@ -106,6 +108,11 @@ TEST(Catalog, AllRulesWithStableIds) {
     std::snprintf(id, sizeof id, "PPS%03d", i);
     expected.push_back(id);
   }
+  for (int i = 1; i <= 5; ++i) {
+    char id[8];
+    std::snprintf(id, sizeof id, "PPQ%03d", i);
+    expected.push_back(id);
+  }
   for (const std::string& id : expected) {
     const vfy::Rule* rule = catalog.find(id);
     ASSERT_NE(rule, nullptr) << id;
@@ -114,6 +121,49 @@ TEST(Catalog, AllRulesWithStableIds) {
     EXPECT_FALSE(rule->description().empty());
   }
   EXPECT_EQ(catalog.find("PPV999"), nullptr);
+}
+
+TEST(Catalog, EveryRuleIsFullyDocumented) {
+  // The completeness guard behind `perpos-verify --explain`: every rule
+  // in the catalog — present and future — must carry a non-empty name,
+  // description, a meaningful severity, and an explain sketch. A new rule
+  // landing without its sketch fails here, not in a user's terminal.
+  const vfy::RuleRegistry& catalog = vfy::RuleRegistry::default_catalog();
+  for (const auto& rule : catalog.rules()) {
+    const std::string id(rule->id());
+    EXPECT_FALSE(rule->name().empty()) << id;
+    EXPECT_FALSE(rule->description().empty()) << id;
+    EXPECT_TRUE(rule->default_severity() == vfy::Severity::kNote ||
+                rule->default_severity() == vfy::Severity::kWarning ||
+                rule->default_severity() == vfy::Severity::kError)
+        << id;
+    EXPECT_FALSE(vfy::rule_sketch(rule->id()).empty())
+        << id << " has no --explain sketch (see kSketches in rules.cpp)";
+  }
+  EXPECT_TRUE(vfy::rule_sketch("PPX123").empty());
+}
+
+TEST(Catalog, ExpectedSeveritiesForQuantitativeRules) {
+  const vfy::RuleRegistry& catalog = vfy::RuleRegistry::default_catalog();
+  const std::map<std::string, vfy::Severity> expected = {
+      {"PPQ001", vfy::Severity::kError},
+      {"PPQ002", vfy::Severity::kWarning},
+      {"PPQ003", vfy::Severity::kError},
+      {"PPQ004", vfy::Severity::kWarning},
+      {"PPQ005", vfy::Severity::kError},
+  };
+  for (const auto& [id, severity] : expected) {
+    const vfy::Rule* rule = catalog.find(id);
+    ASSERT_NE(rule, nullptr) << id;
+    EXPECT_EQ(rule->default_severity(), severity) << id;
+  }
+  // Lane totals span weak components, so the lane-scoped PPQ rules must
+  // opt out of the incremental verifier's per-component replay.
+  EXPECT_FALSE(catalog.find("PPQ001")->local());
+  EXPECT_FALSE(catalog.find("PPQ002")->local());
+  EXPECT_TRUE(catalog.find("PPQ003")->local());
+  EXPECT_TRUE(catalog.find("PPQ004")->local());
+  EXPECT_TRUE(catalog.find("PPQ005")->local());
 }
 
 TEST(Catalog, RuntimeRulesNeverFireStatically) {
@@ -1408,4 +1458,267 @@ TEST(Incremental, NonLocalRulesStillRunOnCleanComponents) {
   const vfy::Report again = iv.recheck();
   EXPECT_EQ(again.by_rule("PPV014").size(), 1u);
   EXPECT_EQ(iv.nodes_visited(), 0u);
+}
+
+// --- PPQ quantitative budget rules -------------------------------------------
+
+namespace {
+
+/// src -> sink pipeline on one lane with an annotated source rate and sink
+/// cost — the minimal overloadable fixture.
+struct BudgetPipeline {
+  core::ProcessingGraph g;
+  core::ComponentId src;
+  core::ComponentId sink;
+  vfy::Options options;
+
+  BudgetPipeline(double rate_hz, double cost_us) {
+    src = g.add(make_source<V0>());
+    sink = g.add(make_sink<V0>());
+    g.connect(src, sink);
+    options.lanes.emplace(src, "main");
+    options.lanes.emplace(sink, "main");
+    vfy::BudgetAnnotation rate;
+    rate.rate_lo_hz = rate.rate_hi_hz = rate_hz;
+    options.budget.annotations.emplace(src, rate);
+    vfy::BudgetAnnotation cost;
+    cost.cost_us = cost_us;
+    options.budget.annotations.emplace(sink, cost);
+  }
+};
+
+}  // namespace
+
+TEST(BudgetRules, OverloadedLaneIsError) {
+  // 2 kHz into a 1.5 ms/sample sink = 3 cores of work on a 1-core lane.
+  BudgetPipeline p(2000.0, 1500.0);
+  const vfy::Report report = vfy::verify(p.g, p.options);
+  const auto findings = report.by_rule("PPQ001");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0]->severity, vfy::Severity::kError);
+  EXPECT_NE(findings[0]->message.find("'main'"), std::string::npos);
+}
+
+TEST(BudgetRules, LoadedButFeasibleLaneIsClean) {
+  // Same shape at 40% utilization.
+  BudgetPipeline p(2000.0, 200.0);
+  const vfy::Report report = vfy::verify(p.g, p.options);
+  EXPECT_TRUE(report.by_rule("PPQ001").empty());
+}
+
+TEST(BudgetRules, UnannotatedGraphsStayWithinDefaultBudgets) {
+  // The PPQ family must not fire on configs that never opted into
+  // rates/costs/SLOs — default 1 Hz sources against microsecond-scale
+  // calibrated costs are always feasible.
+  core::ProcessingGraph g;
+  const auto src = g.add(make_source<V0>());
+  const auto sink = g.add(make_sink<V0>());
+  g.connect(src, sink);
+  const vfy::Report report = vfy::verify(g);
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_TRUE(report.by_rule("PPQ00" + std::to_string(i)).empty()) << i;
+  }
+}
+
+TEST(BudgetRules, QueueBoundGatedOnWatermark) {
+  // One source bursting into a wide fan-out: 16-sample bursts each
+  // delivered to 3 sinks = 48 queued deliveries per event.
+  core::ProcessingGraph g;
+  const auto src = g.add(make_source<V0>());
+  for (int i = 0; i < 3; ++i) {
+    g.connect(src, g.add(make_sink<V0>("App" + std::to_string(i))));
+  }
+  vfy::Options options;
+  options.budget.burst = 16.0;
+  // Unwatermarked: PPQ002 has nothing to check against.
+  EXPECT_TRUE(vfy::verify(g, options).by_rule("PPQ002").empty());
+  options.budget.queue_watermark = 8;
+  const auto findings = vfy::verify(g, options).by_rule("PPQ002");
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0]->severity, vfy::Severity::kWarning);
+  options.budget.queue_watermark = 4096;
+  EXPECT_TRUE(vfy::verify(g, options).by_rule("PPQ002").empty());
+}
+
+TEST(BudgetRules, InfeasibleLatencySloIsError) {
+  core::ProcessingGraph g;
+  const auto src = g.add(make_source<V0>());
+  const auto mid = g.add(make_transform<V0, V1>());
+  const auto sink = g.add(make_sink<V1>());
+  g.connect(src, mid);
+  g.connect(mid, sink);
+  vfy::Options options;
+  vfy::BudgetAnnotation slow;
+  slow.cost_us = 9000.0;
+  options.budget.annotations.emplace(mid, slow);
+  options.budget.latency_slo_us = 5000.0;
+  const auto findings = vfy::verify(g, options).by_rule("PPQ003");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0]->severity, vfy::Severity::kError);
+  // Anchored at the path's sink, where the latency is owed.
+  EXPECT_EQ(findings[0]->component, sink);
+  // A feasible SLO over the same path is clean.
+  options.budget.latency_slo_us = 50000.0;
+  EXPECT_TRUE(vfy::verify(g, options).by_rule("PPQ003").empty());
+  // No SLO declared: nothing to check.
+  options.budget.latency_slo_us = 0.0;
+  EXPECT_TRUE(vfy::verify(g, options).by_rule("PPQ003").empty());
+}
+
+TEST(BudgetRules, RateStarvedSinkIsWarning) {
+  core::ProcessingGraph g;
+  const auto src = g.add(make_source<V0>());
+  const auto sink = g.add(make_sink<V0>());
+  g.connect(src, sink);
+  vfy::Options options;
+  vfy::BudgetAnnotation rate;
+  rate.rate_lo_hz = rate.rate_hi_hz = 0.5;
+  options.budget.annotations.emplace(src, rate);
+  vfy::BudgetAnnotation need;
+  need.min_rate_hz = 2.0;
+  options.budget.annotations.emplace(sink, need);
+  const auto findings = vfy::verify(g, options).by_rule("PPQ004");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0]->severity, vfy::Severity::kWarning);
+  EXPECT_EQ(findings[0]->component, sink);
+  // A satisfiable floor is clean.
+  options.budget.annotations[sink].min_rate_hz = 0.25;
+  EXPECT_TRUE(vfy::verify(g, options).by_rule("PPQ004").empty());
+}
+
+TEST(BudgetRules, CriticalFeedbackGainIsError) {
+  // A feedback region at exactly unit gain never diverges in PPV010's
+  // strict sense but never drains either: its queue bound is unbounded.
+  // Only reportable when the region is actually scheduled (lane assigned)
+  // or a watermark claims a bound exists.
+  vfy::GraphModel model;
+  model.nodes.push_back(node(1, "a", {core::require<V0>()},
+                             {core::provide<V0>()}));
+  model.nodes.push_back(node(2, "b", {core::require<V0>()},
+                             {core::provide<V0>()}));
+  model.nodes.back().emit_per_input = 1.0;
+  model.edges.push_back({1, 2});
+  model.edges.push_back({2, 1});
+  vfy::Options options;
+  options.budget.queue_watermark = 64;
+  const auto findings = vfy::verify_model(model, options).by_rule("PPQ005");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0]->severity, vfy::Severity::kError);
+  // A damped loop (gain < 1) has a finite geometric bound: clean.
+  model.nodes[0].emit_per_input = 0.5;
+  EXPECT_TRUE(vfy::verify_model(model, options).by_rule("PPQ005").empty());
+}
+
+TEST(BudgetRules, ConfigBudgetLinesFeedTheRules) {
+  // End to end through the config front end: `budget` lines must reach
+  // the PPQ rules exactly like `lane` lines reach PPV009/PPV014.
+  rt::ComponentFactoryRegistry registry;
+  registry.register_kind("source", [](const auto&) {
+    return std::make_shared<core::SourceComponent>(
+        "Src", std::vector<core::DataSpec>{core::provide<V0>()});
+  });
+  registry.register_kind("sink", [](const auto&) {
+    return std::make_shared<core::ApplicationSink>(
+        "App", std::vector<core::InputRequirement>{core::require<V0>()});
+  });
+  const vfy::ConfigVerification result = vfy::verify_config(
+      "component src source\n"
+      "component app sink\n"
+      "connect src app\n"
+      "lane main src app\n"
+      "budget src rate=2000\n"
+      "budget app cost_us=1500\n"
+      "budget * slo_us=1000\n",
+      registry);
+  EXPECT_EQ(result.report.by_rule("PPQ001").size(), 1u);
+  EXPECT_EQ(result.report.by_rule("PPQ003").size(), 1u);
+  // The effective options round out to the tools' quantitative report.
+  const vfy::BudgetReport budget =
+      vfy::analyze_budget(result.model, result.options);
+  ASSERT_EQ(budget.lanes.size(), 1u);
+  EXPECT_GT(budget.lanes[0].utilization.hi, 1.0);
+}
+
+// --- Incremental x PPQ: annotation mutations and lane-rule escape ------------
+
+TEST(Incremental, BudgetAnnotationDirtiesOnlyTheAnnotatedComponent) {
+  // Two independent pipelines; annotating one must re-run the local rules
+  // on that pipeline alone (O(delta), counter-asserted), not the world.
+  core::ProcessingGraph g;
+  const auto src_a = g.add(make_source<V0>());
+  const auto sink_a = g.add(make_sink<V0>("AppA"));
+  g.connect(src_a, sink_a);
+  const auto src_b = g.add(make_source<V1>());
+  const auto sink_b = g.add(make_sink<V1>("AppB"));
+  g.connect(src_b, sink_b);
+
+  vfy::IncrementalVerifier iv(g);
+  EXPECT_TRUE(iv.full().by_rule("PPQ004").empty());
+
+  // Demand more rate than the default 1 Hz source supplies.
+  vfy::BudgetAnnotation need;
+  need.min_rate_hz = 5.0;
+  iv.annotate_budget(sink_a, need);
+  const vfy::Report after = iv.recheck();
+  ASSERT_EQ(after.by_rule("PPQ004").size(), 1u);
+  EXPECT_EQ(after.by_rule("PPQ004")[0]->component, sink_a);
+  // Only pipeline A was re-analyzed; pipeline B replayed from cache.
+  EXPECT_EQ(iv.components_visited(), 1u);
+  EXPECT_EQ(iv.nodes_visited(), 2u);
+
+  // The incremental verdicts match a from-scratch verification with the
+  // same annotations.
+  vfy::Options options;
+  options.budget.annotations.emplace(sink_a, need);
+  EXPECT_EQ(verdicts(after), verdicts(vfy::verify(g, options)));
+}
+
+TEST(Incremental, LanePPQRulesRunViaTheNonLocalPath) {
+  // PPQ001 totals utilization per lane across weak components, so a fully
+  // cached recheck must still recompute it — the same escape hatch PPV014
+  // uses.
+  core::ProcessingGraph g;
+  const auto src = g.add(make_source<V0>());
+  const auto sink = g.add(make_sink<V0>());
+  g.connect(src, sink);
+  vfy::Options options;
+  options.lanes.emplace(src, "main");
+  options.lanes.emplace(sink, "main");
+  vfy::BudgetAnnotation rate;
+  rate.rate_lo_hz = rate.rate_hi_hz = 2000.0;
+  options.budget.annotations.emplace(src, rate);
+  vfy::BudgetAnnotation cost;
+  cost.cost_us = 1500.0;
+  options.budget.annotations.emplace(sink, cost);
+
+  vfy::IncrementalVerifier iv(g, options);
+  EXPECT_EQ(iv.full().by_rule("PPQ001").size(), 1u);
+  // No mutations: everything replays, yet the lane total still fires.
+  const vfy::Report again = iv.recheck();
+  EXPECT_EQ(again.by_rule("PPQ001").size(), 1u);
+  EXPECT_EQ(iv.nodes_visited(), 0u);
+}
+
+TEST(Incremental, CostAnnotationFlipsTheLaneVerdictOnRecheck) {
+  // Annotation-driven adaptation end to end: a live graph goes over
+  // budget when a component's measured cost is annotated upward, and the
+  // incremental recheck reports it without a full pass.
+  core::ProcessingGraph g;
+  const auto src = g.add(make_source<V0>());
+  const auto sink = g.add(make_sink<V0>());
+  g.connect(src, sink);
+  vfy::Options options;
+  options.lanes.emplace(src, "main");
+  options.lanes.emplace(sink, "main");
+  vfy::BudgetAnnotation rate;
+  rate.rate_lo_hz = rate.rate_hi_hz = 2000.0;
+  options.budget.annotations.emplace(src, rate);
+
+  vfy::IncrementalVerifier iv(g, options);
+  EXPECT_TRUE(iv.full().by_rule("PPQ001").empty());
+
+  vfy::BudgetAnnotation cost;
+  cost.cost_us = 1500.0;  // Profiler said: 1.5 ms per sample.
+  iv.annotate_budget(sink, cost);
+  EXPECT_EQ(iv.recheck().by_rule("PPQ001").size(), 1u);
 }

@@ -5,6 +5,7 @@
 # Driven by the verify_baseline_roundtrip ctest entry with:
 #   -DVERIFY=<perpos-verify binary> -DCONFIG=<config> -DWORK_DIR=<scratch>
 
+file(MAKE_DIRECTORY "${WORK_DIR}")
 set(baseline "${WORK_DIR}/baseline_roundtrip.txt")
 
 execute_process(

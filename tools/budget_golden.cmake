@@ -1,0 +1,42 @@
+# Golden assertions for the quantitative fixture: linting
+# examples/configs/broken-budget.cfg must surface the lane overload
+# (PPQ001) and the infeasible latency SLO (PPQ003) in all three output
+# formats, and --budget must embed the quantitative report itself.
+#
+# Driven by the verify_budget_golden ctest entry with:
+#   -DVERIFY=<perpos-verify binary> -DCONFIG=<config>
+
+foreach(fmt text json sarif)
+  execute_process(
+    COMMAND "${VERIFY}" --format=${fmt} --budget "${CONFIG}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+            "broken-budget linted clean as ${fmt}; PPQ001/PPQ003 regressed")
+  endif()
+  foreach(needle PPQ001 PPQ003)
+    if(NOT out MATCHES "${needle}")
+      message(FATAL_ERROR
+              "${fmt} output is missing ${needle}:\n${out}${err}")
+    endif()
+  endforeach()
+endforeach()
+
+# Format-specific embeddings of the quantitative report.
+execute_process(COMMAND "${VERIFY}" --format=text --budget "${CONFIG}"
+                OUTPUT_VARIABLE text_out ERROR_VARIABLE text_err)
+if(NOT text_out MATCHES "dispatch queue bound")
+  message(FATAL_ERROR "--budget text report missing:\n${text_out}${text_err}")
+endif()
+execute_process(COMMAND "${VERIFY}" --format=json --budget "${CONFIG}"
+                OUTPUT_VARIABLE json_out)
+if(NOT json_out MATCHES "\"budget\":")
+  message(FATAL_ERROR "JSON budget object missing:\n${json_out}")
+endif()
+execute_process(COMMAND "${VERIFY}" --format=sarif --budget "${CONFIG}"
+                OUTPUT_VARIABLE sarif_out)
+if(NOT sarif_out MATCHES "\"budget\":")
+  message(FATAL_ERROR "SARIF properties.budget bag missing:\n${sarif_out}")
+endif()

@@ -1,0 +1,209 @@
+// perpos-plan: static capacity planner for PerPos configs.
+//
+// Usage:
+//   perpos-plan [--lanes N] [--output FILE] CONFIG
+//
+// Reads a config, runs the quantitative budget analysis (the same pass
+// behind perpos-verify --budget and the PPQ rules), then computes a lane
+// assignment that minimizes the maximum per-lane utilization: weak
+// components are packed greedily, heaviest first, onto the lightest of N
+// lanes. Placement granularity is the weak component — splitting one would
+// introduce cross-lane edges (PPV009) that the assignment exists to avoid.
+//
+// The report shows the suggested `lane` config lines to paste, the
+// before/after maximum utilization, and the PPQ findings before and after
+// the plan — so "did the plan actually fix the overload" is answered in
+// the same breath as "what is the plan".
+//
+// Exit codes: 0 = plan leaves no PPQ errors, 1 = PPQ errors remain even
+// under the plan (the graph is overloaded at any partition width — shed
+// rate or cost, not lanes), 2 = usage / IO problem.
+
+#include "standard_registry.hpp"
+
+#include "perpos/verify/budget.hpp"
+#include "perpos/verify/emit.hpp"
+#include "perpos/verify/verify.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace perpos;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--lanes N] [--output FILE] CONFIG\n",
+               argv0);
+  return 2;
+}
+
+bool is_ppq(const verify::Diagnostic& d) {
+  return d.rule_id.rfind("PPQ", 0) == 0;
+}
+
+/// Render the PPQ subset of a report, or a single all-clear line.
+void append_ppq(std::ostream& out, const verify::Report& report,
+                const char* heading) {
+  std::vector<const verify::Diagnostic*> findings;
+  for (const verify::Diagnostic& d : report.diagnostics) {
+    if (is_ppq(d)) findings.push_back(&d);
+  }
+  out << heading << ": ";
+  if (findings.empty()) {
+    out << "no PPQ findings\n";
+    return;
+  }
+  out << findings.size() << " PPQ finding(s)\n";
+  for (const verify::Diagnostic* d : findings) {
+    out << "  " << verify::severity_name(d->severity) << '[' << d->rule_id
+        << "] ";
+    if (!d->component_name.empty()) out << d->component_name << ": ";
+    out << d->message << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t lane_count = 0;  // 0 = derive from the config below.
+  std::string output_path;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      usage(argv[0]);
+      return 0;
+    }
+    if (arg.rfind("--lanes=", 0) == 0 ||
+        (arg == "--lanes" && i + 1 < argc)) {
+      const std::string value =
+          arg == "--lanes" ? argv[++i] : arg.substr(8);
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed <= 0) {
+        std::fprintf(stderr, "--lanes needs a positive integer, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      lane_count = static_cast<std::size_t>(parsed);
+    } else if (arg.rfind("--output=", 0) == 0) {
+      output_path = arg.substr(9);
+    } else if (arg == "--output" && i + 1 < argc) {
+      output_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 1) return usage(argv[0]);
+
+  std::ifstream in(files[0]);
+  if (!in) {
+    std::fprintf(stderr, "cannot read '%s'\n", files[0].c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  tools::Fixtures fx;
+  const runtime::ComponentFactoryRegistry registry =
+      tools::standard_registry(fx);
+  verify::ConfigVerification result =
+      verify::verify_config(text.str(), registry, {});
+
+  // Config-level failures mean there is no graph worth planning over.
+  for (const verify::Diagnostic& d : result.report.diagnostics) {
+    if (d.rule_id == "PPV000") {
+      std::fprintf(stderr, "config error: %s\n", d.message.c_str());
+      return 2;
+    }
+  }
+
+  // Default lane count: the width the config already uses, else 2 — one
+  // lane can never beat the status quo, and a planner that silently keeps
+  // everything serialized would always report "nothing to do".
+  if (lane_count == 0) {
+    std::set<std::string> existing;
+    for (const verify::NodeBudget& n :
+         verify::analyze_budget(result.model, result.options).nodes) {
+      if (!n.lane.empty()) existing.insert(n.lane);
+    }
+    lane_count = existing.size() > 1 ? existing.size() : 2;
+  }
+
+  const verify::LanePlan plan =
+      verify::plan_lanes(result.model, result.options, lane_count);
+
+  // Apply the plan: stamp it directly on a model copy (stamped fields win
+  // over the options map) and mirror it in the options so verify_model's
+  // own stamping pass agrees.
+  verify::GraphModel planned = result.model;
+  for (verify::NodeModel& n : planned.nodes) {
+    const auto it = plan.lanes.find(n.id);
+    if (it != plan.lanes.end()) n.lane = it->second;
+  }
+  verify::Options planned_options = result.options;
+  planned_options.lanes.clear();
+  for (const auto& [id, lane] : plan.lanes) {
+    planned_options.lanes.emplace(id, lane);
+  }
+  const verify::Report after = verify_model(planned, planned_options);
+  const verify::BudgetReport after_budget =
+      verify::analyze_budget(planned, planned_options);
+
+  std::ostringstream rendered;
+  rendered << "plan: " << lane_count << " lane(s) over "
+           << plan.lanes.size() << " component(s)\n";
+
+  // Group by lane for the suggested config lines.
+  std::map<std::string, std::vector<std::string>> by_lane;
+  for (const auto& [id, lane] : plan.lanes) {
+    if (const verify::NodeModel* n = planned.node(id)) {
+      by_lane[lane].push_back(n->name);
+    }
+  }
+  rendered << "suggested config lines:\n";
+  for (const auto& [lane, members] : by_lane) {
+    rendered << "  lane " << lane;
+    for (const std::string& name : members) rendered << ' ' << name;
+    rendered << '\n';
+  }
+
+  char buffer[128];
+  std::snprintf(buffer, sizeof buffer,
+                "max lane utilization: %.6g before -> %.6g after\n",
+                plan.max_utilization_before, plan.max_utilization_after);
+  rendered << buffer;
+  append_ppq(rendered, result.report, "before");
+  append_ppq(rendered, after, "after");
+  rendered << verify::budget_to_text(after_budget);
+
+  bool ppq_errors_remain = false;
+  for (const verify::Diagnostic& d : after.diagnostics) {
+    if (is_ppq(d) && d.severity == verify::Severity::kError) {
+      ppq_errors_remain = true;
+    }
+  }
+
+  if (output_path.empty()) {
+    std::cout << rendered.str();
+  } else {
+    std::ofstream out(output_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", output_path.c_str());
+      return 2;
+    }
+    out << rendered.str();
+  }
+  return ppq_errors_remain ? 1 : 0;
+}

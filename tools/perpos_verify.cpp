@@ -2,14 +2,21 @@
 //
 // Usage:
 //   perpos-verify [--format=text|json|sarif] [--output FILE] [--werror]
-//                 [--disable RULE]... [--baseline FILE] [--update-baseline]
-//                 CONFIG...
+//                 [--budget] [--disable RULE]... [--baseline FILE]
+//                 [--update-baseline] CONFIG...
 //   perpos-verify --list-rules
 //   perpos-verify --explain RULE
 //
-// `--explain PPVxxx/PPSxxx` prints one rule's full description, default
-// severity, and a minimal failing-config sketch (for the static rules) or
-// the runtime scenario that trips it (for the PPS sanitizer rules).
+// `--explain PPVxxx/PPSxxx/PPQxxx` prints one rule's full description,
+// default severity, and a minimal failing-config sketch (for the static
+// rules) or the runtime scenario that trips it (for the PPS sanitizer
+// rules).
+//
+// `--budget` appends the quantitative capacity report (per-node rates,
+// per-lane utilization and queue bounds, per-path latency) to text output,
+// and embeds it as the "budget" object in JSON / the run property bag in
+// SARIF. The PPQ findings themselves are always on — --budget only adds
+// the full report behind them.
 //
 // Exit codes: 0 = no findings that gate, 1 = errors (or warnings under
 // --werror), 2 = usage / IO problem. JSON and SARIF output describe one
@@ -24,27 +31,20 @@
 // line or rewording a rule does not invalidate a baseline, but a finding
 // moving to a new component does.
 //
-// The tool instantiates configs against the standard kind registry below —
-// the middleware-provided components wired to canonical fixtures (the
-// office building of locmodel::make_office_building, a straight-line
-// walk). Analysis only inspects graph *structure*, so fixture values are
-// irrelevant; they exist because factories must produce real components.
+// Configs are instantiated against the standard kind registry shared with
+// perpos-plan (standard_registry.hpp).
 
-#include "perpos/locmodel/fixtures.hpp"
-#include "perpos/runtime/config.hpp"
-#include "perpos/fusion/kalman_filter.hpp"
-#include "perpos/sensors/gps_sensor.hpp"
-#include "perpos/sensors/pipeline_components.hpp"
-#include "perpos/sensors/wifi_scanner.hpp"
+#include "standard_registry.hpp"
+
+#include "perpos/verify/budget.hpp"
 #include "perpos/verify/emit.hpp"
 #include "perpos/verify/verify.hpp"
-#include "perpos/wifi/components.hpp"
-#include "perpos/wifi/fingerprint.hpp"
 
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
@@ -54,91 +54,8 @@ using namespace perpos;
 
 namespace {
 
-/// Everything the standard factories reference. Components keep references
-/// into this, so it must outlive every graph the tool builds.
-struct Fixtures {
-  sim::Scheduler scheduler;
-  sim::Random random{42};
-  geo::LocalFrame frame{geo::GeoPoint{56.1697, 10.1994, 50.0}};
-  sensors::Trajectory walk =
-      sensors::TrajectoryBuilder({0, 0}).walk_to({100, 0}, 1.4).build();
-  locmodel::Building building = locmodel::make_office_building();
-  wifi::SignalModel signal_model{
-      {{"AP1", {5.0, 10.0}}, {"AP2", {20.0, 5.0}}, {"AP3", {35.0, 15.0}}},
-      {},
-      &building};
-  wifi::FingerprintDatabase db =
-      wifi::FingerprintDatabase::survey(signal_model, building, 4.0);
-};
-
-std::vector<core::InputRequirement> application_requirements(
-    const std::vector<std::string>& args, std::string& error) {
-  // args[0] is the application name; the rest name required input types.
-  std::vector<core::InputRequirement> reqs;
-  for (std::size_t i = 1; i < args.size(); ++i) {
-    const std::string& type = args[i];
-    if (type == "any") {
-      reqs.push_back(core::require_any());
-    } else if (type == "PositionFix") {
-      reqs.push_back(core::require<core::PositionFix>());
-    } else if (type == "RoomFix") {
-      reqs.push_back(core::require<core::RoomFix>());
-    } else if (type == "RawFragment") {
-      reqs.push_back(core::require<core::RawFragment>());
-    } else if (type == "NMEA") {
-      reqs.push_back(core::require<nmea::Sentence>());
-    } else if (type == "RssiScan") {
-      reqs.push_back(core::require<wifi::RssiScan>());
-    } else if (type == "LocalPosition") {
-      reqs.push_back(core::require<locmodel::LocalPosition>());
-    } else {
-      error = "unknown application input type '" + type + "'";
-      return {};
-    }
-  }
-  if (reqs.empty()) reqs.push_back(core::require_any());
-  return reqs;
-}
-
-runtime::ComponentFactoryRegistry standard_registry(Fixtures& fx) {
-  runtime::ComponentFactoryRegistry registry;
-  registry.register_kind("gps-sensor", [&fx](const auto&) {
-    return std::make_shared<sensors::GpsSensor>(fx.scheduler, fx.random,
-                                                fx.walk, fx.frame);
-  });
-  registry.register_kind("nmea-parser", [](const auto&) {
-    return std::make_shared<sensors::NmeaParser>();
-  });
-  registry.register_kind("nmea-interpreter", [](const auto&) {
-    return std::make_shared<sensors::NmeaInterpreter>();
-  });
-  registry.register_kind("kalman-filter", [&fx](const auto&) {
-    return std::make_shared<fusion::KalmanFilterComponent>(
-        fusion::KalmanFilter::Config{}, fx.frame);
-  });
-  registry.register_kind("wifi-scanner", [&fx](const auto&) {
-    return std::make_shared<sensors::WifiScanner>(fx.scheduler, fx.random,
-                                                  fx.walk, fx.signal_model);
-  });
-  registry.register_kind("wifi-positioner", [&fx](const auto&) {
-    return std::make_shared<wifi::WifiPositioner>(fx.db);
-  });
-  registry.register_kind("local-to-geo", [&fx](const auto&) {
-    return std::make_shared<wifi::LocalToGeoConverter>(fx.building);
-  });
-  registry.register_kind("room-resolver", [&fx](const auto&) {
-    return std::make_shared<locmodel::RoomResolver>(fx.building);
-  });
-  registry.register_kind("application", [](const auto& args)
-                             -> std::shared_ptr<core::ProcessingComponent> {
-    std::string error;
-    auto reqs = application_requirements(args, error);
-    if (!error.empty()) throw std::invalid_argument(error);
-    return std::make_shared<core::ApplicationSink>(
-        args.empty() ? "App" : args[0], std::move(reqs));
-  });
-  return registry;
-}
+using tools::Fixtures;
+using tools::standard_registry;
 
 int list_rules() {
   const verify::RuleRegistry& catalog = verify::RuleRegistry::default_catalog();
@@ -151,93 +68,6 @@ int list_rules() {
   }
   return 0;
 }
-
-/// A minimal sketch that triggers each rule: a failing config fragment for
-/// the static PPV rules, a runtime scenario for the PPS sanitizer rules.
-/// Kept here (not on the Rule interface) because the sketches lean on the
-/// tool's standard kind registry for concrete component names.
-struct ExplainSketch {
-  const char* id;
-  const char* sketch;
-};
-
-constexpr ExplainSketch kSketches[] = {
-    {"PPV000",
-     "  component gps gps-sensor extra-token-the-factory-rejects\n"
-     "  # any line the parser or a factory rejects raises PPV000"},
-    {"PPV001",
-     "  component app application App PositionFix\n"
-     "  # nothing produces PositionFix and nothing is connected to app"},
-    {"PPV002",
-     "  component gps gps-sensor\n"
-     "  component parser nmea-parser\n"
-     "  component app application App any   # wildcard input\n"
-     "  connect gps app\n"
-     "  connect parser app   # two producers match 'any': order-dependent"},
-    {"PPV003",
-     "  component gps gps-sensor\n"
-     "  component app application App RawFragment\n"
-     "  connect gps app   # gps's NMEA capability has no consumer"},
-    {"PPV004",
-     "  component parser nmea-parser\n"
-     "  component interp nmea-interpreter\n"
-     "  connect parser interp   # subgraph has no source feeding it"},
-    {"PPV005",
-     "  component kf kalman-filter\n"
-     "  # a merge-style consumer with a single producer (or an\n"
-     "  # implausibly wide fan-in) trips the arity heuristic"},
-    {"PPV006",
-     "  connect a b\n"
-     "  connect b a   # directed cycle in the reified process"},
-    {"PPV007",
-     "  # producer declares output_frame()=\"siteB\" while its consumer\n"
-     "  # declares input_frame()=\"siteA\"; the edge mixes frames"},
-    {"PPV008",
-     "  host alpha gps\n"
-     "  host beta app\n"
-     "  connect gps app   # cut edge carries a type with no wire codec"},
-    {"PPV009",
-     "  lane fast gps\n"
-     "  lane slow app\n"
-     "  connect gps app   # edge crosses execution lanes"},
-    {"PPV010",
-     "  # every component in a feedback region emits >1 sample per input;\n"
-     "  # the loop's amplification product exceeds 1x and diverges"},
-    {"PPV011",
-     "  # a component feature's consume()/produce() hook calls emit(),\n"
-     "  # which re-enters the hook chain on the same dispatch"},
-    {"PPV012",
-     "  # a merge consumer's input arrives via a path that reorders\n"
-     "  # samples, so per-producer logical time is not monotonic"},
-    {"PPV013",
-     "  # reliable (acked) links between hosts form a cycle, so every\n"
-     "  # host can end up waiting on a peer's ack"},
-    {"PPV014",
-     "  lane main gps wifi app1 app2 app3\n"
-     "  # one lane serializes several hot sinks; N-1 of them starve"},
-    {"PPV015",
-     "  # a component feature lists a dependency that is not attached,\n"
-     "  # or attached after it, so hooks run out of order"},
-    {"PPS001",
-     "  runtime: engine.bind_thread(lane) then graph driven from another\n"
-     "  thread (e.g. a direct source->push off-lane)"},
-    {"PPS002",
-     "  runtime: a producer re-emits an older timestamp / sequence on a\n"
-     "  channel (clock stepped back, replayed sample)"},
-    {"PPS003",
-     "  runtime: a pooled provenance buffer's release() called twice\n"
-     "  (double free of a recycled Sample)"},
-    {"PPS004",
-     "  runtime: one external emission cascades through emit() chains\n"
-     "  past the configured delivery-depth bound"},
-    {"PPS005",
-     "  runtime: a dispatch or lane queue exceeds its depth watermark\n"
-     "  (producer outruns the drain)"},
-    {"PPS006",
-     "  runtime: graph.remove()/connect()/replace() while the execution\n"
-     "  lane still has tasks in flight, outside a LiveReconfigurator\n"
-     "  quiesce window (fence first, or use reconfig::LiveReconfigurator)"},
-};
 
 int explain_rule(const std::string& id) {
   const verify::RuleRegistry& catalog = verify::RuleRegistry::default_catalog();
@@ -253,15 +83,14 @@ int explain_rule(const std::string& id) {
               std::string(verify::severity_name(rule->default_severity()))
                   .c_str());
   std::printf("\n  %s\n", std::string(rule->description()).c_str());
-  for (const ExplainSketch& entry : kSketches) {
-    if (id == entry.id) {
-      const bool runtime = id.rfind("PPS", 0) == 0;
-      std::printf("\n%s:\n%s\n",
-                  runtime ? "triggering scenario"
-                          : "minimal failing config",
-                  entry.sketch);
-      break;
-    }
+  // Sketches live in the verify library next to the rules themselves so
+  // the catalog-completeness test can hold them to the same coverage bar.
+  const std::string_view sketch = verify::rule_sketch(id);
+  if (!sketch.empty()) {
+    const bool runtime = id.rfind("PPS", 0) == 0;
+    std::printf("\n%s:\n%.*s\n",
+                runtime ? "triggering scenario" : "minimal failing config",
+                static_cast<int>(sketch.size()), sketch.data());
   }
   return 0;
 }
@@ -270,8 +99,8 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--format=text|json|sarif] [--output FILE] [--werror]\n"
-      "          [--disable RULE]... [--baseline FILE] [--update-baseline]\n"
-      "          CONFIG...\n"
+      "          [--budget] [--disable RULE]... [--baseline FILE]\n"
+      "          [--update-baseline] CONFIG...\n"
       "       %s --list-rules\n"
       "       %s --explain RULE\n",
       argv0, argv0, argv0);
@@ -306,6 +135,7 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   bool update_baseline = false;
   bool werror = false;
+  bool budget = false;
   verify::Options options;
   std::vector<std::string> files;
 
@@ -334,6 +164,8 @@ int main(int argc, char** argv) {
       output_path = argv[++i];
     } else if (arg == "--werror") {
       werror = true;
+    } else if (arg == "--budget") {
+      budget = true;
     } else if (arg.rfind("--baseline=", 0) == 0) {
       baseline_path = arg.substr(11);
     } else if (arg == "--baseline" && i + 1 < argc) {
@@ -420,16 +252,31 @@ int main(int argc, char** argv) {
     gate = gate || !result.report.ok() ||
            (werror && result.report.warnings() > 0);
 
+    // --budget: re-run the quantitative pass the PPQ rules ran internally,
+    // now keeping the full report for output. verify_config hands back the
+    // effective options (config budget/lane/host lines folded in), so this
+    // sees exactly what the rules saw.
+    std::optional<verify::BudgetReport> budget_report;
+    if (budget) {
+      budget_report =
+          verify::analyze_budget(result.model, result.options);
+    }
+    const verify::BudgetReport* budget_ptr =
+        budget_report.has_value() ? &*budget_report : nullptr;
+
     if (format == "json") {
-      rendered << verify::to_json(result.report) << '\n';
+      rendered << verify::to_json(result.report, budget_ptr) << '\n';
     } else if (format == "sarif") {
       rendered << verify::to_sarif(result.report,
                                    verify::RuleRegistry::default_catalog(),
-                                   path)
+                                   path, budget_ptr)
                << '\n';
     } else {
       if (files.size() > 1) rendered << path << ":\n";
       rendered << verify::to_text(result.report);
+      if (budget_ptr != nullptr) {
+        rendered << verify::budget_to_text(*budget_ptr);
+      }
       if (files.size() > 1) rendered << '\n';
     }
   }

@@ -1,0 +1,25 @@
+# Smoke test for perpos-plan: the planner must run end to end over the
+# overloaded fixture and its report must carry the before/after
+# utilization line and suggested lane assignments. Exit 0 (planned clean)
+# and exit 1 (overload survives any partition) are both valid planner
+# verdicts; anything else is a tool failure.
+#
+# Driven by the plan_broken_budget ctest entry with:
+#   -DPLAN=<perpos-plan binary> -DCONFIG=<config>
+
+execute_process(
+  COMMAND "${PLAN}" --lanes 3 "${CONFIG}"
+  RESULT_VARIABLE plan_rc
+  OUTPUT_VARIABLE plan_out
+  ERROR_VARIABLE plan_err)
+if(plan_rc GREATER 1)
+  message(FATAL_ERROR
+          "perpos-plan failed (exit ${plan_rc}):\n${plan_out}${plan_err}")
+endif()
+foreach(needle "suggested config lines:" "max lane utilization:" "before"
+        "after")
+  if(NOT plan_out MATCHES "${needle}")
+    message(FATAL_ERROR
+            "planner report is missing '${needle}':\n${plan_out}")
+  endif()
+endforeach()

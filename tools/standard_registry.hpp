@@ -1,0 +1,112 @@
+#pragma once
+
+// The standard kind registry shared by the config-facing CLI tools
+// (perpos-verify, perpos-plan): the middleware-provided components wired
+// to canonical fixtures (the office building of
+// locmodel::make_office_building, a straight-line walk). Static analysis
+// only inspects graph *structure*, so fixture values are irrelevant; they
+// exist because factories must produce real components.
+
+#include "perpos/locmodel/fixtures.hpp"
+#include "perpos/runtime/config.hpp"
+#include "perpos/fusion/kalman_filter.hpp"
+#include "perpos/sensors/gps_sensor.hpp"
+#include "perpos/sensors/pipeline_components.hpp"
+#include "perpos/sensors/wifi_scanner.hpp"
+#include "perpos/wifi/components.hpp"
+#include "perpos/wifi/fingerprint.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace perpos::tools {
+
+/// Everything the standard factories reference. Components keep references
+/// into this, so it must outlive every graph the tool builds.
+struct Fixtures {
+  sim::Scheduler scheduler;
+  sim::Random random{42};
+  geo::LocalFrame frame{geo::GeoPoint{56.1697, 10.1994, 50.0}};
+  sensors::Trajectory walk =
+      sensors::TrajectoryBuilder({0, 0}).walk_to({100, 0}, 1.4).build();
+  locmodel::Building building = locmodel::make_office_building();
+  wifi::SignalModel signal_model{
+      {{"AP1", {5.0, 10.0}}, {"AP2", {20.0, 5.0}}, {"AP3", {35.0, 15.0}}},
+      {},
+      &building};
+  wifi::FingerprintDatabase db =
+      wifi::FingerprintDatabase::survey(signal_model, building, 4.0);
+};
+
+inline std::vector<core::InputRequirement> application_requirements(
+    const std::vector<std::string>& args, std::string& error) {
+  // args[0] is the application name; the rest name required input types.
+  std::vector<core::InputRequirement> reqs;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& type = args[i];
+    if (type == "any") {
+      reqs.push_back(core::require_any());
+    } else if (type == "PositionFix") {
+      reqs.push_back(core::require<core::PositionFix>());
+    } else if (type == "RoomFix") {
+      reqs.push_back(core::require<core::RoomFix>());
+    } else if (type == "RawFragment") {
+      reqs.push_back(core::require<core::RawFragment>());
+    } else if (type == "NMEA") {
+      reqs.push_back(core::require<nmea::Sentence>());
+    } else if (type == "RssiScan") {
+      reqs.push_back(core::require<wifi::RssiScan>());
+    } else if (type == "LocalPosition") {
+      reqs.push_back(core::require<locmodel::LocalPosition>());
+    } else {
+      error = "unknown application input type '" + type + "'";
+      return {};
+    }
+  }
+  if (reqs.empty()) reqs.push_back(core::require_any());
+  return reqs;
+}
+
+inline runtime::ComponentFactoryRegistry standard_registry(Fixtures& fx) {
+  runtime::ComponentFactoryRegistry registry;
+  registry.register_kind("gps-sensor", [&fx](const auto&) {
+    return std::make_shared<sensors::GpsSensor>(fx.scheduler, fx.random,
+                                                fx.walk, fx.frame);
+  });
+  registry.register_kind("nmea-parser", [](const auto&) {
+    return std::make_shared<sensors::NmeaParser>();
+  });
+  registry.register_kind("nmea-interpreter", [](const auto&) {
+    return std::make_shared<sensors::NmeaInterpreter>();
+  });
+  registry.register_kind("kalman-filter", [&fx](const auto&) {
+    return std::make_shared<fusion::KalmanFilterComponent>(
+        fusion::KalmanFilter::Config{}, fx.frame);
+  });
+  registry.register_kind("wifi-scanner", [&fx](const auto&) {
+    return std::make_shared<sensors::WifiScanner>(fx.scheduler, fx.random,
+                                                  fx.walk, fx.signal_model);
+  });
+  registry.register_kind("wifi-positioner", [&fx](const auto&) {
+    return std::make_shared<wifi::WifiPositioner>(fx.db);
+  });
+  registry.register_kind("local-to-geo", [&fx](const auto&) {
+    return std::make_shared<wifi::LocalToGeoConverter>(fx.building);
+  });
+  registry.register_kind("room-resolver", [&fx](const auto&) {
+    return std::make_shared<locmodel::RoomResolver>(fx.building);
+  });
+  registry.register_kind("application", [](const auto& args)
+                             -> std::shared_ptr<core::ProcessingComponent> {
+    std::string error;
+    auto reqs = application_requirements(args, error);
+    if (!error.empty()) throw std::invalid_argument(error);
+    return std::make_shared<core::ApplicationSink>(
+        args.empty() ? "App" : args[0], std::move(reqs));
+  });
+  return registry;
+}
+
+}  // namespace perpos::tools
