@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# CI gate for the compiled-execution-plan speedup: runs the pipeline-depth
+# series frozen and interpreted in one benchmark process (shared
+# environment block, interleaved repetitions so machine drift hits both
+# sides equally) and fails unless the frozen geomean speedup at the
+# deepest measured pipeline clears the threshold.
+#
+# Usage: scripts/perf_gate.sh <build-dir> <out.json> [min-ratio]
+#
+# The 1.5 default is deliberately below the ~2x seen on quiet hardware:
+# shared CI runners are noisy, and a flaky gate is worse than a loose one.
+# The JSON written to <out.json> is uploaded as an artifact so a gate
+# failure comes with the numbers attached.
+set -eu
+build="${1:?usage: perf_gate.sh <build-dir> <out.json> [min-ratio]}"
+out="${2:?usage: perf_gate.sh <build-dir> <out.json> [min-ratio]}"
+min_ratio="${3:-1.5}"
+bench="$build/bench/bench_o1_scalability"
+if [ ! -x "$bench" ]; then
+  echo "error: $bench not built" >&2
+  exit 1
+fi
+
+"$bench" \
+  --benchmark_filter='BM_PipelineDepth(Frozen)?/(16|64|256)$' \
+  --benchmark_min_time=0.15 \
+  --benchmark_repetitions=5 \
+  --benchmark_enable_random_interleaving=true \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json > /dev/null
+
+python3 - "$out" "$min_ratio" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+min_ratio = float(sys.argv[2])
+medians = {}
+for b in data["benchmarks"]:
+    if b.get("aggregate_name") == "median":
+        medians[b["run_name"]] = b["real_time"]
+ctx = data["context"]
+print(f"library_build_type={ctx.get('library_build_type')} "
+      f"num_cpus={ctx.get('num_cpus')}")
+pairs = {}
+for name, t in sorted(medians.items()):
+    if "Frozen" not in name:
+        frozen = medians.get(name.replace("Depth/", "DepthFrozen/"))
+        if frozen is None:
+            continue
+        depth = int(name.rsplit("/", 1)[1])
+        pairs[depth] = t / frozen
+        print(f"depth {depth:>4}: interpreted {t:9.0f} ns   "
+              f"frozen {frozen:9.0f} ns   speedup {t / frozen:.2f}x")
+if not pairs:
+    sys.exit("no frozen/interpreted pairs found in benchmark output")
+# Gate on the deepest pipeline only: shallow chains spend a larger share
+# of their time in the per-push fixed costs both paths share, so their
+# ratio is structurally smaller and noisier.
+depth = max(pairs)
+ratio = pairs[depth]
+if ratio < min_ratio:
+    sys.exit(f"FAIL: frozen speedup {ratio:.2f}x at depth {depth} "
+             f"is below the {min_ratio:.2f}x gate")
+print(f"PASS: frozen speedup {ratio:.2f}x at depth {depth} "
+      f">= {min_ratio:.2f}x")
+EOF

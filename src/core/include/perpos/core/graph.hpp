@@ -293,6 +293,42 @@ class ProcessingGraph {
                     std::uint64_t b = 0,
                     std::string_view detail = {}) noexcept;
 
+  // --- Compiled execution plan (freeze / thaw) -----------------------------
+  //
+  // The interpreted graph stays the source of truth — translucency means
+  // the structure is always inspectable and mutable. freeze_plan() lowers
+  // the *current* structure into a flat, topologically-ordered dispatch
+  // plan (dense node array, precompiled edge/requirement/feature tables,
+  // cached metric counters, arena-recycled provenance buffers) and routes
+  // emit/deliver through it. The frozen path is behaviour-preserving by
+  // construction: it shares every piece of per-component runtime state
+  // (logical time, pending provenance, the dispatch stack) with the
+  // interpreted path, so transcripts are byte-identical and thawing
+  // mid-stream is seamless. Any structural mutation, feature attach /
+  // detach or observability reconfiguration thaws the plan automatically;
+  // re-freezing is the caller's decision (see perpos::plan::GraphPlan for
+  // the verify-then-freeze policy layer).
+
+  /// Lower the current graph into a compiled plan and route dispatch
+  /// through it. Idempotent when already frozen. Throws std::logic_error
+  /// when freezing is illegal right now (see freeze_blocker()).
+  void freeze_plan();
+
+  /// Drop the compiled plan and return to interpreted dispatch. No-op
+  /// when not frozen. Rejected during dispatch.
+  void thaw_plan();
+
+  /// True while a compiled plan is installed.
+  bool frozen() const noexcept { return plan_ != nullptr; }
+
+  /// Why freezing would be refused right now: a static human-readable
+  /// reason, or nullptr when freeze_plan() would succeed. Freezing is
+  /// illegal during dispatch and while timing / tracing / latency
+  /// observability is enabled (those need the interpreted path's
+  /// per-delivery instrumentation); plain metrics, the dispatch sentry
+  /// and flight recording all work frozen.
+  const char* freeze_blocker() const noexcept;
+
   // --- Used by ComponentContext / FeatureContext --------------------------
 
   /// Emit from a component (origin == kComponentOrigin) or from a feature
@@ -311,6 +347,7 @@ class ProcessingGraph {
   struct Entry;
   struct Obs;
   struct ProvenancePool;
+  struct FrozenPlan;
 
   /// One queued delivery: `sample` waiting to enter `consumer`.
   struct PendingDelivery {
@@ -339,6 +376,22 @@ class ProcessingGraph {
                      std::string_view detail = {}) noexcept;
   /// Re-derive `active_recorder_` after enable/disable/set calls.
   void refresh_active_recorder() noexcept;
+  // Frozen-path mirrors of emit_from / emit_batch_from / deliver /
+  // enqueue_deliveries / drain_dispatch_stack / stamp_provenance. They
+  // operate on *plan_ (never null when called) and share the Entry runtime
+  // state and dispatch_stack_ with the interpreted path. While frozen,
+  // PendingDelivery::consumer holds a dense plan-node index, not a
+  // ComponentId; the stack is empty at every freeze/thaw boundary (both
+  // are rejected during dispatch), so the two encodings never mix.
+  void frozen_emit_from(ComponentId producer, Payload payload,
+                        OriginId origin);
+  void frozen_emit_batch_from(ComponentId producer,
+                              std::vector<Payload> payloads, OriginId origin);
+  void frozen_deliver(Sample&& sample, std::uint32_t node_index);
+  void frozen_deliver_top();
+  void frozen_enqueue(Sample&& sample, std::uint32_t node_index);
+  void frozen_drain();
+  void frozen_stamp_provenance(Entry& e, Sample& sample);
   void notify_mutation(const GraphMutation& mutation);
   /// Observer-only notification — feature attach/detach events go here, so
   /// the coarse listeners keep their historical "structural edges/nodes
@@ -383,6 +436,9 @@ class ProcessingGraph {
   /// buffers released after graph death (a sink kept the sample) are
   /// simply freed instead of returned.
   std::shared_ptr<ProvenancePool> pool_;
+  /// The compiled execution plan, or null while interpreting. Reset (thaw)
+  /// on every mutation notification and observability reconfiguration.
+  std::unique_ptr<FrozenPlan> plan_;
   std::unique_ptr<Obs> obs_;
   /// Monotone handle-cache generation; bumped on every enable so stale
   /// handles from an earlier registry are never reused after re-enable.

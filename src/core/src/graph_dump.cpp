@@ -42,7 +42,8 @@ void render_node(const ProcessingGraph& graph, ComponentId id,
 
 std::string dump_structure(const ProcessingGraph& graph) {
   std::ostringstream out;
-  out << "Process Structure Layer (" << graph.size() << " components)\n";
+  out << "Process Structure Layer (" << graph.size() << " components, "
+      << (graph.frozen() ? "frozen plan" : "interpreted") << ")\n";
   for (ComponentId sink : graph.sinks()) {
     render_node(graph, sink, "", out);
   }

@@ -1,0 +1,83 @@
+#include "perpos/plan/graph_plan.hpp"
+
+namespace perpos::plan {
+
+namespace {
+
+std::string describe_failure(const verify::Report& report) {
+  std::string out = "verification failed: " +
+                    std::to_string(report.errors()) + " error(s)";
+  for (const verify::Diagnostic& d : report.diagnostics) {
+    if (d.severity != verify::Severity::kError) continue;
+    out += "; first: [" + d.rule_id + "] " + d.message;
+    break;
+  }
+  return out;
+}
+
+}  // namespace
+
+GraphPlan::GraphPlan(core::ProcessingGraph& graph, PlanOptions options)
+    : graph_(graph),
+      options_(std::move(options)),
+      verifier_(graph, options_.verify_options) {
+  // Registered after verifier_'s own observer (member order), so by the
+  // time on_mutation runs the dirty set already reflects the mutation and
+  // recheck() analyzes exactly the delta.
+  observer_token_ = graph_.add_mutation_observer(
+      [this](const core::GraphMutation&) { on_mutation(); });
+}
+
+GraphPlan::~GraphPlan() { graph_.remove_mutation_observer(observer_token_); }
+
+FreezeResult GraphPlan::freeze() {
+  FreezeResult result;
+  if (const char* blocker = graph_.freeze_blocker()) {
+    result.reason = blocker;
+    ++stats_.freeze_rejections;
+    return result;
+  }
+  result.report = verifier_.recheck();
+  if (!result.report.ok()) {
+    result.reason = describe_failure(result.report);
+    ++stats_.freeze_rejections;
+    return result;
+  }
+  graph_.freeze_plan();
+  want_frozen_ = true;
+  ++stats_.freezes;
+  result.frozen = true;
+  return result;
+}
+
+void GraphPlan::thaw() {
+  want_frozen_ = false;
+  if (!graph_.frozen()) return;
+  graph_.thaw_plan();
+  ++stats_.thaws;
+}
+
+void GraphPlan::on_mutation() {
+  // The core thawed before any observer ran (mutations always thaw); this
+  // callback only decides whether to re-freeze.
+  if (!want_frozen_ || in_refreeze_) return;
+  ++stats_.auto_thaws;
+  if (!options_.auto_refreeze) return;
+  in_refreeze_ = true;
+  try {
+    if (graph_.freeze_blocker() == nullptr && verifier_.recheck().ok()) {
+      graph_.freeze_plan();
+      ++stats_.freezes;
+    } else {
+      // Stay interpreted; the policy stays armed, so a later mutation that
+      // restores a clean graph re-freezes again.
+      ++stats_.refreeze_failures;
+    }
+  } catch (...) {
+    in_refreeze_ = false;
+    throw;
+  }
+  in_refreeze_ = false;
+}
+
+}  // namespace perpos::plan

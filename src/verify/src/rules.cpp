@@ -1510,22 +1510,46 @@ constexpr ExplainSketch kSketches[] = {
      "  quiesce window (fence first, or use reconfig::LiveReconfigurator)"},
     {"PPQ001",
      "  component gps gps-sensor\n"
-     "  component kf kalman-filter\n"
-     "  connect gps kf\n"
-     "  lane main gps kf\n"
+     "  component parser nmea-parser\n"
+     "  component interp nmea-interpreter\n"
+     "  component app application App PositionFix\n"
+     "  connect gps parser\n"
+     "  connect parser interp\n"
+     "  connect interp app\n"
+     "  lane main gps parser interp app\n"
      "  budget gps rate=2000\n"
-     "  budget kf cost_us=1500   # 2 kHz x 1.5 ms = 3 cores on one lane"},
+     "  budget interp cost_us=1500   # 2 kHz x 1.5 ms = 3 cores, one lane"},
     {"PPQ002",
-     "  budget * watermark=16 burst=8\n"
-     "  # an 8-sample burst fanning out past 16 deliveries on one lane\n"
-     "  # exceeds the declared queue watermark"},
+     "  component gps gps-sensor\n"
+     "  component parser nmea-parser\n"
+     "  component interp nmea-interpreter\n"
+     "  component app application App PositionFix\n"
+     "  connect gps parser\n"
+     "  connect parser interp\n"
+     "  connect interp app\n"
+     "  lane main gps parser interp app\n"
+     "  budget * watermark=4 burst=8\n"
+     "  budget gps rate=100   # an 8-sample burst overruns the 4-deep lane"},
     {"PPQ003",
+     "  component gps gps-sensor\n"
+     "  component parser nmea-parser\n"
+     "  component interp nmea-interpreter\n"
+     "  component app application App PositionFix\n"
+     "  connect gps parser\n"
+     "  connect parser interp\n"
+     "  connect interp app\n"
      "  budget * slo_us=50\n"
-     "  budget kf cost_us=1500\n"
-     "  # the best-case path latency through kf already exceeds the SLO"},
+     "  budget interp cost_us=1500   # best-case path already misses the SLO"},
     {"PPQ004",
-     "  budget app min_rate=10\n"
-     "  # upstream rates and decimation cap app's input below 10 Hz"},
+     "  component gps gps-sensor\n"
+     "  component parser nmea-parser\n"
+     "  component interp nmea-interpreter\n"
+     "  component app application App PositionFix\n"
+     "  connect gps parser\n"
+     "  connect parser interp\n"
+     "  connect interp app\n"
+     "  budget gps rate=1\n"
+     "  budget app min_rate=10   # upstream caps app's input at 1 Hz"},
     {"PPQ005",
      "  # a feedback region whose emit-gain product is >= 1 feeds a\n"
      "  # bounded execution lane; no finite queue watermark can hold it"},

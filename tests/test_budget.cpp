@@ -10,6 +10,7 @@
 #include "perpos/sanitize/sanitizer.hpp"
 #include "perpos/verify/budget.hpp"
 #include "perpos/verify/emit.hpp"
+#include "perpos/verify/rules.hpp"
 #include "perpos/verify/verify.hpp"
 
 #include "standard_registry.hpp"
@@ -612,4 +613,32 @@ budget * source_rate=2 burst=8 watermark=128 slo_us=250000
   }
   ASSERT_TRUE(second.budget_defaults.has_value());
   EXPECT_EQ(*second.budget_defaults, *first.budget_defaults);
+}
+
+// --- Explain sketches are runnable and trigger their own rule ----------------
+//
+// `perpos-verify --explain PPQxxx` prints a "minimal failing config"; this
+// holds each quantitative sketch to that promise: the sketch text must
+// assemble cleanly against the standard registry and its analysis must
+// report the advertised rule. (PPQ005's feedback scenario is not
+// expressible as a config line sketch and stays prose, like the PPS
+// runtime sketches.)
+TEST(BudgetRules, ExplainSketchesTriggerTheirOwnRule) {
+  perpos::tools::Fixtures fx;
+  const rt::ComponentFactoryRegistry registry =
+      perpos::tools::standard_registry(fx);
+  for (const std::string id : {"PPQ001", "PPQ002", "PPQ003", "PPQ004"}) {
+    const std::string_view sketch = vfy::rule_sketch(id);
+    ASSERT_FALSE(sketch.empty()) << id;
+    const vfy::ConfigVerification result =
+        vfy::verify_config(std::string(sketch), registry);
+    ASSERT_TRUE(result.assembly.errors.empty())
+        << id << ": " << result.assembly.errors[0];
+    bool triggered = false;
+    for (const vfy::Diagnostic& d : result.report.diagnostics) {
+      if (d.rule_id == id) triggered = true;
+    }
+    EXPECT_TRUE(triggered) << id << " sketch did not trigger " << id << ":\n"
+                           << sketch;
+  }
 }

@@ -1,0 +1,703 @@
+// Tests for compiled execution plans (core freeze/thaw seam +
+// perpos::plan::GraphPlan policy layer):
+//  - byte-identical transcripts between interpreted and frozen execution,
+//    across 0/1/8 engine workers, including fan-out, nested
+//    FeatureContext::emit (consume and produce hooks), emit_batch and
+//    failure injection,
+//  - seamless mid-stream freeze/thaw (logical time and pending provenance
+//    carry over),
+//  - auto-thaw on every mutation path: add / remove / connect / disconnect
+//    / insert_between / replace / feature attach / detach, plus
+//    LiveReconfigurator hot-swap, rollback(epoch) and tee promotion,
+//  - freeze gates (dispatching, timing/tracing/latency observability) and
+//    the GraphPlan verify-then-freeze + auto-refreeze lifecycle,
+//  - sentry, flight recorder and metric counters firing identically on the
+//    frozen path,
+//  - a seeded chaos property test (random graphs, random mutation/traffic
+//    interleavings, frozen-with-auto-refreeze vs never-frozen twin); run
+//    under ASan/UBSan and TSan in CI.
+
+#include "perpos/core/components.hpp"
+#include "perpos/core/graph.hpp"
+#include "perpos/exec/engine.hpp"
+#include "perpos/obs/flight_recorder.hpp"
+#include "perpos/plan/graph_plan.hpp"
+#include "perpos/reconfig/live_reconfigurator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace core = perpos::core;
+namespace exec = perpos::exec;
+namespace obs = perpos::obs;
+namespace plan = perpos::plan;
+namespace reconfig = perpos::reconfig;
+
+namespace {
+
+struct Tick {
+  int value = 0;
+};
+
+std::shared_ptr<core::SourceComponent> tick_source() {
+  return std::make_shared<core::SourceComponent>(
+      "Src", std::vector<core::DataSpec>{core::provide<Tick>()});
+}
+
+std::shared_ptr<core::LambdaComponent> add_stage(int delta) {
+  return std::make_shared<core::LambdaComponent>(
+      "Add", std::vector<core::InputRequirement>{core::require<Tick>()},
+      std::vector<core::DataSpec>{core::provide<Tick>()},
+      [delta](const core::Sample& s, const core::ComponentContext& ctx) {
+        ctx.emit(core::Payload::make(Tick{s.payload.get<Tick>()->value +
+                                          delta}));
+      });
+}
+
+/// Throws on every value divisible by `trip` (trip == 0 never throws).
+std::shared_ptr<core::LambdaComponent> bomb_stage(int trip) {
+  return std::make_shared<core::LambdaComponent>(
+      "Bomb", std::vector<core::InputRequirement>{core::require<Tick>()},
+      std::vector<core::DataSpec>{core::provide<Tick>()},
+      [trip](const core::Sample& s, const core::ComponentContext& ctx) {
+        const int v = s.payload.get<Tick>()->value;
+        if (trip != 0 && v % trip == 0) {
+          throw std::runtime_error("bomb tripped");
+        }
+        ctx.emit(core::Payload::make(Tick{v}));
+      });
+}
+
+/// "Adding data" feature: consume() re-emits every sample whose value is
+/// divisible by 3 as feature-tagged data (a nested emission inside the
+/// delivery that triggered it); produce() tags along a second nested
+/// emission for every 5th component-origin emission. Both paths guard on
+/// the origin so the feature's own emissions don't recurse.
+class EchoFeature final : public core::ComponentFeature {
+ public:
+  std::string_view name() const override { return "echo"; }
+  std::vector<const core::TypeInfo*> added_types() const override {
+    return {core::type_of<Tick>()};
+  }
+  bool emits_in_consume() const override { return true; }
+  bool emits_in_produce() const override { return true; }
+
+  bool consume(core::Sample& sample) override {
+    const int v = sample.payload.get<Tick>()->value;
+    if (v % 3 == 0) {
+      context().emit(core::Payload::make(Tick{v * 100}));
+    }
+    return true;
+  }
+
+  bool produce(core::Sample& sample) override {
+    if (sample.origin != core::kComponentOrigin) return true;
+    const int v = sample.payload.get<Tick>()->value;
+    if (v % 5 == 0) {
+      context().emit(core::Payload::make(Tick{v * 1000}));
+    }
+    return v % 7 != 0;  // Occasionally veto, to cover the veto counters.
+  }
+};
+
+/// Src -> A -> B[echo] -> Sink, with A also fanning out to C -> Sink and
+/// an echo-tagged side sink hanging off B. Every delivered value:sequence
+/// pair lands in the transcript, so any ordering, duplication or loss
+/// difference between the interpreted and frozen paths shows up as a byte
+/// difference.
+struct PlanRig {
+  explicit PlanRig(bool with_feature = true, int bomb_trip = 0) {
+    source_id = graph.add(tick_source());
+    a_id = graph.add(add_stage(1));
+    b_id = graph.add(bomb_trip != 0 ? bomb_stage(bomb_trip) : add_stage(10));
+    c_id = graph.add(add_stage(100));
+    graph.connect(source_id, a_id);
+    graph.connect(a_id, b_id);
+    graph.connect(a_id, c_id);
+    sink_id = graph.add(std::make_shared<core::ApplicationSink>(
+        "Sink", std::vector<core::InputRequirement>{core::require<Tick>()},
+        [this](const core::Sample& s) {
+          transcript << s.payload.get<Tick>()->value << ':' << s.sequence
+                     << ';';
+        }));
+    graph.connect(b_id, sink_id);
+    graph.connect(c_id, sink_id);
+    if (with_feature) {
+      graph.attach_feature(b_id, std::make_shared<EchoFeature>());
+      echo_sink_id = graph.add(std::make_shared<core::ApplicationSink>(
+          "EchoSink",
+          std::vector<core::InputRequirement>{core::require<Tick>("echo")},
+          [this](const core::Sample& s) {
+            transcript << 'e' << s.payload.get<Tick>()->value << ':'
+                       << s.sequence << ';';
+          }));
+      graph.connect(b_id, echo_sink_id);
+    }
+    source = graph.component_as<core::SourceComponent>(source_id);
+  }
+
+  core::ProcessingGraph graph;
+  core::ComponentId source_id = core::kInvalidComponent;
+  core::ComponentId a_id = core::kInvalidComponent;
+  core::ComponentId b_id = core::kInvalidComponent;
+  core::ComponentId c_id = core::kInvalidComponent;
+  core::ComponentId sink_id = core::kInvalidComponent;
+  core::ComponentId echo_sink_id = core::kInvalidComponent;
+  core::SourceComponent* source = nullptr;
+  std::ostringstream transcript;
+};
+
+/// Deterministic traffic: single pushes interleaved with batches, values
+/// from a seeded generator. Exceptions from bomb stages are recorded in
+/// the transcript (both paths must throw at the same points).
+void drive(PlanRig& rig, std::uint64_t seed, int events) {
+  std::mt19937_64 rng(seed);
+  for (int i = 0; i < events; ++i) {
+    try {
+      if (rng() % 4 == 0) {
+        std::vector<core::Payload> burst;
+        const std::size_t n = 1 + rng() % 5;
+        for (std::size_t j = 0; j < n; ++j) {
+          burst.push_back(
+              core::Payload::make(Tick{static_cast<int>(rng() % 1000)}));
+        }
+        rig.source->push_payload_batch(std::move(burst));
+      } else {
+        rig.source->push(Tick{static_cast<int>(rng() % 1000)});
+      }
+    } catch (const std::runtime_error&) {
+      rig.transcript << "X;";
+    }
+  }
+}
+
+std::string run_scenario(bool frozen, std::uint64_t seed, int events,
+                         bool with_feature = true, int bomb_trip = 0) {
+  PlanRig rig(with_feature, bomb_trip);
+  if (frozen) {
+    rig.graph.freeze_plan();
+    EXPECT_TRUE(rig.graph.frozen());
+  }
+  drive(rig, seed, events);
+  if (frozen) {
+    EXPECT_TRUE(rig.graph.frozen());  // Failures don't thaw.
+  }
+  return rig.transcript.str();
+}
+
+}  // namespace
+
+// --- Transcript byte-identity ----------------------------------------------
+
+TEST(Plan, FrozenTranscriptMatchesInterpreted) {
+  const std::string interpreted = run_scenario(false, 42, 400);
+  const std::string frozen = run_scenario(true, 42, 400);
+  ASSERT_FALSE(interpreted.empty());
+  EXPECT_EQ(interpreted, frozen);
+}
+
+TEST(Plan, FrozenTranscriptMatchesInterpretedWithoutFeatures) {
+  EXPECT_EQ(run_scenario(false, 7, 300, /*with_feature=*/false),
+            run_scenario(true, 7, 300, /*with_feature=*/false));
+}
+
+TEST(Plan, FrozenTranscriptMatchesInterpretedUnderFailureInjection) {
+  const std::string interpreted =
+      run_scenario(false, 11, 400, /*with_feature=*/true, /*bomb_trip=*/17);
+  const std::string frozen =
+      run_scenario(true, 11, 400, /*with_feature=*/true, /*bomb_trip=*/17);
+  ASSERT_NE(interpreted.find("X;"), std::string::npos);  // Bombs did trip.
+  EXPECT_EQ(interpreted, frozen);
+}
+
+TEST(Plan, FrozenTranscriptsIdenticalAcrossWorkerCounts) {
+  // Like test_exec's determinism matrix: the same per-graph traffic posted
+  // through engine lanes must produce byte-identical transcripts whether
+  // graphs run interpreted or frozen, inline or on 1 or 8 workers.
+  auto run = [](std::size_t workers, bool frozen) {
+    constexpr int kGraphs = 4;
+    std::vector<std::unique_ptr<PlanRig>> rigs;
+    exec::ExecutionEngine engine(workers);
+    std::vector<exec::LaneId> lanes;
+    for (int g = 0; g < kGraphs; ++g) {
+      rigs.push_back(std::make_unique<PlanRig>());
+      if (frozen) rigs.back()->graph.freeze_plan();
+      lanes.push_back(engine.create_lane());
+    }
+    for (int i = 0; i < 200; ++i) {
+      for (int g = 0; g < kGraphs; ++g) {
+        engine.post(lanes[g], [&rigs, g, i] {
+          rigs[g]->source->push(Tick{i * (g + 1)});
+        });
+      }
+    }
+    engine.run_until_idle();
+    std::string all;
+    for (const auto& rig : rigs) all += rig->transcript.str() + "|";
+    return all;
+  };
+  const std::string baseline = run(0, false);
+  for (const std::size_t workers : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{8}}) {
+    EXPECT_EQ(run(workers, true), baseline) << "workers=" << workers;
+    EXPECT_EQ(run(workers, false), baseline) << "workers=" << workers;
+  }
+}
+
+TEST(Plan, FreezeAndThawMidStreamAreSeamless) {
+  // One rig toggled frozen/interpreted every few events must match an
+  // always-interpreted run: logical time and pending provenance carry
+  // across the boundary in both directions.
+  PlanRig toggled;
+  PlanRig baseline;
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 300; ++i) {
+    const int v = static_cast<int>(rng() % 1000);
+    toggled.source->push(Tick{v});
+    baseline.source->push(Tick{v});
+    if (i % 7 == 0) {
+      if (toggled.graph.frozen()) {
+        toggled.graph.thaw_plan();
+      } else {
+        toggled.graph.freeze_plan();
+      }
+    }
+  }
+  EXPECT_EQ(toggled.transcript.str(), baseline.transcript.str());
+}
+
+TEST(Plan, ProvenanceChainsSurviveFreezeThawAndGraphDeath) {
+  // Samples retained by the application must keep their provenance buffers
+  // alive through thaw (arena buffers are shared, not owned) and through
+  // graph destruction — ASan guards the lifetime claim in CI.
+  core::Sample kept;
+  {
+    core::ProcessingGraph graph;
+    const auto src = graph.add(tick_source());
+    const auto stage = graph.add(add_stage(1));
+    graph.connect(src, stage);
+    const auto sink = graph.add(std::make_shared<core::ApplicationSink>(
+        "Sink", std::vector<core::InputRequirement>{core::require<Tick>()},
+        [&kept](const core::Sample& s) { kept = s; }));
+    graph.connect(stage, sink);
+    graph.freeze_plan();
+    auto* source = graph.component_as<core::SourceComponent>(src);
+    for (int i = 0; i < 50; ++i) source->push(Tick{i});
+    graph.thaw_plan();
+    source->push(Tick{50});
+    graph.freeze_plan();
+    source->push(Tick{51});
+  }
+  ASSERT_NE(kept.inputs, nullptr);
+  ASSERT_EQ(kept.inputs->size(), 1u);
+  EXPECT_EQ(kept.inputs->front().payload.get<Tick>()->value, 51);
+}
+
+// --- Freeze gates and auto-thaw ---------------------------------------------
+
+TEST(Plan, EveryStructuralMutationThaws) {
+  PlanRig rig;
+  auto refreeze = [&rig] {
+    rig.graph.freeze_plan();
+    ASSERT_TRUE(rig.graph.frozen());
+  };
+
+  refreeze();
+  const auto extra = rig.graph.add(add_stage(2));
+  EXPECT_FALSE(rig.graph.frozen()) << "add must thaw";
+
+  refreeze();
+  rig.graph.connect(rig.c_id, extra);
+  EXPECT_FALSE(rig.graph.frozen()) << "connect must thaw";
+
+  refreeze();
+  rig.graph.disconnect(rig.c_id, extra);
+  EXPECT_FALSE(rig.graph.frozen()) << "disconnect must thaw";
+
+  refreeze();
+  rig.graph.remove(extra);
+  EXPECT_FALSE(rig.graph.frozen()) << "remove must thaw";
+
+  refreeze();
+  const auto mid = rig.graph.add(add_stage(3));
+  EXPECT_FALSE(rig.graph.frozen());
+  refreeze();
+  rig.graph.insert_between(mid, rig.a_id, rig.c_id);
+  EXPECT_FALSE(rig.graph.frozen()) << "insert_between must thaw";
+
+  refreeze();
+  rig.graph.replace(rig.c_id, add_stage(100));
+  EXPECT_FALSE(rig.graph.frozen()) << "replace must thaw";
+
+  refreeze();
+  rig.graph.attach_feature(rig.c_id, std::make_shared<EchoFeature>());
+  EXPECT_FALSE(rig.graph.frozen()) << "attach_feature must thaw";
+
+  refreeze();
+  rig.graph.detach_feature(rig.c_id, "echo");
+  EXPECT_FALSE(rig.graph.frozen()) << "detach_feature must thaw";
+}
+
+TEST(Plan, FreezeRefusedDuringDispatchAndUnderIncompatibleObservability) {
+  core::ProcessingGraph graph;
+  const auto src = graph.add(tick_source());
+  const auto probe = graph.add(std::make_shared<core::ApplicationSink>(
+      "Probe", std::vector<core::InputRequirement>{core::require<Tick>()},
+      [&graph](const core::Sample&) {
+        EXPECT_NE(graph.freeze_blocker(), nullptr);
+        EXPECT_THROW(graph.freeze_plan(), std::logic_error);
+        EXPECT_THROW(graph.thaw_plan(), std::logic_error);
+      }));
+  graph.connect(src, probe);
+  graph.component_as<core::SourceComponent>(src)->push(Tick{1});
+
+  obs::ObservabilityConfig cfg;
+  cfg.timing = true;
+  graph.enable_observability(cfg);
+  EXPECT_NE(graph.freeze_blocker(), nullptr);
+  EXPECT_THROW(graph.freeze_plan(), std::logic_error);
+
+  cfg.timing = false;
+  cfg.tracing = true;
+  graph.enable_observability(cfg);
+  EXPECT_THROW(graph.freeze_plan(), std::logic_error);
+
+  cfg.tracing = false;
+  cfg.latency = true;
+  graph.enable_observability(cfg);
+  EXPECT_THROW(graph.freeze_plan(), std::logic_error);
+
+  // Plain metrics (and recording) are frozen-compatible.
+  cfg.latency = false;
+  cfg.metrics = true;
+  cfg.recording = true;
+  graph.enable_observability(cfg);
+  EXPECT_EQ(graph.freeze_blocker(), nullptr);
+  graph.freeze_plan();
+  EXPECT_TRUE(graph.frozen());
+  // Reconfiguring observability thaws.
+  graph.enable_observability(cfg);
+  EXPECT_FALSE(graph.frozen());
+  graph.freeze_plan();
+  graph.disable_observability();
+  EXPECT_FALSE(graph.frozen());
+}
+
+TEST(Plan, FeatureMutationMidDispatchIsRefusedWhileFrozen) {
+  core::ProcessingGraph graph;
+  const auto src = graph.add(tick_source());
+  core::ComponentId sink_id = core::kInvalidComponent;
+  sink_id = graph.add(std::make_shared<core::ApplicationSink>(
+      "Sink", std::vector<core::InputRequirement>{core::require<Tick>()},
+      [&graph, &sink_id](const core::Sample&) {
+        EXPECT_THROW(
+            graph.attach_feature(sink_id, std::make_shared<EchoFeature>()),
+            std::logic_error);
+      }));
+  graph.connect(src, sink_id);
+  graph.freeze_plan();
+  graph.component_as<core::SourceComponent>(src)->push(Tick{1});
+  EXPECT_TRUE(graph.frozen());
+}
+
+// --- Observability on the frozen path ---------------------------------------
+
+TEST(Plan, MetricCountersMatchInterpretedRun) {
+  auto run = [](bool frozen) {
+    PlanRig rig;
+    obs::ObservabilityConfig cfg;
+    cfg.metrics = true;
+    cfg.timing = false;  // Timing needs the interpreted path.
+    rig.graph.enable_observability(cfg);
+    if (frozen) rig.graph.freeze_plan();
+    drive(rig, 1234, 250);
+    return rig.graph.metrics();
+  };
+  const obs::MetricsSnapshot a = run(false);
+  const obs::MetricsSnapshot b = run(true);
+  for (const char* name :
+       {"perpos_graph_deliveries_total", "perpos_graph_rejections_total"}) {
+    const auto* ca = a.find_counter(name);
+    const auto* cb = b.find_counter(name);
+    ASSERT_NE(ca, nullptr) << name;
+    ASSERT_NE(cb, nullptr) << name;
+    EXPECT_EQ(ca->value, cb->value) << name;
+    EXPECT_GT(ca->value, 0u) << name;
+  }
+  for (const char* name :
+       {"perpos_component_emitted_total", "perpos_component_delivered_total",
+        "perpos_component_rejected_total",
+        "perpos_component_produce_vetoed_total"}) {
+    for (const char* id : {"0", "1", "2", "3", "4", "5"}) {
+      const auto* ca = a.find_counter(name, "component", id);
+      const auto* cb = b.find_counter(name, "component", id);
+      ASSERT_EQ(ca == nullptr, cb == nullptr) << name << " #" << id;
+      if (ca != nullptr) {
+        EXPECT_EQ(ca->value, cb->value) << name << " #" << id;
+      }
+    }
+  }
+}
+
+namespace {
+
+struct CountingSentry final : core::GraphSentry {
+  std::uint64_t emits = 0;
+  std::uint64_t delivers = 0;
+  std::uint64_t depth_sum = 0;
+  std::uint64_t cascade_sum = 0;
+  void on_emit(const core::Sample&) override { ++emits; }
+  void on_deliver(const core::Sample&, core::ComponentId,
+                  std::size_t queue_depth, std::uint64_t cascade) override {
+    ++delivers;
+    depth_sum += queue_depth;
+    cascade_sum += cascade;
+  }
+};
+
+}  // namespace
+
+TEST(Plan, SentryObservesIdenticalDispatchFrozen) {
+  auto run = [](bool frozen) {
+    PlanRig rig;
+    CountingSentry sentry;
+    rig.graph.set_sentry(&sentry);
+    if (frozen) rig.graph.freeze_plan();
+    drive(rig, 5678, 250);
+    rig.graph.set_sentry(nullptr);
+    return std::tuple{sentry.emits, sentry.delivers, sentry.depth_sum,
+                      sentry.cascade_sum};
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Plan, FlightRecorderKeepsFiringFrozenAndMarksFreezeThaw) {
+  core::ProcessingGraph graph;
+  obs::FlightRecorder recorder(128);
+  const std::uint32_t ring = recorder.add_lane("graph");
+  graph.set_flight_recorder(&recorder, ring);
+  const auto src = graph.add(tick_source());
+  const auto sink = graph.add(std::make_shared<core::ApplicationSink>(
+      "Sink", std::vector<core::InputRequirement>{core::require<Tick>()},
+      [](const core::Sample&) {}));
+  graph.connect(src, sink);
+  graph.freeze_plan();
+  graph.component_as<core::SourceComponent>(src)->push(Tick{1});
+  graph.thaw_plan();
+
+  bool saw_emit = false;
+  bool saw_deliver = false;
+  bool saw_freeze = false;
+  bool saw_thaw = false;
+  for (const obs::FlightEvent& event : recorder.merged_events()) {
+    if (event.type == obs::FlightEventType::kEmit) saw_emit = true;
+    if (event.type == obs::FlightEventType::kDeliver) saw_deliver = true;
+    if (event.type == obs::FlightEventType::kMark) {
+      const std::string_view detail(event.detail);
+      if (detail == "plan.freeze") saw_freeze = true;
+      if (detail == "plan.thaw") saw_thaw = true;
+    }
+  }
+  EXPECT_TRUE(saw_emit);
+  EXPECT_TRUE(saw_deliver);
+  EXPECT_TRUE(saw_freeze);
+  EXPECT_TRUE(saw_thaw);
+}
+
+// --- GraphPlan policy layer --------------------------------------------------
+
+TEST(Plan, GraphPlanVerifiesThenFreezesAndAutoRefreezes) {
+  PlanRig rig;
+  plan::GraphPlan policy(rig.graph);
+  const plan::FreezeResult result = policy.freeze();
+  ASSERT_TRUE(result.frozen) << result.reason;
+  EXPECT_TRUE(policy.frozen());
+  EXPECT_TRUE(policy.armed());
+
+  // A mutation thaws the core plan; the policy re-verifies (O(delta)) and
+  // re-freezes behind it.
+  rig.graph.replace(rig.c_id, add_stage(100));
+  EXPECT_TRUE(policy.frozen()) << "auto-refreeze after replace";
+  EXPECT_GE(policy.stats().freezes, 2u);
+  EXPECT_GE(policy.stats().auto_thaws, 1u);
+
+  // Traffic still flows, and the result matches a never-frozen twin.
+  PlanRig twin;
+  twin.graph.replace(twin.c_id, add_stage(100));
+  drive(rig, 31, 100);
+  drive(twin, 31, 100);
+  EXPECT_EQ(rig.transcript.str(), twin.transcript.str());
+
+  policy.thaw();
+  EXPECT_FALSE(policy.frozen());
+  EXPECT_FALSE(policy.armed());
+  rig.graph.replace(rig.c_id, add_stage(100));
+  EXPECT_FALSE(policy.frozen()) << "disarmed policy must not refreeze";
+}
+
+TEST(Plan, GraphPlanRefusesDirtyGraphAndRecoversWhenClean) {
+  PlanRig rig;
+  plan::GraphPlan policy(rig.graph);
+  ASSERT_TRUE(policy.freeze().frozen);
+
+  // A dangling consumer with a mandatory input is a PPV001 *error*: the
+  // auto-refreeze must refuse and the graph stays interpreted.
+  const auto orphan = rig.graph.add(add_stage(1));
+  EXPECT_FALSE(policy.frozen());
+  EXPECT_GE(policy.stats().refreeze_failures, 1u);
+  EXPECT_TRUE(policy.armed());
+
+  // freeze() reports the failure rather than throwing.
+  const plan::FreezeResult refused = policy.freeze();
+  EXPECT_FALSE(refused.frozen);
+  EXPECT_NE(refused.reason.find("PPV001"), std::string::npos)
+      << refused.reason;
+  EXPECT_FALSE(refused.report.ok());
+
+  // Repairing the graph re-freezes on the next mutation automatically.
+  rig.graph.connect(rig.c_id, orphan);
+  EXPECT_TRUE(policy.frozen()) << "clean graph must refreeze";
+
+  // A blocker is reported, not thrown, by the policy layer.
+  policy.thaw();
+  obs::ObservabilityConfig cfg;
+  cfg.timing = false;  // Default-on timing would block first and mask tracing.
+  cfg.tracing = true;
+  rig.graph.enable_observability(cfg);
+  const plan::FreezeResult blocked = policy.freeze();
+  EXPECT_FALSE(blocked.frozen);
+  EXPECT_NE(blocked.reason.find("tracing"), std::string::npos);
+}
+
+// --- Reconfiguration paths ---------------------------------------------------
+
+namespace {
+
+/// Behaviorally identical successor for PlanRig's C stage (Add +100).
+std::shared_ptr<core::ProcessingComponent> c_successor() {
+  return add_stage(100);
+}
+
+}  // namespace
+
+TEST(Plan, HotSwapRollbackAndTeeAllThawAndRefreeze) {
+  PlanRig rig(/*with_feature=*/false);
+  exec::ExecutionEngine engine(0);
+  const exec::LaneId lane = engine.create_lane();
+  reconfig::LiveReconfigurator reconf(rig.graph, engine, lane);
+  plan::GraphPlan policy(rig.graph);
+  ASSERT_TRUE(policy.freeze().frozen);
+
+  for (int i = 0; i < 5; ++i) rig.source->push(Tick{i});
+  const std::uint64_t thaws_before = policy.stats().auto_thaws;
+
+  // Verified hot-swap: fence -> verify -> handoff -> commit. Every one of
+  // those graph mutations thaws; the policy refreezes behind the commit.
+  const auto swap = reconf.replace(rig.c_id, c_successor());
+  ASSERT_TRUE(swap.ok()) << swap.error;
+  engine.run_until_idle();
+  EXPECT_GT(policy.stats().auto_thaws, thaws_before);
+  EXPECT_TRUE(policy.frozen()) << "refrozen after hot-swap commit";
+
+  // rollback(epoch) is itself a verified swap: same lifecycle.
+  const auto back = reconf.rollback(0);
+  ASSERT_TRUE(back.ok()) << back.error;
+  engine.run_until_idle();
+  EXPECT_TRUE(policy.frozen()) << "refrozen after rollback";
+
+  // A/B tee: staging the shadow mutates the graph (thaw + refreeze), and
+  // the promotion goes through the normal verified swap.
+  auto begun = reconf.begin_tee(rig.c_id, c_successor(), /*compare=*/{},
+                                /*quota=*/3);
+  ASSERT_EQ(begun.outcome, reconfig::SwapOutcome::kTeeing) << begun.error;
+  for (int i = 0; i < 3; ++i) rig.source->push(Tick{100 + i});
+  const auto promoted = reconf.poll_tee();
+  ASSERT_TRUE(promoted.ok()) << promoted.error;
+  EXPECT_FALSE(reconf.tee_active());
+  EXPECT_TRUE(policy.frozen()) << "refrozen after tee promotion";
+
+  // And traffic still matches a never-frozen, never-swapped twin (the
+  // swaps installed behaviorally identical successors). The twin replays
+  // the rig's warm-up traffic so the per-producer sequence counters in the
+  // transcript line up; the tee shadow only ran samples through the
+  // not-yet-live successor, so it consumed no live sequence numbers.
+  PlanRig twin(/*with_feature=*/false);
+  for (int i = 0; i < 5; ++i) twin.source->push(Tick{i});
+  for (int i = 0; i < 3; ++i) twin.source->push(Tick{100 + i});
+  std::ostringstream rig_warmup;
+  std::ostringstream twin_warmup;
+  rig.transcript.swap(rig_warmup);
+  twin.transcript.swap(twin_warmup);
+  for (int i = 0; i < 50; ++i) {
+    rig.source->push(Tick{500 + i});
+    twin.source->push(Tick{500 + i});
+  }
+  EXPECT_EQ(rig.transcript.str(), twin.transcript.str());
+}
+
+// --- Chaos property test -----------------------------------------------------
+
+TEST(Plan, ChaosMutationsKeepTranscriptsIdenticalAndAlwaysThaw) {
+  // Random interleaving of traffic and mutations applied identically to a
+  // frozen-with-auto-refreeze rig and a never-frozen twin. Transcripts
+  // must stay byte-identical; after every mutation the frozen rig must
+  // either have refrozen (clean graph) or be interpreted — never stale.
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    PlanRig rig(/*with_feature=*/false);
+    PlanRig twin(/*with_feature=*/false);
+    plan::GraphPlan policy(rig.graph);
+    ASSERT_TRUE(policy.freeze().frozen);
+
+    std::mt19937_64 rng(seed);
+    bool extra_edge = false;
+    for (int i = 0; i < 600; ++i) {
+      const std::uint64_t roll = rng() % 20;
+      if (roll == 0) {
+        // Toggle a redundant edge (Src -> C directly; C requires Tick, so
+        // the edge is realizable and changes delivery fan-out).
+        if (!extra_edge) {
+          rig.graph.connect(rig.source_id, rig.c_id);
+          twin.graph.connect(twin.source_id, twin.c_id);
+        } else {
+          rig.graph.disconnect(rig.source_id, rig.c_id);
+          twin.graph.disconnect(twin.source_id, twin.c_id);
+        }
+        extra_edge = !extra_edge;
+        EXPECT_TRUE(policy.frozen()) << "seed=" << seed << " i=" << i;
+      } else if (roll == 1) {
+        rig.graph.replace(rig.b_id, add_stage(10));
+        twin.graph.replace(twin.b_id, add_stage(10));
+        EXPECT_TRUE(policy.frozen()) << "seed=" << seed << " i=" << i;
+      } else if (roll == 2) {
+        // Manual thaw/freeze churn through the policy layer.
+        policy.thaw();
+        ASSERT_TRUE(policy.freeze().frozen);
+      } else if (roll < 6) {
+        std::vector<core::Payload> burst;
+        const std::size_t n = 1 + rng() % 4;
+        for (std::size_t j = 0; j < n; ++j) {
+          burst.push_back(
+              core::Payload::make(Tick{static_cast<int>(rng() % 1000)}));
+        }
+        std::vector<core::Payload> burst_twin;
+        for (const core::Payload& p : burst) burst_twin.push_back(p);
+        rig.source->push_payload_batch(std::move(burst));
+        twin.source->push_payload_batch(std::move(burst_twin));
+      } else {
+        const int v = static_cast<int>(rng() % 1000);
+        rig.source->push(Tick{v});
+        twin.source->push(Tick{v});
+      }
+    }
+    EXPECT_EQ(rig.transcript.str(), twin.transcript.str())
+        << "seed=" << seed;
+  }
+}

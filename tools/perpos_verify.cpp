@@ -145,7 +145,8 @@ int main(int argc, char** argv) {
     if (arg.rfind("--explain=", 0) == 0) return explain_rule(arg.substr(10));
     if (arg == "--explain") {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "--explain needs a rule id (PPVxxx/PPSxxx)\n");
+        std::fprintf(stderr,
+                     "--explain needs a rule id (PPVxxx/PPSxxx/PPQxxx)\n");
         return 2;
       }
       return explain_rule(argv[i + 1]);
