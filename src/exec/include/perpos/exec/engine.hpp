@@ -88,6 +88,15 @@ class ExecutionEngine {
   /// reconfiguration mutates the lane's graph under. Post order is
   /// preserved across the fence. Idempotent; thread-safe. Must not be
   /// called from a task running on `lane` (it would wait for itself).
+  ///
+  /// As model transitions (the PPM003 hot-swap model in
+  /// perpos/verify/protocol_models.hpp checks these semantics over every
+  /// interleaving): fence() is `fence := requested`, and the retire of the
+  /// at-most-one in-flight task is what flips it to `held` — the step the
+  /// bounded model checker relies on when proving no mutation lands while
+  /// a task is in flight. Tasks posted while fenced stay queued (the model
+  /// keeps producer.post enabled across the fence); unfence() drains them
+  /// in post order into whatever graph the cutover installed.
   void fence(LaneId lane);
 
   /// Lift the fence: held tasks re-enter the idle accounting and the lane

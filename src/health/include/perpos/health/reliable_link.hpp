@@ -38,6 +38,15 @@
 /// registry (`perpos_reliable_link_*_total{link=<tag>}`) and as
 /// `delivery_failed` failure events, feeding the same Watchdog that
 /// supervises local sources.
+///
+/// The delivery contract — exactly-once emission (PPM001) and eventual
+/// delivery while losses stay within the retransmission bound (PPM002) —
+/// is an executable spec: perpos/verify/protocol_models.hpp models this
+/// protocol step for step (on_input / on_timeout / deliver / handle_ack
+/// under a drop/dup/reorder adversary) and `perpos-verify --model` checks
+/// it exhaustively. Changes to the seq/ack/retry behaviour here must keep
+/// the model in lockstep; the wire-codec work (ROADMAP item 3) is checked
+/// against the same model as its oracle.
 
 namespace perpos::health {
 

@@ -25,6 +25,14 @@
 /// the frozen path; timing / tracing / latency observability block freezing
 /// (see ProcessingGraph::freeze_blocker), in which case freeze() reports
 /// the blocker instead of throwing.
+///
+/// The lifecycle invariant — a frozen plan never outlives a
+/// thaw-triggering mutation, so dispatch never runs a plan lowered from
+/// an older graph version — is checked exhaustively by the bounded model
+/// checker (PPM004; perpos/verify/protocol_models.hpp interleaves
+/// freeze/thaw, all three mutation kinds, and dispatches). Changes to the
+/// thaw-on-mutation or armed-refreeze behaviour here must keep the model
+/// in lockstep.
 
 namespace perpos::plan {
 

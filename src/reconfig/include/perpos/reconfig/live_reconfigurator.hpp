@@ -51,6 +51,17 @@
 /// begin_tee()/poll_tee() runs an optional live A/B comparison (incumbent
 /// and successor fed the same traffic, transcripts compared) before the
 /// real cutover.
+///
+/// The protocol's safety claims — no sample processed by both predecessor
+/// and successor, every mutation inside the fenced quiesce window (the
+/// PPS006 invariant), no loss across cutover or rollback, the fence
+/// always released — are proved over *every* interleaving of producer,
+/// worker, and reconfigurator by the bounded model checker (PPM003;
+/// perpos/verify/protocol_models.hpp models steps 1–4 plus the reject and
+/// rollback paths). The chaos tests sample the same interleavings at full
+/// fidelity; the model covers the schedule space the samples can miss.
+/// Changes to the fence/quiesce/cutover ordering here must keep the model
+/// in lockstep.
 
 namespace perpos::reconfig {
 

@@ -28,6 +28,15 @@ enum class Severity {
 
 std::string_view severity_name(Severity severity) noexcept;
 
+/// One step of a protocol-model counterexample: which actor moved and what
+/// it did ("egress", "retransmit seq=1 attempt=2"). A sequence of these is
+/// a replayable schedule, in the same spirit as a FlightRecorder transcript;
+/// the SARIF emitter renders it as a codeFlow.
+struct TraceStep {
+  std::string actor;
+  std::string label;
+};
+
 /// One finding. `component` / `edge` locate it in the graph; both may be
 /// unset for whole-config findings (e.g. a parse error).
 struct Diagnostic {
@@ -43,6 +52,12 @@ struct Diagnostic {
   /// Config line the finding maps to (1-based), when known — parse errors
   /// and `component` directives carry one; pure graph findings do not.
   std::optional<int> line;
+  /// Protocol-model findings (the PPM family) only: the violated property
+  /// ("duplicate-delivery") and the shortest counterexample schedule. The
+  /// property joins the baseline fingerprint; the trace becomes SARIF
+  /// codeFlows. Empty for all other rule families.
+  std::string property;
+  std::vector<TraceStep> trace;
 };
 
 /// The result of one analyzer run.

@@ -52,6 +52,20 @@
 ///   PPQ004  rate-starved-sink         warning  required min input rate unreachable
 ///   PPQ005  unbounded-feedback-queue  error    gain >= 1 feedback region feeding
 ///                                              a bounded execution lane
+///
+/// Protocol-model ids (the PPM family, emitted by the bounded explicit-state
+/// model checker in model_check.hpp / protocol_models.hpp; findings carry a
+/// shortest-counterexample trace rendered as SARIF codeFlows):
+///   PPM001  link-duplicate-delivery   error    reliable link delivered twice /
+///                                              out of order
+///   PPM002  link-delivery-liveness    error    reliable link lost a sample or
+///                                              gave up below the retry bound
+///   PPM003  hot-swap-isolation        error    swap protocol broke isolation,
+///                                              quiesce, or sample retention
+///   PPM004  stale-frozen-plan         error    frozen plan outlived a
+///                                              thaw-triggering mutation
+///   PPM005  model-budget-exhausted    note     exploration truncated; model
+///                                              unverified, not clean
 
 namespace perpos::verify {
 

@@ -49,6 +49,13 @@ std::string to_text(const Report& report) {
     if (!d.component_name.empty()) out << d.component_name << ": ";
     out << d.message << '\n';
     if (!d.fix_hint.empty()) out << "  hint: " << d.fix_hint << '\n';
+    if (!d.trace.empty()) {
+      out << "  counterexample (" << d.trace.size() << " steps):\n";
+      for (std::size_t i = 0; i < d.trace.size(); ++i) {
+        out << "    " << (i + 1) << ". " << d.trace[i].actor << ": "
+            << d.trace[i].label << '\n';
+      }
+    }
   }
   out << report.errors() << " error(s), " << report.warnings()
       << " warning(s), " << report.notes() << " note(s)\n";
@@ -78,6 +85,18 @@ std::string to_json(const Report& report, const BudgetReport* budget) {
       out << ",\"fix_hint\":\"" << json_escape(d.fix_hint) << "\"";
     }
     if (d.line.has_value()) out << ",\"line\":" << *d.line;
+    if (!d.property.empty()) {
+      out << ",\"property\":\"" << json_escape(d.property) << "\"";
+    }
+    if (!d.trace.empty()) {
+      out << ",\"trace\":[";
+      for (std::size_t i = 0; i < d.trace.size(); ++i) {
+        if (i != 0) out << ',';
+        out << "{\"actor\":\"" << json_escape(d.trace[i].actor)
+            << "\",\"label\":\"" << json_escape(d.trace[i].label) << "\"}";
+      }
+      out << ']';
+    }
     out << '}';
   }
   out << "],\"summary\":{\"errors\":" << report.errors()
@@ -135,7 +154,29 @@ std::string to_sarif(const Report& report, const RuleRegistry& registry,
     out << "\"logicalLocations\":[{\"name\":\""
         << json_escape(d.component_name.empty() ? std::string("<config>")
                                                 : d.component_name)
-        << "\",\"kind\":\"member\"}]}]}";
+        << "\",\"kind\":\"member\"}]}]";
+    // Protocol-model counterexamples ride as a codeFlow: one threadFlow,
+    // one location per schedule step, the actor as the logical location
+    // and the transition label as the step message — a replayable
+    // FlightRecorder-style transcript.
+    if (!d.trace.empty()) {
+      out << ",\"codeFlows\":[{\"threadFlows\":[{\"locations\":[";
+      for (std::size_t t = 0; t < d.trace.size(); ++t) {
+        if (t != 0) out << ',';
+        out << "{\"executionOrder\":" << (t + 1)
+            << ",\"location\":{\"message\":{\"text\":\""
+            << json_escape(d.trace[t].actor) << ": "
+            << json_escape(d.trace[t].label)
+            << "\"},\"logicalLocations\":[{\"name\":\""
+            << json_escape(d.trace[t].actor) << "\",\"kind\":\"member\"}]}}";
+      }
+      out << "]}]}]";
+    }
+    if (!d.property.empty()) {
+      out << ",\"properties\":{\"property\":\"" << json_escape(d.property)
+          << "\"}";
+    }
+    out << '}';
   }
   out << "]";
   if (budget != nullptr) {

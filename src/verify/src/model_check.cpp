@@ -1,0 +1,14 @@
+#include "perpos/verify/model_check.hpp"
+
+namespace perpos::verify::mc {
+
+std::string_view verdict_name(Verdict verdict) noexcept {
+  switch (verdict) {
+    case Verdict::kClean: return "clean";
+    case Verdict::kViolation: return "violation";
+    case Verdict::kTruncated: return "truncated";
+  }
+  return "unknown";
+}
+
+}  // namespace perpos::verify::mc

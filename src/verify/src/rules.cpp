@@ -1268,11 +1268,14 @@ class UnboundedFeedbackQueueRule final : public Rule {
 
 // --- PPS001..PPS006 --------------------------------------------------------
 //
-// Runtime sanitizer rules. Like PPV000 these never produce findings from
-// check(): the live sanitizer (perpos::sanitize::GraphSanitizer) emits
-// Diagnostics under these ids while the graph runs. The rule objects exist
-// so --list-rules shows them and SARIF reports carry their metadata,
-// letting one report mix static and runtime findings.
+// Runtime sanitizer and model-checker rules. Like PPV000 these never
+// produce findings from check(): the live sanitizer
+// (perpos::sanitize::GraphSanitizer) emits Diagnostics under the PPS ids
+// while the graph runs, and the bounded model checker
+// (verify::check_protocol_models) emits Diagnostics under the PPM ids when
+// exploring the protocol models. The rule objects exist so --list-rules
+// shows them and SARIF reports carry their metadata, letting one report
+// mix static, runtime and model findings.
 class RuntimeRule final : public Rule {
  public:
   RuntimeRule(std::string id, std::string name, std::string description,
@@ -1416,6 +1419,36 @@ const RuleRegistry& RuleRegistry::default_catalog() {
     r->add(std::make_unique<LatencySloInfeasibleRule>());
     r->add(std::make_unique<RateStarvedSinkRule>());
     r->add(std::make_unique<UnboundedFeedbackQueueRule>());
+    r->add(std::make_unique<RuntimeRule>(
+        "PPM001", "link-duplicate-delivery",
+        "the reliable-link model delivered a sample downstream twice or out "
+        "of sequence order (model checker)",
+        Severity::kError));
+    r->add(std::make_unique<RuntimeRule>(
+        "PPM002", "link-delivery-liveness",
+        "the reliable-link model lost a sample or gave it up below the "
+        "retransmission bound despite the loss budget fitting inside it "
+        "(model checker)",
+        Severity::kError));
+    r->add(std::make_unique<RuntimeRule>(
+        "PPM003", "hot-swap-isolation",
+        "the hot-swap model processed a sample in both predecessor and "
+        "successor, mutated the graph outside the fenced quiesce window, "
+        "leaked the fence, or lost a sample across cutover/rollback (model "
+        "checker)",
+        Severity::kError));
+    r->add(std::make_unique<RuntimeRule>(
+        "PPM004", "stale-frozen-plan",
+        "the freeze/thaw model dispatched a frozen plan compiled for an "
+        "older graph version after a thaw-triggering mutation (model "
+        "checker)",
+        Severity::kError));
+    r->add(std::make_unique<RuntimeRule>(
+        "PPM005", "model-budget-exhausted",
+        "bounded exploration of a protocol model ran out of its state, "
+        "depth, or time budget — the unexplored remainder is unverified, "
+        "not clean (model checker)",
+        Severity::kNote));
     return r;
   }();
   return *registry;
@@ -1553,6 +1586,26 @@ constexpr ExplainSketch kSketches[] = {
     {"PPQ005",
      "  # a feedback region whose emit-gain product is >= 1 feeds a\n"
      "  # bounded execution lane; no finite queue watermark can hold it"},
+    {"PPM001",
+     "  # reliable-link model, dedupe seeded out (--model-mutant=\n"
+     "  # link-no-dedupe): drop ACK 1; egress retransmits DATA 1; ingress\n"
+     "  # emits seq 1 twice -> duplicate-delivery counterexample"},
+    {"PPM002",
+     "  # reliable-link model, bound check seeded out (--model-mutant=\n"
+     "  # link-skip-retransmit-bound): drop DATA 1; first timeout gives up\n"
+     "  # instead of retransmitting -> premature-giveup counterexample"},
+    {"PPM003",
+     "  # hot-swap model, fence wait seeded out (--model-mutant=\n"
+     "  # swap-unfence-early): cutover fires while the worker still has a\n"
+     "  # task in flight -> mutation-during-drain (PPS006) counterexample"},
+    {"PPM004",
+     "  # freeze/thaw model, rollback thaw seeded out (--model-mutant=\n"
+     "  # plan-miss-thaw-on-rollback): freeze at graph v1, roll the swap\n"
+     "  # back without thawing -> stale-frozen-plan counterexample"},
+    {"PPM005",
+     "  # any model with the budget forced tiny, e.g.\n"
+     "  #   perpos-verify --model --model-states=10\n"
+     "  # -> exploration truncated; reported as a note, never as clean"},
 };
 
 }  // namespace

@@ -95,8 +95,9 @@ vfy::NodeModel node(core::ComponentId id, std::string name,
 TEST(Catalog, AllRulesWithStableIds) {
   const vfy::RuleRegistry& catalog = vfy::RuleRegistry::default_catalog();
   // PPV000..PPV015 static rules + PPS001..PPS006 runtime sanitizer ids +
-  // PPQ001..PPQ005 quantitative budget rules.
-  ASSERT_EQ(catalog.rules().size(), 27u);
+  // PPQ001..PPQ005 quantitative budget rules + PPM001..PPM005 protocol
+  // model-checker ids.
+  ASSERT_EQ(catalog.rules().size(), 32u);
   std::vector<std::string> expected;
   for (int i = 0; i <= 15; ++i) {
     char id[8];
@@ -111,6 +112,11 @@ TEST(Catalog, AllRulesWithStableIds) {
   for (int i = 1; i <= 5; ++i) {
     char id[8];
     std::snprintf(id, sizeof id, "PPQ%03d", i);
+    expected.push_back(id);
+  }
+  for (int i = 1; i <= 5; ++i) {
+    char id[8];
+    std::snprintf(id, sizeof id, "PPM%03d", i);
     expected.push_back(id);
   }
   for (const std::string& id : expected) {

@@ -4,19 +4,28 @@
 #
 # Driven by the verify_baseline_roundtrip ctest entry with:
 #   -DVERIFY=<perpos-verify binary> -DCONFIG=<config> -DWORK_DIR=<scratch>
+# Optional: -DEXTRA_ARGS=<space-separated flags> added to every invocation
+# (the model round-trip passes "--model --model-mutant=..." here so a PPM
+# finding is what gets baselined).
 
 file(MAKE_DIRECTORY "${WORK_DIR}")
 set(baseline "${WORK_DIR}/baseline_roundtrip.txt")
+set(extra_args "")
+if(DEFINED EXTRA_ARGS)
+  separate_arguments(extra_args UNIX_COMMAND "${EXTRA_ARGS}")
+endif()
 
 execute_process(
-  COMMAND "${VERIFY}" --baseline "${baseline}" --update-baseline "${CONFIG}"
+  COMMAND "${VERIFY}" ${extra_args} --baseline "${baseline}"
+          --update-baseline "${CONFIG}"
   RESULT_VARIABLE record_rc)
 if(NOT record_rc EQUAL 0)
   message(FATAL_ERROR "--update-baseline failed (exit ${record_rc})")
 endif()
 
 execute_process(
-  COMMAND "${VERIFY}" --werror --baseline "${baseline}" "${CONFIG}"
+  COMMAND "${VERIFY}" ${extra_args} --werror --baseline "${baseline}"
+          "${CONFIG}"
   RESULT_VARIABLE lint_rc
   OUTPUT_VARIABLE lint_out)
 if(NOT lint_rc EQUAL 0)
@@ -26,7 +35,7 @@ endif()
 
 # Sanity: without the baseline the same invocation must gate.
 execute_process(
-  COMMAND "${VERIFY}" --werror "${CONFIG}"
+  COMMAND "${VERIFY}" ${extra_args} --werror "${CONFIG}"
   RESULT_VARIABLE bare_rc
   OUTPUT_QUIET)
 if(bare_rc EQUAL 0)

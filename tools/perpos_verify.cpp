@@ -2,15 +2,31 @@
 //
 // Usage:
 //   perpos-verify [--format=text|json|sarif] [--output FILE] [--werror]
-//                 [--budget] [--disable RULE]... [--baseline FILE]
+//                 [--budget] [--model] [--disable RULE]... [--baseline FILE]
 //                 [--update-baseline] CONFIG...
+//   perpos-verify --model [--model-states=N] [--model-depth=N]
+//                 [--model-ms=N] [--model-mutant=NAME]
 //   perpos-verify --list-rules
 //   perpos-verify --explain RULE
 //
-// `--explain PPVxxx/PPSxxx/PPQxxx` prints one rule's full description,
-// default severity, and a minimal failing-config sketch (for the static
-// rules) or the runtime scenario that trips it (for the PPS sanitizer
-// rules).
+// `--explain PPVxxx/PPSxxx/PPQxxx/PPMxxx` prints one rule's full
+// description, default severity, and a minimal failing-config sketch (for
+// the static rules), the runtime scenario that trips it (for the PPS
+// sanitizer rules), or the seeded-bug model scenario (for the PPM
+// model-checker rules).
+//
+// `--model` additionally runs the bounded explicit-state model checker
+// over the built-in protocol models (reliable-link in pipelined and
+// stop-and-wait/FIFO configurations, hot-swap, freeze/thaw). Violations
+// are PPM errors carrying the shortest counterexample schedule (rendered
+// as numbered steps in text, a `trace` array in JSON, and codeFlows in
+// SARIF); exploration that exhausts the --model-states/--model-depth/
+// --model-ms budget is a PPM005 note — unverified, never silently clean.
+// With config files the model findings merge into the (single-file) JSON/
+// SARIF document or follow the per-file text reports; `--model` alone
+// (zero configs) checks just the models. --model-mutant=NAME seeds a
+// deliberate protocol bug (see --explain PPM001..PPM004) for
+// mutation-kill testing of the checker itself.
 //
 // `--budget` appends the quantitative capacity report (per-node rates,
 // per-lane utilization and queue bounds, per-path latency) to text output,
@@ -29,7 +45,10 @@
 // suppress exactly those findings, so only regressions gate. Fingerprints
 // deliberately ignore message text and line numbers — renaming a config
 // line or rewording a rule does not invalidate a baseline, but a finding
-// moving to a new component does.
+// moving to a new component does. PPM findings fingerprint as rule id +
+// model + property + an 8-hex-digit counterexample-trace hash: accepting
+// one counterexample does not hide a different schedule violating the
+// same property.
 //
 // Configs are instantiated against the standard kind registry shared with
 // perpos-plan (standard_registry.hpp).
@@ -38,6 +57,7 @@
 
 #include "perpos/verify/budget.hpp"
 #include "perpos/verify/emit.hpp"
+#include "perpos/verify/protocol_models.hpp"
 #include "perpos/verify/verify.hpp"
 
 #include <algorithm>
@@ -87,10 +107,11 @@ int explain_rule(const std::string& id) {
   // the catalog-completeness test can hold them to the same coverage bar.
   const std::string_view sketch = verify::rule_sketch(id);
   if (!sketch.empty()) {
-    const bool runtime = id.rfind("PPS", 0) == 0;
-    std::printf("\n%s:\n%.*s\n",
-                runtime ? "triggering scenario" : "minimal failing config",
-                static_cast<int>(sketch.size()), sketch.data());
+    const char* heading = "minimal failing config";
+    if (id.rfind("PPS", 0) == 0) heading = "triggering scenario";
+    if (id.rfind("PPM", 0) == 0) heading = "minimal failing model";
+    std::printf("\n%s:\n%.*s\n", heading, static_cast<int>(sketch.size()),
+                sketch.data());
   }
   return 0;
 }
@@ -99,18 +120,44 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--format=text|json|sarif] [--output FILE] [--werror]\n"
-      "          [--budget] [--disable RULE]... [--baseline FILE]\n"
+      "          [--budget] [--model] [--disable RULE]... [--baseline FILE]\n"
       "          [--update-baseline] CONFIG...\n"
+      "       %s --model [--model-states=N] [--model-depth=N]\n"
+      "          [--model-ms=N] [--model-mutant=NAME]\n"
       "       %s --list-rules\n"
       "       %s --explain RULE\n",
-      argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0);
   return 2;
 }
 
 /// The stable identity of a finding for baseline matching: rule id + node
 /// path (component name, edge, or config line position) — not the message,
-/// which rewords across analyzer versions.
+/// which rewords across analyzer versions. Protocol-model findings key on
+/// model + property + a short hash of the counterexample schedule instead:
+/// the location fields mean nothing for them, and the trace hash keeps a
+/// baselined counterexample from hiding a *different* schedule breaking
+/// the same property.
 std::string fingerprint(const verify::Diagnostic& d) {
+  if (d.rule_id.rfind("PPM", 0) == 0) {
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the schedule.
+    const auto mix = [&h](std::string_view text) {
+      for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+      }
+      h ^= '\n';
+      h *= 1099511628211ull;
+    };
+    for (const verify::TraceStep& step : d.trace) {
+      mix(step.actor);
+      mix(step.label);
+    }
+    char hash8[16];
+    std::snprintf(hash8, sizeof hash8, "%08llx",
+                  static_cast<unsigned long long>(h >> 32));
+    return d.rule_id + " " + d.component_name + "/" + d.property + "@" +
+           hash8;
+  }
   std::string location;
   if (!d.component_name.empty()) {
     location = d.component_name;
@@ -136,6 +183,8 @@ int main(int argc, char** argv) {
   bool update_baseline = false;
   bool werror = false;
   bool budget = false;
+  bool model = false;
+  verify::ModelCheckOptions model_options;
   verify::Options options;
   std::vector<std::string> files;
 
@@ -167,6 +216,34 @@ int main(int argc, char** argv) {
       werror = true;
     } else if (arg == "--budget") {
       budget = true;
+    } else if (arg == "--model") {
+      model = true;
+    } else if (arg.rfind("--model-states=", 0) == 0) {
+      model = true;
+      model_options.budget.max_states =
+          static_cast<std::size_t>(std::stoull(arg.substr(15)));
+    } else if (arg.rfind("--model-depth=", 0) == 0) {
+      model = true;
+      model_options.budget.max_depth =
+          static_cast<std::size_t>(std::stoull(arg.substr(14)));
+    } else if (arg.rfind("--model-ms=", 0) == 0) {
+      model = true;
+      model_options.budget.max_ms = std::stod(arg.substr(11));
+    } else if (arg.rfind("--model-mutant=", 0) == 0) {
+      model = true;
+      const std::string name = arg.substr(15);
+      const auto mutant = verify::parse_model_mutant(name);
+      if (!mutant.has_value()) {
+        std::string known;
+        for (const std::string_view m : verify::model_mutant_names()) {
+          if (!known.empty()) known += ", ";
+          known += std::string(m);
+        }
+        std::fprintf(stderr, "unknown model mutant '%s' (known: %s)\n",
+                     name.c_str(), known.c_str());
+        return 2;
+      }
+      model_options.mutant = *mutant;
     } else if (arg.rfind("--baseline=", 0) == 0) {
       baseline_path = arg.substr(11);
     } else if (arg == "--baseline" && i + 1 < argc) {
@@ -184,12 +261,12 @@ int main(int argc, char** argv) {
       files.push_back(arg);
     }
   }
-  if (files.empty()) return usage(argv[0]);
+  if (files.empty() && !model) return usage(argv[0]);
   if (format != "text" && format != "json" && format != "sarif") {
     std::fprintf(stderr, "unknown format '%s'\n", format.c_str());
     return usage(argv[0]);
   }
-  if (format != "text" && files.size() != 1) {
+  if (format != "text" && !files.empty() && files.size() != 1) {
     std::fprintf(stderr,
                  "%s output describes one config; got %zu files "
                  "(invoke once per file)\n",
@@ -228,6 +305,28 @@ int main(int argc, char** argv) {
   std::ostringstream rendered;
   std::set<std::string> current_fingerprints;
   bool gate = false;
+
+  // --model: explore the built-in protocol models once per invocation;
+  // the findings join the ordinary stream — fingerprinted, suppressible
+  // via the baseline, gating on error like any other rule family.
+  verify::Report model_report;
+  if (model) {
+    model_report = verify::check_protocol_models(model_options);
+    for (const verify::Diagnostic& d : model_report.diagnostics) {
+      current_fingerprints.insert(fingerprint(d));
+    }
+    if (!baseline.empty()) {
+      auto& diags = model_report.diagnostics;
+      diags.erase(std::remove_if(diags.begin(), diags.end(),
+                                 [&baseline](const verify::Diagnostic& d) {
+                                   return baseline.count(fingerprint(d)) > 0;
+                                 }),
+                  diags.end());
+    }
+    gate = gate || !model_report.ok() ||
+           (werror && model_report.warnings() > 0);
+  }
+
   for (const std::string& path : files) {
     std::ifstream in(path);
     if (!in) {
@@ -265,6 +364,15 @@ int main(int argc, char** argv) {
     const verify::BudgetReport* budget_ptr =
         budget_report.has_value() ? &*budget_report : nullptr;
 
+    // JSON/SARIF describe one config per document (enforced above), so
+    // model findings fold into that single document — one SARIF upload
+    // carries static, quantitative, and model results together.
+    if (model && format != "text") {
+      result.report.diagnostics.insert(result.report.diagnostics.end(),
+                                       model_report.diagnostics.begin(),
+                                       model_report.diagnostics.end());
+    }
+
     if (format == "json") {
       rendered << verify::to_json(result.report, budget_ptr) << '\n';
     } else if (format == "sarif") {
@@ -279,6 +387,22 @@ int main(int argc, char** argv) {
         rendered << verify::budget_to_text(*budget_ptr);
       }
       if (files.size() > 1) rendered << '\n';
+    }
+  }
+
+  // Text mode keeps the model section separate from the per-file reports;
+  // with no configs at all, the model report is the whole document.
+  if (model && (files.empty() || format == "text")) {
+    if (format == "json") {
+      rendered << verify::to_json(model_report, nullptr) << '\n';
+    } else if (format == "sarif") {
+      rendered << verify::to_sarif(model_report,
+                                   verify::RuleRegistry::default_catalog(),
+                                   "", nullptr)
+               << '\n';
+    } else {
+      if (!files.empty()) rendered << "protocol models:\n";
+      rendered << verify::to_text(model_report);
     }
   }
 
